@@ -1,0 +1,338 @@
+// Benchmarks that regenerate every table and figure in the paper's
+// evaluation (Figures 1-8) plus the ablations DESIGN.md calls out. Each
+// figure benchmark runs a reduced configuration per iteration (two trials,
+// smaller transfers) so `go test -bench` stays tractable; `cmd/expt`
+// regenerates the full-size artifacts. Custom metrics report the headline
+// quantity of each experiment so regressions in *results*, not just in
+// speed, are visible.
+//
+// Micro-benchmarks for the hot substrate paths (checksums, marshalling,
+// the modulation engine, distillation) follow the figure benchmarks.
+package tracemod_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"tracemod/internal/apps/ftp"
+	"tracemod/internal/capture"
+	"tracemod/internal/core"
+	"tracemod/internal/distill"
+	"tracemod/internal/expt"
+	"tracemod/internal/modulation"
+	"tracemod/internal/packet"
+	"tracemod/internal/pinger"
+	"tracemod/internal/replay"
+	"tracemod/internal/scenario"
+	"tracemod/internal/sim"
+	"tracemod/internal/simnet"
+	"tracemod/internal/tracefmt"
+	"tracemod/internal/transport"
+)
+
+// benchOptions is the reduced per-iteration configuration.
+func benchOptions() expt.Options {
+	o := expt.Default()
+	o.Trials = 2
+	o.FTPSize = 4 << 20
+	return o
+}
+
+// BenchmarkFig1DelayCompensation regenerates Figure 1: FTP store/fetch
+// over the synthetic WaveLAN-like trace with and without compensation.
+func BenchmarkFig1DelayCompensation(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		r, err := expt.Fig1(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := r.Points[len(r.Points)-1]
+		b.ReportMetric(last.ThroughputMbps3[0], "store-Mbps")
+		b.ReportMetric(last.ThroughputMbps3[1], "fetchraw-Mbps")
+		b.ReportMetric(last.ThroughputMbps3[2], "fetchcomp-Mbps")
+	}
+}
+
+func benchScenarioFigure(b *testing.B, sc scenario.Scenario) {
+	b.Helper()
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		fig, err := expt.FigScenario(sc, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sc.Motion {
+			b.ReportMetric(float64(len(fig.Points)), "legs")
+		} else {
+			b.ReportMetric(float64(fig.SignalH.N), "samples")
+		}
+	}
+}
+
+// BenchmarkFig2PorterTraces regenerates Figure 2's per-checkpoint series.
+func BenchmarkFig2PorterTraces(b *testing.B) { benchScenarioFigure(b, scenario.Porter) }
+
+// BenchmarkFig3FlagstaffTraces regenerates Figure 3's series.
+func BenchmarkFig3FlagstaffTraces(b *testing.B) { benchScenarioFigure(b, scenario.Flagstaff) }
+
+// BenchmarkFig4WeanTraces regenerates Figure 4's series.
+func BenchmarkFig4WeanTraces(b *testing.B) { benchScenarioFigure(b, scenario.Wean) }
+
+// BenchmarkFig5ChatterboxTraces regenerates Figure 5's histograms.
+func BenchmarkFig5ChatterboxTraces(b *testing.B) { benchScenarioFigure(b, scenario.Chatterbox) }
+
+// BenchmarkFig6Web regenerates Figure 6 (Web benchmark table) on one
+// scenario per iteration to bound cost; the metric is the modulated/real
+// elapsed ratio for Porter.
+func BenchmarkFig6Web(b *testing.B) {
+	o := benchOptions()
+	comp, err := expt.MeasureCompensation(o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := expt.Collect(scenario.Porter, 0, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		live, err := expt.RunLive(scenario.Porter, expt.BenchWeb, 0, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mod, err := expt.RunModulated(res.Replay, expt.BenchWeb, 0, comp, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(mod.Elapsed.Seconds()/live.Elapsed.Seconds(), "mod/real")
+	}
+}
+
+// BenchmarkFig7FTP regenerates Figure 7 (FTP table, reduced size).
+func BenchmarkFig7FTP(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		tbl, err := expt.Fig7FTP(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		agree := 0
+		for _, row := range tbl.Rows {
+			if row.Send.Agrees() {
+				agree++
+			}
+			if row.Recv.Agrees() {
+				agree++
+			}
+		}
+		b.ReportMetric(float64(agree), "cells-agreeing")
+		b.ReportMetric(tbl.EthernetSend.Mean, "eth-send-s")
+	}
+}
+
+// BenchmarkFig8Andrew regenerates Figure 8 on one scenario per iteration;
+// the metric is the modulated/real total-time ratio for Wean.
+func BenchmarkFig8Andrew(b *testing.B) {
+	o := benchOptions()
+	comp, err := expt.MeasureCompensation(o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := expt.Collect(scenario.Wean, 0, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		live, err := expt.RunLive(scenario.Wean, expt.BenchAndrew, 0, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mod, err := expt.RunModulated(res.Replay, expt.BenchAndrew, 0, comp, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(mod.Elapsed.Seconds()/live.Elapsed.Seconds(), "mod/real")
+		b.ReportMetric(mod.Phases.ScanDir.Seconds(), "mod-scandir-s")
+	}
+}
+
+// BenchmarkAblationTickGranularity sweeps the modulation scheduling tick
+// (the Section 5.4 conjecture).
+func BenchmarkAblationTickGranularity(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		r, err := expt.AblateTick(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Exact-vs-10ms ScanDir difference: the under-delay magnitude.
+		b.ReportMetric(r.Rows[2].ScanDir.Seconds()-r.Rows[0].ScanDir.Seconds(), "scandir-underdelay-s")
+	}
+}
+
+// BenchmarkAblationCompensation sweeps the compensation magnitude.
+func BenchmarkAblationCompensation(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		r, err := expt.AblateCompensation(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[0].FetchRatio, "fetch/store-raw")
+		b.ReportMetric(r.Rows[2].FetchRatio, "fetch/store-comp")
+	}
+}
+
+// BenchmarkAblationWindowWidth sweeps the distillation window width.
+func BenchmarkAblationWindowWidth(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		r, err := expt.AblateWindow(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		best := r.Rows[0].ErrorPct
+		for _, row := range r.Rows {
+			if row.ErrorPct < best {
+				best = row.ErrorPct
+			}
+		}
+		b.ReportMetric(best, "best-err-pct")
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkChecksum measures the RFC 1071 checksum over an MTU payload.
+func BenchmarkChecksum(b *testing.B) {
+	buf := make([]byte, packet.MTU)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		packet.Checksum(buf, 0)
+	}
+}
+
+// BenchmarkMarshalTCP measures full-segment serialization with checksum.
+func BenchmarkMarshalTCP(b *testing.B) {
+	payload := make([]byte, transport.MSS)
+	src, dst := packet.IP4(10, 0, 0, 1), packet.IP4(10, 0, 0, 2)
+	f := packet.TCPFields{SrcPort: 1, DstPort: 2, Seq: 3, Ack: 4, Flags: packet.TCPAck}
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		packet.MarshalTCP(f, src, dst, payload)
+	}
+}
+
+// BenchmarkDecode measures the zero-copy layer classification.
+func BenchmarkDecode(b *testing.B) {
+	seg := packet.MarshalTCP(packet.TCPFields{SrcPort: 1, DstPort: 2}, packet.IP4(10, 0, 0, 1), packet.IP4(10, 0, 0, 2), make([]byte, 512))
+	ip := packet.MarshalIPv4(packet.IPv4Fields{TTL: 64, Protocol: packet.ProtoTCP, Src: packet.IP4(10, 0, 0, 1), Dst: packet.IP4(10, 0, 0, 2)}, seg)
+	b.SetBytes(int64(len(ip)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := packet.Decode(ip); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineSubmit measures one packet through the modulation layer
+// (exact scheduling, no drops).
+func BenchmarkEngineSubmit(b *testing.B) {
+	s := sim.New(1)
+	trace := replay.Constant(core.DelayParams{F: time.Millisecond, Vb: 1000, Vr: 100}, 0, time.Hour, time.Second)
+	eng := modulation.NewEngine(modulation.SimClock{S: s}, &modulation.SliceSource{Trace: trace}, modulation.Config{Tick: -1, RNG: rand.New(rand.NewSource(1))})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Submit(simnet.Outbound, 1500, func() {})
+		if i%1024 == 0 {
+			b.StopTimer()
+			s.RunUntil(s.Now().Add(time.Hour)) // drain scheduled deliveries
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkDistill measures distillation of a five-minute collected trace.
+func BenchmarkDistill(b *testing.B) {
+	s := sim.New(3)
+	tb := scenario.BuildWireless(s, scenario.Porter)
+	pinger.Start(s, tb.Laptop, scenario.ServerIP, scenario.Porter.Profile.Duration())
+	tr, err := capture.Collect(s, tb.Laptop.NIC(0), 1<<16, scenario.Porter.Profile.Duration(), "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := distill.Distill(tr, distill.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimTCPTransfer measures simulator throughput end to end: a
+// 1 MB TCP transfer over a clean simulated LAN per iteration.
+func BenchmarkSimTCPTransfer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := sim.New(int64(i))
+		tb := scenario.BuildEthernet(s)
+		ct, st := transport.NewTCP(tb.Laptop), transport.NewTCP(tb.Server)
+		ftp.Serve(s, st)
+		done := false
+		s.Spawn("bench", func(p *sim.Proc) {
+			if _, err := ftp.Transfer(p, ct, scenario.ModServer, ftp.Send, 1<<20, 0); err != nil {
+				b.Error(err)
+			}
+			done = true
+		})
+		s.RunUntil(sim.Time(time.Hour))
+		if !done {
+			b.Fatal("transfer did not finish")
+		}
+	}
+}
+
+// BenchmarkCollection measures a full collection traversal (pinger +
+// tracer + daemon) of the Wean scenario.
+func BenchmarkCollection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := sim.New(int64(i))
+		tb := scenario.BuildWireless(s, scenario.Wean)
+		pinger.Start(s, tb.Laptop, scenario.ServerIP, scenario.Wean.Profile.Duration())
+		tr, err := capture.Collect(s, tb.Laptop.NIC(0), 1<<16, scenario.Wean.Profile.Duration(), "bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tr.Packets) == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+// BenchmarkTraceWriteRead measures tracefmt serialization round trips.
+func BenchmarkTraceWriteRead(b *testing.B) {
+	tr := &tracefmt.Trace{Header: tracefmt.Header{Device: "wavelan0"}}
+	for i := 0; i < 2000; i++ {
+		tr.Packets = append(tr.Packets, tracefmt.PacketRecord{
+			At: int64(i) * 1e6, Size: 1028, Protocol: 1, ICMPType: 8, Seq: uint16(i), RTT: -1,
+		})
+	}
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := tracefmt.WriteAll(&buf, tr); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tracefmt.ReadAll(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Command distill performs the distillation phase: it reads a collected
+// trace (tracefmt) and writes the replay trace — the list of
+// network-quality tuples ⟨d, F, Vb, Vr, L⟩ — in the replay text format.
+//
+// Usage:
+//
+//	distill -i porter0.trace -o porter0.replay [-window 5s] [-step 1s]
+//
+// Family mode distills several traversals of the same path and writes
+// optimistic/typical/pessimistic envelope replay traces (Section 6's
+// benchmark-family application):
+//
+//	distill -family -o porter porter0.trace porter1.trace porter2.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tracemod/internal/core"
+	"tracemod/internal/distill"
+	"tracemod/internal/replay"
+	"tracemod/internal/tracefmt"
+)
+
+func main() {
+	in := flag.String("i", "", "input collected trace (required)")
+	out := flag.String("o", "", "output replay trace (default input with .replay)")
+	window := flag.Duration("window", 5*time.Second, "sliding window width")
+	step := flag.Duration("step", time.Second, "tuple emission period")
+	verbose := flag.Bool("v", false, "print every tuple")
+	family := flag.Bool("family", false, "treat trailing args as a trace family; write envelope traces to <o>.{optimistic,typical,pessimistic}.replay")
+	flag.Parse()
+
+	if *family {
+		if err := runFamily(*out, flag.Args(), distill.Config{Window: *window, Step: *step}); err != nil {
+			fmt.Fprintf(os.Stderr, "distill: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "distill: -i is required")
+		os.Exit(1)
+	}
+	path := *out
+	if path == "" {
+		path = strings.TrimSuffix(*in, ".trace") + ".replay"
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "distill: %v\n", err)
+		os.Exit(1)
+	}
+	tr, err := tracefmt.ReadAll(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "distill: %v\n", err)
+		os.Exit(1)
+	}
+
+	res, err := distill.Distill(tr, distill.Config{Window: *window, Step: *step})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "distill: %v\n", err)
+		os.Exit(1)
+	}
+
+	o, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "distill: %v\n", err)
+		os.Exit(1)
+	}
+	defer o.Close()
+	if err := replay.Write(o, res.Replay); err != nil {
+		fmt.Fprintf(os.Stderr, "distill: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("distilled %q (%s): %s -> %s\n", *in, tr.Header.Comment, res.Describe(), path)
+	fmt.Printf("mean bottleneck bandwidth %.2f Mb/s over %v\n",
+		res.Replay.MeanVb().BitsPerSec()/1e6, res.Replay.TotalDuration())
+	if *verbose {
+		for i, t := range res.Replay {
+			fmt.Printf("%4d %v\n", i, t)
+		}
+	}
+}
+
+// runFamily distills each member trace and writes the family envelopes.
+func runFamily(prefix string, paths []string, cfg distill.Config) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("family mode needs trace files as arguments")
+	}
+	if prefix == "" {
+		prefix = "family"
+	}
+	var fam replay.Family
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		tr, err := tracefmt.ReadAll(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		res, err := distill.Distill(tr, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Printf("%s: %s\n", path, res.Describe())
+		fam = append(fam, res.Replay)
+	}
+	env, err := fam.Envelope(cfg.Step)
+	if err != nil {
+		return err
+	}
+	for name, tr := range map[string]core.Trace{
+		"optimistic":  env.Optimistic,
+		"typical":     env.Typical,
+		"pessimistic": env.Pessimistic,
+	} {
+		path := fmt.Sprintf("%s.%s.replay", prefix, name)
+		o, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := replay.Write(o, tr); err != nil {
+			o.Close()
+			return err
+		}
+		o.Close()
+		fmt.Printf("wrote %s (%v, mean bottleneck %.2f Mb/s)\n",
+			path, tr.TotalDuration(), tr.MeanVb().BitsPerSec()/1e6)
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+// Command expt regenerates the paper's tables and figures. Each experiment
+// runs entirely in virtual time and prints the same rows/series the paper
+// reports.
+//
+// Usage:
+//
+//	expt [-run all|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|abl-tick|abl-comp|abl-window]
+//	     [-trials N] [-seed S] [-ftp-mb N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tracemod/internal/expt"
+	"tracemod/internal/scenario"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment id (all, fig1..fig8, abl-tick, abl-comp, abl-window, abl-clock, abl-buffer)")
+	trials := flag.Int("trials", 4, "trials per cell (the paper runs 4)")
+	seed := flag.Int64("seed", 1997, "base seed")
+	ftpMB := flag.Int("ftp-mb", 10, "FTP benchmark file size in MB")
+	flag.Parse()
+
+	o := expt.Default()
+	o.Trials = *trials
+	o.BaseSeed = *seed
+	o.FTPSize = *ftpMB << 20
+
+	ids := []string{*run}
+	if *run == "all" {
+		ids = []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "abl-tick", "abl-comp", "abl-window", "abl-clock", "abl-buffer"}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		out, err := dispatch(id, o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expt %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s (generated in %v) ====\n%s\n", id, time.Since(start).Round(time.Millisecond), out)
+	}
+}
+
+func dispatch(id string, o expt.Options) (string, error) {
+	switch strings.ToLower(id) {
+	case "fig1":
+		r, err := expt.Fig1(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	case "fig2", "fig3", "fig4", "fig5":
+		sc := map[string]string{"fig2": "Porter", "fig3": "Flagstaff", "fig4": "Wean", "fig5": "Chatterbox"}[strings.ToLower(id)]
+		s, _ := scenario.ByName(sc)
+		r, err := expt.FigScenario(s, o)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	case "fig6":
+		r, err := expt.Fig6Web(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	case "fig7":
+		r, err := expt.Fig7FTP(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	case "fig8":
+		r, err := expt.Fig8Andrew(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	case "abl-tick":
+		r, err := expt.AblateTick(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	case "abl-comp":
+		r, err := expt.AblateCompensation(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	case "abl-window":
+		r, err := expt.AblateWindow(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	case "abl-clock":
+		r, err := expt.AblateClock(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	case "abl-buffer":
+		r, err := expt.AblateBuffer(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	default:
+		return "", fmt.Errorf("unknown experiment %q", id)
+	}
+}

@@ -1,0 +1,54 @@
+// Command scenario describes the built-in mobile scenarios and dumps their
+// characteristic figures (Figures 2-5): observed signal level plus
+// distilled latency, bandwidth, and loss per checkpoint (or as histograms
+// for the stationary Chatterbox scenario).
+//
+// Usage:
+//
+//	scenario                 # list scenarios
+//	scenario -name Porter    # dump Figure 2's series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tracemod/internal/expt"
+	"tracemod/internal/scenario"
+)
+
+func main() {
+	name := flag.String("name", "", "scenario to dump (empty = list all)")
+	trials := flag.Int("trials", 4, "collection traversals to combine")
+	seed := flag.Int64("seed", 1997, "base seed")
+	flag.Parse()
+
+	if *name == "" {
+		fmt.Println("built-in scenarios:")
+		for _, sc := range scenario.All() {
+			kind := "stationary"
+			if sc.Motion {
+				kind = "mobile"
+			}
+			fmt.Printf("  %-12s %-10s traversal %-8v segments %d interferers %d\n",
+				sc.Name, kind, sc.Profile.Duration(), len(sc.Profile.Segments), sc.Interferers)
+		}
+		return
+	}
+
+	sc, ok := scenario.ByName(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "scenario: unknown scenario %q\n", *name)
+		os.Exit(1)
+	}
+	o := expt.Default()
+	o.Trials = *trials
+	o.BaseSeed = *seed
+	fig, err := expt.FigScenario(sc, o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(fig.Format())
+}

@@ -1,0 +1,136 @@
+// Command tracedump prints a collected trace in a human-readable,
+// tcpdump-like form: one line per record, with ICMP echo detail, transport
+// ports, round-trip times, device-characteristic samples, and lost-record
+// markers.
+//
+// Usage:
+//
+//	tracedump -i porter0.trace [-devices] [-n 50] [-stats]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tracemod/internal/analysis"
+	"tracemod/internal/packet"
+	"tracemod/internal/tracefmt"
+)
+
+func main() {
+	in := flag.String("i", "", "input collected trace (required)")
+	devices := flag.Bool("devices", false, "include device-characteristic records")
+	limit := flag.Int("n", 0, "print at most n records (0 = all)")
+	statsOnly := flag.Bool("stats", false, "print the trace analysis report instead of records")
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "tracedump: -i is required")
+		os.Exit(1)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracedump: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	tr, err := tracefmt.ReadAll(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracedump: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *statsOnly {
+		fmt.Print(analysis.Analyze(tr).Format())
+		return
+	}
+	fmt.Printf("device %s  start %v  comment %q\n",
+		tr.Header.Device, time.Duration(tr.Header.Start), tr.Header.Comment)
+	fmt.Printf("%d packets, %d device samples, %d lost records, span %v\n\n",
+		len(tr.Packets), len(tr.Devices), tr.TotalLost(), tr.Duration())
+
+	// Merge packet and (optionally) device records in time order.
+	printed := 0
+	pi, di := 0, 0
+	for pi < len(tr.Packets) || (*devices && di < len(tr.Devices)) {
+		if *limit > 0 && printed >= *limit {
+			fmt.Printf("... (%d more records)\n", len(tr.Packets)-pi)
+			break
+		}
+		usePacket := pi < len(tr.Packets)
+		if *devices && di < len(tr.Devices) && (!usePacket || tr.Devices[di].At < tr.Packets[pi].At) {
+			d := tr.Devices[di]
+			fmt.Printf("%12.6f  DEV   signal=%.1f quality=%.1f silence=%.1f\n",
+				time.Duration(d.At).Seconds(), d.Signal, d.Quality, d.Silence)
+			di++
+			printed++
+			continue
+		}
+		if !usePacket {
+			break
+		}
+		p := tr.Packets[pi]
+		pi++
+		printed++
+		fmt.Printf("%12.6f  %-3s  %4dB  %s\n",
+			time.Duration(p.At).Seconds(), dirName(p.Dir), p.Size, describe(p))
+	}
+
+	for _, l := range tr.Lost {
+		fmt.Printf("%12.6f  LOST  %d records of type %d overwritten in kernel buffer\n",
+			time.Duration(l.At).Seconds(), l.Count, l.Of)
+	}
+}
+
+func dirName(d tracefmt.Direction) string {
+	if d == tracefmt.DirOut {
+		return ">"
+	}
+	return "<"
+}
+
+func describe(p tracefmt.PacketRecord) string {
+	switch p.Protocol {
+	case packet.ProtoICMP:
+		kind := fmt.Sprintf("icmp type %d", p.ICMPType)
+		switch p.ICMPType {
+		case packet.ICMPEcho:
+			kind = "icmp echo"
+		case packet.ICMPEchoReply:
+			kind = "icmp echoreply"
+		}
+		s := fmt.Sprintf("%s id %d seq %d", kind, p.ID, p.Seq)
+		if p.RTT >= 0 {
+			s += fmt.Sprintf(" rtt %.3fms", float64(p.RTT)/1e6)
+		}
+		return s
+	case packet.ProtoUDP:
+		return fmt.Sprintf("udp %d > %d", p.SrcPort, p.DstPort)
+	case packet.ProtoTCP:
+		return fmt.Sprintf("tcp %d > %d flags %s", p.SrcPort, p.DstPort, tcpFlags(p.TCPFlags))
+	default:
+		return fmt.Sprintf("proto %d", p.Protocol)
+	}
+}
+
+func tcpFlags(f uint8) string {
+	names := []struct {
+		bit  uint8
+		name string
+	}{
+		{packet.TCPSyn, "S"}, {packet.TCPFin, "F"}, {packet.TCPRst, "R"},
+		{packet.TCPPsh, "P"}, {packet.TCPAck, "."},
+	}
+	out := ""
+	for _, n := range names {
+		if f&n.bit != 0 {
+			out += n.name
+		}
+	}
+	if out == "" {
+		return "none"
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+// Livewire: shape REAL traffic. This example distills a trace from the
+// simulated Porter walk, then stands up a real UDP echo server and a
+// shaping relay on loopback and measures actual round-trip times through
+// it — the same modulation engine as the simulator, on a real wire and a
+// real clock.
+//
+// Run with: go run ./examples/livewire
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"tracemod/internal/core"
+	"tracemod/internal/expt"
+	"tracemod/internal/livewire"
+	"tracemod/internal/scenario"
+)
+
+func main() {
+	// Distill a replay trace from the simulated Porter traversal.
+	o := expt.Default()
+	res, err := expt.Collect(scenario.Porter, 0, o)
+	if err != nil {
+		log.Fatalf("collect: %v", err)
+	}
+	fmt.Printf("distilled Porter: %s\n", res.Describe())
+
+	// A real UDP echo server on loopback.
+	echo, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer echo.Close()
+	go func() {
+		buf := make([]byte, 64*1024)
+		for {
+			n, addr, err := echo.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			echo.WriteToUDP(buf[:n], addr)
+		}
+	}()
+
+	// The shaping relay in front of it.
+	relay, err := livewire.NewRelay("127.0.0.1:0", echo.LocalAddr().String(), livewire.Config{
+		Trace: res.Replay,
+		Seed:  42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer relay.Close()
+	fmt.Printf("relay %v -> echo %v\n\n", relay.Addr(), echo.LocalAddr())
+
+	// Ping through the relay with two payload sizes, like the collection
+	// workload itself would.
+	client, err := net.DialUDP("udp", nil, relay.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	client.SetReadDeadline(time.Now().Add(30 * time.Second))
+
+	measure := func(size, count int) {
+		payload := make([]byte, size)
+		buf := make([]byte, 64*1024)
+		lost := 0
+		var rtts []time.Duration
+		for i := 0; i < count; i++ {
+			start := time.Now()
+			if _, err := client.Write(payload); err != nil {
+				log.Fatal(err)
+			}
+			client.SetReadDeadline(time.Now().Add(2 * time.Second))
+			if _, err := client.Read(buf); err != nil {
+				lost++
+				continue
+			}
+			rtts = append(rtts, time.Since(start))
+		}
+		var sum time.Duration
+		for _, r := range rtts {
+			sum += r
+		}
+		mean := time.Duration(0)
+		if len(rtts) > 0 {
+			mean = sum / time.Duration(len(rtts))
+		}
+		// The model predicts 2(F + sV) for this packet size.
+		tuple := res.Replay.At(0, false)
+		predicted := core.DelayParams{F: tuple.F, Vb: tuple.Vb, Vr: tuple.Vr}.RoundTrip(size + 28)
+		fmt.Printf("%5dB x%2d: mean rtt %8v (model ≈ %8v), lost %d\n",
+			size, count, mean.Round(100*time.Microsecond), predicted.Round(100*time.Microsecond), lost)
+	}
+
+	fmt.Println("real round trips through the shaped relay:")
+	measure(32, 10)
+	measure(1000, 10)
+	fmt.Printf("\nrelay stats: %+v\n", relay.Stats())
+}

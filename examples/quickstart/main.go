@@ -1,0 +1,68 @@
+// Quickstart: the complete trace-modulation pipeline on one scenario.
+//
+//  1. Collect — walk the Porter path with the instrumented laptop while
+//     the known ping workload runs.
+//  2. Distill — reduce the observations to a replay trace.
+//  3. Modulate — re-create the walk on an isolated Ethernet and run an
+//     FTP benchmark under it.
+//  4. Compare — the same benchmark over the live wireless path.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tracemod/internal/expt"
+	"tracemod/internal/scenario"
+)
+
+func main() {
+	o := expt.Default()
+
+	fmt.Println("== trace modulation quickstart: Porter scenario ==")
+	fmt.Printf("traversal: %v over %d checkpointed legs\n\n",
+		scenario.Porter.Profile.Duration(), len(scenario.Porter.Profile.Segments))
+
+	// Phase 1+2: collection traversal and distillation.
+	res, err := expt.Collect(scenario.Porter, 0, o)
+	if err != nil {
+		log.Fatalf("collect: %v", err)
+	}
+	fmt.Printf("collected and distilled: %s\n", res.Describe())
+	fmt.Printf("mean bottleneck bandwidth: %.2f Mb/s\n\n", res.Replay.MeanVb().BitsPerSec()/1e6)
+
+	// One-time setup: measure the physical modulation network for delay
+	// compensation.
+	comp, err := expt.MeasureCompensation(o)
+	if err != nil {
+		log.Fatalf("compensation: %v", err)
+	}
+	fmt.Printf("physical path: %.1f ns/B (%.2f Mb/s) -> inbound compensation\n\n",
+		float64(comp), comp.BitsPerSec()/1e6)
+
+	// Phase 3: the benchmark under modulation, on the isolated Ethernet.
+	mod, err := expt.RunModulated(res.Replay, expt.BenchFTPSend, 0, comp, o)
+	if err != nil {
+		log.Fatalf("modulated run: %v", err)
+	}
+
+	// Reference: the same benchmark over the live wireless scenario, and
+	// over the bare Ethernet.
+	live, err := expt.RunLive(scenario.Porter, expt.BenchFTPSend, 0, o)
+	if err != nil {
+		log.Fatalf("live run: %v", err)
+	}
+	eth, err := expt.RunEthernetReference(expt.BenchFTPSend, 0, o)
+	if err != nil {
+		log.Fatalf("ethernet run: %v", err)
+	}
+
+	fmt.Println("10 MB FTP send, elapsed:")
+	fmt.Printf("  live WaveLAN walk:      %v\n", live.Elapsed)
+	fmt.Printf("  modulated Ethernet:     %v\n", mod.Elapsed)
+	fmt.Printf("  bare Ethernet:          %v\n", eth.Elapsed)
+	fmt.Printf("\nmodulation error vs live: %+.1f%%\n",
+		100*(mod.Elapsed.Seconds()-live.Elapsed.Seconds())/live.Elapsed.Seconds())
+}

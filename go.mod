@@ -1,0 +1,3 @@
+module tracemod
+
+go 1.23

@@ -1,0 +1,247 @@
+// Package analysis extracts design insights from collected traces — the
+// Section 6 application ("Analyses of traces can offer broad design
+// insights for mobile systems and help in choosing system parameter
+// values"). Given a tracefmt trace it reports round-trip-time statistics,
+// outage structure (runs of consecutive unanswered probes, the quantity an
+// adaptive system's disconnection handling must be sized for), and the
+// correlation between device-reported signal level and probe success.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"tracemod/internal/packet"
+	"tracemod/internal/stats"
+	"tracemod/internal/tracefmt"
+)
+
+// Outage is a maximal run of consecutive unanswered echo probes.
+type Outage struct {
+	// Start is when the first unanswered probe was sent.
+	Start time.Duration
+	// Probes is the number of consecutive unanswered probes.
+	Probes int
+	// Span is the time from the first unanswered probe to the next
+	// answered one (or the trace end).
+	Span time.Duration
+}
+
+// Report is the full analysis of one collected trace.
+type Report struct {
+	Comment string
+
+	// Workload accounting.
+	EchoesSent    int
+	RepliesSeen   int
+	AnswerRate    float64
+	DeviceSamples int
+	LostRecords   int
+
+	// Round-trip times (milliseconds).
+	RTT    stats.Summary
+	RTTp50 float64
+	RTTp90 float64
+	RTTp99 float64
+
+	// Outage structure.
+	Outages       []Outage
+	LongestOutage time.Duration
+
+	// Signal statistics and the signal/answer-rate relationship:
+	// correlation between the signal level around each probe and whether
+	// the probe was answered (point-biserial). Near zero when loss is
+	// signal-independent (Chatterbox); strongly positive when outages
+	// track dead zones (Wean).
+	Signal          stats.Summary
+	SignalLossCorr  float64
+	SignalLossValid bool
+}
+
+// Analyze computes a Report.
+func Analyze(tr *tracefmt.Trace) *Report {
+	r := &Report{Comment: tr.Header.Comment, LostRecords: tr.TotalLost()}
+
+	var probes []timedProbe
+	answered := map[uint16]bool{}
+	var rtts []float64
+
+	for _, p := range tr.Packets {
+		if p.Protocol != packet.ProtoICMP {
+			continue
+		}
+		switch {
+		case p.Dir == tracefmt.DirIn && p.ICMPType == packet.ICMPEchoReply:
+			r.RepliesSeen++
+			answered[p.Seq] = true
+			if p.RTT > 0 {
+				rtts = append(rtts, float64(p.RTT)/1e6)
+			}
+		}
+	}
+	start := tr.Header.Start
+	if len(tr.Packets) > 0 {
+		start = tr.Packets[0].At
+	}
+	for _, p := range tr.Packets {
+		if p.Dir == tracefmt.DirOut && p.Protocol == packet.ProtoICMP && p.ICMPType == packet.ICMPEcho {
+			r.EchoesSent++
+			probes = append(probes, timedProbe{
+				at:       time.Duration(p.At - start),
+				answered: answered[p.Seq],
+			})
+		}
+	}
+	if r.EchoesSent > 0 {
+		r.AnswerRate = float64(r.RepliesSeen) / float64(r.EchoesSent)
+	}
+	r.DeviceSamples = len(tr.Devices)
+
+	r.RTT = stats.Summarize(rtts)
+	r.RTTp50 = stats.Percentile(rtts, 50)
+	r.RTTp90 = stats.Percentile(rtts, 90)
+	r.RTTp99 = stats.Percentile(rtts, 99)
+
+	// Outage runs.
+	runStart := -1
+	for i, p := range probes {
+		if !p.answered {
+			if runStart < 0 {
+				runStart = i
+			}
+			continue
+		}
+		if runStart >= 0 {
+			r.addOutage(probes[runStart].at, i-runStart, p.at-probes[runStart].at)
+			runStart = -1
+		}
+	}
+	if runStart >= 0 {
+		last := probes[len(probes)-1]
+		r.addOutage(probes[runStart].at, len(probes)-runStart, last.at-probes[runStart].at)
+	}
+
+	// Signal statistics and signal/answer correlation: pair each probe
+	// with the nearest device sample.
+	var sig []float64
+	for _, d := range tr.Devices {
+		sig = append(sig, float64(d.Signal))
+	}
+	r.Signal = stats.Summarize(sig)
+	r.SignalLossCorr, r.SignalLossValid = signalAnswerCorrelation(tr, probes, start)
+	return r
+}
+
+func (r *Report) addOutage(at time.Duration, probes int, span time.Duration) {
+	r.Outages = append(r.Outages, Outage{Start: at, Probes: probes, Span: span})
+	if span > r.LongestOutage {
+		r.LongestOutage = span
+	}
+}
+
+type timedProbe struct {
+	at       time.Duration
+	answered bool
+}
+
+// signalAnswerCorrelation computes the point-biserial correlation between
+// the signal level nearest each probe and the probe's success.
+func signalAnswerCorrelation(tr *tracefmt.Trace, probes []timedProbe, start int64) (float64, bool) {
+	if len(tr.Devices) == 0 || len(probes) < 3 {
+		return 0, false
+	}
+	// Device samples sorted by time (they are recorded in order).
+	devAt := make([]time.Duration, len(tr.Devices))
+	for i, d := range tr.Devices {
+		devAt[i] = time.Duration(d.At - start)
+	}
+	nearestSignal := func(at time.Duration) float64 {
+		i := sort.Search(len(devAt), func(i int) bool { return devAt[i] >= at })
+		if i == 0 {
+			return float64(tr.Devices[0].Signal)
+		}
+		if i >= len(devAt) {
+			return float64(tr.Devices[len(devAt)-1].Signal)
+		}
+		if devAt[i]-at < at-devAt[i-1] {
+			return float64(tr.Devices[i].Signal)
+		}
+		return float64(tr.Devices[i-1].Signal)
+	}
+
+	var xs, ys []float64
+	for _, p := range probes {
+		xs = append(xs, nearestSignal(p.at))
+		if p.answered {
+			ys = append(ys, 1)
+		} else {
+			ys = append(ys, 0)
+		}
+	}
+	return pearson(xs, ys)
+}
+
+// pearson computes the correlation coefficient, reporting false when
+// either series is constant.
+func pearson(xs, ys []float64) (float64, bool) {
+	n := float64(len(xs))
+	if n < 3 {
+		return 0, false
+	}
+	var mx, my float64
+	for i := range xs {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, false
+	}
+	return sxy / math.Sqrt(sxx*syy), true
+}
+
+// Format renders the report for terminal output.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace analysis: %q\n", r.Comment)
+	fmt.Fprintf(&b, "workload: %d echoes sent, %d answered (%.1f%%), %d device samples, %d lost records\n",
+		r.EchoesSent, r.RepliesSeen, 100*r.AnswerRate, r.DeviceSamples, r.LostRecords)
+	fmt.Fprintf(&b, "rtt: mean %.2fms (σ %.2f)  p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n",
+		r.RTT.Mean, r.RTT.Std, r.RTTp50, r.RTTp90, r.RTTp99, r.RTT.Max)
+	fmt.Fprintf(&b, "signal: mean %.1f (σ %.1f), range [%.1f, %.1f]\n",
+		r.Signal.Mean, r.Signal.Std, r.Signal.Min, r.Signal.Max)
+	if r.SignalLossValid {
+		fmt.Fprintf(&b, "signal/answer correlation: %+.3f", r.SignalLossCorr)
+		switch {
+		case r.SignalLossCorr > 0.3:
+			b.WriteString("  (losses track dead zones)\n")
+		case r.SignalLossCorr < -0.1:
+			b.WriteString("  (anomalous: losses at high signal)\n")
+		default:
+			b.WriteString("  (losses largely signal-independent: contention or noise)\n")
+		}
+	}
+	fmt.Fprintf(&b, "outages: %d runs, longest %v\n", len(r.Outages), r.LongestOutage.Round(time.Millisecond))
+	// Top outages by span.
+	sorted := append([]Outage(nil), r.Outages...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Span > sorted[j].Span })
+	for i, o := range sorted {
+		if i == 5 {
+			break
+		}
+		fmt.Fprintf(&b, "  at %7.1fs: %3d probes unanswered over %v\n",
+			o.Start.Seconds(), o.Probes, o.Span.Round(time.Millisecond))
+	}
+	return b.String()
+}

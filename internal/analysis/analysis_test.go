@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"tracemod/internal/capture"
+	"tracemod/internal/packet"
+	"tracemod/internal/pinger"
+	"tracemod/internal/scenario"
+	"tracemod/internal/sim"
+	"tracemod/internal/tracefmt"
+)
+
+// synth builds a trace of n probes, with answered[i] deciding probe i's
+// fate and signal sampled per second.
+func synth(answered []bool, signal func(sec int) float32) *tracefmt.Trace {
+	tr := &tracefmt.Trace{Header: tracefmt.Header{Comment: "synthetic"}}
+	for i, ok := range answered {
+		at := int64(i) * int64(time.Second)
+		tr.Packets = append(tr.Packets, tracefmt.PacketRecord{
+			At: at, Dir: tracefmt.DirOut, Size: 60, Protocol: packet.ProtoICMP,
+			ICMPType: packet.ICMPEcho, Seq: uint16(i + 1), RTT: -1,
+		})
+		if ok {
+			tr.Packets = append(tr.Packets, tracefmt.PacketRecord{
+				At: at + int64(5*time.Millisecond), Dir: tracefmt.DirIn, Size: 60,
+				Protocol: packet.ProtoICMP, ICMPType: packet.ICMPEchoReply,
+				Seq: uint16(i + 1), RTT: int64(5 * time.Millisecond),
+			})
+		}
+		tr.Devices = append(tr.Devices, tracefmt.DeviceRecord{At: at, Signal: signal(i)})
+	}
+	return tr
+}
+
+func TestAnalyzeCounts(t *testing.T) {
+	answered := []bool{true, true, false, false, false, true, true}
+	r := Analyze(synth(answered, func(int) float32 { return 15 }))
+	if r.EchoesSent != 7 || r.RepliesSeen != 4 {
+		t.Fatalf("sent/answered = %d/%d", r.EchoesSent, r.RepliesSeen)
+	}
+	if math.Abs(r.AnswerRate-4.0/7.0) > 1e-9 {
+		t.Fatalf("answer rate = %v", r.AnswerRate)
+	}
+	if r.RTT.Mean != 5 {
+		t.Fatalf("rtt mean = %v ms", r.RTT.Mean)
+	}
+}
+
+func TestOutageRuns(t *testing.T) {
+	answered := []bool{true, false, false, false, true, false, true, true}
+	r := Analyze(synth(answered, func(int) float32 { return 15 }))
+	if len(r.Outages) != 2 {
+		t.Fatalf("outages = %+v", r.Outages)
+	}
+	if r.Outages[0].Probes != 3 || r.Outages[0].Start != time.Second {
+		t.Fatalf("first outage = %+v", r.Outages[0])
+	}
+	// Span from probe at 1s to recovery probe at 4s.
+	if r.Outages[0].Span != 3*time.Second {
+		t.Fatalf("span = %v", r.Outages[0].Span)
+	}
+	if r.Outages[1].Probes != 1 {
+		t.Fatalf("second outage = %+v", r.Outages[1])
+	}
+	if r.LongestOutage != 3*time.Second {
+		t.Fatalf("longest = %v", r.LongestOutage)
+	}
+}
+
+func TestTrailingOutage(t *testing.T) {
+	answered := []bool{true, false, false}
+	r := Analyze(synth(answered, func(int) float32 { return 15 }))
+	if len(r.Outages) != 1 || r.Outages[0].Probes != 2 {
+		t.Fatalf("outages = %+v", r.Outages)
+	}
+}
+
+func TestSignalLossCorrelation(t *testing.T) {
+	// Losses exactly when signal collapses: strong positive correlation.
+	answered := make([]bool, 40)
+	sig := func(sec int) float32 {
+		if sec >= 15 && sec < 25 {
+			return 2
+		}
+		return 18
+	}
+	for i := range answered {
+		answered[i] = !(i >= 15 && i < 25)
+	}
+	r := Analyze(synth(answered, sig))
+	if !r.SignalLossValid {
+		t.Fatal("correlation should be computable")
+	}
+	if r.SignalLossCorr < 0.9 {
+		t.Fatalf("corr = %v, want ≈1 for perfectly aligned outage", r.SignalLossCorr)
+	}
+
+	// Losses independent of a constant signal: correlation undefined.
+	r2 := Analyze(synth([]bool{true, false, true, false, true}, func(int) float32 { return 18 }))
+	if r2.SignalLossValid {
+		t.Fatal("constant signal has no defined correlation")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if c, ok := pearson(xs, []float64{2, 4, 6, 8}); !ok || math.Abs(c-1) > 1e-12 {
+		t.Fatalf("perfect corr = %v,%v", c, ok)
+	}
+	if c, ok := pearson(xs, []float64{8, 6, 4, 2}); !ok || math.Abs(c+1) > 1e-12 {
+		t.Fatalf("perfect anticorr = %v,%v", c, ok)
+	}
+	if _, ok := pearson(xs[:2], []float64{1, 2}); ok {
+		t.Fatal("too few points must be invalid")
+	}
+	if _, ok := pearson([]float64{5, 5, 5}, []float64{1, 2, 3}); ok {
+		t.Fatal("constant series must be invalid")
+	}
+}
+
+func TestFormatRenders(t *testing.T) {
+	r := Analyze(synth([]bool{true, false, true}, func(int) float32 { return 12 }))
+	out := r.Format()
+	for _, want := range []string{"trace analysis", "rtt:", "signal:", "outages:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeWeanShowsElevator(t *testing.T) {
+	// End-to-end: the Wean trace's biggest outage must sit inside the
+	// elevator window (90-115s), and losses must correlate with signal.
+	s := sim.New(17)
+	tb := scenario.BuildWireless(s, scenario.Wean)
+	dur := scenario.Wean.Profile.Duration()
+	pinger.Start(s, tb.Laptop, scenario.ServerIP, dur)
+	tr, err := capture.Collect(s, tb.Laptop.NIC(0), 1<<16, dur, "wean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Analyze(tr)
+	if r.LongestOutage < 2*time.Second {
+		t.Fatalf("longest outage %v; the elevator should dominate", r.LongestOutage)
+	}
+	var longest Outage
+	for _, o := range r.Outages {
+		if o.Span == r.LongestOutage {
+			longest = o
+		}
+	}
+	if longest.Start < 85*time.Second || longest.Start > 118*time.Second {
+		t.Fatalf("longest outage at %v, want inside the elevator ride", longest.Start)
+	}
+	if !r.SignalLossValid || r.SignalLossCorr < 0.2 {
+		t.Fatalf("signal/answer corr = %v (valid=%v), want clearly positive in Wean",
+			r.SignalLossCorr, r.SignalLossValid)
+	}
+}
+
+func TestAnalyzeChatterboxSignalIndependent(t *testing.T) {
+	s := sim.New(23)
+	tb := scenario.BuildWireless(s, scenario.Chatterbox)
+	dur := 120 * time.Second
+	pinger.Start(s, tb.Laptop, scenario.ServerIP, dur)
+	tr, err := capture.Collect(s, tb.Laptop.NIC(0), 1<<16, dur, "chatterbox")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Analyze(tr)
+	// Signal is uniformly high; losses come from contention and the loss
+	// process, not dead zones.
+	if r.SignalLossValid && r.SignalLossCorr > 0.3 {
+		t.Fatalf("corr = %v, want weak for the contention scenario", r.SignalLossCorr)
+	}
+	if r.Signal.Mean < 15 {
+		t.Fatalf("signal mean = %v, want ≈18", r.Signal.Mean)
+	}
+}

@@ -1,0 +1,293 @@
+// Package adaptive implements the application Section 6 points at: an
+// application-aware adaptive client in the style of Odyssey ("a recent
+// paper reports on the use of synthetic traces to explore the behavior of
+// an adaptive mobile system in response to step and impulse variations in
+// bandwidth" — the authors' own SOSP'97 follow-up).
+//
+// The client periodically fetches a data object from a server over UDP,
+// choosing among fidelity levels (full / reduced / minimal object sizes)
+// so that the expected fetch time stays under a latency target. It
+// estimates available bandwidth and round-trip latency from its own
+// transfers with exponential smoothing. Under trace modulation its
+// fidelity track directly visualizes agility: how fast it sheds fidelity
+// at a bandwidth step down, and how fast it recovers after an impulse.
+package adaptive
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"tracemod/internal/packet"
+	"tracemod/internal/sim"
+	"tracemod/internal/transport"
+)
+
+// Port is the fidelity server's UDP port.
+const Port = 7007
+
+// chunkSize is the server's datagram payload unit.
+const chunkSize = 1024
+
+// DefaultLevels are the fidelity sizes in bytes, best first: a full-
+// fidelity object, a reduced one, and a minimal one.
+var DefaultLevels = []int{64 * 1024, 16 * 1024, 4 * 1024}
+
+// Server answers fetch requests: a 5-byte request (level byte + 4-byte
+// request id) yields the level's object streamed as numbered chunks.
+type Server struct {
+	sock   *transport.UDPSocket
+	levels []int
+
+	Requests int
+}
+
+// NewServer binds the fidelity server.
+func NewServer(s *sim.Scheduler, stack *transport.UDPStack, levels []int) (*Server, error) {
+	if len(levels) == 0 {
+		levels = DefaultLevels
+	}
+	sock, err := stack.Bind(Port)
+	if err != nil {
+		return nil, err
+	}
+	srv := &Server{sock: sock, levels: levels}
+	s.Spawn("adaptive-server", srv.loop)
+	return srv, nil
+}
+
+func (srv *Server) loop(p *sim.Proc) {
+	for {
+		req, ok := srv.sock.Recv(p)
+		if !ok {
+			return
+		}
+		if len(req.Data) < 5 {
+			continue
+		}
+		level := int(req.Data[0])
+		if level >= len(srv.levels) {
+			continue
+		}
+		srv.Requests++
+		id := binary.BigEndian.Uint32(req.Data[1:5])
+		size := srv.levels[level]
+		chunks := (size + chunkSize - 1) / chunkSize
+		for i := 0; i < chunks; i++ {
+			if i > 0 {
+				// Pace chunks just under the wire rate so the device
+				// queue is never overrun; a real server's send path has
+				// the same effect.
+				p.Sleep(time.Millisecond)
+			}
+			n := chunkSize
+			if last := size - i*chunkSize; last < n {
+				n = last
+			}
+			// Chunk header: request id, index, total.
+			out := make([]byte, 12+n)
+			binary.BigEndian.PutUint32(out[0:4], id)
+			binary.BigEndian.PutUint32(out[4:8], uint32(i))
+			binary.BigEndian.PutUint32(out[8:12], uint32(chunks))
+			srv.sock.SendTo(req.From, req.FromPort, out)
+		}
+	}
+}
+
+// Sample is one fetch's outcome.
+type Sample struct {
+	At      time.Duration // fetch start, since client start
+	Level   int           // fidelity level used (0 = full)
+	Bytes   int           // bytes actually received
+	Elapsed time.Duration // request to last chunk (or timeout)
+	EstBW   float64       // smoothed bandwidth estimate after this fetch, bits/s
+}
+
+// Config tunes the adaptive client.
+type Config struct {
+	// Levels are the fidelity sizes, best first (DefaultLevels if nil).
+	Levels []int
+	// Target is the fetch-time budget steering level selection.
+	Target time.Duration
+	// Interval separates fetch starts.
+	Interval time.Duration
+	// ChunkGap is the receive timeout that ends a fetch.
+	ChunkGap time.Duration
+}
+
+func (c *Config) fill() {
+	if len(c.Levels) == 0 {
+		c.Levels = DefaultLevels
+	}
+	if c.Target <= 0 {
+		c.Target = 800 * time.Millisecond
+	}
+	if c.Interval <= 0 {
+		c.Interval = 2 * time.Second
+	}
+	if c.ChunkGap <= 0 {
+		c.ChunkGap = 500 * time.Millisecond
+	}
+}
+
+// Client is the fidelity-adaptive fetcher.
+type Client struct {
+	cfg    Config
+	sock   *transport.UDPSocket
+	server packet.IPAddr
+	nextID uint32
+
+	estBW  float64 // bits/second, exponentially smoothed
+	estRTT time.Duration
+
+	samples []Sample
+}
+
+// NewClient prepares a client toward the server.
+func NewClient(stack *transport.UDPStack, server packet.IPAddr, cfg Config) (*Client, error) {
+	cfg.fill()
+	sock, err := stack.Bind(0)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		cfg: cfg, sock: sock, server: server,
+		estBW:  1e6, // optimistic prior: fast network
+		estRTT: 20 * time.Millisecond,
+	}, nil
+}
+
+// Samples returns the fetch history.
+func (c *Client) Samples() []Sample { return c.samples }
+
+// pickLevel chooses the best fidelity whose predicted fetch time fits the
+// target; the minimal level is always admissible (the application never
+// stops working, it degrades).
+func (c *Client) pickLevel() int {
+	for lvl, size := range c.cfg.Levels {
+		predicted := time.Duration(float64(size*8)/c.estBW*float64(time.Second)) + 2*c.estRTT
+		if predicted <= c.cfg.Target {
+			return lvl
+		}
+	}
+	return len(c.cfg.Levels) - 1
+}
+
+// fetch performs one request and collects chunks until the gap timeout.
+func (c *Client) fetch(p *sim.Proc, level int) Sample {
+	c.nextID++
+	id := c.nextID
+	req := make([]byte, 5)
+	req[0] = byte(level)
+	binary.BigEndian.PutUint32(req[1:5], id)
+	start := p.Now()
+	c.sock.SendTo(c.server, Port, req)
+
+	received := 0
+	var firstByte time.Duration
+	total := -1
+	seen := map[uint32]bool{}
+	for {
+		dg, ok, timedOut := c.sock.RecvTimeout(p, c.cfg.ChunkGap)
+		if timedOut || !ok {
+			break
+		}
+		if len(dg.Data) < 12 || binary.BigEndian.Uint32(dg.Data[0:4]) != id {
+			continue // stale chunk from an earlier fetch
+		}
+		idx := binary.BigEndian.Uint32(dg.Data[4:8])
+		total = int(binary.BigEndian.Uint32(dg.Data[8:12]))
+		if seen[idx] {
+			continue
+		}
+		seen[idx] = true
+		received += len(dg.Data) - 12
+		if firstByte == 0 {
+			firstByte = p.Now().Sub(start)
+		}
+		if len(seen) == total {
+			break
+		}
+	}
+	elapsed := p.Now().Sub(start)
+
+	// Update estimates: RTT from first byte, bandwidth from goodput over
+	// the receive phase.
+	const alpha = 0.4
+	if firstByte > 0 {
+		c.estRTT = time.Duration((1-alpha)*float64(c.estRTT) + alpha*float64(firstByte))
+	}
+	if received > 0 && elapsed > firstByte {
+		bw := float64(received*8) / (elapsed - firstByte/2).Seconds()
+		c.estBW = (1-alpha)*c.estBW + alpha*bw
+	} else if received == 0 {
+		// Total loss: assume the network collapsed.
+		c.estBW *= 0.3
+	}
+	return Sample{
+		At: start.Duration(), Level: level, Bytes: received,
+		Elapsed: elapsed, EstBW: c.estBW,
+	}
+}
+
+// Run fetches periodically for dur and returns the samples.
+func (c *Client) Run(p *sim.Proc, dur time.Duration) []Sample {
+	end := p.Now().Add(dur)
+	for p.Now() < end {
+		tick := p.Now()
+		level := c.pickLevel()
+		c.samples = append(c.samples, c.fetch(p, level))
+		if next := tick.Add(c.cfg.Interval); next.Sub(p.Now()) > 0 {
+			p.Sleep(next.Sub(p.Now()))
+		}
+	}
+	return c.samples
+}
+
+// Agility summarizes the fidelity track around a known condition change at
+// stepAt: the mean level before, the mean level after, and how long after
+// the step the client first reached its new steady level.
+type Agility struct {
+	MeanLevelBefore float64
+	MeanLevelAfter  float64
+	AdaptDelay      time.Duration
+}
+
+// MeasureAgility analyzes samples around a step at stepAt. steady is the
+// level the client should settle at after the step.
+func MeasureAgility(samples []Sample, stepAt time.Duration, steady int) Agility {
+	var a Agility
+	nb, na := 0, 0
+	adapted := time.Duration(-1)
+	for _, s := range samples {
+		if s.At < stepAt {
+			a.MeanLevelBefore += float64(s.Level)
+			nb++
+			continue
+		}
+		a.MeanLevelAfter += float64(s.Level)
+		na++
+		if adapted < 0 && s.Level == steady {
+			adapted = s.At - stepAt
+		}
+	}
+	if nb > 0 {
+		a.MeanLevelBefore /= float64(nb)
+	}
+	if na > 0 {
+		a.MeanLevelAfter /= float64(na)
+	}
+	a.AdaptDelay = adapted
+	return a
+}
+
+// FormatTrack renders the fidelity track for terminal output.
+func FormatTrack(samples []Sample) string {
+	out := ""
+	for _, s := range samples {
+		out += fmt.Sprintf("t=%6.1fs level=%d bytes=%6d took=%6.0fms est=%7.0f kb/s\n",
+			time.Duration(s.At).Seconds(), s.Level, s.Bytes,
+			float64(s.Elapsed)/float64(time.Millisecond), s.EstBW/1e3)
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package adaptive
+
+import (
+	"testing"
+	"time"
+
+	"tracemod/internal/core"
+	"tracemod/internal/modulation"
+	"tracemod/internal/packet"
+	"tracemod/internal/replay"
+	"tracemod/internal/sim"
+	"tracemod/internal/simnet"
+	"tracemod/internal/transport"
+)
+
+var (
+	clientIP = packet.IP4(10, 7, 0, 1)
+	serverIP = packet.IP4(10, 7, 0, 2)
+	mask     = packet.IP4(255, 255, 255, 0)
+)
+
+// rig assembles client+server on a fast LAN with a modulation engine on
+// the client driven by trace (nil = no modulation).
+func rig(t *testing.T, seed int64, trace core.Trace) (*sim.Scheduler, *Client, *Server) {
+	t.Helper()
+	s := sim.New(seed)
+	m := simnet.NewMedium(s, "lan", simnet.Ethernet10())
+	cn := simnet.NewNode(s, "client")
+	cn.AttachNIC(m, clientIP, mask)
+	sn := simnet.NewNode(s, "server")
+	sn.AttachNIC(m, serverIP, mask)
+	if trace != nil {
+		eng := modulation.NewEngine(modulation.SimClock{S: s},
+			&modulation.SliceSource{Trace: trace, Loop: true},
+			modulation.Config{Tick: modulation.DefaultTick, RNG: s.RNG("mod")})
+		modulation.Install(cn, eng)
+	}
+	srv, err := NewServer(s, transport.NewUDP(sn), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(transport.NewUDP(cn), serverIP, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, client, srv
+}
+
+func TestFullFidelityOnFastNetwork(t *testing.T) {
+	s, c, srv := rig(t, 1, nil)
+	var samples []Sample
+	s.Spawn("client", func(p *sim.Proc) { samples = c.Run(p, 30*time.Second) })
+	s.RunUntil(sim.Time(time.Minute))
+	if len(samples) < 10 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	// After warm-up, a 10 Mb/s LAN sustains full fidelity.
+	for _, smp := range samples[2:] {
+		if smp.Level != 0 {
+			t.Fatalf("level %d on a fast network: %+v", smp.Level, smp)
+		}
+		if smp.Bytes != DefaultLevels[0] {
+			t.Fatalf("incomplete fetch: %+v", smp)
+		}
+	}
+	if srv.Requests != len(samples) {
+		t.Fatalf("server saw %d requests for %d samples", srv.Requests, len(samples))
+	}
+}
+
+func TestDegradesOnSlowNetwork(t *testing.T) {
+	// ≈100 Kb/s: the full 64KB object would take ~5s, far over target;
+	// the client must settle on the minimal level.
+	slow := replay.SlowNetLike(time.Hour)
+	s, c, _ := rig(t, 2, slow)
+	var samples []Sample
+	s.Spawn("client", func(p *sim.Proc) { samples = c.Run(p, 60*time.Second) })
+	s.RunUntil(sim.Time(10 * time.Minute))
+	if len(samples) < 5 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	tail := samples[len(samples)/2:]
+	for _, smp := range tail {
+		if smp.Level != len(DefaultLevels)-1 {
+			t.Fatalf("late sample at level %d, want minimal: %+v", smp.Level, smp)
+		}
+	}
+}
+
+func TestStepAdaptation(t *testing.T) {
+	// Fast for 60s, then a step down to ~150 Kb/s: the fidelity track must
+	// drop to minimal shortly after the step.
+	good := core.DelayParams{F: 2 * time.Millisecond, Vb: core.PerByteFromBandwidth(1.5e6), Vr: 0}
+	bad := core.DelayParams{F: 10 * time.Millisecond, Vb: core.PerByteFromBandwidth(150e3), Vr: 0}
+	trace := replay.Step(good, bad, 0, 0, 60*time.Second, time.Hour, time.Second)
+	s, c, _ := rig(t, 3, trace)
+	var samples []Sample
+	s.Spawn("client", func(p *sim.Proc) { samples = c.Run(p, 150*time.Second) })
+	s.RunUntil(sim.Time(time.Hour))
+
+	ag := MeasureAgility(samples, 60*time.Second, len(DefaultLevels)-1)
+	if ag.MeanLevelBefore > 0.4 {
+		t.Fatalf("pre-step mean level %.2f, want near full fidelity", ag.MeanLevelBefore)
+	}
+	if ag.MeanLevelAfter < 1.2 {
+		t.Fatalf("post-step mean level %.2f, want degraded", ag.MeanLevelAfter)
+	}
+	if ag.AdaptDelay < 0 || ag.AdaptDelay > 20*time.Second {
+		t.Fatalf("adaptation took %v, want within a few fetch cycles", ag.AdaptDelay)
+	}
+}
+
+func TestImpulseRecovery(t *testing.T) {
+	// A 15-second bandwidth impulse: fidelity must dip and then recover.
+	good := core.DelayParams{F: 2 * time.Millisecond, Vb: core.PerByteFromBandwidth(1.5e6), Vr: 0}
+	spike := core.DelayParams{F: 30 * time.Millisecond, Vb: core.PerByteFromBandwidth(120e3), Vr: 0}
+	trace := replay.Impulse(good, spike, 0, 0, 40*time.Second, 15*time.Second, time.Hour, time.Second)
+	s, c, _ := rig(t, 4, trace)
+	var samples []Sample
+	s.Spawn("client", func(p *sim.Proc) { samples = c.Run(p, 120*time.Second) })
+	s.RunUntil(sim.Time(time.Hour))
+
+	dipped, recovered := false, false
+	for _, smp := range samples {
+		at := time.Duration(smp.At)
+		if at > 42*time.Second && at < 55*time.Second && smp.Level > 0 {
+			dipped = true
+		}
+		if at > 90*time.Second && smp.Level == 0 {
+			recovered = true
+		}
+	}
+	if !dipped {
+		t.Fatalf("fidelity never dipped during the impulse:\n%s", FormatTrack(samples))
+	}
+	if !recovered {
+		t.Fatalf("fidelity never recovered after the impulse:\n%s", FormatTrack(samples))
+	}
+}
+
+func TestMeasureAgilityEmptyWindows(t *testing.T) {
+	ag := MeasureAgility(nil, time.Second, 2)
+	if ag.MeanLevelBefore != 0 || ag.MeanLevelAfter != 0 || ag.AdaptDelay != -1 {
+		t.Fatalf("agility = %+v", ag)
+	}
+}
+
+func TestFormatTrack(t *testing.T) {
+	out := FormatTrack([]Sample{{At: time.Second, Level: 1, Bytes: 100, Elapsed: time.Millisecond, EstBW: 1e6}})
+	if out == "" {
+		t.Fatal("empty track output")
+	}
+}

@@ -1,0 +1,91 @@
+package ftp
+
+import (
+	"testing"
+	"time"
+
+	"tracemod/internal/scenario"
+	"tracemod/internal/sim"
+	"tracemod/internal/transport"
+)
+
+func setupEthernet(t *testing.T, seed int64) (*sim.Scheduler, *transport.TCPStack) {
+	t.Helper()
+	s := sim.New(seed)
+	tb := scenario.BuildEthernet(s)
+	client := transport.NewTCP(tb.Laptop)
+	server := transport.NewTCP(tb.Server)
+	Serve(s, server)
+	return s, client
+}
+
+func TestTransferBothDirections(t *testing.T) {
+	s, client := setupEthernet(t, 1)
+	const size = 512 * 1024
+	var sendT, recvT time.Duration
+	var err1, err2 error
+	s.Spawn("bench", func(p *sim.Proc) {
+		sendT, err1 = Transfer(p, client, scenario.ModServer, Send, size, DefaultDiskRate)
+		recvT, err2 = Transfer(p, client, scenario.ModServer, Recv, size, DefaultDiskRate)
+	})
+	s.RunUntil(sim.Time(10 * time.Minute))
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errors: %v %v", err1, err2)
+	}
+	if sendT == 0 || recvT == 0 {
+		t.Fatal("transfers did not complete")
+	}
+	// 512KB: disk ≈ 0.44s, network at 10Mb/s ≈ 0.43s. Both transfers in
+	// the 0.4-3s range.
+	for _, d := range []time.Duration{sendT, recvT} {
+		if d < 300*time.Millisecond || d > 3*time.Second {
+			t.Fatalf("send=%v recv=%v, out of plausible range", sendT, recvT)
+		}
+	}
+}
+
+func TestDiskRateDominatesWhenSlow(t *testing.T) {
+	s, client := setupEthernet(t, 2)
+	const size = 256 * 1024
+	var slow, fast time.Duration
+	s.Spawn("bench", func(p *sim.Proc) {
+		slow, _ = Transfer(p, client, scenario.ModServer, Send, size, 100e3) // 100 KB/s disk
+		fast, _ = Transfer(p, client, scenario.ModServer, Send, size, 0)     // no disk model
+	})
+	s.RunUntil(sim.Time(10 * time.Minute))
+	if slow < 2*fast {
+		t.Fatalf("slow-disk transfer %v should dwarf no-disk %v", slow, fast)
+	}
+	if slow < 2*time.Second { // 256KB at 100KB/s = 2.6s
+		t.Fatalf("slow = %v, want >= 2s", slow)
+	}
+}
+
+func TestTransferOverWaveLAN(t *testing.T) {
+	s := sim.New(3)
+	tb := scenario.BuildWireless(s, scenario.Porter)
+	client := transport.NewTCP(tb.Laptop)
+	server := transport.NewTCP(tb.Server)
+	Serve(s, server)
+	const size = 1 << 20 // 1 MB across the wireless path
+	var sendT time.Duration
+	var err error
+	s.Spawn("bench", func(p *sim.Proc) {
+		sendT, err = Transfer(p, client, scenario.ServerIP, Send, size, DefaultDiskRate)
+	})
+	s.RunUntil(sim.Time(10 * time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1MB over ≈1.4Mb/s with loss: at least ~6s, and the wireless path
+	// must be slower than the wired one.
+	if sendT < 5*time.Second || sendT > 120*time.Second {
+		t.Fatalf("wavelan send = %v, implausible", sendT)
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Send.String() != "send" || Recv.String() != "recv" {
+		t.Fatal("direction strings wrong")
+	}
+}

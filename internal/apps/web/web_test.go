@@ -1,0 +1,123 @@
+package web
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"tracemod/internal/scenario"
+	"tracemod/internal/sim"
+	"tracemod/internal/transport"
+)
+
+func TestGenTracesShape(t *testing.T) {
+	traces := GenTraces(rand.New(rand.NewSource(1)))
+	if len(traces) != 5 {
+		t.Fatalf("users = %d, want 5", len(traces))
+	}
+	totalReq := 0
+	for _, ut := range traces {
+		if len(ut.Pages) < 15 {
+			t.Fatalf("%s has only %d pages", ut.User, len(ut.Pages))
+		}
+		totalReq += ut.Requests()
+		if ut.TotalBytes() <= 0 {
+			t.Fatal("trace with no bytes")
+		}
+	}
+	if totalReq < 200 || totalReq > 900 {
+		t.Fatalf("total requests = %d, want a few hundred", totalReq)
+	}
+}
+
+func TestGenTracesDeterministic(t *testing.T) {
+	a := GenTraces(rand.New(rand.NewSource(7)))
+	b := GenTraces(rand.New(rand.NewSource(7)))
+	for i := range a {
+		if a[i].Requests() != b[i].Requests() || a[i].TotalBytes() != b[i].TotalBytes() {
+			t.Fatal("same seed must give identical traces")
+		}
+	}
+}
+
+func TestRunSmallWorkload(t *testing.T) {
+	s := sim.New(2)
+	tb := scenario.BuildEthernet(s)
+	client := transport.NewTCP(tb.Laptop)
+	server := transport.NewTCP(tb.Server)
+	Serve(s, server)
+
+	traces := []UserTrace{{User: "t", Pages: []Page{
+		{HTMLSize: 4096, Objects: []int{2048, 1024}},
+		{HTMLSize: 8192},
+	}}}
+	var elapsed time.Duration
+	var err error
+	s.Spawn("bench", func(p *sim.Proc) {
+		elapsed, err = Run(p, client, scenario.ModServer, traces, Config{
+			ProcMean: 100 * time.Millisecond,
+			RNG:      rand.New(rand.NewSource(3)),
+		})
+	})
+	s.RunUntil(sim.Time(5 * time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 requests x ~100ms processing plus transfer time.
+	if elapsed < 400*time.Millisecond || elapsed > 5*time.Second {
+		t.Fatalf("elapsed = %v, implausible for 5 small objects", elapsed)
+	}
+}
+
+func TestRunRequiresRNG(t *testing.T) {
+	s := sim.New(2)
+	tb := scenario.BuildEthernet(s)
+	client := transport.NewTCP(tb.Laptop)
+	panicked := false
+	s.Spawn("bench", func(p *sim.Proc) {
+		defer func() { panicked = recover() != nil }()
+		Run(p, client, scenario.ModServer, nil, Config{})
+	})
+	s.Run()
+	if !panicked {
+		t.Fatal("missing RNG should panic")
+	}
+}
+
+func TestWaveLANSlowerThanEthernet(t *testing.T) {
+	traces := []UserTrace{{User: "t", Pages: []Page{
+		{HTMLSize: 6144, Objects: []int{4096, 4096, 2048}},
+		{HTMLSize: 6144, Objects: []int{4096}},
+		{HTMLSize: 10240, Objects: []int{2048, 2048}},
+	}}}
+	run := func(wireless bool) time.Duration {
+		s := sim.New(5)
+		var client, server *transport.TCPStack
+		var serverIP = scenario.ModServer
+		if wireless {
+			tb := scenario.BuildWireless(s, scenario.Porter)
+			client, server = transport.NewTCP(tb.Laptop), transport.NewTCP(tb.Server)
+			serverIP = scenario.ServerIP
+		} else {
+			tb := scenario.BuildEthernet(s)
+			client, server = transport.NewTCP(tb.Laptop), transport.NewTCP(tb.Server)
+		}
+		Serve(s, server)
+		var elapsed time.Duration
+		s.Spawn("bench", func(p *sim.Proc) {
+			elapsed, _ = Run(p, client, serverIP, traces, Config{
+				ProcMean: 50 * time.Millisecond,
+				RNG:      rand.New(rand.NewSource(9)),
+			})
+		})
+		s.RunUntil(sim.Time(10 * time.Minute))
+		return elapsed
+	}
+	eth, wl := run(false), run(true)
+	if eth == 0 || wl == 0 {
+		t.Fatalf("eth=%v wl=%v", eth, wl)
+	}
+	if wl <= eth {
+		t.Fatalf("wavelan %v should be slower than ethernet %v", wl, eth)
+	}
+}

@@ -1,0 +1,262 @@
+// Package core implements the paper's simple, instantaneous network model
+// (Section 3.2.1) and the arithmetic shared by distillation and modulation:
+// delay parameters F, Vb, Vr, loss probability L, network-quality tuples
+// ⟨d, F, Vb, Vr, L⟩, replay traces, and the equation solving of
+// Section 3.2.2 (Eqs. 1-10).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// PerByte is a variable per-byte cost: the v terms of Eq. 1, expressed in
+// nanoseconds per byte. It is the inverse of instantaneous bandwidth.
+type PerByte float64
+
+// PerByteFromBandwidth converts a bandwidth in bits per second into a
+// per-byte cost.
+func PerByteFromBandwidth(bitsPerSec float64) PerByte {
+	if bitsPerSec <= 0 {
+		return PerByte(math.Inf(1))
+	}
+	return PerByte(8e9 / bitsPerSec)
+}
+
+// BitsPerSec converts the per-byte cost back to a bandwidth in bits/second.
+func (v PerByte) BitsPerSec() float64 {
+	if v <= 0 {
+		return math.Inf(1)
+	}
+	return 8e9 / float64(v)
+}
+
+// Cost returns the transmission time for size bytes at this per-byte cost.
+func (v PerByte) Cost(size int) time.Duration {
+	return time.Duration(float64(v) * float64(size))
+}
+
+// DelayParams are the delay components of one model interval: F is the
+// fixed latency (sum of queueing, per-packet processing, and propagation
+// delays); Vb is the bottleneck per-byte cost; Vr the residual per-byte
+// cost. Total per-byte cost V = Vb + Vr (Eq. 4).
+type DelayParams struct {
+	F  time.Duration
+	Vb PerByte
+	Vr PerByte
+}
+
+// V returns the total per-byte cost Vb + Vr.
+func (d DelayParams) V() PerByte { return d.Vb + d.Vr }
+
+// OneWayDelay returns the single-packet one-way delay Δ = F + sV (Eq. 3)
+// for a packet of size bytes, ignoring queueing behind other packets.
+func (d DelayParams) OneWayDelay(size int) time.Duration {
+	return d.F + d.V().Cost(size)
+}
+
+// RoundTrip returns 2(F + sV), the model's round-trip time for an
+// echo-style exchange of equal-size packets (Eqs. 5-6).
+func (d DelayParams) RoundTrip(size int) time.Duration {
+	return 2 * d.OneWayDelay(size)
+}
+
+// Valid reports whether every component is non-negative and finite.
+func (d DelayParams) Valid() bool {
+	return d.F >= 0 && d.Vb >= 0 && d.Vr >= 0 &&
+		!math.IsInf(float64(d.Vb), 0) && !math.IsInf(float64(d.Vr), 0) &&
+		!math.IsNaN(float64(d.Vb)) && !math.IsNaN(float64(d.Vr))
+}
+
+// Tuple is one network-quality tuple ⟨d, F, Vb, Vr, L⟩: the model holds for
+// duration D, during which every packet experiences delay parameters
+// (F, Vb, Vr) and an independent drop probability L.
+type Tuple struct {
+	D time.Duration
+	DelayParams
+	L float64
+}
+
+func (t Tuple) String() string {
+	return fmt.Sprintf("⟨d=%v F=%v Vb=%.1fns/B Vr=%.1fns/B L=%.3f⟩",
+		t.D, t.F, float64(t.Vb), float64(t.Vr), t.L)
+}
+
+// Valid reports whether the tuple is physically meaningful.
+func (t Tuple) Valid() bool {
+	return t.D > 0 && t.DelayParams.Valid() && t.L >= 0 && t.L < 1
+}
+
+// Trace is a replay trace: the sequence S of network-quality tuples
+// produced by distillation and consumed by modulation.
+type Trace []Tuple
+
+// TotalDuration returns the sum of tuple durations.
+func (tr Trace) TotalDuration() time.Duration {
+	var d time.Duration
+	for _, t := range tr {
+		d += t.D
+	}
+	return d
+}
+
+// Validate checks every tuple; it returns an error naming the first
+// offending index.
+func (tr Trace) Validate() error {
+	if len(tr) == 0 {
+		return errors.New("core: empty replay trace")
+	}
+	for i, t := range tr {
+		if !t.Valid() {
+			return fmt.Errorf("core: invalid tuple %d: %v", i, t)
+		}
+	}
+	return nil
+}
+
+// At returns the tuple in effect at offset d from the start of the trace.
+// If loop is true the trace repeats; otherwise offsets past the end return
+// the final tuple (the paper's daemon may "write a file of tuples once...
+// or loop over the file until interrupted").
+func (tr Trace) At(d time.Duration, loop bool) Tuple {
+	if len(tr) == 0 {
+		panic("core: At on empty trace")
+	}
+	total := tr.TotalDuration()
+	if loop && total > 0 {
+		d = d % total
+		if d < 0 {
+			d += total
+		}
+	}
+	for _, t := range tr {
+		if d < t.D {
+			return t
+		}
+		d -= t.D
+	}
+	return tr[len(tr)-1]
+}
+
+// Scale returns a copy of the trace with every delay parameter multiplied
+// by k (loss is left untouched). Used by synthetic-trace experiments.
+func (tr Trace) Scale(k float64) Trace {
+	out := make(Trace, len(tr))
+	for i, t := range tr {
+		out[i] = Tuple{
+			D: t.D,
+			DelayParams: DelayParams{
+				F:  time.Duration(float64(t.F) * k),
+				Vb: PerByte(float64(t.Vb) * k),
+				Vr: PerByte(float64(t.Vr) * k),
+			},
+			L: t.L,
+		}
+	}
+	return out
+}
+
+// MeanVb returns the duration-weighted mean bottleneck per-byte cost of the
+// trace: the quantity delay compensation measures on the physical
+// modulation network (Section 3.3).
+func (tr Trace) MeanVb() PerByte {
+	var sum float64
+	var dur float64
+	for _, t := range tr {
+		sum += float64(t.Vb) * float64(t.D)
+		dur += float64(t.D)
+	}
+	if dur == 0 {
+		return 0
+	}
+	return PerByte(sum / dur)
+}
+
+// TripletObs is one observation of the known workload (Section 3.2.2): the
+// round-trip times of a small echo of size S1 followed by two back-to-back
+// large echoes of size S2.
+type TripletObs struct {
+	T1, T2, T3 time.Duration // round-trip times; 0 means the packet was lost
+	S1, S2     int           // payload-carrying packet sizes in bytes
+}
+
+// Complete reports whether all three round-trips were observed.
+func (o TripletObs) Complete() bool { return o.T1 > 0 && o.T2 > 0 && o.T3 > 0 }
+
+// ErrNegativeParams is returned by SolveTriplet when the equations yield a
+// physically meaningless (negative) parameter; the caller applies the
+// paper's non-cascading correction (Section 3.2.2).
+var ErrNegativeParams = errors.New("core: triplet solution has negative parameters")
+
+// SolveTriplet solves Eqs. 5-8 for one triplet:
+//
+//	t1 = 2(F + s1·V)
+//	t2 = 2(F + s2·V)
+//	t3 = t2 + s2·Vb
+//
+// giving V = (t2−t1)/(2(s2−s1)), F = t1/2 − s1·V, Vb = (t3−t2)/s2, and
+// Vr = V − Vb. It returns ErrNegativeParams if any parameter is negative,
+// with the raw (uncorrected) values still populated so the caller can
+// inspect them.
+func SolveTriplet(o TripletObs) (DelayParams, error) {
+	if o.S2 <= o.S1 || o.S1 <= 0 {
+		return DelayParams{}, fmt.Errorf("core: triplet sizes must satisfy 0 < s1 < s2, got %d, %d", o.S1, o.S2)
+	}
+	if !o.Complete() {
+		return DelayParams{}, errors.New("core: triplet incomplete")
+	}
+	v := float64(o.T2-o.T1) / (2 * float64(o.S2-o.S1))
+	f := float64(o.T1)/2 - float64(o.S1)*v
+	vb := float64(o.T3-o.T2) / float64(o.S2)
+	vr := v - vb
+	p := DelayParams{F: time.Duration(f), Vb: PerByte(vb), Vr: PerByte(vr)}
+	if !p.Valid() {
+		return p, ErrNegativeParams
+	}
+	return p, nil
+}
+
+// CorrectTriplet applies the paper's fallback when SolveTriplet fails: it
+// reuses the previous interval's Vb and Vr, and folds the difference
+// between the expected and observed t1 into F, "reasoning that short-term
+// performance variation is most likely due to media access delay". prev
+// must come from an uncorrected estimate to avoid cascading.
+func CorrectTriplet(prev DelayParams, o TripletObs) DelayParams {
+	expected := prev.RoundTrip(o.S1)
+	delta := (o.T1 - expected) / 2
+	f := prev.F + delta
+	if f < 0 {
+		f = 0
+	}
+	return DelayParams{F: f, Vb: prev.Vb, Vr: prev.Vr}
+}
+
+// EstimateLoss implements Eqs. 9-10: of a echoes sent, b replies returned,
+// so with per-packet survival probability P, b = P²a and
+// L = 1 − sqrt(b/a). The result is clamped to [0, MaxLoss].
+func EstimateLoss(sent, received int) float64 {
+	if sent <= 0 {
+		return 0
+	}
+	if received > sent {
+		received = sent
+	}
+	if received < 0 {
+		received = 0
+	}
+	l := 1 - math.Sqrt(float64(received)/float64(sent))
+	if l < 0 {
+		l = 0
+	}
+	if l > MaxLoss {
+		l = MaxLoss
+	}
+	return l
+}
+
+// MaxLoss caps the loss probability below 1 so modulation always makes
+// eventual progress (an all-loss interval would otherwise wedge reliable
+// transports forever, which the real network never does either).
+const MaxLoss = 0.995

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPerByteConversions(t *testing.T) {
+	v := PerByteFromBandwidth(2e6) // 2 Mb/s
+	if math.Abs(float64(v)-4000) > 1e-9 {
+		t.Fatalf("2Mb/s = %v ns/B, want 4000", float64(v))
+	}
+	if math.Abs(v.BitsPerSec()-2e6) > 1e-6 {
+		t.Fatalf("round-trip = %v", v.BitsPerSec())
+	}
+	if v.Cost(1500) != 6*time.Millisecond {
+		t.Fatalf("1500B at 2Mb/s = %v, want 6ms", v.Cost(1500))
+	}
+	if !math.IsInf(float64(PerByteFromBandwidth(0)), 1) {
+		t.Fatal("zero bandwidth should be infinite cost")
+	}
+	if !math.IsInf(PerByte(0).BitsPerSec(), 1) {
+		t.Fatal("zero cost should be infinite bandwidth")
+	}
+}
+
+func TestDelayParams(t *testing.T) {
+	d := DelayParams{F: 2 * time.Millisecond, Vb: 4000, Vr: 1000}
+	if d.V() != 5000 {
+		t.Fatalf("V = %v", d.V())
+	}
+	// Δ = F + sV = 2ms + 100*5000ns = 2.5ms
+	if d.OneWayDelay(100) != 2500*time.Microsecond {
+		t.Fatalf("one-way = %v", d.OneWayDelay(100))
+	}
+	if d.RoundTrip(100) != 5*time.Millisecond {
+		t.Fatalf("rtt = %v", d.RoundTrip(100))
+	}
+	if !d.Valid() {
+		t.Fatal("should be valid")
+	}
+	if (DelayParams{F: -1}).Valid() {
+		t.Fatal("negative F invalid")
+	}
+	if (DelayParams{Vb: PerByte(math.NaN())}).Valid() {
+		t.Fatal("NaN Vb invalid")
+	}
+}
+
+func TestTupleValid(t *testing.T) {
+	good := Tuple{D: time.Second, DelayParams: DelayParams{F: time.Millisecond, Vb: 100, Vr: 10}, L: 0.1}
+	if !good.Valid() {
+		t.Fatal("good tuple invalid")
+	}
+	for _, bad := range []Tuple{
+		{D: 0, DelayParams: good.DelayParams},
+		{D: time.Second, DelayParams: good.DelayParams, L: 1.0},
+		{D: time.Second, DelayParams: good.DelayParams, L: -0.1},
+		{D: time.Second, DelayParams: DelayParams{Vb: -5}},
+	} {
+		if bad.Valid() {
+			t.Fatalf("tuple %v should be invalid", bad)
+		}
+	}
+}
+
+func mkTrace() Trace {
+	return Trace{
+		{D: time.Second, DelayParams: DelayParams{F: time.Millisecond, Vb: 100, Vr: 0}, L: 0},
+		{D: 2 * time.Second, DelayParams: DelayParams{F: 2 * time.Millisecond, Vb: 200, Vr: 50}, L: 0.5},
+	}
+}
+
+func TestTraceBasics(t *testing.T) {
+	tr := mkTrace()
+	if tr.TotalDuration() != 3*time.Second {
+		t.Fatal("duration wrong")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Trace{}).Validate(); err == nil {
+		t.Fatal("empty trace should not validate")
+	}
+	bad := mkTrace()
+	bad[1].L = 2
+	if err := bad.Validate(); err == nil {
+		t.Fatal("bad tuple should not validate")
+	}
+}
+
+func TestTraceAt(t *testing.T) {
+	tr := mkTrace()
+	if tr.At(0, false).F != time.Millisecond {
+		t.Fatal("t=0 should be first tuple")
+	}
+	if tr.At(time.Second, false).F != 2*time.Millisecond {
+		t.Fatal("t=1s should be second tuple")
+	}
+	if tr.At(10*time.Second, false).F != 2*time.Millisecond {
+		t.Fatal("past end without loop should clamp to last")
+	}
+	if tr.At(3*time.Second, true).F != time.Millisecond {
+		t.Fatal("looped t=3s should wrap to first tuple")
+	}
+	if tr.At(4500*time.Millisecond, true).F != 2*time.Millisecond {
+		t.Fatal("looped t=4.5s should be second tuple")
+	}
+}
+
+func TestTraceScale(t *testing.T) {
+	tr := mkTrace().Scale(2)
+	if tr[0].F != 2*time.Millisecond || tr[0].Vb != 200 {
+		t.Fatal("scale should double delay parameters")
+	}
+	if tr[1].L != 0.5 {
+		t.Fatal("scale must not touch loss")
+	}
+	if tr[0].D != time.Second {
+		t.Fatal("scale must not touch durations")
+	}
+}
+
+func TestTraceMeanVb(t *testing.T) {
+	tr := mkTrace()
+	// (100*1 + 200*2)/3
+	want := (100.0 + 400.0) / 3.0
+	if math.Abs(float64(tr.MeanVb())-want) > 1e-9 {
+		t.Fatalf("meanVb = %v, want %v", tr.MeanVb(), want)
+	}
+	if (Trace{}).MeanVb() != 0 {
+		t.Fatal("empty trace meanVb should be 0")
+	}
+}
+
+func TestSolveTripletExact(t *testing.T) {
+	// Construct observations from known parameters and check recovery.
+	truth := DelayParams{F: 3 * time.Millisecond, Vb: 4000, Vr: 1000}
+	s1, s2 := 64, 1024
+	o := TripletObs{
+		S1: s1, S2: s2,
+		T1: truth.RoundTrip(s1),
+		T2: truth.RoundTrip(s2),
+		T3: truth.RoundTrip(s2) + truth.Vb.Cost(s2),
+	}
+	got, err := SolveTriplet(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(got.F-truth.F)) > 1e3 { // within 1µs
+		t.Fatalf("F = %v, want %v", got.F, truth.F)
+	}
+	if math.Abs(float64(got.Vb-truth.Vb)) > 1 || math.Abs(float64(got.Vr-truth.Vr)) > 1 {
+		t.Fatalf("Vb,Vr = %v,%v want %v,%v", got.Vb, got.Vr, truth.Vb, truth.Vr)
+	}
+}
+
+func TestSolveTripletNegative(t *testing.T) {
+	// t2 < t1 makes V negative: conditions changed mid-triplet.
+	o := TripletObs{S1: 64, S2: 1024, T1: 10 * time.Millisecond, T2: 5 * time.Millisecond, T3: 6 * time.Millisecond}
+	if _, err := SolveTriplet(o); err != ErrNegativeParams {
+		t.Fatalf("err = %v, want ErrNegativeParams", err)
+	}
+}
+
+func TestSolveTripletArgErrors(t *testing.T) {
+	if _, err := SolveTriplet(TripletObs{S1: 100, S2: 100, T1: 1, T2: 1, T3: 1}); err == nil {
+		t.Fatal("equal sizes should error")
+	}
+	if _, err := SolveTriplet(TripletObs{S1: 64, S2: 1024}); err == nil {
+		t.Fatal("incomplete triplet should error")
+	}
+}
+
+func TestCorrectTriplet(t *testing.T) {
+	prev := DelayParams{F: 2 * time.Millisecond, Vb: 4000, Vr: 1000}
+	// Observed t1 is 4ms above expected: correction adds 2ms to F.
+	o := TripletObs{S1: 64, S2: 1024, T1: prev.RoundTrip(64) + 4*time.Millisecond, T2: 1, T3: 1}
+	got := CorrectTriplet(prev, o)
+	if got.F != prev.F+2*time.Millisecond {
+		t.Fatalf("F = %v, want %v", got.F, prev.F+2*time.Millisecond)
+	}
+	if got.Vb != prev.Vb || got.Vr != prev.Vr {
+		t.Fatal("correction must reuse previous Vb, Vr")
+	}
+	// Observed faster than expected by more than 2F: F floors at 0.
+	o2 := TripletObs{S1: 64, S2: 1024, T1: 0, T2: 1, T3: 1}
+	if CorrectTriplet(prev, o2).F != 0 {
+		t.Fatal("F must not go negative")
+	}
+}
+
+func TestEstimateLoss(t *testing.T) {
+	if EstimateLoss(100, 100) != 0 {
+		t.Fatal("no loss when all arrive")
+	}
+	// b = P²a with P=0.9: b = 81 -> L = 0.1
+	if math.Abs(EstimateLoss(100, 81)-0.1) > 1e-12 {
+		t.Fatalf("loss = %v, want 0.1", EstimateLoss(100, 81))
+	}
+	if got := EstimateLoss(100, 0); got != MaxLoss {
+		t.Fatalf("total loss clamps to MaxLoss, got %v", got)
+	}
+	if EstimateLoss(0, 0) != 0 {
+		t.Fatal("zero sent means no estimate")
+	}
+	if EstimateLoss(10, 20) != 0 {
+		t.Fatal("received > sent clamps to no loss")
+	}
+	if EstimateLoss(10, -1) != MaxLoss {
+		t.Fatal("negative received clamps to full loss")
+	}
+}
+
+// Property: SolveTriplet recovers parameters generated by the model itself,
+// for any valid parameter set.
+func TestSolveTripletInverseProperty(t *testing.T) {
+	f := func(fMs uint16, vb, vr uint16) bool {
+		truth := DelayParams{
+			F:  time.Duration(fMs%200) * time.Millisecond / 10,
+			Vb: PerByte(vb%20000) + 1,
+			Vr: PerByte(vr % 8000),
+		}
+		s1, s2 := 64, 1024
+		o := TripletObs{
+			S1: s1, S2: s2,
+			T1: truth.RoundTrip(s1),
+			T2: truth.RoundTrip(s2),
+			T3: truth.RoundTrip(s2) + truth.Vb.Cost(s2),
+		}
+		got, err := SolveTriplet(o)
+		if err != nil {
+			return false
+		}
+		return math.Abs(float64(got.F-truth.F)) < 2e3 &&
+			math.Abs(float64(got.Vb-truth.Vb)) < 2 &&
+			math.Abs(float64(got.Vr-truth.Vr)) < 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: EstimateLoss is monotone decreasing in received count and always
+// within [0, MaxLoss].
+func TestEstimateLossMonotoneProperty(t *testing.T) {
+	f := func(sent uint8) bool {
+		n := int(sent%50) + 1
+		prev := math.Inf(1)
+		for b := 0; b <= n; b++ {
+			l := EstimateLoss(n, b)
+			if l < 0 || l > MaxLoss || l > prev+1e-12 {
+				return false
+			}
+			prev = l
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Trace.At with loop=true always returns a tuple belonging to the
+// trace, for any offset.
+func TestTraceAtLoopProperty(t *testing.T) {
+	tr := mkTrace()
+	f := func(off int64) bool {
+		got := tr.At(time.Duration(off), true)
+		for _, tu := range tr {
+			if got == tu {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

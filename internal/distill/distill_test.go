@@ -1,0 +1,284 @@
+package distill
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"tracemod/internal/capture"
+	"tracemod/internal/core"
+	"tracemod/internal/packet"
+	"tracemod/internal/pinger"
+	"tracemod/internal/scenario"
+	"tracemod/internal/sim"
+	"tracemod/internal/tracefmt"
+)
+
+const (
+	s1 = 60   // small probe wire size
+	s2 = 1028 // large probe wire size
+)
+
+// synthTrace builds a collected trace as the pinger+tracer would produce
+// over a channel with time-varying parameters. paramsAt gives the channel
+// condition for each 1-second group; lost reports whether a given seq's
+// reply should be missing.
+func synthTrace(seconds int, paramsAt func(sec int) core.DelayParams, lost func(seq uint16) bool) *tracefmt.Trace {
+	tr := &tracefmt.Trace{Header: tracefmt.Header{Device: "wavelan0"}}
+	seq := uint16(0)
+	for sec := 0; sec < seconds; sec++ {
+		p := paramsAt(sec)
+		base := int64(sec) * int64(time.Second)
+		emit := func(size int, rtt time.Duration) {
+			seq++
+			tr.Packets = append(tr.Packets, tracefmt.PacketRecord{
+				At: base, Dir: tracefmt.DirOut, Size: uint16(size),
+				Protocol: packet.ProtoICMP, ICMPType: packet.ICMPEcho, ID: 1, Seq: seq, RTT: -1,
+			})
+			if !lost(seq) {
+				tr.Packets = append(tr.Packets, tracefmt.PacketRecord{
+					At: base + int64(rtt), Dir: tracefmt.DirIn, Size: uint16(size),
+					Protocol: packet.ProtoICMP, ICMPType: packet.ICMPEchoReply, ID: 1, Seq: seq, RTT: int64(rtt),
+				})
+			}
+		}
+		t1 := p.RoundTrip(s1)
+		t2 := p.RoundTrip(s2)
+		t3 := t2 + p.Vb.Cost(s2)
+		emit(s1, t1)
+		emit(s2, t2)
+		emit(s2, t3)
+	}
+	return tr
+}
+
+func noLoss(uint16) bool { return false }
+
+func TestRecoverConstantParameters(t *testing.T) {
+	truth := core.DelayParams{F: 2 * time.Millisecond, Vb: 5000, Vr: 800}
+	tr := synthTrace(30, func(int) core.DelayParams { return truth }, noLoss)
+	res, err := Distill(tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TripletsComplete != 30 || res.Corrections != 0 {
+		t.Fatalf("triplets=%d corrections=%d", res.TripletsComplete, res.Corrections)
+	}
+	if err := res.Replay.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, tu := range res.Replay {
+		if math.Abs(float64(tu.F-truth.F)) > 5e4 {
+			t.Fatalf("tuple %d F=%v, want ≈%v", i, tu.F, truth.F)
+		}
+		if math.Abs(float64(tu.Vb-truth.Vb)) > 50 || math.Abs(float64(tu.Vr-truth.Vr)) > 50 {
+			t.Fatalf("tuple %d Vb=%v Vr=%v", i, tu.Vb, tu.Vr)
+		}
+		if tu.L != 0 {
+			t.Fatalf("tuple %d loss = %v, want 0", i, tu.L)
+		}
+	}
+}
+
+func TestTracksStepChange(t *testing.T) {
+	slow := core.DelayParams{F: 10 * time.Millisecond, Vb: 20000, Vr: 2000}
+	fast := core.DelayParams{F: time.Millisecond, Vb: 4000, Vr: 400}
+	tr := synthTrace(40, func(sec int) core.DelayParams {
+		if sec < 20 {
+			return fast
+		}
+		return slow
+	}, noLoss)
+	res, err := Distill(tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	early := res.Replay.At(10*time.Second, false)
+	late := res.Replay.At(35*time.Second, false)
+	if math.Abs(float64(early.Vb-fast.Vb)) > 100 {
+		t.Fatalf("early Vb = %v, want ≈%v", early.Vb, fast.Vb)
+	}
+	if math.Abs(float64(late.Vb-slow.Vb)) > 200 {
+		t.Fatalf("late Vb = %v, want ≈%v", late.Vb, slow.Vb)
+	}
+	// The transition is smeared over at most the window width.
+	mid := res.Replay.At(26*time.Second, false)
+	if mid.Vb < fast.Vb || mid.Vb > slow.Vb {
+		t.Fatalf("post-transition Vb = %v outside [fast, slow]", mid.Vb)
+	}
+}
+
+func TestLossEstimation(t *testing.T) {
+	truth := core.DelayParams{F: 2 * time.Millisecond, Vb: 5000, Vr: 500}
+	// Lose every reply for one of each group's three echoes in the middle
+	// ten seconds: b/a = 2/3 there.
+	tr := synthTrace(30, func(int) core.DelayParams { return truth }, func(seq uint16) bool {
+		sec := int((seq - 1) / 3)
+		return sec >= 10 && sec < 20 && seq%3 == 2
+	})
+	res, err := Distill(tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMid := 1 - math.Sqrt(2.0/3.0)
+	mid := res.Replay.At(15*time.Second, false)
+	if math.Abs(mid.L-wantMid) > 0.02 {
+		t.Fatalf("mid loss = %v, want ≈%v", mid.L, wantMid)
+	}
+	if early := res.Replay.At(2*time.Second, false); early.L != 0 {
+		t.Fatalf("early loss = %v, want 0", early.L)
+	}
+}
+
+func TestNegativeTripletCorrected(t *testing.T) {
+	truth := core.DelayParams{F: 2 * time.Millisecond, Vb: 5000, Vr: 500}
+	tr := synthTrace(10, func(int) core.DelayParams { return truth }, noLoss)
+	// Sabotage group 5 (seqs 16,17,18): make t2 < t1 so V goes negative.
+	for i := range tr.Packets {
+		p := &tr.Packets[i]
+		if p.Seq == 17 && p.Dir == tracefmt.DirIn {
+			p.RTT = int64(truth.RoundTrip(s1)) / 2
+		}
+	}
+	res, err := Distill(tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Corrections != 1 {
+		t.Fatalf("corrections = %d, want 1", res.Corrections)
+	}
+	var corrected *Estimate
+	for i := range res.Estimates {
+		if res.Estimates[i].Corrected {
+			corrected = &res.Estimates[i]
+		}
+	}
+	if corrected == nil {
+		t.Fatal("no corrected estimate recorded")
+	}
+	// Correction reuses previous Vb/Vr.
+	if corrected.Params.Vb != truth.Vb && math.Abs(float64(corrected.Params.Vb-truth.Vb)) > 50 {
+		t.Fatalf("corrected Vb = %v", corrected.Params.Vb)
+	}
+}
+
+func TestCorrectionDoesNotCascade(t *testing.T) {
+	truth := core.DelayParams{F: 2 * time.Millisecond, Vb: 5000, Vr: 500}
+	tr := synthTrace(12, func(int) core.DelayParams { return truth }, noLoss)
+	// Sabotage groups 5 and 6 back to back.
+	for i := range tr.Packets {
+		p := &tr.Packets[i]
+		if (p.Seq == 17 || p.Seq == 20) && p.Dir == tracefmt.DirIn {
+			p.RTT = int64(time.Millisecond)
+		}
+	}
+	res, err := Distill(tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Corrections != 2 {
+		t.Fatalf("corrections = %d, want 2", res.Corrections)
+	}
+	// Both corrections must be based on the last RAW estimate (group 4),
+	// not on each other: they reuse truth's Vb, not a corrupted one.
+	for _, e := range res.Estimates {
+		if e.Corrected && math.Abs(float64(e.Params.Vb-truth.Vb)) > 50 {
+			t.Fatalf("cascaded correction: Vb = %v", e.Params.Vb)
+		}
+	}
+}
+
+func TestIncompleteTripletSkipped(t *testing.T) {
+	truth := core.DelayParams{F: 2 * time.Millisecond, Vb: 5000, Vr: 500}
+	tr := synthTrace(10, func(int) core.DelayParams { return truth }, func(seq uint16) bool {
+		return seq == 8 // lose one large reply in group 3
+	})
+	res, err := Distill(tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TripletsTotal != 10 || res.TripletsComplete != 9 {
+		t.Fatalf("triplets = %d/%d, want 9/10", res.TripletsComplete, res.TripletsTotal)
+	}
+}
+
+func TestEmptyTraceErrors(t *testing.T) {
+	if _, err := Distill(&tracefmt.Trace{}, DefaultConfig()); err != ErrNoWorkload {
+		t.Fatalf("err = %v, want ErrNoWorkload", err)
+	}
+}
+
+func TestAllRepliesLostErrors(t *testing.T) {
+	truth := core.DelayParams{F: time.Millisecond, Vb: 1000, Vr: 100}
+	tr := synthTrace(5, func(int) core.DelayParams { return truth }, func(uint16) bool { return true })
+	if _, err := Distill(tr, DefaultConfig()); err != ErrNoEstimates {
+		t.Fatalf("err = %v, want ErrNoEstimates", err)
+	}
+}
+
+func TestQuietWindowHoldsPrevious(t *testing.T) {
+	truth := core.DelayParams{F: 2 * time.Millisecond, Vb: 5000, Vr: 500}
+	tr := synthTrace(6, func(int) core.DelayParams { return truth }, noLoss)
+	// Append one final echo far in the future so the trace spans a gap.
+	tr.Packets = append(tr.Packets, tracefmt.PacketRecord{
+		At: int64(30 * time.Second), Dir: tracefmt.DirOut, Size: s1,
+		Protocol: packet.ProtoICMP, ICMPType: packet.ICMPEcho, ID: 1, Seq: 1000, RTT: -1,
+	})
+	res, err := Distill(tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := res.Replay.At(20*time.Second, false)
+	if math.Abs(float64(gap.Vb-truth.Vb)) > 100 {
+		t.Fatalf("gap tuple should hold last params, Vb = %v", gap.Vb)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	truth := core.DelayParams{F: time.Millisecond, Vb: 1000, Vr: 100}
+	tr := synthTrace(3, func(int) core.DelayParams { return truth }, noLoss)
+	res, err := Distill(tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Describe() == "" {
+		t.Fatal("Describe should produce a summary")
+	}
+}
+
+// End-to-end: collect over the simulated Porter wireless scenario and check
+// the distilled parameters land in the profile's authored bands.
+func TestDistillLiveWirelessTrace(t *testing.T) {
+	s := sim.New(17)
+	tb := scenario.BuildWireless(s, scenario.Porter)
+	pinger.Start(s, tb.Laptop, scenario.ServerIP, 60*time.Second)
+	tr, err := capture.Collect(s, tb.Laptop.NIC(0), 1<<16, 60*time.Second, "porter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Distill(tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TripletsComplete < 30 {
+		t.Fatalf("complete triplets = %d, want most of 60", res.TripletsComplete)
+	}
+	// Duration-weighted mean bottleneck bandwidth should land in WaveLAN
+	// territory (~0.9-1.7 Mb/s given Porter's authored bands).
+	bw := res.Replay.MeanVb().BitsPerSec()
+	if bw < 0.7e6 || bw > 2.2e6 {
+		t.Fatalf("mean bottleneck bandwidth = %.2f Mb/s, want ≈1-2", bw/1e6)
+	}
+	// Latency should be milliseconds, not microseconds or seconds.
+	var fSum time.Duration
+	for _, tu := range res.Replay {
+		fSum += tu.F
+	}
+	fMean := fSum / time.Duration(len(res.Replay))
+	if fMean < 200*time.Microsecond || fMean > 80*time.Millisecond {
+		t.Fatalf("mean F = %v, want low milliseconds", fMean)
+	}
+	if err := res.Replay.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,228 @@
+// Ablations of the paper's design choices:
+//
+//   - scheduling granularity: Section 5.4 conjectures the 10 ms clock tick
+//     under-delays the Andrew benchmark's short NFS status checks; sweep
+//     the tick and watch the modulated elapsed time approach the live run;
+//   - compensation magnitude: sweep the inbound compensation as a multiple
+//     of the measured physical Vb and watch the fetch/store ratio;
+//   - sliding-window width: Section 3.2.2 picks five seconds to balance
+//     outlier rejection against reactivity; sweep it and measure the
+//     modulated-vs-live FTP error.
+
+package expt
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"tracemod/internal/apps/ftp"
+	"tracemod/internal/core"
+	"tracemod/internal/replay"
+	"tracemod/internal/scenario"
+)
+
+// TickAblation is one row of the scheduling-granularity sweep.
+type TickAblation struct {
+	Tick    time.Duration // 0 = exact scheduling
+	Andrew  time.Duration // modulated Andrew total
+	FTPSend time.Duration // modulated FTP send
+	ScanDir time.Duration // the phase the paper calls out
+	ReadAll time.Duration
+}
+
+// TickAblationResult is the full sweep with its live baselines.
+type TickAblationResult struct {
+	LiveAndrew  time.Duration
+	LiveScanDir time.Duration
+	LiveReadAll time.Duration
+	LiveFTPSend time.Duration
+	Rows        []TickAblation
+}
+
+// AblateTick sweeps the modulation tick on the Wean scenario.
+func AblateTick(o Options) (*TickAblationResult, error) {
+	res := &TickAblationResult{}
+	live, err := RunLive(scenario.Wean, BenchAndrew, 0, o)
+	if err != nil {
+		return nil, err
+	}
+	res.LiveAndrew = live.Elapsed
+	res.LiveScanDir = live.Phases.ScanDir
+	res.LiveReadAll = live.Phases.ReadAll
+	liveFTP, err := RunLive(scenario.Wean, BenchFTPSend, 0, o)
+	if err != nil {
+		return nil, err
+	}
+	res.LiveFTPSend = liveFTP.Elapsed
+
+	dres, err := Collect(scenario.Wean, 0, o)
+	if err != nil {
+		return nil, err
+	}
+	comp, err := MeasureCompensation(o)
+	if err != nil {
+		return nil, err
+	}
+	for _, tick := range []time.Duration{-1, time.Millisecond, 10 * time.Millisecond, 50 * time.Millisecond} {
+		oo := o
+		oo.Tick = tick
+		row := TickAblation{Tick: tick}
+		if tick < 0 {
+			row.Tick = 0
+		}
+		andrew, err := RunModulated(dres.Replay, BenchAndrew, 0, comp, oo)
+		if err != nil {
+			return nil, fmt.Errorf("ablate tick %v andrew: %w", tick, err)
+		}
+		row.Andrew = andrew.Elapsed
+		row.ScanDir = andrew.Phases.ScanDir
+		row.ReadAll = andrew.Phases.ReadAll
+		ftpRes, err := RunModulated(dres.Replay, BenchFTPSend, 0, comp, oo)
+		if err != nil {
+			return nil, fmt.Errorf("ablate tick %v ftp: %w", tick, err)
+		}
+		row.FTPSend = ftpRes.Elapsed
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Format renders the sweep.
+func (r *TickAblationResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: modulation scheduling granularity (Wean trace)\n")
+	fmt.Fprintf(&b, "live: andrew=%v scandir=%v readall=%v ftp-send=%v\n",
+		r.LiveAndrew.Round(10*time.Millisecond), r.LiveScanDir.Round(10*time.Millisecond),
+		r.LiveReadAll.Round(10*time.Millisecond), r.LiveFTPSend.Round(10*time.Millisecond))
+	fmt.Fprintf(&b, "%-10s %-12s %-12s %-12s %-12s\n", "tick", "andrew", "scandir", "readall", "ftp-send")
+	for _, row := range r.Rows {
+		name := row.Tick.String()
+		if row.Tick == 0 {
+			name = "exact"
+		}
+		fmt.Fprintf(&b, "%-10s %-12v %-12v %-12v %-12v\n", name,
+			row.Andrew.Round(10*time.Millisecond), row.ScanDir.Round(10*time.Millisecond),
+			row.ReadAll.Round(10*time.Millisecond), row.FTPSend.Round(10*time.Millisecond))
+	}
+	return b.String()
+}
+
+// CompAblation is one row of the compensation sweep.
+type CompAblation struct {
+	Scale      float64 // multiple of the measured physical Vb
+	Store      time.Duration
+	Fetch      time.Duration
+	FetchRatio float64 // fetch/store elapsed
+}
+
+// CompAblationResult is the compensation sweep.
+type CompAblationResult struct {
+	Measured core.PerByte
+	Rows     []CompAblation
+}
+
+// AblateCompensation sweeps inbound compensation on the synthetic
+// WaveLAN-like trace (4 MB transfers, no disk model).
+func AblateCompensation(o Options) (*CompAblationResult, error) {
+	comp, err := MeasureCompensation(o)
+	if err != nil {
+		return nil, err
+	}
+	res := &CompAblationResult{Measured: comp}
+	trace := replay.WaveLANLike(time.Hour)
+	const size = 4 << 20
+	store, err := fig1Transfer(trace, ftp.Send, size, comp, o)
+	if err != nil {
+		return nil, err
+	}
+	for _, scale := range []float64{0, 0.5, 1.0, 1.5} {
+		c := core.PerByte(float64(comp) * scale)
+		fetch, err := fig1Transfer(trace, ftp.Recv, size, c, o)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, CompAblation{
+			Scale: scale, Store: store, Fetch: fetch,
+			FetchRatio: fetch.Seconds() / store.Seconds(),
+		})
+	}
+	return res, nil
+}
+
+// Format renders the sweep.
+func (r *CompAblationResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: inbound delay compensation (measured Vb = %.1f ns/B)\n", float64(r.Measured))
+	fmt.Fprintf(&b, "%-8s %-12s %-12s %-10s\n", "scale", "store", "fetch", "fetch/store")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8.2g %-12v %-12v %.4f\n", row.Scale,
+			row.Store.Round(10*time.Millisecond), row.Fetch.Round(10*time.Millisecond), row.FetchRatio)
+	}
+	return b.String()
+}
+
+// WindowAblation is one row of the sliding-window sweep.
+type WindowAblation struct {
+	Window   time.Duration
+	Tuples   int
+	ModSend  time.Duration
+	ErrorPct float64 // |mod - live| / live
+}
+
+// WindowAblationResult is the window sweep.
+type WindowAblationResult struct {
+	LiveSend time.Duration
+	Rows     []WindowAblation
+}
+
+// AblateWindow sweeps the distillation window width on Porter and measures
+// the modulated FTP-send error against the live run.
+func AblateWindow(o Options) (*WindowAblationResult, error) {
+	live, err := RunLive(scenario.Porter, BenchFTPSend, 0, o)
+	if err != nil {
+		return nil, err
+	}
+	comp, err := MeasureCompensation(o)
+	if err != nil {
+		return nil, err
+	}
+	res := &WindowAblationResult{LiveSend: live.Elapsed}
+	for _, w := range []time.Duration{time.Second, 3 * time.Second, 5 * time.Second, 9 * time.Second, 15 * time.Second} {
+		oo := o
+		oo.Distill.Window = w
+		dres, err := Collect(scenario.Porter, 0, oo)
+		if err != nil {
+			return nil, err
+		}
+		mod, err := RunModulated(dres.Replay, BenchFTPSend, 0, comp, oo)
+		if err != nil {
+			return nil, err
+		}
+		errPct := 100 * abs(mod.Elapsed.Seconds()-live.Elapsed.Seconds()) / live.Elapsed.Seconds()
+		res.Rows = append(res.Rows, WindowAblation{
+			Window: w, Tuples: len(dres.Replay), ModSend: mod.Elapsed, ErrorPct: errPct,
+		})
+	}
+	return res, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Format renders the sweep.
+func (r *WindowAblationResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: distillation sliding-window width (Porter, FTP send)\n")
+	fmt.Fprintf(&b, "live send = %v\n", r.LiveSend.Round(10*time.Millisecond))
+	fmt.Fprintf(&b, "%-8s %-8s %-12s %-8s\n", "window", "tuples", "mod send", "err %")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8s %-8d %-12v %.1f\n", row.Window, row.Tuples,
+			row.ModSend.Round(10*time.Millisecond), row.ErrorPct)
+	}
+	return b.String()
+}

@@ -1,0 +1,132 @@
+// Clock ablation: the paper repeatedly argues that its single-host,
+// round-trip-only design is what makes collection survive ordinary clocks
+// ("fine-granularity, low-drift, synchronized clocks ... are not yet
+// readily available on mobile platforms"). This ablation quantifies that
+// claim: clock-rate skew multiplies every interval by (1+skew), so the
+// distilled parameters degrade only linearly and gently, while coarse
+// timestamp granularity adds quantization noise to the solved equations.
+
+package expt
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"tracemod/internal/capture"
+	"tracemod/internal/distill"
+	"tracemod/internal/pinger"
+	"tracemod/internal/scenario"
+	"tracemod/internal/sim"
+	"tracemod/internal/tracefmt"
+)
+
+// DriftRow is one clock configuration's distillation outcome.
+type DriftRow struct {
+	Skew        float64
+	Granularity time.Duration
+	// MeanBWMbps is the distilled duration-weighted bottleneck bandwidth.
+	MeanBWMbps float64
+	// MeanFMs is the mean distilled latency in milliseconds.
+	MeanFMs float64
+	// BWErrPct and FErrPct compare against the perfect-clock row.
+	BWErrPct, FErrPct float64
+	// Corrections counts negative-solution fallbacks (quantization noise
+	// pushes solutions negative).
+	Corrections int
+}
+
+// DriftResult is the clock ablation.
+type DriftResult struct {
+	Rows []DriftRow
+}
+
+// collectSkewed performs a Porter collection with the given host clock.
+func collectSkewed(o Options, skew float64, gran time.Duration) (*tracefmt.Trace, error) {
+	s := sim.New(o.BaseSeed + 13)
+	tb := scenario.BuildWireless(s, scenario.Porter)
+	dur := scenario.Porter.Profile.Duration()
+	pinger.Start(s, tb.Laptop, scenario.ServerIP, dur)
+	return capture.CollectWith(s, tb.Laptop.NIC(0), capture.Opts{
+		BufCap: 1 << 16, Skew: skew, Granularity: gran,
+	}, dur, "drift ablation")
+}
+
+// AblateClock sweeps host clock skew and timestamp granularity on
+// otherwise identical Porter traversals.
+func AblateClock(o Options) (*DriftResult, error) {
+	configs := []struct {
+		skew float64
+		gran time.Duration
+	}{
+		{0, 0},                     // perfect clock
+		{100e-6, 0},                // 100 ppm crystal
+		{1e-2, 0},                  // a pathological 1% skew
+		{0, time.Millisecond},      // 1 ms timestamps
+		{0, 10 * time.Millisecond}, // the paper's 10 ms clock interrupt
+		{100e-6, time.Millisecond}, // realistic 1997 laptop
+	}
+	res := &DriftResult{}
+	var baseBW, baseF float64
+	for i, cfg := range configs {
+		tr, err := collectSkewed(o, cfg.skew, cfg.gran)
+		if err != nil {
+			return nil, err
+		}
+		d, err := distill.Distill(tr, o.Distill)
+		if err != nil {
+			return nil, fmt.Errorf("drift %v/%v: %w", cfg.skew, cfg.gran, err)
+		}
+		var fSum float64
+		for _, tu := range d.Replay {
+			fSum += float64(tu.F)
+		}
+		row := DriftRow{
+			Skew:        cfg.skew,
+			Granularity: cfg.gran,
+			MeanBWMbps:  d.Replay.MeanVb().BitsPerSec() / 1e6,
+			MeanFMs:     fSum / float64(len(d.Replay)) / float64(time.Millisecond),
+			Corrections: d.Corrections,
+		}
+		if i == 0 {
+			baseBW, baseF = row.MeanBWMbps, row.MeanFMs
+		}
+		if baseBW > 0 {
+			row.BWErrPct = 100 * (row.MeanBWMbps - baseBW) / baseBW
+		}
+		if baseF > 0 {
+			row.FErrPct = 100 * (row.MeanFMs - baseF) / baseF
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Format renders the ablation.
+func (r *DriftResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: collection-host clock quality (Porter traversal)\n")
+	fmt.Fprintf(&b, "%-10s %-12s %-10s %-10s %-9s %-9s %-6s\n",
+		"skew", "granularity", "bw Mb/s", "F ms", "bw err%", "F err%", "corr")
+	for _, row := range r.Rows {
+		gran := "exact"
+		if row.Granularity > 0 {
+			gran = row.Granularity.String()
+		}
+		if math.IsInf(row.MeanBWMbps, 0) || row.MeanBWMbps > 100 {
+			// Back-to-back probe spacing quantized to zero: the clock is
+			// too coarse for the medium and distillation breaks down,
+			// which is why the paper records microsecond timestamps even
+			// though its *scheduler* only ticks at 10 ms.
+			fmt.Fprintf(&b, "%-10.2g %-12s %-10s %-10.3f %-9s %-+9.2f %-6d\n",
+				row.Skew, gran, "broken", row.MeanFMs, "—", row.FErrPct, row.Corrections)
+			continue
+		}
+		fmt.Fprintf(&b, "%-10.2g %-12s %-10.3f %-10.3f %-+9.2f %-+9.2f %-6d\n",
+			row.Skew, gran, row.MeanBWMbps, row.MeanFMs, row.BWErrPct, row.FErrPct, row.Corrections)
+	}
+	b.WriteString("round-trip intervals see skew multiplicatively (err ≈ skew) and never a clock offset;\n")
+	b.WriteString("one-way measurements between unsynchronized hosts would instead absorb the full offset into F.\n")
+	return b.String()
+}

@@ -1,0 +1,181 @@
+// Figures 2-5 — scenario characteristics: observed signal level plus
+// distilled latency, bandwidth, and loss for four trials of each scenario.
+// Motion scenarios (Porter, Flagstaff, Wean) plot the range of observed
+// values per checkpoint leg, as the paper's vertical bars; the stationary
+// Chatterbox scenario plots histograms.
+
+package expt
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"tracemod/internal/scenario"
+	"tracemod/internal/stats"
+)
+
+// LegPoint is one checkpoint leg's observation ranges across trials.
+type LegPoint struct {
+	// Label names the leg's starting checkpoint (the figure's X label).
+	Label string
+	// Ranges across all trials for samples within the leg.
+	Signal        stats.Range
+	LatencyMs     stats.Range
+	BandwidthKbps stats.Range
+	LossPct       stats.Range
+}
+
+// ScenarioFig is one of Figures 2-5.
+type ScenarioFig struct {
+	Scenario string
+	Motion   bool
+
+	// Points is the per-checkpoint series (motion scenarios).
+	Points []LegPoint
+
+	// Histograms for the stationary scenario (Figure 5).
+	SignalH, LatencyH, BandwidthH, LossH *stats.Histogram
+
+	// Diagnostics.
+	Trials      int
+	Corrections int
+}
+
+// FigScenario reproduces the scenario's characteristics figure from
+// o.Trials collection traversals.
+func FigScenario(sc scenario.Scenario, o Options) (*ScenarioFig, error) {
+	fig := &ScenarioFig{Scenario: sc.Name, Motion: sc.Motion, Trials: o.Trials}
+
+	type trialData struct {
+		signalAt []struct {
+			at time.Duration
+			v  float64
+		}
+		latency []struct {
+			at time.Duration
+			v  float64
+		} // ms
+		bandwidth []struct {
+			at time.Duration
+			v  float64
+		} // kb/s
+		loss []struct {
+			at time.Duration
+			v  float64
+		} // percent
+	}
+	var trials []trialData
+
+	for i := 0; i < o.Trials; i++ {
+		raw, res, err := CollectFull(sc, i, o)
+		if err != nil {
+			return nil, err
+		}
+		fig.Corrections += res.Corrections
+		var td trialData
+		start := raw.Header.Start
+		if len(raw.Packets) > 0 {
+			start = raw.Packets[0].At
+		}
+		for _, d := range raw.Devices {
+			td.signalAt = append(td.signalAt, struct {
+				at time.Duration
+				v  float64
+			}{time.Duration(d.At - start), float64(d.Signal)})
+		}
+		at := time.Duration(0)
+		for _, tu := range res.Replay {
+			td.latency = append(td.latency, struct {
+				at time.Duration
+				v  float64
+			}{at, float64(tu.F) / float64(time.Millisecond)})
+			td.bandwidth = append(td.bandwidth, struct {
+				at time.Duration
+				v  float64
+			}{at, tu.Vb.BitsPerSec() / 1e3})
+			td.loss = append(td.loss, struct {
+				at time.Duration
+				v  float64
+			}{at, tu.L * 100})
+			at += tu.D
+		}
+		trials = append(trials, td)
+	}
+
+	if !sc.Motion {
+		fig.SignalH = stats.NewHistogram(0, 35, 14)
+		fig.LatencyH = stats.NewHistogram(0, 50, 20)
+		fig.BandwidthH = stats.NewHistogram(0, 2000, 20)
+		fig.LossH = stats.NewHistogram(0, 30, 15)
+		for _, td := range trials {
+			for _, s := range td.signalAt {
+				fig.SignalH.Add(s.v)
+			}
+			for _, s := range td.latency {
+				fig.LatencyH.Add(s.v)
+			}
+			for _, s := range td.bandwidth {
+				fig.BandwidthH.Add(s.v)
+			}
+			for _, s := range td.loss {
+				fig.LossH.Add(s.v)
+			}
+		}
+		return fig, nil
+	}
+
+	// Motion: reduce each leg between consecutive checkpoints to ranges.
+	// Inter-checkpoint intervals are normalized per the paper: every trial
+	// maps onto the same profile timeline.
+	cps := sc.Profile.Checkpoints()
+	for ci := 0; ci+1 < len(cps); ci++ {
+		lo, hi := cps[ci].At, cps[ci+1].At
+		inLeg := func(samples []struct {
+			at time.Duration
+			v  float64
+		}) []float64 {
+			var vals []float64
+			for _, s := range samples {
+				if s.at >= lo && s.at < hi {
+					vals = append(vals, s.v)
+				}
+			}
+			return vals
+		}
+		pt := LegPoint{Label: cps[ci].Label}
+		var sig, lat, bw, loss []float64
+		for _, td := range trials {
+			sig = append(sig, inLeg(td.signalAt)...)
+			lat = append(lat, inLeg(td.latency)...)
+			bw = append(bw, inLeg(td.bandwidth)...)
+			loss = append(loss, inLeg(td.loss)...)
+		}
+		pt.Signal = stats.RangeOf(sig)
+		pt.LatencyMs = stats.RangeOf(lat)
+		pt.BandwidthKbps = stats.RangeOf(bw)
+		pt.LossPct = stats.RangeOf(loss)
+		fig.Points = append(fig.Points, pt)
+	}
+	return fig, nil
+}
+
+// Format renders the figure as aligned text series (or histograms for the
+// stationary scenario).
+func (f *ScenarioFig) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scenario figure: %s (%d trials, %d corrected estimates)\n", f.Scenario, f.Trials, f.Corrections)
+	if f.Motion {
+		fmt.Fprintf(&b, "%-8s %-16s %-18s %-20s %-16s\n", "leg", "signal", "latency (ms)", "bandwidth (kb/s)", "loss (%)")
+		for _, p := range f.Points {
+			fmt.Fprintf(&b, "%-8s %-16s %-18s %-20s %-16s\n",
+				p.Label, p.Signal, p.LatencyMs, p.BandwidthKbps, p.LossPct)
+		}
+		return b.String()
+	}
+	fmt.Fprintf(&b, "signal level histogram:\n%s", f.SignalH.Render(40))
+	fmt.Fprintf(&b, "latency histogram (ms):\n%s", f.LatencyH.Render(40))
+	fmt.Fprintf(&b, "bandwidth histogram (kb/s):\n%s", f.BandwidthH.Render(40))
+	fmt.Fprintf(&b, "loss histogram (%%):\n%s", f.LossH.Render(40))
+	return b.String()
+}

@@ -1,0 +1,95 @@
+package expt
+
+import (
+	"testing"
+	"time"
+
+	"tracemod/internal/apps/ftp"
+	"tracemod/internal/core"
+	"tracemod/internal/modulation"
+	"tracemod/internal/replay"
+	"tracemod/internal/scenario"
+	"tracemod/internal/sim"
+	"tracemod/internal/transport"
+)
+
+// TestProbePipeline is a development probe: it prints the magnitudes of
+// each pipeline stage so the experiment constants can be calibrated.
+func TestProbePipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe only")
+	}
+	o := Default()
+	o.FTPSize = 10 << 20
+
+	// Live FTP over Porter.
+	for _, b := range []Bench{BenchFTPSend, BenchFTPRecv} {
+		res, err := RunLive(scenario.Porter, b, 0, o)
+		if err != nil {
+			t.Fatalf("live %v: %v", b, err)
+		}
+		t.Logf("live porter %v: %v", b, res.Elapsed)
+	}
+	// Ethernet reference.
+	for _, b := range []Bench{BenchFTPSend, BenchFTPRecv} {
+		res, err := RunEthernetReference(b, 0, o)
+		if err != nil {
+			t.Fatalf("eth %v: %v", b, err)
+		}
+		t.Logf("ethernet %v: %v", b, res.Elapsed)
+	}
+
+	// Collection + distillation on Porter.
+	dres, err := Collect(scenario.Porter, 0, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("distilled: %s, meanVb bw = %.2f Mb/s", dres.Describe(), dres.Replay.MeanVb().BitsPerSec()/1e6)
+
+	comp, err := MeasureCompensation(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("compensation = %.1f ns/B (%.2f Mb/s)", float64(comp), comp.BitsPerSec()/1e6)
+
+	// Modulated FTP with the distilled trace.
+	for _, b := range []Bench{BenchFTPSend, BenchFTPRecv} {
+		res, err := RunModulated(dres.Replay, b, 0, comp, o)
+		if err != nil {
+			t.Fatalf("mod %v: %v", b, err)
+		}
+		t.Logf("modulated porter %v: %v", b, res.Elapsed)
+	}
+}
+
+// TestProbeFig1Asymmetry checks whether the endpoint delay-queue asymmetry
+// appears without compensation, using the synthetic WaveLAN-like trace.
+func TestProbeFig1Asymmetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe only")
+	}
+	trace := replay.WaveLANLike(time.Hour)
+	run := func(dir ftp.Direction, comp float64) time.Duration {
+		s := sim.New(123)
+		tb := scenario.BuildEthernet(s)
+		dev := modulation.StartDaemon(s, trace, true)
+		eng := modulation.NewEngine(modulation.SimClock{S: s}, dev, modulation.Config{
+			Tick:         modulation.DefaultTick,
+			Compensation: core.PerByte(comp),
+			RNG:          s.RNG("m"),
+		})
+		modulation.Install(tb.Laptop, eng)
+		ct, st := transport.NewTCP(tb.Laptop), transport.NewTCP(tb.Server)
+		ftp.Serve(s, st)
+		var el time.Duration
+		s.Spawn("bench", func(p *sim.Proc) {
+			el, _ = ftp.Transfer(p, ct, scenario.ModServer, dir, 4<<20, 0)
+		})
+		s.RunUntil(sim.Time(time.Hour))
+		return el
+	}
+	store := run(ftp.Send, 0)
+	fetchRaw := run(ftp.Recv, 0)
+	fetchComp := run(ftp.Recv, 800) // ≈10 Mb/s physical Vb
+	t.Logf("store=%v fetch(raw)=%v fetch(comp)=%v", store, fetchRaw, fetchComp)
+}

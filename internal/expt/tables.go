@@ -1,0 +1,279 @@
+// Table generators for Figures 6-8: each scenario gets four live ("Real")
+// trials and four modulated trials, the latter each driven by an
+// independently collected and distilled trace, exactly as Section 5.1
+// describes. The Ethernet reference row runs the benchmark on the bare
+// modulation testbed.
+
+package expt
+
+import (
+	"fmt"
+	"strings"
+
+	"tracemod/internal/core"
+	"tracemod/internal/scenario"
+	"tracemod/internal/stats"
+)
+
+// Cell is one Real-vs-Modulated comparison.
+type Cell struct {
+	Real, Mod stats.Summary
+}
+
+// Agrees applies the paper's accuracy criterion: the difference of the
+// means is within the sum of the standard deviations.
+func (c Cell) Agrees() bool { return stats.Overlaps(c.Real, c.Mod) }
+
+// Sigma is the divergence in multiples of the summed deviations.
+func (c Cell) Sigma() float64 { return stats.DivergenceSigma(c.Real, c.Mod) }
+
+// WebRow is one scenario's Figure 6 entry.
+type WebRow struct {
+	Scenario string
+	Cell
+}
+
+// WebTable is the Figure 6 reproduction.
+type WebTable struct {
+	Rows     []WebRow
+	Ethernet stats.Summary
+}
+
+// FTPRow is one scenario's Figure 7 entry.
+type FTPRow struct {
+	Scenario   string
+	Send, Recv Cell
+}
+
+// FTPTable is the Figure 7 reproduction.
+type FTPTable struct {
+	Rows                       []FTPRow
+	EthernetSend, EthernetRecv stats.Summary
+}
+
+// PhaseNames are the Andrew benchmark phases in Figure 8 order.
+var PhaseNames = [6]string{"MakeDir", "Copy", "ScanDir", "ReadAll", "Make", "Total"}
+
+// AndrewRow is one scenario's Figure 8 entry: a cell per phase plus total.
+type AndrewRow struct {
+	Scenario string
+	Phases   [6]Cell
+}
+
+// AndrewTable is the Figure 8 reproduction.
+type AndrewTable struct {
+	Rows     []AndrewRow
+	Ethernet [6]stats.Summary
+}
+
+// collectTraces gathers one distilled trace per modulated trial.
+func collectTraces(sc scenario.Scenario, o Options) ([]core.Trace, error) {
+	traces := make([]core.Trace, o.Trials)
+	for i := 0; i < o.Trials; i++ {
+		res, err := Collect(sc, i, o)
+		if err != nil {
+			return nil, fmt.Errorf("collect %s trial %d: %w", sc.Name, i, err)
+		}
+		traces[i] = res.Replay
+	}
+	return traces, nil
+}
+
+// benchCell runs o.Trials live and modulated trials of benchmark b and
+// summarizes elapsed seconds.
+func benchCell(sc scenario.Scenario, b Bench, traces []core.Trace, comp core.PerByte, o Options) (Cell, [][6]float64, [][6]float64, error) {
+	var real, mod []float64
+	var realPhases, modPhases [][6]float64
+	for i := 0; i < o.Trials; i++ {
+		r, err := RunLive(sc, b, i, o)
+		if err != nil {
+			return Cell{}, nil, nil, fmt.Errorf("live %s/%v trial %d: %w", sc.Name, b, i, err)
+		}
+		real = append(real, r.Elapsed.Seconds())
+		if r.Phases != nil {
+			realPhases = append(realPhases, r.Phases.Seconds())
+		}
+		m, err := RunModulated(traces[i], b, i, comp, o)
+		if err != nil {
+			return Cell{}, nil, nil, fmt.Errorf("mod %s/%v trial %d: %w", sc.Name, b, i, err)
+		}
+		mod = append(mod, m.Elapsed.Seconds())
+		if m.Phases != nil {
+			modPhases = append(modPhases, m.Phases.Seconds())
+		}
+	}
+	return Cell{Real: stats.Summarize(real), Mod: stats.Summarize(mod)}, realPhases, modPhases, nil
+}
+
+// ethernetReference runs the benchmark on the bare testbed.
+func ethernetReference(b Bench, o Options) (stats.Summary, [][6]float64, error) {
+	var xs []float64
+	var phases [][6]float64
+	for i := 0; i < o.Trials; i++ {
+		r, err := RunEthernetReference(b, i, o)
+		if err != nil {
+			return stats.Summary{}, nil, err
+		}
+		xs = append(xs, r.Elapsed.Seconds())
+		if r.Phases != nil {
+			phases = append(phases, r.Phases.Seconds())
+		}
+	}
+	return stats.Summarize(xs), phases, nil
+}
+
+// Fig6Web reproduces Figure 6 (the Web benchmark table).
+func Fig6Web(o Options) (*WebTable, error) {
+	comp, err := MeasureCompensation(o)
+	if err != nil {
+		return nil, err
+	}
+	t := &WebTable{}
+	for _, sc := range scenario.All() {
+		traces, err := collectTraces(sc, o)
+		if err != nil {
+			return nil, err
+		}
+		cell, _, _, err := benchCell(sc, BenchWeb, traces, comp, o)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, WebRow{Scenario: sc.Name, Cell: cell})
+	}
+	ref, _, err := ethernetReference(BenchWeb, o)
+	if err != nil {
+		return nil, err
+	}
+	t.Ethernet = ref
+	return t, nil
+}
+
+// Fig7FTP reproduces Figure 7 (the FTP benchmark table).
+func Fig7FTP(o Options) (*FTPTable, error) {
+	comp, err := MeasureCompensation(o)
+	if err != nil {
+		return nil, err
+	}
+	t := &FTPTable{}
+	for _, sc := range scenario.All() {
+		traces, err := collectTraces(sc, o)
+		if err != nil {
+			return nil, err
+		}
+		send, _, _, err := benchCell(sc, BenchFTPSend, traces, comp, o)
+		if err != nil {
+			return nil, err
+		}
+		recv, _, _, err := benchCell(sc, BenchFTPRecv, traces, comp, o)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, FTPRow{Scenario: sc.Name, Send: send, Recv: recv})
+	}
+	var err2 error
+	if t.EthernetSend, _, err2 = ethernetReference(BenchFTPSend, o); err2 != nil {
+		return nil, err2
+	}
+	if t.EthernetRecv, _, err2 = ethernetReference(BenchFTPRecv, o); err2 != nil {
+		return nil, err2
+	}
+	return t, nil
+}
+
+// Fig8Andrew reproduces Figure 8 (the Andrew benchmark table).
+func Fig8Andrew(o Options) (*AndrewTable, error) {
+	comp, err := MeasureCompensation(o)
+	if err != nil {
+		return nil, err
+	}
+	t := &AndrewTable{}
+	for _, sc := range scenario.All() {
+		traces, err := collectTraces(sc, o)
+		if err != nil {
+			return nil, err
+		}
+		_, realPh, modPh, err := benchCell(sc, BenchAndrew, traces, comp, o)
+		if err != nil {
+			return nil, err
+		}
+		row := AndrewRow{Scenario: sc.Name}
+		for ph := 0; ph < 6; ph++ {
+			var rs, ms []float64
+			for _, tr := range realPh {
+				rs = append(rs, tr[ph])
+			}
+			for _, tr := range modPh {
+				ms = append(ms, tr[ph])
+			}
+			row.Phases[ph] = Cell{Real: stats.Summarize(rs), Mod: stats.Summarize(ms)}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	_, refPh, err := ethernetReference(BenchAndrew, o)
+	if err != nil {
+		return nil, err
+	}
+	for ph := 0; ph < 6; ph++ {
+		var xs []float64
+		for _, tr := range refPh {
+			xs = append(xs, tr[ph])
+		}
+		t.Ethernet[ph] = stats.Summarize(xs)
+	}
+	return t, nil
+}
+
+// Format renders the table in the paper's style.
+func (t *WebTable) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6: Elapsed Times for World Wide Web Benchmark (seconds)\n")
+	fmt.Fprintf(&b, "%-12s %-16s %-16s %-8s\n", "Scenario", "Real (s)", "Modulated (s)", "agree?")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-12s %-16s %-16s %v (%.2fσ)\n", r.Scenario, r.Real, r.Mod, r.Agrees(), r.Sigma())
+	}
+	fmt.Fprintf(&b, "%-12s %-16s %-16s\n", "Ethernet", t.Ethernet, "—")
+	return b.String()
+}
+
+// Format renders the table in the paper's style.
+func (t *FTPTable) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7: Elapsed Times for FTP Benchmark (seconds)\n")
+	fmt.Fprintf(&b, "%-12s %-5s %-16s %-16s %-8s\n", "Scenario", "dir", "Real (s)", "Modulated (s)", "agree?")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-12s %-5s %-16s %-16s %v (%.2fσ)\n", r.Scenario, "send", r.Send.Real, r.Send.Mod, r.Send.Agrees(), r.Send.Sigma())
+		fmt.Fprintf(&b, "%-12s %-5s %-16s %-16s %v (%.2fσ)\n", "", "recv", r.Recv.Real, r.Recv.Mod, r.Recv.Agrees(), r.Recv.Sigma())
+	}
+	fmt.Fprintf(&b, "%-12s %-5s %-16s\n", "Ethernet", "send", t.EthernetSend)
+	fmt.Fprintf(&b, "%-12s %-5s %-16s\n", "", "recv", t.EthernetRecv)
+	return b.String()
+}
+
+// Format renders the table in the paper's style.
+func (t *AndrewTable) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8: Elapsed Times for Andrew Benchmark Phases (seconds)\n")
+	fmt.Fprintf(&b, "%-12s %-5s", "Scenario", "")
+	for _, n := range PhaseNames {
+		fmt.Fprintf(&b, " %-15s", n)
+	}
+	fmt.Fprintln(&b)
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-12s %-5s", r.Scenario, "Real")
+		for _, c := range r.Phases {
+			fmt.Fprintf(&b, " %-15s", c.Real)
+		}
+		fmt.Fprintln(&b)
+		fmt.Fprintf(&b, "%-12s %-5s", "", "Mod.")
+		for _, c := range r.Phases {
+			fmt.Fprintf(&b, " %-15s", c.Mod)
+		}
+		fmt.Fprintln(&b)
+	}
+	fmt.Fprintf(&b, "%-12s %-5s", "Ethernet", "Real")
+	for _, s := range t.Ethernet {
+		fmt.Fprintf(&b, " %-15s", s)
+	}
+	fmt.Fprintln(&b)
+	return b.String()
+}

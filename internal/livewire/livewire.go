@@ -1,0 +1,204 @@
+// Package livewire drives the modulation engine against a real network: a
+// transparent UDP relay that subjects live traffic to a replay trace's
+// delays and losses in wall-clock time. It is the modern analogue of
+// running the paper's modulated kernel on a physical testbed — the same
+// engine the simulator uses, under a real clock and real sockets.
+//
+// Topology: client ⇄ relay (this process) ⇄ target server. Traffic from
+// the client is treated as the mobile host's outbound direction; traffic
+// from the target as inbound (and so receives delay compensation).
+package livewire
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tracemod/internal/core"
+	"tracemod/internal/modulation"
+	"tracemod/internal/packet"
+	"tracemod/internal/simnet"
+)
+
+// RealClock implements modulation.Clock over the wall clock.
+type RealClock struct {
+	epoch time.Time
+}
+
+// NewRealClock starts a clock at the current instant.
+func NewRealClock() *RealClock { return &RealClock{epoch: time.Now()} }
+
+// Now implements modulation.Clock.
+func (c *RealClock) Now() time.Duration { return time.Since(c.epoch) }
+
+// AfterFunc implements modulation.Clock.
+func (c *RealClock) AfterFunc(d time.Duration, fn func()) { time.AfterFunc(d, fn) }
+
+// Config parameterizes a relay.
+type Config struct {
+	// Trace drives the shaping; it loops for the relay's lifetime.
+	Trace core.Trace
+	// Tick is the scheduling granularity (modulation.DefaultTick if 0).
+	Tick time.Duration
+	// InboundExtra charges target→client packets an additional per-byte
+	// cost (the physical receive path); see modulation.Config.
+	InboundExtra core.PerByte
+	// Compensation is subtracted from Vb for target→client traffic.
+	Compensation core.PerByte
+	// Seed drives the drop lottery (deterministic per relay).
+	Seed int64
+}
+
+// Stats counts relay activity.
+type Stats struct {
+	ClientToTarget int64
+	TargetToClient int64
+	Dropped        int64
+}
+
+// Relay is a live packet-shaping daemon.
+type Relay struct {
+	engine *modulation.Engine
+
+	clientSide *net.UDPConn // clients talk to this
+	targetSide *net.UDPConn // connected toward the target
+
+	clientAddr atomic.Pointer[net.UDPAddr]
+
+	closeOnce sync.Once
+	closed    chan struct{}
+
+	c2t, t2c, dropped atomic.Int64
+}
+
+// NewRelay binds listenAddr for clients and connects toward targetAddr.
+// Use "127.0.0.1:0" as listenAddr to pick a free port; Addr reports it.
+func NewRelay(listenAddr, targetAddr string, cfg Config) (*Relay, error) {
+	if len(cfg.Trace) == 0 {
+		return nil, errors.New("livewire: empty trace")
+	}
+	if err := cfg.Trace.Validate(); err != nil {
+		return nil, err
+	}
+	laddr, err := net.ResolveUDPAddr("udp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("livewire: listen addr: %w", err)
+	}
+	taddr, err := net.ResolveUDPAddr("udp", targetAddr)
+	if err != nil {
+		return nil, fmt.Errorf("livewire: target addr: %w", err)
+	}
+	clientSide, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, err
+	}
+	targetSide, err := net.DialUDP("udp", nil, taddr)
+	if err != nil {
+		clientSide.Close()
+		return nil, err
+	}
+	eng := modulation.NewEngine(NewRealClock(), &modulation.SliceSource{Trace: cfg.Trace, Loop: true}, modulation.Config{
+		Tick:         cfg.Tick,
+		InboundExtra: cfg.InboundExtra,
+		Compensation: cfg.Compensation,
+		RNG:          rand.New(rand.NewSource(cfg.Seed)),
+	})
+	r := &Relay{
+		engine:     eng,
+		clientSide: clientSide,
+		targetSide: targetSide,
+		closed:     make(chan struct{}),
+	}
+	go r.pumpClientToTarget()
+	go r.pumpTargetToClient()
+	return r, nil
+}
+
+// Addr returns the client-facing address.
+func (r *Relay) Addr() *net.UDPAddr { return r.clientSide.LocalAddr().(*net.UDPAddr) }
+
+// Stats returns a snapshot of relay counters.
+func (r *Relay) Stats() Stats {
+	return Stats{
+		ClientToTarget: r.c2t.Load(),
+		TargetToClient: r.t2c.Load(),
+		Dropped:        r.dropped.Load(),
+	}
+}
+
+// Engine exposes the underlying modulation engine (for its statistics).
+func (r *Relay) Engine() *modulation.Engine { return r.engine }
+
+// Close shuts the relay down.
+func (r *Relay) Close() {
+	r.closeOnce.Do(func() {
+		close(r.closed)
+		r.clientSide.Close()
+		r.targetSide.Close()
+	})
+}
+
+// wireSize approximates the IP datagram size of a UDP payload, which is
+// what the model's per-byte costs apply to.
+func wireSize(payload int) int {
+	return payload + packet.IPv4HeaderLen + packet.UDPHeaderLen
+}
+
+func (r *Relay) pumpClientToTarget() {
+	buf := make([]byte, 64*1024)
+	for {
+		n, addr, err := r.clientSide.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		r.clientAddr.Store(addr)
+		data := make([]byte, n)
+		copy(data, buf[:n])
+		before := r.engine.Stats().Dropped
+		r.engine.Submit(simnet.Outbound, wireSize(n), func() {
+			select {
+			case <-r.closed:
+			default:
+				if _, err := r.targetSide.Write(data); err == nil {
+					r.c2t.Add(1)
+				}
+			}
+		})
+		if after := r.engine.Stats().Dropped; after > before {
+			r.dropped.Add(after - before)
+		}
+	}
+}
+
+func (r *Relay) pumpTargetToClient() {
+	buf := make([]byte, 64*1024)
+	for {
+		n, err := r.targetSide.Read(buf)
+		if err != nil {
+			return // closed
+		}
+		addr := r.clientAddr.Load()
+		if addr == nil {
+			continue // no client yet
+		}
+		data := make([]byte, n)
+		copy(data, buf[:n])
+		before := r.engine.Stats().Dropped
+		r.engine.Submit(simnet.Inbound, wireSize(n), func() {
+			select {
+			case <-r.closed:
+			default:
+				if _, err := r.clientSide.WriteToUDP(data, addr); err == nil {
+					r.t2c.Add(1)
+				}
+			}
+		})
+		if after := r.engine.Stats().Dropped; after > before {
+			r.dropped.Add(after - before)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package livewire
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"tracemod/internal/core"
+	"tracemod/internal/replay"
+)
+
+// echoServer starts a real UDP echo server and returns its address.
+func echoServer(t *testing.T) *net.UDPAddr {
+	t.Helper()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	go func() {
+		buf := make([]byte, 64*1024)
+		for {
+			n, addr, err := conn.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			conn.WriteToUDP(buf[:n], addr)
+		}
+	}()
+	return conn.LocalAddr().(*net.UDPAddr)
+}
+
+func constTrace(f time.Duration, loss float64) core.Trace {
+	return replay.Constant(core.DelayParams{F: f, Vb: 100, Vr: 0}, loss, time.Hour, time.Second)
+}
+
+func dialRelay(t *testing.T, r *Relay) *net.UDPConn {
+	t.Helper()
+	c, err := net.DialUDP("udp", nil, r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestRelayShapesRTT(t *testing.T) {
+	target := echoServer(t)
+	// 20ms one-way latency, exact scheduling: RTT must be >= 40ms.
+	r, err := NewRelay("127.0.0.1:0", target.String(), Config{
+		Trace: constTrace(20*time.Millisecond, 0), Tick: -1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	c := dialRelay(t, r)
+
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var rtts []time.Duration
+	buf := make([]byte, 1024)
+	for i := 0; i < 5; i++ {
+		start := time.Now()
+		if _, err := c.Write([]byte("ping")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Read(buf); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		rtts = append(rtts, time.Since(start))
+	}
+	for i, rtt := range rtts {
+		if rtt < 40*time.Millisecond {
+			t.Fatalf("rtt %d = %v, want >= 40ms (2x shaped latency)", i, rtt)
+		}
+		if rtt > 500*time.Millisecond {
+			t.Fatalf("rtt %d = %v, implausibly slow", i, rtt)
+		}
+	}
+	st := r.Stats()
+	if st.ClientToTarget != 5 || st.TargetToClient != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRelayUnshapedIsFast(t *testing.T) {
+	target := echoServer(t)
+	r, err := NewRelay("127.0.0.1:0", target.String(), Config{
+		Trace: constTrace(0, 0), Tick: -1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	c := dialRelay(t, r)
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1024)
+	start := time.Now()
+	c.Write([]byte("x"))
+	if _, err := c.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if rtt := time.Since(start); rtt > 100*time.Millisecond {
+		t.Fatalf("near-zero trace gave rtt %v", rtt)
+	}
+}
+
+func TestRelayDropsPackets(t *testing.T) {
+	target := echoServer(t)
+	r, err := NewRelay("127.0.0.1:0", target.String(), Config{
+		Trace: constTrace(0, 0.7), Tick: -1, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	c := dialRelay(t, r)
+	const sent = 60
+	for i := 0; i < sent; i++ {
+		c.Write([]byte{byte(i)})
+	}
+	// Count echoes arriving within a short window.
+	c.SetReadDeadline(time.Now().Add(500 * time.Millisecond))
+	buf := make([]byte, 1024)
+	got := 0
+	for {
+		if _, err := c.Read(buf); err != nil {
+			break
+		}
+		got++
+	}
+	// Each direction survives with P=0.3: expect ≈ sent * 0.09; allow slack.
+	if got >= sent/2 {
+		t.Fatalf("got %d of %d echoes; drop lottery not applied", got, sent)
+	}
+	if r.Stats().Dropped == 0 {
+		t.Fatal("relay should count drops")
+	}
+}
+
+func TestRelayRejectsBadConfig(t *testing.T) {
+	if _, err := NewRelay("127.0.0.1:0", "127.0.0.1:9", Config{}); err == nil {
+		t.Fatal("empty trace must be rejected")
+	}
+	bad := core.Trace{{D: -1}}
+	if _, err := NewRelay("127.0.0.1:0", "127.0.0.1:9", Config{Trace: bad}); err == nil {
+		t.Fatal("invalid trace must be rejected")
+	}
+	if _, err := NewRelay("not-an-addr", "127.0.0.1:9", Config{Trace: constTrace(0, 0)}); err == nil {
+		t.Fatal("bad listen address must be rejected")
+	}
+}
+
+func TestRealClockMonotone(t *testing.T) {
+	c := NewRealClock()
+	a := c.Now()
+	time.Sleep(5 * time.Millisecond)
+	b := c.Now()
+	if b <= a {
+		t.Fatal("clock must advance")
+	}
+	fired := make(chan struct{})
+	c.AfterFunc(time.Millisecond, func() { close(fired) })
+	select {
+	case <-fired:
+	case <-time.After(time.Second):
+		t.Fatal("AfterFunc never fired")
+	}
+}

@@ -1,0 +1,173 @@
+package modulation
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tracemod/internal/core"
+	"tracemod/internal/replay"
+	"tracemod/internal/sim"
+	"tracemod/internal/simnet"
+)
+
+// TestBottleneckFIFOProperty: packets submitted in some order leave the
+// bottleneck in that order — the unified queue never reorders, regardless
+// of sizes, directions, or arrival spacing. (With a residual per-byte cost
+// the *delivery* order may legitimately differ by size — the model
+// overlaps s·Vr — so the property is stated with Vr = 0, where delivery
+// order equals bottleneck order.)
+func TestBottleneckFIFOProperty(t *testing.T) {
+	f := func(sizes []uint16, gaps []uint16, seed int64) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 64 {
+			sizes = sizes[:64]
+		}
+		s := sim.New(seed)
+		p := core.DelayParams{F: 3 * time.Millisecond, Vb: 2000, Vr: 0}
+		e := NewEngine(SimClock{S: s}, &SliceSource{Trace: replay.Constant(p, 0, time.Hour, time.Second)},
+			Config{Tick: -1, RNG: s.RNG("fifo")})
+		var order []int
+		at := sim.Time(0)
+		for i, sz := range sizes {
+			i := i
+			size := int(sz%1500) + 1
+			gap := time.Duration(0)
+			if i < len(gaps) {
+				gap = time.Duration(gaps[i]%1000) * time.Microsecond
+			}
+			at = at.Add(gap)
+			dir := simnet.Outbound
+			if sz%2 == 1 {
+				dir = simnet.Inbound
+			}
+			s.At(at, func() {
+				e.Submit(dir, size, func() { order = append(order, i) })
+			})
+		}
+		s.Run()
+		if len(order) != len(sizes) {
+			return false // no drops configured, all must deliver
+		}
+		for i := 1; i < len(order); i++ {
+			if order[i] < order[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeliveryNeverBeforeSubmit: whatever the trace contents, a packet is
+// never delivered before it was submitted.
+func TestDeliveryNeverBeforeSubmitProperty(t *testing.T) {
+	f := func(fMs, vb uint16, tick uint8, seed int64) bool {
+		s := sim.New(seed)
+		p := core.DelayParams{
+			F:  time.Duration(fMs%50) * time.Millisecond,
+			Vb: core.PerByte(vb % 10000),
+			Vr: core.PerByte(vb % 500),
+		}
+		tk := time.Duration(tick%20) * time.Millisecond
+		if tk == 0 {
+			tk = -1
+		}
+		e := NewEngine(SimClock{S: s}, &SliceSource{Trace: replay.Constant(p, 0, time.Hour, time.Second)},
+			Config{Tick: tk, RNG: s.RNG("x")})
+		ok := true
+		for i := 0; i < 20; i++ {
+			at := sim.Time(i) * sim.Time(7*time.Millisecond)
+			s.At(at, func() {
+				e.Submit(simnet.Outbound, 700, func() {
+					if s.Now() < at {
+						ok = false
+					}
+				})
+			})
+		}
+		s.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConservationProperty: submitted = delivered + dropped, always.
+func TestConservationProperty(t *testing.T) {
+	f := func(loss uint8, n uint8, seed int64) bool {
+		s := sim.New(seed)
+		l := float64(loss%90) / 100
+		p := core.DelayParams{F: time.Millisecond, Vb: 100, Vr: 0}
+		e := NewEngine(SimClock{S: s}, &SliceSource{Trace: replay.Constant(p, l, time.Hour, time.Second)},
+			Config{Tick: -1, RNG: s.RNG("c")})
+		total := int(n%100) + 1
+		delivered := 0
+		for i := 0; i < total; i++ {
+			s.At(sim.Time(i)*sim.Time(time.Millisecond), func() {
+				e.Submit(simnet.Outbound, 100, func() { delivered++ })
+			})
+		}
+		s.Run()
+		st := e.Stats()
+		return st.Submitted == int64(total) && int64(delivered)+st.Dropped == int64(total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestThroughputMatchesTrace: sustained backlogged traffic drains at
+// exactly 1/Vb regardless of tick quantization.
+func TestThroughputMatchesTrace(t *testing.T) {
+	for _, tick := range []time.Duration{-1, 10 * time.Millisecond} {
+		s := sim.New(4)
+		p := core.DelayParams{F: 5 * time.Millisecond, Vb: core.PerByteFromBandwidth(1.5e6), Vr: 0}
+		e := NewEngine(SimClock{S: s}, &SliceSource{Trace: replay.Constant(p, 0, time.Hour, time.Second)},
+			Config{Tick: tick, RNG: s.RNG("tp")})
+		const n, size = 500, 1500
+		var last sim.Time
+		for i := 0; i < n; i++ {
+			e.Submit(simnet.Outbound, size, func() { last = s.Now() })
+		}
+		s.Run()
+		wantBits := float64(n * size * 8)
+		gotMbps := wantBits / last.Duration().Seconds() / 1e6
+		if gotMbps < 1.45 || gotMbps > 1.56 {
+			t.Fatalf("tick %v: backlogged throughput %.3f Mb/s, want ≈1.5", tick, gotMbps)
+		}
+	}
+}
+
+// TestEngineDeterministicAcrossRuns: identical seeds yield identical drop
+// patterns and delivery times.
+func TestEngineDeterministicAcrossRuns(t *testing.T) {
+	run := func() []sim.Time {
+		s := sim.New(99)
+		p := core.DelayParams{F: 2 * time.Millisecond, Vb: 3000, Vr: 200}
+		e := NewEngine(SimClock{S: s}, &SliceSource{Trace: replay.Constant(p, 0.25, time.Hour, time.Second)},
+			Config{Tick: DefaultTick, RNG: s.RNG("det")})
+		var times []sim.Time
+		for i := 0; i < 200; i++ {
+			s.At(sim.Time(i)*sim.Time(3*time.Millisecond), func() {
+				e.Submit(simnet.Outbound, 800, func() { times = append(times, s.Now()) })
+			})
+		}
+		s.Run()
+		return times
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("diverged at %d", i)
+		}
+	}
+}

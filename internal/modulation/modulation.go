@@ -1,0 +1,388 @@
+// Package modulation implements the modulation phase (Section 3.3): an
+// in-kernel-style layer between IP and the device that delays and drops
+// every inbound and outbound packet according to a replay trace.
+//
+// The layer realizes the paper's design decisions exactly:
+//
+//   - a single, unified delay queue so inbound and outbound traffic
+//     interfere with one another at the bottleneck;
+//   - packets pay s·Vb serially at the bottleneck, then F + s·Vr overlapped;
+//   - the drop lottery runs only after a packet has passed through the
+//     bottleneck queue, so even lost packets consume bottleneck time;
+//   - deliveries are quantized to the host's clock-tick resolution (10 ms
+//     on the paper's NetBSD kernels): delays shorter than half a tick send
+//     immediately, others round to the closest tick;
+//   - inbound packets receive delay compensation — the long-term average
+//     bottleneck per-byte cost of the physical network under the emulation
+//     is subtracted from Vb — correcting the asymmetry of placing the
+//     queue at one endpoint (Figure 1).
+//
+// The engine is clock-abstracted: the same code runs in virtual time under
+// the simulator and in real time in the livewire shaping daemon.
+package modulation
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"tracemod/internal/core"
+	"tracemod/internal/sim"
+	"tracemod/internal/simnet"
+)
+
+// DefaultTick matches the 10 ms clock interrupt resolution of the paper's
+// hosts. A tick of zero schedules exactly.
+const DefaultTick = 10 * time.Millisecond
+
+// Clock abstracts time for the engine.
+type Clock interface {
+	// Now returns elapsed time since the clock's epoch.
+	Now() time.Duration
+	// AfterFunc runs fn once d has elapsed.
+	AfterFunc(d time.Duration, fn func())
+}
+
+// SimClock adapts a sim.Scheduler.
+type SimClock struct{ S *sim.Scheduler }
+
+// Now implements Clock.
+func (c SimClock) Now() time.Duration { return c.S.Now().Duration() }
+
+// AfterFunc implements Clock.
+func (c SimClock) AfterFunc(d time.Duration, fn func()) { c.S.After(d, fn) }
+
+// Source supplies replay-trace tuples to the engine, non-blocking. ok is
+// false when no tuple is currently available (the engine then holds its
+// current parameters, as the kernel does when the daemon falls behind).
+type Source interface {
+	Next() (core.Tuple, bool)
+}
+
+// SliceSource serves tuples from an in-memory trace, optionally looping
+// (the daemon "may write a file of tuples once ... or it may loop over the
+// file until interrupted").
+type SliceSource struct {
+	Trace core.Trace
+	Loop  bool
+	pos   int
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (core.Tuple, bool) {
+	if len(s.Trace) == 0 {
+		return core.Tuple{}, false
+	}
+	if s.pos >= len(s.Trace) {
+		if !s.Loop {
+			return core.Tuple{}, false
+		}
+		s.pos = 0
+	}
+	t := s.Trace[s.pos]
+	s.pos++
+	return t, true
+}
+
+// Config parameterizes an engine.
+type Config struct {
+	// Tick is the scheduling granularity; DefaultTick if zero, exact
+	// scheduling if negative.
+	Tick time.Duration
+	// InboundExtra reproduces the endpoint-placement artifact of the
+	// paper's kernel (Figure 1): an inbound packet has already been
+	// serialized once by the physical network before reaching the delay
+	// queue, and that receive-path cost is charged serially on top of the
+	// emulated bottleneck. Set it to the physical path's per-byte cost to
+	// emulate the paper's uncompensated behaviour; leave it zero for an
+	// idealized layer with no such artifact.
+	InboundExtra core.PerByte
+	// Compensation is the paper's correction: the physical network's
+	// measured long-term average bottleneck per-byte cost, subtracted
+	// from Vb for inbound packets. With InboundExtra present they cancel
+	// (up to measurement error), making inbound and outbound behave
+	// identically.
+	Compensation core.PerByte
+	// RNG drives the drop lottery; required.
+	RNG *rand.Rand
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	Submitted int64 // packets entering the layer
+	Dropped   int64 // packets lost by the drop lottery
+	Immediate int64 // deliveries under half a tick, sent at once
+	Delayed   int64 // deliveries scheduled onto a tick
+	Tuples    int64 // tuples consumed from the source
+}
+
+// Engine is the modulation layer's scheduler.
+type Engine struct {
+	mu    sync.Mutex
+	clock Clock
+	src   Source
+	cfg   Config
+
+	cur        core.Tuple
+	curOK      bool
+	schedEnd   time.Duration // when cur expires on the cumulative schedule
+	starved    bool          // source ran dry; realign schedule on resume
+	timerArmed bool          // an advance timer is outstanding
+	busy       time.Duration // bottleneck queue busy-until
+
+	stats Stats
+}
+
+// NewEngine creates a modulation engine. Modulation time starts at the
+// clock's current reading.
+func NewEngine(clock Clock, src Source, cfg Config) *Engine {
+	if cfg.Tick == 0 {
+		cfg.Tick = DefaultTick
+	}
+	if cfg.Tick < 0 {
+		cfg.Tick = 0
+	}
+	if cfg.RNG == nil {
+		panic("modulation: Config.RNG is required")
+	}
+	e := &Engine{clock: clock, src: src, cfg: cfg}
+	e.schedEnd = clock.Now()
+	if n, ok := src.(Notifier); ok {
+		n.SetOnAvailable(e.onAvailable)
+	}
+	// Tuples are consumed with the passage of time, as the paper's kernel
+	// reads its buffer — not only when traffic happens to arrive.
+	e.mu.Lock()
+	e.advance(e.schedEnd)
+	e.armAdvanceTimer()
+	e.mu.Unlock()
+	return e
+}
+
+// Notifier is implemented by sources that can signal the arrival of new
+// tuples after running dry (the pseudo-device does); the engine uses it to
+// resume its schedule without polling.
+type Notifier interface {
+	SetOnAvailable(fn func())
+}
+
+// armAdvanceTimer keeps the tuple schedule aligned with the clock even
+// when no packets flow. A starved engine does not rearm: it resumes via
+// the source's Notifier (or holds its last tuple forever if the trace
+// simply ended). Called with e.mu held.
+func (e *Engine) armAdvanceTimer() {
+	if e.timerArmed || !e.curOK || e.starved {
+		return
+	}
+	wait := e.schedEnd - e.clock.Now()
+	if wait <= 0 {
+		wait = time.Millisecond
+	}
+	e.timerArmed = true
+	e.clock.AfterFunc(wait, func() {
+		e.mu.Lock()
+		e.timerArmed = false
+		e.advance(e.clock.Now())
+		e.armAdvanceTimer()
+		e.mu.Unlock()
+	})
+}
+
+// onAvailable is the Notifier callback: new tuples arrived after a dry
+// spell.
+func (e *Engine) onAvailable() {
+	e.mu.Lock()
+	e.advance(e.clock.Now())
+	e.armAdvanceTimer()
+	e.mu.Unlock()
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Current returns the tuple currently in force.
+func (e *Engine) Current() (core.Tuple, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cur, e.curOK
+}
+
+// advance consumes tuples until the cumulative schedule covers now. Tuples
+// keep their place on the schedule even if traffic was idle while they
+// expired.
+func (e *Engine) advance(now time.Duration) {
+	for !e.curOK || now >= e.schedEnd {
+		t, ok := e.src.Next()
+		if !ok {
+			e.starved = true
+			return // hold current parameters until the daemon catches up
+		}
+		if e.starved {
+			// The daemon fell behind and resumed: realign the schedule to
+			// now so the backlog doesn't all expire instantly.
+			e.schedEnd = now
+			e.starved = false
+		}
+		e.stats.Tuples++
+		e.cur = t
+		e.curOK = true
+		e.schedEnd += t.D
+	}
+}
+
+// Submit runs one packet of the given direction and size through the
+// layer. deliver is invoked when the packet should continue (possibly
+// immediately, from within Submit); dropped packets never continue.
+func (e *Engine) Submit(dir simnet.Direction, size int, deliver func()) {
+	e.mu.Lock()
+	now := e.clock.Now()
+	e.stats.Submitted++
+	e.advance(now)
+	if !e.curOK {
+		// No tuple has ever arrived: pass traffic through unmodulated,
+		// as the kernel does before the daemon first writes.
+		e.mu.Unlock()
+		deliver()
+		return
+	}
+	t := e.cur
+
+	// Per-direction bottleneck cost: inbound packets carry the kernel's
+	// receive-path over-delay (InboundExtra) and the measured correction
+	// for it (Compensation, Section 3.3 / Figure 1).
+	vb := t.Vb
+	if dir == simnet.Inbound {
+		vb += e.cfg.InboundExtra - e.cfg.Compensation
+		if vb < 0 {
+			vb = 0
+		}
+	}
+
+	// Serialize through the unified bottleneck queue.
+	start := now
+	if e.busy > start {
+		start = e.busy
+	}
+	finishBottleneck := start + vb.Cost(size)
+	e.busy = finishBottleneck
+
+	// The drop lottery runs after the bottleneck queue.
+	if e.cfg.RNG.Float64() < t.L {
+		e.stats.Dropped++
+		e.mu.Unlock()
+		return
+	}
+
+	// Remaining path: latency plus residual per-byte cost, overlapped.
+	target := finishBottleneck + t.F + t.Vr.Cost(size)
+	delay := target - now
+
+	if e.cfg.Tick > 0 {
+		if delay < e.cfg.Tick/2 {
+			// Under half a tick: send immediately.
+			e.stats.Immediate++
+			e.mu.Unlock()
+			deliver()
+			return
+		}
+		// Round the delivery time to the closest clock tick.
+		target = roundToTick(target, e.cfg.Tick)
+		delay = target - now
+		if delay <= 0 {
+			e.stats.Immediate++
+			e.mu.Unlock()
+			deliver()
+			return
+		}
+	} else if delay <= 0 {
+		e.stats.Immediate++
+		e.mu.Unlock()
+		deliver()
+		return
+	}
+
+	e.stats.Delayed++
+	e.mu.Unlock()
+	e.clock.AfterFunc(delay, deliver)
+}
+
+func roundToTick(t, tick time.Duration) time.Duration {
+	return (t + tick/2) / tick * tick
+}
+
+// Hook adapts the engine to a simnet hook; install it on both the inbound
+// and outbound paths of the host under test.
+func Hook(e *Engine) simnet.Hook {
+	return simnet.HookFunc(func(dir simnet.Direction, ip []byte, next func([]byte)) {
+		e.Submit(dir, len(ip), func() { next(ip) })
+	})
+}
+
+// Install places the modulation layer on node's input and output paths and
+// returns the engine for inspection.
+func Install(node *simnet.Node, e *Engine) {
+	h := Hook(e)
+	node.AddOutboundHook(h)
+	node.AddInboundHook(h)
+}
+
+// PseudoDevice is the kernel half of the tuple-feeding interface: a
+// fixed-size in-kernel buffer the user-level daemon writes tuples into,
+// blocking when full.
+type PseudoDevice struct {
+	ch          *sim.Chan[core.Tuple]
+	onAvailable func()
+}
+
+// SetOnAvailable implements Notifier.
+func (d *PseudoDevice) SetOnAvailable(fn func()) { d.onAvailable = fn }
+
+// DefaultBufferTuples is the in-kernel tuple buffer size.
+const DefaultBufferTuples = 32
+
+// NewPseudoDevice creates the device with the given buffer capacity.
+func NewPseudoDevice(s *sim.Scheduler, capacity int) *PseudoDevice {
+	if capacity <= 0 {
+		capacity = DefaultBufferTuples
+	}
+	return &PseudoDevice{ch: sim.NewChan[core.Tuple](s, capacity)}
+}
+
+// Next implements Source for the engine (the kernel reading its buffer).
+func (d *PseudoDevice) Next() (core.Tuple, bool) {
+	return d.ch.TryRecv()
+}
+
+// Buffered returns the number of tuples waiting in the kernel buffer.
+func (d *PseudoDevice) Buffered() int { return d.ch.Len() }
+
+// Write blocks the daemon process until the kernel buffer accepts the
+// tuple, then signals any waiting reader.
+func (d *PseudoDevice) Write(p *sim.Proc, t core.Tuple) {
+	d.ch.Send(p, t)
+	if d.onAvailable != nil {
+		d.onAvailable()
+	}
+}
+
+// StartDaemon spawns the user-level daemon that feeds trace into the
+// pseudo-device, once or in a loop. It returns the device to hand to
+// NewEngine.
+func StartDaemon(s *sim.Scheduler, trace core.Trace, loop bool) *PseudoDevice {
+	dev := NewPseudoDevice(s, DefaultBufferTuples)
+	s.Spawn("modulation-daemon", func(p *sim.Proc) {
+		for {
+			for _, t := range trace {
+				dev.Write(p, t)
+			}
+			if !loop {
+				return
+			}
+		}
+	})
+	return dev
+}

@@ -1,0 +1,169 @@
+package pinger
+
+import (
+	"testing"
+	"time"
+
+	"tracemod/internal/packet"
+	"tracemod/internal/scenario"
+	"tracemod/internal/sim"
+	"tracemod/internal/simnet"
+)
+
+func TestWireSize(t *testing.T) {
+	if WireSize(32) != 60 {
+		t.Fatalf("WireSize(32) = %d, want 60", WireSize(32))
+	}
+}
+
+func TestWorkloadGroupShape(t *testing.T) {
+	// On a clean static LAN, every group completes: 3 echoes per second.
+	s := sim.New(1)
+	m := simnet.NewMedium(s, "lan", simnet.Static{Latency: time.Millisecond, PerByte: 1000})
+	a := simnet.NewNode(s, "a")
+	a.AttachNIC(m, packet.IP4(10, 0, 0, 1), packet.IP4(255, 255, 255, 0))
+	b := simnet.NewNode(s, "b")
+	b.AttachNIC(m, packet.IP4(10, 0, 0, 2), packet.IP4(255, 255, 255, 0))
+
+	// Observe echo sends at the device.
+	var sent []int
+	var sentAt []sim.Time
+	a.NIC(0).SetTap(func(dir simnet.Direction, at sim.Time, ip []byte, q simnet.Quality) {
+		if dir != simnet.Outbound {
+			return
+		}
+		info, err := packet.Decode(ip)
+		if err == nil && info.Has(packet.LayerTypeICMPv4) && info.ICMP.Type() == packet.ICMPEcho {
+			sent = append(sent, int(info.IP.TotalLen()))
+			sentAt = append(sentAt, at)
+		}
+	})
+
+	pg := Start(s, a, packet.IP4(10, 0, 0, 2), 5*time.Second)
+	s.Run()
+
+	st := pg.Stats()
+	if st.Triplets != 5 {
+		t.Fatalf("triplets = %d, want 5", st.Triplets)
+	}
+	if st.Sent != 15 || st.Received != 15 {
+		t.Fatalf("sent/received = %d/%d, want 15/15", st.Sent, st.Received)
+	}
+	// Per group: sizes s1, s2, s2.
+	s1, s2 := WireSize(DefaultS1), WireSize(DefaultS2)
+	for g := 0; g < 5; g++ {
+		if sent[3*g] != s1 || sent[3*g+1] != s2 || sent[3*g+2] != s2 {
+			t.Fatalf("group %d sizes = %v", g, sent[3*g:3*g+3])
+		}
+		// The two large echoes are back-to-back: identical send times.
+		if sentAt[3*g+1] != sentAt[3*g+2] {
+			t.Fatalf("group %d stage-2 not back-to-back: %v vs %v", g, sentAt[3*g+1], sentAt[3*g+2])
+		}
+		// Groups start on 1-second boundaries.
+		if got := sentAt[3*g].Duration(); got != time.Duration(g)*time.Second {
+			t.Fatalf("group %d started at %v", g, got)
+		}
+	}
+}
+
+func TestPayloadCarriesTimestamp(t *testing.T) {
+	s := sim.New(1)
+	m := simnet.NewMedium(s, "lan", simnet.Static{Latency: time.Millisecond, PerByte: 100})
+	a := simnet.NewNode(s, "a")
+	a.AttachNIC(m, packet.IP4(10, 0, 0, 1), packet.IP4(255, 255, 255, 0))
+	b := simnet.NewNode(s, "b")
+	b.AttachNIC(m, packet.IP4(10, 0, 0, 2), packet.IP4(255, 255, 255, 0))
+	var ts int64
+	var tsOK bool
+	var sentTime sim.Time
+	b.NIC(0).SetTap(func(dir simnet.Direction, at sim.Time, ip []byte, q simnet.Quality) {
+		if dir != simnet.Inbound || tsOK {
+			return
+		}
+		info, err := packet.Decode(ip)
+		if err == nil && info.Has(packet.LayerTypeICMPv4) && info.ICMP.Type() == packet.ICMPEcho {
+			ts, tsOK = info.ICMP.SentAt()
+		}
+	})
+	s.At(sim.Time(500*time.Millisecond), func() {}) // move clock off zero
+	s.Spawn("delayed", func(p *sim.Proc) {
+		p.Sleep(250 * time.Millisecond)
+		sentTime = p.Now()
+		pg := New(a, packet.IP4(10, 0, 0, 2))
+		pg.Run(p, time.Second)
+	})
+	s.Run()
+	if !tsOK {
+		t.Fatal("no timestamp observed")
+	}
+	if ts != int64(sentTime) {
+		t.Fatalf("timestamp = %d, want %d", ts, int64(sentTime))
+	}
+}
+
+func TestLossyStage1SkipsStage2(t *testing.T) {
+	// Drop every stage-1 echo (the first, small one) via an outbound hook:
+	// then no stage-2 echoes should ever be sent.
+	s := sim.New(1)
+	m := simnet.NewMedium(s, "lan", simnet.Static{Latency: time.Millisecond, PerByte: 100})
+	a := simnet.NewNode(s, "a")
+	a.AttachNIC(m, packet.IP4(10, 0, 0, 1), packet.IP4(255, 255, 255, 0))
+	b := simnet.NewNode(s, "b")
+	b.AttachNIC(m, packet.IP4(10, 0, 0, 2), packet.IP4(255, 255, 255, 0))
+	small := WireSize(DefaultS1)
+	a.AddOutboundHook(simnet.HookFunc(func(dir simnet.Direction, ip []byte, next func([]byte)) {
+		if len(ip) == small {
+			return // drop
+		}
+		next(ip)
+	}))
+	pg := Start(s, a, packet.IP4(10, 0, 0, 2), 3*time.Second)
+	s.Run()
+	st := pg.Stats()
+	if st.Sent != 3 { // only the three stage-1 probes
+		t.Fatalf("sent = %d, want 3", st.Sent)
+	}
+	if st.Received != 0 {
+		t.Fatalf("received = %d, want 0", st.Received)
+	}
+	if st.Triplets != 3 {
+		t.Fatalf("triplets = %d", st.Triplets)
+	}
+}
+
+func TestStaleRepliesDiscarded(t *testing.T) {
+	// Delay all replies by 1.5 intervals: stage-1 replies arrive during the
+	// *next* group, and the pinger must not mistake them for that group's.
+	s := sim.New(1)
+	m := simnet.NewMedium(s, "lan", simnet.Static{Latency: 1500 * time.Millisecond, PerByte: 10})
+	a := simnet.NewNode(s, "a")
+	a.AttachNIC(m, packet.IP4(10, 0, 0, 1), packet.IP4(255, 255, 255, 0))
+	b := simnet.NewNode(s, "b")
+	b.AttachNIC(m, packet.IP4(10, 0, 0, 2), packet.IP4(255, 255, 255, 0))
+	pg := Start(s, a, packet.IP4(10, 0, 0, 2), 4*time.Second)
+	s.Run()
+	st := pg.Stats()
+	// Every stage-1 reply misses its deadline, so no stage 2 ever fires.
+	if st.Sent != 4 {
+		t.Fatalf("sent = %d, want 4", st.Sent)
+	}
+}
+
+func TestRunOverWirelessScenario(t *testing.T) {
+	s := sim.New(9)
+	tb := scenario.BuildWireless(s, scenario.Porter)
+	pg := Start(s, tb.Laptop, scenario.ServerIP, 20*time.Second)
+	s.RunFor(21 * time.Second)
+	st := pg.Stats()
+	if st.Triplets != 20 {
+		t.Fatalf("triplets = %d, want 20", st.Triplets)
+	}
+	if st.Received == 0 || st.Sent < 20 {
+		t.Fatalf("sent=%d received=%d", st.Sent, st.Received)
+	}
+	// Porter loses a few percent of packets; over 20s the workload should
+	// still mostly succeed.
+	if float64(st.Received) < 0.5*float64(st.Sent) {
+		t.Fatalf("loss too extreme: %d/%d", st.Received, st.Sent)
+	}
+}

@@ -1,0 +1,227 @@
+// Package radio models a WaveLAN-like wireless channel as a time-varying
+// quality process. A Profile is a piecewise description of a traversal —
+// per-segment ranges for signal level, latency, bandwidth, and loss,
+// authored from the paper's Figures 2-5 — and a Model realizes one trial of
+// that profile as a deterministic, seeded sample path which simnet media
+// consult per packet.
+//
+// This package substitutes for the physical WaveLAN radio, the WavePoint
+// infrastructure, and the human walking the path: the trace-modulation
+// methodology only ever observes the channel end-to-end, so any channel
+// with the right magnitudes and variation exercises the identical
+// collection, distillation, and modulation code.
+package radio
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tracemod/internal/core"
+	"tracemod/internal/sim"
+	"tracemod/internal/simnet"
+)
+
+// Segment is one leg of a traversal with stationary statistics. Values are
+// drawn per grid step from the given ranges with first-order smoothing, so
+// conditions wander within the band rather than jumping.
+type Segment struct {
+	// Label names the leg after its bounding checkpoints, e.g. "x0-x1".
+	Label string
+	// Dur is how long the leg takes.
+	Dur time.Duration
+
+	// SignalLo/Hi bound the device's reported signal level in WaveLAN
+	// units (levels below ~5 are background noise).
+	SignalLo, SignalHi float64
+
+	// LatencyLo/Hi bound the one-way channel latency.
+	LatencyLo, LatencyHi time.Duration
+	// SpikeProb is the per-sample probability of a latency spike up to
+	// SpikeMax (media-access stalls; the paper's Porter trace spikes to
+	// 100 ms).
+	SpikeProb float64
+	SpikeMax  time.Duration
+
+	// BWLo/Hi bound the instantaneous bandwidth in bits/second.
+	BWLo, BWHi float64
+
+	// LossLo/Hi bound the packet loss probability.
+	LossLo, LossHi float64
+}
+
+// Profile is an ordered traversal of segments.
+type Profile struct {
+	Name     string
+	Segments []Segment
+}
+
+// Duration returns the total traversal time.
+func (p Profile) Duration() time.Duration {
+	var d time.Duration
+	for _, s := range p.Segments {
+		d += s.Dur
+	}
+	return d
+}
+
+// Checkpoints returns the labels marking segment boundaries and their
+// offsets from the start, for the figure harness's X axis.
+func (p Profile) Checkpoints() []Checkpoint {
+	cps := make([]Checkpoint, 0, len(p.Segments)+1)
+	var at time.Duration
+	for i, s := range p.Segments {
+		cps = append(cps, Checkpoint{Label: segStart(s.Label, i), At: at})
+		at += s.Dur
+	}
+	cps = append(cps, Checkpoint{Label: segEnd(p.Segments[len(p.Segments)-1].Label), At: at})
+	return cps
+}
+
+// Checkpoint is a labelled location along the traversal.
+type Checkpoint struct {
+	Label string
+	At    time.Duration
+}
+
+func segStart(label string, i int) string {
+	for j := 0; j < len(label); j++ {
+		if label[j] == '-' {
+			return label[:j]
+		}
+	}
+	return fmt.Sprintf("p%d", i)
+}
+
+func segEnd(label string) string {
+	for j := len(label) - 1; j >= 0; j-- {
+		if label[j] == '-' {
+			return label[j+1:]
+		}
+	}
+	return label
+}
+
+// GridStep is the resolution at which a Model realizes its sample path.
+// 100 ms is far finer than the 5-second distillation window and coarse
+// enough to keep trial setup cheap.
+const GridStep = 100 * time.Millisecond
+
+// smoothing is the first-order autoregressive weight on the previous grid
+// sample; higher values wander more slowly within the segment band. Loss
+// uses a slower process than delay: it is dominated by position and
+// shadowing, which change on the scale of seconds, and a loss field that
+// varies more slowly than the distillation window is also what lets the
+// window track it.
+const (
+	smoothing     = 0.7
+	lossSmoothing = 0.95
+)
+
+// Model is one seeded realization of a Profile. It implements
+// simnet.QualityProvider. Conditions past the end of the traversal hold at
+// the final grid sample (the host has stopped moving).
+type Model struct {
+	prof Profile
+	grid []simnet.Quality
+}
+
+// NewModel realizes the profile with randomness from rng (draw one from
+// sim.Scheduler.RNG per trial for reproducibility).
+//
+// Each realization first draws trial-level modifiers for loss, bandwidth,
+// and latency: successive traversals of the same physical path never see
+// identical conditions ("the quality of wireless networks can vary
+// dramatically and unpredictably over time and space"), and this
+// day-to-day component is what gives the paper's Real columns their
+// standard deviations.
+func NewModel(prof Profile, rng *rand.Rand) *Model {
+	if len(prof.Segments) == 0 {
+		panic("radio: profile has no segments")
+	}
+	total := prof.Duration()
+	n := int(total/GridStep) + 1
+	grid := make([]simnet.Quality, n)
+
+	uniform := func(lo, hi float64) float64 {
+		if hi <= lo {
+			return lo
+		}
+		return lo + rng.Float64()*(hi-lo)
+	}
+
+	// Trial-level condition modifiers.
+	lossScale := uniform(0.6, 1.4)
+	bwScale := uniform(0.93, 1.07)
+	latScale := uniform(0.8, 1.3)
+
+	var at time.Duration
+	segIdx := 0
+	segEnd := prof.Segments[0].Dur
+	var prev simnet.Quality
+	for i := 0; i < n; i++ {
+		for at >= segEnd && segIdx < len(prof.Segments)-1 {
+			segIdx++
+			segEnd += prof.Segments[segIdx].Dur
+		}
+		s := prof.Segments[segIdx]
+
+		draw := simnet.Quality{
+			Signal:  uniform(s.SignalLo, s.SignalHi),
+			Latency: time.Duration(latScale * uniform(float64(s.LatencyLo), float64(s.LatencyHi))),
+			PerByte: core.PerByteFromBandwidth(bwScale * uniform(s.BWLo, s.BWHi)),
+			Loss:    clamp(lossScale*uniform(s.LossLo, s.LossHi), 0, 0.95),
+		}
+		q := draw
+		if i > 0 {
+			q.Signal = smoothing*prev.Signal + (1-smoothing)*draw.Signal
+			q.Latency = time.Duration(smoothing*float64(prev.Latency) + (1-smoothing)*float64(draw.Latency))
+			q.PerByte = core.PerByte(smoothing*float64(prev.PerByte) + (1-smoothing)*float64(draw.PerByte))
+			q.Loss = lossSmoothing*prev.Loss + (1-lossSmoothing)*draw.Loss
+		}
+		prev = q
+		if s.SpikeProb > 0 && rng.Float64() < s.SpikeProb {
+			spiked := q
+			spiked.Latency = time.Duration(uniform(float64(s.LatencyHi), float64(s.SpikeMax)))
+			grid[i] = spiked
+		} else {
+			grid[i] = q
+		}
+		// Derived WaveLAN device statistics: quality tracks signal;
+		// silence (noise floor) is low and steady.
+		grid[i].Quality = clamp(grid[i].Signal/2, 0, 15)
+		grid[i].Silence = 3
+		at += GridStep
+	}
+	return &Model{prof: prof, grid: grid}
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Profile returns the profile the model realizes.
+func (m *Model) Profile() Profile { return m.prof }
+
+// Sample implements simnet.QualityProvider by grid lookup.
+func (m *Model) Sample(at sim.Time) simnet.Quality {
+	i := int(at.Duration() / GridStep)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(m.grid) {
+		i = len(m.grid) - 1
+	}
+	return m.grid[i]
+}
+
+// SampleAt is Sample keyed by offset from the traversal start.
+func (m *Model) SampleAt(off time.Duration) simnet.Quality {
+	return m.Sample(sim.Time(off))
+}

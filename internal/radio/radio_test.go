@@ -1,0 +1,152 @@
+package radio
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tracemod/internal/sim"
+)
+
+func testProfile() Profile {
+	return Profile{
+		Name: "test",
+		Segments: []Segment{
+			{Label: "a0-a1", Dur: 10 * time.Second, SignalLo: 10, SignalHi: 20, LatencyLo: time.Millisecond, LatencyHi: 5 * time.Millisecond, BWLo: 1e6, BWHi: 2e6, LossLo: 0, LossHi: 0.1},
+			{Label: "a1-a2", Dur: 5 * time.Second, SignalLo: 1, SignalHi: 4, LatencyLo: 50 * time.Millisecond, LatencyHi: 300 * time.Millisecond, BWLo: 0.2e6, BWHi: 0.5e6, LossLo: 0.4, LossHi: 0.8},
+		},
+	}
+}
+
+func TestProfileDurationAndCheckpoints(t *testing.T) {
+	p := testProfile()
+	if p.Duration() != 15*time.Second {
+		t.Fatalf("duration = %v", p.Duration())
+	}
+	cps := p.Checkpoints()
+	if len(cps) != 3 {
+		t.Fatalf("checkpoints = %v", cps)
+	}
+	if cps[0].Label != "a0" || cps[1].Label != "a1" || cps[2].Label != "a2" {
+		t.Fatalf("labels = %v", cps)
+	}
+	if cps[1].At != 10*time.Second || cps[2].At != 15*time.Second {
+		t.Fatalf("offsets = %v", cps)
+	}
+}
+
+func TestModelSamplesWithinSegmentBands(t *testing.T) {
+	m := NewModel(testProfile(), rand.New(rand.NewSource(5)))
+	// Samples well inside segment 1 (skip the boundary smoothing tail).
+	for off := 2 * time.Second; off < 9*time.Second; off += 500 * time.Millisecond {
+		q := m.SampleAt(off)
+		if q.Signal < 9 || q.Signal > 21 {
+			t.Fatalf("segment 1 signal %v out of band at %v", q.Signal, off)
+		}
+		if q.Latency < time.Millisecond/2 || q.Latency > 6*time.Millisecond {
+			t.Fatalf("segment 1 latency %v out of band at %v", q.Latency, off)
+		}
+		if q.Loss < 0 || q.Loss > 0.15 {
+			t.Fatalf("segment 1 loss %v out of band at %v", q.Loss, off)
+		}
+	}
+	// Deep inside segment 2 conditions must be much worse.
+	q := m.SampleAt(14 * time.Second)
+	if q.Signal > 8 {
+		t.Fatalf("segment 2 signal %v, want near-noise", q.Signal)
+	}
+	if q.Latency < 20*time.Millisecond {
+		t.Fatalf("segment 2 latency %v, want elevated", q.Latency)
+	}
+	if q.Loss < 0.2 {
+		t.Fatalf("segment 2 loss %v, want heavy", q.Loss)
+	}
+}
+
+func TestModelClampsBeyondEnds(t *testing.T) {
+	m := NewModel(testProfile(), rand.New(rand.NewSource(5)))
+	end := m.SampleAt(15 * time.Second)
+	past := m.SampleAt(time.Hour)
+	if end != past {
+		t.Fatal("samples past the end should hold the final grid value")
+	}
+	if m.Sample(sim.Time(-5)) != m.Sample(0) {
+		t.Fatal("negative times should clamp to start")
+	}
+}
+
+func TestModelDeterministicPerSeed(t *testing.T) {
+	a := NewModel(testProfile(), rand.New(rand.NewSource(7)))
+	b := NewModel(testProfile(), rand.New(rand.NewSource(7)))
+	c := NewModel(testProfile(), rand.New(rand.NewSource(8)))
+	same, diff := true, false
+	for off := time.Duration(0); off < 15*time.Second; off += GridStep {
+		if a.SampleAt(off) != b.SampleAt(off) {
+			same = false
+		}
+		if a.SampleAt(off) != c.SampleAt(off) {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed must reproduce the identical sample path")
+	}
+	if !diff {
+		t.Fatal("different seeds should give different sample paths")
+	}
+}
+
+func TestLatencySpikes(t *testing.T) {
+	p := Profile{Name: "spiky", Segments: []Segment{{
+		Label: "s0-s1", Dur: 200 * time.Second,
+		SignalLo: 10, SignalHi: 12,
+		LatencyLo: time.Millisecond, LatencyHi: 2 * time.Millisecond,
+		SpikeProb: 0.2, SpikeMax: 100 * time.Millisecond,
+		BWLo: 1e6, BWHi: 1.1e6,
+	}}}
+	m := NewModel(p, rand.New(rand.NewSource(3)))
+	spikes := 0
+	n := 0
+	for off := time.Duration(0); off < 200*time.Second; off += GridStep {
+		n++
+		if m.SampleAt(off).Latency > 5*time.Millisecond {
+			spikes++
+		}
+	}
+	frac := float64(spikes) / float64(n)
+	if frac < 0.1 || frac > 0.3 {
+		t.Fatalf("spike fraction %.3f, want ≈0.2", frac)
+	}
+}
+
+func TestEmptyProfilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewModel(Profile{Name: "empty"}, rand.New(rand.NewSource(1)))
+}
+
+func TestSegmentLabelFallback(t *testing.T) {
+	p := Profile{Name: "nolabel", Segments: []Segment{{Label: "plain", Dur: time.Second, SignalLo: 1, SignalHi: 2, BWLo: 1e6, BWHi: 1e6}}}
+	cps := p.Checkpoints()
+	if cps[0].Label != "p0" || cps[1].Label != "plain" {
+		t.Fatalf("labels = %v", cps)
+	}
+}
+
+// Property: every sample from any seed is physically plausible — positive
+// bandwidth cost, non-negative latency, loss in [0,1).
+func TestSamplePlausibilityProperty(t *testing.T) {
+	prof := testProfile()
+	f := func(seed int64, offMs uint32) bool {
+		m := NewModel(prof, rand.New(rand.NewSource(seed)))
+		q := m.SampleAt(time.Duration(offMs) * time.Millisecond)
+		return q.PerByte > 0 && q.Latency >= 0 && q.Loss >= 0 && q.Loss < 1 && q.Signal >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

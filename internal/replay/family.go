@@ -1,0 +1,126 @@
+// Trace families (Section 6): multiple traversals of the same path form a
+// family that captures the path's variation. A family can be reduced to
+// envelope traces — optimistic, typical, and pessimistic — giving a
+// benchmark suite for stress-testing a mobile system across the range of
+// conditions the path actually exhibits.
+
+package replay
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"time"
+
+	"tracemod/internal/core"
+)
+
+// Family is a set of replay traces collected over the same path.
+type Family []core.Trace
+
+// ErrEmptyFamily is returned when no traces are supplied.
+var ErrEmptyFamily = errors.New("replay: empty trace family")
+
+// Envelope is the family reduced to per-instant order statistics.
+type Envelope struct {
+	// Optimistic takes the best conditions observed at each instant
+	// (lowest latency and per-byte costs, lowest loss).
+	Optimistic core.Trace
+	// Typical takes the per-instant median.
+	Typical core.Trace
+	// Pessimistic takes the worst conditions observed at each instant.
+	Pessimistic core.Trace
+}
+
+// Envelope reduces the family on a fixed step grid spanning the longest
+// trace. Each member trace is sampled (clamping past its end, as a
+// stationary host would experience), so families whose traversals took
+// slightly different times still align, mirroring the paper's
+// inter-checkpoint normalization.
+func (f Family) Envelope(step time.Duration) (*Envelope, error) {
+	if len(f) == 0 {
+		return nil, ErrEmptyFamily
+	}
+	if step <= 0 {
+		step = time.Second
+	}
+	var span time.Duration
+	for _, tr := range f {
+		if err := tr.Validate(); err != nil {
+			return nil, err
+		}
+		if d := tr.TotalDuration(); d > span {
+			span = d
+		}
+	}
+	env := &Envelope{}
+	for at := time.Duration(0); at < span; at += step {
+		var fs, vbs, vrs, ls []float64
+		for _, tr := range f {
+			tu := tr.At(at, false)
+			fs = append(fs, float64(tu.F))
+			vbs = append(vbs, float64(tu.Vb))
+			vrs = append(vrs, float64(tu.Vr))
+			ls = append(ls, tu.L)
+		}
+		d := step
+		if remaining := span - at; remaining < d {
+			d = remaining
+		}
+		mk := func(pick func([]float64) float64) core.Tuple {
+			return core.Tuple{
+				D: d,
+				DelayParams: core.DelayParams{
+					F:  time.Duration(pick(fs)),
+					Vb: core.PerByte(pick(vbs)),
+					Vr: core.PerByte(pick(vrs)),
+				},
+				L: clampLoss(pick(ls)),
+			}
+		}
+		env.Optimistic = append(env.Optimistic, mk(minOf))
+		env.Typical = append(env.Typical, mk(medianOf))
+		env.Pessimistic = append(env.Pessimistic, mk(maxOf))
+	}
+	return env, nil
+}
+
+func clampLoss(l float64) float64 {
+	if l < 0 {
+		return 0
+	}
+	if l > core.MaxLoss {
+		return core.MaxLoss
+	}
+	return l
+}
+
+func minOf(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxOf(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func medianOf(xs []float64) float64 {
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	n := len(ys)
+	if n%2 == 1 {
+		return ys[n/2]
+	}
+	return (ys[n/2-1] + ys[n/2]) / 2
+}

@@ -1,0 +1,110 @@
+package replay
+
+import (
+	"testing"
+	"time"
+
+	"tracemod/internal/core"
+)
+
+func famTrace(f time.Duration, vb core.PerByte, loss float64, dur time.Duration) core.Trace {
+	return Constant(core.DelayParams{F: f, Vb: vb, Vr: 10}, loss, dur, time.Second)
+}
+
+func TestEnvelopeOrderStatistics(t *testing.T) {
+	fam := Family{
+		famTrace(1*time.Millisecond, 1000, 0.01, 10*time.Second),
+		famTrace(3*time.Millisecond, 3000, 0.03, 10*time.Second),
+		famTrace(9*time.Millisecond, 9000, 0.09, 10*time.Second),
+	}
+	env, err := fam.Envelope(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range []core.Trace{env.Optimistic, env.Typical, env.Pessimistic} {
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if tr.TotalDuration() != 10*time.Second {
+			t.Fatalf("duration = %v", tr.TotalDuration())
+		}
+	}
+	if env.Optimistic[0].F != time.Millisecond || env.Optimistic[0].Vb != 1000 {
+		t.Fatalf("optimistic = %+v", env.Optimistic[0])
+	}
+	if env.Typical[0].F != 3*time.Millisecond || env.Typical[0].L != 0.03 {
+		t.Fatalf("typical = %+v", env.Typical[0])
+	}
+	if env.Pessimistic[0].F != 9*time.Millisecond || env.Pessimistic[0].Vb != 9000 {
+		t.Fatalf("pessimistic = %+v", env.Pessimistic[0])
+	}
+}
+
+func TestEnvelopeUnequalLengthsClamp(t *testing.T) {
+	fam := Family{
+		famTrace(2*time.Millisecond, 2000, 0, 5*time.Second),
+		famTrace(4*time.Millisecond, 4000, 0, 10*time.Second),
+	}
+	env, err := fam.Envelope(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Pessimistic.TotalDuration() != 10*time.Second {
+		t.Fatalf("span = %v, want the longest member", env.Pessimistic.TotalDuration())
+	}
+	// Past the short trace's end its final tuple still participates.
+	late := env.Optimistic.At(8*time.Second, false)
+	if late.F != 2*time.Millisecond {
+		t.Fatalf("late optimistic F = %v (short trace should clamp)", late.F)
+	}
+}
+
+func TestEnvelopeMedianEvenCount(t *testing.T) {
+	fam := Family{
+		famTrace(2*time.Millisecond, 2000, 0.02, 4*time.Second),
+		famTrace(4*time.Millisecond, 4000, 0.04, 4*time.Second),
+	}
+	env, err := fam.Envelope(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Typical[0].F != 3*time.Millisecond {
+		t.Fatalf("even-count median F = %v, want interpolated 3ms", env.Typical[0].F)
+	}
+}
+
+func TestEnvelopeErrors(t *testing.T) {
+	if _, err := (Family{}).Envelope(time.Second); err != ErrEmptyFamily {
+		t.Fatalf("err = %v", err)
+	}
+	bad := Family{core.Trace{{D: -1}}}
+	if _, err := bad.Envelope(time.Second); err == nil {
+		t.Fatal("invalid member must be rejected")
+	}
+}
+
+func TestEnvelopeOrderingInvariant(t *testing.T) {
+	// For every instant: optimistic <= typical <= pessimistic in every
+	// delay parameter.
+	fam := Family{
+		WaveLANLike(30 * time.Second),
+		SlowNetLike(30 * time.Second),
+		famTrace(5*time.Millisecond, 5000, 0.05, 30*time.Second),
+	}
+	env, err := fam.Envelope(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range env.Typical {
+		o, ty, pe := env.Optimistic[i], env.Typical[i], env.Pessimistic[i]
+		if o.F > ty.F || ty.F > pe.F {
+			t.Fatalf("tuple %d F ordering broken: %v %v %v", i, o.F, ty.F, pe.F)
+		}
+		if o.Vb > ty.Vb || ty.Vb > pe.Vb {
+			t.Fatalf("tuple %d Vb ordering broken", i)
+		}
+		if o.L > ty.L || ty.L > pe.L {
+			t.Fatalf("tuple %d L ordering broken", i)
+		}
+	}
+}

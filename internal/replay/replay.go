@@ -1,0 +1,169 @@
+// Package replay handles replay traces as artifacts: a line-oriented text
+// serialization for storing and exchanging them, and synthetic trace
+// generators (constant, step, impulse, ramp) for the paper's Section 6
+// application of modulating with conditions no real network conveniently
+// produces — including the WaveLAN-like synthetic trace behind Figure 1.
+package replay
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"tracemod/internal/core"
+)
+
+// FileHeader opens every serialized replay trace.
+const FileHeader = "#tracemod-replay v1"
+
+// Write serializes a replay trace: a header line, then one tuple per line
+// as "duration_us F_us Vb_ns_per_byte Vr_ns_per_byte loss".
+func Write(w io.Writer, tr core.Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, FileHeader); err != nil {
+		return err
+	}
+	for _, t := range tr {
+		_, err := fmt.Fprintf(bw, "%d %d %.3f %.3f %.6f\n",
+			t.D.Microseconds(), t.F.Microseconds(), float64(t.Vb), float64(t.Vr), t.L)
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ErrBadHeader is returned when the input is not a replay trace.
+var ErrBadHeader = errors.New("replay: missing or unknown header")
+
+// Read parses a serialized replay trace. Blank lines and #-comments after
+// the header are ignored.
+func Read(r io.Reader) (core.Trace, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		return nil, ErrBadHeader
+	}
+	if strings.TrimSpace(sc.Text()) != FileHeader {
+		return nil, ErrBadHeader
+	}
+	var tr core.Trace
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var dUS, fUS int64
+		var vb, vr, loss float64
+		if _, err := fmt.Sscanf(text, "%d %d %f %f %f", &dUS, &fUS, &vb, &vr, &loss); err != nil {
+			return nil, fmt.Errorf("replay: line %d: %w", line, err)
+		}
+		tr = append(tr, core.Tuple{
+			D: time.Duration(dUS) * time.Microsecond,
+			DelayParams: core.DelayParams{
+				F:  time.Duration(fUS) * time.Microsecond,
+				Vb: core.PerByte(vb),
+				Vr: core.PerByte(vr),
+			},
+			L: loss,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// Constant produces a trace holding params and loss for dur, in step-sized
+// tuples.
+func Constant(params core.DelayParams, loss float64, dur, step time.Duration) core.Trace {
+	if step <= 0 {
+		step = time.Second
+	}
+	var tr core.Trace
+	for at := time.Duration(0); at < dur; at += step {
+		d := step
+		if remaining := dur - at; remaining < d {
+			d = remaining
+		}
+		tr = append(tr, core.Tuple{D: d, DelayParams: params, L: loss})
+	}
+	return tr
+}
+
+// Step switches from a to b at switchAt, running dur total (the step
+// variation of the paper's synthetic-trace application).
+func Step(a, b core.DelayParams, lossA, lossB float64, switchAt, dur, step time.Duration) core.Trace {
+	first := Constant(a, lossA, switchAt, step)
+	second := Constant(b, lossB, dur-switchAt, step)
+	return append(first, second...)
+}
+
+// Impulse runs base conditions with a spike of width starting at, for dur
+// total (the impulse variation of the synthetic-trace application).
+func Impulse(base, spike core.DelayParams, lossBase, lossSpike float64, at, width, dur, step time.Duration) core.Trace {
+	tr := Constant(base, lossBase, at, step)
+	tr = append(tr, Constant(spike, lossSpike, width, step)...)
+	return append(tr, Constant(base, lossBase, dur-at-width, step)...)
+}
+
+// Ramp interpolates linearly from a to b over dur.
+func Ramp(a, b core.DelayParams, loss float64, dur, step time.Duration) core.Trace {
+	if step <= 0 {
+		step = time.Second
+	}
+	var tr core.Trace
+	n := int(dur / step)
+	if n < 1 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		frac := float64(i) / float64(n-1)
+		if n == 1 {
+			frac = 0
+		}
+		lerp := func(x, y float64) float64 { return x + (y-x)*frac }
+		tr = append(tr, core.Tuple{
+			D: step,
+			DelayParams: core.DelayParams{
+				F:  time.Duration(lerp(float64(a.F), float64(b.F))),
+				Vb: core.PerByte(lerp(float64(a.Vb), float64(b.Vb))),
+				Vr: core.PerByte(lerp(float64(a.Vr), float64(b.Vr))),
+			},
+			L: loss,
+		})
+	}
+	return tr
+}
+
+// WaveLANLike returns the synthetic trace used for Figure 1: performance
+// "close to that of a WaveLAN device" — about 1.5 Mb/s bottleneck
+// bandwidth, a couple of milliseconds of latency, light residual cost, and
+// a little loss.
+func WaveLANLike(dur time.Duration) core.Trace {
+	params := core.DelayParams{
+		F:  2 * time.Millisecond,
+		Vb: core.PerByteFromBandwidth(1.5e6),
+		Vr: core.PerByte(300),
+	}
+	return Constant(params, 0.01, dur, time.Second)
+}
+
+// SlowNetLike returns the much slower synthetic network used to validate
+// that delay compensation is independent of the traced network's speed
+// (Section 3.3): roughly a 100 Kb/s wide-area link.
+func SlowNetLike(dur time.Duration) core.Trace {
+	params := core.DelayParams{
+		F:  40 * time.Millisecond,
+		Vb: core.PerByteFromBandwidth(100e3),
+		Vr: core.PerByte(2000),
+	}
+	return Constant(params, 0.02, dur, time.Second)
+}

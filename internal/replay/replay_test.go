@@ -1,0 +1,198 @@
+package replay
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tracemod/internal/core"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	tr := core.Trace{
+		{D: time.Second, DelayParams: core.DelayParams{F: 1500 * time.Microsecond, Vb: 5333.25, Vr: 301.5}, L: 0.05},
+		{D: 2 * time.Second, DelayParams: core.DelayParams{F: 40 * time.Millisecond, Vb: 80000, Vr: 0}, L: 0.25},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range tr {
+		if got[i].D != tr[i].D || got[i].F != tr[i].F {
+			t.Fatalf("tuple %d timing: %+v vs %+v", i, got[i], tr[i])
+		}
+		if math.Abs(float64(got[i].Vb-tr[i].Vb)) > 0.01 || math.Abs(got[i].L-tr[i].L) > 1e-6 {
+			t.Fatalf("tuple %d params: %+v vs %+v", i, got[i], tr[i])
+		}
+	}
+}
+
+func TestReadRejectsBadInput(t *testing.T) {
+	if _, err := Read(strings.NewReader("")); err != ErrBadHeader {
+		t.Fatalf("empty: %v", err)
+	}
+	if _, err := Read(strings.NewReader("not a trace\n1 2 3 4 5\n")); err != ErrBadHeader {
+		t.Fatalf("bad header: %v", err)
+	}
+	if _, err := Read(strings.NewReader(FileHeader + "\ngarbage line\n")); err == nil {
+		t.Fatal("garbage line should error")
+	}
+	// Valid syntax, invalid semantics (loss = 1.5).
+	if _, err := Read(strings.NewReader(FileHeader + "\n1000000 1000 100 10 1.5\n")); err == nil {
+		t.Fatal("invalid tuple should fail validation")
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := FileHeader + "\n\n# a comment\n1000000 1000 100.0 10.0 0.0\n"
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 1 || tr[0].D != time.Second {
+		t.Fatalf("trace = %+v", tr)
+	}
+}
+
+func TestConstant(t *testing.T) {
+	p := core.DelayParams{F: time.Millisecond, Vb: 100, Vr: 10}
+	tr := Constant(p, 0.1, 5*time.Second, time.Second)
+	if len(tr) != 5 || tr.TotalDuration() != 5*time.Second {
+		t.Fatalf("trace = %d tuples, %v", len(tr), tr.TotalDuration())
+	}
+	for _, tu := range tr {
+		if tu.DelayParams != p || tu.L != 0.1 {
+			t.Fatalf("tuple = %+v", tu)
+		}
+	}
+	// Non-multiple duration gets a short final tuple.
+	tr2 := Constant(p, 0, 2500*time.Millisecond, time.Second)
+	if tr2.TotalDuration() != 2500*time.Millisecond {
+		t.Fatalf("total = %v", tr2.TotalDuration())
+	}
+	if tr2[len(tr2)-1].D != 500*time.Millisecond {
+		t.Fatalf("final tuple = %v", tr2[len(tr2)-1].D)
+	}
+}
+
+func TestStep(t *testing.T) {
+	a := core.DelayParams{F: time.Millisecond, Vb: 100, Vr: 0}
+	b := core.DelayParams{F: 10 * time.Millisecond, Vb: 1000, Vr: 0}
+	tr := Step(a, b, 0, 0.2, 10*time.Second, 30*time.Second, time.Second)
+	if tr.TotalDuration() != 30*time.Second {
+		t.Fatalf("total = %v", tr.TotalDuration())
+	}
+	if got := tr.At(5*time.Second, false); got.F != a.F || got.L != 0 {
+		t.Fatalf("before step: %+v", got)
+	}
+	if got := tr.At(15*time.Second, false); got.F != b.F || got.L != 0.2 {
+		t.Fatalf("after step: %+v", got)
+	}
+}
+
+func TestImpulse(t *testing.T) {
+	base := core.DelayParams{F: time.Millisecond, Vb: 100, Vr: 0}
+	spike := core.DelayParams{F: 100 * time.Millisecond, Vb: 10000, Vr: 0}
+	tr := Impulse(base, spike, 0, 0.5, 10*time.Second, 5*time.Second, 30*time.Second, time.Second)
+	if tr.TotalDuration() != 30*time.Second {
+		t.Fatalf("total = %v", tr.TotalDuration())
+	}
+	if tr.At(5*time.Second, false).F != base.F {
+		t.Fatal("pre-impulse wrong")
+	}
+	if tr.At(12*time.Second, false).F != spike.F {
+		t.Fatal("impulse wrong")
+	}
+	if tr.At(20*time.Second, false).F != base.F {
+		t.Fatal("post-impulse wrong")
+	}
+}
+
+func TestRamp(t *testing.T) {
+	a := core.DelayParams{F: 0, Vb: 0, Vr: 0}
+	b := core.DelayParams{F: 10 * time.Millisecond, Vb: 1000, Vr: 100}
+	tr := Ramp(a, b, 0, 11*time.Second, time.Second)
+	if len(tr) != 11 {
+		t.Fatalf("len = %d", len(tr))
+	}
+	if tr[0].F != 0 || tr[10].F != 10*time.Millisecond {
+		t.Fatalf("endpoints: %v .. %v", tr[0].F, tr[10].F)
+	}
+	// Monotone.
+	for i := 1; i < len(tr); i++ {
+		if tr[i].F < tr[i-1].F || tr[i].Vb < tr[i-1].Vb {
+			t.Fatal("ramp not monotone")
+		}
+	}
+	// Single-tuple ramp doesn't divide by zero.
+	one := Ramp(a, b, 0, time.Second, 2*time.Second)
+	if len(one) != 1 {
+		t.Fatalf("one = %d tuples", len(one))
+	}
+}
+
+func TestWaveLANLike(t *testing.T) {
+	tr := WaveLANLike(60 * time.Second)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bw := tr.MeanVb().BitsPerSec()
+	if bw < 1.2e6 || bw > 1.8e6 {
+		t.Fatalf("bandwidth = %.2f Mb/s, want ≈1.5", bw/1e6)
+	}
+}
+
+func TestSlowNetLike(t *testing.T) {
+	tr := SlowNetLike(60 * time.Second)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if fast, slow := WaveLANLike(time.Second).MeanVb(), tr.MeanVb(); slow < 5*fast {
+		t.Fatal("slow net should be much slower than WaveLAN")
+	}
+}
+
+// Property: any valid generated trace survives a serialize/parse cycle with
+// microsecond timing fidelity.
+func TestSerializationProperty(t *testing.T) {
+	f := func(fUS uint16, vb, vr uint16, lossNum uint8, durS uint8) bool {
+		p := core.DelayParams{
+			F:  time.Duration(fUS) * time.Microsecond,
+			Vb: core.PerByte(vb),
+			Vr: core.PerByte(vr),
+		}
+		loss := float64(lossNum%100) / 100
+		dur := time.Duration(durS%20+1) * time.Second
+		tr := Constant(p, loss, dur, time.Second)
+		var buf bytes.Buffer
+		if Write(&buf, tr) != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil || len(got) != len(tr) {
+			return false
+		}
+		for i := range tr {
+			if got[i].D != tr[i].D || got[i].F != tr[i].F {
+				return false
+			}
+			if math.Abs(float64(got[i].Vb-tr[i].Vb)) > 0.01 || math.Abs(got[i].L-tr[i].L) > 1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

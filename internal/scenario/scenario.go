@@ -1,0 +1,247 @@
+// Package scenario defines the paper's four WaveLAN evaluation scenarios —
+// Porter, Flagstaff, Wean, and Chatterbox (Section 4.1) — as radio profiles
+// authored from the characteristics reported in Figures 2 through 5, plus
+// the testbed topologies the experiments run on.
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"tracemod/internal/apps/nfs"
+
+	"tracemod/internal/packet"
+	"tracemod/internal/radio"
+	"tracemod/internal/sim"
+	"tracemod/internal/simnet"
+	"tracemod/internal/synrgen"
+	"tracemod/internal/transport"
+)
+
+// Scenario is one mobile networking scenario to trace and reproduce.
+type Scenario struct {
+	Name string
+	// Profile describes channel conditions along the traversal.
+	Profile radio.Profile
+	// Interferers is the number of SynRGen-style cross-traffic hosts
+	// sharing the wireless cell (five in Chatterbox, zero elsewhere).
+	Interferers int
+	// Motion is false for stationary scenarios, whose figures are
+	// histograms rather than per-checkpoint series.
+	Motion bool
+	// UplinkExtraLoss is additional loss on mobile-transmitted frames: the
+	// asymmetric channel behaviour the paper's Flagstaff FTP runs expose
+	// (real send much slower than receive), which round-trip-only
+	// collection cannot see and modulation therefore averages.
+	UplinkExtraLoss float64
+}
+
+func ms(n float64) time.Duration { return time.Duration(n * float64(time.Millisecond)) }
+
+// Porter is inter-building travel: Wean Hall lobby, across an outdoor
+// patio, then through Porter Hall (Figure 2). Signal starts variable,
+// improves across the patio, falls off inside Porter Hall; latency hovers
+// at 1.5-10 ms with spikes near 100 ms; bandwidth 1.4-1.6 Mb/s with dips to
+// 900 Kb/s; loss typically below 10%, worst early on the patio and at the
+// end of Porter Hall.
+var Porter = Scenario{
+	Name:   "Porter",
+	Motion: true,
+	Profile: radio.Profile{
+		Name: "Porter",
+		Segments: []radio.Segment{
+			{Label: "x0-x1", Dur: 45 * time.Second, SignalLo: 6, SignalHi: 20, LatencyLo: ms(2), LatencyHi: ms(10), SpikeProb: 0.03, SpikeMax: ms(100), BWLo: 1.35e6, BWHi: 1.6e6, LossLo: 0.006, LossHi: 0.025},
+			{Label: "x1-x2", Dur: 50 * time.Second, SignalLo: 12, SignalHi: 23, LatencyLo: ms(1.5), LatencyHi: ms(8), SpikeProb: 0.015, SpikeMax: ms(80), BWLo: 1.45e6, BWHi: 1.62e6, LossLo: 0.003, LossHi: 0.02},
+			{Label: "x2-x3", Dur: 50 * time.Second, SignalLo: 17, SignalHi: 26, LatencyLo: ms(1.5), LatencyHi: ms(6), SpikeProb: 0.01, SpikeMax: ms(60), BWLo: 1.5e6, BWHi: 1.62e6, LossLo: 0, LossHi: 0.015},
+			{Label: "x3-x4", Dur: 50 * time.Second, SignalLo: 15, SignalHi: 24, LatencyLo: ms(1.5), LatencyHi: ms(8), SpikeProb: 0.015, SpikeMax: ms(80), BWLo: 1.45e6, BWHi: 1.62e6, LossLo: 0.003, LossHi: 0.018},
+			{Label: "x4-x5", Dur: 55 * time.Second, SignalLo: 8, SignalHi: 22, LatencyLo: ms(2), LatencyHi: ms(10), SpikeProb: 0.03, SpikeMax: ms(100), BWLo: 1.4e6, BWHi: 1.6e6, LossLo: 0.008, LossHi: 0.03},
+			{Label: "x5-x6", Dur: 55 * time.Second, SignalLo: 5, SignalHi: 16, LatencyLo: ms(2), LatencyHi: ms(12), SpikeProb: 0.04, SpikeMax: ms(110), BWLo: 1.3e6, BWHi: 1.55e6, LossLo: 0.012, LossHi: 0.04},
+		},
+	},
+}
+
+// Flagstaff is outdoor travel along the back edge of campus and around
+// Flagstaff Hill (Figure 3). Signal quality is below Porter's and falls
+// sharply on entering Schenley Park; latency is much better than Porter;
+// average bandwidth is somewhat better; loss is significantly worse,
+// particularly late in the traversal.
+var Flagstaff = Scenario{
+	Name:            "Flagstaff",
+	Motion:          true,
+	UplinkExtraLoss: 0.03,
+	Profile: radio.Profile{
+		Name: "Flagstaff",
+		Segments: []radio.Segment{
+			{Label: "y0-y1", Dur: 40 * time.Second, SignalLo: 8, SignalHi: 20, LatencyLo: ms(1), LatencyHi: ms(5), SpikeProb: 0.01, SpikeMax: ms(40), BWLo: 1.5e6, BWHi: 1.68e6, LossLo: 0.003, LossHi: 0.018},
+			{Label: "y1-y3", Dur: 80 * time.Second, SignalLo: 6, SignalHi: 11, LatencyLo: ms(1), LatencyHi: ms(4), SpikeProb: 0.01, SpikeMax: ms(30), BWLo: 1.55e6, BWHi: 1.68e6, LossLo: 0.008, LossHi: 0.03},
+			{Label: "y3-y5", Dur: 80 * time.Second, SignalLo: 5, SignalHi: 9, LatencyLo: ms(1), LatencyHi: ms(4), SpikeProb: 0.01, SpikeMax: ms(30), BWLo: 1.55e6, BWHi: 1.68e6, LossLo: 0.012, LossHi: 0.04},
+			{Label: "y5-y7", Dur: 80 * time.Second, SignalLo: 5, SignalHi: 9, LatencyLo: ms(1), LatencyHi: ms(4.5), SpikeProb: 0.015, SpikeMax: ms(35), BWLo: 1.5e6, BWHi: 1.65e6, LossLo: 0.015, LossHi: 0.045},
+			{Label: "y7-y9", Dur: 80 * time.Second, SignalLo: 5, SignalHi: 8, LatencyLo: ms(1), LatencyHi: ms(5), SpikeProb: 0.015, SpikeMax: ms(40), BWLo: 1.5e6, BWHi: 1.65e6, LossLo: 0.02, LossHi: 0.055},
+		},
+	},
+}
+
+// Wean is travel from a graduate office to a classroom inside Wean Hall,
+// including a three-floor elevator ride (Figure 4): acceptable and variable
+// on the walk, quite good while waiting, precipitous signal drop with
+// latency peaking at 350 ms and atrocious loss in the elevator, then good
+// again on the walk to the classroom. Bandwidth overall is somewhat below
+// Porter's.
+var Wean = Scenario{
+	Name:   "Wean",
+	Motion: true,
+	Profile: radio.Profile{
+		Name: "Wean",
+		Segments: []radio.Segment{
+			{Label: "z0-z3", Dur: 60 * time.Second, SignalLo: 8, SignalHi: 20, LatencyLo: ms(2), LatencyHi: ms(8), SpikeProb: 0.015, SpikeMax: ms(60), BWLo: 1.25e6, BWHi: 1.5e6, LossLo: 0.006, LossHi: 0.025},
+			{Label: "z3-z4", Dur: 30 * time.Second, SignalLo: 19, SignalHi: 26, LatencyLo: ms(1.5), LatencyHi: ms(5), SpikeProb: 0.01, SpikeMax: ms(40), BWLo: 1.3e6, BWHi: 1.52e6, LossLo: 0.003, LossHi: 0.012},
+			{Label: "z4-z5", Dur: 25 * time.Second, SignalLo: 1, SignalHi: 6, LatencyLo: ms(30), LatencyHi: ms(350), SpikeProb: 0, SpikeMax: 0, BWLo: 0.15e6, BWHi: 0.6e6, LossLo: 0.35, LossHi: 0.70},
+			{Label: "z5-z7", Dur: 45 * time.Second, SignalLo: 14, SignalHi: 24, LatencyLo: ms(2), LatencyHi: ms(6), SpikeProb: 0.01, SpikeMax: ms(50), BWLo: 1.25e6, BWHi: 1.5e6, LossLo: 0.003, LossHi: 0.018},
+		},
+	},
+}
+
+// Chatterbox is a stationary host in a conference room shared with five
+// other laptops running a SynRGen edit-debug workload against a remote
+// file server (Figure 5): signal consistently high (around 18), but
+// contention yields poorer latency and bandwidth than the mobile scenarios
+// and high variance. Loss from the radio itself stays reasonable; most of
+// the damage is real queueing behind the interferers, which the testbed
+// reproduces with actual cross traffic rather than baked-in numbers.
+var Chatterbox = Scenario{
+	Name:        "Chatterbox",
+	Motion:      false,
+	Interferers: 5,
+	Profile: radio.Profile{
+		Name: "Chatterbox",
+		Segments: []radio.Segment{
+			{Label: "c0-c1", Dur: 300 * time.Second, SignalLo: 16, SignalHi: 20, LatencyLo: ms(2), LatencyHi: ms(12), SpikeProb: 0.02, SpikeMax: ms(90), BWLo: 1.35e6, BWHi: 1.58e6, LossLo: 0.005, LossHi: 0.04},
+		},
+	},
+}
+
+// All returns the four scenarios in the paper's presentation order.
+func All() []Scenario { return []Scenario{Wean, Porter, Flagstaff, Chatterbox} }
+
+// ByName returns the named scenario (case-sensitive) and whether it exists.
+func ByName(name string) (Scenario, bool) {
+	for _, sc := range All() {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// Addresses used by the testbeds.
+var (
+	Mask      = packet.IP4(255, 255, 255, 0)
+	LaptopIP  = packet.IP4(10, 1, 0, 1)
+	GatewayW  = packet.IP4(10, 1, 0, 254) // gateway, wireless side
+	GatewayE  = packet.IP4(10, 2, 0, 254) // gateway, ethernet side
+	ServerIP  = packet.IP4(10, 2, 0, 1)
+	ModLaptop = packet.IP4(10, 3, 0, 1) // isolated modulation ethernet
+	ModServer = packet.IP4(10, 3, 0, 2)
+)
+
+// Testbed is an assembled experiment network.
+type Testbed struct {
+	Sched    *sim.Scheduler
+	Laptop   *simnet.Node
+	Server   *simnet.Node
+	Gateway  *simnet.Node // nil on the isolated-Ethernet testbed
+	Wireless *simnet.Medium
+	Ether    *simnet.Medium
+	Model    *radio.Model // nil on the isolated-Ethernet testbed
+}
+
+// BuildWireless assembles the live-scenario testbed: the mobile laptop on a
+// WaveLAN-like medium realized from sc's profile, bridged by a gateway to a
+// campus Ethernet holding the server, plus sc.Interferers cross-traffic
+// hosts on the wireless cell.
+func BuildWireless(s *sim.Scheduler, sc Scenario) *Testbed {
+	model := radio.NewModel(sc.Profile, s.RNG("radio/"+sc.Name))
+	wm := simnet.NewMedium(s, "wavelan", model)
+	em := simnet.NewMedium(s, "campus-ether", simnet.Ethernet10())
+
+	laptop := simnet.NewNode(s, "laptop")
+	lnic := laptop.AttachNIC(wm, LaptopIP, Mask)
+	lnic.TxExtraLoss = sc.UplinkExtraLoss
+	laptop.SetDefaultRoute(GatewayW)
+
+	gw := simnet.NewNode(s, "gateway")
+	gw.Forwarding = true
+	gw.AttachNIC(wm, GatewayW, Mask)
+	gw.AttachNIC(em, GatewayE, Mask)
+
+	server := simnet.NewNode(s, "server")
+	server.AttachNIC(em, ServerIP, Mask)
+	server.SetDefaultRoute(GatewayE)
+
+	tb := &Testbed{Sched: s, Laptop: laptop, Server: server, Gateway: gw, Wireless: wm, Ether: em, Model: model}
+	if sc.Interferers > 0 {
+		tb.addInterferers(sc.Interferers)
+	}
+	return tb
+}
+
+// BuildEthernet assembles the modulation testbed: the same two machines on
+// an isolated Ethernet (Section 5.1), with no wireless hardware.
+func BuildEthernet(s *sim.Scheduler) *Testbed {
+	em := simnet.NewMedium(s, "isolated-ether", simnet.Ethernet10())
+	laptop := simnet.NewNode(s, "laptop")
+	laptop.AttachNIC(em, ModLaptop, Mask)
+	server := simnet.NewNode(s, "server")
+	server.AttachNIC(em, ModServer, Mask)
+	return &Testbed{Sched: s, Laptop: laptop, Server: server, Ether: em}
+}
+
+// NFSServerIP is the interferers' file server on the campus Ethernet (the
+// paper's Chatterbox room-mates run SynRGen against "files stored on a
+// remote NFS file server", distinct from the benchmark server).
+var NFSServerIP = packet.IP4(10, 2, 0, 2)
+
+// addInterferers stands up the interferers' NFS file server and one
+// SynRGen edit-debug user per interfering laptop. All their RPC traffic
+// crosses the shared wireless cell through the gateway — real datagrams,
+// real sizes, bursty with think-time gaps.
+func (tb *Testbed) addInterferers(n int) {
+	s := tb.Sched
+	fileServer := simnet.NewNode(s, "nfs-server")
+	fileServer.AttachNIC(tb.Ether, NFSServerIP, Mask)
+	fileServer.SetDefaultRoute(GatewayE)
+	if _, err := nfs.NewServer(s, transport.NewUDP(fileServer)); err != nil {
+		panic(fmt.Sprintf("scenario: interferer nfs server: %v", err))
+	}
+
+	end := sim.Time(tb.Model.Profile().Duration())
+	for i := 0; i < n; i++ {
+		node := simnet.NewNode(s, "interferer")
+		addr := packet.IP4(10, 1, 0, byte(10+i))
+		node.AttachNIC(tb.Wireless, addr, Mask)
+		node.SetDefaultRoute(GatewayW)
+		stack := transport.NewUDP(node)
+		rng := s.RNG(fmt.Sprintf("interferer/%d", i))
+		name := fmt.Sprintf("user%d", i)
+
+		s.Spawn("interferer", func(p *sim.Proc) {
+			client, err := nfs.NewClient(s, stack, NFSServerIP)
+			if err != nil {
+				panic(fmt.Sprintf("scenario: interferer client: %v", err))
+			}
+			client.MaxOutstanding = 4 // biod-style write-behind
+			user := synrgen.New(client, synrgen.Params{
+				Files:     12,
+				FileSize:  14 * 1024,
+				ThinkMean: 400 * time.Millisecond,
+				RNG:       rng,
+			})
+			// Desynchronize the room before populating the working set.
+			p.Sleep(time.Duration(rng.Int63n(int64(3 * time.Second))))
+			if err := user.Setup(p, name); err != nil {
+				return // a hopeless channel; the user gives up
+			}
+			user.Run(p, end)
+		})
+	}
+}

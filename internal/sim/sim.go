@@ -1,0 +1,481 @@
+// Package sim provides a deterministic virtual-time simulation kernel.
+//
+// The kernel combines an event heap with cooperatively scheduled processes.
+// Processes are ordinary goroutines, but exactly one of them (or the
+// scheduler itself) runs at any instant: when a process blocks on a kernel
+// primitive (Sleep, channel operations, Wait) control is handed back to the
+// scheduler with a strict channel handoff. Events with equal timestamps fire
+// in the order they were scheduled. Together these rules make every run
+// bit-reproducible for a given seed, which is the property the trace
+// modulation methodology exists to provide.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"time"
+)
+
+// Time is an absolute virtual timestamp in nanoseconds since the start of
+// the simulation.
+type Time int64
+
+// Duration re-exports time.Duration for callers that want a single import.
+type Duration = time.Duration
+
+// Add returns the timestamp d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and u (t - u).
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Duration converts the absolute timestamp to a duration since time zero.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds reports the timestamp as floating-point seconds since time zero.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+func (h eventHeap) peek() *event { return h[0] }
+
+// Scheduler owns virtual time. It must only be manipulated from the
+// goroutine that calls Run (directly or from event callbacks) or from the
+// single process it has currently resumed.
+type Scheduler struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	seed   int64
+
+	// parked is signalled by a running process when it blocks or exits,
+	// returning control to the scheduler. It is unbuffered so the handoff
+	// is strict.
+	parked chan struct{}
+
+	procs   int // live processes (spawned, not yet exited)
+	stopped bool
+}
+
+// New returns a scheduler whose RNG streams derive from seed.
+func New(seed int64) *Scheduler {
+	return &Scheduler{seed: seed, parked: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Seed returns the base seed the scheduler was created with.
+func (s *Scheduler) Seed() int64 { return s.seed }
+
+// RNG returns a deterministic random stream for the named component. Streams
+// for distinct names are independent, so adding a component does not perturb
+// the draws seen by others.
+func (s *Scheduler) RNG(name string) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s", s.seed, name)
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past runs the
+// event at the current time (events never travel backwards).
+func (s *Scheduler) At(t Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (s *Scheduler) After(d time.Duration, fn func()) { s.At(s.now.Add(d), fn) }
+
+// Stop makes Run return after the current event completes. Pending events
+// remain queued.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called. It returns
+// the final virtual time. Run panics if any process is still blocked when
+// the event queue drains: that indicates a deadlock in the simulated system.
+func (s *Scheduler) Run() Time {
+	return s.run(func() bool { return false }, true)
+}
+
+// RunUntil executes events until virtual time would exceed t, the queue
+// drains, or Stop is called. Events at exactly t still run. Unlike Run,
+// draining with blocked processes is not treated as a deadlock: bounded
+// runs routinely leave daemons parked (e.g. a looping modulation daemon
+// blocked on a full buffer).
+func (s *Scheduler) RunUntil(t Time) Time {
+	return s.run(func() bool { return s.events.Len() > 0 && s.events.peek().at > t }, false)
+}
+
+// RunFor executes events for d of virtual time from now.
+func (s *Scheduler) RunFor(d time.Duration) Time { return s.RunUntil(s.now.Add(d)) }
+
+func (s *Scheduler) run(done func() bool, checkDeadlock bool) Time {
+	s.stopped = false
+	for s.events.Len() > 0 && !s.stopped && !done() {
+		e := heap.Pop(&s.events).(*event)
+		s.now = e.at
+		e.fn()
+	}
+	if checkDeadlock && !s.stopped && s.events.Len() == 0 && s.procs > 0 {
+		panic(fmt.Sprintf("sim: deadlock: %d process(es) blocked with no pending events at %v", s.procs, s.now))
+	}
+	return s.now
+}
+
+// Idle reports whether no events remain.
+func (s *Scheduler) Idle() bool { return s.events.Len() == 0 }
+
+// Pending returns the number of queued events.
+func (s *Scheduler) Pending() int { return s.events.Len() }
+
+// Procs returns the number of live processes.
+func (s *Scheduler) Procs() int { return s.procs }
+
+// Proc is a cooperatively scheduled simulated process. All Proc methods must
+// be called from the process's own goroutine.
+type Proc struct {
+	s      *Scheduler
+	name   string
+	resume chan struct{}
+	done   bool
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Sched returns the owning scheduler.
+func (p *Proc) Sched() *Scheduler { return p.s }
+
+// Now returns current virtual time.
+func (p *Proc) Now() Time { return p.s.now }
+
+// Spawn creates a process executing fn. fn starts at the current virtual
+// time, after already-queued events at this instant.
+func (s *Scheduler) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{s: s, name: name, resume: make(chan struct{})}
+	s.procs++
+	s.At(s.now, func() {
+		go func() {
+			<-p.resume
+			fn(p)
+			p.done = true
+			s.procs--
+			s.parked <- struct{}{}
+		}()
+		p.unparkLocked()
+	})
+	return p
+}
+
+// Done reports whether the process function has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// park blocks the calling process and returns control to the scheduler.
+// Someone must later call unpark (via a scheduled event) to resume it.
+func (p *Proc) park() {
+	p.s.parked <- struct{}{}
+	<-p.resume
+}
+
+// unpark resumes p and waits until it parks again or exits. It must be
+// called from scheduler context (inside an event callback), never from
+// another process.
+func (p *Proc) unpark() { p.unparkLocked() }
+
+func (p *Proc) unparkLocked() {
+	p.resume <- struct{}{}
+	<-p.s.parked
+}
+
+// Sleep suspends the process for d of virtual time. Non-positive durations
+// yield to other events scheduled at the current instant.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.s.After(d, p.unpark)
+	p.park()
+}
+
+// Yield reschedules the process after all events queued at the current
+// instant.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// waiter is a parked process waiting on a channel or condition, with the
+// slot through which a value is delivered.
+type waiter[T any] struct {
+	p        *Proc
+	val      T
+	ok       bool
+	done     bool // value delivered or channel closed
+	timedOut bool
+}
+
+// Chan is an ordered, optionally buffered channel usable from processes
+// (blocking operations) and from event context (non-blocking operations).
+type Chan[T any] struct {
+	s      *Scheduler
+	buf    []T
+	cap    int // 0 means rendezvous is not supported; see NewChan
+	closed bool
+	recvW  []*waiter[T]
+	sendW  []*waiter[T]
+}
+
+// NewChan creates a channel with the given buffer capacity. Capacity must be
+// at least 1: rendezvous channels are not needed by this codebase and keeping
+// a buffer makes event-context sends well-defined.
+func NewChan[T any](s *Scheduler, capacity int) *Chan[T] {
+	if capacity < 1 {
+		panic("sim: NewChan capacity must be >= 1")
+	}
+	return &Chan[T]{s: s, cap: capacity}
+}
+
+// Len returns the number of buffered values.
+func (c *Chan[T]) Len() int { return len(c.buf) }
+
+// Cap returns the buffer capacity.
+func (c *Chan[T]) Cap() int { return c.cap }
+
+// Closed reports whether Close has been called.
+func (c *Chan[T]) Closed() bool { return c.closed }
+
+// Close closes the channel. Blocked receivers drain remaining buffered
+// values; once empty they observe ok=false. Sending on a closed channel
+// panics, matching Go channel semantics.
+func (c *Chan[T]) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	// Wake receivers that cannot be satisfied from the buffer.
+	for len(c.recvW) > 0 && len(c.buf) == 0 {
+		w := c.popRecv()
+		if w == nil {
+			break
+		}
+		w.done = true
+		w.ok = false
+		c.s.At(c.s.now, w.p.unpark)
+	}
+}
+
+func (c *Chan[T]) popRecv() *waiter[T] {
+	for len(c.recvW) > 0 {
+		w := c.recvW[0]
+		c.recvW = c.recvW[1:]
+		if w.done || w.timedOut {
+			continue
+		}
+		return w
+	}
+	return nil
+}
+
+func (c *Chan[T]) popSend() *waiter[T] {
+	for len(c.sendW) > 0 {
+		w := c.sendW[0]
+		c.sendW = c.sendW[1:]
+		if w.done || w.timedOut {
+			continue
+		}
+		return w
+	}
+	return nil
+}
+
+// deliver hands v to a waiting receiver if any; reports whether delivered.
+// Must run in scheduler context or from the single running process.
+func (c *Chan[T]) deliver(v T) bool {
+	w := c.popRecv()
+	if w == nil {
+		return false
+	}
+	w.val = v
+	w.ok = true
+	w.done = true
+	c.s.At(c.s.now, w.p.unpark)
+	return true
+}
+
+// TrySend enqueues v without blocking. It reports false if the buffer is
+// full and no receiver is waiting. Safe from event context.
+func (c *Chan[T]) TrySend(v T) bool {
+	if c.closed {
+		panic("sim: send on closed Chan")
+	}
+	if len(c.buf) == 0 && c.deliver(v) {
+		return true
+	}
+	if len(c.buf) < c.cap {
+		c.buf = append(c.buf, v)
+		return true
+	}
+	return false
+}
+
+// Send blocks the calling process until the value is accepted.
+func (c *Chan[T]) Send(p *Proc, v T) {
+	if c.TrySend(v) {
+		return
+	}
+	w := &waiter[T]{p: p, val: v}
+	c.sendW = append(c.sendW, w)
+	p.park()
+	if !w.done {
+		panic("sim: sender resumed without completion")
+	}
+}
+
+// TryRecv receives without blocking. ok reports whether a value was
+// received. Safe from event context.
+func (c *Chan[T]) TryRecv() (T, bool) {
+	var zero T
+	if len(c.buf) > 0 {
+		v := c.buf[0]
+		c.buf = c.buf[1:]
+		c.admitSender()
+		return v, true
+	}
+	return zero, false
+}
+
+// admitSender moves one blocked sender's value into the buffer (or to a
+// receiver) after space frees up.
+func (c *Chan[T]) admitSender() {
+	w := c.popSend()
+	if w == nil {
+		return
+	}
+	w.done = true
+	if !c.deliver(w.val) {
+		c.buf = append(c.buf, w.val)
+	}
+	c.s.At(c.s.now, w.p.unpark)
+}
+
+// Recv blocks the calling process until a value arrives or the channel is
+// closed and drained; ok is false in the latter case.
+func (c *Chan[T]) Recv(p *Proc) (T, bool) {
+	if v, ok := c.TryRecv(); ok {
+		return v, true
+	}
+	if c.closed {
+		var zero T
+		return zero, false
+	}
+	w := &waiter[T]{p: p}
+	c.recvW = append(c.recvW, w)
+	p.park()
+	return w.val, w.ok
+}
+
+// RecvTimeout is Recv with a deadline d from now. timedOut reports whether
+// the deadline elapsed before a value arrived.
+func (c *Chan[T]) RecvTimeout(p *Proc, d time.Duration) (v T, ok bool, timedOut bool) {
+	if v, ok := c.TryRecv(); ok {
+		return v, true, false
+	}
+	if c.closed {
+		var zero T
+		return zero, false, false
+	}
+	if d <= 0 {
+		var zero T
+		return zero, false, true
+	}
+	w := &waiter[T]{p: p}
+	c.recvW = append(c.recvW, w)
+	c.s.After(d, func() {
+		if w.done {
+			return
+		}
+		w.timedOut = true
+		c.s.At(c.s.now, p.unpark)
+	})
+	p.park()
+	if w.timedOut && w.done {
+		// Value arrived in the same instant the timer fired and was
+		// delivered first; prefer the value.
+		w.timedOut = false
+	}
+	return w.val, w.ok, w.timedOut
+}
+
+// WaitGroup tracks completion of a set of processes or activities in
+// virtual time.
+type WaitGroup struct {
+	s     *Scheduler
+	count int
+	wait  []*Proc
+}
+
+// NewWaitGroup returns a WaitGroup bound to s.
+func NewWaitGroup(s *Scheduler) *WaitGroup { return &WaitGroup{s: s} }
+
+// Add increments the counter by n.
+func (wg *WaitGroup) Add(n int) { wg.count += n }
+
+// Done decrements the counter; at zero all waiters resume.
+func (wg *WaitGroup) Done() {
+	wg.count--
+	if wg.count < 0 {
+		panic("sim: WaitGroup counter below zero")
+	}
+	if wg.count == 0 {
+		for _, p := range wg.wait {
+			wg.s.At(wg.s.now, p.unpark)
+		}
+		wg.wait = nil
+	}
+}
+
+// Wait blocks the calling process until the counter reaches zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	if wg.count == 0 {
+		return
+	}
+	wg.wait = append(wg.wait, p)
+	p.park()
+}
+
+// Go spawns fn as a process tracked by the WaitGroup.
+func (wg *WaitGroup) Go(name string, fn func(p *Proc)) {
+	wg.Add(1)
+	wg.s.Spawn(name, func(p *Proc) {
+		defer wg.Done()
+		fn(p)
+	})
+}

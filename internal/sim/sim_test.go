@@ -1,0 +1,392 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.At(10, func() { got = append(got, 1) })
+	s.At(5, func() { got = append(got, 0) })
+	s.At(10, func() { got = append(got, 2) }) // same time: FIFO by seq
+	s.Run()
+	want := []int{0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 10 {
+		t.Fatalf("Now = %v, want 10", s.Now())
+	}
+}
+
+func TestAtInPastClampsToNow(t *testing.T) {
+	s := New(1)
+	fired := Time(-1)
+	s.At(100, func() {
+		s.At(50, func() { fired = s.Now() })
+	})
+	s.Run()
+	if fired != 100 {
+		t.Fatalf("past event fired at %v, want 100", fired)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(1)
+	var fired []Time
+	for _, at := range []Time{10, 20, 30} {
+		at := at
+		s.At(at, func() { fired = append(fired, at) })
+	}
+	s.RunUntil(20)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 10 and 20 only", fired)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", s.Pending())
+	}
+	s.Run()
+	if len(fired) != 3 {
+		t.Fatalf("fired %v after Run, want 3 events", fired)
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New(1)
+	n := 0
+	s.At(1, func() { n++; s.Stop() })
+	s.At(2, func() { n++ })
+	s.Run()
+	if n != 1 {
+		t.Fatalf("ran %d events, want 1", n)
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	s := New(1)
+	var wake []Time
+	s.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(5 * time.Nanosecond)
+		wake = append(wake, p.Now())
+		p.Sleep(10 * time.Nanosecond)
+		wake = append(wake, p.Now())
+	})
+	s.Run()
+	if len(wake) != 2 || wake[0] != 5 || wake[1] != 15 {
+		t.Fatalf("wake times = %v, want [5 15]", wake)
+	}
+	if s.Procs() != 0 {
+		t.Fatalf("procs = %d, want 0", s.Procs())
+	}
+}
+
+func TestProcsInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		s := New(7)
+		var log []string
+		for _, name := range []string{"a", "b", "c"} {
+			name := name
+			s.Spawn(name, func(p *Proc) {
+				for i := 0; i < 3; i++ {
+					p.Sleep(time.Duration(1+i) * time.Millisecond)
+					log = append(log, name)
+				}
+			})
+		}
+		s.Run()
+		return log
+	}
+	first := run()
+	for trial := 0; trial < 5; trial++ {
+		again := run()
+		if len(again) != len(first) {
+			t.Fatalf("length changed across runs")
+		}
+		for i := range first {
+			if first[i] != again[i] {
+				t.Fatalf("run %d diverged at %d: %v vs %v", trial, i, first, again)
+			}
+		}
+	}
+}
+
+func TestChanSendRecv(t *testing.T) {
+	s := New(1)
+	c := NewChan[int](s, 2)
+	var got []int
+	s.Spawn("recv", func(p *Proc) {
+		for {
+			v, ok := c.Recv(p)
+			if !ok {
+				return
+			}
+			got = append(got, v)
+		}
+	})
+	s.Spawn("send", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			c.Send(p, i)
+			p.Sleep(time.Microsecond)
+		}
+		c.Close()
+	})
+	s.Run()
+	if len(got) != 5 {
+		t.Fatalf("got %v, want 5 values", got)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got %v, want ordered 0..4", got)
+		}
+	}
+}
+
+func TestChanBackpressure(t *testing.T) {
+	s := New(1)
+	c := NewChan[int](s, 1)
+	var sendDone Time
+	s.Spawn("send", func(p *Proc) {
+		c.Send(p, 1) // fills buffer
+		c.Send(p, 2) // blocks until receiver drains
+		sendDone = p.Now()
+	})
+	s.Spawn("recv", func(p *Proc) {
+		p.Sleep(100 * time.Nanosecond)
+		if v, ok := c.Recv(p); !ok || v != 1 {
+			t.Errorf("first recv = %v,%v", v, ok)
+		}
+		if v, ok := c.Recv(p); !ok || v != 2 {
+			t.Errorf("second recv = %v,%v", v, ok)
+		}
+	})
+	s.Run()
+	if sendDone < 100 {
+		t.Fatalf("second send completed at %v, want >= 100 (after drain)", sendDone)
+	}
+}
+
+func TestChanRecvTimeout(t *testing.T) {
+	s := New(1)
+	c := NewChan[string](s, 1)
+	var timedOut, gotValue bool
+	s.Spawn("recv", func(p *Proc) {
+		_, _, timedOut = c.RecvTimeout(p, 10*time.Nanosecond)
+		v, ok, to := c.RecvTimeout(p, 100*time.Nanosecond)
+		gotValue = ok && !to && v == "hi"
+	})
+	s.At(50, func() { c.TrySend("hi") })
+	s.Run()
+	if !timedOut {
+		t.Fatal("first recv should have timed out")
+	}
+	if !gotValue {
+		t.Fatal("second recv should have received the value")
+	}
+}
+
+func TestChanRecvTimeoutZero(t *testing.T) {
+	s := New(1)
+	c := NewChan[int](s, 1)
+	var to bool
+	s.Spawn("r", func(p *Proc) { _, _, to = c.RecvTimeout(p, 0) })
+	s.Run()
+	if !to {
+		t.Fatal("zero deadline should time out immediately")
+	}
+}
+
+func TestChanCloseWakesReceiver(t *testing.T) {
+	s := New(1)
+	c := NewChan[int](s, 1)
+	var ok, returned bool
+	s.Spawn("recv", func(p *Proc) {
+		_, ok = c.Recv(p)
+		returned = true
+	})
+	s.At(5, func() { c.Close() })
+	s.Run()
+	if !returned || ok {
+		t.Fatalf("recv on closed chan: returned=%v ok=%v, want true,false", returned, ok)
+	}
+}
+
+func TestChanCloseDrainsBuffer(t *testing.T) {
+	s := New(1)
+	c := NewChan[int](s, 4)
+	c.TrySend(1)
+	c.TrySend(2)
+	c.Close()
+	var got []int
+	s.Spawn("recv", func(p *Proc) {
+		for {
+			v, ok := c.Recv(p)
+			if !ok {
+				return
+			}
+			got = append(got, v)
+		}
+	})
+	s.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("drained %v, want [1 2]", got)
+	}
+}
+
+func TestTrySendFullBuffer(t *testing.T) {
+	s := New(1)
+	c := NewChan[int](s, 1)
+	if !c.TrySend(1) {
+		t.Fatal("first TrySend should succeed")
+	}
+	if c.TrySend(2) {
+		t.Fatal("second TrySend should fail on full buffer")
+	}
+	if v, ok := c.TryRecv(); !ok || v != 1 {
+		t.Fatalf("TryRecv = %v,%v", v, ok)
+	}
+}
+
+func TestRNGStreamsIndependent(t *testing.T) {
+	s := New(42)
+	a1 := s.RNG("a").Int63()
+	b1 := s.RNG("b").Int63()
+	a2 := s.RNG("a").Int63()
+	if a1 != a2 {
+		t.Fatal("same name must give the same stream")
+	}
+	if a1 == b1 {
+		t.Fatal("different names should give different streams")
+	}
+	s2 := New(43)
+	if s2.RNG("a").Int63() == a1 {
+		t.Fatal("different seeds should give different streams")
+	}
+}
+
+func TestDeadlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected deadlock panic")
+		}
+	}()
+	s := New(1)
+	c := NewChan[int](s, 1)
+	s.Spawn("stuck", func(p *Proc) { c.Recv(p) })
+	s.Run()
+}
+
+func TestWaitGroup(t *testing.T) {
+	s := New(1)
+	wg := NewWaitGroup(s)
+	var finished Time
+	for i := 1; i <= 3; i++ {
+		d := time.Duration(i*10) * time.Nanosecond
+		wg.Go("worker", func(p *Proc) { p.Sleep(d) })
+	}
+	s.Spawn("waiter", func(p *Proc) {
+		wg.Wait(p)
+		finished = p.Now()
+	})
+	s.Run()
+	if finished != 30 {
+		t.Fatalf("waiter resumed at %v, want 30 (slowest worker)", finished)
+	}
+}
+
+func TestWaitGroupAlreadyZero(t *testing.T) {
+	s := New(1)
+	wg := NewWaitGroup(s)
+	ran := false
+	s.Spawn("w", func(p *Proc) { wg.Wait(p); ran = true })
+	s.Run()
+	if !ran {
+		t.Fatal("Wait on zero counter must not block")
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	tm := Time(0).Add(1500 * time.Millisecond)
+	if tm.Seconds() != 1.5 {
+		t.Fatalf("Seconds = %v", tm.Seconds())
+	}
+	if tm.Sub(Time(0).Add(time.Second)) != 500*time.Millisecond {
+		t.Fatalf("Sub wrong")
+	}
+}
+
+// Property: for any set of delays, processes wake in sorted delay order and
+// virtual time never decreases.
+func TestSleepOrderingProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 || len(delays) > 64 {
+			return true
+		}
+		s := New(9)
+		var wakes []time.Duration
+		for _, d := range delays {
+			d := time.Duration(d) * time.Nanosecond
+			s.Spawn("p", func(p *Proc) {
+				p.Sleep(d)
+				wakes = append(wakes, p.Now().Duration())
+			})
+		}
+		s.Run()
+		if len(wakes) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(wakes); i++ {
+			if wakes[i] < wakes[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a FIFO channel preserves order for any sequence of values.
+func TestChanFIFOProperty(t *testing.T) {
+	f := func(vals []int32) bool {
+		if len(vals) > 256 {
+			vals = vals[:256]
+		}
+		s := New(3)
+		c := NewChan[int32](s, 8)
+		var got []int32
+		s.Spawn("send", func(p *Proc) {
+			for _, v := range vals {
+				c.Send(p, v)
+			}
+			c.Close()
+		})
+		s.Spawn("recv", func(p *Proc) {
+			for {
+				v, ok := c.Recv(p)
+				if !ok {
+					return
+				}
+				got = append(got, v)
+			}
+		})
+		s.Run()
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

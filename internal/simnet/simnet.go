@@ -1,0 +1,525 @@
+// Package simnet is the in-process network substrate: nodes with one or
+// more NICs, shared transmission media with time-varying quality, IP
+// forwarding, and hook chains on the path between the IP layer and the
+// device — the place where the paper's trace-collection and modulation
+// layers install themselves ("between the IP and Ethernet layers of the
+// protocol stack").
+//
+// Frames on a Medium are real serialized bytes (Ethernet around IPv4), so
+// every layer above sees authentic sizes, headers, and checksums.
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tracemod/internal/core"
+	"tracemod/internal/packet"
+	"tracemod/internal/sim"
+)
+
+// Quality is the instantaneous condition of a medium: one-way latency, a
+// per-byte transmission cost (inverse bandwidth), a per-packet loss
+// probability, and the device-reported signal characteristics that trace
+// collection records alongside packets.
+type Quality struct {
+	Latency time.Duration
+	PerByte core.PerByte
+	Loss    float64
+
+	// Device characteristics in WaveLAN units (Section 3.1.1).
+	Signal  float64
+	Quality float64
+	Silence float64
+}
+
+// QualityProvider yields the medium's condition at a virtual time.
+type QualityProvider interface {
+	Sample(at sim.Time) Quality
+}
+
+// Static is a QualityProvider with constant conditions (a wired LAN).
+type Static Quality
+
+// Sample implements QualityProvider.
+func (q Static) Sample(sim.Time) Quality { return Quality(q) }
+
+// Ethernet10 returns the quality of the isolated 10 Mb/s Ethernet the paper
+// uses as its modulation testbed.
+func Ethernet10() Static {
+	return Static{
+		Latency: 150 * time.Microsecond,
+		PerByte: core.PerByteFromBandwidth(10e6),
+		Loss:    0,
+		Signal:  0, // wired: no radio statistics
+	}
+}
+
+// Direction distinguishes the two hook paths on a node.
+type Direction int
+
+// Hook directions.
+const (
+	Outbound Direction = iota
+	Inbound
+)
+
+func (d Direction) String() string {
+	if d == Outbound {
+		return "out"
+	}
+	return "in"
+}
+
+// Hook intercepts IP datagrams on a node's input or output path. The hook
+// must either call next (immediately or from a scheduled event) to let the
+// datagram continue, or drop it by never calling next. Hooks run in
+// registration order.
+type Hook interface {
+	Filter(dir Direction, ip []byte, next func(ip []byte))
+}
+
+// HookFunc adapts a function to the Hook interface.
+type HookFunc func(dir Direction, ip []byte, next func(ip []byte))
+
+// Filter implements Hook.
+func (f HookFunc) Filter(dir Direction, ip []byte, next func(ip []byte)) { f(dir, ip, next) }
+
+// Tap observes frames at the device boundary (the paper's traced-device
+// hooks). at is the time the frame passed the device, q the device's
+// current conditions.
+type Tap func(dir Direction, at sim.Time, ip []byte, q Quality)
+
+// MediumStats counts traffic through a medium.
+type MediumStats struct {
+	Frames     int64 // frames fully transmitted
+	Bytes      int64 // bytes fully transmitted (including Ethernet framing)
+	Lost       int64 // frames dropped by the loss process
+	QueueDrops int64 // frames dropped at a full NIC queue
+}
+
+type txJob struct {
+	src   *NIC
+	frame []byte
+}
+
+// Medium is a shared, half-duplex broadcast transmission domain: one
+// transmission at a time, serialized FIFO (the contention behaviour of both
+// 1997 Ethernet and the WaveLAN air interface). Latency pipelines;
+// transmission time does not.
+type Medium struct {
+	s        *sim.Scheduler
+	name     string
+	provider QualityProvider
+	rng      *rand.Rand
+	nics     []*NIC
+	queue    []txJob
+	busy     bool
+	stats    MediumStats
+}
+
+// NewMedium creates a medium whose conditions come from provider.
+func NewMedium(s *sim.Scheduler, name string, provider QualityProvider) *Medium {
+	return &Medium{s: s, name: name, provider: provider, rng: s.RNG("medium/" + name)}
+}
+
+// Name returns the medium's name.
+func (m *Medium) Name() string { return m.name }
+
+// Stats returns a snapshot of the medium's counters.
+func (m *Medium) Stats() MediumStats { return m.stats }
+
+// Sample returns the medium's current conditions.
+func (m *Medium) Sample() Quality { return m.provider.Sample(m.s.Now()) }
+
+func (m *Medium) attach(n *NIC) { m.nics = append(m.nics, n) }
+
+func (m *Medium) enqueue(src *NIC, frame []byte) {
+	if src.queued >= src.QueueCap {
+		m.stats.QueueDrops++
+		return
+	}
+	src.queued++
+	m.queue = append(m.queue, txJob{src: src, frame: frame})
+	if !m.busy {
+		m.startNext()
+	}
+}
+
+func (m *Medium) startNext() {
+	if len(m.queue) == 0 {
+		m.busy = false
+		return
+	}
+	m.busy = true
+	job := m.queue[0]
+	m.queue = m.queue[1:]
+	q := m.provider.Sample(m.s.Now())
+	loss := q.Loss + job.src.TxExtraLoss
+	if loss > 1 {
+		loss = 1
+	}
+	txTime := q.PerByte.Cost(len(job.frame))
+	m.s.After(txTime, func() {
+		job.src.queued--
+		m.stats.Frames++
+		m.stats.Bytes += int64(len(job.frame))
+		if m.rng.Float64() < loss {
+			m.stats.Lost++
+		} else {
+			m.s.After(q.Latency, func() { m.deliver(job) })
+		}
+		m.startNext()
+	})
+}
+
+func (m *Medium) deliver(job txJob) {
+	eth := packet.Ethernet(job.frame)
+	if !eth.Valid() {
+		return
+	}
+	dst := eth.Dst()
+	broadcast := dst == packet.HWAddr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+	for _, n := range m.nics {
+		if n == job.src {
+			continue
+		}
+		if broadcast || n.HW == dst {
+			n.receive(job.frame)
+			if !broadcast {
+				return
+			}
+		}
+	}
+}
+
+// NIC is a node's attachment to a medium.
+type NIC struct {
+	node   *Node
+	medium *Medium
+
+	IP   packet.IPAddr
+	Mask packet.IPAddr
+	HW   packet.HWAddr
+
+	// QueueCap bounds the frames this NIC may have queued on the medium
+	// (device + driver queue); excess is dropped at the tail.
+	QueueCap int
+	queued   int
+
+	// TxExtraLoss is additional loss probability for frames this NIC
+	// transmits, modelling an asymmetric channel (a mobile transmitter is
+	// often weaker than the base station's).
+	TxExtraLoss float64
+
+	tap Tap
+}
+
+// Medium returns the medium the NIC is attached to.
+func (n *NIC) Medium() *Medium { return n.medium }
+
+// SetTap installs (or clears, with nil) the device-level trace tap.
+func (n *NIC) SetTap(t Tap) { n.tap = t }
+
+// Conditions returns the device's current reported conditions.
+func (n *NIC) Conditions() Quality { return n.medium.Sample() }
+
+func (n *NIC) sameSubnet(ip packet.IPAddr) bool {
+	return n.IP&n.Mask == ip&n.Mask
+}
+
+// send encapsulates an IP datagram in Ethernet and queues it on the medium.
+func (n *NIC) send(ip []byte, nextHop packet.IPAddr) {
+	dstHW, ok := n.medium.resolve(nextHop)
+	if !ok {
+		return // no such neighbour: silently dropped like a failed ARP
+	}
+	frame := make([]byte, packet.EthernetHeaderLen+len(ip))
+	eth := packet.Ethernet(frame)
+	eth.SetSrc(n.HW)
+	eth.SetDst(dstHW)
+	eth.SetEtherType(packet.EtherTypeIPv4)
+	copy(eth.Payload(), ip)
+	if n.tap != nil {
+		n.tap(Outbound, n.node.s.Now(), eth.Payload(), n.medium.Sample())
+	}
+	n.medium.enqueue(n, frame)
+}
+
+// resolve finds the hardware address of the NIC holding ip on this medium.
+func (m *Medium) resolve(ip packet.IPAddr) (packet.HWAddr, bool) {
+	for _, n := range m.nics {
+		if n.IP == ip {
+			return n.HW, true
+		}
+	}
+	return packet.HWAddr{}, false
+}
+
+func (n *NIC) receive(frame []byte) {
+	eth := packet.Ethernet(frame)
+	ip := eth.Payload()
+	if n.tap != nil {
+		n.tap(Inbound, n.node.s.Now(), ip, n.medium.Sample())
+	}
+	n.node.input(n, ip)
+}
+
+// Handler processes a received IP datagram addressed to this node.
+type Handler func(n *Node, ip packet.IPv4)
+
+// route is one entry in a node's routing table.
+type route struct {
+	prefix  packet.IPAddr
+	mask    packet.IPAddr
+	gateway packet.IPAddr // 0 means directly connected
+	nic     *NIC
+}
+
+// NodeStats counts a node's IP-layer activity.
+type NodeStats struct {
+	Sent      int64
+	Received  int64
+	Forwarded int64
+	NoRoute   int64
+	TTLDrops  int64
+	BadSum    int64
+}
+
+// Node is a host or router in the emulated network.
+type Node struct {
+	Name string
+
+	// Forwarding enables router behaviour for datagrams not addressed to
+	// this node.
+	Forwarding bool
+
+	s        *sim.Scheduler
+	nics     []*NIC
+	routes   []route
+	outHooks []Hook
+	inHooks  []Hook
+	handlers map[uint8]Handler
+	ipID     uint16
+	hwSeq    *uint16
+	stats    NodeStats
+}
+
+var hwCounter uint16
+
+// NewNode creates a node on scheduler s.
+func NewNode(s *sim.Scheduler, name string) *Node {
+	n := &Node{Name: name, s: s, handlers: map[uint8]Handler{}}
+	n.handlers[packet.ProtoICMP] = icmpEchoResponder
+	return n
+}
+
+// Sched returns the owning scheduler.
+func (n *Node) Sched() *sim.Scheduler { return n.s }
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() NodeStats { return n.stats }
+
+// AttachNIC connects the node to a medium with the given address and mask,
+// adds a directly-connected route for the subnet, and returns the NIC.
+func (n *Node) AttachNIC(m *Medium, ip, mask packet.IPAddr) *NIC {
+	hwCounter++
+	nic := &NIC{
+		node: n, medium: m, IP: ip, Mask: mask,
+		HW:       packet.HWAddr{0x02, 0x00, 0x00, 0x00, byte(hwCounter >> 8), byte(hwCounter)},
+		QueueCap: 50,
+	}
+	n.nics = append(n.nics, nic)
+	m.attach(nic)
+	n.routes = append(n.routes, route{prefix: ip & mask, mask: mask, nic: nic})
+	return nic
+}
+
+// AddRoute adds a gateway route for the given prefix.
+func (n *Node) AddRoute(prefix, mask, gateway packet.IPAddr) {
+	nic := n.lookupNIC(gateway)
+	if nic == nil {
+		panic(fmt.Sprintf("simnet: %s: gateway %v is not on any attached subnet", n.Name, gateway))
+	}
+	n.routes = append(n.routes, route{prefix: prefix & mask, mask: mask, gateway: gateway, nic: nic})
+}
+
+// SetDefaultRoute adds a 0.0.0.0/0 route via gateway.
+func (n *Node) SetDefaultRoute(gateway packet.IPAddr) {
+	n.AddRoute(0, 0, gateway)
+}
+
+func (n *Node) lookupNIC(ip packet.IPAddr) *NIC {
+	for _, nic := range n.nics {
+		if nic.sameSubnet(ip) {
+			return nic
+		}
+	}
+	return nil
+}
+
+// lookupRoute picks the longest-prefix matching route for dst.
+func (n *Node) lookupRoute(dst packet.IPAddr) *route {
+	var best *route
+	for i := range n.routes {
+		r := &n.routes[i]
+		if dst&r.mask == r.prefix {
+			if best == nil || r.mask > best.mask {
+				best = r
+			}
+		}
+	}
+	return best
+}
+
+// Addr returns the node's primary (first NIC) address.
+func (n *Node) Addr() packet.IPAddr {
+	if len(n.nics) == 0 {
+		panic("simnet: node has no NIC")
+	}
+	return n.nics[0].IP
+}
+
+// NIC returns the i-th attached NIC.
+func (n *Node) NIC(i int) *NIC { return n.nics[i] }
+
+// SrcFor returns the source address the node would use to reach dst (the
+// IP of the route's outgoing NIC), for transports that compute
+// pseudo-header checksums. ok is false when no route exists.
+func (n *Node) SrcFor(dst packet.IPAddr) (packet.IPAddr, bool) {
+	r := n.lookupRoute(dst)
+	if r == nil {
+		return 0, false
+	}
+	return r.nic.IP, true
+}
+
+// IsLocal reports whether ip is one of the node's addresses.
+func (n *Node) IsLocal(ip packet.IPAddr) bool {
+	for _, nic := range n.nics {
+		if nic.IP == ip {
+			return true
+		}
+	}
+	return false
+}
+
+// AddOutboundHook appends a hook to the output path (runs after the IP
+// layer, before the device).
+func (n *Node) AddOutboundHook(h Hook) { n.outHooks = append(n.outHooks, h) }
+
+// AddInboundHook appends a hook to the input path (runs after the device,
+// before protocol dispatch).
+func (n *Node) AddInboundHook(h Hook) { n.inHooks = append(n.inHooks, h) }
+
+// RegisterProto installs the handler for an IP protocol number, replacing
+// any previous handler (including the built-in ICMP echo responder).
+func (n *Node) RegisterProto(proto uint8, h Handler) { n.handlers[proto] = h }
+
+// SendIP builds an IPv4 datagram and sends it through the output hooks and
+// routing. It returns false if no route exists.
+func (n *Node) SendIP(proto uint8, dst packet.IPAddr, payload []byte) bool {
+	if len(payload) > packet.MTU-packet.IPv4HeaderLen {
+		panic(fmt.Sprintf("simnet: payload %d exceeds MTU", len(payload)))
+	}
+	r := n.lookupRoute(dst)
+	if r == nil {
+		n.stats.NoRoute++
+		return false
+	}
+	n.ipID++
+	src := r.nic.IP
+	ip := packet.MarshalIPv4(packet.IPv4Fields{
+		ID: n.ipID, TTL: 64, Protocol: proto, Src: src, Dst: dst,
+	}, payload)
+	n.stats.Sent++
+	n.runHooks(n.outHooks, Outbound, ip, func(out []byte) { n.transmit(out) })
+	return true
+}
+
+// transmit routes a post-hook datagram out the proper NIC.
+func (n *Node) transmit(ip []byte) {
+	v := packet.IPv4(ip)
+	if v.Valid() != nil {
+		return
+	}
+	r := n.lookupRoute(v.Dst())
+	if r == nil {
+		n.stats.NoRoute++
+		return
+	}
+	nextHop := v.Dst()
+	if r.gateway != 0 {
+		nextHop = r.gateway
+	}
+	r.nic.send(ip, nextHop)
+}
+
+// runHooks threads the datagram through the chain, ending at final.
+func (n *Node) runHooks(hooks []Hook, dir Direction, ip []byte, final func([]byte)) {
+	var step func(i int, b []byte)
+	step = func(i int, b []byte) {
+		if i == len(hooks) {
+			final(b)
+			return
+		}
+		hooks[i].Filter(dir, b, func(next []byte) { step(i+1, next) })
+	}
+	step(0, ip)
+}
+
+// input handles a datagram arriving on nic.
+func (n *Node) input(nic *NIC, ip []byte) {
+	v := packet.IPv4(ip)
+	if v.Valid() != nil || !v.ChecksumOK() {
+		n.stats.BadSum++
+		return
+	}
+	if !n.IsLocal(v.Dst()) {
+		if !n.Forwarding {
+			return
+		}
+		n.forward(ip)
+		return
+	}
+	n.runHooks(n.inHooks, Inbound, ip, func(b []byte) {
+		w := packet.IPv4(b)
+		if w.Valid() != nil {
+			return
+		}
+		n.stats.Received++
+		if h, ok := n.handlers[w.Protocol()]; ok {
+			h(n, w)
+		}
+	})
+}
+
+func (n *Node) forward(ip []byte) {
+	v := packet.IPv4(ip)
+	if v.TTL() <= 1 {
+		n.stats.TTLDrops++
+		return
+	}
+	// Copy before mutating: upstream hooks may retain the buffer.
+	fwd := make([]byte, len(ip))
+	copy(fwd, ip)
+	w := packet.IPv4(fwd)
+	w.SetTTL(w.TTL() - 1)
+	w.SetChecksum()
+	n.stats.Forwarded++
+	n.transmit(fwd)
+}
+
+// icmpEchoResponder is every node's built-in answer to ICMP ECHO: reply
+// with ECHOREPLY carrying the same id, sequence number, and payload.
+func icmpEchoResponder(n *Node, ip packet.IPv4) {
+	m := packet.ICMP(ip.Payload())
+	if !m.Valid() || m.Type() != packet.ICMPEcho {
+		return
+	}
+	reply := packet.MarshalICMP(packet.ICMPFields{
+		Type: packet.ICMPEchoReply, ID: m.ID(), Seq: m.Seq(),
+	}, m.Payload())
+	n.SendIP(packet.ProtoICMP, ip.Src(), reply)
+}

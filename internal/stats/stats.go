@@ -1,0 +1,230 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harness: summary statistics, histograms, and series range
+// reduction for the figure reproductions.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds the moments of a sample set.
+type Summary struct {
+	N             int
+	Mean, Std     float64
+	Min, Max, Sum float64
+}
+
+// Summarize computes a Summary of xs. Std is the sample standard deviation
+// (n-1 denominator), matching the paper's reporting; it is 0 for n < 2.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	if len(xs) == 0 {
+		s.Min, s.Max = 0, 0
+		return s
+	}
+	for _, x := range xs {
+		s.Sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = s.Sum / float64(s.N)
+	if s.N >= 2 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// String formats as "mean (std)" with two decimals, the paper's table style.
+func (s Summary) String() string { return fmt.Sprintf("%.2f (%.2f)", s.Mean, s.Std) }
+
+// Overlaps reports whether |a.Mean - b.Mean| <= a.Std + b.Std, the paper's
+// criterion for "accurate within the bounds of experimental error".
+func Overlaps(a, b Summary) bool {
+	return math.Abs(a.Mean-b.Mean) <= a.Std+b.Std
+}
+
+// DivergenceSigma returns |a.Mean-b.Mean| / (a.Std+b.Std), the multiple of
+// the summed deviations by which two samples diverge (the paper quotes
+// "off by 1.05 times the sum of the standard deviations"). Returns +Inf when
+// both deviations are zero and the means differ.
+func DivergenceSigma(a, b Summary) float64 {
+	diff := math.Abs(a.Mean - b.Mean)
+	denom := a.Std + b.Std
+	if denom == 0 {
+		if diff == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return diff / denom
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation. It returns 0 for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	if p <= 0 {
+		return ys[0]
+	}
+	if p >= 100 {
+		return ys[len(ys)-1]
+	}
+	pos := p / 100 * float64(len(ys)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return ys[lo]
+	}
+	frac := pos - float64(lo)
+	return ys[lo]*(1-frac) + ys[hi]*frac
+}
+
+// Median is the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Range holds the min and max observed at one location across trials; the
+// paper's Figures 2-4 plot exactly this vertical bar per checkpoint.
+type Range struct {
+	Min, Max float64
+}
+
+// RangeOf reduces xs to its Range. An empty slice yields {0,0}.
+func RangeOf(xs []float64) Range {
+	if len(xs) == 0 {
+		return Range{}
+	}
+	r := Range{Min: xs[0], Max: xs[0]}
+	for _, x := range xs[1:] {
+		if x < r.Min {
+			r.Min = x
+		}
+		if x > r.Max {
+			r.Max = x
+		}
+	}
+	return r
+}
+
+func (r Range) String() string { return fmt.Sprintf("[%.3g, %.3g]", r.Min, r.Max) }
+
+// Histogram is a fixed-bin histogram over [Lo, Hi); values outside the range
+// clamp into the edge bins, matching how the paper's Figure 5 presents
+// distributions.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	N      int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins < 1 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if hi <= lo {
+		panic("stats: histogram needs hi > lo")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+	h.N++
+}
+
+// AddAll records every observation in xs.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// Fraction returns the share of observations in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.N)
+}
+
+// Render draws an ASCII histogram, one row per bin, for terminal output.
+func (h *Histogram) Render(width int) string {
+	if width < 1 {
+		width = 40
+	}
+	max := 0
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		bar := 0
+		if max > 0 {
+			bar = c * width / max
+		}
+		fmt.Fprintf(&b, "%10.3g | %-*s %d\n", h.BinCenter(i), width, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}
+
+// Welford is an online mean/variance accumulator for long-running streams
+// (used for the long-term average bottleneck cost in delay compensation).
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 when empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Std returns the running sample standard deviation.
+func (w *Welford) Std() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return math.Sqrt(w.m2 / float64(w.n-1))
+}

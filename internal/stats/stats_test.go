@@ -1,0 +1,228 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almostEq(s.Mean, 5) {
+		t.Fatalf("mean = %v, want 5", s.Mean)
+	}
+	// Sample std of this classic set is sqrt(32/7).
+	if !almostEq(s.Std, math.Sqrt(32.0/7.0)) {
+		t.Fatalf("std = %v", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 || s.N != 8 {
+		t.Fatalf("min/max/n = %v/%v/%v", s.Min, s.Max, s.N)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	e := Summarize(nil)
+	if e.N != 0 || e.Mean != 0 || e.Std != 0 {
+		t.Fatalf("empty summary = %+v", e)
+	}
+	one := Summarize([]float64{3.5})
+	if one.Mean != 3.5 || one.Std != 0 || one.Min != 3.5 || one.Max != 3.5 {
+		t.Fatalf("single summary = %+v", one)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if got := s.String(); got != "2.00 (1.00)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	a := Summary{Mean: 10, Std: 2}
+	b := Summary{Mean: 13, Std: 1.5}
+	if !Overlaps(a, b) {
+		t.Fatal("3 <= 3.5 should overlap")
+	}
+	c := Summary{Mean: 14, Std: 1.5}
+	if Overlaps(a, c) {
+		t.Fatal("4 > 3.5 should not overlap")
+	}
+}
+
+func TestDivergenceSigma(t *testing.T) {
+	a := Summary{Mean: 10, Std: 2}
+	b := Summary{Mean: 17, Std: 5}
+	if !almostEq(DivergenceSigma(a, b), 1.0) {
+		t.Fatalf("sigma = %v", DivergenceSigma(a, b))
+	}
+	if DivergenceSigma(Summary{Mean: 1}, Summary{Mean: 1}) != 0 {
+		t.Fatal("identical zero-std samples diverge by 0")
+	}
+	if !math.IsInf(DivergenceSigma(Summary{Mean: 1}, Summary{Mean: 2}), 1) {
+		t.Fatal("different zero-std samples diverge infinitely")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 5 {
+		t.Fatal("extremes wrong")
+	}
+	if !almostEq(Percentile(xs, 50), 3) {
+		t.Fatalf("median = %v", Percentile(xs, 50))
+	}
+	if !almostEq(Percentile(xs, 25), 2) {
+		t.Fatalf("p25 = %v", Percentile(xs, 25))
+	}
+	if !almostEq(Median([]float64{1, 2}), 1.5) {
+		t.Fatal("interpolated median wrong")
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestRangeOf(t *testing.T) {
+	r := RangeOf([]float64{5, -1, 3})
+	if r.Min != -1 || r.Max != 5 {
+		t.Fatalf("range = %+v", r)
+	}
+	if (RangeOf(nil) != Range{}) {
+		t.Fatal("empty range should be zero")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.AddAll([]float64{0, 1.9, 2, 5, 9.9, -3, 42})
+	// bins: [0,2) [2,4) [4,6) [6,8) [8,10); -3 clamps to first, 42 to last.
+	want := []int{3, 1, 1, 0, 2}
+	for i, c := range want {
+		if h.Counts[i] != c {
+			t.Fatalf("counts = %v, want %v", h.Counts, want)
+		}
+	}
+	if !almostEq(h.BinCenter(0), 1) || !almostEq(h.BinCenter(4), 9) {
+		t.Fatal("bin centers wrong")
+	}
+	if !almostEq(h.Fraction(0), 3.0/7.0) {
+		t.Fatalf("fraction = %v", h.Fraction(0))
+	}
+	if out := h.Render(20); !strings.Contains(out, "#") {
+		t.Fatal("render should draw bars")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(0, 10, 0) },
+		func() { NewHistogram(5, 5, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestWelfordMatchesSummarize(t *testing.T) {
+	xs := []float64{1.5, 2.25, -4, 8, 0, 3.125}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	s := Summarize(xs)
+	if !almostEq(w.Mean(), s.Mean) || !almostEq(w.Std(), s.Std) || w.N() != s.N {
+		t.Fatalf("welford %v/%v vs summarize %v/%v", w.Mean(), w.Std(), s.Mean, s.Std)
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Std() != 0 || w.N() != 0 {
+		t.Fatal("empty welford should be zero")
+	}
+}
+
+// Property: mean is always within [min, max], and std >= 0.
+func TestSummaryBoundsProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Mean >= s.Min-1e-6 && s.Mean <= s.Max+1e-6 && s.Std >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histogram conserves counts for any inputs.
+func TestHistogramConservesProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		h := NewHistogram(-1, 1, 7)
+		n := 0
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				continue
+			}
+			h.Add(x)
+			n++
+		}
+		total := 0
+		for _, c := range h.Counts {
+			total += c
+		}
+		return total == n && h.N == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentile is monotone in p.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(xs []float64, p1, p2 float64) bool {
+		clean := xs[:0:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		p1 = math.Mod(math.Abs(p1), 100)
+		p2 = math.Mod(math.Abs(p2), 100)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		return Percentile(clean, p1) <= Percentile(clean, p2)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

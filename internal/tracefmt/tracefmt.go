@@ -1,0 +1,440 @@
+// Package tracefmt defines the collected-trace file format: a
+// self-descriptive stream of typed, length-prefixed records (in the spirit
+// of the authors' RFC 2041 mobile network tracing format). A trace holds
+// packet records for every datagram in or out of the traced device,
+// periodic device-characteristic records (signal level, signal quality,
+// silence level), and lost-record markers emitted when the collection
+// buffer overruns.
+//
+// Readers skip record types they do not understand, so the format can be
+// extended without breaking old tools.
+package tracefmt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+func float32bits(f float32) uint32     { return math.Float32bits(f) }
+func float32frombits(b uint32) float32 { return math.Float32frombits(b) }
+
+// Magic identifies a trace file ("TMT1").
+const Magic uint32 = 0x544d5431
+
+// Version is the current format version.
+const Version uint16 = 1
+
+// RecordType tags each record in the stream.
+type RecordType uint8
+
+// Record types. Unknown types are skipped by Reader.
+const (
+	RecPacket RecordType = 1
+	RecDevice RecordType = 2
+	RecLost   RecordType = 3
+)
+
+// Direction of a traced packet relative to the traced host.
+type Direction uint8
+
+// Packet directions.
+const (
+	DirOut Direction = 0
+	DirIn  Direction = 1
+)
+
+func (d Direction) String() string {
+	if d == DirOut {
+		return "out"
+	}
+	return "in"
+}
+
+// NoICMP marks a packet record that carries no ICMP information.
+const NoICMP = 0xff
+
+// Header opens every trace file.
+type Header struct {
+	// Device names the traced network device (e.g. "wavelan0").
+	Device string
+	// Start is the virtual-clock origin of the trace in nanoseconds.
+	Start int64
+	// Comment is free-form metadata (scenario name, trial number).
+	Comment string
+}
+
+// PacketRecord describes one traced packet (Section 3.1.1): timing, size,
+// protocol, and — for the known ping workload — the echo id, sequence
+// number, and the round-trip time computed from the timestamp carried in
+// the ECHOREPLY payload. All timestamps come from the single traced host,
+// so no clock synchronization is assumed.
+type PacketRecord struct {
+	// At is when the packet passed the device, in virtual nanoseconds.
+	At int64
+	// Dir is the packet's direction.
+	Dir Direction
+	// Size is the IP datagram size in bytes.
+	Size uint16
+	// Protocol is the IP protocol number.
+	Protocol uint8
+
+	// ICMPType is the ICMP message type, or NoICMP.
+	ICMPType uint8
+	// ID and Seq are the echo identifier and sequence number.
+	ID, Seq uint16
+	// RTT is the round-trip time for ECHOREPLY packets (computed by the
+	// tracer from the payload timestamp), or -1.
+	RTT int64
+
+	// SrcPort and DstPort are transport ports for UDP/TCP packets.
+	SrcPort, DstPort uint16
+	// TCPFlags holds the TCP control bits for TCP packets.
+	TCPFlags uint8
+}
+
+// Time returns the record timestamp as a duration since the virtual epoch.
+func (r PacketRecord) Time() time.Duration { return time.Duration(r.At) }
+
+// DeviceRecord is a periodic sample of device-reported characteristics.
+type DeviceRecord struct {
+	At                       int64
+	Signal, Quality, Silence float32
+}
+
+// Time returns the record timestamp as a duration since the virtual epoch.
+func (r DeviceRecord) Time() time.Duration { return time.Duration(r.At) }
+
+// LostRecord reports that Count records of type Of were overwritten in the
+// collection buffer before the daemon drained them.
+type LostRecord struct {
+	At    int64
+	Count uint32
+	Of    RecordType
+}
+
+// Trace is a fully parsed trace file.
+type Trace struct {
+	Header  Header
+	Packets []PacketRecord
+	Devices []DeviceRecord
+	Lost    []LostRecord
+}
+
+// TotalLost sums the lost-record counts.
+func (t *Trace) TotalLost() int {
+	n := 0
+	for _, l := range t.Lost {
+		n += int(l.Count)
+	}
+	return n
+}
+
+// Duration returns the span from the first to the last packet record.
+func (t *Trace) Duration() time.Duration {
+	if len(t.Packets) == 0 {
+		return 0
+	}
+	return time.Duration(t.Packets[len(t.Packets)-1].At - t.Packets[0].At)
+}
+
+// Writer emits a trace stream.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewWriter writes the file header and returns a record writer.
+func NewWriter(w io.Writer, h Header) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if err := binary.Write(bw, binary.BigEndian, Magic); err != nil {
+		return nil, err
+	}
+	if err := binary.Write(bw, binary.BigEndian, Version); err != nil {
+		return nil, err
+	}
+	if err := writeString(bw, h.Device); err != nil {
+		return nil, err
+	}
+	if err := binary.Write(bw, binary.BigEndian, h.Start); err != nil {
+		return nil, err
+	}
+	if err := writeString(bw, h.Comment); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if len(s) > 0xffff {
+		return errors.New("tracefmt: string too long")
+	}
+	if err := binary.Write(w, binary.BigEndian, uint16(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint16
+	if err := binary.Read(r, binary.BigEndian, &n); err != nil {
+		return "", err
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (w *Writer) record(t RecordType, payload []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.w.WriteByte(byte(t)); err != nil {
+		w.err = err
+		return err
+	}
+	var lenBuf [2]byte
+	binary.BigEndian.PutUint16(lenBuf[:], uint16(len(payload)))
+	if _, err := w.w.Write(lenBuf[:]); err != nil {
+		w.err = err
+		return err
+	}
+	if _, err := w.w.Write(payload); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+const packetRecLen = 8 + 1 + 2 + 1 + 1 + 2 + 2 + 8 + 2 + 2 + 1
+
+// WritePacket appends a packet record.
+func (w *Writer) WritePacket(r PacketRecord) error {
+	var b [packetRecLen]byte
+	binary.BigEndian.PutUint64(b[0:8], uint64(r.At))
+	b[8] = byte(r.Dir)
+	binary.BigEndian.PutUint16(b[9:11], r.Size)
+	b[11] = r.Protocol
+	b[12] = r.ICMPType
+	binary.BigEndian.PutUint16(b[13:15], r.ID)
+	binary.BigEndian.PutUint16(b[15:17], r.Seq)
+	binary.BigEndian.PutUint64(b[17:25], uint64(r.RTT))
+	binary.BigEndian.PutUint16(b[25:27], r.SrcPort)
+	binary.BigEndian.PutUint16(b[27:29], r.DstPort)
+	b[29] = r.TCPFlags
+	return w.record(RecPacket, b[:])
+}
+
+const deviceRecLen = 8 + 4 + 4 + 4
+
+// WriteDevice appends a device-characteristics record.
+func (w *Writer) WriteDevice(r DeviceRecord) error {
+	var b [deviceRecLen]byte
+	binary.BigEndian.PutUint64(b[0:8], uint64(r.At))
+	binary.BigEndian.PutUint32(b[8:12], float32bits(r.Signal))
+	binary.BigEndian.PutUint32(b[12:16], float32bits(r.Quality))
+	binary.BigEndian.PutUint32(b[16:20], float32bits(r.Silence))
+	return w.record(RecDevice, b[:])
+}
+
+const lostRecLen = 8 + 4 + 1
+
+// WriteLost appends a lost-records marker.
+func (w *Writer) WriteLost(r LostRecord) error {
+	var b [lostRecLen]byte
+	binary.BigEndian.PutUint64(b[0:8], uint64(r.At))
+	binary.BigEndian.PutUint32(b[8:12], r.Count)
+	b[12] = byte(r.Of)
+	return w.record(RecLost, b[:])
+}
+
+// Flush writes buffered records through to the underlying writer.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// Errors from Reader.
+var (
+	ErrBadMagic   = errors.New("tracefmt: bad magic")
+	ErrBadVersion = errors.New("tracefmt: unsupported version")
+)
+
+// Reader parses a trace stream.
+type Reader struct {
+	r      *bufio.Reader
+	header Header
+}
+
+// NewReader validates the header and returns a record reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var magic uint32
+	if err := binary.Read(br, binary.BigEndian, &magic); err != nil {
+		return nil, err
+	}
+	if magic != Magic {
+		return nil, ErrBadMagic
+	}
+	var ver uint16
+	if err := binary.Read(br, binary.BigEndian, &ver); err != nil {
+		return nil, err
+	}
+	if ver != Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, ver)
+	}
+	var h Header
+	var err error
+	if h.Device, err = readString(br); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.BigEndian, &h.Start); err != nil {
+		return nil, err
+	}
+	if h.Comment, err = readString(br); err != nil {
+		return nil, err
+	}
+	return &Reader{r: br, header: h}, nil
+}
+
+// Header returns the file header.
+func (r *Reader) Header() Header { return r.header }
+
+// Next returns the next record as one of PacketRecord, DeviceRecord, or
+// LostRecord. Unknown record types are skipped. io.EOF signals a clean end.
+func (r *Reader) Next() (any, error) {
+	for {
+		t, err := r.r.ReadByte()
+		if err != nil {
+			return nil, err // io.EOF at a record boundary is a clean end
+		}
+		var lenBuf [2]byte
+		if _, err := io.ReadFull(r.r, lenBuf[:]); err != nil {
+			return nil, unexpectedEOF(err)
+		}
+		n := int(binary.BigEndian.Uint16(lenBuf[:]))
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r.r, payload); err != nil {
+			return nil, unexpectedEOF(err)
+		}
+		switch RecordType(t) {
+		case RecPacket:
+			if n < packetRecLen {
+				return nil, fmt.Errorf("tracefmt: short packet record (%d bytes)", n)
+			}
+			return decodePacket(payload), nil
+		case RecDevice:
+			if n < deviceRecLen {
+				return nil, fmt.Errorf("tracefmt: short device record (%d bytes)", n)
+			}
+			return decodeDevice(payload), nil
+		case RecLost:
+			if n < lostRecLen {
+				return nil, fmt.Errorf("tracefmt: short lost record (%d bytes)", n)
+			}
+			return decodeLost(payload), nil
+		default:
+			// Self-descriptive framing: skip what we do not understand.
+			continue
+		}
+	}
+}
+
+func unexpectedEOF(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("tracefmt: truncated record: %w", io.ErrUnexpectedEOF)
+	}
+	return err
+}
+
+func decodePacket(b []byte) PacketRecord {
+	return PacketRecord{
+		At:       int64(binary.BigEndian.Uint64(b[0:8])),
+		Dir:      Direction(b[8]),
+		Size:     binary.BigEndian.Uint16(b[9:11]),
+		Protocol: b[11],
+		ICMPType: b[12],
+		ID:       binary.BigEndian.Uint16(b[13:15]),
+		Seq:      binary.BigEndian.Uint16(b[15:17]),
+		RTT:      int64(binary.BigEndian.Uint64(b[17:25])),
+		SrcPort:  binary.BigEndian.Uint16(b[25:27]),
+		DstPort:  binary.BigEndian.Uint16(b[27:29]),
+		TCPFlags: b[29],
+	}
+}
+
+func decodeDevice(b []byte) DeviceRecord {
+	return DeviceRecord{
+		At:      int64(binary.BigEndian.Uint64(b[0:8])),
+		Signal:  float32frombits(binary.BigEndian.Uint32(b[8:12])),
+		Quality: float32frombits(binary.BigEndian.Uint32(b[12:16])),
+		Silence: float32frombits(binary.BigEndian.Uint32(b[16:20])),
+	}
+}
+
+func decodeLost(b []byte) LostRecord {
+	return LostRecord{
+		At:    int64(binary.BigEndian.Uint64(b[0:8])),
+		Count: binary.BigEndian.Uint32(b[8:12]),
+		Of:    RecordType(b[12]),
+	}
+}
+
+// ReadAll parses an entire trace.
+func ReadAll(r io.Reader) (*Trace, error) {
+	rd, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	t := &Trace{Header: rd.Header()}
+	for {
+		rec, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			return t, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch v := rec.(type) {
+		case PacketRecord:
+			t.Packets = append(t.Packets, v)
+		case DeviceRecord:
+			t.Devices = append(t.Devices, v)
+		case LostRecord:
+			t.Lost = append(t.Lost, v)
+		}
+	}
+}
+
+// WriteAll serializes an entire trace.
+func WriteAll(w io.Writer, t *Trace) error {
+	wr, err := NewWriter(w, t.Header)
+	if err != nil {
+		return err
+	}
+	for _, p := range t.Packets {
+		if err := wr.WritePacket(p); err != nil {
+			return err
+		}
+	}
+	for _, d := range t.Devices {
+		if err := wr.WriteDevice(d); err != nil {
+			return err
+		}
+	}
+	for _, l := range t.Lost {
+		if err := wr.WriteLost(l); err != nil {
+			return err
+		}
+	}
+	return wr.Flush()
+}

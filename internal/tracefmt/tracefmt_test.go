@@ -1,0 +1,242 @@
+package tracefmt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{
+		Header: Header{Device: "wavelan0", Start: 1000, Comment: "Porter trial 2"},
+		Packets: []PacketRecord{
+			{At: 1000, Dir: DirOut, Size: 92, Protocol: 1, ICMPType: 8, ID: 42, Seq: 1, RTT: -1},
+			{At: 5_000_000, Dir: DirIn, Size: 92, Protocol: 1, ICMPType: 0, ID: 42, Seq: 1, RTT: 4_999_000},
+			{At: 6_000_000, Dir: DirOut, Size: 576, Protocol: 17, SrcPort: 700, DstPort: 2049, ICMPType: NoICMP, RTT: -1},
+			{At: 7_000_000, Dir: DirIn, Size: 1500, Protocol: 6, SrcPort: 20, DstPort: 1234, TCPFlags: 0x18, ICMPType: NoICMP, RTT: -1},
+		},
+		Devices: []DeviceRecord{
+			{At: 1000, Signal: 18.5, Quality: 9.25, Silence: 3},
+			{At: 100_001_000, Signal: 17.25, Quality: 8.5, Silence: 3},
+		},
+		Lost: []LostRecord{{At: 50_000_000, Count: 7, Of: RecPacket}},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header != tr.Header {
+		t.Fatalf("header = %+v, want %+v", got.Header, tr.Header)
+	}
+	if len(got.Packets) != len(tr.Packets) {
+		t.Fatalf("packets = %d", len(got.Packets))
+	}
+	for i := range tr.Packets {
+		if got.Packets[i] != tr.Packets[i] {
+			t.Fatalf("packet %d = %+v, want %+v", i, got.Packets[i], tr.Packets[i])
+		}
+	}
+	for i := range tr.Devices {
+		if got.Devices[i] != tr.Devices[i] {
+			t.Fatalf("device %d mismatch", i)
+		}
+	}
+	if len(got.Lost) != 1 || got.Lost[0] != tr.Lost[0] {
+		t.Fatalf("lost = %+v", got.Lost)
+	}
+}
+
+func TestTraceAccessors(t *testing.T) {
+	tr := sampleTrace()
+	if tr.TotalLost() != 7 {
+		t.Fatalf("TotalLost = %d", tr.TotalLost())
+	}
+	if tr.Duration() != time.Duration(7_000_000-1000) {
+		t.Fatalf("Duration = %v", tr.Duration())
+	}
+	if (&Trace{}).Duration() != 0 {
+		t.Fatal("empty trace duration should be 0")
+	}
+	if tr.Packets[0].Time() != 1000*time.Nanosecond {
+		t.Fatal("Time accessor wrong")
+	}
+	if tr.Devices[0].Time() != 1000*time.Nanosecond {
+		t.Fatal("device Time accessor wrong")
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	buf := bytes.NewBuffer([]byte{0, 0, 0, 0, 0, 1})
+	if _, err := NewReader(buf); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.BigEndian, Magic)
+	binary.Write(&buf, binary.BigEndian, uint16(99))
+	if _, err := NewReader(&buf); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-5]
+	_, err := ReadAll(bytes.NewReader(cut))
+	if err == nil {
+		t.Fatal("truncated trace should error")
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want unexpected EOF", err)
+	}
+}
+
+func TestUnknownRecordSkipped(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{Device: "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inject an unknown record type by hand, then a valid one.
+	if err := w.record(RecordType(200), []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteDevice(DeviceRecord{At: 5, Signal: 1}); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	tr, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Devices) != 1 || tr.Devices[0].At != 5 {
+		t.Fatalf("devices = %+v", tr.Devices)
+	}
+}
+
+func TestStreamingReader(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Header().Device != "wavelan0" {
+		t.Fatal("header device wrong")
+	}
+	kinds := map[string]int{}
+	for {
+		rec, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch rec.(type) {
+		case PacketRecord:
+			kinds["p"]++
+		case DeviceRecord:
+			kinds["d"]++
+		case LostRecord:
+			kinds["l"]++
+		}
+	}
+	if kinds["p"] != 4 || kinds["d"] != 2 || kinds["l"] != 1 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, &Trace{Header: Header{Device: "x"}}); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Packets)+len(tr.Devices)+len(tr.Lost) != 0 {
+		t.Fatal("empty trace should stay empty")
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if DirOut.String() != "out" || DirIn.String() != "in" {
+		t.Fatal("direction strings wrong")
+	}
+}
+
+// Property: packet records round-trip bit-exactly for arbitrary field
+// values.
+func TestPacketRecordRoundTripProperty(t *testing.T) {
+	f := func(at int64, dir bool, size uint16, proto, itype uint8, id, seq uint16, rtt int64, sp, dp uint16, fl uint8) bool {
+		rec := PacketRecord{
+			At: at, Dir: DirOut, Size: size, Protocol: proto,
+			ICMPType: itype, ID: id, Seq: seq, RTT: rtt,
+			SrcPort: sp, DstPort: dp, TCPFlags: fl,
+		}
+		if dir {
+			rec.Dir = DirIn
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, Header{Device: "d"})
+		if err != nil {
+			return false
+		}
+		if w.WritePacket(rec) != nil || w.Flush() != nil {
+			return false
+		}
+		tr, err := ReadAll(&buf)
+		if err != nil || len(tr.Packets) != 1 {
+			return false
+		}
+		return tr.Packets[0] == rec
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: headers with arbitrary device/comment strings round-trip.
+func TestHeaderRoundTripProperty(t *testing.T) {
+	f := func(device, comment string, start int64) bool {
+		if len(device) > 1000 || len(comment) > 1000 {
+			return true
+		}
+		var buf bytes.Buffer
+		h := Header{Device: device, Start: start, Comment: comment}
+		w, err := NewWriter(&buf, h)
+		if err != nil {
+			return false
+		}
+		w.Flush()
+		rd, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		return rd.Header() == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,18 @@
+package transport
+
+import "fmt"
+
+// DebugString renders connection internals for diagnostics.
+func (c *Conn) DebugString() string {
+	return fmt.Sprintf("st=%s una=%d nxt=%d flight=%d buf=%d rwnd=%d cwnd=%d ssthresh=%d dup=%d rto=%v rtx=%d rtxArmed=%v rcvNxt=%d recvBuf=%d oo=%d peerFin=%v finSent=%v",
+		c.StateString(), c.sndUna-c.iss, c.sndNxt-c.iss, c.flight(), len(c.sendBuf), c.rwnd, c.cwnd, c.ssthresh, c.dupAcks, c.rto, c.retransmit, c.rtxArmed, c.rcvNxt-c.irs, len(c.recvBuf), len(c.oo), c.peerFin, c.finSent)
+}
+
+// DebugConns lists the stack's conns.
+func (t *TCPStack) DebugConns() []*Conn {
+	var out []*Conn
+	for _, c := range t.conns {
+		out = append(out, c)
+	}
+	return out
+}

@@ -1,0 +1,275 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tracemod/internal/packet"
+	"tracemod/internal/sim"
+	"tracemod/internal/simnet"
+)
+
+func TestSeqArithmetic(t *testing.T) {
+	cases := []struct {
+		a, b   uint32
+		lt, le bool
+	}{
+		{1, 2, true, true},
+		{2, 2, false, true},
+		{3, 2, false, false},
+		// Wraparound: 2^32-1 < 1 in sequence space.
+		{0xffffffff, 1, true, true},
+		{1, 0xffffffff, false, false},
+	}
+	for _, c := range cases {
+		if seqLT(c.a, c.b) != c.lt {
+			t.Fatalf("seqLT(%d,%d) = %v", c.a, c.b, !c.lt)
+		}
+		if seqLE(c.a, c.b) != c.le {
+			t.Fatalf("seqLE(%d,%d) = %v", c.a, c.b, !c.le)
+		}
+	}
+}
+
+// Property: for any offset below 2^31, a < a+delta in sequence space.
+func TestSeqOrderProperty(t *testing.T) {
+	f := func(a uint32, delta uint32) bool {
+		d := delta % (1 << 30)
+		if d == 0 {
+			return seqLE(a, a) && !seqLT(a, a)
+		}
+		return seqLT(a, a+d) && !seqLT(a+d, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSYNRetransmissionUnderBlackout(t *testing.T) {
+	// Total blackout for 4 seconds, then clear: Dial must retransmit its
+	// SYN with backoff and eventually connect.
+	s := sim.New(1)
+	a, b := pair(s, fastLAN())
+	blackout := true
+	s.At(sim.Time(4*time.Second), func() { blackout = false })
+	a.AddOutboundHook(simnet.HookFunc(func(dir simnet.Direction, ip []byte, next func([]byte)) {
+		if blackout {
+			return
+		}
+		next(ip)
+	}))
+	ta, tb := NewTCP(a), NewTCP(b)
+	l, _ := tb.Listen(80)
+	s.Spawn("server", func(p *sim.Proc) { l.Accept(p) })
+	var conn *Conn
+	var err error
+	var when sim.Time
+	s.Spawn("client", func(p *sim.Proc) {
+		conn, err = ta.Dial(p, ipB, 80)
+		when = p.Now()
+	})
+	s.RunUntil(sim.Time(2 * time.Minute))
+	if err != nil || conn == nil {
+		t.Fatalf("dial after blackout: %v", err)
+	}
+	if when.Duration() < 4*time.Second {
+		t.Fatalf("connected at %v, before the blackout lifted", when.Duration())
+	}
+	if conn.Retransmits == 0 {
+		t.Fatal("SYN must have been retransmitted")
+	}
+}
+
+func TestDialGivesUpEventually(t *testing.T) {
+	// Permanent blackout: Dial must fail with ErrTimeout after its SYN
+	// retry budget, not hang.
+	s := sim.New(1)
+	a, b := pair(s, fastLAN())
+	a.AddOutboundHook(simnet.HookFunc(func(dir simnet.Direction, ip []byte, next func([]byte)) {}))
+	ta := NewTCP(a)
+	NewTCP(b)
+	var err error
+	done := false
+	s.Spawn("client", func(p *sim.Proc) {
+		_, err = ta.Dial(p, ipB, 80)
+		done = true
+	})
+	s.RunUntil(sim.Time(time.Hour))
+	if !done {
+		t.Fatal("dial never returned")
+	}
+	if err != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestListenerCloseWakesAccept(t *testing.T) {
+	s := sim.New(1)
+	a, b := pair(s, fastLAN())
+	NewTCP(a)
+	tb := NewTCP(b)
+	l, _ := tb.Listen(80)
+	accepted := true
+	s.Spawn("server", func(p *sim.Proc) {
+		_, accepted = l.Accept(p)
+	})
+	s.At(sim.Time(time.Millisecond), func() { l.Close() })
+	s.Run()
+	if accepted {
+		t.Fatal("Accept should report failure after Close")
+	}
+	if _, err := tb.Listen(80); err != nil {
+		t.Fatalf("port should be reusable after close: %v", err)
+	}
+}
+
+func TestListenPortConflict(t *testing.T) {
+	s := sim.New(1)
+	a, _ := pair(s, fastLAN())
+	ta := NewTCP(a)
+	if _, err := ta.Listen(80); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ta.Listen(80); err != ErrListenInUse {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBidirectionalSimultaneousTransfer(t *testing.T) {
+	// Both sides stream at once over one connection; both directions must
+	// arrive intact (exercises the shared bottleneck and ack piggypath).
+	s := sim.New(5)
+	a, b := pair(s, fastLAN())
+	ta, tb := NewTCP(a), NewTCP(b)
+	l, _ := tb.Listen(9)
+	const size = 128 * 1024
+	mk := func(seed byte) []byte {
+		data := make([]byte, size)
+		for i := range data {
+			data[i] = seed + byte(i%97)
+		}
+		return data
+	}
+	up, down := mk(1), mk(2)
+	var gotUp, gotDown []byte
+	wg := sim.NewWaitGroup(s)
+	wg.Go("server", func(p *sim.Proc) {
+		c, _ := l.Accept(p)
+		inner := sim.NewWaitGroup(s)
+		inner.Go("server-write", func(p *sim.Proc) {
+			c.Write(p, down)
+			c.Close()
+		})
+		for len(gotUp) < size {
+			chunk, err := c.Read(p, 64*1024)
+			if err != nil {
+				break
+			}
+			gotUp = append(gotUp, chunk...)
+		}
+		inner.Wait(p)
+	})
+	wg.Go("client", func(p *sim.Proc) {
+		c, err := ta.Dial(p, ipB, 9)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		inner := sim.NewWaitGroup(s)
+		inner.Go("client-write", func(p *sim.Proc) {
+			c.Write(p, up)
+		})
+		for len(gotDown) < size {
+			chunk, err := c.Read(p, 64*1024)
+			if err != nil {
+				break
+			}
+			gotDown = append(gotDown, chunk...)
+		}
+		inner.Wait(p)
+		c.Close()
+	})
+	s.RunUntil(sim.Time(10 * time.Minute))
+	if !bytes.Equal(gotUp, up) {
+		t.Fatalf("upstream corrupted: %d bytes", len(gotUp))
+	}
+	if !bytes.Equal(gotDown, down) {
+		t.Fatalf("downstream corrupted: %d bytes", len(gotDown))
+	}
+}
+
+func TestBurstLossRecovery(t *testing.T) {
+	// A hook that drops 30 consecutive data segments mid-transfer forces
+	// RTO recovery with re-segmentation; the stream must stay intact.
+	s := sim.New(6)
+	a, b := pair(s, fastLAN())
+	dropped, startAt := 0, 100
+	seen := 0
+	a.AddOutboundHook(simnet.HookFunc(func(dir simnet.Direction, ip []byte, next func([]byte)) {
+		v := packet.IPv4(ip)
+		if v.Valid() == nil && v.Protocol() == packet.ProtoTCP && len(packet.TCP(v.Payload()).Payload()) > 0 {
+			seen++
+			if seen >= startAt && dropped < 30 {
+				dropped++
+				return
+			}
+		}
+		next(ip)
+	}))
+	ta, tb := NewTCP(a), NewTCP(b)
+	l, _ := tb.Listen(20)
+	payload := make([]byte, 512*1024)
+	for i := range payload {
+		payload[i] = byte(i * 11)
+	}
+	var received []byte
+	s.Spawn("server", func(p *sim.Proc) {
+		c, _ := l.Accept(p)
+		for {
+			chunk, err := c.Read(p, 64*1024)
+			if err != nil {
+				break
+			}
+			received = append(received, chunk...)
+		}
+	})
+	s.Spawn("client", func(p *sim.Proc) {
+		c, _ := ta.Dial(p, ipB, 20)
+		c.Write(p, payload)
+		c.Close()
+	})
+	s.RunUntil(sim.Time(10 * time.Minute))
+	if dropped != 30 {
+		t.Fatalf("hook dropped %d, want 30", dropped)
+	}
+	if !bytes.Equal(received, payload) {
+		t.Fatalf("received %d bytes, want %d intact after burst loss", len(received), len(payload))
+	}
+}
+
+func TestConnStateStrings(t *testing.T) {
+	s := sim.New(1)
+	a, b := pair(s, fastLAN())
+	ta, tb := NewTCP(a), NewTCP(b)
+	l, _ := tb.Listen(7)
+	var c *Conn
+	s.Spawn("server", func(p *sim.Proc) {
+		sc, _ := l.Accept(p)
+		sc.Read(p, 1)
+	})
+	s.Spawn("client", func(p *sim.Proc) {
+		c, _ = ta.Dial(p, ipB, 7)
+	})
+	s.RunUntil(sim.Time(time.Second))
+	if c == nil || c.StateString() != "ESTABLISHED" {
+		t.Fatalf("state = %v", c.StateString())
+	}
+	if c.Closed() {
+		t.Fatal("open connection reported closed")
+	}
+	if c.DebugString() == "" {
+		t.Fatal("debug string empty")
+	}
+}

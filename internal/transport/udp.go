@@ -1,0 +1,124 @@
+// Package transport provides the transport protocols the paper's
+// benchmarks run over: a UDP-style datagram socket (NFS's transport) and a
+// Reno-style TCP ("RenoLite") with slow start, congestion avoidance, fast
+// retransmit, and Jacobson/Karn retransmission timing (FTP's and HTTP's
+// transport). Both run over simnet nodes and carry real wire bytes, so the
+// modulation layer below sees authentic traffic.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"tracemod/internal/packet"
+	"tracemod/internal/sim"
+	"tracemod/internal/simnet"
+)
+
+// MaxDatagram is the largest UDP payload that fits the MTU unfragmented.
+const MaxDatagram = packet.MTU - packet.IPv4HeaderLen - packet.UDPHeaderLen
+
+// Datagram is one received UDP message.
+type Datagram struct {
+	From     packet.IPAddr
+	FromPort uint16
+	Data     []byte
+}
+
+// UDPStack demultiplexes UDP traffic on one node.
+type UDPStack struct {
+	node      *simnet.Node
+	socks     map[uint16]*UDPSocket
+	ephemeral uint16
+}
+
+// NewUDP installs a UDP stack on node.
+func NewUDP(node *simnet.Node) *UDPStack {
+	u := &UDPStack{node: node, socks: map[uint16]*UDPSocket{}, ephemeral: 32768}
+	node.RegisterProto(packet.ProtoUDP, u.input)
+	return u
+}
+
+// Node returns the stack's node.
+func (u *UDPStack) Node() *simnet.Node { return u.node }
+
+func (u *UDPStack) input(n *simnet.Node, ip packet.IPv4) {
+	dg := packet.UDP(ip.Payload())
+	if dg.Valid() != nil || !dg.ChecksumOK(ip.Src(), ip.Dst()) {
+		return
+	}
+	sock, ok := u.socks[dg.DstPort()]
+	if !ok {
+		return
+	}
+	data := append([]byte(nil), dg.Payload()...)
+	sock.recvq.TrySend(Datagram{From: ip.Src(), FromPort: dg.SrcPort(), Data: data})
+}
+
+// ErrPortInUse is returned by Bind for an occupied port.
+var ErrPortInUse = errors.New("transport: port in use")
+
+// Bind opens a socket on the given port; port 0 picks an ephemeral one.
+func (u *UDPStack) Bind(port uint16) (*UDPSocket, error) {
+	if port == 0 {
+		for u.socks[u.ephemeral] != nil {
+			u.ephemeral++
+			if u.ephemeral == 0 {
+				u.ephemeral = 32768
+			}
+		}
+		port = u.ephemeral
+		u.ephemeral++
+	} else if u.socks[port] != nil {
+		return nil, ErrPortInUse
+	}
+	s := &UDPSocket{
+		stack: u,
+		port:  port,
+		recvq: sim.NewChan[Datagram](u.node.Sched(), 128),
+	}
+	u.socks[port] = s
+	return s, nil
+}
+
+// UDPSocket is a bound datagram endpoint.
+type UDPSocket struct {
+	stack *UDPStack
+	port  uint16
+	recvq *sim.Chan[Datagram]
+}
+
+// Port returns the bound local port.
+func (s *UDPSocket) Port() uint16 { return s.port }
+
+// SendTo transmits data to the remote address and port. Payloads larger
+// than MaxDatagram panic: this stack does not fragment, so protocols above
+// must chunk (as the NFS substrate does).
+func (s *UDPSocket) SendTo(dst packet.IPAddr, port uint16, data []byte) bool {
+	if len(data) > MaxDatagram {
+		panic(fmt.Sprintf("transport: datagram %d exceeds %d", len(data), MaxDatagram))
+	}
+	src, ok := s.stack.node.SrcFor(dst)
+	if !ok {
+		return false
+	}
+	dg := packet.MarshalUDP(s.port, port, src, dst, data)
+	return s.stack.node.SendIP(packet.ProtoUDP, dst, dg)
+}
+
+// Recv blocks until a datagram arrives.
+func (s *UDPSocket) Recv(p *sim.Proc) (Datagram, bool) {
+	return s.recvq.Recv(p)
+}
+
+// RecvTimeout blocks until a datagram arrives or d elapses.
+func (s *UDPSocket) RecvTimeout(p *sim.Proc, d time.Duration) (Datagram, bool, bool) {
+	return s.recvq.RecvTimeout(p, d)
+}
+
+// Close releases the port.
+func (s *UDPSocket) Close() {
+	delete(s.stack.socks, s.port)
+	s.recvq.Close()
+}

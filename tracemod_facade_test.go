@@ -1,0 +1,79 @@
+package tracemod_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"tracemod"
+)
+
+func TestScenarios(t *testing.T) {
+	names := tracemod.Scenarios()
+	if len(names) != 4 {
+		t.Fatalf("scenarios = %v", names)
+	}
+	want := map[string]bool{"Wean": true, "Porter": true, "Flagstaff": true, "Chatterbox": true}
+	for _, n := range names {
+		if !want[n] {
+			t.Fatalf("unexpected scenario %q", n)
+		}
+	}
+}
+
+func TestCollectAndDistillFacade(t *testing.T) {
+	tr, err := tracemod.CollectAndDistill("Porter", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bw := tr.MeanVb().BitsPerSec()
+	if bw < 0.8e6 || bw > 2.2e6 {
+		t.Fatalf("bandwidth = %.2f Mb/s", bw/1e6)
+	}
+	if _, err := tracemod.CollectAndDistill("Narnia", 7); err == nil {
+		t.Fatal("unknown scenario must error")
+	}
+}
+
+func TestReplayRoundTripFacade(t *testing.T) {
+	tr, err := tracemod.Synthetic("wavelan", 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tracemod.WriteReplay(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tracemod.ReadReplay(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalDuration() != tr.TotalDuration() {
+		t.Fatalf("duration %v != %v", got.TotalDuration(), tr.TotalDuration())
+	}
+}
+
+func TestSyntheticKinds(t *testing.T) {
+	for _, kind := range []string{"wavelan", "slow", "step", "impulse"} {
+		tr, err := tracemod.Synthetic(kind, time.Minute)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+	}
+	if _, err := tracemod.Synthetic("nope", time.Minute); err == nil {
+		t.Fatal("unknown kind must error")
+	}
+}
+
+func TestDefaultDistillConfig(t *testing.T) {
+	cfg := tracemod.DefaultDistillConfig()
+	if cfg.Window != 5*time.Second || cfg.Step != time.Second {
+		t.Fatalf("config = %+v", cfg)
+	}
+}
