@@ -22,6 +22,7 @@ import (
 	"tracemod/internal/distill"
 	"tracemod/internal/expt"
 	"tracemod/internal/modulation"
+	"tracemod/internal/obs"
 	"tracemod/internal/packet"
 	"tracemod/internal/pinger"
 	"tracemod/internal/replay"
@@ -257,6 +258,49 @@ func BenchmarkEngineSubmit(b *testing.B) {
 			s.RunUntil(s.Now().Add(time.Hour)) // drain scheduled deliveries
 			b.StartTimer()
 		}
+	}
+}
+
+// engineHotPathBench drives the packet hot path — immediate deliveries,
+// no timers — with observability off or on, so the two configurations are
+// directly comparable.
+func engineHotPathBench(withObs bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		s := sim.New(1)
+		// One hour-long tuple with zero costs: every packet takes the
+		// immediate path and no scheduling timers fire.
+		trace := replay.Constant(core.DelayParams{}, 0, time.Hour, time.Hour)
+		cfg := modulation.Config{RNG: rand.New(rand.NewSource(1))}
+		if withObs {
+			cfg.Metrics = obs.NewRegistry()
+			cfg.Tracer = obs.NewRingTracer(0)
+		}
+		eng := modulation.NewEngine(modulation.SimClock{S: s}, &modulation.SliceSource{Trace: trace}, cfg)
+		deliver := func() {}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.Submit(simnet.Outbound, 1500, deliver)
+		}
+	}
+}
+
+// BenchmarkEngineSubmitObsDisabled measures the packet hot path with
+// telemetry off — the default every simulation and relay runs with.
+func BenchmarkEngineSubmitObsDisabled(b *testing.B) { engineHotPathBench(false)(b) }
+
+// BenchmarkEngineSubmitObsEnabled measures the same path with the full
+// metric set and event tracer attached, to keep the observation cost
+// visible.
+func BenchmarkEngineSubmitObsEnabled(b *testing.B) { engineHotPathBench(true)(b) }
+
+// TestObsDisabledHotPathAddsNoAllocs is the regression guard for the
+// observability layer's core promise: with telemetry off, the packet hot
+// path performs zero allocations per packet.
+func TestObsDisabledHotPathAddsNoAllocs(t *testing.T) {
+	res := testing.Benchmark(BenchmarkEngineSubmitObsDisabled)
+	if allocs := res.AllocsPerOp(); allocs != 0 {
+		t.Fatalf("obs-disabled hot path: %d allocs/op, want 0", allocs)
 	}
 }
 

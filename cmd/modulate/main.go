@@ -7,6 +7,10 @@
 //
 //	modulate -replay porter0.replay -listen 127.0.0.1:7000 -target 127.0.0.1:7001
 //	modulate -synthetic wavelan -listen 127.0.0.1:7000 -target 127.0.0.1:7001
+//
+// With -debug ADDR the daemon serves live introspection over HTTP:
+// /metrics (Prometheus text; ?format=text for a human dump), /healthz,
+// /debug/events (the packet-lifecycle event ring), and /debug/pprof/.
 package main
 
 import (
@@ -20,6 +24,8 @@ import (
 	"tracemod/internal/core"
 	"tracemod/internal/livewire"
 	"tracemod/internal/modulation"
+	"tracemod/internal/obs"
+	"tracemod/internal/replay"
 )
 
 func main() {
@@ -32,12 +38,28 @@ func main() {
 	inExtra := flag.Float64("inbound-extra", 0, "extra inbound per-byte cost in ns/byte (emulates the paper's kernel artifact)")
 	seed := flag.Int64("seed", 1, "drop-lottery seed")
 	stats := flag.Duration("stats", 10*time.Second, "stats reporting period (0 = quiet)")
+	debug := flag.String("debug", "", "HTTP debug listener address, e.g. 127.0.0.1:9100 (empty = disabled)")
+	events := flag.Int("events", obs.DefaultTracerCapacity, "packet-lifecycle event ring capacity for /debug/events (0 = tracing off)")
 	flag.Parse()
 
 	if *target == "" {
 		fmt.Fprintln(os.Stderr, "modulate: -target is required")
 		os.Exit(1)
 	}
+
+	// Telemetry: one registry for the whole daemon, an optional bounded
+	// event ring, and the debug listener serving both.
+	var reg *obs.Registry
+	var tracer *obs.RingTracer
+	if *debug != "" {
+		reg = obs.NewRegistry()
+		obs.Uptime(reg, time.Now())
+		replay.EnableMetrics(reg)
+		if *events > 0 {
+			tracer = obs.NewRingTracer(*events)
+		}
+	}
+
 	var trace core.Trace
 	var err error
 	switch {
@@ -63,13 +85,18 @@ func main() {
 		os.Exit(1)
 	}
 
-	relay, err := livewire.NewRelay(*listen, *target, livewire.Config{
+	cfg := livewire.Config{
 		Trace:        trace,
 		Tick:         *tick,
 		InboundExtra: core.PerByte(*inExtra),
 		Compensation: core.PerByte(*comp),
 		Seed:         *seed,
-	})
+		Obs:          reg,
+	}
+	if tracer != nil {
+		cfg.Tracer = tracer
+	}
+	relay, err := livewire.NewRelay(*listen, *target, cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "modulate: %v\n", err)
 		os.Exit(1)
@@ -77,6 +104,16 @@ func main() {
 	defer relay.Close()
 	fmt.Printf("shaping %s -> %s with %d tuples (%v, mean bottleneck %.2f Mb/s); ctrl-c to stop\n",
 		relay.Addr(), *target, len(trace), trace.TotalDuration(), trace.MeanVb().BitsPerSec()/1e6)
+
+	if reg != nil {
+		srv, err := obs.StartDebugServer(*debug, reg, tracer)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "modulate: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("debug listener on http://%s (/metrics /healthz /debug/events /debug/pprof/)\n", srv.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

@@ -6,6 +6,13 @@
 // Usage:
 //
 //	tracedump -i porter0.trace [-devices] [-n 50] [-stats]
+//	tracedump -i porter0.trace -render obs    # observability summary
+//	tracedump -i porter0.trace -render prom   # same, Prometheus text format
+//
+// The obs render mode folds the trace into the repository's telemetry
+// registry — packet counters by direction and protocol, an RTT histogram,
+// loss accounting — and prints the registry's human dump (or, with
+// -render prom, the exact text a live daemon's /metrics endpoint serves).
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 	"time"
 
 	"tracemod/internal/analysis"
+	"tracemod/internal/obs"
 	"tracemod/internal/packet"
 	"tracemod/internal/tracefmt"
 )
@@ -24,6 +32,7 @@ func main() {
 	devices := flag.Bool("devices", false, "include device-characteristic records")
 	limit := flag.Int("n", 0, "print at most n records (0 = all)")
 	statsOnly := flag.Bool("stats", false, "print the trace analysis report instead of records")
+	render := flag.String("render", "records", "output mode: records, obs (telemetry dump), prom (Prometheus text)")
 	flag.Parse()
 
 	if *in == "" {
@@ -39,6 +48,26 @@ func main() {
 	tr, err := tracefmt.ReadAll(f)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tracedump: %v\n", err)
+		os.Exit(1)
+	}
+
+	switch *render {
+	case "records":
+		// fall through to the record listing below
+	case "obs":
+		if err := traceRegistry(tr).Dump(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "tracedump: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case "prom":
+		if err := traceRegistry(tr).WritePrometheus(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "tracedump: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "tracedump: unknown -render mode %q\n", *render)
 		os.Exit(1)
 	}
 
@@ -81,6 +110,56 @@ func main() {
 	for _, l := range tr.Lost {
 		fmt.Printf("%12.6f  LOST  %d records of type %d overwritten in kernel buffer\n",
 			time.Duration(l.At).Seconds(), l.Count, l.Of)
+	}
+}
+
+// traceRegistry folds a collected trace into an obs registry: the same
+// metric vocabulary a live daemon exports, derived offline.
+func traceRegistry(tr *tracefmt.Trace) *obs.Registry {
+	reg := obs.NewRegistry()
+	byDir := reg.CounterVec("tracemod_trace_packets_total", "Packet records by direction.", "dir")
+	byProto := reg.CounterVec("tracemod_trace_packets_by_proto_total", "Packet records by protocol.", "proto")
+	rtts := reg.Histogram("tracemod_trace_rtt_seconds", "Round-trip times of answered workload echoes.", nil)
+	echoes := reg.Counter("tracemod_trace_echoes_total", "Outbound workload echoes.")
+	replies := reg.Counter("tracemod_trace_replies_total", "Inbound echo replies.")
+	samples := reg.Counter("tracemod_trace_device_samples_total", "Device-characteristic samples.")
+	lost := reg.Counter("tracemod_trace_lost_records_total", "Records lost to kernel ring overruns.")
+	span := reg.GaugeFunc
+	span("tracemod_trace_span_seconds", "Time covered by the trace.",
+		func() float64 { return tr.Duration().Seconds() })
+
+	for _, p := range tr.Packets {
+		if p.Dir == tracefmt.DirOut {
+			byDir.With("out").Inc()
+		} else {
+			byDir.With("in").Inc()
+		}
+		byProto.With(protoName(p.Protocol)).Inc()
+		switch {
+		case p.Protocol == packet.ProtoICMP && p.ICMPType == packet.ICMPEcho && p.Dir == tracefmt.DirOut:
+			echoes.Inc()
+		case p.Protocol == packet.ProtoICMP && p.ICMPType == packet.ICMPEchoReply && p.Dir == tracefmt.DirIn:
+			replies.Inc()
+			if p.RTT >= 0 {
+				rtts.Observe(time.Duration(p.RTT))
+			}
+		}
+	}
+	samples.Add(int64(len(tr.Devices)))
+	lost.Add(int64(tr.TotalLost()))
+	return reg
+}
+
+func protoName(p uint8) string {
+	switch p {
+	case packet.ProtoICMP:
+		return "icmp"
+	case packet.ProtoUDP:
+		return "udp"
+	case packet.ProtoTCP:
+		return "tcp"
+	default:
+		return fmt.Sprintf("proto-%d", p)
 	}
 }
 

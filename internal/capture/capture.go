@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"time"
 
+	"tracemod/internal/obs"
 	"tracemod/internal/packet"
 	"tracemod/internal/sim"
 	"tracemod/internal/simnet"
@@ -28,6 +29,9 @@ type Ring struct {
 	head int // index of oldest
 	n    int
 	lost map[tracefmt.RecordType]uint32
+
+	// Telemetry hooks (nil-safe; see Collector.EnableMetrics).
+	pushed, overrun *obs.Counter
 }
 
 // NewRing creates a buffer holding at most capacity records.
@@ -47,8 +51,10 @@ func (r *Ring) Len() int { return r.n }
 
 // Push appends a record, evicting (and counting) the oldest if full.
 func (r *Ring) Push(t tracefmt.RecordType, rec any) {
+	r.pushed.Inc()
 	if r.n == len(r.recs) {
 		r.lost[r.typ[r.head]]++
+		r.overrun.Inc()
 		r.head = (r.head + 1) % len(r.recs)
 		r.n--
 	}
@@ -111,6 +117,28 @@ type Collector struct {
 	// packets counts records captured (not lost) for tests and overhead
 	// accounting.
 	packets int
+
+	// Telemetry (nil-safe; see EnableMetrics).
+	mPackets *obs.Counter
+	mSamples *obs.Counter
+	mDrains  *obs.Counter
+	mDepth   *obs.Gauge
+}
+
+// EnableMetrics registers the collector's telemetry (names under
+// tracemod_capture_*) on reg: records pushed into / overwritten in the
+// kernel ring, packet and device-sample tap counts, pseudo-device drains,
+// and the current ring occupancy. Call before Open.
+func (c *Collector) EnableMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	c.ring.pushed = reg.Counter("tracemod_capture_ring_pushed_total", "Records pushed into the in-kernel ring buffer.")
+	c.ring.overrun = reg.Counter("tracemod_capture_ring_overrun_total", "Records overwritten (lost) in the in-kernel ring buffer.")
+	c.mPackets = reg.Counter("tracemod_capture_packets_total", "Packets observed by the device tap.")
+	c.mSamples = reg.Counter("tracemod_capture_device_samples_total", "Device-characteristic samples recorded.")
+	c.mDrains = reg.Counter("tracemod_capture_drains_total", "Pseudo-device Read (drain) calls.")
+	c.mDepth = reg.Gauge("tracemod_capture_ring_depth", "Records currently buffered in the in-kernel ring.")
 }
 
 // hostTime maps true virtual time onto the imperfect collection-host
@@ -162,7 +190,12 @@ func (c *Collector) Close() {
 func (c *Collector) Opened() bool { return c.open }
 
 // Read drains the pseudo-device.
-func (c *Collector) Read() []any { return c.ring.Drain(c.s.Now()) }
+func (c *Collector) Read() []any {
+	c.mDrains.Inc()
+	recs := c.ring.Drain(c.s.Now())
+	c.mDepth.Set(int64(c.ring.Len()))
+	return recs
+}
 
 // Captured returns the number of records pushed (including later-lost).
 func (c *Collector) Captured() int { return c.packets }
@@ -179,6 +212,8 @@ func (c *Collector) sampleDevice() {
 		Silence: float32(q.Silence),
 	})
 	c.packets++
+	c.mSamples.Inc()
+	c.mDepth.Set(int64(c.ring.Len()))
 	c.s.After(DeviceSampleInterval, c.sampleDevice)
 }
 
@@ -225,6 +260,8 @@ func (c *Collector) tap(dir simnet.Direction, at sim.Time, ip []byte, q simnet.Q
 	}
 	c.ring.Push(tracefmt.RecPacket, rec)
 	c.packets++
+	c.mPackets.Inc()
+	c.mDepth.Set(int64(c.ring.Len()))
 }
 
 // DaemonInterval is how often the user-level daemon extracts collected
@@ -283,6 +320,9 @@ type Opts struct {
 	// Collector.
 	Skew        float64
 	Granularity time.Duration
+	// Obs, if non-nil, receives the collector's telemetry (see
+	// Collector.EnableMetrics).
+	Obs *obs.Registry
 }
 
 // Collect runs a complete collection session on nic for the given
@@ -311,6 +351,7 @@ func CollectWith(s *sim.Scheduler, nic *simnet.NIC, opts Opts, dur time.Duration
 	c := NewCollector(s, nic, bufCap)
 	c.Skew = opts.Skew
 	c.Granularity = opts.Granularity
+	c.EnableMetrics(opts.Obs)
 	d := StartDaemon(s, c, w, s.Now().Add(dur))
 
 	var result *tracefmt.Trace

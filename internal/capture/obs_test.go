@@ -1,0 +1,63 @@
+package capture
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tracemod/internal/obs"
+	"tracemod/internal/pinger"
+	"tracemod/internal/scenario"
+	"tracemod/internal/sim"
+)
+
+func TestCollectorMetrics(t *testing.T) {
+	s := sim.New(1)
+	tb := scenario.BuildWireless(s, scenario.Porter)
+	reg := obs.NewRegistry()
+	dur := 30 * time.Second
+	pinger.Start(s, tb.Laptop, scenario.ServerIP, dur)
+	tr, err := CollectWith(s, tb.Laptop.NIC(0), Opts{BufCap: 1 << 16, Obs: reg}, dur, "obs-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushed := reg.Counter("tracemod_capture_ring_pushed_total", "").Load()
+	packets := reg.Counter("tracemod_capture_packets_total", "").Load()
+	samples := reg.Counter("tracemod_capture_device_samples_total", "").Load()
+	drains := reg.Counter("tracemod_capture_drains_total", "").Load()
+	if packets != int64(len(tr.Packets)) {
+		t.Fatalf("packet counter = %d, trace has %d", packets, len(tr.Packets))
+	}
+	if samples != int64(len(tr.Devices)) {
+		t.Fatalf("sample counter = %d, trace has %d", samples, len(tr.Devices))
+	}
+	if pushed != packets+samples {
+		t.Fatalf("pushed = %d, want %d", pushed, packets+samples)
+	}
+	if drains == 0 {
+		t.Fatal("expected drain calls to be counted")
+	}
+	if over := reg.Counter("tracemod_capture_ring_overrun_total", "").Load(); over != 0 {
+		t.Fatalf("no overruns expected with a big buffer, got %d", over)
+	}
+	if depth := reg.Gauge("tracemod_capture_ring_depth", "").Load(); depth != 0 {
+		t.Fatalf("ring depth after final drain = %d, want 0", depth)
+	}
+}
+
+func TestCollectorMetricsCountOverruns(t *testing.T) {
+	s := sim.New(2)
+	tb := scenario.BuildWireless(s, scenario.Porter)
+	reg := obs.NewRegistry()
+	dur := 30 * time.Second
+	pinger.Start(s, tb.Laptop, scenario.ServerIP, dur)
+	if _, err := CollectWith(s, tb.Laptop.NIC(0), Opts{BufCap: 4, Obs: reg}, dur, "tiny"); err != nil {
+		t.Fatal(err)
+	}
+	if over := reg.Counter("tracemod_capture_ring_overrun_total", "").Load(); over == 0 {
+		t.Fatal("tiny ring should overrun")
+	}
+	if !strings.Contains(reg.PrometheusString(), "tracemod_capture_ring_overrun_total") {
+		t.Fatal("overrun counter missing from export")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"tracemod/internal/core"
+	"tracemod/internal/obs"
 	"tracemod/internal/packet"
 	"tracemod/internal/tracefmt"
 )
@@ -25,6 +26,10 @@ type Config struct {
 	Window time.Duration
 	// Step is the tuple emission period (and each tuple's duration).
 	Step time.Duration
+	// Obs, if non-nil, accumulates distillation telemetry on the registry
+	// (names under tracemod_distill_*). Repeated Distill calls sharing a
+	// registry accumulate into the same counters.
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns the paper's parameters: a five-second window
@@ -107,7 +112,26 @@ func Distill(tr *tracefmt.Trace, cfg Config) (*Result, error) {
 	}
 
 	res.window(outs, tr, cfg)
+	res.report(cfg.Obs)
 	return res, nil
+}
+
+// report publishes the run's telemetry: how many tuples were emitted, how
+// many probe triplets were seen and solved, and — the audit trail for the
+// paper's non-cascading negative-solution fix — how many estimates were
+// corrections rather than raw solutions. reg may be nil.
+func (res *Result) report(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("tracemod_distill_runs_total", "Distillation runs completed.").Inc()
+	reg.Counter("tracemod_distill_tuples_emitted_total", "Replay tuples emitted.").Add(int64(len(res.Replay)))
+	reg.Counter("tracemod_distill_estimates_total", "Instantaneous parameter estimates produced.").Add(int64(len(res.Estimates)))
+	reg.Counter("tracemod_distill_corrections_total", "Negative-solution corrections applied (non-cascading fallback).").Add(int64(res.Corrections))
+	reg.Counter("tracemod_distill_triplets_total", "Probe triplets found in collected traces.").Add(int64(res.TripletsTotal))
+	reg.Counter("tracemod_distill_triplets_complete_total", "Probe triplets with all three round trips observed.").Add(int64(res.TripletsComplete))
+	reg.Counter("tracemod_distill_echoes_sent_total", "Workload echoes counted for loss accounting.").Add(int64(res.EchoesSent))
+	reg.Counter("tracemod_distill_replies_seen_total", "Workload echo replies counted for loss accounting.").Add(int64(res.RepliesSeen))
 }
 
 // extractEchoes pulls outbound ECHO records, indexed by sequence number.

@@ -1,0 +1,55 @@
+package distill
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tracemod/internal/capture"
+	"tracemod/internal/obs"
+	"tracemod/internal/pinger"
+	"tracemod/internal/scenario"
+	"tracemod/internal/sim"
+)
+
+func TestDistillTelemetry(t *testing.T) {
+	s := sim.New(1)
+	tb := scenario.BuildWireless(s, scenario.Porter)
+	dur := 60 * time.Second
+	pinger.Start(s, tb.Laptop, scenario.ServerIP, dur)
+	tr, err := capture.Collect(s, tb.Laptop.NIC(0), 1<<16, dur, "obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	cfg := DefaultConfig()
+	cfg.Obs = reg
+	res, err := Distill(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(name string) int64 { return reg.Counter(name, "").Load() }
+	if got := get("tracemod_distill_tuples_emitted_total"); got != int64(len(res.Replay)) {
+		t.Fatalf("tuples counter = %d, result has %d", got, len(res.Replay))
+	}
+	if got := get("tracemod_distill_triplets_total"); got != int64(res.TripletsTotal) {
+		t.Fatalf("triplets counter = %d, result has %d", got, res.TripletsTotal)
+	}
+	if got := get("tracemod_distill_corrections_total"); got != int64(res.Corrections) {
+		t.Fatalf("corrections counter = %d, result has %d", got, res.Corrections)
+	}
+	if get("tracemod_distill_runs_total") != 1 {
+		t.Fatal("runs counter should be 1")
+	}
+
+	// A second run on a shared registry accumulates.
+	if _, err := Distill(tr, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := get("tracemod_distill_tuples_emitted_total"); got != 2*int64(len(res.Replay)) {
+		t.Fatalf("shared registry should accumulate: %d", got)
+	}
+	if !strings.Contains(reg.PrometheusString(), "tracemod_distill_runs_total 2") {
+		t.Fatal("export missing accumulated run counter")
+	}
+}

@@ -20,6 +20,7 @@ import (
 
 	"tracemod/internal/core"
 	"tracemod/internal/modulation"
+	"tracemod/internal/obs"
 	"tracemod/internal/packet"
 	"tracemod/internal/simnet"
 )
@@ -51,6 +52,13 @@ type Config struct {
 	Compensation core.PerByte
 	// Seed drives the drop lottery (deterministic per relay).
 	Seed int64
+	// Obs, if non-nil, registers the relay's and the underlying engine's
+	// telemetry on the registry (tracemod_livewire_* and
+	// tracemod_modulation_*). Serve it with obs.StartDebugServer for live
+	// introspection of a running daemon.
+	Obs *obs.Registry
+	// Tracer, if non-nil, receives the engine's packet-lifecycle events.
+	Tracer obs.Tracer
 }
 
 // Stats counts relay activity.
@@ -106,12 +114,27 @@ func NewRelay(listenAddr, targetAddr string, cfg Config) (*Relay, error) {
 		InboundExtra: cfg.InboundExtra,
 		Compensation: cfg.Compensation,
 		RNG:          rand.New(rand.NewSource(cfg.Seed)),
+		Metrics:      cfg.Obs,
+		Tracer:       cfg.Tracer,
 	})
 	r := &Relay{
 		engine:     eng,
 		clientSide: clientSide,
 		targetSide: targetSide,
 		closed:     make(chan struct{}),
+	}
+	if cfg.Obs != nil {
+		cfg.Obs.CounterFunc("tracemod_livewire_client_to_target_total",
+			"Packets relayed from the client toward the target.",
+			func() float64 { return float64(r.c2t.Load()) })
+		cfg.Obs.CounterFunc("tracemod_livewire_target_to_client_total",
+			"Packets relayed from the target back to the client.",
+			func() float64 { return float64(r.t2c.Load()) })
+		cfg.Obs.CounterFunc("tracemod_livewire_dropped_total",
+			"Relayed packets lost to the drop lottery.",
+			func() float64 { return float64(r.dropped.Load()) })
+		cfg.Obs.Gauge("tracemod_livewire_trace_tuples",
+			"Tuples in the replay trace driving the relay.").Set(int64(len(cfg.Trace)))
 	}
 	go r.pumpClientToTarget()
 	go r.pumpTargetToClient()

@@ -23,10 +23,12 @@ package modulation
 
 import (
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
 
 	"tracemod/internal/core"
+	"tracemod/internal/obs"
 	"tracemod/internal/sim"
 	"tracemod/internal/simnet"
 )
@@ -103,9 +105,31 @@ type Config struct {
 	// (up to measurement error), making inbound and outbound behave
 	// identically.
 	Compensation core.PerByte
-	// RNG drives the drop lottery; required.
+	// RNG drives the drop lottery. A nil RNG falls back to a fresh,
+	// engine-local source seeded with DefaultDropSeed — never the global
+	// math/rand source — so default-configured engines are deterministic
+	// and mutually identical.
 	RNG *rand.Rand
+	// Metrics, if non-nil, registers the engine's counters, gauges, and
+	// histograms (names under tracemod_modulation_*) on the registry.
+	// When nil the engine carries no instruments and the packet path does
+	// no metric work beyond one pointer test.
+	Metrics *obs.Registry
+	// Tracer, if non-nil, receives a packet-lifecycle event at each stage
+	// decision (submit, bottleneck entry/exit, compensation, drop,
+	// quantization, delivery, tuple switch). Events are recorded when the
+	// engine makes the corresponding decision; for stages that complete
+	// later (bottleneck exit, delivery) Event.At carries the scheduled
+	// instant. When nil the packet path does no tracing work beyond one
+	// pointer test.
+	Tracer obs.Tracer
 }
+
+// DefaultDropSeed seeds the drop lottery when Config.RNG is nil: a fixed,
+// documented constant (the paper's publication year). The engine never
+// draws from the shared global math/rand source, so a defaulted engine's
+// drop sequence is reproducible and isolated from unrelated code.
+const DefaultDropSeed = 1997
 
 // Stats counts engine activity.
 type Stats struct {
@@ -114,6 +138,53 @@ type Stats struct {
 	Immediate int64 // deliveries under half a tick, sent at once
 	Delayed   int64 // deliveries scheduled onto a tick
 	Tuples    int64 // tuples consumed from the source
+}
+
+// instruments bundles the engine's registered metrics. A nil *instruments
+// means observability is off: every use is behind one pointer test and the
+// obs metric types are themselves nil-safe, so the disabled hot path adds
+// no allocations (guarded by the alloc benchmark in bench_test.go).
+type instruments struct {
+	submitted   *obs.Counter
+	delivered   *obs.Counter
+	dropped     *obs.Counter
+	immediate   *obs.Counter
+	scheduled   *obs.Counter
+	tuples      *obs.Counter
+	compensated *obs.Counter
+
+	dropsByTuple *obs.CounterVec
+
+	queueDepth  *obs.Gauge
+	activeTuple *obs.Gauge
+
+	serHist   *obs.Histogram // serialization time paid at the bottleneck
+	quantHist *obs.Histogram // tick-quantization rounding delta
+	delayHist *obs.Histogram // total scheduled delay
+
+	tupleLabel string // cached ordinal label for dropsByTuple
+}
+
+func newInstruments(reg *obs.Registry, tick time.Duration) *instruments {
+	return &instruments{
+		submitted:   reg.Counter("tracemod_modulation_packets_submitted_total", "Packets entering the modulation layer."),
+		delivered:   reg.Counter("tracemod_modulation_packets_delivered_total", "Packets that passed the layer (immediate or scheduled)."),
+		dropped:     reg.Counter("tracemod_modulation_packets_dropped_total", "Packets discarded by the drop lottery."),
+		immediate:   reg.Counter("tracemod_modulation_deliveries_immediate_total", "Deliveries under half a tick, sent at once."),
+		scheduled:   reg.Counter("tracemod_modulation_deliveries_scheduled_total", "Deliveries scheduled onto a clock tick."),
+		tuples:      reg.Counter("tracemod_modulation_tuples_consumed_total", "Replay tuples consumed from the source."),
+		compensated: reg.Counter("tracemod_modulation_compensation_applied_total", "Inbound packets whose bottleneck cost was adjusted (compensation / inbound extra)."),
+		dropsByTuple: reg.CounterVec("tracemod_modulation_drops_by_tuple_total",
+			"Drop-lottery losses attributed to the tuple ordinal in force.", "tuple"),
+		queueDepth:  reg.Gauge("tracemod_modulation_bottleneck_queue_depth", "Packets currently occupying the unified bottleneck queue."),
+		activeTuple: reg.Gauge("tracemod_modulation_active_tuple_index", "Ordinal of the replay tuple currently in force (1-based)."),
+		serHist: reg.Histogram("tracemod_modulation_serialization_seconds",
+			"Serialization time paid per packet at the emulated bottleneck.", nil),
+		quantHist: reg.Histogram("tracemod_modulation_quantization_delta_seconds",
+			"Signed rounding delta applied by tick quantization.", obs.TickBuckets(tick)),
+		delayHist: reg.Histogram("tracemod_modulation_delay_seconds",
+			"Total delay scheduled per delivered packet.", nil),
+	}
 }
 
 // Engine is the modulation layer's scheduler.
@@ -130,6 +201,10 @@ type Engine struct {
 	timerArmed bool          // an advance timer is outstanding
 	busy       time.Duration // bottleneck queue busy-until
 
+	ins      *instruments // nil = metrics off
+	tracer   obs.Tracer   // nil = event tracing off
+	inflight int64        // packets currently inside the bottleneck queue
+
 	stats Stats
 }
 
@@ -143,9 +218,22 @@ func NewEngine(clock Clock, src Source, cfg Config) *Engine {
 		cfg.Tick = 0
 	}
 	if cfg.RNG == nil {
-		panic("modulation: Config.RNG is required")
+		cfg.RNG = rand.New(rand.NewSource(DefaultDropSeed))
 	}
-	e := &Engine{clock: clock, src: src, cfg: cfg}
+	e := &Engine{clock: clock, src: src, cfg: cfg, tracer: cfg.Tracer}
+	if cfg.Metrics != nil {
+		e.ins = newInstruments(cfg.Metrics, cfg.Tick)
+		cfg.Metrics.GaugeFunc("tracemod_modulation_bottleneck_busy_seconds",
+			"Remaining busy horizon of the bottleneck queue (0 when idle).",
+			func() float64 {
+				e.mu.Lock()
+				defer e.mu.Unlock()
+				if rem := e.busy - e.clock.Now(); rem > 0 {
+					return rem.Seconds()
+				}
+				return 0
+			})
+	}
 	e.schedEnd = clock.Now()
 	if n, ok := src.(Notifier); ok {
 		n.SetOnAvailable(e.onAvailable)
@@ -231,6 +319,14 @@ func (e *Engine) advance(now time.Duration) {
 		e.cur = t
 		e.curOK = true
 		e.schedEnd += t.D
+		if e.ins != nil {
+			e.ins.tuples.Inc()
+			e.ins.activeTuple.Set(e.stats.Tuples)
+			e.ins.tupleLabel = strconv.FormatInt(e.stats.Tuples, 10)
+		}
+		if e.tracer != nil {
+			e.tracer.Record(obs.Event{At: now, Kind: obs.EvTupleSwitch, Dir: -1, Tuple: e.stats.Tuples, Value: t.D})
+		}
 	}
 }
 
@@ -241,10 +337,18 @@ func (e *Engine) Submit(dir simnet.Direction, size int, deliver func()) {
 	e.mu.Lock()
 	now := e.clock.Now()
 	e.stats.Submitted++
+	e.ins.submitPacket() // nil-safe: one branch when obs is off
 	e.advance(now)
+	if e.tracer != nil {
+		e.tracer.Record(obs.Event{At: now, Kind: obs.EvSubmit, Dir: int8(dir), Size: int32(size), Tuple: e.stats.Tuples})
+	}
 	if !e.curOK {
 		// No tuple has ever arrived: pass traffic through unmodulated,
 		// as the kernel does before the daemon first writes.
+		e.ins.deliverImmediate(0)
+		if e.tracer != nil {
+			e.tracer.Record(obs.Event{At: now, Kind: obs.EvDeliver, Dir: int8(dir), Size: int32(size), Aux: 1})
+		}
 		e.mu.Unlock()
 		deliver()
 		return
@@ -260,6 +364,16 @@ func (e *Engine) Submit(dir simnet.Direction, size int, deliver func()) {
 		if vb < 0 {
 			vb = 0
 		}
+		if e.ins != nil || e.tracer != nil {
+			if adjust := vb.Cost(size) - t.Vb.Cost(size); adjust != 0 {
+				if e.ins != nil {
+					e.ins.compensated.Inc()
+				}
+				if e.tracer != nil {
+					e.tracer.Record(obs.Event{At: now, Kind: obs.EvCompensate, Dir: int8(dir), Size: int32(size), Tuple: e.stats.Tuples, Value: adjust})
+				}
+			}
+		}
 	}
 
 	// Serialize through the unified bottleneck queue.
@@ -269,10 +383,25 @@ func (e *Engine) Submit(dir simnet.Direction, size int, deliver func()) {
 	}
 	finishBottleneck := start + vb.Cost(size)
 	e.busy = finishBottleneck
+	if e.ins != nil {
+		e.ins.serHist.Observe(finishBottleneck - start)
+		e.trackOccupancy(now, finishBottleneck)
+	}
+	if e.tracer != nil {
+		e.tracer.Record(obs.Event{At: now, Kind: obs.EvBottleneckEnter, Dir: int8(dir), Size: int32(size), Tuple: e.stats.Tuples, Value: start - now})
+		e.tracer.Record(obs.Event{At: finishBottleneck, Kind: obs.EvBottleneckExit, Dir: int8(dir), Size: int32(size), Tuple: e.stats.Tuples, Value: finishBottleneck - start})
+	}
 
 	// The drop lottery runs after the bottleneck queue.
 	if e.cfg.RNG.Float64() < t.L {
 		e.stats.Dropped++
+		if e.ins != nil {
+			e.ins.dropped.Inc()
+			e.ins.dropsByTuple.With(e.ins.tupleLabel).Inc()
+		}
+		if e.tracer != nil {
+			e.tracer.Record(obs.Event{At: now, Kind: obs.EvDrop, Dir: int8(dir), Size: int32(size), Tuple: e.stats.Tuples, Aux: int64(obs.DropLottery)})
+		}
 		e.mu.Unlock()
 		return
 	}
@@ -284,30 +413,89 @@ func (e *Engine) Submit(dir simnet.Direction, size int, deliver func()) {
 	if e.cfg.Tick > 0 {
 		if delay < e.cfg.Tick/2 {
 			// Under half a tick: send immediately.
-			e.stats.Immediate++
-			e.mu.Unlock()
+			e.finishImmediate(now, dir, size)
 			deliver()
 			return
 		}
 		// Round the delivery time to the closest clock tick.
+		exact := target
 		target = roundToTick(target, e.cfg.Tick)
+		if e.ins != nil {
+			e.ins.quantHist.Observe(target - exact)
+		}
+		if e.tracer != nil {
+			e.tracer.Record(obs.Event{At: now, Kind: obs.EvQuantize, Dir: int8(dir), Size: int32(size), Tuple: e.stats.Tuples, Value: target - exact})
+		}
 		delay = target - now
 		if delay <= 0 {
-			e.stats.Immediate++
-			e.mu.Unlock()
+			e.finishImmediate(now, dir, size)
 			deliver()
 			return
 		}
 	} else if delay <= 0 {
-		e.stats.Immediate++
-		e.mu.Unlock()
+		e.finishImmediate(now, dir, size)
 		deliver()
 		return
 	}
 
 	e.stats.Delayed++
+	if e.ins != nil {
+		e.ins.delivered.Inc()
+		e.ins.scheduled.Inc()
+		e.ins.delayHist.Observe(delay)
+	}
+	if e.tracer != nil {
+		e.tracer.Record(obs.Event{At: target, Kind: obs.EvDeliver, Dir: int8(dir), Size: int32(size), Tuple: e.stats.Tuples, Value: delay})
+	}
 	e.mu.Unlock()
 	e.clock.AfterFunc(delay, deliver)
+}
+
+// finishImmediate books an under-half-tick delivery and releases the lock;
+// the caller invokes deliver afterwards.
+func (e *Engine) finishImmediate(now time.Duration, dir simnet.Direction, size int) {
+	e.stats.Immediate++
+	e.ins.deliverImmediate(0)
+	if e.tracer != nil {
+		e.tracer.Record(obs.Event{At: now, Kind: obs.EvDeliver, Dir: int8(dir), Size: int32(size), Tuple: e.stats.Tuples, Aux: 1})
+	}
+	e.mu.Unlock()
+}
+
+// submitPacket and deliverImmediate are nil-safe instrument helpers so
+// the hot path reads as straight-line code when observability is off.
+func (ins *instruments) submitPacket() {
+	if ins == nil {
+		return
+	}
+	ins.submitted.Inc()
+}
+
+func (ins *instruments) deliverImmediate(delay time.Duration) {
+	if ins == nil {
+		return
+	}
+	ins.delivered.Inc()
+	ins.immediate.Inc()
+	ins.delayHist.Observe(delay)
+}
+
+// trackOccupancy maintains the bottleneck queue-depth gauge: the packet
+// occupies the queue until its serialization finishes, at which point a
+// timer decrements the gauge. Only runs with metrics enabled, so the
+// plain path schedules no extra timers. Called with e.mu held.
+func (e *Engine) trackOccupancy(now, finish time.Duration) {
+	if finish <= now {
+		return // zero-cost packet: never occupies the queue
+	}
+	e.inflight++
+	e.ins.queueDepth.Set(e.inflight)
+	e.clock.AfterFunc(finish-now, func() {
+		e.mu.Lock()
+		e.inflight--
+		e.ins.queueDepth.Set(e.inflight)
+		e.mu.Unlock()
+	})
 }
 
 func roundToTick(t, tick time.Duration) time.Duration {

@@ -396,14 +396,34 @@ func TestInstallModulatesLAN(t *testing.T) {
 	}
 }
 
-func TestRequiresRNG(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic without RNG")
+func TestNilRNGFallsBackToDefaultSeed(t *testing.T) {
+	// A nil RNG must produce the documented deterministic fallback, never
+	// the global math/rand source: two defaulted engines see identical
+	// drop lotteries, run after run.
+	tr := constTrace(core.DelayParams{F: time.Millisecond, Vb: 100}, 0.5)
+	drops := func() []bool {
+		s := sim.New(1)
+		e := NewEngine(SimClock{S: s}, &SliceSource{Trace: tr}, Config{Tick: -1})
+		var out []bool
+		for i := 0; i < 200; i++ {
+			delivered := false
+			e.Submit(simnet.Outbound, 500, func() { delivered = true })
+			s.Run()
+			out = append(out, !delivered)
 		}
-	}()
-	s := sim.New(1)
-	NewEngine(SimClock{S: s}, &SliceSource{}, Config{})
+		return out
+	}
+	a, b := drops(), drops()
+	sawDrop := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("packet %d: drop outcome differs between defaulted engines", i)
+		}
+		sawDrop = sawDrop || a[i]
+	}
+	if !sawDrop {
+		t.Fatal("expected some drops at 50% loss")
+	}
 }
 
 func TestRoundToTick(t *testing.T) {

@@ -1,0 +1,134 @@
+// Snapshot export: Prometheus text exposition format (version 0.0.4, the
+// format every scraper accepts) and a human-readable dump for terminals.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+)
+
+// WritePrometheus writes every registered metric in the Prometheus text
+// exposition format. Durations are exported in seconds, per convention;
+// histogram buckets are cumulative with a +Inf bucket, _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var err error
+	pf := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	r.each(func(m *metric) {
+		typ := "counter"
+		switch m.kind {
+		case kindGauge, kindGaugeFunc:
+			typ = "gauge"
+		case kindHistogram:
+			typ = "histogram"
+		}
+		if m.help != "" {
+			pf("# HELP %s %s\n", m.name, m.help)
+		}
+		pf("# TYPE %s %s\n", m.name, typ)
+		switch m.kind {
+		case kindCounter:
+			pf("%s %d\n", m.name, m.c.Load())
+		case kindGauge:
+			pf("%s %d\n", m.name, m.g.Load())
+		case kindGaugeFunc, kindCounterFunc:
+			pf("%s %s\n", m.name, formatFloat(m.fn()))
+		case kindCounterVec:
+			vals, counts := m.vec.snapshot()
+			for i, v := range vals {
+				pf("%s{%s=%q} %d\n", m.name, m.vec.label, v, counts[i])
+			}
+		case kindHistogram:
+			bounds, counts := m.h.snapshot()
+			cum := int64(0)
+			for i, b := range bounds {
+				cum += counts[i]
+				pf("%s_bucket{le=%q} %d\n", m.name, formatFloat(b.Seconds()), cum)
+			}
+			cum += counts[len(counts)-1]
+			pf("%s_bucket{le=\"+Inf\"} %d\n", m.name, cum)
+			pf("%s_sum %s\n", m.name, formatFloat(m.h.Sum().Seconds()))
+			pf("%s_count %d\n", m.name, m.h.Count())
+		}
+	})
+	return err
+}
+
+// formatFloat renders a float the way Prometheus expects (no exponent for
+// ordinary magnitudes, trimmed trailing zeros).
+func formatFloat(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	s := fmt.Sprintf("%g", f)
+	return s
+}
+
+// Dump writes a human-readable snapshot: one aligned line per scalar
+// metric, indented bucket tables for histograms and vectors.
+func (r *Registry) Dump(w io.Writer) error {
+	var err error
+	pf := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	r.each(func(m *metric) {
+		switch m.kind {
+		case kindCounter:
+			pf("%-52s %12d\n", m.name, m.c.Load())
+		case kindGauge:
+			pf("%-52s %12d\n", m.name, m.g.Load())
+		case kindGaugeFunc, kindCounterFunc:
+			pf("%-52s %12s\n", m.name, formatFloat(m.fn()))
+		case kindCounterVec:
+			pf("%s (by %s)\n", m.name, m.vec.label)
+			vals, counts := m.vec.snapshot()
+			for i, v := range vals {
+				pf("    %-48s %12d\n", v, counts[i])
+			}
+			if len(vals) == 0 {
+				pf("    (empty)\n")
+			}
+		case kindHistogram:
+			pf("%-40s count %8d  mean %s\n", m.name, m.h.Count(), m.h.Mean())
+			bounds, counts := m.h.snapshot()
+			for i, b := range bounds {
+				if counts[i] > 0 {
+					pf("    le %-12v %12d\n", b, counts[i])
+				}
+			}
+			if counts[len(counts)-1] > 0 {
+				pf("    le +Inf        %12d\n", counts[len(counts)-1])
+			}
+		}
+	})
+	return err
+}
+
+// PrometheusString renders WritePrometheus into a string (tests, logs).
+func (r *Registry) PrometheusString() string {
+	var b strings.Builder
+	_ = r.WritePrometheus(&b)
+	return b.String()
+}
+
+// DumpString renders Dump into a string.
+func (r *Registry) DumpString() string {
+	var b strings.Builder
+	_ = r.Dump(&b)
+	return b.String()
+}
+
+// Uptime registers the standard process gauge every debug listener wants:
+// seconds since start, computed at scrape time.
+func Uptime(r *Registry, start time.Time) {
+	r.GaugeFunc("tracemod_uptime_seconds", "Seconds since the process started.",
+		func() float64 { return time.Since(start).Seconds() })
+}

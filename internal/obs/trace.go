@@ -1,0 +1,234 @@
+// Packet-lifecycle event tracing: a bounded ring buffer of fixed-size
+// event records that a component emits at each stage of a packet's life
+// through the modulation layer. A nil Tracer (the default) costs one
+// branch per site; a RingTracer costs one short critical section and no
+// allocation per event.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// EventKind identifies a stage in a packet's life through the engine.
+type EventKind uint8
+
+// The packet-lifecycle event vocabulary.
+const (
+	// EvSubmit: a packet entered the layer. Size is the wire size.
+	EvSubmit EventKind = iota + 1
+	// EvBottleneckEnter: the packet reached the unified bottleneck queue.
+	// Value is the time it must wait behind earlier packets (0 = idle).
+	EvBottleneckEnter
+	// EvBottleneckExit: the packet finished serializing. Value is the
+	// serialization time paid (s·Vb, plus any inbound adjustment).
+	EvBottleneckExit
+	// EvCompensate: delay compensation (and/or the inbound-extra
+	// artifact) adjusted an inbound packet's bottleneck cost. Value is
+	// the signed time delta versus the unadjusted cost.
+	EvCompensate
+	// EvDrop: the drop lottery discarded the packet. Aux is a DropReason.
+	EvDrop
+	// EvQuantize: the delivery time was rounded to the clock tick. Value
+	// is the signed rounding delta (quantized minus exact).
+	EvQuantize
+	// EvDeliver: the packet left the layer. Value is the total delay it
+	// was scheduled to pay; Aux is 1 if it was sent immediately
+	// (sub-half-tick) rather than via the timer.
+	EvDeliver
+	// EvTupleSwitch: the engine moved to the next replay tuple. Tuple is
+	// the new tuple's ordinal (1-based count of tuples consumed); Value
+	// is the new tuple's duration.
+	EvTupleSwitch
+)
+
+// String names the kind for dumps.
+func (k EventKind) String() string {
+	switch k {
+	case EvSubmit:
+		return "submit"
+	case EvBottleneckEnter:
+		return "bneck-enter"
+	case EvBottleneckExit:
+		return "bneck-exit"
+	case EvCompensate:
+		return "compensate"
+	case EvDrop:
+		return "drop"
+	case EvQuantize:
+		return "quantize"
+	case EvDeliver:
+		return "deliver"
+	case EvTupleSwitch:
+		return "tuple-switch"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(k))
+	}
+}
+
+// DropReason says why a packet was discarded (Event.Aux for EvDrop).
+type DropReason int64
+
+// Drop reasons.
+const (
+	// DropLottery: the per-tuple loss probability fired.
+	DropLottery DropReason = 1
+)
+
+// String names the reason for dumps.
+func (r DropReason) String() string {
+	if r == DropLottery {
+		return "lottery"
+	}
+	return fmt.Sprintf("reason(%d)", int64(r))
+}
+
+// Event is one fixed-size lifecycle record. Which fields are meaningful
+// depends on Kind; see the kind constants.
+type Event struct {
+	// At is the engine-clock timestamp.
+	At   time.Duration
+	Kind EventKind
+	// Dir is the packet direction: 0 outbound, 1 inbound, -1 n/a.
+	Dir int8
+	// Size is the packet's wire size in bytes (0 when not packet-bound).
+	Size int32
+	// Tuple is the ordinal of the replay tuple in force (1-based count of
+	// tuples consumed; 0 = none yet).
+	Tuple int64
+	// Value is the kind-specific duration (delay, wait, delta...).
+	Value time.Duration
+	// Aux is the kind-specific extra (drop reason, immediate flag...).
+	Aux int64
+}
+
+// Format renders the event as one dump line.
+func (e Event) Format() string {
+	dir := "-"
+	switch e.Dir {
+	case 0:
+		dir = ">"
+	case 1:
+		dir = "<"
+	}
+	s := fmt.Sprintf("%12.6f  %-12s %s %5dB  tuple=%d", e.At.Seconds(), e.Kind, dir, e.Size, e.Tuple)
+	switch e.Kind {
+	case EvBottleneckEnter:
+		s += fmt.Sprintf("  wait=%v", e.Value)
+	case EvBottleneckExit:
+		s += fmt.Sprintf("  serialized=%v", e.Value)
+	case EvCompensate:
+		s += fmt.Sprintf("  adjust=%v", e.Value)
+	case EvDrop:
+		s += fmt.Sprintf("  reason=%s", DropReason(e.Aux))
+	case EvQuantize:
+		s += fmt.Sprintf("  delta=%v", e.Value)
+	case EvDeliver:
+		s += fmt.Sprintf("  delay=%v", e.Value)
+		if e.Aux == 1 {
+			s += " immediate"
+		}
+	case EvTupleSwitch:
+		s += fmt.Sprintf("  dur=%v", e.Value)
+	}
+	return s
+}
+
+// Tracer receives lifecycle events. Implementations must not retain
+// pointers into the event (it is a value) and must tolerate concurrent
+// Record calls. Instrumented components hold a possibly-nil Tracer and
+// guard each emission with one nil check, so the disabled path does no
+// work and no allocation.
+type Tracer interface {
+	Record(Event)
+}
+
+// RingTracer is a bounded, mutex-guarded ring buffer of events: when full,
+// the oldest event is overwritten and counted. It mirrors the collection
+// phase's in-kernel ring (capture.Ring) — bounded memory, overrun
+// accounting — applied to the engine's own life events.
+type RingTracer struct {
+	mu          sync.Mutex
+	buf         []Event
+	head        int // index of oldest
+	n           int
+	total       int64 // events ever recorded
+	overwritten int64 // events lost to wrap-around
+}
+
+// DefaultTracerCapacity bounds the default event ring.
+const DefaultTracerCapacity = 4096
+
+// NewRingTracer creates a tracer holding at most capacity events
+// (DefaultTracerCapacity if capacity <= 0).
+func NewRingTracer(capacity int) *RingTracer {
+	if capacity <= 0 {
+		capacity = DefaultTracerCapacity
+	}
+	return &RingTracer{buf: make([]Event, capacity)}
+}
+
+// Record implements Tracer.
+func (t *RingTracer) Record(e Event) {
+	t.mu.Lock()
+	if t.n == len(t.buf) {
+		t.head = (t.head + 1) % len(t.buf)
+		t.n--
+		t.overwritten++
+	}
+	t.buf[(t.head+t.n)%len(t.buf)] = e
+	t.n++
+	t.total++
+	t.mu.Unlock()
+}
+
+// Snapshot returns the buffered events oldest-first.
+func (t *RingTracer) Snapshot() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, t.n)
+	for i := 0; i < t.n; i++ {
+		out[i] = t.buf[(t.head+i)%len(t.buf)]
+	}
+	return out
+}
+
+// Len returns the number of buffered events.
+func (t *RingTracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Total returns the number of events ever recorded.
+func (t *RingTracer) Total() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Overwritten returns how many events were lost to wrap-around.
+func (t *RingTracer) Overwritten() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.overwritten
+}
+
+// Dump writes the buffered events, oldest first, one Format line each,
+// with a trailing overrun note when events were lost.
+func (t *RingTracer) Dump(w io.Writer) error {
+	events := t.Snapshot()
+	for _, e := range events {
+		if _, err := fmt.Fprintln(w, e.Format()); err != nil {
+			return err
+		}
+	}
+	if over := t.Overwritten(); over > 0 {
+		if _, err := fmt.Fprintf(w, "... %d earlier events overwritten (ring capacity %d)\n", over, len(t.buf)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -14,7 +14,35 @@ import (
 	"time"
 
 	"tracemod/internal/core"
+	"tracemod/internal/obs"
 )
+
+// Package-level telemetry, enabled by EnableMetrics. The counters are
+// nil-safe, so an un-instrumented process pays one branch per trace (not
+// per tuple beyond an Add) and no allocation.
+var (
+	tuplesRead      *obs.Counter
+	tuplesWritten   *obs.Counter
+	tuplesSynthetic *obs.Counter
+	tracesRead      *obs.Counter
+	readErrors      *obs.Counter
+)
+
+// EnableMetrics registers the replay package's counters (names under
+// tracemod_replay_*) on reg, after which Read, Write, and the synthetic
+// generators account the tuples they handle. Passing nil disables them
+// again.
+func EnableMetrics(reg *obs.Registry) {
+	if reg == nil {
+		tuplesRead, tuplesWritten, tuplesSynthetic, tracesRead, readErrors = nil, nil, nil, nil, nil
+		return
+	}
+	tuplesRead = reg.Counter("tracemod_replay_tuples_read_total", "Tuples parsed from serialized replay traces.")
+	tuplesWritten = reg.Counter("tracemod_replay_tuples_written_total", "Tuples serialized to replay trace files.")
+	tuplesSynthetic = reg.Counter("tracemod_replay_tuples_synthetic_total", "Tuples emitted by the synthetic generators.")
+	tracesRead = reg.Counter("tracemod_replay_traces_read_total", "Replay trace files parsed successfully.")
+	readErrors = reg.Counter("tracemod_replay_read_errors_total", "Replay trace parses that failed.")
+}
 
 // FileHeader opens every serialized replay trace.
 const FileHeader = "#tracemod-replay v1"
@@ -33,7 +61,11 @@ func Write(w io.Writer, tr core.Trace) error {
 			return err
 		}
 	}
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	tuplesWritten.Add(int64(len(tr)))
+	return nil
 }
 
 // ErrBadHeader is returned when the input is not a replay trace.
@@ -42,6 +74,17 @@ var ErrBadHeader = errors.New("replay: missing or unknown header")
 // Read parses a serialized replay trace. Blank lines and #-comments after
 // the header are ignored.
 func Read(r io.Reader) (core.Trace, error) {
+	tr, err := read(r)
+	if err != nil {
+		readErrors.Inc()
+		return nil, err
+	}
+	tracesRead.Inc()
+	tuplesRead.Add(int64(len(tr)))
+	return tr, nil
+}
+
+func read(r io.Reader) (core.Trace, error) {
 	sc := bufio.NewScanner(r)
 	if !sc.Scan() {
 		return nil, ErrBadHeader
@@ -95,6 +138,7 @@ func Constant(params core.DelayParams, loss float64, dur, step time.Duration) co
 		}
 		tr = append(tr, core.Tuple{D: d, DelayParams: params, L: loss})
 	}
+	tuplesSynthetic.Add(int64(len(tr)))
 	return tr
 }
 
@@ -140,6 +184,7 @@ func Ramp(a, b core.DelayParams, loss float64, dur, step time.Duration) core.Tra
 			L: loss,
 		})
 	}
+	tuplesSynthetic.Add(int64(len(tr)))
 	return tr
 }
 
