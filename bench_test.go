@@ -13,6 +13,8 @@ package tracemod_test
 import (
 	"bytes"
 	"math/rand"
+	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -20,6 +22,7 @@ import (
 	"tracemod/internal/capture"
 	"tracemod/internal/core"
 	"tracemod/internal/distill"
+	"tracemod/internal/emud"
 	"tracemod/internal/expt"
 	"tracemod/internal/modulation"
 	"tracemod/internal/obs"
@@ -357,6 +360,53 @@ func BenchmarkCollection(b *testing.B) {
 		if len(tr.Packets) == 0 {
 			b.Fatal("empty trace")
 		}
+	}
+}
+
+// BenchmarkEmudSessionFarm is the daemon load benchmark: ≥1000 concurrent
+// sessions on one shared timer wheel, each holding packets in flight, per
+// iteration. The reported metrics make the scaling claim checkable —
+// goroutines-per-session must stay near zero (the wheel gives O(shards),
+// not O(in-flight packets)) and every submitted packet must resolve to a
+// delivery or a lottery drop during the drain.
+func BenchmarkEmudSessionFarm(b *testing.B) {
+	const (
+		sessions   = 1000
+		perSession = 10
+	)
+	tr := replay.Constant(core.DelayParams{F: 20 * time.Millisecond, Vb: 100}, 0.1, time.Hour, time.Hour)
+	for i := 0; i < b.N; i++ {
+		m := emud.NewManager(emud.Options{
+			Shards:      8,
+			Granularity: 10 * time.Millisecond,
+			MaxSessions: sessions,
+		})
+		base := runtime.NumGoroutine()
+		ss := make([]*emud.Session, sessions)
+		for j := range ss {
+			s, err := m.Create(emud.SessionConfig{Trace: tr, Loop: true, Seed: int64(j)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Start(); err != nil {
+				b.Fatal(err)
+			}
+			ss[j] = s
+		}
+		var delivered, dropped atomic.Int64
+		for _, s := range ss {
+			for k := 0; k < perSession; k++ {
+				s.SubmitWithDrop(simnet.Outbound, 512, func() { delivered.Add(1) }, func() { dropped.Add(1) })
+			}
+		}
+		peak := runtime.NumGoroutine()
+		m.Close() // graceful drain: every in-flight packet resolves
+		if got := delivered.Load() + dropped.Load(); got != sessions*perSession {
+			b.Fatalf("resolved %d of %d packets", got, sessions*perSession)
+		}
+		b.ReportMetric(float64(peak-base)/sessions, "goroutines/session")
+		b.ReportMetric(float64(delivered.Load())/sessions, "delivered/session")
+		b.ReportMetric(float64(dropped.Load())/float64(sessions*perSession), "drop-rate")
 	}
 }
 

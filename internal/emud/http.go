@@ -1,0 +1,376 @@
+// The control plane: an HTTP/JSON API over the session farm. Create,
+// list, inspect, start, stop, and delete sessions; attach a livewire UDP
+// relay to a session; and serve the farm's obs registry on the same mux
+// (/metrics, /healthz, /debug/...). The surface is deliberately plain —
+// net/http, no framework — so the daemon stays stdlib-only.
+package emud
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"tracemod/internal/core"
+	"tracemod/internal/obs"
+	"tracemod/internal/replay"
+)
+
+// API serves the control plane for one Manager.
+type API struct {
+	m   *Manager
+	reg *obs.Registry   // may be nil
+	tr  *obs.RingTracer // may be nil
+}
+
+// NewAPI builds the control plane. reg and tracer may be nil; when reg is
+// non-nil the obs debug surface is mounted alongside the session routes.
+func NewAPI(m *Manager, reg *obs.Registry, tracer *obs.RingTracer) *API {
+	return &API{m: m, reg: reg, tr: tracer}
+}
+
+// Mux returns the control-plane routes.
+func (a *API) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", a.createSession)
+	mux.HandleFunc("GET /v1/sessions", a.listSessions)
+	mux.HandleFunc("GET /v1/sessions/{id}", a.getSession)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", a.deleteSession)
+	mux.HandleFunc("POST /v1/sessions/{id}/start", a.startSession)
+	mux.HandleFunc("POST /v1/sessions/{id}/stop", a.stopSession)
+	mux.HandleFunc("GET /v1/farm", a.farmInfo)
+	if a.reg != nil {
+		// The obs debug surface on the same listener: /metrics, /healthz,
+		// /debug/events, /debug/pprof/...
+		for pattern, h := range muxRoutes(obs.Mux(a.reg, a.tr)) {
+			mux.Handle(pattern, h)
+		}
+	} else {
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			fmt.Fprintln(w, "ok")
+		})
+	}
+	return mux
+}
+
+// muxRoutes lists the obs debug mux's patterns so they can be re-homed
+// onto the control-plane mux (http.ServeMux has no route enumeration).
+func muxRoutes(h http.Handler) map[string]http.Handler {
+	routes := map[string]http.Handler{}
+	for _, p := range []string{
+		"/metrics", "/healthz", "/debug/events",
+		"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/profile",
+		"/debug/pprof/symbol", "/debug/pprof/trace",
+	} {
+		routes[p] = h
+	}
+	return routes
+}
+
+// SessionRequest is the create-session body.
+type SessionRequest struct {
+	// Name labels the session (optional).
+	Name string `json:"name,omitempty"`
+	// Exactly one trace source: a file path (replay or collected format,
+	// resolved through the trace store), a synthetic trace name
+	// ("wavelan" or "slow" plus DurationSec), or inline tuples.
+	TracePath string      `json:"trace_path,omitempty"`
+	Synthetic string      `json:"synthetic,omitempty"`
+	Inline    []TupleJSON `json:"inline,omitempty"`
+	// DurationSec sizes synthetic traces (default 3600).
+	DurationSec float64 `json:"duration_sec,omitempty"`
+	// Loop replays the trace forever (default true).
+	Loop *bool `json:"loop,omitempty"`
+	// TickUS is the engine quantization in microseconds: 0 = the default
+	// 10 ms tick, negative = exact scheduling.
+	TickUS int64 `json:"tick_us,omitempty"`
+	// Seed drives the session's drop lottery.
+	Seed int64 `json:"seed,omitempty"`
+	// InboundExtraNS and CompensationNS are per-byte costs in ns/byte.
+	InboundExtraNS float64 `json:"inbound_extra_ns_per_byte,omitempty"`
+	CompensationNS float64 `json:"compensation_ns_per_byte,omitempty"`
+	// Start launches the session immediately (default true).
+	Start *bool `json:"start,omitempty"`
+	// Relay, if set, attaches a UDP relay after start.
+	Relay *RelaySpec `json:"relay,omitempty"`
+}
+
+// RelaySpec asks for a livewire relay on the session.
+type RelaySpec struct {
+	// Listen is the client-facing UDP address ("127.0.0.1:0" picks a
+	// free port, reported back).
+	Listen string `json:"listen"`
+	// Target is the server the relay forwards toward.
+	Target string `json:"target"`
+}
+
+// TupleJSON is one inline replay tuple.
+type TupleJSON struct {
+	DurationSec float64 `json:"duration_sec"`
+	LatencyMS   float64 `json:"latency_ms"`
+	VbNSPerByte float64 `json:"vb_ns_per_byte"`
+	VrNSPerByte float64 `json:"vr_ns_per_byte"`
+	Loss        float64 `json:"loss"`
+}
+
+// SessionInfo is the wire representation of a session.
+type SessionInfo struct {
+	ID        string  `json:"id"`
+	Name      string  `json:"name,omitempty"`
+	State     string  `json:"state"`
+	TraceRef  string  `json:"trace_ref,omitempty"`
+	Tuples    int     `json:"trace_tuples"`
+	TraceSec  float64 `json:"trace_duration_sec"`
+	Loop      bool    `json:"loop"`
+	TickUS    int64   `json:"tick_us"`
+	Seed      int64   `json:"seed"`
+	RelayAddr string  `json:"relay_addr,omitempty"`
+	IdleSec   float64 `json:"idle_sec"`
+
+	Submitted int64 `json:"submitted"`
+	Delivered int64 `json:"delivered"`
+	Dropped   int64 `json:"dropped"`
+	Rejected  int64 `json:"rejected"`
+	InFlight  int64 `json:"in_flight"`
+}
+
+// FarmInfo summarizes the daemon.
+type FarmInfo struct {
+	Sessions      int           `json:"sessions"`
+	MaxSessions   int           `json:"max_sessions"`
+	WheelShards   int           `json:"wheel_shards"`
+	GranularityUS int64         `json:"wheel_granularity_us"`
+	TimersPending int64         `json:"timers_pending"`
+	CachedTraces  int           `json:"cached_traces"`
+	IdleTimeout   time.Duration `json:"idle_timeout_ns"`
+}
+
+func sessionInfo(s *Session) SessionInfo {
+	cfg := s.Config()
+	st := s.Stats()
+	return SessionInfo{
+		ID:        s.ID,
+		Name:      cfg.Name,
+		State:     s.State().String(),
+		TraceRef:  cfg.TraceRef,
+		Tuples:    len(cfg.Trace),
+		TraceSec:  cfg.Trace.TotalDuration().Seconds(),
+		Loop:      cfg.Loop,
+		TickUS:    cfg.Tick.Microseconds(),
+		Seed:      cfg.Seed,
+		RelayAddr: s.RelayAddr(),
+		IdleSec:   s.IdleFor().Seconds(),
+		Submitted: st.Submitted,
+		Delivered: st.Delivered,
+		Dropped:   st.Dropped,
+		Rejected:  st.Rejected,
+		InFlight:  st.InFlight,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// resolveTrace turns a request's trace spec into a shared core.Trace.
+func (a *API) resolveTrace(req *SessionRequest) (core.Trace, string, error) {
+	sources := 0
+	for _, set := range []bool{req.TracePath != "", req.Synthetic != "", len(req.Inline) > 0} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, "", errors.New("exactly one of trace_path, synthetic, inline is required")
+	}
+	switch {
+	case req.TracePath != "":
+		tr, err := a.m.Store().Load(req.TracePath)
+		return tr, req.TracePath, err
+	case req.Synthetic != "":
+		dur := time.Duration(req.DurationSec * float64(time.Second))
+		if dur <= 0 {
+			dur = time.Hour
+		}
+		var tr core.Trace
+		switch req.Synthetic {
+		case "wavelan":
+			tr = replay.WaveLANLike(dur)
+		case "slow":
+			tr = replay.SlowNetLike(dur)
+		default:
+			return nil, "", fmt.Errorf("unknown synthetic trace %q (want wavelan or slow)", req.Synthetic)
+		}
+		return tr, "synthetic:" + req.Synthetic, nil
+	default:
+		tr := make(core.Trace, 0, len(req.Inline))
+		for _, t := range req.Inline {
+			tr = append(tr, core.Tuple{
+				D: time.Duration(t.DurationSec * float64(time.Second)),
+				DelayParams: core.DelayParams{
+					F:  time.Duration(t.LatencyMS * float64(time.Millisecond)),
+					Vb: core.PerByte(t.VbNSPerByte),
+					Vr: core.PerByte(t.VrNSPerByte),
+				},
+				L: t.Loss,
+			})
+		}
+		if err := tr.Validate(); err != nil {
+			return nil, "", err
+		}
+		return tr, fmt.Sprintf("inline:%d-tuples", len(tr)), nil
+	}
+}
+
+func (a *API) createSession(w http.ResponseWriter, r *http.Request) {
+	var req SessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	trace, ref, err := a.resolveTrace(&req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	loop := req.Loop == nil || *req.Loop
+	tick := time.Duration(req.TickUS) * time.Microsecond
+	s, err := a.m.Create(SessionConfig{
+		Name:         req.Name,
+		Trace:        trace,
+		TraceRef:     ref,
+		Loop:         loop,
+		Tick:         tick,
+		Seed:         req.Seed,
+		InboundExtra: core.PerByte(req.InboundExtraNS),
+		Compensation: core.PerByte(req.CompensationNS),
+	})
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	if req.Start == nil || *req.Start {
+		if err := s.Start(); err != nil {
+			a.m.Delete(s.ID)
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		if req.Relay != nil {
+			if _, err := s.AttachRelay(req.Relay.Listen, req.Relay.Target); err != nil {
+				a.m.Delete(s.ID)
+				writeErr(w, http.StatusBadRequest, err)
+				return
+			}
+		}
+	} else if req.Relay != nil {
+		a.m.Delete(s.ID)
+		writeErr(w, http.StatusBadRequest, errors.New("relay requires start"))
+		return
+	}
+	writeJSON(w, http.StatusCreated, sessionInfo(s))
+}
+
+func (a *API) listSessions(w http.ResponseWriter, _ *http.Request) {
+	sessions := a.m.List()
+	out := make([]SessionInfo, 0, len(sessions))
+	for _, s := range sessions {
+		out = append(out, sessionInfo(s))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (a *API) getSession(w http.ResponseWriter, r *http.Request) {
+	s, ok := a.m.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, errors.New("no such session"))
+		return
+	}
+	writeJSON(w, http.StatusOK, sessionInfo(s))
+}
+
+func (a *API) deleteSession(w http.ResponseWriter, r *http.Request) {
+	if !a.m.Delete(r.PathValue("id")) {
+		writeErr(w, http.StatusNotFound, errors.New("no such session"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (a *API) startSession(w http.ResponseWriter, r *http.Request) {
+	s, ok := a.m.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, errors.New("no such session"))
+		return
+	}
+	if err := s.Start(); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sessionInfo(s))
+}
+
+// stopSession stops a session; with ?drain=DURATION it drains gracefully
+// first (e.g. ?drain=2s).
+func (a *API) stopSession(w http.ResponseWriter, r *http.Request) {
+	s, ok := a.m.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, errors.New("no such session"))
+		return
+	}
+	if d := r.URL.Query().Get("drain"); d != "" {
+		timeout, err := time.ParseDuration(d)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad drain duration: %w", err))
+			return
+		}
+		s.Drain(timeout)
+	} else {
+		s.Stop()
+	}
+	writeJSON(w, http.StatusOK, sessionInfo(s))
+}
+
+func (a *API) farmInfo(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, FarmInfo{
+		Sessions:      a.m.Count(),
+		MaxSessions:   a.m.opts.MaxSessions,
+		WheelShards:   a.m.wheel.Shards(),
+		GranularityUS: a.m.wheel.Granularity().Microseconds(),
+		TimersPending: a.m.wheel.Pending(),
+		CachedTraces:  a.m.store.Len(),
+		IdleTimeout:   a.m.opts.IdleTimeout,
+	})
+}
+
+// Serve binds addr and serves the control plane until the listener is
+// closed; it returns the bound address.
+func (a *API) Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("emud: control listener: %w", err)
+	}
+	srv := &http.Server{Handler: a.Mux(), ReadHeaderTimeout: 5 * time.Second}
+	s := &Server{ln: ln, srv: srv}
+	go func() { _ = srv.Serve(ln) }()
+	return s, nil
+}
+
+// Server is a running control-plane listener.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,262 @@
+package emud
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"tracemod/internal/obs"
+)
+
+func newTestAPI(t *testing.T, o Options) (*httptest.Server, *Manager) {
+	t.Helper()
+	reg := o.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+		o.Metrics = reg
+	}
+	if o.Granularity == 0 {
+		o.Granularity = time.Millisecond
+	}
+	m := NewManager(o)
+	t.Cleanup(m.Close)
+	srv := httptest.NewServer(NewAPI(m, reg, obs.NewRingTracer(128)).Mux())
+	t.Cleanup(srv.Close)
+	return srv, m
+}
+
+func doJSON(t *testing.T, method, url string, body any, wantCode int, out any) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantCode {
+		t.Fatalf("%s %s = %d, want %d: %s", method, url, resp.StatusCode, wantCode, raw)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("decoding %q: %v", raw, err)
+		}
+	}
+}
+
+func TestAPISessionCRUD(t *testing.T) {
+	srv, m := newTestAPI(t, Options{})
+
+	var created SessionInfo
+	doJSON(t, "POST", srv.URL+"/v1/sessions", SessionRequest{
+		Name:      "crud",
+		Synthetic: "wavelan",
+	}, http.StatusCreated, &created)
+	if created.State != "running" || created.Tuples == 0 {
+		t.Fatalf("created = %+v", created)
+	}
+
+	var got SessionInfo
+	doJSON(t, "GET", srv.URL+"/v1/sessions/"+created.ID, nil, http.StatusOK, &got)
+	if got.ID != created.ID || got.Name != "crud" {
+		t.Fatalf("get = %+v", got)
+	}
+
+	var list []SessionInfo
+	doJSON(t, "GET", srv.URL+"/v1/sessions", nil, http.StatusOK, &list)
+	if len(list) != 1 || list[0].ID != created.ID {
+		t.Fatalf("list = %+v", list)
+	}
+
+	doJSON(t, "POST", srv.URL+"/v1/sessions/"+created.ID+"/stop", nil, http.StatusOK, &got)
+	if got.State != "stopped" {
+		t.Fatalf("state after stop = %s", got.State)
+	}
+
+	req, _ := http.NewRequest("DELETE", srv.URL+"/v1/sessions/"+created.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete = %d", resp.StatusCode)
+	}
+	if m.Count() != 0 {
+		t.Fatalf("%d sessions after delete", m.Count())
+	}
+	doJSON(t, "GET", srv.URL+"/v1/sessions/"+created.ID, nil, http.StatusNotFound, nil)
+}
+
+func TestAPIInlineTraceAndDeferredStart(t *testing.T) {
+	srv, _ := newTestAPI(t, Options{})
+	start := false
+	var created SessionInfo
+	doJSON(t, "POST", srv.URL+"/v1/sessions", SessionRequest{
+		Inline: []TupleJSON{
+			{DurationSec: 1, LatencyMS: 5, VbNSPerByte: 100, Loss: 0.1},
+			{DurationSec: 2, LatencyMS: 50, VbNSPerByte: 900, Loss: 0.5},
+		},
+		Start: &start,
+		Seed:  7,
+	}, http.StatusCreated, &created)
+	if created.State != "created" || created.Tuples != 2 || created.TraceSec != 3 {
+		t.Fatalf("created = %+v", created)
+	}
+	var started SessionInfo
+	doJSON(t, "POST", srv.URL+"/v1/sessions/"+created.ID+"/start", nil, http.StatusOK, &started)
+	if started.State != "running" {
+		t.Fatalf("state after start = %s", started.State)
+	}
+}
+
+func TestAPITraceFromFile(t *testing.T) {
+	srv, _ := newTestAPI(t, Options{})
+	path := writeReplayFile(t, t.TempDir(), "api.replay")
+	var created SessionInfo
+	doJSON(t, "POST", srv.URL+"/v1/sessions", SessionRequest{TracePath: path},
+		http.StatusCreated, &created)
+	if created.Tuples != 10 || created.TraceRef != path {
+		t.Fatalf("created = %+v", created)
+	}
+}
+
+func TestAPIRelayAttachAndTraffic(t *testing.T) {
+	srv, _ := newTestAPI(t, Options{})
+
+	// A tiny UDP echo server as the relay target.
+	target, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer target.Close()
+	go func() {
+		buf := make([]byte, 2048)
+		for {
+			n, addr, err := target.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			_, _ = target.WriteToUDP(buf[:n], addr)
+		}
+	}()
+
+	var created SessionInfo
+	doJSON(t, "POST", srv.URL+"/v1/sessions", SessionRequest{
+		Synthetic:   "wavelan",
+		DurationSec: 60,
+		Relay: &RelaySpec{
+			Listen: "127.0.0.1:0",
+			Target: target.LocalAddr().String(),
+		},
+	}, http.StatusCreated, &created)
+	if created.RelayAddr == "" {
+		t.Fatal("no relay address reported")
+	}
+
+	conn, err := net.Dial("udp", created.RelayAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("ping-through-emud")); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 2048)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != "ping-through-emud" {
+		t.Fatalf("echo = %q", buf[:n])
+	}
+
+	// The round trip is visible in the session stats.
+	var got SessionInfo
+	doJSON(t, "GET", srv.URL+"/v1/sessions/"+created.ID, nil, http.StatusOK, &got)
+	if got.Submitted < 2 || got.Delivered < 2 {
+		t.Fatalf("stats after echo = %+v", got)
+	}
+}
+
+func TestAPIFarmAndMetrics(t *testing.T) {
+	srv, m := newTestAPI(t, Options{Shards: 2})
+	var created SessionInfo
+	doJSON(t, "POST", srv.URL+"/v1/sessions", SessionRequest{Synthetic: "slow"},
+		http.StatusCreated, &created)
+
+	var farm FarmInfo
+	doJSON(t, "GET", srv.URL+"/v1/farm", nil, http.StatusOK, &farm)
+	if farm.Sessions != 1 || farm.WheelShards != 2 {
+		t.Fatalf("farm = %+v", farm)
+	}
+	if farm.MaxSessions != m.opts.MaxSessions {
+		t.Fatalf("farm max = %d", farm.MaxSessions)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"tracemod_emud_sessions_active 1",
+		fmt.Sprintf("tracemod_emud_session_state{session=%q} 1", created.ID),
+		"tracemod_wheel_shards 2",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestAPIBadRequests(t *testing.T) {
+	srv, _ := newTestAPI(t, Options{})
+	for name, req := range map[string]SessionRequest{
+		"no source":      {},
+		"two sources":    {Synthetic: "wavelan", Inline: []TupleJSON{{DurationSec: 1}}},
+		"bad synthetic":  {Synthetic: "carrier-pigeon"},
+		"invalid inline": {Inline: []TupleJSON{{DurationSec: -1}}},
+		"missing file":   {TracePath: "/does/not/exist.replay"},
+	} {
+		doJSON(t, "POST", srv.URL+"/v1/sessions", req, http.StatusBadRequest, nil)
+		_ = name
+	}
+	doJSON(t, "POST", srv.URL+"/v1/sessions/s-999999/start", nil, http.StatusNotFound, nil)
+	doJSON(t, "GET", srv.URL+"/v1/sessions/s-999999", nil, http.StatusNotFound, nil)
+}
+
+func TestAPIStopWithDrain(t *testing.T) {
+	srv, _ := newTestAPI(t, Options{})
+	var created SessionInfo
+	doJSON(t, "POST", srv.URL+"/v1/sessions", SessionRequest{Synthetic: "wavelan"},
+		http.StatusCreated, &created)
+	var got SessionInfo
+	doJSON(t, "POST", srv.URL+"/v1/sessions/"+created.ID+"/stop?drain=2s", nil,
+		http.StatusOK, &got)
+	if got.State != "stopped" {
+		t.Fatalf("state after drained stop = %s", got.State)
+	}
+	doJSON(t, "POST", srv.URL+"/v1/sessions/"+created.ID+"/stop?drain=banana", nil,
+		http.StatusBadRequest, nil)
+}

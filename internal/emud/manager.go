@@ -1,0 +1,356 @@
+// Package emud is the multi-tenant emulation daemon: a session farm that
+// hosts many concurrent modulated links in one process. Where the paper
+// modulates one mobile host per kernel, emud serves thousands of emulated
+// links from one engine pool — the ERRANT/TheaterQ shape of trace-driven
+// emulation as a service.
+//
+// The subsystem has four parts: the Manager (session lifecycle: create,
+// start, stop, idle expiry, graceful drain), a sharded timer wheel
+// (internal/emud/wheel) every session schedules through, a trace Store
+// that parses each trace file once and shares the immutable result, and
+// an HTTP/JSON control plane (http.go) wired into internal/obs with
+// per-session metric labels.
+package emud
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tracemod/internal/emud/wheel"
+	"tracemod/internal/obs"
+)
+
+// Defaults for Options zero values.
+const (
+	DefaultMaxSessions   = 4096
+	DefaultJanitorPeriod = time.Second
+	DefaultDrainTimeout  = 5 * time.Second
+)
+
+// Options parameterizes a Manager.
+type Options struct {
+	// Shards is the timer wheel's goroutine count (wheel.DefaultShards
+	// if 0).
+	Shards int
+	// Granularity is the wheel's wakeup coalescing tick. Zero means
+	// wheel.DefaultGranularity (the paper's 10 ms); negative means exact
+	// scheduling.
+	Granularity time.Duration
+	// MaxSessions bounds concurrently existing sessions
+	// (DefaultMaxSessions if 0).
+	MaxSessions int
+	// IdleTimeout expires sessions that have seen no traffic for this
+	// long (0 disables idle expiry).
+	IdleTimeout time.Duration
+	// JanitorPeriod is the idle-expiry scan interval
+	// (DefaultJanitorPeriod if 0).
+	JanitorPeriod time.Duration
+	// DrainTimeout bounds graceful drains (DefaultDrainTimeout if 0).
+	DrainTimeout time.Duration
+	// Store supplies traces; a private store is created when nil.
+	Store *Store
+	// Metrics, if non-nil, registers the farm's instruments (names under
+	// tracemod_emud_*), including per-session labelled counters.
+	Metrics *obs.Registry
+}
+
+// instruments is the farm's metric bundle; nil means observability off
+// (every method is nil-safe, mirroring the modulation engine's pattern).
+type instruments struct {
+	created, expired, deleted *obs.Counter
+	active                    *obs.Gauge
+
+	submitted *obs.CounterVec // by session
+	delivered *obs.CounterVec
+	dropped   *obs.CounterVec
+	state     *obs.GaugeVec
+}
+
+func newInstruments(reg *obs.Registry) *instruments {
+	return &instruments{
+		created: reg.Counter("tracemod_emud_sessions_created_total", "Sessions created over the daemon's lifetime."),
+		expired: reg.Counter("tracemod_emud_sessions_expired_total", "Sessions stopped by idle expiry."),
+		deleted: reg.Counter("tracemod_emud_sessions_deleted_total", "Sessions deleted from the farm."),
+		active:  reg.Gauge("tracemod_emud_sessions_active", "Sessions currently existing (any state)."),
+		submitted: reg.CounterVec("tracemod_emud_session_packets_submitted_total",
+			"Packets accepted per session.", "session"),
+		delivered: reg.CounterVec("tracemod_emud_session_packets_delivered_total",
+			"Packets delivered per session.", "session"),
+		dropped: reg.CounterVec("tracemod_emud_session_packets_dropped_total",
+			"Packets lost to the drop lottery per session.", "session"),
+		state: reg.GaugeVec("tracemod_emud_session_state",
+			"Session lifecycle state (0=created 1=running 2=draining 3=stopped).", "session"),
+	}
+}
+
+func (ins *instruments) submit(s *Session) {
+	if ins != nil {
+		ins.submitted.With(s.ID).Inc()
+	}
+}
+
+func (ins *instruments) deliver(s *Session) {
+	if ins != nil {
+		ins.delivered.With(s.ID).Inc()
+	}
+}
+
+func (ins *instruments) drop(s *Session) {
+	if ins != nil {
+		ins.dropped.With(s.ID).Inc()
+	}
+}
+
+func (ins *instruments) sessionState(s *Session) {
+	if ins != nil {
+		ins.state.With(s.ID).Set(int64(s.State()))
+	}
+}
+
+func (ins *instruments) incCreated() {
+	if ins != nil {
+		ins.created.Inc()
+	}
+}
+
+func (ins *instruments) incExpired() {
+	if ins != nil {
+		ins.expired.Inc()
+	}
+}
+
+func (ins *instruments) incDeleted() {
+	if ins != nil {
+		ins.deleted.Inc()
+	}
+}
+
+func (ins *instruments) setActive(n int) {
+	if ins != nil {
+		ins.active.Set(int64(n))
+	}
+}
+
+func (ins *instruments) remove(id string) {
+	if ins != nil {
+		ins.submitted.Remove(id)
+		ins.delivered.Remove(id)
+		ins.dropped.Remove(id)
+		ins.state.Remove(id)
+	}
+}
+
+// Manager is the session farm.
+type Manager struct {
+	opts  Options
+	wheel *wheel.Wheel
+	store *Store
+	ins   *instruments
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	seq      int64
+	closed   bool
+
+	janitorQuit chan struct{}
+	wg          sync.WaitGroup
+}
+
+// NewManager starts a farm (wheel shards and janitor included).
+func NewManager(o Options) *Manager {
+	if o.MaxSessions <= 0 {
+		o.MaxSessions = DefaultMaxSessions
+	}
+	if o.JanitorPeriod <= 0 {
+		o.JanitorPeriod = DefaultJanitorPeriod
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = DefaultDrainTimeout
+	}
+	gran := o.Granularity
+	if gran == 0 {
+		gran = wheel.DefaultGranularity
+	}
+	if gran < 0 {
+		gran = 0
+	}
+	m := &Manager{
+		opts:        o,
+		wheel:       wheel.New(wheel.Options{Shards: o.Shards, Granularity: gran, Metrics: o.Metrics}),
+		store:       o.Store,
+		sessions:    map[string]*Session{},
+		janitorQuit: make(chan struct{}),
+	}
+	if m.store == nil {
+		m.store = NewStore(StoreOptions{Metrics: o.Metrics})
+	}
+	if o.Metrics != nil {
+		m.ins = newInstruments(o.Metrics)
+	}
+	if o.IdleTimeout > 0 {
+		m.wg.Add(1)
+		go m.janitor()
+	}
+	return m
+}
+
+// Wheel exposes the farm's shared timer wheel.
+func (m *Manager) Wheel() *wheel.Wheel { return m.wheel }
+
+// Store exposes the farm's trace store.
+func (m *Manager) Store() *Store { return m.store }
+
+// Create registers a new session in StateCreated. The trace must already
+// be resolved (the control plane goes through the Store first).
+func (m *Manager) Create(cfg SessionConfig) (*Session, error) {
+	if err := cfg.Trace.Validate(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, fmt.Errorf("emud: manager closed")
+	}
+	if len(m.sessions) >= m.opts.MaxSessions {
+		return nil, fmt.Errorf("emud: session limit reached (%d)", m.opts.MaxSessions)
+	}
+	m.seq++
+	s := &Session{
+		ID:      fmt.Sprintf("s-%06d", m.seq),
+		cfg:     cfg,
+		created: m.wheel.Now(),
+		m:       m,
+	}
+	s.state.Store(int32(StateCreated))
+	s.lastActive.Store(int64(s.created))
+	m.sessions[s.ID] = s
+	m.ins.incCreated()
+	m.ins.setActive(len(m.sessions))
+	m.ins.sessionState(s)
+	return s, nil
+}
+
+// Get returns a session by ID.
+func (m *Manager) Get(id string) (*Session, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	return s, ok
+}
+
+// List returns every session, ordered by ID.
+func (m *Manager) List() []*Session {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		out = append(out, s)
+	}
+	// IDs are zero-padded sequence numbers, so lexical order is creation
+	// order.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].ID > out[j].ID; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// Count returns the number of existing sessions.
+func (m *Manager) Count() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// Delete stops a session and removes it from the farm (and its labelled
+// metrics from the export).
+func (m *Manager) Delete(id string) bool {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	if ok {
+		delete(m.sessions, id)
+		m.ins.setActive(len(m.sessions))
+	}
+	m.mu.Unlock()
+	if !ok {
+		return false
+	}
+	s.Stop()
+	m.ins.incDeleted()
+	m.ins.remove(s.ID)
+	return true
+}
+
+// janitor periodically expires idle sessions. It runs on its own
+// goroutine (not the wheel) because Stop must never be called from a
+// wheel callback.
+func (m *Manager) janitor() {
+	defer m.wg.Done()
+	tick := time.NewTicker(m.opts.JanitorPeriod)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			m.expireIdle()
+		case <-m.janitorQuit:
+			return
+		}
+	}
+}
+
+// expireIdle stops (and removes) sessions idle past the deadline.
+func (m *Manager) expireIdle() {
+	var idle []*Session
+	m.mu.Lock()
+	for _, s := range m.sessions {
+		if st := s.State(); st == StateRunning || st == StateCreated {
+			if s.IdleFor() > m.opts.IdleTimeout {
+				idle = append(idle, s)
+			}
+		}
+	}
+	for _, s := range idle {
+		delete(m.sessions, s.ID)
+	}
+	m.ins.setActive(len(m.sessions))
+	m.mu.Unlock()
+	for _, s := range idle {
+		s.Stop()
+		m.ins.incExpired()
+		m.ins.remove(s.ID)
+	}
+}
+
+// Close drains every session (bounded by DrainTimeout, in parallel),
+// stops the janitor, and shuts the wheel down.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	sessions := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		sessions = append(sessions, s)
+	}
+	m.sessions = map[string]*Session{}
+	m.mu.Unlock()
+
+	if m.opts.IdleTimeout > 0 {
+		close(m.janitorQuit)
+	}
+	var wg sync.WaitGroup
+	for _, s := range sessions {
+		wg.Add(1)
+		go func(s *Session) {
+			defer wg.Done()
+			s.Drain(m.opts.DrainTimeout)
+		}(s)
+	}
+	wg.Wait()
+	m.wg.Wait()
+	m.wheel.Close()
+}

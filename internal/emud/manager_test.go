@@ -1,0 +1,372 @@
+package emud
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tracemod/internal/core"
+	"tracemod/internal/obs"
+	"tracemod/internal/replay"
+	"tracemod/internal/simnet"
+)
+
+// testTrace is a lossless constant-quality trace: 5ms latency, cheap
+// per-byte costs, no loss, long enough to never run out mid-test.
+func testTrace() core.Trace {
+	return replay.Constant(core.DelayParams{F: 5 * time.Millisecond, Vb: 10}, 0, time.Hour, time.Hour)
+}
+
+// lossyTrace drops about half of all packets.
+func lossyTrace() core.Trace {
+	return replay.Constant(core.DelayParams{F: time.Millisecond, Vb: 10}, 0.5, time.Hour, time.Hour)
+}
+
+func newTestManager(t *testing.T, o Options) *Manager {
+	t.Helper()
+	if o.Granularity == 0 {
+		o.Granularity = time.Millisecond // keep test latencies honest
+	}
+	m := NewManager(o)
+	t.Cleanup(m.Close)
+	return m
+}
+
+func startSession(t *testing.T, m *Manager, tr core.Trace) *Session {
+	t.Helper()
+	s, err := m.Create(SessionConfig{Trace: tr, Loop: true, Tick: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	m := newTestManager(t, Options{})
+	s := startSession(t, m, testTrace())
+	if s.State() != StateRunning {
+		t.Fatalf("state = %v, want running", s.State())
+	}
+	if err := s.Start(); err != nil {
+		t.Fatalf("restarting a running session: %v", err)
+	}
+	got, ok := m.Get(s.ID)
+	if !ok || got != s {
+		t.Fatal("Get did not return the session")
+	}
+	s.Stop()
+	if s.State() != StateStopped {
+		t.Fatalf("state = %v, want stopped", s.State())
+	}
+	if err := s.Start(); err == nil {
+		t.Fatal("starting a stopped session must fail")
+	}
+	if s.Submit(simnet.Outbound, 100, func() {}) {
+		t.Fatal("stopped session accepted a packet")
+	}
+	if s.Stats().Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", s.Stats().Rejected)
+	}
+	if !m.Delete(s.ID) {
+		t.Fatal("Delete failed")
+	}
+	if m.Delete(s.ID) {
+		t.Fatal("double Delete succeeded")
+	}
+}
+
+func TestSessionDeliversAndDrops(t *testing.T) {
+	m := newTestManager(t, Options{})
+	s := startSession(t, m, lossyTrace())
+	const n = 400
+	var delivered atomic.Int64
+	for i := 0; i < n; i++ {
+		if !s.Submit(simnet.Outbound, 200, func() { delivered.Add(1) }) {
+			t.Fatal("running session rejected a packet")
+		}
+	}
+	// Drops are synchronous, deliveries complete within the trace latency.
+	deadline := time.After(5 * time.Second)
+	for s.Stats().Delivered+s.Stats().Dropped < n {
+		select {
+		case <-deadline:
+			t.Fatalf("stalled: %+v", s.Stats())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	st := s.Stats()
+	if st.Submitted != n || st.Delivered+st.Dropped != n || st.InFlight != 0 {
+		t.Fatalf("stats %+v do not balance", st)
+	}
+	if st.Dropped < n/10 || st.Dropped > n*9/10 {
+		t.Fatalf("dropped %d of %d with L=0.5", st.Dropped, n)
+	}
+}
+
+func TestMaxSessions(t *testing.T) {
+	m := newTestManager(t, Options{MaxSessions: 2})
+	tr := testTrace()
+	for i := 0; i < 2; i++ {
+		if _, err := m.Create(SessionConfig{Trace: tr}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Create(SessionConfig{Trace: tr}); err == nil {
+		t.Fatal("third session must exceed MaxSessions=2")
+	}
+	// Deleting frees a slot.
+	m.Delete(m.List()[0].ID)
+	if _, err := m.Create(SessionConfig{Trace: tr}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListOrder(t *testing.T) {
+	m := newTestManager(t, Options{})
+	tr := testTrace()
+	for i := 0; i < 5; i++ {
+		if _, err := m.Create(SessionConfig{Trace: tr}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := m.List()
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1].ID >= ids[i].ID {
+			t.Fatalf("List out of order: %s before %s", ids[i-1].ID, ids[i].ID)
+		}
+	}
+}
+
+// TestNoTimerFiresAfterStop is the teardown race check: sessions are
+// stopped with packets in flight, concurrently with submitters, and no
+// delivery callback may run after its session's Stop has returned. Run
+// under -race.
+func TestNoTimerFiresAfterStop(t *testing.T) {
+	m := newTestManager(t, Options{Shards: 4})
+	// 20ms latency keeps packets in flight across the Stop.
+	tr := replay.Constant(core.DelayParams{F: 20 * time.Millisecond, Vb: 10}, 0, time.Hour, time.Hour)
+
+	const rounds = 30
+	for round := 0; round < rounds; round++ {
+		s := startSession(t, m, tr)
+		var stopped atomic.Bool
+		var fired atomic.Int64
+		deliver := func() {
+			if stopped.Load() {
+				fired.Add(1)
+			}
+		}
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.Submit(simnet.Outbound, 500, deliver)
+			}
+		}()
+		// Stop mid-stream with in-flight packets.
+		time.Sleep(time.Duration(round%5) * time.Millisecond)
+		s.Stop()
+		stopped.Store(true)
+		wg.Wait()
+		time.Sleep(2 * time.Millisecond)
+		if n := fired.Load(); n != 0 {
+			t.Fatalf("round %d: %d deliveries fired after Stop returned", round, n)
+		}
+		m.Delete(s.ID)
+	}
+}
+
+// TestGoroutinesFlatUnderLoad is the acceptance criterion for the wheel:
+// goroutine count must be O(shards + sessions), not O(in-flight packets).
+// We hold hundreds then thousands of packets in flight and require the
+// goroutine count to stay flat.
+func TestGoroutinesFlatUnderLoad(t *testing.T) {
+	m := newTestManager(t, Options{Shards: 4})
+	// 400ms latency: everything submitted below stays in flight while we
+	// count goroutines.
+	tr := replay.Constant(core.DelayParams{F: 400 * time.Millisecond, Vb: 1}, 0, time.Hour, time.Hour)
+	const sessions = 8
+	var ss []*Session
+	for i := 0; i < sessions; i++ {
+		ss = append(ss, startSession(t, m, tr))
+	}
+
+	inflight := func(perSession int) int {
+		for _, s := range ss {
+			for i := 0; i < perSession; i++ {
+				s.Submit(simnet.Outbound, 100, func() {})
+			}
+		}
+		runtime.Gosched()
+		return runtime.NumGoroutine()
+	}
+
+	gLow := inflight(25)   // 200 packets in flight
+	gHigh := inflight(250) // ~2200 in flight (10x the rate)
+	if m.Wheel().Pending() < 1000 {
+		t.Fatalf("only %d timers pending; load did not build up", m.Wheel().Pending())
+	}
+	// Flat means O(shards+sessions): allow scheduler noise, but nothing
+	// proportional to the ~2000 extra in-flight packets.
+	if gHigh > gLow+10 {
+		t.Fatalf("goroutines grew %d -> %d with 10x packets in flight", gLow, gHigh)
+	}
+}
+
+func TestDrainCompletesInFlight(t *testing.T) {
+	m := newTestManager(t, Options{})
+	tr := replay.Constant(core.DelayParams{F: 10 * time.Millisecond, Vb: 10}, 0, time.Hour, time.Hour)
+	s := startSession(t, m, tr)
+	var delivered atomic.Int64
+	const n = 50
+	for i := 0; i < n; i++ {
+		s.Submit(simnet.Outbound, 100, func() { delivered.Add(1) })
+	}
+	if !s.Drain(5 * time.Second) {
+		t.Fatalf("drain timed out: %+v", s.Stats())
+	}
+	if s.State() != StateStopped {
+		t.Fatalf("state after drain = %v", s.State())
+	}
+	if got := delivered.Load(); got != n {
+		t.Fatalf("delivered %d of %d during drain", got, n)
+	}
+	if s.Stats().InFlight != 0 {
+		t.Fatalf("in flight after drain: %d", s.Stats().InFlight)
+	}
+}
+
+func TestDrainRejectsNewPackets(t *testing.T) {
+	m := newTestManager(t, Options{})
+	tr := replay.Constant(core.DelayParams{F: 50 * time.Millisecond, Vb: 10}, 0, time.Hour, time.Hour)
+	s := startSession(t, m, tr)
+	s.Submit(simnet.Outbound, 100, func() {})
+	done := make(chan bool)
+	go func() { done <- s.Drain(5 * time.Second) }()
+	for s.State() != StateDraining && s.State() != StateStopped {
+		time.Sleep(100 * time.Microsecond)
+	}
+	if s.State() == StateDraining && s.Submit(simnet.Outbound, 100, func() {}) {
+		t.Fatal("draining session accepted a packet")
+	}
+	if !<-done {
+		t.Fatal("drain did not empty")
+	}
+}
+
+func TestIdleExpiry(t *testing.T) {
+	m := newTestManager(t, Options{
+		IdleTimeout:   30 * time.Millisecond,
+		JanitorPeriod: 5 * time.Millisecond,
+	})
+	s := startSession(t, m, testTrace())
+	deadline := time.After(3 * time.Second)
+	for m.Count() > 0 {
+		select {
+		case <-deadline:
+			t.Fatal("idle session never expired")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if s.State() != StateStopped {
+		t.Fatalf("expired session state = %v", s.State())
+	}
+}
+
+func TestIdleExpiryTouchKeepsAlive(t *testing.T) {
+	m := newTestManager(t, Options{
+		IdleTimeout:   60 * time.Millisecond,
+		JanitorPeriod: 5 * time.Millisecond,
+	})
+	s := startSession(t, m, testTrace())
+	// Keep touching for a while; the session must survive.
+	for i := 0; i < 10; i++ {
+		s.Submit(simnet.Outbound, 100, func() {})
+		time.Sleep(10 * time.Millisecond)
+	}
+	if m.Count() != 1 {
+		t.Fatal("active session was expired")
+	}
+}
+
+func TestManagerCloseDrainsAll(t *testing.T) {
+	m := NewManager(Options{Granularity: time.Millisecond})
+	tr := replay.Constant(core.DelayParams{F: 5 * time.Millisecond, Vb: 10}, 0, time.Hour, time.Hour)
+	var delivered atomic.Int64
+	const sessions, per = 8, 20
+	for i := 0; i < sessions; i++ {
+		s, err := m.Create(SessionConfig{Trace: tr, Loop: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < per; j++ {
+			s.Submit(simnet.Outbound, 100, func() { delivered.Add(1) })
+		}
+	}
+	m.Close()
+	if got := delivered.Load(); got != sessions*per {
+		t.Fatalf("Close delivered %d of %d in-flight packets", got, sessions*per)
+	}
+	if _, err := m.Create(SessionConfig{Trace: tr}); err == nil {
+		t.Fatal("Create after Close must fail")
+	}
+	m.Close() // idempotent
+}
+
+func TestPerSessionMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := newTestManager(t, Options{Metrics: reg})
+	s := startSession(t, m, testTrace())
+	var wg sync.WaitGroup
+	const n = 10
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		s.Submit(simnet.Outbound, 100, func() { wg.Done() })
+	}
+	wg.Wait()
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+	want := []string{
+		fmt.Sprintf(`tracemod_emud_session_packets_submitted_total{session=%q} %d`, s.ID, n),
+		fmt.Sprintf(`tracemod_emud_session_packets_delivered_total{session=%q} %d`, s.ID, n),
+		fmt.Sprintf(`tracemod_emud_session_state{session=%q} 1`, s.ID),
+		"tracemod_emud_sessions_active 1",
+		"tracemod_emud_sessions_created_total 1",
+	}
+	for _, w := range want {
+		if !strings.Contains(out, w) {
+			t.Errorf("export missing %q", w)
+		}
+	}
+
+	// Deleting the session removes its labelled series.
+	m.Delete(s.ID)
+	sb.Reset()
+	reg.WritePrometheus(&sb)
+	if strings.Contains(sb.String(), s.ID) {
+		t.Fatalf("deleted session %s still present in export", s.ID)
+	}
+}
+
+func TestCreateRejectsInvalidTrace(t *testing.T) {
+	m := newTestManager(t, Options{})
+	if _, err := m.Create(SessionConfig{Trace: core.Trace{{D: -1}}}); err == nil {
+		t.Fatal("invalid trace accepted")
+	}
+	if _, err := m.Create(SessionConfig{Trace: nil}); err == nil {
+		t.Fatal("nil trace accepted")
+	}
+}

@@ -1,0 +1,320 @@
+// Session: one emulated mobile link hosted by the daemon. A session wraps
+// one modulation.Engine and its private replay cursor around a shared,
+// immutable trace, schedules every timer through a per-session handle on
+// the farm's timer wheel, and optionally fronts the engine with a livewire
+// UDP relay. Lifecycle is create → start → (drain) → stop; Stop is a hard
+// barrier — once it returns, no engine timer of the session will ever
+// fire again.
+package emud
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tracemod/internal/core"
+	"tracemod/internal/emud/wheel"
+	"tracemod/internal/livewire"
+	"tracemod/internal/modulation"
+	"tracemod/internal/simnet"
+)
+
+// State is a session's lifecycle position.
+type State int32
+
+// Session states.
+const (
+	StateCreated  State = iota // configured, engine not yet scheduling
+	StateRunning               // engine live, accepting packets
+	StateDraining              // rejecting new packets, in-flight completing
+	StateStopped               // terminal: timers revoked
+)
+
+func (s State) String() string {
+	switch s {
+	case StateCreated:
+		return "created"
+	case StateRunning:
+		return "running"
+	case StateDraining:
+		return "draining"
+	case StateStopped:
+		return "stopped"
+	}
+	return "unknown"
+}
+
+// SessionConfig describes one session at creation.
+type SessionConfig struct {
+	// Name is a free-form label (reported back; need not be unique).
+	Name string
+	// Trace drives the session's modulation; it is shared and immutable.
+	Trace core.Trace
+	// TraceRef records where the trace came from (path, synthetic name)
+	// for introspection only.
+	TraceRef string
+	// Loop replays the trace forever; otherwise the final tuple holds.
+	Loop bool
+	// Tick is the engine's delivery quantization (modulation.DefaultTick
+	// if 0, exact if negative).
+	Tick time.Duration
+	// Seed drives the session's drop lottery (sessions are mutually
+	// deterministic: same trace + seed → same losses).
+	Seed int64
+	// InboundExtra and Compensation mirror modulation.Config.
+	InboundExtra core.PerByte
+	Compensation core.PerByte
+}
+
+// SessionStats is a point-in-time snapshot of a session's activity.
+type SessionStats struct {
+	Submitted int64 // packets accepted into the engine
+	Delivered int64 // packets that completed delivery
+	Dropped   int64 // packets lost to the drop lottery
+	Rejected  int64 // packets refused (not running)
+	InFlight  int64 // accepted, not yet delivered or dropped
+}
+
+// Session is one hosted emulated link.
+type Session struct {
+	ID      string
+	cfg     SessionConfig
+	created time.Duration // wheel time at creation
+
+	mu     sync.Mutex
+	state  atomic.Int32
+	engine *modulation.Engine
+	timers *wheel.Timers
+	relay  *livewire.Relay
+
+	lastActive atomic.Int64 // wheel-time nanoseconds of last packet or transition
+
+	submitted, delivered, dropped, rejected atomic.Int64
+	inflight                                atomic.Int64
+	drained                                 chan struct{} // closed when draining hits zero in flight
+
+	m *Manager // back-pointer for the wheel and per-session metrics
+}
+
+// State returns the session's current lifecycle state.
+func (s *Session) State() State { return State(s.state.Load()) }
+
+// Config returns the session's creation config.
+func (s *Session) Config() SessionConfig { return s.cfg }
+
+// Stats snapshots the session counters.
+func (s *Session) Stats() SessionStats {
+	return SessionStats{
+		Submitted: s.submitted.Load(),
+		Delivered: s.delivered.Load(),
+		Dropped:   s.dropped.Load(),
+		Rejected:  s.rejected.Load(),
+		InFlight:  s.inflight.Load(),
+	}
+}
+
+// Engine exposes the underlying engine (nil before Start). Intended for
+// inspection; submitting directly bypasses session accounting.
+func (s *Session) Engine() *modulation.Engine {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.engine
+}
+
+// RelayAddr returns the client-facing address of the attached relay, or
+// nil when none is attached.
+func (s *Session) RelayAddr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.relay == nil {
+		return ""
+	}
+	return s.relay.Addr().String()
+}
+
+// IdleFor reports how long ago the session last saw a packet or a
+// lifecycle transition.
+func (s *Session) IdleFor() time.Duration {
+	return s.m.wheel.Now() - time.Duration(s.lastActive.Load())
+}
+
+// touch records activity for idle expiry.
+func (s *Session) touch() { s.lastActive.Store(int64(s.m.wheel.Now())) }
+
+// Start brings the session to StateRunning, constructing its engine on a
+// fresh wheel handle. Starting a running session is a no-op; starting a
+// stopped one is an error.
+func (s *Session) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.State() {
+	case StateRunning:
+		return nil
+	case StateDraining, StateStopped:
+		return errors.New("emud: session already stopped")
+	}
+	s.timers = s.m.wheel.Timers()
+	s.engine = modulation.NewEngine(s.timers,
+		&modulation.SliceSource{Trace: s.cfg.Trace, Loop: s.cfg.Loop},
+		modulation.Config{
+			Tick:         s.cfg.Tick,
+			InboundExtra: s.cfg.InboundExtra,
+			Compensation: s.cfg.Compensation,
+			RNG:          rand.New(rand.NewSource(s.cfg.Seed)),
+		})
+	s.state.Store(int32(StateRunning))
+	s.touch()
+	s.m.ins.sessionState(s)
+	return nil
+}
+
+// AttachRelay fronts the running session with a livewire UDP relay:
+// client traffic is the outbound direction, target traffic inbound. The
+// relay lives until the session stops.
+func (s *Session) AttachRelay(listenAddr, targetAddr string) (addr string, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.State() != StateRunning {
+		return "", errors.New("emud: relay requires a running session")
+	}
+	if s.relay != nil {
+		return "", errors.New("emud: session already has a relay")
+	}
+	r, err := livewire.NewRelayWithSubmitter(listenAddr, targetAddr, s)
+	if err != nil {
+		return "", err
+	}
+	s.relay = r
+	return r.Addr().String(), nil
+}
+
+// Submit runs one packet through the session's engine, with session
+// accounting. deliver runs when (and if) the packet survives; packets are
+// rejected outright unless the session is running.
+func (s *Session) Submit(dir simnet.Direction, size int, deliver func()) bool {
+	return s.submit(dir, size, deliver, nil)
+}
+
+// SubmitWithDrop implements livewire.Submitter, so an attached relay's
+// traffic flows through the session's accounting. drop also runs when the
+// session rejects the packet outright (the relay reclaims its buffer
+// either way).
+func (s *Session) SubmitWithDrop(dir simnet.Direction, size int, deliver, drop func()) {
+	s.submit(dir, size, deliver, drop)
+}
+
+func (s *Session) submit(dir simnet.Direction, size int, deliver, drop func()) bool {
+	if s.State() != StateRunning {
+		s.reject(drop)
+		return false
+	}
+	s.mu.Lock()
+	eng := s.engine
+	s.mu.Unlock()
+	if eng == nil {
+		s.reject(drop)
+		return false
+	}
+	s.touch()
+	s.submitted.Add(1)
+	s.inflight.Add(1)
+	s.m.ins.submit(s)
+	eng.SubmitWithDrop(dir, size, func() {
+		s.delivered.Add(1)
+		s.m.ins.deliver(s)
+		s.finishOne()
+		deliver()
+	}, func() {
+		s.dropped.Add(1)
+		s.m.ins.drop(s)
+		s.finishOne()
+		if drop != nil {
+			drop()
+		}
+	})
+	return true
+}
+
+func (s *Session) reject(drop func()) {
+	s.rejected.Add(1)
+	if drop != nil {
+		drop()
+	}
+}
+
+// finishOne retires one in-flight packet and signals a waiting drain.
+func (s *Session) finishOne() {
+	if s.inflight.Add(-1) == 0 && s.State() == StateDraining {
+		s.mu.Lock()
+		if s.drained != nil {
+			select {
+			case <-s.drained:
+			default:
+				close(s.drained)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Drain gracefully quiesces the session: new packets are rejected while
+// in-flight deliveries complete, for at most timeout, then the session
+// stops. Returns true when the drain emptied before the deadline.
+func (s *Session) Drain(timeout time.Duration) bool {
+	s.mu.Lock()
+	if st := s.State(); st == StateStopped || st == StateDraining {
+		s.mu.Unlock()
+		return s.inflight.Load() == 0
+	}
+	if s.State() == StateCreated {
+		s.mu.Unlock()
+		s.Stop()
+		return true
+	}
+	s.drained = make(chan struct{})
+	s.state.Store(int32(StateDraining))
+	s.m.ins.sessionState(s)
+	ch := s.drained
+	s.mu.Unlock()
+
+	clean := s.inflight.Load() == 0
+	if !clean {
+		select {
+		case <-ch:
+			clean = true
+		case <-time.After(timeout):
+		}
+	}
+	s.Stop()
+	return clean
+}
+
+// Stop revokes every pending engine timer and closes the relay. The
+// guarantee: when Stop returns, no timer of this session is running or
+// will ever run — the wheel handle's Stop is a barrier. Stop must not be
+// called from inside a delivery callback (it would deadlock on its own
+// barrier); the control plane and janitor call it from their own
+// goroutines.
+func (s *Session) Stop() {
+	s.mu.Lock()
+	if s.State() == StateStopped {
+		s.mu.Unlock()
+		return
+	}
+	s.state.Store(int32(StateStopped))
+	relay := s.relay
+	s.relay = nil
+	timers := s.timers
+	s.mu.Unlock()
+
+	if relay != nil {
+		relay.Close()
+	}
+	if timers != nil {
+		timers.Stop()
+	}
+	s.touch()
+	s.m.ins.sessionState(s)
+}

@@ -1,0 +1,201 @@
+// The trace store: every session needs a replay trace, many sessions
+// replay the same one, and parsing (let alone distilling) a trace per
+// session create would dominate the control plane. The store parses each
+// file once and shares the resulting immutable core.Trace across sessions
+// through an LRU cache; concurrent creates for the same path coalesce
+// onto a single parse.
+//
+// Two on-disk formats are accepted, sniffed by their leading bytes: the
+// serialized replay-trace format (internal/replay) is used as-is, and a
+// collected trace (internal/tracefmt) is distilled into a replay trace on
+// load — so emud can serve sessions straight from raw collection output.
+package emud
+
+import (
+	"bytes"
+	"container/list"
+	"fmt"
+	"os"
+	"sync"
+
+	"tracemod/internal/core"
+	"tracemod/internal/distill"
+	"tracemod/internal/obs"
+	"tracemod/internal/replay"
+	"tracemod/internal/tracefmt"
+)
+
+// DefaultStoreCapacity bounds the cached trace count when
+// StoreOptions.Capacity is zero.
+const DefaultStoreCapacity = 64
+
+// StoreOptions parameterizes a Store.
+type StoreOptions struct {
+	// Capacity is the maximum number of cached traces
+	// (DefaultStoreCapacity if 0). Eviction is least-recently-used; an
+	// evicted trace stays alive for the sessions already holding it (it
+	// is immutable) and is simply re-parsed on the next miss.
+	Capacity int
+	// Distill configures the distillation applied to collected
+	// (tracefmt) files; zero values fall back to distill.DefaultConfig.
+	Distill distill.Config
+	// Metrics, if non-nil, registers the store's instruments (names under
+	// tracemod_emud_store_*).
+	Metrics *obs.Registry
+}
+
+// Store is the shared trace cache.
+type Store struct {
+	opts StoreOptions
+
+	mu      sync.Mutex
+	entries map[string]*list.Element // key -> lru element holding *storeEntry
+	lru     *list.List               // front = most recently used
+
+	hits, misses, evictions, parseErrors *obs.Counter
+}
+
+// storeEntry is one cached (or in-flight) load. The once coalesces
+// concurrent loads of the same key onto a single parse; waiters block in
+// once.Do without holding the store lock.
+type storeEntry struct {
+	key   string
+	once  sync.Once
+	trace core.Trace
+	err   error
+}
+
+// NewStore creates a trace store.
+func NewStore(o StoreOptions) *Store {
+	if o.Capacity <= 0 {
+		o.Capacity = DefaultStoreCapacity
+	}
+	if o.Distill.Window == 0 && o.Distill.Step == 0 {
+		o.Distill = distill.DefaultConfig()
+	}
+	s := &Store{opts: o, entries: map[string]*list.Element{}, lru: list.New()}
+	if reg := o.Metrics; reg != nil {
+		s.hits = reg.Counter("tracemod_emud_store_hits_total", "Trace loads served from the cache.")
+		s.misses = reg.Counter("tracemod_emud_store_misses_total", "Trace loads that parsed a file.")
+		s.evictions = reg.Counter("tracemod_emud_store_evictions_total", "Cached traces evicted by LRU pressure.")
+		s.parseErrors = reg.Counter("tracemod_emud_store_errors_total", "Trace loads that failed to parse.")
+		reg.GaugeFunc("tracemod_emud_store_cached", "Traces currently cached in the store.",
+			func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(s.lru.Len()) })
+	}
+	return s
+}
+
+// Load returns the replay trace for the file at path, parsing it at most
+// once while it stays cached. The returned trace is shared and must be
+// treated as immutable.
+func (s *Store) Load(path string) (core.Trace, error) {
+	e, hit := s.entry("file:" + path)
+	if hit {
+		s.hits.Inc()
+	} else {
+		s.misses.Inc()
+	}
+	e.once.Do(func() {
+		e.trace, e.err = loadTraceFile(path, s.opts.Distill)
+		if e.err != nil {
+			s.parseErrors.Inc()
+			s.forget(e.key)
+		}
+	})
+	return e.trace, e.err
+}
+
+// Register caches an in-memory trace under "name:" + name (synthetic and
+// inline traces arriving through the control plane), validating it first.
+// Registered traces participate in LRU like file loads.
+func (s *Store) Register(name string, tr core.Trace) error {
+	if err := tr.Validate(); err != nil {
+		return err
+	}
+	e, _ := s.entry("name:" + name)
+	e.once.Do(func() { e.trace = tr })
+	// Re-registering a live name keeps the first trace (entries are
+	// immutable); callers pick fresh names per registration.
+	return e.err
+}
+
+// Lookup fetches a previously registered trace by name.
+func (s *Store) Lookup(name string) (core.Trace, bool) {
+	s.mu.Lock()
+	el, ok := s.entries["name:"+name]
+	if ok {
+		s.lru.MoveToFront(el)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*storeEntry)
+	e.once.Do(func() {}) // registration populates before publishing; this is a fence
+	if e.err != nil || e.trace == nil {
+		return nil, false
+	}
+	return e.trace, true
+}
+
+// Len reports the number of cached entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.Len()
+}
+
+// entry returns the cached element for key, creating (and LRU-inserting)
+// it if needed. The boolean reports whether the entry already existed.
+func (s *Store) entry(key string) (*storeEntry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		s.lru.MoveToFront(el)
+		return el.Value.(*storeEntry), true
+	}
+	e := &storeEntry{key: key}
+	s.entries[key] = s.lru.PushFront(e)
+	for s.lru.Len() > s.opts.Capacity {
+		oldest := s.lru.Back()
+		s.lru.Remove(oldest)
+		delete(s.entries, oldest.Value.(*storeEntry).key)
+		s.evictions.Inc()
+	}
+	return e, false
+}
+
+// forget drops a failed entry so the next Load retries the file instead
+// of caching the error forever.
+func (s *Store) forget(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		s.lru.Remove(el)
+		delete(s.entries, key)
+	}
+}
+
+// loadTraceFile reads path and parses it by sniffed format.
+func loadTraceFile(path string, dcfg distill.Config) (core.Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if tracefmt.IsMagic(data) {
+		collected, err := tracefmt.ReadAll(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("emud: collected trace %s: %w", path, err)
+		}
+		res, err := distill.Distill(collected, dcfg)
+		if err != nil {
+			return nil, fmt.Errorf("emud: distilling %s: %w", path, err)
+		}
+		return res.Replay, nil
+	}
+	tr, err := replay.Read(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("emud: replay trace %s: %w", path, err)
+	}
+	return tr, nil
+}

@@ -1,0 +1,187 @@
+package emud
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"tracemod/internal/capture"
+	"tracemod/internal/core"
+	"tracemod/internal/obs"
+	"tracemod/internal/pinger"
+	"tracemod/internal/replay"
+	"tracemod/internal/scenario"
+	"tracemod/internal/sim"
+	"tracemod/internal/tracefmt"
+)
+
+// writeReplayFile serializes a small synthetic replay trace to dir.
+func writeReplayFile(t *testing.T, dir, name string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr := replay.Constant(core.DelayParams{F: time.Millisecond, Vb: 100}, 0.01, 10*time.Second, time.Second)
+	if err := replay.Write(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// writeCollectedFile produces a genuine collected trace (simulated
+// wireless walk + pinger) in tracefmt format.
+func writeCollectedFile(t *testing.T, dir string) string {
+	t.Helper()
+	s := sim.New(3)
+	tb := scenario.BuildWireless(s, scenario.Porter)
+	const dur = 30 * time.Second
+	pinger.Start(s, tb.Laptop, scenario.ServerIP, dur)
+	tr, err := capture.Collect(s, tb.Laptop.NIC(0), 1<<16, dur, "store-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "collected.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := tracefmt.WriteAll(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestStoreLoadsReplayFileOnce(t *testing.T) {
+	reg := obs.NewRegistry()
+	st := NewStore(StoreOptions{Metrics: reg})
+	path := writeReplayFile(t, t.TempDir(), "a.replay")
+
+	tr1, err := st.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr1) != 10 {
+		t.Fatalf("trace has %d tuples, want 10", len(tr1))
+	}
+	tr2, err := st.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The identical slice is shared, not re-parsed.
+	if &tr1[0] != &tr2[0] {
+		t.Fatal("second load did not share the cached trace")
+	}
+	if st.hits.Load() != 1 || st.misses.Load() != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", st.hits.Load(), st.misses.Load())
+	}
+}
+
+func TestStoreDistillsCollectedTrace(t *testing.T) {
+	st := NewStore(StoreOptions{})
+	path := writeCollectedFile(t, t.TempDir())
+	tr, err := st.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("distilled trace invalid: %v", err)
+	}
+	if tr.TotalDuration() < 10*time.Second {
+		t.Fatalf("distilled trace covers only %v", tr.TotalDuration())
+	}
+}
+
+func TestStoreSingleflight(t *testing.T) {
+	st := NewStore(StoreOptions{Metrics: obs.NewRegistry()})
+	path := writeReplayFile(t, t.TempDir(), "c.replay")
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := st.Load(path); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if st.misses.Load() != 1 {
+		t.Fatalf("%d parses for 32 concurrent loads, want 1", st.misses.Load())
+	}
+}
+
+func TestStoreLRUEviction(t *testing.T) {
+	reg := obs.NewRegistry()
+	st := NewStore(StoreOptions{Capacity: 2, Metrics: reg})
+	dir := t.TempDir()
+	a := writeReplayFile(t, dir, "a.replay")
+	b := writeReplayFile(t, dir, "b.replay")
+	c := writeReplayFile(t, dir, "c.replay")
+	for _, p := range []string{a, b, c} {
+		if _, err := st.Load(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Len() != 2 {
+		t.Fatalf("cache holds %d, want 2", st.Len())
+	}
+	if st.evictions.Load() != 1 {
+		t.Fatalf("evictions = %d, want 1", st.evictions.Load())
+	}
+	// a was evicted; reloading it is a miss (re-parse), not an error.
+	if _, err := st.Load(a); err != nil {
+		t.Fatal(err)
+	}
+	if st.misses.Load() != 4 {
+		t.Fatalf("misses = %d, want 4", st.misses.Load())
+	}
+}
+
+func TestStoreErrorNotCached(t *testing.T) {
+	st := NewStore(StoreOptions{})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "late.replay")
+	if _, err := st.Load(path); err == nil {
+		t.Fatal("missing file must error")
+	}
+	// The file appears afterwards; the failure must not be sticky.
+	writeReplayFile(t, dir, "late.replay")
+	if _, err := st.Load(path); err != nil {
+		t.Fatalf("load after file appeared: %v", err)
+	}
+}
+
+func TestStoreRejectsGarbage(t *testing.T) {
+	st := NewStore(StoreOptions{})
+	path := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(path, []byte("not a trace of any kind\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load(path); err == nil {
+		t.Fatal("garbage file must fail to parse")
+	}
+}
+
+func TestStoreRegisterLookup(t *testing.T) {
+	st := NewStore(StoreOptions{})
+	tr := replay.WaveLANLike(10 * time.Second)
+	if err := st.Register("wavelan", tr); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := st.Lookup("wavelan")
+	if !ok || len(got) != len(tr) {
+		t.Fatalf("lookup = (%d tuples, %v)", len(got), ok)
+	}
+	if _, ok := st.Lookup("absent"); ok {
+		t.Fatal("absent name must not resolve")
+	}
+	if err := st.Register("bad", core.Trace{{D: -1}}); err == nil {
+		t.Fatal("invalid trace must be rejected")
+	}
+}

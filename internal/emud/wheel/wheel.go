@@ -1,0 +1,311 @@
+// Package wheel implements the shared timer substrate of the emulation
+// daemon: a sharded timer wheel that multiplexes every scheduled callback
+// of every hosted session onto O(shards) goroutines.
+//
+// The paper's kernel fires deliveries off the host's 10 ms clock
+// interrupt: one periodic tick services every pending packet. The stdlib
+// time.AfterFunc, by contrast, costs one runtime timer (and, when it
+// fires, a goroutine wakeup) per scheduled packet — fine for one
+// modulated link, ruinous for a session farm with tens of thousands of
+// packets in flight. The wheel restores the paper's economics: each shard
+// runs one goroutine that sleeps until its earliest deadline (optionally
+// coalesced onto a tick boundary) and then fires everything due.
+//
+// Cancellation is per owner, not per timer: a *Timers handle implements
+// modulation.Clock for one session, and Timers.Stop suppresses every
+// callback scheduled through the handle. Stop is a barrier — once it
+// returns, no callback of that handle is running or will ever run — which
+// is what makes engine teardown safe while packets are in flight.
+package wheel
+
+import (
+	"container/heap"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tracemod/internal/obs"
+)
+
+// DefaultShards is the shard count used when Options.Shards is zero: a
+// small constant, because shards exist to bound goroutines, not to chase
+// core counts.
+const DefaultShards = 4
+
+// DefaultGranularity mirrors the paper's 10 ms clock-interrupt resolution:
+// wheel wakeups coalesce onto 10 ms boundaries, so a shard services every
+// deadline in a tick with a single wakeup.
+const DefaultGranularity = 10 * time.Millisecond
+
+// Options parameterizes a wheel.
+type Options struct {
+	// Shards is the number of scheduling goroutines (DefaultShards if 0).
+	Shards int
+	// Granularity coalesces wakeups onto tick boundaries: a timer due at t
+	// fires at the first boundary ≥ t, never early. Zero keeps the
+	// wheel's exact-delivery semantics (each shard sleeps until its
+	// precise earliest deadline); that is the mode the single-session
+	// livewire relay runs in. Negative is treated as zero.
+	Granularity time.Duration
+	// Metrics, if non-nil, registers the wheel's instruments (names under
+	// tracemod_wheel_*).
+	Metrics *obs.Registry
+}
+
+// Wheel is a sharded timer wheel. It implements modulation.Clock directly
+// for callers that never cancel; sessions schedule through per-owner
+// Timers handles instead.
+type Wheel struct {
+	epoch  time.Time
+	gran   time.Duration
+	shards []*shard
+	next   atomic.Uint64 // round-robin shard placement
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	pending    atomic.Int64 // entries currently in heaps
+	scheduled  *obs.Counter
+	fired      *obs.Counter
+	suppressed *obs.Counter
+}
+
+// New starts a wheel with the given options.
+func New(o Options) *Wheel {
+	if o.Shards <= 0 {
+		o.Shards = DefaultShards
+	}
+	if o.Granularity < 0 {
+		o.Granularity = 0
+	}
+	w := &Wheel{epoch: time.Now(), gran: o.Granularity}
+	if o.Metrics != nil {
+		w.scheduled = o.Metrics.Counter("tracemod_wheel_timers_scheduled_total", "Callbacks scheduled on the timer wheel.")
+		w.fired = o.Metrics.Counter("tracemod_wheel_timers_fired_total", "Wheel callbacks that ran.")
+		w.suppressed = o.Metrics.Counter("tracemod_wheel_timers_suppressed_total", "Wheel callbacks suppressed by a stopped owner.")
+		o.Metrics.GaugeFunc("tracemod_wheel_timers_pending", "Timers currently waiting in the wheel.",
+			func() float64 { return float64(w.pending.Load()) })
+		o.Metrics.Gauge("tracemod_wheel_shards", "Scheduling shards (goroutines) in the wheel.").Set(int64(o.Shards))
+	}
+	for i := 0; i < o.Shards; i++ {
+		s := &shard{wake: make(chan struct{}, 1), quit: make(chan struct{})}
+		w.shards = append(w.shards, s)
+		w.wg.Add(1)
+		go w.run(s)
+	}
+	return w
+}
+
+// Now returns elapsed wheel time (implements modulation.Clock).
+func (w *Wheel) Now() time.Duration { return time.Since(w.epoch) }
+
+// Granularity reports the coalescing tick (0 = exact).
+func (w *Wheel) Granularity() time.Duration { return w.gran }
+
+// Shards reports the shard count.
+func (w *Wheel) Shards() int { return len(w.shards) }
+
+// Pending reports how many timers are waiting in the wheel.
+func (w *Wheel) Pending() int64 { return w.pending.Load() }
+
+// AfterFunc schedules fn with no owner; it cannot be cancelled
+// (implements modulation.Clock).
+func (w *Wheel) AfterFunc(d time.Duration, fn func()) { w.schedule(nil, d, fn) }
+
+// Timers returns a cancellation scope: a modulation.Clock whose pending
+// callbacks can all be revoked at once with Stop.
+func (w *Wheel) Timers() *Timers { return &Timers{w: w} }
+
+// Close stops every shard goroutine. Pending timers are discarded; Close
+// does not wait for in-flight callbacks beyond each shard's current
+// dispatch batch.
+func (w *Wheel) Close() {
+	if w.closed.Swap(true) {
+		return
+	}
+	for _, s := range w.shards {
+		close(s.quit)
+	}
+	w.wg.Wait()
+}
+
+// Timers is a per-owner scheduling handle (one per emud session). It
+// implements modulation.Clock.
+type Timers struct {
+	w       *Wheel
+	stopped atomic.Bool
+	// barrier orders callback dispatch against Stop: callbacks run under
+	// RLock, Stop sets the flag and then takes the write lock, so Stop
+	// returns only after every in-flight callback has finished and no
+	// later one can start. Callbacks must therefore never call Stop on
+	// their own handle (sessions stop from the control plane or the
+	// manager's janitor goroutine, never from inside a delivery).
+	barrier sync.RWMutex
+}
+
+// Now implements modulation.Clock.
+func (t *Timers) Now() time.Duration { return t.w.Now() }
+
+// AfterFunc implements modulation.Clock. After Stop it is a no-op.
+func (t *Timers) AfterFunc(d time.Duration, fn func()) {
+	if t.stopped.Load() {
+		return
+	}
+	t.w.schedule(t, d, fn)
+}
+
+// Stopped reports whether Stop has been called.
+func (t *Timers) Stopped() bool { return t.stopped.Load() }
+
+// Stop revokes every callback scheduled through the handle. When Stop
+// returns, no callback is running and none will ever run; entries already
+// in a shard heap are discarded when they come due.
+func (t *Timers) Stop() {
+	t.stopped.Store(true)
+	t.barrier.Lock()
+	//lint:ignore SA2001 the empty critical section is the point: taking the
+	// write lock waits out every dispatch holding the read lock.
+	t.barrier.Unlock()
+}
+
+// entry is one scheduled callback.
+type entry struct {
+	at    time.Duration // absolute wheel time
+	seq   uint64        // FIFO tiebreak for equal deadlines
+	fn    func()
+	owner *Timers // nil = uncancellable
+}
+
+type shard struct {
+	mu   sync.Mutex
+	h    entryHeap
+	seq  uint64
+	wake chan struct{}
+	quit chan struct{}
+	due  []entry // dispatch scratch, reused across wakeups
+}
+
+// schedule places fn on a shard, waking it if the new entry becomes the
+// earliest deadline.
+func (w *Wheel) schedule(owner *Timers, d time.Duration, fn func()) {
+	if w.closed.Load() {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	at := w.Now() + d
+	s := w.shards[w.next.Add(1)%uint64(len(w.shards))]
+	s.mu.Lock()
+	s.seq++
+	earliest := s.h.Len() == 0 || at < s.h[0].at
+	heap.Push(&s.h, entry{at: at, seq: s.seq, fn: fn, owner: owner})
+	s.mu.Unlock()
+	w.pending.Add(1)
+	w.scheduled.Inc()
+	if earliest {
+		select {
+		case s.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// run is one shard's scheduling loop: pop everything due, dispatch it
+// outside the lock, then sleep until the next deadline (aligned up to the
+// granularity boundary when coalescing) or until a new earliest arrives.
+func (w *Wheel) run(s *shard) {
+	defer w.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		now := w.Now()
+		s.mu.Lock()
+		s.due = s.due[:0]
+		for s.h.Len() > 0 && s.h[0].at <= now {
+			s.due = append(s.due, heap.Pop(&s.h).(entry))
+		}
+		wait := time.Duration(-1)
+		if s.h.Len() > 0 {
+			next := s.h[0].at
+			if w.gran > 0 {
+				// Coalesce: wake at the first tick boundary ≥ the deadline.
+				next = (next + w.gran - 1) / w.gran * w.gran
+			}
+			wait = next - now
+			if wait <= 0 {
+				wait = time.Millisecond
+			}
+		}
+		s.mu.Unlock()
+		if n := len(s.due); n > 0 {
+			w.pending.Add(int64(-n))
+			for i := range s.due {
+				s.due[i].run(w)
+				s.due[i] = entry{} // drop refs so pooled closures can be collected
+			}
+		}
+		if wait < 0 {
+			// Idle: nothing scheduled, park until woken.
+			select {
+			case <-s.wake:
+			case <-s.quit:
+				return
+			}
+			continue
+		}
+		timer.Reset(wait)
+		select {
+		case <-timer.C:
+		case <-s.wake:
+			if !timer.Stop() {
+				<-timer.C
+			}
+		case <-s.quit:
+			if !timer.Stop() {
+				<-timer.C
+			}
+			return
+		}
+	}
+}
+
+// run dispatches the entry, honouring its owner's Stop barrier.
+func (e *entry) run(w *Wheel) {
+	if o := e.owner; o != nil {
+		o.barrier.RLock()
+		if o.stopped.Load() {
+			o.barrier.RUnlock()
+			w.suppressed.Inc()
+			return
+		}
+		e.fn()
+		o.barrier.RUnlock()
+		w.fired.Inc()
+		return
+	}
+	e.fn()
+	w.fired.Inc()
+}
+
+// entryHeap is a min-heap on (at, seq).
+type entryHeap []entry
+
+func (h entryHeap) Len() int { return len(h) }
+func (h entryHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h entryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *entryHeap) Push(x any)   { *h = append(*h, x.(entry)) }
+func (h *entryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = entry{}
+	*h = old[:n-1]
+	return e
+}

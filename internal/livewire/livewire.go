@@ -19,25 +19,65 @@ import (
 	"time"
 
 	"tracemod/internal/core"
+	"tracemod/internal/emud/wheel"
 	"tracemod/internal/modulation"
 	"tracemod/internal/obs"
 	"tracemod/internal/packet"
 	"tracemod/internal/simnet"
 )
 
-// RealClock implements modulation.Clock over the wall clock.
+// RealClock implements modulation.Clock over the wall clock. It delegates
+// to a single-shard timer wheel, so a standalone relay and the emud
+// session farm share one scheduling path; with Granularity 0 (the
+// NewRealClock default) the wheel sleeps until each exact deadline,
+// preserving the historical time.AfterFunc delivery semantics while
+// keeping the pending-timer population off the runtime timer heap.
 type RealClock struct {
-	epoch time.Time
+	w *wheel.Wheel
 }
 
-// NewRealClock starts a clock at the current instant.
-func NewRealClock() *RealClock { return &RealClock{epoch: time.Now()} }
+// NewRealClock starts a clock at the current instant with exact
+// (Granularity=0) scheduling.
+func NewRealClock() *RealClock { return NewRealClockGranular(0) }
+
+// NewRealClockGranular starts a clock whose wakeups coalesce onto
+// granularity boundaries (0 = exact).
+func NewRealClockGranular(granularity time.Duration) *RealClock {
+	return &RealClock{w: wheel.New(wheel.Options{Shards: 1, Granularity: granularity})}
+}
 
 // Now implements modulation.Clock.
-func (c *RealClock) Now() time.Duration { return time.Since(c.epoch) }
+func (c *RealClock) Now() time.Duration { return c.w.Now() }
 
 // AfterFunc implements modulation.Clock.
-func (c *RealClock) AfterFunc(d time.Duration, fn func()) { time.AfterFunc(d, fn) }
+func (c *RealClock) AfterFunc(d time.Duration, fn func()) { c.w.AfterFunc(d, fn) }
+
+// Close stops the clock's scheduling goroutine, discarding pending
+// callbacks. A relay that owns its clock closes it on Close.
+func (c *RealClock) Close() { c.w.Close() }
+
+// bufPool recycles datagram buffers across relays and packets: each
+// in-flight packet holds one max-datagram buffer from read until delivery
+// or drop, instead of a fresh make([]byte, n) copy per datagram. The pool
+// is shared by every relay in the process (emud runs many).
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, maxDatagram)
+	return &b
+}}
+
+// maxDatagram is the largest UDP payload a relay accepts (the IPv4 limit).
+const maxDatagram = 64 * 1024
+
+func getBuf() *[]byte  { return bufPool.Get().(*[]byte) }
+func putBuf(b *[]byte) { bufPool.Put(b) }
+
+// Submitter is the shaping surface a relay pushes datagrams through:
+// exactly one of deliver or drop must eventually run for every call.
+// *modulation.Engine implements it directly; the emud session farm
+// interposes its per-session accounting by implementing it on Session.
+type Submitter interface {
+	SubmitWithDrop(dir simnet.Direction, size int, deliver, drop func())
+}
 
 // Config parameterizes a relay.
 type Config struct {
@@ -70,7 +110,9 @@ type Stats struct {
 
 // Relay is a live packet-shaping daemon.
 type Relay struct {
-	engine *modulation.Engine
+	submit Submitter
+	engine *modulation.Engine // nil for NewRelayWithSubmitter relays
+	clock  *RealClock         // non-nil when the relay owns its clock
 
 	clientSide *net.UDPConn // clients talk to this
 	targetSide *net.UDPConn // connected toward the target
@@ -83,6 +125,28 @@ type Relay struct {
 	c2t, t2c, dropped atomic.Int64
 }
 
+// bindSockets resolves and binds the relay's two sockets.
+func bindSockets(listenAddr, targetAddr string) (*net.UDPConn, *net.UDPConn, error) {
+	laddr, err := net.ResolveUDPAddr("udp", listenAddr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("livewire: listen addr: %w", err)
+	}
+	taddr, err := net.ResolveUDPAddr("udp", targetAddr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("livewire: target addr: %w", err)
+	}
+	clientSide, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, nil, err
+	}
+	targetSide, err := net.DialUDP("udp", nil, taddr)
+	if err != nil {
+		clientSide.Close()
+		return nil, nil, err
+	}
+	return clientSide, targetSide, nil
+}
+
 // NewRelay binds listenAddr for clients and connects toward targetAddr.
 // Use "127.0.0.1:0" as listenAddr to pick a free port; Addr reports it.
 func NewRelay(listenAddr, targetAddr string, cfg Config) (*Relay, error) {
@@ -92,24 +156,12 @@ func NewRelay(listenAddr, targetAddr string, cfg Config) (*Relay, error) {
 	if err := cfg.Trace.Validate(); err != nil {
 		return nil, err
 	}
-	laddr, err := net.ResolveUDPAddr("udp", listenAddr)
-	if err != nil {
-		return nil, fmt.Errorf("livewire: listen addr: %w", err)
-	}
-	taddr, err := net.ResolveUDPAddr("udp", targetAddr)
-	if err != nil {
-		return nil, fmt.Errorf("livewire: target addr: %w", err)
-	}
-	clientSide, err := net.ListenUDP("udp", laddr)
+	clientSide, targetSide, err := bindSockets(listenAddr, targetAddr)
 	if err != nil {
 		return nil, err
 	}
-	targetSide, err := net.DialUDP("udp", nil, taddr)
-	if err != nil {
-		clientSide.Close()
-		return nil, err
-	}
-	eng := modulation.NewEngine(NewRealClock(), &modulation.SliceSource{Trace: cfg.Trace, Loop: true}, modulation.Config{
+	clock := NewRealClock()
+	eng := modulation.NewEngine(clock, &modulation.SliceSource{Trace: cfg.Trace, Loop: true}, modulation.Config{
 		Tick:         cfg.Tick,
 		InboundExtra: cfg.InboundExtra,
 		Compensation: cfg.Compensation,
@@ -118,7 +170,9 @@ func NewRelay(listenAddr, targetAddr string, cfg Config) (*Relay, error) {
 		Tracer:       cfg.Tracer,
 	})
 	r := &Relay{
+		submit:     eng,
 		engine:     eng,
+		clock:      clock,
 		clientSide: clientSide,
 		targetSide: targetSide,
 		closed:     make(chan struct{}),
@@ -141,6 +195,31 @@ func NewRelay(listenAddr, targetAddr string, cfg Config) (*Relay, error) {
 	return r, nil
 }
 
+// NewRelayWithSubmitter binds sockets and shapes traffic through a
+// Submitter the caller owns — the emud session farm attaches one relay per
+// session this way (the session interposes its accounting, and every
+// engine shares the farm's timer wheel). The relay never closes the
+// submitter's clock; revoking pending timers is the caller's teardown
+// responsibility.
+func NewRelayWithSubmitter(listenAddr, targetAddr string, sub Submitter) (*Relay, error) {
+	if sub == nil {
+		return nil, errors.New("livewire: nil submitter")
+	}
+	clientSide, targetSide, err := bindSockets(listenAddr, targetAddr)
+	if err != nil {
+		return nil, err
+	}
+	r := &Relay{
+		submit:     sub,
+		clientSide: clientSide,
+		targetSide: targetSide,
+		closed:     make(chan struct{}),
+	}
+	go r.pumpClientToTarget()
+	go r.pumpTargetToClient()
+	return r, nil
+}
+
 // Addr returns the client-facing address.
 func (r *Relay) Addr() *net.UDPAddr { return r.clientSide.LocalAddr().(*net.UDPAddr) }
 
@@ -154,14 +233,18 @@ func (r *Relay) Stats() Stats {
 }
 
 // Engine exposes the underlying modulation engine (for its statistics).
+// It is nil for relays built with NewRelayWithSubmitter.
 func (r *Relay) Engine() *modulation.Engine { return r.engine }
 
-// Close shuts the relay down.
+// Close shuts the relay down (and its clock, when the relay owns one).
 func (r *Relay) Close() {
 	r.closeOnce.Do(func() {
 		close(r.closed)
 		r.clientSide.Close()
 		r.targetSide.Close()
+		if r.clock != nil {
+			r.clock.Close()
+		}
 	})
 }
 
@@ -171,57 +254,62 @@ func wireSize(payload int) int {
 	return payload + packet.IPv4HeaderLen + packet.UDPHeaderLen
 }
 
+// Each pump reads every datagram straight into a pooled max-size buffer
+// and hands that buffer through the engine: no per-datagram copy or
+// allocation. The buffer is returned to the pool on exactly one of the
+// SubmitWithDrop outcomes. (A buffer whose delivery timer is revoked by
+// an emud session Stop is simply left to the garbage collector — sync.Pool
+// does not require returns.)
 func (r *Relay) pumpClientToTarget() {
-	buf := make([]byte, 64*1024)
 	for {
-		n, addr, err := r.clientSide.ReadFromUDP(buf)
+		bp := getBuf()
+		n, addr, err := r.clientSide.ReadFromUDP(*bp)
 		if err != nil {
+			putBuf(bp)
 			return // closed
 		}
 		r.clientAddr.Store(addr)
-		data := make([]byte, n)
-		copy(data, buf[:n])
-		before := r.engine.Stats().Dropped
-		r.engine.Submit(simnet.Outbound, wireSize(n), func() {
+		r.submit.SubmitWithDrop(simnet.Outbound, wireSize(n), func() {
 			select {
 			case <-r.closed:
 			default:
-				if _, err := r.targetSide.Write(data); err == nil {
+				if _, err := r.targetSide.Write((*bp)[:n]); err == nil {
 					r.c2t.Add(1)
 				}
 			}
+			putBuf(bp)
+		}, func() {
+			r.dropped.Add(1)
+			putBuf(bp)
 		})
-		if after := r.engine.Stats().Dropped; after > before {
-			r.dropped.Add(after - before)
-		}
 	}
 }
 
 func (r *Relay) pumpTargetToClient() {
-	buf := make([]byte, 64*1024)
 	for {
-		n, err := r.targetSide.Read(buf)
+		bp := getBuf()
+		n, err := r.targetSide.Read(*bp)
 		if err != nil {
+			putBuf(bp)
 			return // closed
 		}
 		addr := r.clientAddr.Load()
 		if addr == nil {
+			putBuf(bp)
 			continue // no client yet
 		}
-		data := make([]byte, n)
-		copy(data, buf[:n])
-		before := r.engine.Stats().Dropped
-		r.engine.Submit(simnet.Inbound, wireSize(n), func() {
+		r.submit.SubmitWithDrop(simnet.Inbound, wireSize(n), func() {
 			select {
 			case <-r.closed:
 			default:
-				if _, err := r.clientSide.WriteToUDP(data, addr); err == nil {
+				if _, err := r.clientSide.WriteToUDP((*bp)[:n], addr); err == nil {
 					r.t2c.Add(1)
 				}
 			}
+			putBuf(bp)
+		}, func() {
+			r.dropped.Add(1)
+			putBuf(bp)
 		})
-		if after := r.engine.Stats().Dropped; after > before {
-			r.dropped.Add(after - before)
-		}
 	}
 }

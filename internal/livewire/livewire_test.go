@@ -1,11 +1,15 @@
 package livewire
 
 import (
+	"bytes"
+	"math/rand"
 	"net"
 	"testing"
 	"time"
 
 	"tracemod/internal/core"
+	"tracemod/internal/emud/wheel"
+	"tracemod/internal/modulation"
 	"tracemod/internal/replay"
 )
 
@@ -165,5 +169,77 @@ func TestRealClockMonotone(t *testing.T) {
 	case <-fired:
 	case <-time.After(time.Second):
 		t.Fatal("AfterFunc never fired")
+	}
+}
+
+func TestRelayWithExternalEngine(t *testing.T) {
+	// An emud-style attachment: the engine runs on a caller-owned wheel
+	// handle; the relay shapes with it but does not own clock teardown.
+	target := echoServer(t)
+	w := wheel.New(wheel.Options{Shards: 2})
+	defer w.Close()
+	tm := w.Timers()
+	eng := modulation.NewEngine(tm, &modulation.SliceSource{Trace: constTrace(15*time.Millisecond, 0), Loop: true},
+		modulation.Config{Tick: -1, RNG: rand.New(rand.NewSource(1))})
+	r, err := NewRelayWithSubmitter("127.0.0.1:0", target.String(), eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := NewRelayWithSubmitter("127.0.0.1:0", target.String(), nil); err == nil {
+		t.Fatal("nil submitter must be rejected")
+	}
+
+	c := dialRelay(t, r)
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1024)
+	start := time.Now()
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if rtt := time.Since(start); rtt < 30*time.Millisecond {
+		t.Fatalf("rtt %v, want >= 30ms through the shared wheel", rtt)
+	}
+	// Relay teardown must not touch the shared wheel: the handle still
+	// schedules after the relay is gone.
+	r.Close()
+	fired := make(chan struct{})
+	tm.AfterFunc(time.Millisecond, func() { close(fired) })
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("shared wheel stopped scheduling after relay close")
+	}
+}
+
+func TestRelayLargeDatagramRoundTrip(t *testing.T) {
+	// Payloads near the pool buffer size survive the pooled no-copy path.
+	target := echoServer(t)
+	r, err := NewRelay("127.0.0.1:0", target.String(), Config{
+		Trace: constTrace(0, 0), Tick: -1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	c := dialRelay(t, r)
+	payload := make([]byte, 32*1024)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 64*1024)
+	n, err := c.Read(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(payload) || !bytes.Equal(got[:n], payload) {
+		t.Fatalf("echoed %d bytes, corrupted or truncated (want %d)", n, len(payload))
 	}
 }

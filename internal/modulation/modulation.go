@@ -334,6 +334,19 @@ func (e *Engine) advance(now time.Duration) {
 // layer. deliver is invoked when the packet should continue (possibly
 // immediately, from within Submit); dropped packets never continue.
 func (e *Engine) Submit(dir simnet.Direction, size int, deliver func()) {
+	e.submit(dir, size, deliver, nil)
+}
+
+// SubmitWithDrop is Submit with an explicit loss outcome: exactly one of
+// deliver or drop runs for every packet. drop is invoked synchronously,
+// from within the call, when the packet loses the drop lottery — the
+// relay path uses it to return pooled buffers and count losses without
+// racing other submitters over aggregate counters.
+func (e *Engine) SubmitWithDrop(dir simnet.Direction, size int, deliver, drop func()) {
+	e.submit(dir, size, deliver, drop)
+}
+
+func (e *Engine) submit(dir simnet.Direction, size int, deliver, drop func()) {
 	e.mu.Lock()
 	now := e.clock.Now()
 	e.stats.Submitted++
@@ -403,6 +416,9 @@ func (e *Engine) Submit(dir simnet.Direction, size int, deliver func()) {
 			e.tracer.Record(obs.Event{At: now, Kind: obs.EvDrop, Dir: int8(dir), Size: int32(size), Tuple: e.stats.Tuples, Aux: int64(obs.DropLottery)})
 		}
 		e.mu.Unlock()
+		if drop != nil {
+			drop()
+		}
 		return
 	}
 

@@ -440,3 +440,39 @@ func TestRoundToTick(t *testing.T) {
 		}
 	}
 }
+
+func TestSubmitWithDropOutcomes(t *testing.T) {
+	// Exactly one of deliver/drop runs per packet; drop fires only on
+	// lottery losses, and the totals reconcile with the engine stats.
+	s := sim.New(1)
+	e := engine(s, constTrace(core.DelayParams{F: time.Millisecond, Vb: 100}, 0.5), Config{Tick: -1})
+	const n = 400
+	delivered, dropped := 0, 0
+	for i := 0; i < n; i++ {
+		e.SubmitWithDrop(simnet.Outbound, 1000,
+			func() { delivered++ },
+			func() { dropped++ })
+	}
+	s.Run()
+	if delivered+dropped != n {
+		t.Fatalf("delivered %d + dropped %d != %d submitted", delivered, dropped, n)
+	}
+	st := e.Stats()
+	if int64(dropped) != st.Dropped {
+		t.Fatalf("drop callbacks %d, engine counted %d", dropped, st.Dropped)
+	}
+	if dropped == 0 || delivered == 0 {
+		t.Fatalf("want a mix at L=0.5, got delivered=%d dropped=%d", delivered, dropped)
+	}
+}
+
+func TestSubmitWithDropNoLoss(t *testing.T) {
+	s := sim.New(1)
+	e := engine(s, constTrace(core.DelayParams{}, 0), Config{Tick: -1})
+	drops := 0
+	e.SubmitWithDrop(simnet.Outbound, 100, func() {}, func() { drops++ })
+	s.Run()
+	if drops != 0 {
+		t.Fatalf("drop callback ran %d times on a lossless trace", drops)
+	}
+}

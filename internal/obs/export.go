@@ -23,7 +23,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.each(func(m *metric) {
 		typ := "counter"
 		switch m.kind {
-		case kindGauge, kindGaugeFunc:
+		case kindGauge, kindGaugeFunc, kindGaugeVec:
 			typ = "gauge"
 		case kindHistogram:
 			typ = "histogram"
@@ -43,6 +43,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			vals, counts := m.vec.snapshot()
 			for i, v := range vals {
 				pf("%s{%s=%q} %d\n", m.name, m.vec.label, v, counts[i])
+			}
+		case kindGaugeVec:
+			vals, values := m.gvec.snapshot()
+			for i, v := range vals {
+				pf("%s{%s=%q} %d\n", m.name, m.gvec.label, v, values[i])
 			}
 		case kindHistogram:
 			bounds, counts := m.h.snapshot()
@@ -92,6 +97,15 @@ func (r *Registry) Dump(w io.Writer) error {
 			vals, counts := m.vec.snapshot()
 			for i, v := range vals {
 				pf("    %-48s %12d\n", v, counts[i])
+			}
+			if len(vals) == 0 {
+				pf("    (empty)\n")
+			}
+		case kindGaugeVec:
+			pf("%s (by %s)\n", m.name, m.gvec.label)
+			vals, values := m.gvec.snapshot()
+			for i, v := range vals {
+				pf("    %-48s %12d\n", v, values[i])
 			}
 			if len(vals) == 0 {
 				pf("    (empty)\n")

@@ -212,6 +212,29 @@ func (v *CounterVec) With(value string) *Counter {
 	return c
 }
 
+// Remove deletes the child for the given label value (session churn:
+// emud removes a session's children when the session is deleted, so the
+// export does not accumulate dead labels). Removing an absent value is a
+// no-op. A counter handle obtained earlier keeps working but is no longer
+// exported.
+func (v *CounterVec) Remove(value string) {
+	if v == nil {
+		return
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, ok := v.children[value]; !ok {
+		return
+	}
+	delete(v.children, value)
+	for i, val := range v.order {
+		if val == value {
+			v.order = append(v.order[:i], v.order[i+1:]...)
+			break
+		}
+	}
+}
+
 // snapshot returns label values in creation order with their counts.
 func (v *CounterVec) snapshot() ([]string, []int64) {
 	v.mu.RLock()
@@ -224,6 +247,75 @@ func (v *CounterVec) snapshot() ([]string, []int64) {
 	return vals, counts
 }
 
+// GaugeVec is a family of gauges keyed by one label, the gauge analogue
+// of CounterVec (emud uses it for per-session state). With is nil-safe.
+type GaugeVec struct {
+	label    string
+	mu       sync.RWMutex
+	children map[string]*Gauge
+	order    []string
+}
+
+// With returns the child gauge for the given label value, creating it if
+// needed (up to VecMaxChildren distinct values).
+func (v *GaugeVec) With(value string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	g, ok := v.children[value]
+	v.mu.RUnlock()
+	if ok {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g, ok := v.children[value]; ok {
+		return g
+	}
+	if len(v.children) >= VecMaxChildren {
+		value = OverflowLabel
+		if g, ok := v.children[value]; ok {
+			return g
+		}
+	}
+	g = &Gauge{}
+	v.children[value] = g
+	v.order = append(v.order, value)
+	return g
+}
+
+// Remove deletes the child for the given label value (no-op if absent).
+func (v *GaugeVec) Remove(value string) {
+	if v == nil {
+		return
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, ok := v.children[value]; !ok {
+		return
+	}
+	delete(v.children, value)
+	for i, val := range v.order {
+		if val == value {
+			v.order = append(v.order[:i], v.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// snapshot returns label values in creation order with their values.
+func (v *GaugeVec) snapshot() ([]string, []int64) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	vals := append([]string(nil), v.order...)
+	values := make([]int64, len(vals))
+	for i, val := range vals {
+		values[i] = v.children[val].Load()
+	}
+	return vals, values
+}
+
 // metricKind discriminates registry entries for export.
 type metricKind uint8
 
@@ -232,6 +324,7 @@ const (
 	kindGauge
 	kindHistogram
 	kindCounterVec
+	kindGaugeVec
 	kindGaugeFunc
 	kindCounterFunc
 )
@@ -244,6 +337,7 @@ type metric struct {
 	g          *Gauge
 	h          *Histogram
 	vec        *CounterVec
+	gvec       *GaugeVec
 	fn         func() float64
 }
 
@@ -345,6 +439,23 @@ func (r *Registry) CounterVec(name, help, label string) *CounterVec {
 		vec: &CounterVec{label: label, children: map[string]*Counter{}}}
 	r.add(m)
 	return m.vec
+}
+
+// GaugeVec registers (or returns the existing) gauge family keyed by
+// label.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.lookup(name, kindGaugeVec); ok {
+		return m.gvec
+	}
+	m := &metric{name: name, help: help, kind: kindGaugeVec,
+		gvec: &GaugeVec{label: label, children: map[string]*Gauge{}}}
+	r.add(m)
+	return m.gvec
 }
 
 // GaugeFunc registers a gauge computed at export time by fn (for values a

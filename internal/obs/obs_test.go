@@ -260,3 +260,45 @@ func TestUptimeGauge(t *testing.T) {
 		t.Fatalf("missing uptime gauge:\n%s", out)
 	}
 }
+
+func TestGaugeVecAndRemove(t *testing.T) {
+	r := NewRegistry()
+	gv := r.GaugeVec("farm_sessions_state", "", "session")
+	gv.With("s-1").Set(2)
+	gv.With("s-2").Set(5)
+	if got := gv.With("s-1").Load(); got != 2 {
+		t.Fatalf("s-1 = %d, want 2", got)
+	}
+	out := r.PrometheusString()
+	if !strings.Contains(out, `farm_sessions_state{session="s-1"} 2`) ||
+		!strings.Contains(out, `farm_sessions_state{session="s-2"} 5`) {
+		t.Fatalf("gauge vec missing from export:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE farm_sessions_state gauge") {
+		t.Fatalf("gauge vec exported with wrong type:\n%s", out)
+	}
+
+	// Removal drops the child from both export formats; re-creating the
+	// label starts from zero.
+	gv.Remove("s-1")
+	gv.Remove("never-existed")
+	out = r.PrometheusString()
+	if strings.Contains(out, `session="s-1"`) {
+		t.Fatalf("removed child still exported:\n%s", out)
+	}
+	if got := gv.With("s-1").Load(); got != 0 {
+		t.Fatalf("recreated child = %d, want 0", got)
+	}
+
+	cv := r.CounterVec("farm_drops", "", "session")
+	cv.With("s-1").Inc()
+	cv.Remove("s-1")
+	if strings.Contains(r.PrometheusString(), `farm_drops{session="s-1"}`) {
+		t.Fatal("removed counter child still exported")
+	}
+
+	// Nil receivers stay no-ops.
+	var nilGV *GaugeVec
+	nilGV.With("x").Set(1)
+	nilGV.Remove("x")
+}

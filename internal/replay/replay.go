@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 	"time"
 
@@ -122,6 +123,16 @@ func read(r io.Reader) (core.Trace, error) {
 		return nil, err
 	}
 	return tr, nil
+}
+
+// ReadFile parses the serialized replay trace at path.
+func ReadFile(path string) (core.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
 }
 
 // Constant produces a trace holding params and loss for dur, in step-sized

@@ -26,6 +26,17 @@ func float32frombits(b uint32) float32 { return math.Float32frombits(b) }
 // Magic identifies a trace file ("TMT1").
 const Magic uint32 = 0x544d5431
 
+// MagicLen is the number of leading bytes IsMagic needs to sniff a file.
+const MagicLen = 4
+
+// IsMagic reports whether prefix opens a collected-trace stream: at least
+// MagicLen bytes beginning with the big-endian Magic. Consumers that
+// accept either trace format (emud's trace store, notably) sniff with it
+// before choosing a parser.
+func IsMagic(prefix []byte) bool {
+	return len(prefix) >= MagicLen && binary.BigEndian.Uint32(prefix[:MagicLen]) == Magic
+}
+
 // Version is the current format version.
 const Version uint16 = 1
 
