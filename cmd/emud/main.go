@@ -10,6 +10,9 @@
 //	emud [-listen :8091] [-shards 4] [-granularity 10ms] [-tick 10ms]
 //	     [-max-sessions 4096] [-idle-timeout 0] [-drain-timeout 5s]
 //	     [-trace-cache 64] [-events 4096]
+//	     [-max-session-inflight 0] [-max-inflight-bytes 0]
+//	     [-snapshot PATH] [-snapshot-interval 10s] [-recover]
+//	     [-faults] [-fault-seed 0]
 //
 // The control plane:
 //
@@ -20,8 +23,16 @@
 //	POST   /v1/sessions/{id}/stop[?drain=2s]
 //	DELETE /v1/sessions/{id}      stop and remove
 //	GET    /v1/farm               farm-wide summary
+//	GET    /v1/faults             fault-injection points (with -faults)
+//	POST   /v1/faults             arm a point: {"name":..,"rate":..,"delay_ms":..}
+//	DELETE /v1/faults             disarm every point
 //	GET    /metrics               Prometheus-style export (per-session labels)
 //	GET    /debug/events          recent engine events
+//
+// With -snapshot the daemon periodically writes a crash-recovery file of
+// every live session's spec and replay cursor; after a crash, restarting
+// with -recover restores those sessions (same IDs, cursors
+// fast-forwarded) before the control plane accepts traffic.
 //
 // SIGINT/SIGTERM drain every session gracefully before exit.
 package main
@@ -35,6 +46,7 @@ import (
 	"time"
 
 	"tracemod/internal/emud"
+	"tracemod/internal/faults"
 	"tracemod/internal/obs"
 )
 
@@ -47,6 +59,13 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", emud.DefaultDrainTimeout, "graceful-drain bound on shutdown")
 	traceCache := flag.Int("trace-cache", emud.DefaultStoreCapacity, "trace-store LRU capacity")
 	events := flag.Int("events", 4096, "event-trace ring capacity (0 disables)")
+	maxInflight := flag.Int("max-session-inflight", 0, "per-session in-flight packet cap (0 = unlimited)")
+	maxBytes := flag.Int64("max-inflight-bytes", 0, "farm-wide in-flight byte budget (0 = unlimited)")
+	snapshotPath := flag.String("snapshot", "", "crash-recovery snapshot file (empty disables)")
+	snapshotEvery := flag.Duration("snapshot-interval", emud.DefaultSnapshotInterval, "periodic snapshot cadence")
+	doRecover := flag.Bool("recover", false, "restore sessions from the -snapshot file on startup")
+	enableFaults := flag.Bool("faults", false, "enable the fault-injection control plane (/v1/faults)")
+	faultSeed := flag.Int64("fault-seed", 0, "seed for the fault injector's deterministic streams")
 	flag.Parse()
 
 	reg := obs.NewRegistry()
@@ -54,16 +73,38 @@ func main() {
 	if *events > 0 {
 		tracer = obs.NewRingTracer(*events)
 	}
+	var inj *faults.Injector
+	if *enableFaults {
+		inj = faults.New(faults.Options{Seed: *faultSeed, Metrics: reg})
+	}
 
 	m := emud.NewManager(emud.Options{
-		Shards:       *shards,
-		Granularity:  *granularity,
-		MaxSessions:  *maxSessions,
-		IdleTimeout:  *idleTimeout,
-		DrainTimeout: *drainTimeout,
-		Store:        emud.NewStore(emud.StoreOptions{Capacity: *traceCache, Metrics: reg}),
-		Metrics:      reg,
+		Shards:             *shards,
+		Granularity:        *granularity,
+		MaxSessions:        *maxSessions,
+		IdleTimeout:        *idleTimeout,
+		DrainTimeout:       *drainTimeout,
+		MaxSessionInFlight: *maxInflight,
+		MaxInFlightBytes:   *maxBytes,
+		Store:              emud.NewStore(emud.StoreOptions{Capacity: *traceCache, Metrics: reg, Faults: inj}),
+		Faults:             inj,
+		SnapshotPath:       *snapshotPath,
+		SnapshotInterval:   *snapshotEvery,
+		Metrics:            reg,
 	})
+
+	if *doRecover {
+		if *snapshotPath == "" {
+			fmt.Fprintln(os.Stderr, "emud: -recover requires -snapshot")
+			os.Exit(1)
+		}
+		n, err := m.Recover(*snapshotPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "emud: recovery: %v (restored %d sessions)\n", err, n)
+		} else if n > 0 {
+			fmt.Printf("emud: recovered %d sessions from %s\n", n, *snapshotPath)
+		}
+	}
 
 	srv, err := emud.NewAPI(m, reg, tracer).Serve(*listen)
 	if err != nil {

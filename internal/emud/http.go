@@ -6,16 +6,31 @@
 package emud
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"net"
 	"net/http"
+	"strings"
 	"time"
 
 	"tracemod/internal/core"
+	"tracemod/internal/faults"
 	"tracemod/internal/obs"
 	"tracemod/internal/replay"
+)
+
+// HTTP-hardening defaults for the control-plane server.
+const (
+	// DefaultMaxBodyBytes caps a request body (inline traces included);
+	// larger bodies get 413.
+	DefaultMaxBodyBytes = 8 << 20
+
+	httpReadTimeout  = 30 * time.Second
+	httpWriteTimeout = 60 * time.Second // must exceed the longest ?drain= wait
+	httpIdleTimeout  = 2 * time.Minute
 )
 
 // API serves the control plane for one Manager.
@@ -23,12 +38,19 @@ type API struct {
 	m   *Manager
 	reg *obs.Registry   // may be nil
 	tr  *obs.RingTracer // may be nil
+
+	faultSlow, faultErr *faults.Point // control-plane chaos (nil when no injector)
 }
 
 // NewAPI builds the control plane. reg and tracer may be nil; when reg is
 // non-nil the obs debug surface is mounted alongside the session routes.
 func NewAPI(m *Manager, reg *obs.Registry, tracer *obs.RingTracer) *API {
-	return &API{m: m, reg: reg, tr: tracer}
+	a := &API{m: m, reg: reg, tr: tracer}
+	if inj := m.opts.Faults; inj != nil {
+		a.faultSlow = inj.Point("control.slow")
+		a.faultErr = inj.Point("control.error")
+	}
+	return a
 }
 
 // Mux returns the control-plane routes.
@@ -41,6 +63,9 @@ func (a *API) Mux() *http.ServeMux {
 	mux.HandleFunc("POST /v1/sessions/{id}/start", a.startSession)
 	mux.HandleFunc("POST /v1/sessions/{id}/stop", a.stopSession)
 	mux.HandleFunc("GET /v1/farm", a.farmInfo)
+	mux.HandleFunc("GET /v1/faults", a.getFaults)
+	mux.HandleFunc("POST /v1/faults", a.setFault)
+	mux.HandleFunc("DELETE /v1/faults", a.resetFaults)
 	if a.reg != nil {
 		// The obs debug surface on the same listener: /metrics, /healthz,
 		// /debug/events, /debug/pprof/...
@@ -53,6 +78,132 @@ func (a *API) Mux() *http.ServeMux {
 		})
 	}
 	return mux
+}
+
+// Handler returns the hardened control plane: the Mux routes behind
+// body-size limits, control-plane fault points, and a JSON error
+// envelope (plain-text errors like the mux's own 404/405 become
+// {"error": ..., "status": ...}).
+func (a *API) Handler() http.Handler {
+	return a.envelope(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, DefaultMaxBodyBytes)
+		// The fault-control endpoint is exempt from control-plane fault
+		// injection: arming control.error at rate 1 must not brick the
+		// only switch that can disarm it.
+		if r.URL.Path != "/v1/faults" {
+			a.faultSlow.Stall()
+			if a.faultErr.Fire() {
+				writeErr(w, http.StatusInternalServerError, errors.New("injected control-plane fault"))
+				return
+			}
+		}
+		a.Mux().ServeHTTP(w, r)
+	}))
+}
+
+// envelopeWriter buffers non-JSON error responses so envelope can
+// rewrite them as the control plane's JSON error shape.
+type envelopeWriter struct {
+	http.ResponseWriter
+	status      int
+	wroteHeader bool
+	intercept   bool
+	buf         bytes.Buffer
+}
+
+func (w *envelopeWriter) WriteHeader(code int) {
+	if w.wroteHeader {
+		return
+	}
+	w.wroteHeader = true
+	w.status = code
+	if code >= 400 && !strings.HasPrefix(w.Header().Get("Content-Type"), "application/json") {
+		w.intercept = true
+		return // held back; envelope writes the JSON version
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *envelopeWriter) Write(p []byte) (int, error) {
+	if !w.wroteHeader {
+		w.WriteHeader(http.StatusOK)
+	}
+	if w.intercept {
+		return w.buf.Write(p)
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// envelope makes every error response JSON, including ones produced
+// outside our handlers (ServeMux 404/405, MaxBytesReader's 413).
+func (a *API) envelope(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ew := &envelopeWriter{ResponseWriter: w}
+		next.ServeHTTP(ew, r)
+		if ew.intercept {
+			msg := strings.TrimSpace(ew.buf.String())
+			if msg == "" {
+				msg = http.StatusText(ew.status)
+			}
+			writeErr(w, ew.status, errors.New(msg))
+		}
+	})
+}
+
+// FaultRequest arms one fault point via POST /v1/faults.
+type FaultRequest struct {
+	// Name is the fault point ("store.parse", "wheel.stall", ...; GET
+	// /v1/faults lists the registered menu).
+	Name string `json:"name"`
+	// Rate is the fire probability in [0, 1]; 0 disarms.
+	Rate float64 `json:"rate"`
+	// DelayMS configures stall-type points.
+	DelayMS float64 `json:"delay_ms,omitempty"`
+}
+
+func (a *API) getFaults(w http.ResponseWriter, _ *http.Request) {
+	inj := a.m.opts.Faults
+	if inj == nil {
+		writeErr(w, http.StatusNotFound, errors.New("no fault injector configured"))
+		return
+	}
+	st := inj.Snapshot()
+	if st == nil {
+		st = []faults.State{}
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (a *API) setFault(w http.ResponseWriter, r *http.Request) {
+	inj := a.m.opts.Faults
+	if inj == nil {
+		writeErr(w, http.StatusNotFound, errors.New("no fault injector configured"))
+		return
+	}
+	var req FaultRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, decodeStatus(err), fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.Name == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("fault name is required"))
+		return
+	}
+	inj.Set(req.Name, faults.Config{
+		Rate:  req.Rate,
+		Delay: time.Duration(req.DelayMS * float64(time.Millisecond)),
+	})
+	writeJSON(w, http.StatusOK, inj.Snapshot())
+}
+
+func (a *API) resetFaults(w http.ResponseWriter, _ *http.Request) {
+	inj := a.m.opts.Faults
+	if inj == nil {
+		writeErr(w, http.StatusNotFound, errors.New("no fault injector configured"))
+		return
+	}
+	inj.Reset()
+	w.WriteHeader(http.StatusNoContent)
 }
 
 // muxRoutes lists the obs debug mux's patterns so they can be re-homed
@@ -129,11 +280,14 @@ type SessionInfo struct {
 	RelayAddr string  `json:"relay_addr,omitempty"`
 	IdleSec   float64 `json:"idle_sec"`
 
-	Submitted int64 `json:"submitted"`
-	Delivered int64 `json:"delivered"`
-	Dropped   int64 `json:"dropped"`
-	Rejected  int64 `json:"rejected"`
-	InFlight  int64 `json:"in_flight"`
+	Submitted   int64 `json:"submitted"`
+	Delivered   int64 `json:"delivered"`
+	Dropped     int64 `json:"dropped"`
+	Rejected    int64 `json:"rejected"`
+	Shed        int64 `json:"shed"`
+	InFlight    int64 `json:"in_flight"`
+	Cursor      int64 `json:"cursor"`
+	Quarantined bool  `json:"quarantined,omitempty"`
 }
 
 // FarmInfo summarizes the daemon.
@@ -145,28 +299,35 @@ type FarmInfo struct {
 	TimersPending int64         `json:"timers_pending"`
 	CachedTraces  int           `json:"cached_traces"`
 	IdleTimeout   time.Duration `json:"idle_timeout_ns"`
+	Shed          int64         `json:"shed"`
+	Quarantined   int64         `json:"quarantined"`
+	InFlightBytes int64         `json:"in_flight_bytes"`
+	WheelPanics   int64         `json:"wheel_panics"`
 }
 
 func sessionInfo(s *Session) SessionInfo {
 	cfg := s.Config()
 	st := s.Stats()
 	return SessionInfo{
-		ID:        s.ID,
-		Name:      cfg.Name,
-		State:     s.State().String(),
-		TraceRef:  cfg.TraceRef,
-		Tuples:    len(cfg.Trace),
-		TraceSec:  cfg.Trace.TotalDuration().Seconds(),
-		Loop:      cfg.Loop,
-		TickUS:    cfg.Tick.Microseconds(),
-		Seed:      cfg.Seed,
-		RelayAddr: s.RelayAddr(),
-		IdleSec:   s.IdleFor().Seconds(),
-		Submitted: st.Submitted,
-		Delivered: st.Delivered,
-		Dropped:   st.Dropped,
-		Rejected:  st.Rejected,
-		InFlight:  st.InFlight,
+		ID:          s.ID,
+		Name:        cfg.Name,
+		State:       s.State().String(),
+		TraceRef:    cfg.TraceRef,
+		Tuples:      len(cfg.Trace),
+		TraceSec:    cfg.Trace.TotalDuration().Seconds(),
+		Loop:        cfg.Loop,
+		TickUS:      cfg.Tick.Microseconds(),
+		Seed:        cfg.Seed,
+		RelayAddr:   s.RelayAddr(),
+		IdleSec:     s.IdleFor().Seconds(),
+		Submitted:   st.Submitted,
+		Delivered:   st.Delivered,
+		Dropped:     st.Dropped,
+		Rejected:    st.Rejected,
+		Shed:        st.Shed,
+		InFlight:    st.InFlight,
+		Cursor:      s.Cursor(),
+		Quarantined: s.Quarantined(),
 	}
 }
 
@@ -176,8 +337,24 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// errorEnvelope is the control plane's uniform error shape.
+type errorEnvelope struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
 func writeErr(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+	writeJSON(w, code, errorEnvelope{Error: err.Error(), Status: code})
+}
+
+// decodeStatus maps a JSON decode failure to its status: an oversized
+// body (MaxBytesReader) is 413, everything else 400.
+func decodeStatus(err error) int {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 // resolveTrace turns a request's trace spec into a shared core.Trace.
@@ -226,14 +403,20 @@ func (a *API) resolveTrace(req *SessionRequest) (core.Trace, string, error) {
 		if err := tr.Validate(); err != nil {
 			return nil, "", err
 		}
-		return tr, fmt.Sprintf("inline:%d-tuples", len(tr)), nil
+		// The ref carries a content hash: two different inline traces must
+		// not alias in the snapshot's deduplicated trace table.
+		h := fnv.New64a()
+		for _, t := range req.Inline {
+			fmt.Fprintf(h, "%v|%v|%v|%v|%v;", t.DurationSec, t.LatencyMS, t.VbNSPerByte, t.VrNSPerByte, t.Loss)
+		}
+		return tr, fmt.Sprintf("inline:%d-%016x", len(tr), h.Sum64()), nil
 	}
 }
 
 func (a *API) createSession(w http.ResponseWriter, r *http.Request) {
 	var req SessionRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		writeErr(w, decodeStatus(err), fmt.Errorf("bad request body: %w", err))
 		return
 	}
 	trace, ref, err := a.resolveTrace(&req)
@@ -254,7 +437,11 @@ func (a *API) createSession(w http.ResponseWriter, r *http.Request) {
 		Compensation: core.PerByte(req.CompensationNS),
 	})
 	if err != nil {
-		writeErr(w, http.StatusConflict, err)
+		code := http.StatusConflict
+		if errors.Is(err, ErrOverload) {
+			code = http.StatusTooManyRequests
+		}
+		writeErr(w, code, err)
 		return
 	}
 	if req.Start == nil || *req.Start {
@@ -347,6 +534,10 @@ func (a *API) farmInfo(w http.ResponseWriter, _ *http.Request) {
 		TimersPending: a.m.wheel.Pending(),
 		CachedTraces:  a.m.store.Len(),
 		IdleTimeout:   a.m.opts.IdleTimeout,
+		Shed:          a.m.Shed(),
+		Quarantined:   a.m.Quarantined(),
+		InFlightBytes: a.m.InFlightBytes(),
+		WheelPanics:   a.m.wheel.Panics(),
 	})
 }
 
@@ -357,7 +548,13 @@ func (a *API) Serve(addr string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("emud: control listener: %w", err)
 	}
-	srv := &http.Server{Handler: a.Mux(), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{
+		Handler:           a.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       httpReadTimeout,
+		WriteTimeout:      httpWriteTimeout,
+		IdleTimeout:       httpIdleTimeout,
+	}
 	s := &Server{ln: ln, srv: srv}
 	go func() { _ = srv.Serve(ln) }()
 	return s, nil

@@ -13,20 +13,36 @@
 package emud
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tracemod/internal/emud/wheel"
+	"tracemod/internal/faults"
 	"tracemod/internal/obs"
 )
 
 // Defaults for Options zero values.
 const (
-	DefaultMaxSessions   = 4096
-	DefaultJanitorPeriod = time.Second
-	DefaultDrainTimeout  = 5 * time.Second
+	DefaultMaxSessions      = 4096
+	DefaultJanitorPeriod    = time.Second
+	DefaultDrainTimeout     = 5 * time.Second
+	DefaultSnapshotInterval = 10 * time.Second
 )
+
+// Fault-point names the farm registers up front, so a chaos controller
+// (or /v1/faults) sees the full menu before any point has fired.
+var faultPointNames = []string{
+	"store.parse",   // trace loads fail as if the file were corrupt
+	"store.evict",   // eviction storm: the LRU sheds every cached trace
+	"wheel.stall",   // wheel shards sleep before each dispatch round
+	"relay.attach",  // relay socket setup fails (retried with backoff)
+	"control.slow",  // control-plane handlers stall before responding
+	"control.error", // control-plane handlers fail with HTTP 500
+	"session.panic", // a session delivery callback panics (quarantine path)
+}
 
 // Options parameterizes a Manager.
 type Options struct {
@@ -48,8 +64,29 @@ type Options struct {
 	JanitorPeriod time.Duration
 	// DrainTimeout bounds graceful drains (DefaultDrainTimeout if 0).
 	DrainTimeout time.Duration
+	// MaxSessionInFlight caps one session's in-flight packets; excess
+	// submits are shed with ErrOverload. Zero disables the cap.
+	MaxSessionInFlight int
+	// MaxInFlightBytes bounds aggregate in-flight payload bytes across
+	// the whole farm; submits past the budget are shed. Zero disables.
+	MaxInFlightBytes int64
 	// Store supplies traces; a private store is created when nil.
 	Store *Store
+	// Faults is the chaos injector; its points thread through the wheel,
+	// the store, relay attach, and the control plane. Nil disables every
+	// fault point (the production default).
+	Faults *faults.Injector
+	// Retry is the backoff policy for relay attach and trace-store loads;
+	// the zero value uses the faults package defaults.
+	Retry faults.Backoff
+	// SnapshotPath, when set, makes the farm crash-safe: session specs and
+	// replay cursors are written there periodically and at Close, and
+	// Restore replays them after a crash.
+	SnapshotPath string
+	// SnapshotInterval is the periodic snapshot cadence
+	// (DefaultSnapshotInterval if 0; negative disables the periodic
+	// writer, leaving only the on-close snapshot).
+	SnapshotInterval time.Duration
 	// Metrics, if non-nil, registers the farm's instruments (names under
 	// tracemod_emud_*), including per-session labelled counters.
 	Metrics *obs.Registry
@@ -59,6 +96,8 @@ type Options struct {
 // (every method is nil-safe, mirroring the modulation engine's pattern).
 type instruments struct {
 	created, expired, deleted *obs.Counter
+	shed, quarantined         *obs.Counter
+	snapshots, recovered      *obs.Counter
 	active                    *obs.Gauge
 
 	submitted *obs.CounterVec // by session
@@ -72,7 +111,15 @@ func newInstruments(reg *obs.Registry) *instruments {
 		created: reg.Counter("tracemod_emud_sessions_created_total", "Sessions created over the daemon's lifetime."),
 		expired: reg.Counter("tracemod_emud_sessions_expired_total", "Sessions stopped by idle expiry."),
 		deleted: reg.Counter("tracemod_emud_sessions_deleted_total", "Sessions deleted from the farm."),
-		active:  reg.Gauge("tracemod_emud_sessions_active", "Sessions currently existing (any state)."),
+		shed: reg.Counter("tracemod_emud_packets_shed_total",
+			"Packets refused by admission control (per-session cap or farm byte budget)."),
+		quarantined: reg.Counter("tracemod_emud_sessions_quarantined_total",
+			"Sessions stopped because a callback panicked."),
+		snapshots: reg.Counter("tracemod_emud_snapshots_written_total",
+			"Crash-recovery snapshots written to disk."),
+		recovered: reg.Counter("tracemod_emud_sessions_recovered_total",
+			"Sessions restored from a crash-recovery snapshot."),
+		active: reg.Gauge("tracemod_emud_sessions_active", "Sessions currently existing (any state)."),
 		submitted: reg.CounterVec("tracemod_emud_session_packets_submitted_total",
 			"Packets accepted per session.", "session"),
 		delivered: reg.CounterVec("tracemod_emud_session_packets_delivered_total",
@@ -126,6 +173,30 @@ func (ins *instruments) incDeleted() {
 	}
 }
 
+func (ins *instruments) shedOne(*Session) {
+	if ins != nil {
+		ins.shed.Inc()
+	}
+}
+
+func (ins *instruments) incQuarantined() {
+	if ins != nil {
+		ins.quarantined.Inc()
+	}
+}
+
+func (ins *instruments) incSnapshots() {
+	if ins != nil {
+		ins.snapshots.Inc()
+	}
+}
+
+func (ins *instruments) incRecovered() {
+	if ins != nil {
+		ins.recovered.Inc()
+	}
+}
+
 func (ins *instruments) setActive(n int) {
 	if ins != nil {
 		ins.active.Set(int64(n))
@@ -153,11 +224,26 @@ type Manager struct {
 	seq      int64
 	closed   bool
 
-	janitorQuit chan struct{}
-	wg          sync.WaitGroup
+	// Admission control and resilience accounting.
+	inflightBytes    atomic.Int64
+	shedTotal        atomic.Int64
+	quarantinedTotal atomic.Int64
+
+	faultRelayAttach  *faults.Point
+	faultSessionPanic *faults.Point
+	relayRetry        faults.Backoff
+
+	// quarantineCh feeds sessions whose callbacks panicked to a dedicated
+	// goroutine that stops them — Stop must never run on the panicking
+	// wheel shard itself (it would deadlock on the session's own barrier).
+	quarantineCh chan *Session
+
+	quit chan struct{}
+	wg   sync.WaitGroup
 }
 
-// NewManager starts a farm (wheel shards and janitor included).
+// NewManager starts a farm (wheel shards, janitor, quarantine drainer,
+// and — when SnapshotPath is set — the periodic snapshot writer).
 func NewManager(o Options) *Manager {
 	if o.MaxSessions <= 0 {
 		o.MaxSessions = DefaultMaxSessions
@@ -168,6 +254,9 @@ func NewManager(o Options) *Manager {
 	if o.DrainTimeout <= 0 {
 		o.DrainTimeout = DefaultDrainTimeout
 	}
+	if o.SnapshotInterval == 0 {
+		o.SnapshotInterval = DefaultSnapshotInterval
+	}
 	gran := o.Granularity
 	if gran == 0 {
 		gran = wheel.DefaultGranularity
@@ -176,24 +265,105 @@ func NewManager(o Options) *Manager {
 		gran = 0
 	}
 	m := &Manager{
-		opts:        o,
-		wheel:       wheel.New(wheel.Options{Shards: o.Shards, Granularity: gran, Metrics: o.Metrics}),
-		store:       o.Store,
-		sessions:    map[string]*Session{},
-		janitorQuit: make(chan struct{}),
+		opts:         o,
+		store:        o.Store,
+		sessions:     map[string]*Session{},
+		quarantineCh: make(chan *Session, 64),
+		quit:         make(chan struct{}),
 	}
+	m.wheel = wheel.New(wheel.Options{
+		Shards:      o.Shards,
+		Granularity: gran,
+		Metrics:     o.Metrics,
+		Faults:      o.Faults,
+		OnPanic:     func(owner *wheel.Timers, v any) { m.quarantine(m.sessionForTimers(owner), v) },
+	})
+	if o.Faults != nil {
+		for _, name := range faultPointNames {
+			o.Faults.Point(name)
+		}
+		m.faultRelayAttach = o.Faults.Point("relay.attach")
+		m.faultSessionPanic = o.Faults.Point("session.panic")
+	}
+	m.relayRetry = o.Retry
 	if m.store == nil {
-		m.store = NewStore(StoreOptions{Metrics: o.Metrics})
+		m.store = NewStore(StoreOptions{Metrics: o.Metrics, Faults: o.Faults, Retry: o.Retry})
 	}
 	if o.Metrics != nil {
 		m.ins = newInstruments(o.Metrics)
 	}
+	m.wg.Add(1)
+	go m.quarantineLoop()
 	if o.IdleTimeout > 0 {
 		m.wg.Add(1)
 		go m.janitor()
 	}
+	if o.SnapshotPath != "" && o.SnapshotInterval > 0 {
+		m.wg.Add(1)
+		go m.snapshotLoop()
+	}
 	return m
 }
+
+// quarantine marks a session whose callback panicked and hands it to the
+// drainer goroutine for a full Stop. Safe to call from wheel callbacks:
+// it never blocks and never takes the session's timer barrier.
+func (m *Manager) quarantine(s *Session, v any) {
+	if s == nil || !s.quarantined.CompareAndSwap(false, true) {
+		return
+	}
+	m.quarantinedTotal.Add(1)
+	m.ins.incQuarantined()
+	select {
+	case m.quarantineCh <- s:
+	default:
+		// Channel full (a panic storm): fall back to a one-off goroutine
+		// rather than blocking a wheel shard.
+		go s.Stop()
+	}
+}
+
+func (m *Manager) quarantineLoop() {
+	defer m.wg.Done()
+	for {
+		select {
+		case s := <-m.quarantineCh:
+			s.Stop()
+		case <-m.quit:
+			return
+		}
+	}
+}
+
+// sessionForTimers maps a wheel handle back to its session (for panics
+// surfacing through the wheel rather than the session's own recovery).
+func (m *Manager) sessionForTimers(t *wheel.Timers) *Session {
+	if t == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, s := range m.sessions {
+		s.mu.Lock()
+		match := s.timers == t
+		s.mu.Unlock()
+		if match {
+			return s
+		}
+	}
+	return nil
+}
+
+// Quarantined reports how many sessions have been quarantined for
+// panicking callbacks over the farm's lifetime.
+func (m *Manager) Quarantined() int64 { return m.quarantinedTotal.Load() }
+
+// Shed reports how many packets admission control has refused.
+func (m *Manager) Shed() int64 { return m.shedTotal.Load() }
+
+// InFlightBytes reports the farm-wide in-flight payload byte total
+// currently charged against Options.MaxInFlightBytes.
+func (m *Manager) InFlightBytes() int64 { return m.inflightBytes.Load() }
 
 // Wheel exposes the farm's shared timer wheel.
 func (m *Manager) Wheel() *wheel.Wheel { return m.wheel }
@@ -213,7 +383,7 @@ func (m *Manager) Create(cfg SessionConfig) (*Session, error) {
 		return nil, fmt.Errorf("emud: manager closed")
 	}
 	if len(m.sessions) >= m.opts.MaxSessions {
-		return nil, fmt.Errorf("emud: session limit reached (%d)", m.opts.MaxSessions)
+		return nil, fmt.Errorf("emud: session limit reached (%d): %w", m.opts.MaxSessions, ErrOverload)
 	}
 	m.seq++
 	s := &Session{
@@ -294,7 +464,7 @@ func (m *Manager) janitor() {
 		select {
 		case <-tick.C:
 			m.expireIdle()
-		case <-m.janitorQuit:
+		case <-m.quit:
 			return
 		}
 	}
@@ -323,8 +493,10 @@ func (m *Manager) expireIdle() {
 	}
 }
 
-// Close drains every session (bounded by DrainTimeout, in parallel),
-// stops the janitor, and shuts the wheel down.
+// Close drains every session in parallel under one shared DrainTimeout
+// deadline, stops the helper goroutines, and shuts the wheel down. When
+// SnapshotPath is set, a final snapshot is written before the drain so a
+// crash-during-shutdown still has a recovery point.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	if m.closed {
@@ -339,18 +511,26 @@ func (m *Manager) Close() {
 	m.sessions = map[string]*Session{}
 	m.mu.Unlock()
 
-	if m.opts.IdleTimeout > 0 {
-		close(m.janitorQuit)
+	if m.opts.SnapshotPath != "" {
+		_ = m.writeSnapshotOf(sessions)
 	}
+
+	// One context bounds every drain: each DrainContext returns by the
+	// shared deadline (Stop after expiry is fast — the timer barrier only
+	// waits out callbacks already running), so the WaitGroup below cannot
+	// hang on a slow tenant.
+	ctx, cancel := context.WithTimeout(context.Background(), m.opts.DrainTimeout)
+	defer cancel()
 	var wg sync.WaitGroup
 	for _, s := range sessions {
 		wg.Add(1)
 		go func(s *Session) {
 			defer wg.Done()
-			s.Drain(m.opts.DrainTimeout)
+			s.DrainContext(ctx)
 		}(s)
 	}
 	wg.Wait()
+	close(m.quit)
 	m.wg.Wait()
 	m.wheel.Close()
 }

@@ -1,0 +1,268 @@
+package emud
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tracemod/internal/core"
+	"tracemod/internal/faults"
+	"tracemod/internal/obs"
+	"tracemod/internal/replay"
+	"tracemod/internal/simnet"
+)
+
+func TestErrOverloadTyped(t *testing.T) {
+	m := newTestManager(t, Options{MaxSessions: 1})
+	startSession(t, m, testTrace())
+	_, err := m.Create(SessionConfig{Trace: testTrace()})
+	if !errors.Is(err, ErrOverload) {
+		t.Fatalf("session-limit error = %v, want ErrOverload", err)
+	}
+}
+
+func TestAdmissionPerSessionCap(t *testing.T) {
+	m := newTestManager(t, Options{MaxSessionInFlight: 4})
+	s := startSession(t, m, testTrace())
+	accepted, shed := 0, 0
+	for i := 0; i < 20; i++ {
+		if s.Submit(simnet.Outbound, 100, func() {}) {
+			accepted++
+		} else {
+			shed++
+		}
+	}
+	if accepted != 4 || shed != 16 {
+		t.Fatalf("accepted=%d shed=%d, want 4/16", accepted, shed)
+	}
+	st := s.Stats()
+	if st.Shed != 16 || st.Rejected != 0 {
+		t.Fatalf("stats shed=%d rejected=%d, want 16/0 (overload is not a state rejection)", st.Shed, st.Rejected)
+	}
+	if m.Shed() != 16 {
+		t.Fatalf("farm shed = %d, want 16", m.Shed())
+	}
+	// The cap recovers as packets deliver.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().InFlight > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("in-flight packets never drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !s.Submit(simnet.Outbound, 100, func() {}) {
+		t.Fatal("submit after drain-down still shed")
+	}
+}
+
+func TestAdmissionFarmByteBudget(t *testing.T) {
+	m := newTestManager(t, Options{MaxInFlightBytes: 1000})
+	a := startSession(t, m, testTrace())
+	b := startSession(t, m, testTrace())
+	if !a.Submit(simnet.Outbound, 600, func() {}) {
+		t.Fatal("first 600B packet shed under a 1000B budget")
+	}
+	if b.Submit(simnet.Outbound, 600, func() {}) {
+		t.Fatal("second 600B packet admitted past the farm budget")
+	}
+	if b.Stats().Shed != 1 {
+		t.Fatalf("b shed = %d, want 1", b.Stats().Shed)
+	}
+	// Delivery refunds the budget.
+	deadline := time.Now().Add(5 * time.Second)
+	for m.InFlightBytes() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("in-flight bytes stuck at %d", m.InFlightBytes())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !b.Submit(simnet.Outbound, 600, func() {}) {
+		t.Fatal("budget did not recover after delivery")
+	}
+}
+
+func TestStopRefundsInFlightBytes(t *testing.T) {
+	m := newTestManager(t, Options{MaxInFlightBytes: 1000})
+	// An hour of fixed delay: the packet will still be in flight when the
+	// session is stopped, so its timers die without ever delivering.
+	slow := replay.Constant(core.DelayParams{F: time.Hour}, 0, time.Hour, time.Hour)
+	s := startSession(t, m, slow)
+	if !s.Submit(simnet.Outbound, 600, func() {}) {
+		t.Fatal("600B packet shed under a 1000B budget")
+	}
+	if got := m.InFlightBytes(); got != 600 {
+		t.Fatalf("in-flight bytes = %d, want 600", got)
+	}
+	s.Stop()
+	if got := m.InFlightBytes(); got != 0 {
+		t.Fatalf("in-flight bytes = %d after Stop, want 0 (stranded charge)", got)
+	}
+	// The freed budget is usable by the rest of the farm.
+	other := startSession(t, m, testTrace())
+	if !other.Submit(simnet.Outbound, 600, func() {}) {
+		t.Fatal("budget not reusable after a session stopped mid-flight")
+	}
+}
+
+func TestPanickingDeliveryQuarantinesSession(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := newTestManager(t, Options{Metrics: reg})
+	bad := startSession(t, m, testTrace())
+	good := startSession(t, m, testTrace())
+
+	if !bad.Submit(simnet.Outbound, 100, func() { panic("tenant bug") }) {
+		t.Fatal("submit refused")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !bad.Quarantined() || bad.State() != StateStopped {
+		if time.Now().After(deadline) {
+			t.Fatalf("session not quarantined: quarantined=%v state=%v", bad.Quarantined(), bad.State())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if m.Quarantined() != 1 {
+		t.Fatalf("farm quarantined = %d, want 1", m.Quarantined())
+	}
+
+	// The rest of the farm is unharmed.
+	delivered := make(chan struct{})
+	var once sync.Once
+	if !good.Submit(simnet.Outbound, 100, func() { once.Do(func() { close(delivered) }) }) {
+		t.Fatal("good session refused a packet")
+	}
+	select {
+	case <-delivered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("good session stopped delivering after another session panicked")
+	}
+}
+
+func TestPanickingDropCallbackQuarantines(t *testing.T) {
+	m := newTestManager(t, Options{})
+	s := startSession(t, m, lossyTrace())
+	// With ~50% loss, some drop callback panics quickly.
+	for i := 0; i < 64 && !s.Quarantined(); i++ {
+		s.Submit(simnet.Outbound, 100, func() {}) // deliver: fine
+
+		s.SubmitWithDrop(simnet.Outbound, 100, func() {}, func() { panic("drop handler bug") })
+		time.Sleep(2 * time.Millisecond)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !s.Quarantined() {
+		if time.Now().After(deadline) {
+			t.Fatal("drop-callback panic never quarantined the session")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The farm (and its wheel shards) survive: a fresh session works.
+	fresh := startSession(t, m, testTrace())
+	ok := make(chan struct{})
+	var once sync.Once
+	fresh.Submit(simnet.Outbound, 100, func() { once.Do(func() { close(ok) }) })
+	select {
+	case <-ok:
+	case <-time.After(5 * time.Second):
+		t.Fatal("farm broken after drop-callback panic")
+	}
+}
+
+func TestInjectedSessionPanicPoint(t *testing.T) {
+	inj := faults.New(faults.Options{Seed: 3})
+	inj.Set("session.panic", faults.Config{Rate: 1})
+	m := newTestManager(t, Options{Faults: inj})
+	s := startSession(t, m, testTrace())
+	s.Submit(simnet.Outbound, 100, func() {})
+	deadline := time.Now().Add(5 * time.Second)
+	for !s.Quarantined() {
+		if time.Now().After(deadline) {
+			t.Fatal("session.panic point did not quarantine the session")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestRelayAttachRetriesInjectedFaults(t *testing.T) {
+	inj := faults.New(faults.Options{Seed: 5})
+	// ~50% of attach attempts fail; 3 backoff attempts make success
+	// overwhelmingly likely, and the loop below retries the remainder.
+	inj.Set("relay.attach", faults.Config{Rate: 0.5})
+	m := newTestManager(t, Options{
+		Faults: inj,
+		Retry:  faults.Backoff{Attempts: 5, Base: time.Millisecond, Max: 2 * time.Millisecond},
+	})
+	s := startSession(t, m, testTrace())
+	addr, err := s.AttachRelay("127.0.0.1:0", "127.0.0.1:9")
+	if err != nil {
+		t.Fatalf("attach with retries failed: %v", err)
+	}
+	if addr == "" {
+		t.Fatal("no relay address")
+	}
+	if got := inj.Point("relay.attach").Fired(); got == 0 {
+		t.Skip("fault never fired at rate 0.5 — seed surprise")
+	}
+}
+
+func TestDrainFastPathLeaksNothing(t *testing.T) {
+	m := newTestManager(t, Options{})
+	// Many fast-path drains (no in-flight packets): no goroutine growth.
+	runtime.GC()
+	before := runtime.NumGoroutine()
+	for i := 0; i < 100; i++ {
+		s := startSession(t, m, testTrace())
+		if !s.Drain(time.Hour) { // generous timeout must not park anything
+			t.Fatal("empty session failed to drain cleanly")
+		}
+		m.Delete(s.ID)
+	}
+	runtime.GC()
+	time.Sleep(50 * time.Millisecond)
+	after := runtime.NumGoroutine()
+	if after > before+5 {
+		t.Fatalf("goroutines grew %d -> %d across 100 fast drains", before, after)
+	}
+}
+
+func TestManagerCloseBoundedAndLeakFree(t *testing.T) {
+	runtime.GC()
+	before := runtime.NumGoroutine()
+	m := NewManager(Options{
+		Granularity:  time.Millisecond,
+		IdleTimeout:  time.Minute,
+		DrainTimeout: 200 * time.Millisecond,
+		SnapshotPath: t.TempDir() + "/snap.json",
+	})
+	for i := 0; i < 8; i++ {
+		s, err := m.Create(SessionConfig{Trace: testTrace(), Loop: true, Tick: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		// Keep a packet in flight so Close's drain has real work.
+		s.Submit(simnet.Outbound, 100, func() {})
+	}
+	start := time.Now()
+	m.Close()
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("Close took %v with a 200ms drain budget", el)
+	}
+	runtime.GC()
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			stacks := string(buf[:n])
+			if strings.Contains(stacks, "emud") {
+				t.Fatalf("goroutines leaked after Close: %d -> %d\n%s", before, runtime.NumGoroutine(), stacks)
+			}
+			break // unrelated runtime goroutines; don't flake
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

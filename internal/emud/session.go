@@ -8,7 +8,9 @@
 package emud
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -19,6 +21,14 @@ import (
 	"tracemod/internal/livewire"
 	"tracemod/internal/modulation"
 	"tracemod/internal/simnet"
+)
+
+// Typed rejection errors. ErrOverload marks admission-control sheds (the
+// farm or session is at capacity — back off and retry); ErrNotRunning
+// marks packets offered to a session outside StateRunning.
+var (
+	ErrOverload   = errors.New("emud: overloaded")
+	ErrNotRunning = errors.New("emud: session not running")
 )
 
 // State is a session's lifecycle position.
@@ -66,6 +76,10 @@ type SessionConfig struct {
 	// InboundExtra and Compensation mirror modulation.Config.
 	InboundExtra core.PerByte
 	Compensation core.PerByte
+	// SkipTuples fast-forwards the replay cursor past this many tuples at
+	// Start — crash recovery resumes a restored session where the lost
+	// daemon's snapshot left it.
+	SkipTuples int64
 }
 
 // SessionStats is a point-in-time snapshot of a session's activity.
@@ -74,6 +88,7 @@ type SessionStats struct {
 	Delivered int64 // packets that completed delivery
 	Dropped   int64 // packets lost to the drop lottery
 	Rejected  int64 // packets refused (not running)
+	Shed      int64 // packets refused by admission control (overload)
 	InFlight  int64 // accepted, not yet delivered or dropped
 }
 
@@ -89,11 +104,17 @@ type Session struct {
 	timers *wheel.Timers
 	relay  *livewire.Relay
 
+	// relayListen/relayTarget remember the attach arguments so a crash
+	// snapshot can re-attach the relay on recovery.
+	relayListen, relayTarget string
+
 	lastActive atomic.Int64 // wheel-time nanoseconds of last packet or transition
 
-	submitted, delivered, dropped, rejected atomic.Int64
-	inflight                                atomic.Int64
-	drained                                 chan struct{} // closed when draining hits zero in flight
+	submitted, delivered, dropped, rejected, shed atomic.Int64
+	inflight                                      atomic.Int64
+	chargedBytes                                  atomic.Int64  // this session's share of the farm byte budget
+	drained                                       chan struct{} // closed when draining hits zero in flight
+	quarantined                                   atomic.Bool   // a callback panicked; session is being stopped
 
 	m *Manager // back-pointer for the wheel and per-session metrics
 }
@@ -111,8 +132,34 @@ func (s *Session) Stats() SessionStats {
 		Delivered: s.delivered.Load(),
 		Dropped:   s.dropped.Load(),
 		Rejected:  s.rejected.Load(),
+		Shed:      s.shed.Load(),
 		InFlight:  s.inflight.Load(),
 	}
+}
+
+// Quarantined reports whether the session was stopped because one of its
+// callbacks panicked.
+func (s *Session) Quarantined() bool { return s.quarantined.Load() }
+
+// Cursor reports the session's replay position as a count of tuples
+// consumed since the trace's beginning (including any SkipTuples applied
+// at Start). It is the value a crash snapshot records and a recovered
+// session resumes from.
+func (s *Session) Cursor() int64 {
+	s.mu.Lock()
+	eng := s.engine
+	s.mu.Unlock()
+	if eng == nil {
+		return s.cfg.SkipTuples
+	}
+	n := eng.Stats().Tuples
+	if n > 0 {
+		// The engine's count includes the currently-active tuple, which is
+		// not yet fully consumed — a restore must replay from it, not past
+		// it.
+		n--
+	}
+	return s.cfg.SkipTuples + n
 }
 
 // Engine exposes the underlying engine (nil before Start). Intended for
@@ -156,8 +203,9 @@ func (s *Session) Start() error {
 		return errors.New("emud: session already stopped")
 	}
 	s.timers = s.m.wheel.Timers()
-	s.engine = modulation.NewEngine(s.timers,
-		&modulation.SliceSource{Trace: s.cfg.Trace, Loop: s.cfg.Loop},
+	src := &modulation.SliceSource{Trace: s.cfg.Trace, Loop: s.cfg.Loop}
+	src.Skip(s.cfg.SkipTuples)
+	s.engine = modulation.NewEngine(s.timers, src,
 		modulation.Config{
 			Tick:         s.cfg.Tick,
 			InboundExtra: s.cfg.InboundExtra,
@@ -172,22 +220,58 @@ func (s *Session) Start() error {
 
 // AttachRelay fronts the running session with a livewire UDP relay:
 // client traffic is the outbound direction, target traffic inbound. The
-// relay lives until the session stops.
+// relay lives until the session stops. Transient bind failures (a
+// lingering socket from a just-stopped session, an injected fault) are
+// retried with backoff; the session lock is not held across the retries.
 func (s *Session) AttachRelay(listenAddr, targetAddr string) (addr string, err error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.State() != StateRunning {
+		s.mu.Unlock()
 		return "", errors.New("emud: relay requires a running session")
 	}
 	if s.relay != nil {
+		s.mu.Unlock()
 		return "", errors.New("emud: session already has a relay")
 	}
-	r, err := livewire.NewRelayWithSubmitter(listenAddr, targetAddr, s)
+	s.mu.Unlock()
+
+	var r *livewire.Relay
+	err = s.m.relayRetry.Do(func() error {
+		if ferr := s.m.faultRelayAttach.Err(); ferr != nil {
+			return ferr
+		}
+		var derr error
+		r, derr = livewire.NewRelayWithSubmitter(listenAddr, targetAddr, s)
+		return derr
+	})
 	if err != nil {
-		return "", err
+		return "", fmt.Errorf("emud: relay attach: %w", err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.State() != StateRunning || s.relay != nil {
+		// Lost a race with Stop or a concurrent attach while unlocked.
+		r.Close()
+		if s.relay != nil {
+			return "", errors.New("emud: session already has a relay")
+		}
+		return "", errors.New("emud: relay requires a running session")
 	}
 	s.relay = r
+	s.relayListen, s.relayTarget = listenAddr, targetAddr
 	return r.Addr().String(), nil
+}
+
+// RelaySpecArgs returns the listen/target arguments the relay was
+// attached with (empty when no relay is attached), for crash snapshots.
+func (s *Session) RelaySpecArgs() (listen, target string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.relay == nil {
+		return "", ""
+	}
+	return s.relayListen, s.relayTarget
 }
 
 // Submit runs one packet through the session's engine, with session
@@ -217,24 +301,68 @@ func (s *Session) submit(dir simnet.Direction, size int, deliver, drop func()) b
 		s.reject(drop)
 		return false
 	}
+
+	// Admission control: a per-session in-flight cap bounds one tenant's
+	// queue, a farm-wide in-flight byte budget bounds aggregate memory.
+	// Both checks add first and undo on overflow, so concurrent submits
+	// can't slip past the cap together.
+	if lim := s.m.opts.MaxSessionInFlight; lim > 0 {
+		if s.inflight.Add(1) > int64(lim) {
+			s.inflight.Add(-1)
+			s.shedOne(drop)
+			return false
+		}
+	} else {
+		s.inflight.Add(1)
+	}
+	charged := int64(0)
+	if budget := s.m.opts.MaxInFlightBytes; budget > 0 {
+		charged = int64(size)
+		if s.m.inflightBytes.Add(charged) > budget {
+			s.m.inflightBytes.Add(-charged)
+			s.inflight.Add(-1)
+			s.shedOne(drop)
+			return false
+		}
+		s.chargedBytes.Add(charged)
+	}
+
 	s.touch()
 	s.submitted.Add(1)
-	s.inflight.Add(1)
 	s.m.ins.submit(s)
-	eng.SubmitWithDrop(dir, size, func() {
+	eng.SubmitWithDrop(dir, size, s.protect(func() {
+		if s.m.faultSessionPanic.Fire() {
+			panic("faults: injected session.panic")
+		}
 		s.delivered.Add(1)
 		s.m.ins.deliver(s)
-		s.finishOne()
+		s.finishOne(charged)
 		deliver()
-	}, func() {
+	}), s.protect(func() {
 		s.dropped.Add(1)
 		s.m.ins.drop(s)
-		s.finishOne()
+		s.finishOne(charged)
 		if drop != nil {
 			drop()
 		}
-	})
+	}))
 	return true
+}
+
+// protect wraps a delivery/drop callback so a panic inside it (tenant
+// callback bug, injected fault) quarantines this session instead of
+// unwinding the wheel shard. The wheel's own recovery would also catch
+// it, but catching here attributes the panic to the session and keeps
+// the in-flight accounting consistent.
+func (s *Session) protect(fn func()) func() {
+	return func() {
+		defer func() {
+			if v := recover(); v != nil {
+				s.m.quarantine(s, v)
+			}
+		}()
+		fn()
+	}
 }
 
 func (s *Session) reject(drop func()) {
@@ -244,8 +372,23 @@ func (s *Session) reject(drop func()) {
 	}
 }
 
-// finishOne retires one in-flight packet and signals a waiting drain.
-func (s *Session) finishOne() {
+// shedOne records one admission-control rejection.
+func (s *Session) shedOne(drop func()) {
+	s.shed.Add(1)
+	s.m.shedTotal.Add(1)
+	s.m.ins.shedOne(s)
+	if drop != nil {
+		drop()
+	}
+}
+
+// finishOne retires one in-flight packet (refunding charged admission
+// bytes) and signals a waiting drain.
+func (s *Session) finishOne(charged int64) {
+	if charged > 0 {
+		s.m.inflightBytes.Add(-charged)
+		s.chargedBytes.Add(-charged)
+	}
 	if s.inflight.Add(-1) == 0 && s.State() == StateDraining {
 		s.mu.Lock()
 		if s.drained != nil {
@@ -263,6 +406,15 @@ func (s *Session) finishOne() {
 // in-flight deliveries complete, for at most timeout, then the session
 // stops. Returns true when the drain emptied before the deadline.
 func (s *Session) Drain(timeout time.Duration) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return s.DrainContext(ctx)
+}
+
+// DrainContext is Drain bounded by a context instead of a bare timeout,
+// so a caller quiescing many sessions (Manager.Close) can share one
+// deadline across all of them.
+func (s *Session) DrainContext(ctx context.Context) bool {
 	s.mu.Lock()
 	if st := s.State(); st == StateStopped || st == StateDraining {
 		s.mu.Unlock()
@@ -284,7 +436,7 @@ func (s *Session) Drain(timeout time.Duration) bool {
 		select {
 		case <-ch:
 			clean = true
-		case <-time.After(timeout):
+		case <-ctx.Done():
 		}
 	}
 	s.Stop()
@@ -314,6 +466,15 @@ func (s *Session) Stop() {
 	}
 	if timers != nil {
 		timers.Stop()
+	}
+	// The timer barrier above guarantees no delivery/drop callback of this
+	// session is running or will ever run, so any bytes still charged to
+	// the session belong to packets that will never retire — refund them,
+	// or a stopped (e.g. quarantined) session would permanently consume
+	// the farm's admission budget. A submit racing Stop can still strand
+	// its single packet's charge; that window is one packet wide.
+	if rem := s.chargedBytes.Swap(0); rem > 0 {
+		s.m.inflightBytes.Add(-rem)
 	}
 	s.touch()
 	s.m.ins.sessionState(s)

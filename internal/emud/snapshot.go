@@ -1,0 +1,311 @@
+// Crash-safe session snapshots. The farm periodically serializes every
+// live session's spec and replay cursor to one JSON file (atomically:
+// tmp + rename), and writes a final snapshot at Close before draining.
+// After a crash — kill -9, OOM, power loss — `emud -recover` loads the
+// file and Restore rebuilds each non-stopped session under its original
+// ID, fast-forwarding its trace cursor to where the lost daemon left it
+// and best-effort re-attaching relays.
+//
+// Snapshots are self-contained: traces are embedded (deduplicated by
+// ref), so recovery does not depend on the original trace files still
+// existing or parsing.
+package emud
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"tracemod/internal/core"
+)
+
+// SessionSnapshot is one session's durable state.
+type SessionSnapshot struct {
+	ID       string `json:"id"`
+	Name     string `json:"name,omitempty"`
+	TraceRef string `json:"trace_ref"`
+	Loop     bool   `json:"loop"`
+	// TickUS mirrors SessionConfig.Tick in microseconds (negative = exact).
+	TickUS         int64   `json:"tick_us"`
+	Seed           int64   `json:"seed"`
+	InboundExtraNS float64 `json:"inbound_extra_ns_per_byte,omitempty"`
+	CompensationNS float64 `json:"compensation_ns_per_byte,omitempty"`
+	// Running records whether the session should be started on restore.
+	Running bool `json:"running"`
+	// Cursor is the replay position in tuples consumed since the trace's
+	// beginning; restore passes it as SkipTuples.
+	Cursor int64 `json:"cursor"`
+	// RelayListen/RelayTarget re-attach the livewire relay on restore
+	// (best-effort: the port may be taken by another process).
+	RelayListen string `json:"relay_listen,omitempty"`
+	RelayTarget string `json:"relay_target,omitempty"`
+}
+
+// FarmSnapshot is the whole farm's durable state.
+type FarmSnapshot struct {
+	TakenUnixNano int64 `json:"taken_unix_nano"`
+	// Seq preserves the ID counter so post-recovery creates don't collide
+	// with restored IDs.
+	Seq int64 `json:"seq"`
+	// Traces embeds every referenced trace, deduplicated by ref.
+	Traces   map[string][]TupleJSON `json:"traces"`
+	Sessions []SessionSnapshot      `json:"sessions"`
+}
+
+func tupleToJSON(t core.Tuple) TupleJSON {
+	return TupleJSON{
+		DurationSec: t.D.Seconds(),
+		LatencyMS:   float64(t.F) / float64(time.Millisecond),
+		VbNSPerByte: float64(t.Vb),
+		VrNSPerByte: float64(t.Vr),
+		Loss:        t.L,
+	}
+}
+
+func tupleFromJSON(t TupleJSON) core.Tuple {
+	return core.Tuple{
+		D: time.Duration(t.DurationSec * float64(time.Second)),
+		DelayParams: core.DelayParams{
+			F:  time.Duration(t.LatencyMS * float64(time.Millisecond)),
+			Vb: core.PerByte(t.VbNSPerByte),
+			Vr: core.PerByte(t.VrNSPerByte),
+		},
+		L: t.Loss,
+	}
+}
+
+// Snapshot captures the farm's current durable state. Stopped sessions
+// are omitted — they have nothing to recover.
+func (m *Manager) Snapshot() *FarmSnapshot {
+	m.mu.Lock()
+	seq := m.seq
+	sessions := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		sessions = append(sessions, s)
+	}
+	m.mu.Unlock()
+	return snapshotOf(sessions, seq)
+}
+
+func snapshotOf(sessions []*Session, seq int64) *FarmSnapshot {
+	snap := &FarmSnapshot{
+		TakenUnixNano: time.Now().UnixNano(),
+		Seq:           seq,
+		Traces:        map[string][]TupleJSON{},
+	}
+	for _, s := range sessions {
+		st := s.State()
+		if st == StateStopped || st == StateDraining {
+			continue
+		}
+		cfg := s.Config()
+		listen, target := s.RelaySpecArgs()
+		ss := SessionSnapshot{
+			ID:             s.ID,
+			Name:           cfg.Name,
+			TraceRef:       cfg.TraceRef,
+			Loop:           cfg.Loop,
+			TickUS:         cfg.Tick.Microseconds(),
+			Seed:           cfg.Seed,
+			InboundExtraNS: float64(cfg.InboundExtra),
+			CompensationNS: float64(cfg.Compensation),
+			Running:        st == StateRunning,
+			Cursor:         s.Cursor(),
+			RelayListen:    listen,
+			RelayTarget:    target,
+		}
+		if _, ok := snap.Traces[cfg.TraceRef]; !ok {
+			tuples := make([]TupleJSON, len(cfg.Trace))
+			for i, t := range cfg.Trace {
+				tuples[i] = tupleToJSON(t)
+			}
+			snap.Traces[cfg.TraceRef] = tuples
+		}
+		snap.Sessions = append(snap.Sessions, ss)
+	}
+	return snap
+}
+
+// WriteSnapshot writes the farm's snapshot to Options.SnapshotPath
+// atomically (tmp file + rename), so a crash mid-write leaves the
+// previous snapshot intact.
+func (m *Manager) WriteSnapshot() error {
+	m.mu.Lock()
+	sessions := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		sessions = append(sessions, s)
+	}
+	m.mu.Unlock()
+	return m.writeSnapshotOf(sessions)
+}
+
+// writeSnapshotOf serializes the given sessions (Close passes the list
+// it already pulled out of the map before clearing it).
+func (m *Manager) writeSnapshotOf(sessions []*Session) error {
+	if m.opts.SnapshotPath == "" {
+		return fmt.Errorf("emud: no snapshot path configured")
+	}
+	m.mu.Lock()
+	seq := m.seq
+	m.mu.Unlock()
+	snap := snapshotOf(sessions, seq)
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return fmt.Errorf("emud: marshaling snapshot: %w", err)
+	}
+	tmp := m.opts.SnapshotPath + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("emud: writing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, m.opts.SnapshotPath); err != nil {
+		return fmt.Errorf("emud: publishing snapshot: %w", err)
+	}
+	m.ins.incSnapshots()
+	return nil
+}
+
+// snapshotLoop writes a snapshot every SnapshotInterval until Close.
+func (m *Manager) snapshotLoop() {
+	defer m.wg.Done()
+	tick := time.NewTicker(m.opts.SnapshotInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			_ = m.WriteSnapshot()
+		case <-m.quit:
+			return
+		}
+	}
+}
+
+// LoadSnapshot reads a snapshot file written by WriteSnapshot.
+func LoadSnapshot(path string) (*FarmSnapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap FarmSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("emud: parsing snapshot %s: %w", path, err)
+	}
+	return &snap, nil
+}
+
+// Restore rebuilds every snapshotted session in this (fresh) farm under
+// its original ID: running sessions are restarted with their replay
+// cursor fast-forwarded to the snapshot position, and relays re-attach
+// best-effort. It returns the number of sessions restored; per-session
+// failures (a trace that no longer validates, a taken relay port) skip
+// that session rather than aborting the rest.
+func (m *Manager) Restore(snap *FarmSnapshot) (int, error) {
+	if snap == nil {
+		return 0, fmt.Errorf("emud: nil snapshot")
+	}
+	traces := make(map[string]core.Trace, len(snap.Traces))
+	for ref, tuples := range snap.Traces {
+		tr := make(core.Trace, len(tuples))
+		for i, t := range tuples {
+			tr[i] = tupleFromJSON(t)
+		}
+		traces[ref] = tr
+	}
+	restored := 0
+	var firstErr error
+	for _, ss := range snap.Sessions {
+		trace, ok := traces[ss.TraceRef]
+		if !ok {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("emud: snapshot session %s references missing trace %q", ss.ID, ss.TraceRef)
+			}
+			continue
+		}
+		cursor := ss.Cursor
+		if !ss.Loop && cursor > int64(len(trace)) {
+			cursor = int64(len(trace))
+		}
+		s, err := m.createRestored(ss.ID, SessionConfig{
+			Name:         ss.Name,
+			Trace:        trace,
+			TraceRef:     ss.TraceRef,
+			Loop:         ss.Loop,
+			Tick:         time.Duration(ss.TickUS) * time.Microsecond,
+			Seed:         ss.Seed,
+			InboundExtra: core.PerByte(ss.InboundExtraNS),
+			Compensation: core.PerByte(ss.CompensationNS),
+			SkipTuples:   cursor,
+		})
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if ss.Running {
+			if err := s.Start(); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			if ss.RelayListen != "" {
+				// Best-effort: the listen port may now belong to someone else.
+				_, _ = s.AttachRelay(ss.RelayListen, ss.RelayTarget)
+			}
+		}
+		restored++
+		m.ins.incRecovered()
+	}
+	m.mu.Lock()
+	if snap.Seq > m.seq {
+		m.seq = snap.Seq
+	}
+	m.mu.Unlock()
+	return restored, firstErr
+}
+
+// createRestored is Create with a caller-supplied ID (recovery preserves
+// the crashed daemon's session IDs so clients' handles stay valid).
+func (m *Manager) createRestored(id string, cfg SessionConfig) (*Session, error) {
+	if err := cfg.Trace.Validate(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, fmt.Errorf("emud: manager closed")
+	}
+	if _, exists := m.sessions[id]; exists {
+		return nil, fmt.Errorf("emud: session %s already exists", id)
+	}
+	if len(m.sessions) >= m.opts.MaxSessions {
+		return nil, fmt.Errorf("emud: session limit reached (%d)", m.opts.MaxSessions)
+	}
+	s := &Session{
+		ID:      id,
+		cfg:     cfg,
+		created: m.wheel.Now(),
+		m:       m,
+	}
+	s.state.Store(int32(StateCreated))
+	s.lastActive.Store(int64(s.created))
+	m.sessions[s.ID] = s
+	m.ins.incCreated()
+	m.ins.setActive(len(m.sessions))
+	m.ins.sessionState(s)
+	return s, nil
+}
+
+// Recover loads the snapshot at path and restores it into this farm.
+// A missing file is not an error (first boot): it returns (0, nil).
+func (m *Manager) Recover(path string) (int, error) {
+	snap, err := LoadSnapshot(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	return m.Restore(snap)
+}

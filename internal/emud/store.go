@@ -14,12 +14,17 @@ package emud
 import (
 	"bytes"
 	"container/list"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"tracemod/internal/core"
 	"tracemod/internal/distill"
+	"tracemod/internal/faults"
 	"tracemod/internal/obs"
 	"tracemod/internal/replay"
 	"tracemod/internal/tracefmt"
@@ -29,6 +34,12 @@ import (
 // StoreOptions.Capacity is zero.
 const DefaultStoreCapacity = 64
 
+// DefaultNegativeTTL is how long a failed parse stays cached when
+// StoreOptions.NegativeTTL is zero. Short on purpose: it absorbs a
+// create storm against a corrupt trace without delaying recovery once
+// the file is fixed.
+const DefaultNegativeTTL = time.Second
+
 // StoreOptions parameterizes a Store.
 type StoreOptions struct {
 	// Capacity is the maximum number of cached traces
@@ -36,9 +47,20 @@ type StoreOptions struct {
 	// evicted trace stays alive for the sessions already holding it (it
 	// is immutable) and is simply re-parsed on the next miss.
 	Capacity int
+	// NegativeTTL is how long a failed load is remembered, so a burst of
+	// creates against a corrupt trace doesn't re-parse it per request.
+	// Zero means DefaultNegativeTTL; negative disables negative caching
+	// (every Load after a failure retries the file immediately).
+	NegativeTTL time.Duration
 	// Distill configures the distillation applied to collected
 	// (tracefmt) files; zero values fall back to distill.DefaultConfig.
 	Distill distill.Config
+	// Retry is the backoff policy for transient load failures; the zero
+	// value uses the faults package defaults.
+	Retry faults.Backoff
+	// Faults arms the store's fault points ("store.parse" fails loads,
+	// "store.evict" triggers eviction storms). Nil disables both.
+	Faults *faults.Injector
 	// Metrics, if non-nil, registers the store's instruments (names under
 	// tracemod_emud_store_*).
 	Metrics *obs.Registry
@@ -46,23 +68,31 @@ type StoreOptions struct {
 
 // Store is the shared trace cache.
 type Store struct {
-	opts StoreOptions
+	opts   StoreOptions
+	negTTL time.Duration
+	retry  faults.Backoff
+
+	faultParse, faultEvict *faults.Point
 
 	mu      sync.Mutex
 	entries map[string]*list.Element // key -> lru element holding *storeEntry
 	lru     *list.List               // front = most recently used
 
-	hits, misses, evictions, parseErrors *obs.Counter
+	hits, misses, evictions, parseErrors, negativeHits *obs.Counter
 }
 
 // storeEntry is one cached (or in-flight) load. The once coalesces
 // concurrent loads of the same key onto a single parse; waiters block in
-// once.Do without holding the store lock.
+// once.Do without holding the store lock. trace/err/expires are written
+// inside the once before done flips true, so readers that observe
+// done==true see them complete.
 type storeEntry struct {
-	key   string
-	once  sync.Once
-	trace core.Trace
-	err   error
+	key     string
+	once    sync.Once
+	done    atomic.Bool
+	trace   core.Trace
+	err     error
+	expires time.Time // when a failed entry stops being trusted (zero = never)
 }
 
 // NewStore creates a trace store.
@@ -73,12 +103,22 @@ func NewStore(o StoreOptions) *Store {
 	if o.Distill.Window == 0 && o.Distill.Step == 0 {
 		o.Distill = distill.DefaultConfig()
 	}
-	s := &Store{opts: o, entries: map[string]*list.Element{}, lru: list.New()}
+	s := &Store{opts: o, negTTL: o.NegativeTTL, retry: o.Retry,
+		entries: map[string]*list.Element{}, lru: list.New()}
+	if s.negTTL == 0 {
+		s.negTTL = DefaultNegativeTTL
+	}
+	if o.Faults != nil {
+		s.faultParse = o.Faults.Point("store.parse")
+		s.faultEvict = o.Faults.Point("store.evict")
+	}
 	if reg := o.Metrics; reg != nil {
 		s.hits = reg.Counter("tracemod_emud_store_hits_total", "Trace loads served from the cache.")
 		s.misses = reg.Counter("tracemod_emud_store_misses_total", "Trace loads that parsed a file.")
 		s.evictions = reg.Counter("tracemod_emud_store_evictions_total", "Cached traces evicted by LRU pressure.")
 		s.parseErrors = reg.Counter("tracemod_emud_store_errors_total", "Trace loads that failed to parse.")
+		s.negativeHits = reg.Counter("tracemod_emud_store_negative_hits_total",
+			"Trace loads answered from the negative cache (recent parse failure).")
 		reg.GaugeFunc("tracemod_emud_store_cached", "Traces currently cached in the store.",
 			func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(s.lru.Len()) })
 	}
@@ -87,20 +127,45 @@ func NewStore(o StoreOptions) *Store {
 
 // Load returns the replay trace for the file at path, parsing it at most
 // once while it stays cached. The returned trace is shared and must be
-// treated as immutable.
+// treated as immutable. Transient read failures are retried with
+// backoff; a load that still fails is negative-cached for NegativeTTL so
+// a create storm against a corrupt trace doesn't re-parse per request.
 func (s *Store) Load(path string) (core.Trace, error) {
 	e, hit := s.entry("file:" + path)
 	if hit {
-		s.hits.Inc()
+		if e.done.Load() && e.err != nil {
+			s.negativeHits.Inc()
+		} else {
+			s.hits.Inc()
+		}
 	} else {
 		s.misses.Inc()
 	}
 	e.once.Do(func() {
-		e.trace, e.err = loadTraceFile(path, s.opts.Distill)
+		e.err = s.retry.Do(func() error {
+			if ferr := s.faultParse.Err(); ferr != nil {
+				return ferr
+			}
+			tr, lerr := loadTraceFile(path, s.opts.Distill)
+			if lerr != nil {
+				if errors.Is(lerr, fs.ErrNotExist) {
+					// A missing file won't appear between retries.
+					return faults.Permanent(lerr)
+				}
+				return lerr
+			}
+			e.trace = tr
+			return nil
+		})
 		if e.err != nil {
 			s.parseErrors.Inc()
-			s.forget(e.key)
+			if s.negTTL < 0 {
+				s.forget(e.key)
+			} else {
+				e.expires = time.Now().Add(s.negTTL)
+			}
 		}
+		e.done.Store(true)
 	})
 	return e.trace, e.err
 }
@@ -147,12 +212,30 @@ func (s *Store) Len() int {
 
 // entry returns the cached element for key, creating (and LRU-inserting)
 // it if needed. The boolean reports whether the entry already existed.
+// Failed entries past their negative TTL are replaced, so the next load
+// retries the file.
 func (s *Store) entry(key string) (*storeEntry, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.entries[key]; ok {
-		s.lru.MoveToFront(el)
-		return el.Value.(*storeEntry), true
+		e := el.Value.(*storeEntry)
+		if e.done.Load() && e.err != nil && !e.expires.IsZero() && time.Now().After(e.expires) {
+			s.lru.Remove(el)
+			delete(s.entries, key)
+		} else {
+			s.lru.MoveToFront(el)
+			return e, true
+		}
+	}
+	if s.faultEvict.Fire() {
+		// Injected eviction storm: shed the whole cache, as if capacity
+		// collapsed to zero for an instant.
+		for s.lru.Len() > 0 {
+			oldest := s.lru.Back()
+			s.lru.Remove(oldest)
+			delete(s.entries, oldest.Value.(*storeEntry).key)
+			s.evictions.Inc()
+		}
 	}
 	e := &storeEntry{key: key}
 	s.entries[key] = s.lru.PushFront(e)

@@ -143,17 +143,50 @@ func TestStoreLRUEviction(t *testing.T) {
 	}
 }
 
-func TestStoreErrorNotCached(t *testing.T) {
-	st := NewStore(StoreOptions{})
+func TestStoreErrorNotCachedWhenTTLDisabled(t *testing.T) {
+	st := NewStore(StoreOptions{NegativeTTL: -1})
 	dir := t.TempDir()
 	path := filepath.Join(dir, "late.replay")
 	if _, err := st.Load(path); err == nil {
 		t.Fatal("missing file must error")
 	}
-	// The file appears afterwards; the failure must not be sticky.
+	// With negative caching off, the file appearing afterwards must be
+	// picked up immediately.
 	writeReplayFile(t, dir, "late.replay")
 	if _, err := st.Load(path); err != nil {
 		t.Fatalf("load after file appeared: %v", err)
+	}
+}
+
+func TestStoreNegativeCachesErrors(t *testing.T) {
+	reg := obs.NewRegistry()
+	st := NewStore(StoreOptions{NegativeTTL: 50 * time.Millisecond, Metrics: reg})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "late.replay")
+	if _, err := st.Load(path); err == nil {
+		t.Fatal("missing file must error")
+	}
+	writeReplayFile(t, dir, "late.replay")
+	// Within the TTL the failure is remembered — no re-parse, no IO.
+	if _, err := st.Load(path); err == nil {
+		t.Fatal("failure inside the negative TTL must still error")
+	}
+	if st.negativeHits.Load() != 1 {
+		t.Fatalf("negative hits = %d, want 1", st.negativeHits.Load())
+	}
+	if st.parseErrors.Load() != 1 {
+		t.Fatalf("parse errors = %d, want 1 (negative cache must not re-parse)", st.parseErrors.Load())
+	}
+	// Past the TTL the entry expires and the now-present file loads.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := st.Load(path); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("failure stayed sticky past the negative TTL")
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

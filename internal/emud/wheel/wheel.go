@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tracemod/internal/faults"
 	"tracemod/internal/obs"
 )
 
@@ -50,23 +51,43 @@ type Options struct {
 	// Metrics, if non-nil, registers the wheel's instruments (names under
 	// tracemod_wheel_*).
 	Metrics *obs.Registry
+	// Now, if non-nil, replaces the wheel's wall-clock reading (tests use
+	// it to simulate clock skew and jumps). Must be monotonic-safe to call
+	// concurrently; the wheel never assumes successive readings advance.
+	Now func() time.Duration
+	// Faults, if non-nil, arms the wheel's injection sites: the
+	// "wheel.stall" point delays a shard's dispatch pass by its configured
+	// Delay, simulating tick stalls and scheduling skew.
+	Faults *faults.Injector
+	// OnPanic, if non-nil, is invoked after a dispatched callback panics
+	// (the wheel recovers: a panicking session must not kill the daemon).
+	// owner is the callback's Timers handle, nil for ownerless timers. The
+	// hook runs on the shard goroutine — it must not block and must never
+	// call Timers.Stop (the owner is already poisoned; stop it from
+	// another goroutine).
+	OnPanic func(owner *Timers, v any)
 }
 
 // Wheel is a sharded timer wheel. It implements modulation.Clock directly
 // for callers that never cancel; sessions schedule through per-owner
 // Timers handles instead.
 type Wheel struct {
-	epoch  time.Time
-	gran   time.Duration
-	shards []*shard
-	next   atomic.Uint64 // round-robin shard placement
-	closed atomic.Bool
-	wg     sync.WaitGroup
+	epoch   time.Time
+	nowFn   func() time.Duration // nil = wall clock from epoch
+	gran    time.Duration
+	shards  []*shard
+	next    atomic.Uint64 // round-robin shard placement
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+	stall   *faults.Point // nil = no stall injection
+	onPanic func(owner *Timers, v any)
 
 	pending    atomic.Int64 // entries currently in heaps
 	scheduled  *obs.Counter
 	fired      *obs.Counter
 	suppressed *obs.Counter
+	panics     *obs.Counter
+	panicCount atomic.Int64
 }
 
 // New starts a wheel with the given options.
@@ -77,11 +98,15 @@ func New(o Options) *Wheel {
 	if o.Granularity < 0 {
 		o.Granularity = 0
 	}
-	w := &Wheel{epoch: time.Now(), gran: o.Granularity}
+	w := &Wheel{epoch: time.Now(), nowFn: o.Now, gran: o.Granularity, onPanic: o.OnPanic}
+	if o.Faults != nil {
+		w.stall = o.Faults.Point("wheel.stall")
+	}
 	if o.Metrics != nil {
 		w.scheduled = o.Metrics.Counter("tracemod_wheel_timers_scheduled_total", "Callbacks scheduled on the timer wheel.")
 		w.fired = o.Metrics.Counter("tracemod_wheel_timers_fired_total", "Wheel callbacks that ran.")
 		w.suppressed = o.Metrics.Counter("tracemod_wheel_timers_suppressed_total", "Wheel callbacks suppressed by a stopped owner.")
+		w.panics = o.Metrics.Counter("tracemod_wheel_callback_panics_total", "Wheel callbacks that panicked (recovered; owner poisoned).")
 		o.Metrics.GaugeFunc("tracemod_wheel_timers_pending", "Timers currently waiting in the wheel.",
 			func() float64 { return float64(w.pending.Load()) })
 		o.Metrics.Gauge("tracemod_wheel_shards", "Scheduling shards (goroutines) in the wheel.").Set(int64(o.Shards))
@@ -96,7 +121,16 @@ func New(o Options) *Wheel {
 }
 
 // Now returns elapsed wheel time (implements modulation.Clock).
-func (w *Wheel) Now() time.Duration { return time.Since(w.epoch) }
+func (w *Wheel) Now() time.Duration {
+	if w.nowFn != nil {
+		return w.nowFn()
+	}
+	return time.Since(w.epoch)
+}
+
+// Panics reports how many dispatched callbacks have panicked (and been
+// recovered) over the wheel's lifetime.
+func (w *Wheel) Panics() int64 { return w.panicCount.Load() }
 
 // Granularity reports the coalescing tick (0 = exact).
 func (w *Wheel) Granularity() time.Duration { return w.gran }
@@ -220,6 +254,10 @@ func (w *Wheel) run(s *shard) {
 		<-timer.C
 	}
 	for {
+		// Injected tick stall: the shard sleeps before servicing its heap,
+		// so deadlines slip late — which the wheel's contract allows (never
+		// early) and the chaos suite exercises.
+		w.stall.Stall()
 		now := w.Now()
 		s.mu.Lock()
 		s.due = s.due[:0]
@@ -271,22 +309,47 @@ func (w *Wheel) run(s *shard) {
 	}
 }
 
-// run dispatches the entry, honouring its owner's Stop barrier.
+// run dispatches the entry, honouring its owner's Stop barrier and
+// isolating panics: a panicking callback is recovered, counted, and its
+// owner poisoned (every later callback of that handle is suppressed), so
+// one broken session cannot take the shard goroutine — and with it the
+// whole daemon — down.
 func (e *entry) run(w *Wheel) {
-	if o := e.owner; o != nil {
+	o := e.owner
+	if o != nil {
 		o.barrier.RLock()
 		if o.stopped.Load() {
 			o.barrier.RUnlock()
 			w.suppressed.Inc()
 			return
 		}
-		e.fn()
+	}
+	v := invoke(e.fn)
+	if o != nil {
+		if v != nil {
+			// Poison before releasing the barrier so no later callback of
+			// this owner starts; the full Stop (barrier + relay teardown)
+			// must come from another goroutine.
+			o.stopped.Store(true)
+		}
 		o.barrier.RUnlock()
-		w.fired.Inc()
+	}
+	if v != nil {
+		w.panicCount.Add(1)
+		w.panics.Inc()
+		if w.onPanic != nil {
+			w.onPanic(o, v)
+		}
 		return
 	}
-	e.fn()
 	w.fired.Inc()
+}
+
+// invoke runs fn, converting a panic into a returned value.
+func invoke(fn func()) (v any) {
+	defer func() { v = recover() }()
+	fn()
+	return nil
 }
 
 // entryHeap is a min-heap on (at, seq).

@@ -1,0 +1,147 @@
+package wheel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tracemod/internal/faults"
+)
+
+// fakeClock is an injectable wheel clock the skew tests jump around.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+func (c *fakeClock) read() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) jump(d time.Duration) {
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+// poke schedules a throwaway timer so a shard re-reads the (fake) clock:
+// the wheel itself never polls, it sleeps until woken.
+func poke(w *Wheel) { w.AfterFunc(0, func() {}) }
+
+func TestWheelClockSkewForwardJump(t *testing.T) {
+	clk := &fakeClock{}
+	w := New(Options{Shards: 1, Now: clk.read})
+	defer w.Close()
+
+	fired := make(chan struct{})
+	w.AfterFunc(50*time.Millisecond, func() { close(fired) })
+	select {
+	case <-fired:
+		t.Fatal("timer fired before the fake clock advanced")
+	case <-time.After(30 * time.Millisecond):
+	}
+
+	// The clock leaps a full second past the deadline (suspend/resume,
+	// NTP step): the timer must fire on the next dispatch pass.
+	clk.jump(time.Second)
+	poke(w)
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("timer did not fire after a forward clock jump")
+	}
+}
+
+func TestWheelClockSkewBackwardNoEarlyFire(t *testing.T) {
+	clk := &fakeClock{now: 10 * time.Second}
+	w := New(Options{Shards: 1, Now: clk.read})
+	defer w.Close()
+
+	var fired atomic.Bool
+	w.AfterFunc(50*time.Millisecond, func() { fired.Store(true) })
+
+	// The clock steps backwards; the deadline (10.05s absolute) is now
+	// further away, and the wheel must not fire it early.
+	clk.jump(-20 * time.Millisecond)
+	poke(w)
+	time.Sleep(60 * time.Millisecond)
+	if fired.Load() {
+		t.Fatal("timer fired early after a backward clock jump")
+	}
+
+	// Restoring the clock past the deadline delivers it.
+	clk.jump(100 * time.Millisecond)
+	poke(w)
+	deadline := time.Now().Add(2 * time.Second)
+	for !fired.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("timer never fired after the clock recovered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestWheelCallbackPanicIsolated(t *testing.T) {
+	var gotOwner *Timers
+	var gotValue any
+	hooked := make(chan struct{})
+	w := New(Options{Shards: 1, OnPanic: func(o *Timers, v any) {
+		gotOwner, gotValue = o, v
+		close(hooked)
+	}})
+	defer w.Close()
+
+	tm := w.Timers()
+	tm.AfterFunc(0, func() { panic("boom") })
+	select {
+	case <-hooked:
+	case <-time.After(2 * time.Second):
+		t.Fatal("OnPanic hook never ran")
+	}
+	if gotOwner != tm || gotValue != "boom" {
+		t.Fatalf("OnPanic got (%v, %v), want (handle, boom)", gotOwner, gotValue)
+	}
+	if w.Panics() != 1 {
+		t.Fatalf("Panics() = %d, want 1", w.Panics())
+	}
+
+	// The owner is poisoned: its later callbacks are suppressed...
+	ran := make(chan struct{}, 1)
+	tm.AfterFunc(0, func() { ran <- struct{}{} })
+	// ...but the shard survives and serves other owners.
+	other := make(chan struct{})
+	w.AfterFunc(0, func() { close(other) })
+	select {
+	case <-other:
+	case <-time.After(2 * time.Second):
+		t.Fatal("shard died after a callback panic")
+	}
+	select {
+	case <-ran:
+		t.Fatal("poisoned owner's callback still ran")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if !tm.Stopped() {
+		t.Fatal("panicking owner not poisoned")
+	}
+	// Stop on the poisoned handle still works as a barrier for cleanup.
+	tm.Stop()
+}
+
+func TestWheelStallFaultDelaysNotKills(t *testing.T) {
+	inj := faults.New(faults.Options{Seed: 7})
+	inj.Set("wheel.stall", faults.Config{Rate: 1, Delay: 10 * time.Millisecond})
+	w := New(Options{Shards: 1, Faults: inj})
+	defer w.Close()
+
+	fired := make(chan struct{})
+	w.AfterFunc(time.Millisecond, func() { close(fired) })
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stalled wheel never delivered")
+	}
+}

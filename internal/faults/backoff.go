@@ -1,0 +1,91 @@
+// Backoff: the retry policy the daemon's defenses share. Exponential with
+// full deterministic jitter — sleep_i ∈ [base·2^i/2, base·2^i), drawn from
+// a seeded stream — so a chaos run's retry timing replays exactly like
+// everything else in this package.
+package faults
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// Default policy values, applied by Do for zero fields.
+const (
+	DefaultRetryAttempts = 3
+	DefaultRetryBase     = 5 * time.Millisecond
+	DefaultRetryMax      = 250 * time.Millisecond
+)
+
+// Backoff is a retry policy. The zero value retries DefaultRetryAttempts
+// times from DefaultRetryBase.
+type Backoff struct {
+	// Attempts is the total number of tries (not re-tries); values < 1
+	// mean DefaultRetryAttempts.
+	Attempts int
+	// Base is the first sleep; doubles each retry up to Max.
+	Base time.Duration
+	// Max caps a single sleep.
+	Max time.Duration
+	// Seed drives the jitter stream (zero is a valid seed).
+	Seed int64
+}
+
+// permanentError marks an error that must not be retried.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Backoff.Do returns it immediately instead of
+// retrying (a missing trace file is permanent; an injected read fault is
+// not). A nil err stays nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// Do runs fn until it returns nil, a Permanent error, or the attempt
+// budget is spent; it returns the last error (unwrapped from Permanent).
+func (b Backoff) Do(fn func() error) error {
+	attempts := b.Attempts
+	if attempts < 1 {
+		attempts = DefaultRetryAttempts
+	}
+	base := b.Base
+	if base <= 0 {
+		base = DefaultRetryBase
+	}
+	max := b.Max
+	if max <= 0 {
+		max = DefaultRetryMax
+	}
+	var rng *rand.Rand // created lazily: the no-retry fast path allocates nothing
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = fn(); err == nil {
+			return nil
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		if i == attempts-1 {
+			break
+		}
+		sleep := base << i
+		if sleep > max {
+			sleep = max
+		}
+		if rng == nil {
+			rng = rand.New(rand.NewSource(b.Seed))
+		}
+		// Full jitter over the upper half keeps retries spread without ever
+		// collapsing the wait to ~0.
+		sleep = sleep/2 + time.Duration(rng.Int63n(int64(sleep/2)+1))
+		time.Sleep(sleep)
+	}
+	return err
+}

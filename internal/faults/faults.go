@@ -1,0 +1,266 @@
+// Package faults is the deterministic fault-injection layer of the
+// emulation daemon. The paper's whole argument is repeatable behaviour
+// under hostile network conditions; this package extends that discipline
+// to the daemon itself: every failure mode the farm defends against —
+// corrupt trace parses, stalled wheel ticks, relay socket errors, store
+// eviction storms, slow or failing control-plane calls, panicking session
+// callbacks — is a named Point that can be armed at a probability, with a
+// seeded per-point RNG so a chaos run replays exactly.
+//
+// Subsystems hold *Point handles obtained from an *Injector and consult
+// them at their fault sites (Fire / Err / Stall). Like internal/obs, every
+// method is nil-safe: a nil Injector hands out nil Points whose methods
+// are single-branch no-ops, so production binaries built without an
+// injector pay one predictable pointer test per site and nothing else.
+//
+// The package also provides Backoff, the retry-with-exponential-backoff
+// and deterministic-jitter policy the daemon's defenses use (relay attach,
+// trace-store loads).
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tracemod/internal/obs"
+)
+
+// ErrInjected is the sentinel wrapped by every error a Point produces, so
+// defenses (and tests) can tell injected faults from organic ones with
+// errors.Is.
+var ErrInjected = errors.New("injected fault")
+
+// Options parameterizes an Injector.
+type Options struct {
+	// Seed derives every point's private RNG stream (seed ^ fnv64(name)),
+	// making a chaos scenario a pure function of (seed, configuration,
+	// workload). Zero is a valid seed.
+	Seed int64
+	// Metrics, if non-nil, registers the injector's instruments
+	// (tracemod_faults_evals_total{point}, tracemod_faults_fired_total{point}).
+	Metrics *obs.Registry
+}
+
+// Injector owns a set of named fault points. All methods are safe on a nil
+// receiver.
+type Injector struct {
+	seed int64
+
+	mu     sync.Mutex
+	points map[string]*Point
+
+	evals, fires *obs.CounterVec
+}
+
+// New creates an injector.
+func New(o Options) *Injector {
+	inj := &Injector{seed: o.Seed, points: map[string]*Point{}}
+	if reg := o.Metrics; reg != nil {
+		inj.evals = reg.CounterVec("tracemod_faults_evals_total",
+			"Fault-point evaluations (armed or not).", "point")
+		inj.fires = reg.CounterVec("tracemod_faults_fired_total",
+			"Fault-point evaluations that injected the fault.", "point")
+	}
+	return inj
+}
+
+// Point returns the named fault point, registering it (disarmed) on first
+// use. Returns nil on a nil injector.
+func (i *Injector) Point(name string) *Point {
+	if i == nil {
+		return nil
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if p, ok := i.points[name]; ok {
+		return p
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	p := &Point{
+		name:  name,
+		rng:   rand.New(rand.NewSource(i.seed ^ int64(h.Sum64()))),
+		evals: i.evals.With(name),
+		fires: i.fires.With(name),
+	}
+	i.points[name] = p
+	return p
+}
+
+// Names lists every registered point, sorted.
+func (i *Injector) Names() []string {
+	if i == nil {
+		return nil
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	names := make([]string, 0, len(i.points))
+	for name := range i.points {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Config arms (or disarms, with Rate 0) a point.
+type Config struct {
+	// Rate is the per-evaluation fire probability in [0, 1].
+	Rate float64
+	// Delay is how long Stall sleeps when the point fires (stall/skew
+	// faults); ignored by Fire and Err sites.
+	Delay time.Duration
+}
+
+// Set configures the named point, registering it if needed. Rates are
+// clamped to [0, 1]; negative delays to 0.
+func (i *Injector) Set(name string, cfg Config) {
+	if i == nil {
+		return
+	}
+	i.Point(name).set(cfg)
+}
+
+// Reset disarms every registered point (rate and delay back to zero). The
+// per-point RNG streams keep their position: Reset ends a chaos scenario,
+// it does not rewind it.
+func (i *Injector) Reset() {
+	if i == nil {
+		return
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	for _, p := range i.points {
+		p.set(Config{})
+	}
+}
+
+// State is one point's introspection snapshot.
+type State struct {
+	Name  string        `json:"name"`
+	Rate  float64       `json:"rate"`
+	Delay time.Duration `json:"delay_ns"`
+	Evals int64         `json:"evals"`
+	Fired int64         `json:"fired"`
+}
+
+// Snapshot reports every registered point, sorted by name.
+func (i *Injector) Snapshot() []State {
+	if i == nil {
+		return nil
+	}
+	i.mu.Lock()
+	points := make([]*Point, 0, len(i.points))
+	for _, p := range i.points {
+		points = append(points, p)
+	}
+	i.mu.Unlock()
+	sort.Slice(points, func(a, b int) bool { return points[a].name < points[b].name })
+	out := make([]State, len(points))
+	for n, p := range points {
+		out[n] = State{
+			Name:  p.name,
+			Rate:  math.Float64frombits(p.rate.Load()),
+			Delay: time.Duration(p.delay.Load()),
+			Evals: p.nEvals.Load(),
+			Fired: p.nFired.Load(),
+		}
+	}
+	return out
+}
+
+// Point is one named fault site. The zero rate (disarmed) path is a single
+// atomic load; all methods are safe on a nil receiver.
+type Point struct {
+	name  string
+	rate  atomic.Uint64 // math.Float64bits
+	delay atomic.Int64  // nanoseconds
+
+	mu  sync.Mutex // guards rng
+	rng *rand.Rand
+
+	nEvals, nFired atomic.Int64
+	evals, fires   *obs.Counter
+}
+
+func (p *Point) set(cfg Config) {
+	rate := cfg.Rate
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	if cfg.Delay < 0 {
+		cfg.Delay = 0
+	}
+	p.rate.Store(math.Float64bits(rate))
+	p.delay.Store(int64(cfg.Delay))
+}
+
+// Fire evaluates the point: true with the configured probability, drawn
+// from the point's seeded stream. Disarmed (or nil) points return false
+// without touching the RNG, so arming one point never perturbs another's
+// replayable sequence.
+func (p *Point) Fire() bool {
+	if p == nil {
+		return false
+	}
+	rate := math.Float64frombits(p.rate.Load())
+	if rate <= 0 {
+		return false
+	}
+	p.nEvals.Add(1)
+	p.evals.Inc()
+	p.mu.Lock()
+	hit := p.rng.Float64() < rate
+	p.mu.Unlock()
+	if hit {
+		p.nFired.Add(1)
+		p.fires.Inc()
+	}
+	return hit
+}
+
+// Err returns an injected error when the point fires, nil otherwise. The
+// error wraps ErrInjected and names the point.
+func (p *Point) Err() error {
+	if !p.Fire() {
+		return nil
+	}
+	return fmt.Errorf("faults: %s: %w", p.name, ErrInjected)
+}
+
+// Stall sleeps the configured delay when the point fires (tick stalls,
+// slow control-plane calls). A fired point with zero delay is a no-op
+// beyond the counters.
+func (p *Point) Stall() {
+	if !p.Fire() {
+		return
+	}
+	if d := time.Duration(p.delay.Load()); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Delay reports the configured stall duration.
+func (p *Point) Delay() time.Duration {
+	if p == nil {
+		return 0
+	}
+	return time.Duration(p.delay.Load())
+}
+
+// Fired reports how many times the point has injected its fault.
+func (p *Point) Fired() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.nFired.Load()
+}

@@ -1,0 +1,177 @@
+package faults
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"tracemod/internal/obs"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var inj *Injector
+	p := inj.Point("anything")
+	if p != nil {
+		t.Fatal("nil injector handed out a non-nil point")
+	}
+	if p.Fire() {
+		t.Fatal("nil point fired")
+	}
+	if err := p.Err(); err != nil {
+		t.Fatalf("nil point errored: %v", err)
+	}
+	p.Stall() // must not panic
+	inj.Set("anything", Config{Rate: 1})
+	inj.Reset()
+	if inj.Snapshot() != nil || inj.Names() != nil {
+		t.Fatal("nil injector reported state")
+	}
+}
+
+func TestDisarmedPointNeverFires(t *testing.T) {
+	inj := New(Options{Seed: 1})
+	p := inj.Point("quiet")
+	for i := 0; i < 1000; i++ {
+		if p.Fire() {
+			t.Fatal("disarmed point fired")
+		}
+	}
+	if st := inj.Snapshot(); st[0].Evals != 0 {
+		t.Fatalf("disarmed point recorded %d evals", st[0].Evals)
+	}
+}
+
+func TestFireRateAndDeterminism(t *testing.T) {
+	sequence := func(seed int64) []bool {
+		inj := New(Options{Seed: seed})
+		inj.Set("p", Config{Rate: 0.3})
+		p := inj.Point("p")
+		out := make([]bool, 2000)
+		for i := range out {
+			out[i] = p.Fire()
+		}
+		return out
+	}
+	a, b := sequence(42), sequence(42)
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different fire sequences")
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired < 400 || fired > 800 {
+		t.Fatalf("rate 0.3 fired %d of 2000", fired)
+	}
+	c := sequence(43)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+func TestErrWrapsSentinel(t *testing.T) {
+	inj := New(Options{})
+	inj.Set("always", Config{Rate: 1})
+	err := inj.Point("always").Err()
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if !strings.Contains(err.Error(), "always") {
+		t.Fatalf("err %q does not name the point", err)
+	}
+}
+
+func TestStallSleeps(t *testing.T) {
+	inj := New(Options{})
+	inj.Set("slow", Config{Rate: 1, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	inj.Point("slow").Stall()
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("stall slept only %v", d)
+	}
+}
+
+func TestResetDisarms(t *testing.T) {
+	inj := New(Options{})
+	inj.Set("a", Config{Rate: 1})
+	inj.Set("b", Config{Rate: 1, Delay: time.Second})
+	inj.Reset()
+	for _, st := range inj.Snapshot() {
+		if st.Rate != 0 || st.Delay != 0 {
+			t.Fatalf("point %s still armed after Reset: %+v", st.Name, st)
+		}
+	}
+	if inj.Point("a").Fire() {
+		t.Fatal("reset point fired")
+	}
+}
+
+func TestMetricsCountFires(t *testing.T) {
+	reg := obs.NewRegistry()
+	inj := New(Options{Metrics: reg})
+	inj.Set("metered", Config{Rate: 1})
+	inj.Point("metered").Fire()
+	var sb strings.Builder
+	_ = reg.WritePrometheus(&sb)
+	for _, want := range []string{
+		`tracemod_faults_evals_total{point="metered"} 1`,
+		`tracemod_faults_fired_total{point="metered"} 1`,
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("export missing %q", want)
+		}
+	}
+}
+
+func TestBackoffRetriesThenSucceeds(t *testing.T) {
+	calls := 0
+	err := Backoff{Attempts: 4, Base: time.Millisecond, Max: 2 * time.Millisecond}.Do(func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestBackoffExhaustsAttempts(t *testing.T) {
+	calls := 0
+	sentinel := errors.New("still down")
+	err := Backoff{Attempts: 3, Base: time.Millisecond, Max: time.Millisecond}.Do(func() error {
+		calls++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want sentinel after 3", err, calls)
+	}
+}
+
+func TestBackoffStopsOnPermanent(t *testing.T) {
+	calls := 0
+	sentinel := errors.New("no such file")
+	err := Backoff{Attempts: 5, Base: time.Millisecond}.Do(func() error {
+		calls++
+		return Permanent(sentinel)
+	})
+	if calls != 1 {
+		t.Fatalf("permanent error retried %d times", calls)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want unwrapped sentinel", err)
+	}
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) must stay nil")
+	}
+}

@@ -106,6 +106,7 @@ type Stats struct {
 	ClientToTarget int64
 	TargetToClient int64
 	Dropped        int64
+	SubmitPanics   int64 // panics recovered while submitting into the shaper
 }
 
 // Relay is a live packet-shaping daemon.
@@ -122,7 +123,7 @@ type Relay struct {
 	closeOnce sync.Once
 	closed    chan struct{}
 
-	c2t, t2c, dropped atomic.Int64
+	c2t, t2c, dropped, submitPanics atomic.Int64
 }
 
 // bindSockets resolves and binds the relay's two sockets.
@@ -229,7 +230,23 @@ func (r *Relay) Stats() Stats {
 		ClientToTarget: r.c2t.Load(),
 		TargetToClient: r.t2c.Load(),
 		Dropped:        r.dropped.Load(),
+		SubmitPanics:   r.submitPanics.Load(),
 	}
+}
+
+// safeSubmit pushes one datagram into the shaper, recovering a panic
+// thrown synchronously by the submitter (or a drop callback it runs
+// inline). An unrecovered panic on a pump goroutine would kill the whole
+// process; instead the pump survives and only this datagram is lost. The
+// pooled buffer's ownership is ambiguous after a panic, so it is leaked
+// to the garbage collector rather than risking a double put.
+func (r *Relay) safeSubmit(dir simnet.Direction, size int, deliver, drop func()) {
+	defer func() {
+		if v := recover(); v != nil {
+			r.submitPanics.Add(1)
+		}
+	}()
+	r.submit.SubmitWithDrop(dir, size, deliver, drop)
 }
 
 // Engine exposes the underlying modulation engine (for its statistics).
@@ -269,7 +286,7 @@ func (r *Relay) pumpClientToTarget() {
 			return // closed
 		}
 		r.clientAddr.Store(addr)
-		r.submit.SubmitWithDrop(simnet.Outbound, wireSize(n), func() {
+		r.safeSubmit(simnet.Outbound, wireSize(n), func() {
 			select {
 			case <-r.closed:
 			default:
@@ -298,7 +315,7 @@ func (r *Relay) pumpTargetToClient() {
 			putBuf(bp)
 			continue // no client yet
 		}
-		r.submit.SubmitWithDrop(simnet.Inbound, wireSize(n), func() {
+		r.safeSubmit(simnet.Inbound, wireSize(n), func() {
 			select {
 			case <-r.closed:
 			default:

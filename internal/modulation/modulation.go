@@ -70,6 +70,24 @@ type SliceSource struct {
 	pos   int
 }
 
+// Skip advances the cursor past the first n tuples, as if they had
+// already been consumed — crash recovery uses it to resume a session's
+// replay where the lost daemon left off. For a looping source the cursor
+// wraps; for a one-shot source it clamps to the end of the trace.
+func (s *SliceSource) Skip(n int64) {
+	if n <= 0 || len(s.Trace) == 0 {
+		return
+	}
+	if s.Loop {
+		s.pos = int(n % int64(len(s.Trace)))
+		return
+	}
+	if n > int64(len(s.Trace)) {
+		n = int64(len(s.Trace))
+	}
+	s.pos = int(n)
+}
+
 // Next implements Source.
 func (s *SliceSource) Next() (core.Tuple, bool) {
 	if len(s.Trace) == 0 {
