@@ -36,11 +36,14 @@ import (
 	"tracemod/internal/transport"
 )
 
-// benchOptions is the reduced per-iteration configuration.
+// benchOptions is the reduced per-iteration configuration. Workers rides
+// the machine's parallelism — output is identical at any worker count, so
+// the figure benchmarks measure the parallel harness as shipped.
 func benchOptions() expt.Options {
 	o := expt.Default()
 	o.Trials = 2
 	o.FTPSize = 4 << 20
+	o.Workers = runtime.NumCPU()
 	return o
 }
 

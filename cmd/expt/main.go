@@ -5,13 +5,16 @@
 // Usage:
 //
 //	expt [-run all|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|abl-tick|abl-comp|abl-window]
-//	     [-trials N] [-seed S] [-ftp-mb N]
+//	     [-trials N] [-seed S] [-ftp-mb N] [-workers N]
+//	     [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -24,12 +27,46 @@ func main() {
 	trials := flag.Int("trials", 4, "trials per cell (the paper runs 4)")
 	seed := flag.Int64("seed", 1997, "base seed")
 	ftpMB := flag.Int("ftp-mb", 10, "FTP benchmark file size in MB")
+	workers := flag.Int("workers", runtime.NumCPU(), "experiment cells run concurrently (output is identical at any count)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expt: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "expt: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expt: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // report live objects, not transient garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "expt: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}()
 
 	o := expt.Default()
 	o.Trials = *trials
 	o.BaseSeed = *seed
 	o.FTPSize = *ftpMB << 20
+	o.Workers = *workers
 
 	ids := []string{*run}
 	if *run == "all" {

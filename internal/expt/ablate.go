@@ -18,6 +18,7 @@ import (
 
 	"tracemod/internal/apps/ftp"
 	"tracemod/internal/core"
+	"tracemod/internal/distill"
 	"tracemod/internal/replay"
 	"tracemod/internal/scenario"
 )
@@ -43,48 +44,69 @@ type TickAblationResult struct {
 // AblateTick sweeps the modulation tick on the Wean scenario.
 func AblateTick(o Options) (*TickAblationResult, error) {
 	res := &TickAblationResult{}
-	live, err := RunLive(scenario.Wean, BenchAndrew, 0, o)
+
+	// Preparation: the two live baselines, the trace collection, and the
+	// compensation measurement are mutually independent cells.
+	var live, liveFTP Result
+	var dres *distill.Result
+	var comp core.PerByte
+	err := forEach(o, 4, func(i int) error {
+		var err error
+		switch i {
+		case 0:
+			live, err = RunLive(scenario.Wean, BenchAndrew, 0, o)
+		case 1:
+			liveFTP, err = RunLive(scenario.Wean, BenchFTPSend, 0, o)
+		case 2:
+			dres, err = Collect(scenario.Wean, 0, o)
+		default:
+			comp, err = MeasureCompensation(o)
+		}
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
 	res.LiveAndrew = live.Elapsed
 	res.LiveScanDir = live.Phases.ScanDir
 	res.LiveReadAll = live.Phases.ReadAll
-	liveFTP, err := RunLive(scenario.Wean, BenchFTPSend, 0, o)
-	if err != nil {
-		return nil, err
-	}
 	res.LiveFTPSend = liveFTP.Elapsed
 
-	dres, err := Collect(scenario.Wean, 0, o)
-	if err != nil {
-		return nil, err
-	}
-	comp, err := MeasureCompensation(o)
-	if err != nil {
-		return nil, err
-	}
-	for _, tick := range []time.Duration{-1, time.Millisecond, 10 * time.Millisecond, 50 * time.Millisecond} {
+	// Sweep grid: job 2k is tick k's Andrew run, job 2k+1 its FTP run.
+	// The two jobs of one row write disjoint fields, so they may fan out.
+	ticks := []time.Duration{-1, time.Millisecond, 10 * time.Millisecond, 50 * time.Millisecond}
+	rows := make([]TickAblation, len(ticks))
+	err = forEach(o, 2*len(ticks), func(j int) error {
+		k := j / 2
+		tick := ticks[k]
 		oo := o
 		oo.Tick = tick
-		row := TickAblation{Tick: tick}
-		if tick < 0 {
-			row.Tick = 0
+		row := &rows[k]
+		if j%2 == 0 {
+			row.Tick = tick
+			if tick < 0 {
+				row.Tick = 0
+			}
+			andrew, err := RunModulated(dres.Replay, BenchAndrew, 0, comp, oo)
+			if err != nil {
+				return fmt.Errorf("ablate tick %v andrew: %w", tick, err)
+			}
+			row.Andrew = andrew.Elapsed
+			row.ScanDir = andrew.Phases.ScanDir
+			row.ReadAll = andrew.Phases.ReadAll
+			return nil
 		}
-		andrew, err := RunModulated(dres.Replay, BenchAndrew, 0, comp, oo)
-		if err != nil {
-			return nil, fmt.Errorf("ablate tick %v andrew: %w", tick, err)
-		}
-		row.Andrew = andrew.Elapsed
-		row.ScanDir = andrew.Phases.ScanDir
-		row.ReadAll = andrew.Phases.ReadAll
 		ftpRes, err := RunModulated(dres.Replay, BenchFTPSend, 0, comp, oo)
 		if err != nil {
-			return nil, fmt.Errorf("ablate tick %v ftp: %w", tick, err)
+			return fmt.Errorf("ablate tick %v ftp: %w", tick, err)
 		}
 		row.FTPSend = ftpRes.Elapsed
-		res.Rows = append(res.Rows, row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 
@@ -132,16 +154,28 @@ func AblateCompensation(o Options) (*CompAblationResult, error) {
 	res := &CompAblationResult{Measured: comp}
 	trace := replay.WaveLANLike(time.Hour)
 	const size = 4 << 20
-	store, err := fig1Transfer(trace, ftp.Send, size, comp, o)
+
+	// Job 0 is the shared store transfer; jobs 1..len(scales) are the
+	// fetch transfers at each compensation scale.
+	scales := []float64{0, 0.5, 1.0, 1.5}
+	times := make([]time.Duration, 1+len(scales))
+	err = forEach(o, len(times), func(i int) error {
+		if i == 0 {
+			d, err := fig1Transfer(trace, ftp.Send, size, comp, o)
+			times[0] = d
+			return err
+		}
+		c := core.PerByte(float64(comp) * scales[i-1])
+		d, err := fig1Transfer(trace, ftp.Recv, size, c, o)
+		times[i] = d
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	for _, scale := range []float64{0, 0.5, 1.0, 1.5} {
-		c := core.PerByte(float64(comp) * scale)
-		fetch, err := fig1Transfer(trace, ftp.Recv, size, c, o)
-		if err != nil {
-			return nil, err
-		}
+	store := times[0]
+	for si, scale := range scales {
+		fetch := times[si+1]
 		res.Rows = append(res.Rows, CompAblation{
 			Scale: scale, Store: store, Fetch: fetch,
 			FetchRatio: fetch.Seconds() / store.Seconds(),
@@ -179,31 +213,45 @@ type WindowAblationResult struct {
 // AblateWindow sweeps the distillation window width on Porter and measures
 // the modulated FTP-send error against the live run.
 func AblateWindow(o Options) (*WindowAblationResult, error) {
-	live, err := RunLive(scenario.Porter, BenchFTPSend, 0, o)
-	if err != nil {
-		return nil, err
-	}
-	comp, err := MeasureCompensation(o)
+	var live Result
+	var comp core.PerByte
+	err := forEach(o, 2, func(i int) error {
+		var err error
+		if i == 0 {
+			live, err = RunLive(scenario.Porter, BenchFTPSend, 0, o)
+		} else {
+			comp, err = MeasureCompensation(o)
+		}
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
 	res := &WindowAblationResult{LiveSend: live.Elapsed}
-	for _, w := range []time.Duration{time.Second, 3 * time.Second, 5 * time.Second, 9 * time.Second, 15 * time.Second} {
+	windows := []time.Duration{time.Second, 3 * time.Second, 5 * time.Second, 9 * time.Second, 15 * time.Second}
+	rows := make([]WindowAblation, len(windows))
+	err = forEach(o, len(windows), func(i int) error {
+		w := windows[i]
 		oo := o
 		oo.Distill.Window = w
 		dres, err := Collect(scenario.Porter, 0, oo)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		mod, err := RunModulated(dres.Replay, BenchFTPSend, 0, comp, oo)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		errPct := 100 * abs(mod.Elapsed.Seconds()-live.Elapsed.Seconds()) / live.Elapsed.Seconds()
-		res.Rows = append(res.Rows, WindowAblation{
+		rows[i] = WindowAblation{
 			Window: w, Tuples: len(dres.Replay), ModSend: mod.Elapsed, ErrorPct: errPct,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

@@ -42,6 +42,11 @@ type Options struct {
 	WebProcMean time.Duration
 	// RunCap bounds each benchmark run in virtual time.
 	RunCap time.Duration
+	// Workers caps how many experiment cells run concurrently; 0 means
+	// runtime.NumCPU(), 1 runs serially. Every cell owns a private
+	// scheduler seeded from its indices, so results — and rendered output
+	// bytes — are identical at any worker count.
+	Workers int
 }
 
 // Default returns the paper's configuration.

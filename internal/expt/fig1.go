@@ -76,19 +76,47 @@ func Fig1(o Options) (*Fig1Result, error) {
 	}
 	res := &Fig1Result{Compensation: comp}
 	trace := replay.WaveLANLike(time.Hour)
-	for _, mb := range []int{1, 2, 4, 6, 8, 10} {
-		size := mb << 20
-		pt := Fig1Point{SizeMB: mb}
-		if pt.Store, err = fig1Transfer(trace, ftp.Send, size, comp, o); err != nil {
-			return nil, err
+	sizes := []int{1, 2, 4, 6, 8, 10}
+
+	// Independence check on a much slower network (Section 3.3): the same
+	// compensation value must still move fetch toward store.
+	slow := replay.SlowNetLike(2 * time.Hour)
+	const slowSize = 1 << 20
+
+	// Every transfer is an independent cell: fan them all out and merge by
+	// index. Jobs 0..3*len(sizes)-1 are the main grid, size-major in
+	// (store, fetch-raw, fetch-comp) order; the last three are the
+	// slow-network check in the same order.
+	times := make([]time.Duration, 3*len(sizes)+3)
+	err = forEach(o, len(times), func(i int) error {
+		tr, size := trace, 0
+		j := i
+		if i < 3*len(sizes) {
+			size = sizes[i/3] << 20
+		} else {
+			tr, size, j = slow, slowSize, i-3*len(sizes)
 		}
-		if pt.FetchRaw, err = fig1Transfer(trace, ftp.Recv, size, 0, o); err != nil {
-			return nil, err
+		dir, c := ftp.Send, comp
+		switch j % 3 {
+		case 1:
+			dir, c = ftp.Recv, 0
+		case 2:
+			dir = ftp.Recv
 		}
-		if pt.FetchComp, err = fig1Transfer(trace, ftp.Recv, size, comp, o); err != nil {
-			return nil, err
+		d, err := fig1Transfer(tr, dir, size, c, o)
+		if err != nil {
+			return err
 		}
-		mbits := float64(size) * 8 / 1e6
+		times[i] = d
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, mb := range sizes {
+		pt := Fig1Point{SizeMB: mb,
+			Store: times[3*si], FetchRaw: times[3*si+1], FetchComp: times[3*si+2]}
+		mbits := float64(mb<<20) * 8 / 1e6
 		pt.ThroughputMbps3 = [3]float64{
 			mbits / pt.Store.Seconds(),
 			mbits / pt.FetchRaw.Seconds(),
@@ -96,20 +124,9 @@ func Fig1(o Options) (*Fig1Result, error) {
 		}
 		res.Points = append(res.Points, pt)
 	}
-
-	// Independence check on a much slower network (Section 3.3): the same
-	// compensation value must still move fetch toward store.
-	slow := replay.SlowNetLike(2 * time.Hour)
-	const slowSize = 1 << 20
-	if res.SlowStore, err = fig1Transfer(slow, ftp.Send, slowSize, comp, o); err != nil {
-		return nil, err
-	}
-	if res.SlowFetchRaw, err = fig1Transfer(slow, ftp.Recv, slowSize, 0, o); err != nil {
-		return nil, err
-	}
-	if res.SlowFetchComp, err = fig1Transfer(slow, ftp.Recv, slowSize, comp, o); err != nil {
-		return nil, err
-	}
+	res.SlowStore = times[3*len(sizes)]
+	res.SlowFetchRaw = times[3*len(sizes)+1]
+	res.SlowFetchComp = times[3*len(sizes)+2]
 	return res, nil
 }
 

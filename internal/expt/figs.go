@@ -65,14 +65,16 @@ func FigScenario(sc scenario.Scenario, o Options) (*ScenarioFig, error) {
 			v  float64
 		} // percent
 	}
-	var trials []trialData
-
-	for i := 0; i < o.Trials; i++ {
+	// Each collection traversal is an independent cell: run them across
+	// the worker pool, one slot per trial, and reduce in index order.
+	trials := make([]trialData, o.Trials)
+	corrections := make([]int, o.Trials)
+	err := forEach(o, o.Trials, func(i int) error {
 		raw, res, err := CollectFull(sc, i, o)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		fig.Corrections += res.Corrections
+		corrections[i] = res.Corrections
 		var td trialData
 		start := raw.Header.Start
 		if len(raw.Packets) > 0 {
@@ -100,7 +102,14 @@ func FigScenario(sc scenario.Scenario, o Options) (*ScenarioFig, error) {
 			}{at, tu.L * 100})
 			at += tu.D
 		}
-		trials = append(trials, td)
+		trials[i] = td
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range corrections {
+		fig.Corrections += c
 	}
 
 	if !sc.Motion {

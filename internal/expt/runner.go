@@ -1,0 +1,71 @@
+// The experiment harness's worker pool. Every figure and table is built
+// from independent cells — one (scenario, trial, bench) combination per
+// cell, each owning a private scheduler — so the cells can fan out across
+// OS threads while the merged output stays byte-identical at any worker
+// count.
+
+package expt
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workers resolves Options.Workers to a concrete pool size.
+func workers(o Options) int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// forEach runs fn(0) .. fn(n-1) across min(workers, n) goroutines.
+//
+// Determinism contract: each fn(i) must write only to its own index of any
+// shared output slice, and must derive all randomness from its own
+// scheduler (seeded by i). Under that contract the merged output is
+// independent of worker count and schedule. Every job runs even after a
+// failure — no early exit — and the lowest-index error is returned, so
+// error selection is also schedule-independent.
+func forEach(o Options, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := workers(o)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

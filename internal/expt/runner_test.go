@@ -1,0 +1,100 @@
+package expt
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"tracemod/internal/scenario"
+)
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, w := range []int{1, 3, 8} {
+		o := fastOptions()
+		o.Workers = w
+		const n = 100
+		var counts [n]int32
+		if err := forEach(o, n, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", w, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	// Indexes 7 and 63 fail; whichever worker count runs, the reported
+	// error must be index 7's — and every job must still run (no early
+	// exit), or error selection would depend on the schedule.
+	for _, w := range []int{1, 4, 16} {
+		o := fastOptions()
+		o.Workers = w
+		var ran int32
+		err := forEach(o, 64, func(i int) error {
+			atomic.AddInt32(&ran, 1)
+			if i == 7 || i == 63 {
+				return fmt.Errorf("job %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "job 7 failed" {
+			t.Fatalf("workers=%d: err = %v, want job 7's", w, err)
+		}
+		if ran != 64 {
+			t.Fatalf("workers=%d: ran %d jobs, want 64", w, ran)
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := forEach(fastOptions(), 0, func(int) error {
+		return errors.New("must not run")
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelRunnerByteIdentical is the harness's determinism guarantee:
+// the same options produce byte-identical rendered output at any worker
+// count. Runs under -race in CI, so it also proves the cells share no
+// mutable state.
+func TestParallelRunnerByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-worker-count figure runs are slow")
+	}
+	base := fastOptions()
+	render := func(o Options) string {
+		fig, err := FigScenario(scenario.Porter, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ab, err := AblateCompensation(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fig.Format() + ab.Format()
+	}
+	workerCounts := []int{1, 4, runtime.NumCPU()}
+	want := ""
+	for i, w := range workerCounts {
+		o := base
+		o.Workers = w
+		got := render(o)
+		if i == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("output at workers=%d differs from workers=%d:\n--- want ---\n%s\n--- got ---\n%s",
+				w, workerCounts[0], want, got)
+		}
+	}
+}

@@ -66,54 +66,84 @@ type AndrewTable struct {
 	Ethernet [6]stats.Summary
 }
 
-// collectTraces gathers one distilled trace per modulated trial.
+// collectTraces gathers one distilled trace per modulated trial, one
+// worker-pool cell per trial.
 func collectTraces(sc scenario.Scenario, o Options) ([]core.Trace, error) {
 	traces := make([]core.Trace, o.Trials)
-	for i := 0; i < o.Trials; i++ {
+	err := forEach(o, o.Trials, func(i int) error {
 		res, err := Collect(sc, i, o)
 		if err != nil {
-			return nil, fmt.Errorf("collect %s trial %d: %w", sc.Name, i, err)
+			return fmt.Errorf("collect %s trial %d: %w", sc.Name, i, err)
 		}
 		traces[i] = res.Replay
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return traces, nil
 }
 
 // benchCell runs o.Trials live and modulated trials of benchmark b and
-// summarizes elapsed seconds.
+// summarizes elapsed seconds. The 2×Trials runs are independent cells:
+// job 2i is trial i live, job 2i+1 is trial i modulated, so the error
+// priority matches the old serial live-then-modulated order.
 func benchCell(sc scenario.Scenario, b Bench, traces []core.Trace, comp core.PerByte, o Options) (Cell, [][6]float64, [][6]float64, error) {
-	var real, mod []float64
-	var realPhases, modPhases [][6]float64
-	for i := 0; i < o.Trials; i++ {
-		r, err := RunLive(sc, b, i, o)
-		if err != nil {
-			return Cell{}, nil, nil, fmt.Errorf("live %s/%v trial %d: %w", sc.Name, b, i, err)
-		}
-		real = append(real, r.Elapsed.Seconds())
-		if r.Phases != nil {
-			realPhases = append(realPhases, r.Phases.Seconds())
+	realR := make([]Result, o.Trials)
+	modR := make([]Result, o.Trials)
+	err := forEach(o, 2*o.Trials, func(j int) error {
+		i := j / 2
+		if j%2 == 0 {
+			r, err := RunLive(sc, b, i, o)
+			if err != nil {
+				return fmt.Errorf("live %s/%v trial %d: %w", sc.Name, b, i, err)
+			}
+			realR[i] = r
+			return nil
 		}
 		m, err := RunModulated(traces[i], b, i, comp, o)
 		if err != nil {
-			return Cell{}, nil, nil, fmt.Errorf("mod %s/%v trial %d: %w", sc.Name, b, i, err)
+			return fmt.Errorf("mod %s/%v trial %d: %w", sc.Name, b, i, err)
 		}
-		mod = append(mod, m.Elapsed.Seconds())
-		if m.Phases != nil {
-			modPhases = append(modPhases, m.Phases.Seconds())
+		modR[i] = m
+		return nil
+	})
+	if err != nil {
+		return Cell{}, nil, nil, err
+	}
+	var real, mod []float64
+	var realPhases, modPhases [][6]float64
+	for i := 0; i < o.Trials; i++ {
+		real = append(real, realR[i].Elapsed.Seconds())
+		if realR[i].Phases != nil {
+			realPhases = append(realPhases, realR[i].Phases.Seconds())
+		}
+		mod = append(mod, modR[i].Elapsed.Seconds())
+		if modR[i].Phases != nil {
+			modPhases = append(modPhases, modR[i].Phases.Seconds())
 		}
 	}
 	return Cell{Real: stats.Summarize(real), Mod: stats.Summarize(mod)}, realPhases, modPhases, nil
 }
 
-// ethernetReference runs the benchmark on the bare testbed.
+// ethernetReference runs the benchmark on the bare testbed, one cell per
+// trial.
 func ethernetReference(b Bench, o Options) (stats.Summary, [][6]float64, error) {
-	var xs []float64
-	var phases [][6]float64
-	for i := 0; i < o.Trials; i++ {
+	rs := make([]Result, o.Trials)
+	err := forEach(o, o.Trials, func(i int) error {
 		r, err := RunEthernetReference(b, i, o)
 		if err != nil {
-			return stats.Summary{}, nil, err
+			return err
 		}
+		rs[i] = r
+		return nil
+	})
+	if err != nil {
+		return stats.Summary{}, nil, err
+	}
+	var xs []float64
+	var phases [][6]float64
+	for _, r := range rs {
 		xs = append(xs, r.Elapsed.Seconds())
 		if r.Phases != nil {
 			phases = append(phases, r.Phases.Seconds())

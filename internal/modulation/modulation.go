@@ -223,7 +223,20 @@ type Engine struct {
 	tracer   obs.Tracer   // nil = event tracing off
 	inflight int64        // packets currently inside the bottleneck queue
 
+	// pending coalesces tick-quantized deliveries: all packets rounding to
+	// the same absolute delivery instant share one clock timer instead of
+	// arming one each, which is what keeps a packet burst from flooding the
+	// scheduler heap (sim) or the shared emud timer wheel. Batches are
+	// recycled through batchFree so steady state allocates no slices.
+	pending   map[time.Duration]*tickBatch
+	batchFree []*tickBatch
+
 	stats Stats
+}
+
+// tickBatch is the set of deliveries armed for one quantized instant.
+type tickBatch struct {
+	fns []func()
 }
 
 // NewEngine creates a modulation engine. Modulation time starts at the
@@ -239,6 +252,9 @@ func NewEngine(clock Clock, src Source, cfg Config) *Engine {
 		cfg.RNG = rand.New(rand.NewSource(DefaultDropSeed))
 	}
 	e := &Engine{clock: clock, src: src, cfg: cfg, tracer: cfg.Tracer}
+	if cfg.Tick > 0 {
+		e.pending = make(map[time.Duration]*tickBatch)
+	}
 	if cfg.Metrics != nil {
 		e.ins = newInstruments(cfg.Metrics, cfg.Tick)
 		cfg.Metrics.GaugeFunc("tracemod_modulation_bottleneck_busy_seconds",
@@ -369,7 +385,12 @@ func (e *Engine) submit(dir simnet.Direction, size int, deliver, drop func()) {
 	now := e.clock.Now()
 	e.stats.Submitted++
 	e.ins.submitPacket() // nil-safe: one branch when obs is off
-	e.advance(now)
+	// Fast path: the cached cursor (cur/schedEnd) still covers now, so no
+	// replay-tuple lookup is needed — the common case, since tuples span
+	// many packet times.
+	if !e.curOK || now >= e.schedEnd {
+		e.advance(now)
+	}
 	if e.tracer != nil {
 		e.tracer.Record(obs.Event{At: now, Kind: obs.EvSubmit, Dir: int8(dir), Size: int32(size), Tuple: e.stats.Tuples})
 	}
@@ -481,8 +502,56 @@ func (e *Engine) submit(dir simnet.Direction, size int, deliver, drop func()) {
 	if e.tracer != nil {
 		e.tracer.Record(obs.Event{At: target, Kind: obs.EvDeliver, Dir: int8(dir), Size: int32(size), Tuple: e.stats.Tuples, Value: delay})
 	}
+	if e.pending != nil {
+		// Tick-quantized deliveries land on a coarse grid, so bursts share
+		// delivery instants. Ride the timer already armed for this target
+		// instead of arming another one.
+		if b, ok := e.pending[target]; ok {
+			b.fns = append(b.fns, deliver)
+			e.mu.Unlock()
+			return
+		}
+		b := e.takeBatch()
+		b.fns = append(b.fns, deliver)
+		e.pending[target] = b
+		e.mu.Unlock()
+		e.clock.AfterFunc(delay, func() { e.fireBatch(target) })
+		return
+	}
 	e.mu.Unlock()
 	e.clock.AfterFunc(delay, deliver)
+}
+
+// takeBatch returns an empty batch from the free list, or a fresh one.
+// Called with e.mu held.
+func (e *Engine) takeBatch() *tickBatch {
+	if n := len(e.batchFree); n > 0 {
+		b := e.batchFree[n-1]
+		e.batchFree = e.batchFree[:n-1]
+		return b
+	}
+	return &tickBatch{}
+}
+
+// fireBatch delivers every packet coalesced onto one quantized instant, in
+// submission order, then recycles the batch. Callbacks run outside e.mu:
+// they re-enter the stack (and often Submit itself).
+func (e *Engine) fireBatch(target time.Duration) {
+	e.mu.Lock()
+	b := e.pending[target]
+	delete(e.pending, target)
+	e.mu.Unlock()
+	if b == nil {
+		return
+	}
+	for i, fn := range b.fns {
+		b.fns[i] = nil // drop the closure reference before recycling
+		fn()
+	}
+	b.fns = b.fns[:0]
+	e.mu.Lock()
+	e.batchFree = append(e.batchFree, b)
+	e.mu.Unlock()
 }
 
 // finishImmediate books an under-half-tick delivery and releases the lock;

@@ -11,9 +11,7 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
-	"hash/fnv"
 	"math/rand"
 	"time"
 )
@@ -39,41 +37,40 @@ func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
 
 func (t Time) String() string { return time.Duration(t).String() }
 
+// event is one scheduled callback. Events are pooled per scheduler: At
+// draws from the free list and the run loop recycles fired (or cancelled)
+// events back onto it, so steady-state scheduling allocates nothing.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at        Time
+	seq       uint64 // schedule order; 0 means "recycled, not in the heap"
+	fn        func()
+	cancelled bool
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventBefore is the heap order: time, then schedule order, so events with
+// equal timestamps fire in the order they were scheduled.
+func eventBefore(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-func (h eventHeap) peek() *event { return h[0] }
 
 // Scheduler owns virtual time. It must only be manipulated from the
 // goroutine that calls Run (directly or from event callbacks) or from the
 // single process it has currently resumed.
 type Scheduler struct {
-	now    Time
-	events eventHeap
+	now Time
+	// events is a 4-ary min-heap ordered by eventBefore. Quaternary beats
+	// binary here: sift-downs touch four children per cache line worth of
+	// pointers and the tree is half as deep, which is where the run loop
+	// spends its time once per-event allocation is gone.
+	events []*event
+	free   []*event // recycled events (the per-scheduler pool)
+	dead   int      // cancelled events still occupying heap slots
 	seq    uint64
 	seed   int64
+	rngs   map[string]*rand.Rand // memoized per-component streams
 
 	// parked is signalled by a running process when it blocks or exits,
 	// returning control to the scheduler. It is unbuffered so the handoff
@@ -97,25 +94,198 @@ func (s *Scheduler) Seed() int64 { return s.seed }
 
 // RNG returns a deterministic random stream for the named component. Streams
 // for distinct names are independent, so adding a component does not perturb
-// the draws seen by others.
+// the draws seen by others. The stream is created on first use and cached:
+// calling RNG with the same name again returns the same stream (continuing
+// where it left off) and performs no allocation.
 func (s *Scheduler) RNG(name string) *rand.Rand {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%d|%s", s.seed, name)
-	return rand.New(rand.NewSource(int64(h.Sum64())))
+	if r, ok := s.rngs[name]; ok {
+		return r
+	}
+	// Inline FNV-1a over "<seed>|<name>" without the fmt/hash allocations.
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for v := uint64(s.seed); ; v /= 10 {
+		h = (h ^ (v%10 + '0')) * prime64
+		if v < 10 {
+			break
+		}
+	}
+	h = (h ^ '|') * prime64
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * prime64
+	}
+	r := rand.New(rand.NewSource(int64(h)))
+	if s.rngs == nil {
+		s.rngs = make(map[string]*rand.Rand)
+	}
+	s.rngs[name] = r
+	return r
+}
+
+// schedule places a pooled event on the heap and returns it.
+func (s *Scheduler) schedule(t Time, fn func()) *event {
+	if t < s.now {
+		t = s.now
+	}
+	var e *event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		e = new(event)
+	}
+	s.seq++
+	e.at, e.seq, e.fn, e.cancelled = t, s.seq, fn, false
+	s.heapPush(e)
+	return e
+}
+
+// recycle returns a popped event to the pool. Zeroing seq disarms any Timer
+// still holding the event (a stale Stop compares seq and no-ops), and
+// dropping fn releases the closure.
+func (s *Scheduler) recycle(e *event) {
+	e.fn = nil
+	e.seq = 0
+	e.cancelled = false
+	s.free = append(s.free, e)
+}
+
+// heapPush inserts into the 4-ary heap.
+func (s *Scheduler) heapPush(e *event) {
+	s.events = append(s.events, e)
+	i := len(s.events) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !eventBefore(e, s.events[p]) {
+			break
+		}
+		s.events[i] = s.events[p]
+		i = p
+	}
+	s.events[i] = e
+}
+
+// heapPop removes and returns the earliest event.
+func (s *Scheduler) heapPop() *event {
+	h := s.events
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	s.events = h[:n]
+	if n > 0 {
+		s.siftDown(last, 0)
+	}
+	return top
+}
+
+// siftDown places e at slot i of the 4-ary heap, walking it toward the
+// leaves past any smaller children.
+func (s *Scheduler) siftDown(e *event, i int) {
+	h := s.events
+	n := len(h)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		// Pick the smallest of up to four children.
+		min := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if eventBefore(h[c], h[min]) {
+				min = c
+			}
+		}
+		if !eventBefore(h[min], e) {
+			break
+		}
+		h[i] = h[min]
+		i = min
+	}
+	h[i] = e
+}
+
+// compact rebuilds the heap without its cancelled events once they dominate,
+// bounding the memory a burst of Stop calls can pin.
+func (s *Scheduler) compact() {
+	live := s.events[:0]
+	for _, e := range s.events {
+		if e.cancelled {
+			s.recycle(e)
+		} else {
+			live = append(live, e)
+		}
+	}
+	for i := len(live); i < len(s.events); i++ {
+		s.events[i] = nil
+	}
+	s.events = live
+	s.dead = 0
+	// Floyd heapify: sift down every internal node.
+	for i := (len(live) - 2) / 4; i >= 0; i-- {
+		s.siftDown(live[i], i)
+	}
 }
 
 // At schedules fn to run at absolute time t. Scheduling in the past runs the
 // event at the current time (events never travel backwards).
-func (s *Scheduler) At(t Time, fn func()) {
-	if t < s.now {
-		t = s.now
-	}
-	s.seq++
-	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
-}
+func (s *Scheduler) At(t Time, fn func()) { s.schedule(t, fn) }
 
 // After schedules fn to run d from now.
-func (s *Scheduler) After(d time.Duration, fn func()) { s.At(s.now.Add(d), fn) }
+func (s *Scheduler) After(d time.Duration, fn func()) { s.schedule(s.now.Add(d), fn) }
+
+// Timer is a handle to a scheduled event that can be cancelled before it
+// fires. The zero Timer is inert. Like every scheduler operation, Stop must
+// be called from scheduler context (an event callback or the currently
+// resumed process).
+type Timer struct {
+	s   *Scheduler
+	e   *event
+	seq uint64
+}
+
+// AtTimer is At returning a cancellable handle.
+func (s *Scheduler) AtTimer(t Time, fn func()) Timer {
+	e := s.schedule(t, fn)
+	return Timer{s: s, e: e, seq: e.seq}
+}
+
+// AfterTimer is After returning a cancellable handle.
+func (s *Scheduler) AfterTimer(d time.Duration, fn func()) Timer {
+	return s.AtTimer(s.now.Add(d), fn)
+}
+
+// Stop cancels the timer and reports whether it was still pending.
+// Cancellation is lazy: the event keeps its heap slot (its closure is
+// released immediately) and is recycled when it surfaces, or earlier by
+// compaction when cancelled events outnumber live ones. Stopping an
+// already-fired or already-stopped timer is a no-op.
+func (t Timer) Stop() bool {
+	e := t.e
+	if e == nil || e.seq != t.seq || e.cancelled {
+		return false
+	}
+	e.cancelled = true
+	e.fn = nil
+	t.s.dead++
+	if t.s.dead > 64 && t.s.dead > len(t.s.events)/2 {
+		t.s.compact()
+	}
+	return true
+}
+
+// Active reports whether the timer is still pending.
+func (t Timer) Active() bool {
+	return t.e != nil && t.e.seq == t.seq && !t.e.cancelled
+}
 
 // Stop makes Run return after the current event completes. Pending events
 // remain queued.
@@ -134,30 +304,53 @@ func (s *Scheduler) Run() Time {
 // runs routinely leave daemons parked (e.g. a looping modulation daemon
 // blocked on a full buffer).
 func (s *Scheduler) RunUntil(t Time) Time {
-	return s.run(func() bool { return s.events.Len() > 0 && s.events.peek().at > t }, false)
+	return s.run(func() bool {
+		e := s.peekLive()
+		return e != nil && e.at > t
+	}, false)
 }
 
 // RunFor executes events for d of virtual time from now.
 func (s *Scheduler) RunFor(d time.Duration) Time { return s.RunUntil(s.now.Add(d)) }
 
+// peekLive returns the earliest live event, discarding cancelled ones that
+// have surfaced at the top of the heap.
+func (s *Scheduler) peekLive() *event {
+	for len(s.events) > 0 {
+		e := s.events[0]
+		if !e.cancelled {
+			return e
+		}
+		s.heapPop()
+		s.dead--
+		s.recycle(e)
+	}
+	return nil
+}
+
 func (s *Scheduler) run(done func() bool, checkDeadlock bool) Time {
 	s.stopped = false
-	for s.events.Len() > 0 && !s.stopped && !done() {
-		e := heap.Pop(&s.events).(*event)
+	for !s.stopped {
+		if s.peekLive() == nil || done() {
+			break
+		}
+		e := s.heapPop()
 		s.now = e.at
-		e.fn()
+		fn := e.fn
+		s.recycle(e)
+		fn()
 	}
-	if checkDeadlock && !s.stopped && s.events.Len() == 0 && s.procs > 0 {
+	if checkDeadlock && !s.stopped && s.Idle() && s.procs > 0 {
 		panic(fmt.Sprintf("sim: deadlock: %d process(es) blocked with no pending events at %v", s.procs, s.now))
 	}
 	return s.now
 }
 
-// Idle reports whether no events remain.
-func (s *Scheduler) Idle() bool { return s.events.Len() == 0 }
+// Idle reports whether no live events remain.
+func (s *Scheduler) Idle() bool { return len(s.events)-s.dead == 0 }
 
-// Pending returns the number of queued events.
-func (s *Scheduler) Pending() int { return s.events.Len() }
+// Pending returns the number of queued live events.
+func (s *Scheduler) Pending() int { return len(s.events) - s.dead }
 
 // Procs returns the number of live processes.
 func (s *Scheduler) Procs() int { return s.procs }
@@ -169,6 +362,10 @@ type Proc struct {
 	name   string
 	resume chan struct{}
 	done   bool
+	// unparkFn caches the unpark method value so hot primitives (Sleep,
+	// channel wakeups) can schedule it without allocating a new closure
+	// per call.
+	unparkFn func()
 }
 
 // Name returns the process name given at Spawn.
@@ -184,6 +381,7 @@ func (p *Proc) Now() Time { return p.s.now }
 // time, after already-queued events at this instant.
 func (s *Scheduler) Spawn(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{s: s, name: name, resume: make(chan struct{})}
+	p.unparkFn = p.unpark
 	s.procs++
 	s.At(s.now, func() {
 		go func() {
@@ -224,7 +422,7 @@ func (p *Proc) Sleep(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	p.s.After(d, p.unpark)
+	p.s.After(d, p.unparkFn)
 	p.park()
 }
 
@@ -288,7 +486,7 @@ func (c *Chan[T]) Close() {
 		}
 		w.done = true
 		w.ok = false
-		c.s.At(c.s.now, w.p.unpark)
+		c.s.At(c.s.now, w.p.unparkFn)
 	}
 }
 
@@ -326,7 +524,7 @@ func (c *Chan[T]) deliver(v T) bool {
 	w.val = v
 	w.ok = true
 	w.done = true
-	c.s.At(c.s.now, w.p.unpark)
+	c.s.At(c.s.now, w.p.unparkFn)
 	return true
 }
 
@@ -383,7 +581,7 @@ func (c *Chan[T]) admitSender() {
 	if !c.deliver(w.val) {
 		c.buf = append(c.buf, w.val)
 	}
-	c.s.At(c.s.now, w.p.unpark)
+	c.s.At(c.s.now, w.p.unparkFn)
 }
 
 // Recv blocks the calling process until a value arrives or the channel is
@@ -423,7 +621,7 @@ func (c *Chan[T]) RecvTimeout(p *Proc, d time.Duration) (v T, ok bool, timedOut 
 			return
 		}
 		w.timedOut = true
-		c.s.At(c.s.now, p.unpark)
+		c.s.At(c.s.now, p.unparkFn)
 	})
 	p.park()
 	if w.timedOut && w.done {
@@ -456,7 +654,7 @@ func (wg *WaitGroup) Done() {
 	}
 	if wg.count == 0 {
 		for _, p := range wg.wait {
-			wg.s.At(wg.s.now, p.unpark)
+			wg.s.At(wg.s.now, p.unparkFn)
 		}
 		wg.wait = nil
 	}

@@ -253,18 +253,189 @@ func TestTrySendFullBuffer(t *testing.T) {
 
 func TestRNGStreamsIndependent(t *testing.T) {
 	s := New(42)
+	if s.RNG("a") != s.RNG("a") {
+		t.Fatal("same name must return the same cached stream")
+	}
 	a1 := s.RNG("a").Int63()
 	b1 := s.RNG("b").Int63()
-	a2 := s.RNG("a").Int63()
-	if a1 != a2 {
-		t.Fatal("same name must give the same stream")
-	}
 	if a1 == b1 {
 		t.Fatal("different names should give different streams")
 	}
-	s2 := New(43)
-	if s2.RNG("a").Int63() == a1 {
+	// The stream is deterministic in (seed, name): a fresh scheduler with
+	// the same seed replays it, a different seed diverges.
+	if got := New(42).RNG("a").Int63(); got != a1 {
+		t.Fatalf("same seed+name must replay: %d vs %d", got, a1)
+	}
+	if New(43).RNG("a").Int63() == a1 {
 		t.Fatal("different seeds should give different streams")
+	}
+	if New(-42).RNG("a").Int63() == a1 {
+		t.Fatal("negative seed must hash distinctly")
+	}
+}
+
+func TestRNGLookupDoesNotAllocate(t *testing.T) {
+	s := New(7)
+	s.RNG("component") // create and cache
+	if allocs := testing.AllocsPerRun(100, func() { s.RNG("component") }); allocs != 0 {
+		t.Fatalf("cached RNG lookup allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := New(1)
+	fired := false
+	tm := s.AfterTimer(time.Second, func() { fired = true })
+	if !tm.Active() {
+		t.Fatal("timer should be active before firing")
+	}
+	if !tm.Stop() {
+		t.Fatal("first Stop must report cancellation")
+	}
+	if tm.Stop() || tm.Active() {
+		t.Fatal("second Stop must be a no-op")
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("cancelled timer still pending: %d", s.Pending())
+	}
+	s.Run()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestTimerFiresThenStopIsNoop(t *testing.T) {
+	s := New(1)
+	n := 0
+	tm := s.AfterTimer(time.Millisecond, func() { n++ })
+	s.Run()
+	if n != 1 {
+		t.Fatalf("timer fired %d times", n)
+	}
+	if tm.Stop() || tm.Active() {
+		t.Fatal("Stop after firing must be a no-op")
+	}
+	// The fired event was recycled; a stale handle must not disturb a new
+	// event occupying the same pooled struct.
+	m := 0
+	s.After(time.Millisecond, func() { m++ })
+	if tm.Stop() {
+		t.Fatal("stale handle cancelled a recycled event")
+	}
+	s.Run()
+	if m != 1 {
+		t.Fatal("recycled event did not fire")
+	}
+}
+
+func TestTimerCancellationKeepsOrder(t *testing.T) {
+	s := New(1)
+	var order []int
+	var timers []Timer
+	for i := 0; i < 100; i++ {
+		i := i
+		timers = append(timers, s.AtTimer(Time(i%10)*Time(time.Millisecond), func() {
+			order = append(order, i)
+		}))
+	}
+	// Cancel every third timer, including ones at the heap top.
+	want := []int{}
+	cancelled := map[int]bool{}
+	for i, tm := range timers {
+		if i%3 == 0 {
+			tm.Stop()
+			cancelled[i] = true
+		}
+	}
+	// Expected order: by (time bucket, schedule order), skipping cancelled.
+	for bucket := 0; bucket < 10; bucket++ {
+		for i := 0; i < 100; i++ {
+			if i%10 == bucket && !cancelled[i] {
+				want = append(want, i)
+			}
+		}
+	}
+	s.Run()
+	if len(order) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order[%d] = %d, want %d", i, order[i], want[i])
+		}
+	}
+}
+
+func TestMassCancellationCompacts(t *testing.T) {
+	s := New(1)
+	var timers []Timer
+	for i := 0; i < 10000; i++ {
+		timers = append(timers, s.AfterTimer(time.Duration(i+1)*time.Second, func() {}))
+	}
+	for _, tm := range timers {
+		tm.Stop()
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("pending = %d after cancelling everything", s.Pending())
+	}
+	if n := len(s.events); n > 5001 {
+		t.Fatalf("heap holds %d slots after mass cancellation; compaction failed", n)
+	}
+	fired := false
+	s.After(time.Second, func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Fatal("scheduler broken after compaction")
+	}
+}
+
+// TestSchedulerSteadyStateNoAllocs is the free-list guarantee: once the
+// pool is warm, At/After/AtTimer allocate nothing per event.
+func TestSchedulerSteadyStateNoAllocs(t *testing.T) {
+	s := New(1)
+	fn := func() {}
+	for i := 0; i < 256; i++ {
+		s.After(time.Duration(i)*time.Microsecond, fn)
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.After(time.Microsecond, fn)
+		s.After(2*time.Microsecond, fn)
+		tm := s.AfterTimer(3*time.Microsecond, fn)
+		tm.Stop()
+		s.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state scheduling allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestHeapOrderingProperty cross-checks the 4-ary heap against a reference
+// sort over a pseudo-random schedule.
+func TestHeapOrderingProperty(t *testing.T) {
+	s := New(99)
+	rng := s.RNG("heap-test")
+	type stamp struct {
+		at  Time
+		seq int
+	}
+	var got []stamp
+	n := 0
+	for i := 0; i < 5000; i++ {
+		at := Time(rng.Int63n(1000)) * Time(time.Millisecond)
+		seq := n
+		n++
+		s.At(at, func() { got = append(got, stamp{at, seq}) })
+	}
+	s.Run()
+	if len(got) != 5000 {
+		t.Fatalf("fired %d events", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		a, b := got[i-1], got[i]
+		if a.at > b.at || (a.at == b.at && a.seq > b.seq) {
+			t.Fatalf("out of order at %d: %+v then %+v", i, a, b)
+		}
 	}
 }
 

@@ -114,6 +114,7 @@ type Medium struct {
 	provider QualityProvider
 	rng      *rand.Rand
 	nics     []*NIC
+	hwSeq    uint16 // per-medium HW address allocator; addresses only resolve within a medium
 	queue    []txJob
 	busy     bool
 	stats    MediumStats
@@ -302,11 +303,8 @@ type Node struct {
 	inHooks  []Hook
 	handlers map[uint8]Handler
 	ipID     uint16
-	hwSeq    *uint16
 	stats    NodeStats
 }
-
-var hwCounter uint16
 
 // NewNode creates a node on scheduler s.
 func NewNode(s *sim.Scheduler, name string) *Node {
@@ -324,10 +322,10 @@ func (n *Node) Stats() NodeStats { return n.stats }
 // AttachNIC connects the node to a medium with the given address and mask,
 // adds a directly-connected route for the subnet, and returns the NIC.
 func (n *Node) AttachNIC(m *Medium, ip, mask packet.IPAddr) *NIC {
-	hwCounter++
+	m.hwSeq++
 	nic := &NIC{
 		node: n, medium: m, IP: ip, Mask: mask,
-		HW:       packet.HWAddr{0x02, 0x00, 0x00, 0x00, byte(hwCounter >> 8), byte(hwCounter)},
+		HW:       packet.HWAddr{0x02, 0x00, 0x00, 0x00, byte(m.hwSeq >> 8), byte(m.hwSeq)},
 		QueueCap: 50,
 	}
 	n.nics = append(n.nics, nic)

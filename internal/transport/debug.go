@@ -5,7 +5,7 @@ import "fmt"
 // DebugString renders connection internals for diagnostics.
 func (c *Conn) DebugString() string {
 	return fmt.Sprintf("st=%s una=%d nxt=%d flight=%d buf=%d rwnd=%d cwnd=%d ssthresh=%d dup=%d rto=%v rtx=%d rtxArmed=%v rcvNxt=%d recvBuf=%d oo=%d peerFin=%v finSent=%v",
-		c.StateString(), c.sndUna-c.iss, c.sndNxt-c.iss, c.flight(), len(c.sendBuf), c.rwnd, c.cwnd, c.ssthresh, c.dupAcks, c.rto, c.retransmit, c.rtxArmed, c.rcvNxt-c.irs, len(c.recvBuf), len(c.oo), c.peerFin, c.finSent)
+		c.StateString(), c.sndUna-c.iss, c.sndNxt-c.iss, c.flight(), len(c.sendBuf), c.rwnd, c.cwnd, c.ssthresh, c.dupAcks, c.rto, c.retransmit, c.rtxTimer.Active(), c.rcvNxt-c.irs, len(c.recvBuf), len(c.oo), c.peerFin, c.finSent)
 }
 
 // DebugConns lists the stack's conns.

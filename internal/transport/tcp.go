@@ -154,6 +154,8 @@ func (t *TCPStack) newConn(key connKey, st connState) *Conn {
 		readable:    sim.NewChan[struct{}](t.s, 1),
 		writable:    sim.NewChan[struct{}](t.s, 1),
 	}
+	c.rtxFn = c.onRetransmitTimer
+	c.delAckFn = c.onDelAckTimer
 	t.conns[key] = c
 	return c
 }
@@ -189,10 +191,10 @@ type Conn struct {
 	sampleAt     sim.Time
 	sampleValid  bool
 
-	// Retransmission timer generation guard.
-	rtxGen     int
-	rtxArmed   bool
-	retransmit int // consecutive timeouts
+	// Retransmission/persist timer (cancellable; at most one armed).
+	rtxTimer   sim.Timer
+	rtxFn      func() // cached onRetransmitTimer closure
+	retransmit int    // consecutive timeouts
 
 	// Receive side.
 	irs     uint32
@@ -203,8 +205,9 @@ type Conn struct {
 	finRcvd uint32 // sequence number of peer FIN
 
 	// Delayed ACK state (ack every second segment or after DelAckDelay).
-	delAcks   int
-	delAckGen int
+	delAcks     int
+	delAckTimer sim.Timer
+	delAckFn    func() // cached onDelAckTimer closure
 
 	// App wakeups.
 	established *sim.Chan[struct{}]
@@ -258,7 +261,7 @@ func (c *Conn) sendSeg(flags uint8, seq, ack uint32, data []byte) {
 
 func (c *Conn) sendAck() {
 	c.delAcks = 0
-	c.delAckGen++
+	c.delAckTimer.Stop()
 	c.sendSeg(packet.TCPAck, c.sndNxt, c.rcvNxt, nil)
 }
 
@@ -270,12 +273,16 @@ func (c *Conn) ackSoon() {
 		c.sendAck()
 		return
 	}
-	gen := c.delAckGen
-	c.sched().After(DelAckDelay, func() {
-		if gen == c.delAckGen && c.delAcks > 0 && c.state != stClosed {
-			c.sendAck()
-		}
-	})
+	if c.delAckTimer.Active() {
+		return
+	}
+	c.delAckTimer = c.sched().AfterTimer(DelAckDelay, c.delAckFn)
+}
+
+func (c *Conn) onDelAckTimer() {
+	if c.delAcks > 0 && c.state != stClosed {
+		c.sendAck()
+	}
 }
 
 // flight is the number of bytes in flight.
@@ -353,27 +360,25 @@ func (c *Conn) maybeSendFin() {
 
 // armRetransmit starts the retransmission timer if anything is in flight.
 func (c *Conn) armRetransmit() {
-	if c.rtxArmed {
+	if c.rtxTimer.Active() {
 		return
 	}
 	if c.flight() == 0 && c.state != stSynSent && !c.finSent {
 		return
 	}
-	c.rtxArmed = true
-	gen := c.rtxGen
-	c.sched().After(c.rto, func() { c.onRetransmitTimer(gen) })
+	c.rtxTimer = c.sched().AfterTimer(c.rto, c.rtxFn)
 }
 
+// disarmRetransmit cancels the pending timer outright, so acked
+// connections leave no dead events behind in the scheduler heap.
 func (c *Conn) disarmRetransmit() {
-	c.rtxGen++
-	c.rtxArmed = false
+	c.rtxTimer.Stop()
 }
 
-func (c *Conn) onRetransmitTimer(gen int) {
-	if gen != c.rtxGen || c.state == stClosed {
+func (c *Conn) onRetransmitTimer() {
+	if c.state == stClosed {
 		return
 	}
-	c.rtxArmed = false
 	if c.flight() == 0 && c.state != stSynSent && !c.finSent {
 		return
 	}
@@ -446,16 +451,13 @@ func (c *Conn) armPersistIfNeeded() {
 	if c.rwnd >= MSS || len(c.sendBuf) == c.flight() {
 		return
 	}
-	if c.rtxArmed {
+	if c.rtxTimer.Active() {
 		return
 	}
-	c.rtxArmed = true
-	gen := c.rtxGen
-	c.sched().After(c.rto, func() {
-		if gen != c.rtxGen || c.state == stClosed {
+	c.rtxTimer = c.sched().AfterTimer(c.rto, func() {
+		if c.state == stClosed {
 			return
 		}
-		c.rtxArmed = false
 		// Window probe: one byte beyond the window.
 		if len(c.sendBuf) > c.flight() {
 			off := c.flight()
@@ -473,6 +475,7 @@ func (c *Conn) fail(err error) {
 	c.state = stClosed
 	c.failure = err
 	c.disarmRetransmit()
+	c.delAckTimer.Stop()
 	delete(c.stack.conns, c.key)
 	c.established.TrySend(struct{}{})
 	c.readable.TrySend(struct{}{})
@@ -854,6 +857,7 @@ func (c *Conn) teardown() {
 	}
 	c.state = stClosed
 	c.disarmRetransmit()
+	c.delAckTimer.Stop()
 	delete(c.stack.conns, c.key)
 	c.readable.TrySend(struct{}{})
 	c.writable.TrySend(struct{}{})
