@@ -211,7 +211,15 @@ func compare(base, cur File, threshold float64) []string {
 		}
 		sort.Strings(units)
 		for _, unit := range units {
-			bv, cv := baseG[unit], curG[unit]
+			bv := baseG[unit]
+			cv, present := curG[unit]
+			if !present {
+				// ns/op and allocs/op are always reported, so an absent unit
+				// is a custom metric (e.g. goroutines/session) the benchmark
+				// stopped emitting — failing keeps it from dodging the guard.
+				failures = append(failures, fmt.Sprintf("%s %s: metric missing from this run", name, unit))
+				continue
+			}
 			limit := bv * (1 + threshold)
 			if bv == 0 && cv > 0 {
 				failures = append(failures, fmt.Sprintf("%s %s: baseline 0, now %g", name, unit, cv))

@@ -228,6 +228,11 @@ type Engine struct {
 	// arming one each, which is what keeps a packet burst from flooding the
 	// scheduler heap (sim) or the shared emud timer wheel. Batches are
 	// recycled through batchFree so steady state allocates no slices.
+	// Ordering caveat: a delivery joining an existing batch fires with the
+	// first packet's scheduler seq, so it may precede unrelated events
+	// scheduled for the same instant in between — deterministic, but
+	// same-seed traces interleave differently than without coalescing
+	// (DESIGN.md §10, "Delivery coalescing").
 	pending   map[time.Duration]*tickBatch
 	batchFree []*tickBatch
 

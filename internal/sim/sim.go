@@ -229,9 +229,13 @@ func (s *Scheduler) compact() {
 	}
 	s.events = live
 	s.dead = 0
-	// Floyd heapify: sift down every internal node.
-	for i := (len(live) - 2) / 4; i >= 0; i-- {
-		s.siftDown(live[i], i)
+	// Floyd heapify: sift down every internal node. The n > 1 guard matters:
+	// for n == 0, (n-2)/4 truncates to 0 in Go and the loop would index an
+	// empty slice.
+	if n := len(live); n > 1 {
+		for i := (n - 2) / 4; i >= 0; i-- {
+			s.siftDown(live[i], i)
+		}
 	}
 }
 

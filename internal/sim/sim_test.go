@@ -389,6 +389,30 @@ func TestMassCancellationCompacts(t *testing.T) {
 	}
 }
 
+// TestCancelEverythingCompactsEmpty stops enough timers to trip compaction
+// (dead > 64) with zero live events remaining. Regression test: compact()'s
+// Floyd heapify used to index live[0] on an empty heap because (0-2)/4
+// truncates to 0 in Go.
+func TestCancelEverythingCompactsEmpty(t *testing.T) {
+	s := New(1)
+	var timers []Timer
+	for i := 0; i < 65; i++ {
+		timers = append(timers, s.AfterTimer(time.Duration(i+1)*time.Millisecond, func() {}))
+	}
+	for _, tm := range timers {
+		tm.Stop()
+	}
+	if s.Pending() != 0 || len(s.events) != 0 {
+		t.Fatalf("pending = %d, heap slots = %d after cancelling everything", s.Pending(), len(s.events))
+	}
+	fired := false
+	s.After(time.Second, func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Fatal("scheduler broken after compacting to empty")
+	}
+}
+
 // TestSchedulerSteadyStateNoAllocs is the free-list guarantee: once the
 // pool is warm, At/After/AtTimer allocate nothing per event.
 func TestSchedulerSteadyStateNoAllocs(t *testing.T) {
