@@ -33,10 +33,18 @@ func main() {
 	step := flag.Duration("step", time.Second, "tuple emission period")
 	verbose := flag.Bool("v", false, "print every tuple")
 	family := flag.Bool("family", false, "treat trailing args as a trace family; write envelope traces to <o>.{optimistic,typical,pessimistic}.replay")
+	strict := flag.Bool("strict", false, "refuse imperfect input instead of sanitizing it (implies strict parsing)")
+	salvage := flag.Bool("salvage", false, "parse damaged traces in salvage mode instead of aborting")
 	flag.Parse()
 
+	if *strict && *salvage {
+		fmt.Fprintln(os.Stderr, "distill: -strict and -salvage are mutually exclusive")
+		os.Exit(1)
+	}
+	cfg := distill.Config{Window: *window, Step: *step, Strict: *strict}
+
 	if *family {
-		if err := runFamily(*out, flag.Args(), distill.Config{Window: *window, Step: *step}); err != nil {
+		if err := runFamily(*out, flag.Args(), cfg, *salvage); err != nil {
 			fmt.Fprintf(os.Stderr, "distill: %v\n", err)
 			os.Exit(1)
 		}
@@ -52,22 +60,19 @@ func main() {
 		path = strings.TrimSuffix(*in, ".trace") + ".replay"
 	}
 
-	f, err := os.Open(*in)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "distill: %v\n", err)
-		os.Exit(1)
-	}
-	tr, err := tracefmt.ReadAll(f)
-	f.Close()
+	tr, err := readCollected(*in, *salvage)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "distill: %v\n", err)
 		os.Exit(1)
 	}
 
-	res, err := distill.Distill(tr, distill.Config{Window: *window, Step: *step})
+	res, err := distill.Distill(tr, cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "distill: %v\n", err)
 		os.Exit(1)
+	}
+	if !res.Collected.Clean() {
+		fmt.Fprintf(os.Stderr, "distill: input sanitized: %s\n", res.Collected)
 	}
 
 	o, err := os.Create(path)
@@ -91,8 +96,28 @@ func main() {
 	}
 }
 
+// readCollected parses one collected trace, strictly or in salvage mode.
+func readCollected(path string, salvage bool) (*tracefmt.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if !salvage {
+		return tracefmt.ReadAll(f)
+	}
+	tr, rep, err := tracefmt.SalvageAll(f)
+	if err != nil {
+		return nil, err
+	}
+	if !rep.Clean() {
+		fmt.Fprintf(os.Stderr, "distill: %s: %s\n", path, rep)
+	}
+	return tr, nil
+}
+
 // runFamily distills each member trace and writes the family envelopes.
-func runFamily(prefix string, paths []string, cfg distill.Config) error {
+func runFamily(prefix string, paths []string, cfg distill.Config, salvage bool) error {
 	if len(paths) == 0 {
 		return fmt.Errorf("family mode needs trace files as arguments")
 	}
@@ -101,12 +126,7 @@ func runFamily(prefix string, paths []string, cfg distill.Config) error {
 	}
 	var fam replay.Family
 	for _, path := range paths {
-		f, err := os.Open(path)
-		if err != nil {
-			return err
-		}
-		tr, err := tracefmt.ReadAll(f)
-		f.Close()
+		tr, err := readCollected(path, salvage)
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}

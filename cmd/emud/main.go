@@ -58,6 +58,7 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 0, "expire sessions idle this long (0 = never)")
 	drainTimeout := flag.Duration("drain-timeout", emud.DefaultDrainTimeout, "graceful-drain bound on shutdown")
 	traceCache := flag.Int("trace-cache", emud.DefaultStoreCapacity, "trace-store LRU capacity")
+	strictTraces := flag.Bool("strict-traces", false, "refuse damaged or dirty trace files instead of salvaging them")
 	events := flag.Int("events", 4096, "event-trace ring capacity (0 disables)")
 	maxInflight := flag.Int("max-session-inflight", 0, "per-session in-flight packet cap (0 = unlimited)")
 	maxBytes := flag.Int64("max-inflight-bytes", 0, "farm-wide in-flight byte budget (0 = unlimited)")
@@ -86,7 +87,7 @@ func main() {
 		DrainTimeout:       *drainTimeout,
 		MaxSessionInFlight: *maxInflight,
 		MaxInFlightBytes:   *maxBytes,
-		Store:              emud.NewStore(emud.StoreOptions{Capacity: *traceCache, Metrics: reg, Faults: inj}),
+		Store:              emud.NewStore(emud.StoreOptions{Capacity: *traceCache, Metrics: reg, Faults: inj, StrictTraces: *strictTraces}),
 		Faults:             inj,
 		SnapshotPath:       *snapshotPath,
 		SnapshotInterval:   *snapshotEvery,

@@ -8,11 +8,19 @@
 //	tracedump -i porter0.trace [-devices] [-n 50] [-stats]
 //	tracedump -i porter0.trace -render obs    # observability summary
 //	tracedump -i porter0.trace -render prom   # same, Prometheus text format
+//	tracedump -i porter0.trace -verify        # integrity check, exit 1 if dirty
+//	tracedump -i porter0.trace -salvage       # read a damaged trace anyway
 //
 // The obs render mode folds the trace into the repository's telemetry
 // registry — packet counters by direction and protocol, an RTT histogram,
 // loss accounting — and prints the registry's human dump (or, with
 // -render prom, the exact text a live daemon's /metrics endpoint serves).
+//
+// Verify mode parses the trace with the salvaging reader and runs the
+// distillation sanitizer's validator over whatever was recovered: framing
+// damage, CRC mismatches, truncation, non-monotonic timestamps, and
+// implausible field values are all reported, and the exit status says
+// whether the file would survive a strict ingest.
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"time"
 
 	"tracemod/internal/analysis"
+	"tracemod/internal/distill"
 	"tracemod/internal/obs"
 	"tracemod/internal/packet"
 	"tracemod/internal/tracefmt"
@@ -33,11 +42,16 @@ func main() {
 	limit := flag.Int("n", 0, "print at most n records (0 = all)")
 	statsOnly := flag.Bool("stats", false, "print the trace analysis report instead of records")
 	render := flag.String("render", "records", "output mode: records, obs (telemetry dump), prom (Prometheus text)")
+	verify := flag.Bool("verify", false, "validate the trace (salvage parse + sanitizer check) and exit 1 if anything is wrong")
+	salvage := flag.Bool("salvage", false, "parse a damaged trace in salvage mode instead of aborting")
 	flag.Parse()
 
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "tracedump: -i is required")
 		os.Exit(1)
+	}
+	if *verify {
+		os.Exit(runVerify(*in))
 	}
 	f, err := os.Open(*in)
 	if err != nil {
@@ -45,7 +59,16 @@ func main() {
 		os.Exit(1)
 	}
 	defer f.Close()
-	tr, err := tracefmt.ReadAll(f)
+	var tr *tracefmt.Trace
+	if *salvage {
+		var rep *tracefmt.ReadReport
+		tr, rep, err = tracefmt.SalvageAll(f)
+		if err == nil && !rep.Clean() {
+			fmt.Fprintf(os.Stderr, "tracedump: %s\n", rep)
+		}
+	} else {
+		tr, err = tracefmt.ReadAll(f)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tracedump: %v\n", err)
 		os.Exit(1)
@@ -111,6 +134,33 @@ func main() {
 		fmt.Printf("%12.6f  LOST  %d records of type %d overwritten in kernel buffer\n",
 			time.Duration(l.At).Seconds(), l.Count, l.Of)
 	}
+}
+
+// runVerify is the -verify mode: salvage-parse the file, validate what
+// was recovered, report everything, and return the process exit code.
+func runVerify(path string) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracedump: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	tr, rep, err := tracefmt.SalvageAll(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracedump: %s: unreadable: %v\n", path, err)
+		return 1
+	}
+	fmt.Printf("%s: %s\n", path, rep)
+	problems := distill.ValidateCollected(tr, distill.SanitizeOptions{})
+	for _, p := range problems {
+		fmt.Printf("  %s\n", p)
+	}
+	if rep.Clean() && len(problems) == 0 {
+		fmt.Printf("  ok: %d packets, %d device samples, %d lost records, span %v\n",
+			len(tr.Packets), len(tr.Devices), tr.TotalLost(), tr.Duration())
+		return 0
+	}
+	return 1
 }
 
 // traceRegistry folds a collected trace into an obs registry: the same

@@ -10,11 +10,13 @@ package distill
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"tracemod/internal/core"
 	"tracemod/internal/obs"
 	"tracemod/internal/packet"
+	"tracemod/internal/replay"
 	"tracemod/internal/tracefmt"
 )
 
@@ -30,6 +32,12 @@ type Config struct {
 	// (names under tracemod_distill_*). Repeated Distill calls sharing a
 	// registry accumulate into the same counters.
 	Obs *obs.Registry
+	// Sanitize bounds the input sanitizer; the zero value uses the
+	// defaults documented on SanitizeOptions.
+	Sanitize SanitizeOptions
+	// Strict refuses imperfect input: instead of sanitizing, Distill
+	// returns ErrDirtyTrace naming the first problems found.
+	Strict bool
 }
 
 // DefaultConfig returns the paper's parameters: a five-second window
@@ -66,12 +74,19 @@ type Result struct {
 	// accounting.
 	EchoesSent  int
 	RepliesSeen int
+
+	// Collected reports what input sanitization repaired or removed;
+	// Tuples reports the output-tuple sanitization pass. Both are clean
+	// on pristine input.
+	Collected CollectedReport
+	Tuples    replay.SanitizeReport
 }
 
 // Errors returned by Distill.
 var (
 	ErrNoWorkload  = errors.New("distill: trace contains no ping-workload triplets")
 	ErrNoEstimates = errors.New("distill: no usable delay estimates in trace")
+	ErrDirtyTrace  = errors.New("distill: trace fails validation")
 )
 
 // echoOut is one outbound ECHO observation.
@@ -91,13 +106,20 @@ func Distill(tr *tracefmt.Trace, cfg Config) (*Result, error) {
 		cfg.Step = time.Second
 	}
 
+	clean, crep := SanitizeCollected(tr, cfg.Sanitize)
+	if cfg.Strict && !crep.Clean() {
+		problems := ValidateCollected(tr, cfg.Sanitize)
+		return nil, fmt.Errorf("%w: %s", ErrDirtyTrace, strings.Join(problems, "; "))
+	}
+	tr = clean
+
 	outs, bySeq := extractEchoes(tr)
 	if len(outs) == 0 {
 		return nil, ErrNoWorkload
 	}
 	matchReplies(tr, bySeq)
 
-	res := &Result{}
+	res := &Result{Collected: crep}
 	res.EchoesSent = len(outs)
 	for _, o := range outs {
 		if o.rtt > 0 {
@@ -112,6 +134,17 @@ func Distill(tr *tracefmt.Trace, cfg Config) (*Result, error) {
 	}
 
 	res.window(outs, tr, cfg)
+
+	// Belt and braces on the way out: whatever the solver and the window
+	// produced, the replay trace handed to modulation must be physically
+	// meaningful.
+	sane, srep, err := replay.Sanitize(res.Replay)
+	if err != nil {
+		return nil, ErrNoEstimates
+	}
+	res.Replay = sane
+	res.Tuples = srep
+
 	res.report(cfg.Obs)
 	return res, nil
 }
@@ -132,6 +165,9 @@ func (res *Result) report(reg *obs.Registry) {
 	reg.Counter("tracemod_distill_triplets_complete_total", "Probe triplets with all three round trips observed.").Add(int64(res.TripletsComplete))
 	reg.Counter("tracemod_distill_echoes_sent_total", "Workload echoes counted for loss accounting.").Add(int64(res.EchoesSent))
 	reg.Counter("tracemod_distill_replies_seen_total", "Workload echo replies counted for loss accounting.").Add(int64(res.RepliesSeen))
+	reg.Counter("tracemod_distill_input_dropped_total", "Collected records removed by input sanitization.").Add(int64(res.Collected.PacketsDropped + res.Collected.DevicesDropped))
+	reg.Counter("tracemod_distill_input_clamped_total", "Collected records repaired by input sanitization.").Add(int64(res.Collected.PacketsClamped + res.Collected.DevicesClamped))
+	reg.Counter("tracemod_distill_rtts_cleared_total", "Implausible round-trip times reset to the sentinel.").Add(int64(res.Collected.RTTsCleared))
 }
 
 // extractEchoes pulls outbound ECHO records, indexed by sequence number.

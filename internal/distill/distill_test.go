@@ -2,6 +2,7 @@ package distill
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"time"
 
@@ -49,6 +50,9 @@ func synthTrace(seconds int, paramsAt func(sec int) core.DelayParams, lost func(
 		emit(s2, t2)
 		emit(s2, t3)
 	}
+	// The collection daemon drains records in timestamp order; the
+	// interleaved construction above does not, so restore that invariant.
+	sort.SliceStable(tr.Packets, func(i, j int) bool { return tr.Packets[i].At < tr.Packets[j].At })
 	return tr
 }
 

@@ -1,0 +1,45 @@
+package distill
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"tracemod/internal/tracefmt"
+)
+
+// FuzzDistill drives the whole ingest path the emud store uses for
+// collected traces: salvage-parse arbitrary bytes, then distill whatever
+// survived. Invariants: no panic, bounded runtime (the sanitizer's
+// MaxGap keeps the windowing loop finite no matter what timestamps the
+// fuzzer invents), and any successful result passes core validation.
+func FuzzDistill(f *testing.F) {
+	var buf bytes.Buffer
+	tr := &tracefmt.Trace{Header: tracefmt.Header{Device: "wavelan0"}}
+	if err := tracefmt.WriteAll(&buf, tr); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 64<<10 {
+			t.Skip("bounding fuzz input size")
+		}
+		tr, _, err := tracefmt.SalvageAll(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		cfg := DefaultConfig()
+		// Tight gap bound: 64KB of records can still spell out thousands
+		// of near-MaxGap forward jumps, and the windowing loop walks the
+		// whole span in 1s steps.
+		cfg.Sanitize.MaxGap = 10 * time.Second
+		res, err := Distill(tr, cfg)
+		if err != nil {
+			return // no workload in random bytes: expected
+		}
+		if err := res.Replay.Validate(); err != nil {
+			t.Fatalf("distill emitted an invalid replay trace: %v", err)
+		}
+	})
+}

@@ -1,0 +1,241 @@
+// Collected-trace sanitization: the distiller's input arrives from field
+// collection, where clock steps, driver bugs, and damaged media produce
+// records the solver was never written to survive — timestamps that jump
+// backwards or eons forwards, zero-size packets, NaN signal readings.
+// SanitizeCollected repairs what is repairable and drops the rest, so the
+// solver and the windowing loop only ever see physically plausible input.
+package distill
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"tracemod/internal/tracefmt"
+)
+
+// SanitizeOptions bound what the sanitizer tolerates.
+type SanitizeOptions struct {
+	// ClockSkew is how far a timestamp may run backwards and still be
+	// treated as clock skew (clamped to its predecessor) rather than
+	// corruption (dropped). Default 50ms.
+	ClockSkew time.Duration
+	// MaxGap is the largest forward jump between consecutive records
+	// before the later record is judged corrupt and dropped — without
+	// this bound, a single damaged timestamp near 2^62 would make the
+	// windowing loop walk half an eternity of empty steps. Default 1h.
+	MaxGap time.Duration
+	// MaxRTT bounds a believable round-trip time; larger values are
+	// cleared to the "no RTT" sentinel. Default 5m.
+	MaxRTT time.Duration
+}
+
+func (o SanitizeOptions) withDefaults() SanitizeOptions {
+	if o.ClockSkew <= 0 {
+		o.ClockSkew = 50 * time.Millisecond
+	}
+	if o.MaxGap <= 0 {
+		o.MaxGap = time.Hour
+	}
+	if o.MaxRTT <= 0 {
+		o.MaxRTT = 5 * time.Minute
+	}
+	return o
+}
+
+// CollectedReport accounts for a sanitizing pass over a collected trace.
+type CollectedReport struct {
+	PacketsKept    int
+	PacketsClamped int
+	PacketsDropped int
+	DevicesKept    int
+	DevicesClamped int
+	DevicesDropped int
+	// RTTsCleared counts packets whose reported round-trip time was
+	// implausible and was reset to the -1 sentinel (the packet itself
+	// survives; it simply no longer contributes a delay sample).
+	RTTsCleared int
+}
+
+// Clean reports whether sanitization changed nothing.
+func (r CollectedReport) Clean() bool {
+	return r.PacketsClamped == 0 && r.PacketsDropped == 0 &&
+		r.DevicesClamped == 0 && r.DevicesDropped == 0 && r.RTTsCleared == 0
+}
+
+func (r CollectedReport) String() string {
+	if r.Clean() {
+		return fmt.Sprintf("clean: %d packets, %d device records", r.PacketsKept, r.DevicesKept)
+	}
+	return fmt.Sprintf("sanitized: %d/%d packets kept (%d clamped, %d rtts cleared), %d/%d device records kept (%d clamped)",
+		r.PacketsKept, r.PacketsKept+r.PacketsDropped, r.PacketsClamped, r.RTTsCleared,
+		r.DevicesKept, r.DevicesKept+r.DevicesDropped, r.DevicesClamped)
+}
+
+func finite32(f float32) bool {
+	f64 := float64(f)
+	return !math.IsNaN(f64) && !math.IsInf(f64, 0)
+}
+
+// monotonic decides what to do with a record timestamped at, given the
+// previous kept record's timestamp. It returns the (possibly clamped)
+// timestamp, whether the record survives, and whether it was clamped.
+func monotonic(at, prev int64, first bool, opts SanitizeOptions) (int64, bool, bool) {
+	if first {
+		return at, true, false
+	}
+	if at < prev {
+		if prev-at <= int64(opts.ClockSkew) {
+			return prev, true, true // clock skew: pin to the predecessor
+		}
+		return at, false, false // a genuine jump into the past: corrupt
+	}
+	if at-prev > int64(opts.MaxGap) {
+		return at, false, false // a jump past any believable gap: corrupt
+	}
+	return at, true, false
+}
+
+// SanitizeCollected returns a copy of tr with implausible records
+// repaired or removed: zero-size or bad-direction packets dropped,
+// non-monotonic timestamps clamped (within ClockSkew) or dropped,
+// forward jumps beyond MaxGap dropped, implausible RTTs cleared to the
+// sentinel, and device readings with NaN/Inf fields dropped. The input
+// is never modified.
+func SanitizeCollected(tr *tracefmt.Trace, opts SanitizeOptions) (*tracefmt.Trace, CollectedReport) {
+	opts = opts.withDefaults()
+	out := &tracefmt.Trace{
+		Header: tr.Header,
+		Lost:   append([]tracefmt.LostRecord(nil), tr.Lost...),
+	}
+	var rep CollectedReport
+
+	var prev int64
+	first := true
+	for _, p := range tr.Packets {
+		if p.Size == 0 || p.Dir > 1 {
+			rep.PacketsDropped++
+			continue
+		}
+		at, keep, clamped := monotonic(p.At, prev, first, opts)
+		if !keep {
+			rep.PacketsDropped++
+			continue
+		}
+		p.At = at
+		if p.RTT < -1 || p.RTT > int64(opts.MaxRTT) {
+			p.RTT = -1
+			rep.RTTsCleared++
+		}
+		if clamped {
+			rep.PacketsClamped++
+		}
+		prev, first = p.At, false
+		rep.PacketsKept++
+		out.Packets = append(out.Packets, p)
+	}
+
+	prev, first = 0, true
+	for _, d := range tr.Devices {
+		if !finite32(d.Signal) || !finite32(d.Quality) || !finite32(d.Silence) {
+			rep.DevicesDropped++
+			continue
+		}
+		at, keep, clamped := monotonic(d.At, prev, first, opts)
+		if !keep {
+			rep.DevicesDropped++
+			continue
+		}
+		d.At = at
+		if clamped {
+			rep.DevicesClamped++
+		}
+		prev, first = d.At, false
+		rep.DevicesKept++
+		out.Devices = append(out.Devices, d)
+	}
+	return out, rep
+}
+
+// maxProblems caps ValidateCollected's output: past a point, more
+// examples of the same damage help nobody.
+const maxProblems = 20
+
+// ValidateCollected inspects a collected trace without modifying it and
+// returns a human-readable description of every problem the sanitizer
+// would act on, capped at maxProblems entries. An empty slice means the
+// trace is pristine.
+func ValidateCollected(tr *tracefmt.Trace, opts SanitizeOptions) []string {
+	opts = opts.withDefaults()
+	var problems []string
+	add := func(format string, args ...any) bool {
+		if len(problems) >= maxProblems {
+			return false
+		}
+		problems = append(problems, fmt.Sprintf(format, args...))
+		return len(problems) < maxProblems
+	}
+
+	var prev int64
+	first := true
+	for i, p := range tr.Packets {
+		switch {
+		case p.Size == 0:
+			if !add("packet %d: zero size", i) {
+				return problems
+			}
+			continue
+		case p.Dir > 1:
+			if !add("packet %d: invalid direction %d", i, p.Dir) {
+				return problems
+			}
+			continue
+		}
+		at, keep, clamped := monotonic(p.At, prev, first, opts)
+		if !keep {
+			if p.At < prev {
+				if !add("packet %d: timestamp runs backwards by %v (beyond clock-skew tolerance %v)", i, time.Duration(prev-p.At), opts.ClockSkew) {
+					return problems
+				}
+			} else if !add("packet %d: timestamp jumps forward by %v (beyond max gap %v)", i, time.Duration(p.At-prev), opts.MaxGap) {
+				return problems
+			}
+			continue
+		}
+		if clamped {
+			if !add("packet %d: timestamp runs backwards by %v (within clock-skew tolerance)", i, time.Duration(prev-p.At)) {
+				return problems
+			}
+		}
+		if p.RTT < -1 || p.RTT > int64(opts.MaxRTT) {
+			if !add("packet %d: implausible rtt %d ns", i, p.RTT) {
+				return problems
+			}
+		}
+		prev, first = at, false
+	}
+
+	prev, first = 0, true
+	for i, d := range tr.Devices {
+		if !finite32(d.Signal) || !finite32(d.Quality) || !finite32(d.Silence) {
+			if !add("device record %d: non-finite reading", i) {
+				return problems
+			}
+			continue
+		}
+		at, keep, clamped := monotonic(d.At, prev, first, opts)
+		if !keep {
+			if !add("device record %d: non-monotonic timestamp", i) {
+				return problems
+			}
+			continue
+		}
+		if clamped {
+			if !add("device record %d: timestamp runs backwards (within clock-skew tolerance)", i) {
+				return problems
+			}
+		}
+		prev, first = at, false
+	}
+	return problems
+}

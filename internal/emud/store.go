@@ -40,6 +40,14 @@ const DefaultStoreCapacity = 64
 // the file is fixed.
 const DefaultNegativeTTL = time.Second
 
+// DefaultQuarantineTTL is how long a quarantined trace — one that failed
+// even salvage-mode loading — stays in the negative cache when
+// StoreOptions.QuarantineTTL is zero. Much longer than the ordinary
+// negative TTL: salvage already gave the file every benefit of the
+// doubt, so re-parsing it sooner only burns IO on content that will not
+// have changed.
+const DefaultQuarantineTTL = 30 * time.Second
+
 // StoreOptions parameterizes a Store.
 type StoreOptions struct {
 	// Capacity is the maximum number of cached traces
@@ -52,6 +60,13 @@ type StoreOptions struct {
 	// Zero means DefaultNegativeTTL; negative disables negative caching
 	// (every Load after a failure retries the file immediately).
 	NegativeTTL time.Duration
+	// QuarantineTTL is how long a quarantined trace (one that failed even
+	// salvage loading) is remembered before the file is retried. Zero
+	// means DefaultQuarantineTTL; negative disables quarantine caching.
+	QuarantineTTL time.Duration
+	// StrictTraces disables salvage-mode loading: a trace file with any
+	// damage is quarantined instead of being repaired on the way in.
+	StrictTraces bool
 	// Distill configures the distillation applied to collected
 	// (tracefmt) files; zero values fall back to distill.DefaultConfig.
 	Distill distill.Config
@@ -66,11 +81,32 @@ type StoreOptions struct {
 	Metrics *obs.Registry
 }
 
+// QuarantineError marks a trace file the store refuses to serve: it
+// failed to load even with salvage mode's best effort. When salvage ran
+// far enough to produce an accounting, Report carries it — the operator
+// sees exactly how much of the file was recoverable before the pipeline
+// below (distillation, validation) rejected the remainder.
+type QuarantineError struct {
+	Path   string
+	Report *tracefmt.ReadReport
+	Err    error
+}
+
+func (e *QuarantineError) Error() string {
+	if e.Report != nil {
+		return fmt.Sprintf("emud: quarantined %s (%s): %v", e.Path, e.Report, e.Err)
+	}
+	return fmt.Sprintf("emud: quarantined %s: %v", e.Path, e.Err)
+}
+
+func (e *QuarantineError) Unwrap() error { return e.Err }
+
 // Store is the shared trace cache.
 type Store struct {
-	opts   StoreOptions
-	negTTL time.Duration
-	retry  faults.Backoff
+	opts          StoreOptions
+	negTTL        time.Duration
+	quarantineTTL time.Duration
+	retry         faults.Backoff
 
 	faultParse, faultEvict *faults.Point
 
@@ -79,6 +115,7 @@ type Store struct {
 	lru     *list.List               // front = most recently used
 
 	hits, misses, evictions, parseErrors, negativeHits *obs.Counter
+	salvaged, quarantined                              *obs.Counter
 }
 
 // storeEntry is one cached (or in-flight) load. The once coalesces
@@ -91,6 +128,7 @@ type storeEntry struct {
 	once    sync.Once
 	done    atomic.Bool
 	trace   core.Trace
+	report  *tracefmt.ReadReport // non-nil when the file loaded in salvage mode
 	err     error
 	expires time.Time // when a failed entry stops being trusted (zero = never)
 }
@@ -103,10 +141,13 @@ func NewStore(o StoreOptions) *Store {
 	if o.Distill.Window == 0 && o.Distill.Step == 0 {
 		o.Distill = distill.DefaultConfig()
 	}
-	s := &Store{opts: o, negTTL: o.NegativeTTL, retry: o.Retry,
-		entries: map[string]*list.Element{}, lru: list.New()}
+	s := &Store{opts: o, negTTL: o.NegativeTTL, quarantineTTL: o.QuarantineTTL,
+		retry: o.Retry, entries: map[string]*list.Element{}, lru: list.New()}
 	if s.negTTL == 0 {
 		s.negTTL = DefaultNegativeTTL
+	}
+	if s.quarantineTTL == 0 {
+		s.quarantineTTL = DefaultQuarantineTTL
 	}
 	if o.Faults != nil {
 		s.faultParse = o.Faults.Point("store.parse")
@@ -119,6 +160,10 @@ func NewStore(o StoreOptions) *Store {
 		s.parseErrors = reg.Counter("tracemod_emud_store_errors_total", "Trace loads that failed to parse.")
 		s.negativeHits = reg.Counter("tracemod_emud_store_negative_hits_total",
 			"Trace loads answered from the negative cache (recent parse failure).")
+		s.salvaged = reg.Counter("tracemod_emud_store_salvaged_total",
+			"Trace loads that succeeded only via salvage-mode parsing.")
+		s.quarantined = reg.Counter("tracemod_emud_store_quarantined_total",
+			"Trace loads quarantined after salvage failed to recover the file.")
 		reg.GaugeFunc("tracemod_emud_store_cached", "Traces currently cached in the store.",
 			func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(s.lru.Len()) })
 	}
@@ -146,28 +191,66 @@ func (s *Store) Load(path string) (core.Trace, error) {
 			if ferr := s.faultParse.Err(); ferr != nil {
 				return ferr
 			}
-			tr, lerr := loadTraceFile(path, s.opts.Distill)
+			tr, rep, lerr := loadTraceFile(path, s.opts.Distill, s.opts.StrictTraces)
 			if lerr != nil {
 				if errors.Is(lerr, fs.ErrNotExist) {
 					// A missing file won't appear between retries.
 					return faults.Permanent(lerr)
 				}
+				var q *QuarantineError
+				if errors.As(lerr, &q) {
+					// Salvage already exhausted the file's chances; a
+					// retry re-reads identical bytes.
+					return faults.Permanent(lerr)
+				}
 				return lerr
 			}
-			e.trace = tr
+			e.trace, e.report = tr, rep
 			return nil
 		})
-		if e.err != nil {
+		switch {
+		case e.err == nil:
+			if e.report != nil && !e.report.Clean() {
+				s.salvaged.Inc()
+			}
+		default:
 			s.parseErrors.Inc()
-			if s.negTTL < 0 {
+			var q *QuarantineError
+			switch {
+			case errors.As(e.err, &q):
+				s.quarantined.Inc()
+				if s.quarantineTTL < 0 {
+					s.forget(e.key)
+				} else {
+					e.expires = time.Now().Add(s.quarantineTTL)
+				}
+			case s.negTTL < 0:
 				s.forget(e.key)
-			} else {
+			default:
 				e.expires = time.Now().Add(s.negTTL)
 			}
 		}
 		e.done.Store(true)
 	})
 	return e.trace, e.err
+}
+
+// SalvageReport returns the salvage accounting for a previously loaded
+// trace file, when that load needed salvage mode. It returns (nil,
+// false) for unknown paths, pristine files, and quarantined files no
+// longer cached.
+func (s *Store) SalvageReport(path string) (*tracefmt.ReadReport, bool) {
+	s.mu.Lock()
+	el, ok := s.entries["file:"+path]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*storeEntry)
+	if !e.done.Load() || e.report == nil {
+		return nil, false
+	}
+	return e.report, true
 }
 
 // Register caches an in-memory trace under "name:" + name (synthetic and
@@ -259,26 +342,48 @@ func (s *Store) forget(key string) {
 	}
 }
 
-// loadTraceFile reads path and parses it by sniffed format.
-func loadTraceFile(path string, dcfg distill.Config) (core.Trace, error) {
+// loadTraceFile reads path and parses it by sniffed format. A damaged
+// file is first retried in salvage mode (unless strict forbids it); the
+// returned ReadReport is non-nil exactly when salvage mode did the
+// loading. Files that fail even salvage come back as a *QuarantineError.
+func loadTraceFile(path string, dcfg distill.Config, strict bool) (core.Trace, *tracefmt.ReadReport, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if tracefmt.IsMagic(data) {
-		collected, err := tracefmt.ReadAll(bytes.NewReader(data))
-		if err != nil {
-			return nil, fmt.Errorf("emud: collected trace %s: %w", path, err)
+		dcfg.Strict = strict
+		collected, rerr := tracefmt.ReadAll(bytes.NewReader(data))
+		if rerr == nil {
+			res, derr := distill.Distill(collected, dcfg)
+			if derr != nil {
+				return nil, nil, &QuarantineError{Path: path, Err: derr}
+			}
+			return res.Replay, nil, nil
 		}
-		res, err := distill.Distill(collected, dcfg)
-		if err != nil {
-			return nil, fmt.Errorf("emud: distilling %s: %w", path, err)
+		if strict {
+			return nil, nil, &QuarantineError{Path: path, Err: rerr}
 		}
-		return res.Replay, nil
+		salvaged, rep, serr := tracefmt.SalvageAll(bytes.NewReader(data))
+		if serr != nil {
+			return nil, nil, &QuarantineError{Path: path, Err: serr}
+		}
+		res, derr := distill.Distill(salvaged, dcfg)
+		if derr != nil {
+			return nil, nil, &QuarantineError{Path: path, Report: rep, Err: derr}
+		}
+		return res.Replay, rep, nil
 	}
 	tr, err := replay.Read(bytes.NewReader(data))
-	if err != nil {
-		return nil, fmt.Errorf("emud: replay trace %s: %w", path, err)
+	if err == nil {
+		return tr, nil, nil
 	}
-	return tr, nil
+	if strict || errors.Is(err, replay.ErrBadHeader) {
+		return nil, nil, &QuarantineError{Path: path, Err: err}
+	}
+	ltr, _, lerr := replay.ReadLenient(bytes.NewReader(data))
+	if lerr != nil {
+		return nil, nil, &QuarantineError{Path: path, Err: lerr}
+	}
+	return ltr, nil, nil
 }

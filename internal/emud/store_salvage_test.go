@@ -1,0 +1,230 @@
+package emud
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"tracemod/internal/obs"
+	"tracemod/internal/tracefmt"
+)
+
+// corruptOneRecord smashes the length field of the record at index n in
+// a collected trace file, returning the rewritten bytes and the size of
+// the damaged region (frame + payload of the smashed record).
+func corruptOneRecord(t *testing.T, data []byte, n int) ([]byte, int64) {
+	t.Helper()
+	// Walk the self-descriptive frames from the end of the header to
+	// find the n-th record boundary.
+	off := headerLenOf(t, data)
+	out := append([]byte(nil), data...)
+	for i := 0; ; i++ {
+		if off+3 > len(out) {
+			t.Fatalf("file ended before record %d", n)
+		}
+		plen := int(binary.BigEndian.Uint16(out[off+1 : off+3]))
+		if i == n {
+			out[off+1], out[off+2] = 0xff, 0xff
+			return out, int64(3 + plen)
+		}
+		off += 3 + plen
+	}
+}
+
+// headerLenOf measures the header by writing an empty trace with the
+// same header and measuring it.
+func headerLenOf(t *testing.T, data []byte) int {
+	t.Helper()
+	rd, err := tracefmt.NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := tracefmt.NewWriter(&buf, rd.Header())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Len()
+}
+
+// TestStoreSalvagesCorruptCollectedTrace is the PR's acceptance
+// scenario end-to-end: a collected trace with one corrupted record
+// mid-stream loads through the store in salvage mode, distills, and the
+// attached ReadReport counts exactly the damaged region.
+func TestStoreSalvagesCorruptCollectedTrace(t *testing.T) {
+	reg := obs.NewRegistry()
+	st := NewStore(StoreOptions{Metrics: reg})
+	dir := t.TempDir()
+	path := writeCollectedFile(t, dir)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt, damaged := corruptOneRecord(t, data, 40)
+	bad := filepath.Join(dir, "damaged.trace")
+	if err := os.WriteFile(bad, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The pristine copy distills cleanly and leaves no salvage report.
+	if _, err := st.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.SalvageReport(path); ok {
+		t.Fatal("pristine file must not report salvage")
+	}
+
+	// The damaged copy loads anyway — in salvage mode.
+	tr, err := st.Load(bad)
+	if err != nil {
+		t.Fatalf("salvage load failed: %v", err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("salvaged trace is invalid: %v", err)
+	}
+	if tr.TotalDuration() < 10*time.Second {
+		t.Fatalf("salvaged trace covers only %v", tr.TotalDuration())
+	}
+
+	rep, ok := st.SalvageReport(bad)
+	if !ok {
+		t.Fatal("salvage report missing")
+	}
+	if rep.Clean() {
+		t.Fatalf("report claims a clean parse: %s", rep)
+	}
+	// Exactly the damaged region: one resync spanning the smashed
+	// record's frame and payload, nothing else.
+	if rep.Resyncs != 1 || rep.Damaged != 1 {
+		t.Fatalf("resyncs=%d damaged=%d, want 1/1 (%s)", rep.Resyncs, rep.Damaged, rep)
+	}
+	if rep.Skipped != damaged {
+		t.Fatalf("skipped %d bytes, want exactly %d (%s)", rep.Skipped, damaged, rep)
+	}
+	if st.salvaged.Load() != 1 {
+		t.Fatalf("salvaged counter = %d, want 1", st.salvaged.Load())
+	}
+}
+
+func TestStoreStrictModeQuarantinesDamage(t *testing.T) {
+	reg := obs.NewRegistry()
+	st := NewStore(StoreOptions{Metrics: reg, StrictTraces: true})
+	dir := t.TempDir()
+	path := writeCollectedFile(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt, _ := corruptOneRecord(t, data, 40)
+	bad := filepath.Join(dir, "damaged.trace")
+	if err := os.WriteFile(bad, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = st.Load(bad)
+	var q *QuarantineError
+	if !errors.As(err, &q) {
+		t.Fatalf("err = %v, want QuarantineError", err)
+	}
+	if q.Path != bad {
+		t.Fatalf("quarantine names %q, want %q", q.Path, bad)
+	}
+	if st.quarantined.Load() != 1 {
+		t.Fatalf("quarantined counter = %d, want 1", st.quarantined.Load())
+	}
+}
+
+// TestStoreQuarantinesUnsalvageable: a collected-format file whose body
+// is pure noise salvages to an empty trace, fails distillation, and is
+// quarantined with the salvage report attached.
+func TestStoreQuarantinesUnsalvageable(t *testing.T) {
+	reg := obs.NewRegistry()
+	st := NewStore(StoreOptions{Metrics: reg, QuarantineTTL: 50 * time.Millisecond})
+	dir := t.TempDir()
+
+	var buf bytes.Buffer
+	w, err := tracefmt.NewWriter(&buf, tracefmt.Header{Device: "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	buf.Write(bytes.Repeat([]byte{0xa5, 0x7e, 0xc1}, 64))
+	path := filepath.Join(dir, "noise.trace")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = st.Load(path)
+	var q *QuarantineError
+	if !errors.As(err, &q) {
+		t.Fatalf("err = %v, want QuarantineError", err)
+	}
+	if q.Report == nil || q.Report.Clean() {
+		t.Fatalf("quarantine must carry the salvage accounting, got %v", q.Report)
+	}
+
+	// The quarantine is negative-cached: a second load answers from
+	// memory without re-reading the file.
+	if _, err := st.Load(path); err == nil {
+		t.Fatal("quarantined file must keep failing inside the TTL")
+	}
+	if st.negativeHits.Load() != 1 {
+		t.Fatalf("negative hits = %d, want 1", st.negativeHits.Load())
+	}
+	if st.parseErrors.Load() != 1 {
+		t.Fatalf("parse errors = %d, want 1 (quarantine must not re-parse)", st.parseErrors.Load())
+	}
+
+	// Once the TTL passes and the file is repaired, it loads.
+	writeReplayFile(t, dir, "noise.trace")
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := st.Load(path); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("quarantine stayed sticky past its TTL")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestStoreSalvagesTornReplayFile: the lenient path for the text format.
+func TestStoreSalvagesTornReplayFile(t *testing.T) {
+	st := NewStore(StoreOptions{})
+	dir := t.TempDir()
+	good := writeReplayFile(t, dir, "good.replay")
+	data, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one tuple line.
+	torn := bytes.Replace(data, []byte("\n1000000"), []byte("\nxx!!000"), 1)
+	if bytes.Equal(torn, data) {
+		t.Fatal("fixture assumption broken: no line to corrupt")
+	}
+	path := filepath.Join(dir, "torn.replay")
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := st.Load(path)
+	if err != nil {
+		t.Fatalf("lenient replay load failed: %v", err)
+	}
+	if len(tr) != 9 {
+		t.Fatalf("kept %d tuples, want 9 (one line lost)", len(tr))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -47,6 +47,44 @@ func Permanent(err error) error {
 	return &permanentError{err: err}
 }
 
+// Wait sleeps this policy's jittered delay for the given retry attempt
+// (0-based), returning early with false when cancel closes. Unlike Do,
+// Wait leaves the retry loop to the caller: long-lived goroutines (the
+// livewire pumps) retry indefinitely and need the cancellation path Do
+// lacks. A nil cancel channel never fires, so Wait then always sleeps
+// the full delay. The attempt's exponent is capped so large attempt
+// counts cannot overflow the shift; the delay is capped at Max as usual.
+func (b Backoff) Wait(attempt int, cancel <-chan struct{}) bool {
+	base := b.Base
+	if base <= 0 {
+		base = DefaultRetryBase
+	}
+	max := b.Max
+	if max <= 0 {
+		max = DefaultRetryMax
+	}
+	if attempt < 0 {
+		attempt = 0
+	}
+	if attempt > 20 {
+		attempt = 20
+	}
+	sleep := base << attempt
+	if sleep > max || sleep <= 0 {
+		sleep = max
+	}
+	rng := rand.New(rand.NewSource(b.Seed + int64(attempt)))
+	sleep = sleep/2 + time.Duration(rng.Int63n(int64(sleep/2)+1))
+	t := time.NewTimer(sleep)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-cancel:
+		return false
+	}
+}
+
 // Do runs fn until it returns nil, a Permanent error, or the attempt
 // budget is spent; it returns the last error (unwrapped from Permanent).
 func (b Backoff) Do(fn func() error) error {

@@ -1,0 +1,60 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWaitSleepsAndCompletes(t *testing.T) {
+	b := Backoff{Base: time.Millisecond, Max: 4 * time.Millisecond}
+	start := time.Now()
+	if !b.Wait(0, nil) {
+		t.Fatal("Wait with nil cancel must complete")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("Wait slept %v for a millisecond policy", elapsed)
+	}
+}
+
+func TestWaitCancelReturnsPromptly(t *testing.T) {
+	b := Backoff{Base: time.Hour, Max: time.Hour}
+	cancel := make(chan struct{})
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(cancel)
+	}()
+	start := time.Now()
+	if b.Wait(0, cancel) {
+		t.Fatal("cancelled Wait must report false")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled Wait took %v to return", elapsed)
+	}
+}
+
+func TestWaitLargeAttemptDoesNotOverflow(t *testing.T) {
+	b := Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond}
+	// A shift by attempt counts in the thousands must cap, not overflow
+	// into a negative (or eternal) sleep.
+	done := make(chan bool, 1)
+	go func() { done <- b.Wait(100000, nil) }()
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("Wait returned false with nil cancel")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Wait hung on a large attempt index")
+	}
+}
+
+func TestWaitDelayCapsAtMax(t *testing.T) {
+	b := Backoff{Base: time.Millisecond, Max: 20 * time.Millisecond}
+	start := time.Now()
+	if !b.Wait(20, nil) { // 1ms << 20 is ~17min before the cap
+		t.Fatal("Wait must complete")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Wait ignored Max: slept %v", elapsed)
+	}
+}

@@ -16,10 +16,12 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"tracemod/internal/core"
 	"tracemod/internal/emud/wheel"
+	"tracemod/internal/faults"
 	"tracemod/internal/modulation"
 	"tracemod/internal/obs"
 	"tracemod/internal/packet"
@@ -99,6 +101,11 @@ type Config struct {
 	Obs *obs.Registry
 	// Tracer, if non-nil, receives the engine's packet-lifecycle events.
 	Tracer obs.Tracer
+	// Retry shapes how a pump backs off after a transient socket error
+	// (an ICMP port-unreachable bounced off a not-yet-started target, an
+	// interrupted syscall) before reading again. The zero value uses the
+	// faults package defaults.
+	Retry faults.Backoff
 }
 
 // Stats counts relay activity.
@@ -107,6 +114,8 @@ type Stats struct {
 	TargetToClient int64
 	Dropped        int64
 	SubmitPanics   int64 // panics recovered while submitting into the shaper
+	SocketErrors   int64 // socket errors observed by the pumps (reads and writes)
+	Reconnects     int64 // pump retries that resumed reading after a socket error
 }
 
 // Relay is a live packet-shaping daemon.
@@ -123,7 +132,10 @@ type Relay struct {
 	closeOnce sync.Once
 	closed    chan struct{}
 
+	retry faults.Backoff
+
 	c2t, t2c, dropped, submitPanics atomic.Int64
+	socketErrs, reconnects          atomic.Int64
 }
 
 // bindSockets resolves and binds the relay's two sockets.
@@ -177,6 +189,7 @@ func NewRelay(listenAddr, targetAddr string, cfg Config) (*Relay, error) {
 		clientSide: clientSide,
 		targetSide: targetSide,
 		closed:     make(chan struct{}),
+		retry:      cfg.Retry,
 	}
 	if cfg.Obs != nil {
 		cfg.Obs.CounterFunc("tracemod_livewire_client_to_target_total",
@@ -188,6 +201,12 @@ func NewRelay(listenAddr, targetAddr string, cfg Config) (*Relay, error) {
 		cfg.Obs.CounterFunc("tracemod_livewire_dropped_total",
 			"Relayed packets lost to the drop lottery.",
 			func() float64 { return float64(r.dropped.Load()) })
+		cfg.Obs.CounterFunc("tracemod_livewire_socket_errors_total",
+			"Socket errors observed by the relay pumps.",
+			func() float64 { return float64(r.socketErrs.Load()) })
+		cfg.Obs.CounterFunc("tracemod_livewire_reconnects_total",
+			"Pump retries that resumed reading after a socket error.",
+			func() float64 { return float64(r.reconnects.Load()) })
 		cfg.Obs.Gauge("tracemod_livewire_trace_tuples",
 			"Tuples in the replay trace driving the relay.").Set(int64(len(cfg.Trace)))
 	}
@@ -231,6 +250,8 @@ func (r *Relay) Stats() Stats {
 		TargetToClient: r.t2c.Load(),
 		Dropped:        r.dropped.Load(),
 		SubmitPanics:   r.submitPanics.Load(),
+		SocketErrors:   r.socketErrs.Load(),
+		Reconnects:     r.reconnects.Load(),
 	}
 }
 
@@ -271,20 +292,82 @@ func wireSize(payload int) int {
 	return payload + packet.IPv4HeaderLen + packet.UDPHeaderLen
 }
 
+// transientSocketErr reports whether a pump's socket error is worth
+// retrying: the socket is still healthy, the condition momentary. On a
+// connected UDP socket an ICMP port-unreachable from a dead target
+// surfaces as ECONNREFUSED on a later read — precisely the error a
+// relay pointed at a not-yet-started (or restarting) server sees, and
+// precisely the one it must outlive.
+func transientSocketErr(err error) bool {
+	if errors.Is(err, net.ErrClosed) {
+		return false // the socket is gone; no retry can help
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	for _, errno := range []syscall.Errno{
+		syscall.ECONNREFUSED, syscall.ECONNRESET, syscall.EINTR,
+		syscall.EAGAIN, syscall.ENOBUFS, syscall.EHOSTUNREACH,
+		syscall.ENETUNREACH, syscall.ENETDOWN,
+	} {
+		if errors.Is(err, errno) {
+			return true
+		}
+	}
+	return false
+}
+
+// maxPumpErrStreak bounds consecutive retries for errors the pump cannot
+// classify as transient: an unknown condition gets a fair chance to
+// clear, but a socket that is permanently broken must not spin forever.
+const maxPumpErrStreak = 8
+
+// recoverPump decides a pump's fate after a read error: false means exit
+// (the relay is closing, or the error streak exhausted its budget), true
+// means the backoff has been slept and the pump should read again.
+func (r *Relay) recoverPump(streak *int, err error) bool {
+	select {
+	case <-r.closed:
+		return false
+	default:
+	}
+	r.socketErrs.Add(1)
+	if !transientSocketErr(err) && *streak >= maxPumpErrStreak {
+		return false
+	}
+	if !r.retry.Wait(*streak, r.closed) {
+		return false // closed mid-sleep
+	}
+	*streak++
+	r.reconnects.Add(1)
+	return true
+}
+
 // Each pump reads every datagram straight into a pooled max-size buffer
 // and hands that buffer through the engine: no per-datagram copy or
 // allocation. The buffer is returned to the pool on exactly one of the
 // SubmitWithDrop outcomes. (A buffer whose delivery timer is revoked by
 // an emud session Stop is simply left to the garbage collector — sync.Pool
 // does not require returns.)
+//
+// A read error no longer kills the pump: transient conditions (refused
+// targets, interrupted syscalls, timeouts) retry under the relay's
+// backoff policy until the relay closes, so traffic resumes by itself
+// when the far side comes back.
 func (r *Relay) pumpClientToTarget() {
+	streak := 0
 	for {
 		bp := getBuf()
 		n, addr, err := r.clientSide.ReadFromUDP(*bp)
 		if err != nil {
 			putBuf(bp)
-			return // closed
+			if r.recoverPump(&streak, err) {
+				continue
+			}
+			return
 		}
+		streak = 0
 		r.clientAddr.Store(addr)
 		r.safeSubmit(simnet.Outbound, wireSize(n), func() {
 			select {
@@ -292,6 +375,8 @@ func (r *Relay) pumpClientToTarget() {
 			default:
 				if _, err := r.targetSide.Write((*bp)[:n]); err == nil {
 					r.c2t.Add(1)
+				} else {
+					r.socketErrs.Add(1)
 				}
 			}
 			putBuf(bp)
@@ -303,13 +388,18 @@ func (r *Relay) pumpClientToTarget() {
 }
 
 func (r *Relay) pumpTargetToClient() {
+	streak := 0
 	for {
 		bp := getBuf()
 		n, err := r.targetSide.Read(*bp)
 		if err != nil {
 			putBuf(bp)
-			return // closed
+			if r.recoverPump(&streak, err) {
+				continue
+			}
+			return
 		}
+		streak = 0
 		addr := r.clientAddr.Load()
 		if addr == nil {
 			putBuf(bp)
@@ -321,6 +411,8 @@ func (r *Relay) pumpTargetToClient() {
 			default:
 				if _, err := r.clientSide.WriteToUDP((*bp)[:n], addr); err == nil {
 					r.t2c.Add(1)
+				} else {
+					r.socketErrs.Add(1)
 				}
 			}
 			putBuf(bp)

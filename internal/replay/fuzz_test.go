@@ -1,0 +1,34 @@
+package replay
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReplayParse feeds arbitrary text to both the strict and the lenient
+// parser. Invariants: neither panics; whatever either returns without
+// error passes core validation; and the lenient parser accepts everything
+// the strict one does.
+func FuzzReplayParse(f *testing.F) {
+	f.Add([]byte(FileHeader + "\n1000000 2000 5000.000 800.000 0.010000\n"))
+	f.Add([]byte(FileHeader + "\n1000000 2000 NaN Inf -0.5\n"))
+	f.Add([]byte("no header at all\n"))
+
+	f.Fuzz(func(t *testing.T, input []byte) {
+		strict, strictErr := Read(bytes.NewReader(input))
+		if strictErr == nil {
+			if err := strict.Validate(); err != nil {
+				t.Fatalf("strict Read returned an invalid trace: %v", err)
+			}
+		}
+		lenient, _, err := ReadLenient(bytes.NewReader(input))
+		if err == nil {
+			if verr := lenient.Validate(); verr != nil {
+				t.Fatalf("ReadLenient returned an invalid trace: %v", verr)
+			}
+		}
+		if strictErr == nil && err != nil {
+			t.Fatalf("lenient parser rejected input the strict parser accepted: %v", err)
+		}
+	})
+}

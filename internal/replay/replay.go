@@ -27,6 +27,8 @@ var (
 	tuplesSynthetic *obs.Counter
 	tracesRead      *obs.Counter
 	readErrors      *obs.Counter
+	tuplesDropped   *obs.Counter
+	tuplesClamped   *obs.Counter
 )
 
 // EnableMetrics registers the replay package's counters (names under
@@ -36,6 +38,7 @@ var (
 func EnableMetrics(reg *obs.Registry) {
 	if reg == nil {
 		tuplesRead, tuplesWritten, tuplesSynthetic, tracesRead, readErrors = nil, nil, nil, nil, nil
+		tuplesDropped, tuplesClamped = nil, nil
 		return
 	}
 	tuplesRead = reg.Counter("tracemod_replay_tuples_read_total", "Tuples parsed from serialized replay traces.")
@@ -43,6 +46,8 @@ func EnableMetrics(reg *obs.Registry) {
 	tuplesSynthetic = reg.Counter("tracemod_replay_tuples_synthetic_total", "Tuples emitted by the synthetic generators.")
 	tracesRead = reg.Counter("tracemod_replay_traces_read_total", "Replay trace files parsed successfully.")
 	readErrors = reg.Counter("tracemod_replay_read_errors_total", "Replay trace parses that failed.")
+	tuplesDropped = reg.Counter("tracemod_replay_tuples_dropped_total", "Tuples rejected by sanitization or lenient parsing.")
+	tuplesClamped = reg.Counter("tracemod_replay_tuples_clamped_total", "Tuples repaired in place by sanitization.")
 }
 
 // FileHeader opens every serialized replay trace.
@@ -85,38 +90,76 @@ func Read(r io.Reader) (core.Trace, error) {
 	return tr, nil
 }
 
-func read(r io.Reader) (core.Trace, error) {
-	sc := bufio.NewScanner(r)
-	if !sc.Scan() {
-		return nil, ErrBadHeader
+// headerScanner wraps the line-scanning shared by the strict and lenient
+// parsers: header check, blank/comment skipping, line numbering.
+type headerScanner struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+func newHeaderScanner(r io.Reader) *headerScanner {
+	return &headerScanner{sc: bufio.NewScanner(r)}
+}
+
+func (h *headerScanner) expectHeader() error {
+	if !h.sc.Scan() || strings.TrimSpace(h.sc.Text()) != FileHeader {
+		return ErrBadHeader
 	}
-	if strings.TrimSpace(sc.Text()) != FileHeader {
-		return nil, ErrBadHeader
-	}
-	var tr core.Trace
-	line := 1
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
+	h.line = 1
+	return nil
+}
+
+// next returns the next non-blank, non-comment line.
+func (h *headerScanner) next() (string, bool) {
+	for h.sc.Scan() {
+		h.line++
+		text := strings.TrimSpace(h.sc.Text())
 		if text == "" || strings.HasPrefix(text, "#") {
 			continue
 		}
-		var dUS, fUS int64
-		var vb, vr, loss float64
-		if _, err := fmt.Sscanf(text, "%d %d %f %f %f", &dUS, &fUS, &vb, &vr, &loss); err != nil {
-			return nil, fmt.Errorf("replay: line %d: %w", line, err)
-		}
-		tr = append(tr, core.Tuple{
-			D: time.Duration(dUS) * time.Microsecond,
-			DelayParams: core.DelayParams{
-				F:  time.Duration(fUS) * time.Microsecond,
-				Vb: core.PerByte(vb),
-				Vr: core.PerByte(vr),
-			},
-			L: loss,
-		})
+		return text, true
 	}
-	if err := sc.Err(); err != nil {
+	return "", false
+}
+
+func (h *headerScanner) err() error { return h.sc.Err() }
+
+// parseTupleLine parses one "duration_us F_us Vb Vr loss" line.
+func parseTupleLine(text string) (core.Tuple, error) {
+	var dUS, fUS int64
+	var vb, vr, loss float64
+	if _, err := fmt.Sscanf(text, "%d %d %f %f %f", &dUS, &fUS, &vb, &vr, &loss); err != nil {
+		return core.Tuple{}, err
+	}
+	return core.Tuple{
+		D: time.Duration(dUS) * time.Microsecond,
+		DelayParams: core.DelayParams{
+			F:  time.Duration(fUS) * time.Microsecond,
+			Vb: core.PerByte(vb),
+			Vr: core.PerByte(vr),
+		},
+		L: loss,
+	}, nil
+}
+
+func read(r io.Reader) (core.Trace, error) {
+	sc := newHeaderScanner(r)
+	if err := sc.expectHeader(); err != nil {
+		return nil, err
+	}
+	var tr core.Trace
+	for {
+		text, ok := sc.next()
+		if !ok {
+			break
+		}
+		t, err := parseTupleLine(text)
+		if err != nil {
+			return nil, fmt.Errorf("replay: line %d: %w", sc.line, err)
+		}
+		tr = append(tr, t)
+	}
+	if err := sc.err(); err != nil {
 		return nil, err
 	}
 	if err := tr.Validate(); err != nil {

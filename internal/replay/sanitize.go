@@ -1,0 +1,157 @@
+// Tuple sanitization: field-collected replay traces arrive with the
+// scars of real measurement — NaN solver outputs serialized before
+// validation, negative costs from clock steps, loss estimates past 1
+// from miscounted sequence numbers. Sanitize repairs what is repairable
+// (clamping) and drops what is not, so a single bad line no longer
+// condemns an otherwise usable trace.
+package replay
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"tracemod/internal/core"
+)
+
+// SanitizeReport accounts for a sanitizing pass over a replay trace.
+type SanitizeReport struct {
+	// Kept is the number of tuples surviving (possibly clamped).
+	Kept int
+	// Dropped is the number of tuples rejected outright: non-positive or
+	// non-finite duration, or NaN/Inf delay parameters that cannot be
+	// meaningfully repaired.
+	Dropped int
+	// Clamped is the number of tuples that survived with at least one
+	// field adjusted (negative cost raised to zero, loss clamped into
+	// [0, MaxLoss]).
+	Clamped int
+}
+
+// Clean reports whether sanitization changed nothing.
+func (r SanitizeReport) Clean() bool { return r.Dropped == 0 && r.Clamped == 0 }
+
+func (r SanitizeReport) String() string {
+	if r.Clean() {
+		return fmt.Sprintf("clean: %d tuples", r.Kept)
+	}
+	return fmt.Sprintf("sanitized: %d kept (%d clamped), %d dropped", r.Kept, r.Clamped, r.Dropped)
+}
+
+// ErrNoTuples is returned when sanitization (or a lenient read) leaves
+// nothing usable.
+var ErrNoTuples = errors.New("replay: no usable tuples after sanitization")
+
+func finite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
+
+// sanitizeTuple repairs one tuple in place. It returns (kept, clamped).
+func sanitizeTuple(t *core.Tuple) (bool, bool) {
+	// Unrepairable: a tuple with no positive duration covers no time, and
+	// NaN/Inf costs carry no information to clamp toward.
+	if t.D <= 0 {
+		return false, false
+	}
+	if !finite(float64(t.Vb)) || !finite(float64(t.Vr)) || math.IsNaN(t.L) || math.IsInf(t.L, 0) {
+		return false, false
+	}
+	clamped := false
+	if t.F < 0 {
+		t.F = 0
+		clamped = true
+	}
+	if t.Vb < 0 {
+		t.Vb = 0
+		clamped = true
+	}
+	if t.Vr < 0 {
+		t.Vr = 0
+		clamped = true
+	}
+	if t.L < 0 {
+		t.L = 0
+		clamped = true
+	}
+	if t.L >= 1 {
+		t.L = core.MaxLoss
+		clamped = true
+	}
+	return true, clamped
+}
+
+// Sanitize returns a physically meaningful copy of tr: repairable tuples
+// are clamped, unrepairable ones dropped, and the report accounts for
+// both. The input is never modified. The returned trace passes
+// core.Trace.Validate unless every tuple was dropped, in which case the
+// error is ErrNoTuples.
+func Sanitize(tr core.Trace) (core.Trace, SanitizeReport, error) {
+	out := make(core.Trace, 0, len(tr))
+	var rep SanitizeReport
+	for _, t := range tr {
+		kept, clamped := sanitizeTuple(&t)
+		if !kept {
+			rep.Dropped++
+			continue
+		}
+		if clamped {
+			rep.Clamped++
+		}
+		rep.Kept++
+		out = append(out, t)
+	}
+	tuplesDropped.Add(int64(rep.Dropped))
+	tuplesClamped.Add(int64(rep.Clamped))
+	if len(out) == 0 {
+		return nil, rep, ErrNoTuples
+	}
+	return out, rep, nil
+}
+
+// ReadLenient parses a serialized replay trace, skipping lines that do
+// not parse and sanitizing the tuples that do. It fails only when the
+// header is missing, the underlying reader errors, or nothing usable
+// remains. Use Read when the trace is expected to be pristine.
+func ReadLenient(r io.Reader) (core.Trace, SanitizeReport, error) {
+	raw, skipped, err := readLenient(r)
+	if err != nil {
+		readErrors.Inc()
+		return nil, SanitizeReport{}, err
+	}
+	tr, rep, err := Sanitize(raw)
+	rep.Dropped += skipped
+	tuplesDropped.Add(int64(skipped))
+	if err != nil {
+		readErrors.Inc()
+		return nil, rep, err
+	}
+	tracesRead.Inc()
+	tuplesRead.Add(int64(len(tr)))
+	return tr, rep, nil
+}
+
+// readLenient is read() without the abort-on-first-error behavior: bad
+// lines are counted, not fatal, and validation is left to Sanitize.
+func readLenient(r io.Reader) (core.Trace, int, error) {
+	sc := newHeaderScanner(r)
+	if err := sc.expectHeader(); err != nil {
+		return nil, 0, err
+	}
+	var tr core.Trace
+	skipped := 0
+	for {
+		text, ok := sc.next()
+		if !ok {
+			break
+		}
+		t, err := parseTupleLine(text)
+		if err != nil {
+			skipped++
+			continue
+		}
+		tr = append(tr, t)
+	}
+	if err := sc.err(); err != nil {
+		return nil, 0, err
+	}
+	return tr, skipped, nil
+}

@@ -1,0 +1,158 @@
+package replay
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"tracemod/internal/core"
+	"tracemod/internal/obs"
+)
+
+func goodTuple() core.Tuple {
+	return core.Tuple{
+		D:           time.Second,
+		DelayParams: core.DelayParams{F: 2 * time.Millisecond, Vb: 5000, Vr: 800},
+		L:           0.01,
+	}
+}
+
+func TestSanitizeCleanPassthrough(t *testing.T) {
+	in := core.Trace{goodTuple(), goodTuple()}
+	out, rep, err := Sanitize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() || rep.Kept != 2 {
+		t.Fatalf("report = %s", rep)
+	}
+	if len(out) != 2 || out[0] != in[0] {
+		t.Fatalf("clean tuples must pass through unchanged")
+	}
+}
+
+func TestSanitizeClampsRepairable(t *testing.T) {
+	neg := goodTuple()
+	neg.F = -time.Millisecond
+	neg.Vb = -1
+	lossy := goodTuple()
+	lossy.L = 1.7
+	in := core.Trace{neg, lossy}
+	out, rep, err := Sanitize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kept != 2 || rep.Clamped != 2 || rep.Dropped != 0 {
+		t.Fatalf("report = %s", rep)
+	}
+	if out[0].F != 0 || out[0].Vb != 0 {
+		t.Fatalf("negative costs must clamp to zero: %v", out[0])
+	}
+	if out[1].L != core.MaxLoss {
+		t.Fatalf("loss %v, want MaxLoss", out[1].L)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The input was not modified.
+	if in[0].F != -time.Millisecond {
+		t.Fatal("Sanitize mutated its input")
+	}
+}
+
+func TestSanitizeDropsUnrepairable(t *testing.T) {
+	nan := goodTuple()
+	nan.Vb = core.PerByte(math.NaN())
+	inf := goodTuple()
+	inf.Vr = core.PerByte(math.Inf(1))
+	zero := goodTuple()
+	zero.D = 0
+	in := core.Trace{goodTuple(), nan, inf, zero}
+	out, rep, err := Sanitize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kept != 1 || rep.Dropped != 3 {
+		t.Fatalf("report = %s", rep)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSanitizeAllDropped(t *testing.T) {
+	bad := goodTuple()
+	bad.D = -time.Second
+	_, rep, err := Sanitize(core.Trace{bad})
+	if !errors.Is(err, ErrNoTuples) {
+		t.Fatalf("err = %v, want ErrNoTuples", err)
+	}
+	if rep.Dropped != 1 {
+		t.Fatalf("report = %s", rep)
+	}
+}
+
+func TestReadLenientSkipsBadLines(t *testing.T) {
+	input := FileHeader + "\n" +
+		"1000000 2000 5000.000 800.000 0.010000\n" +
+		"not numbers at all\n" +
+		"1000000 2000 NaN 800.0 0.5\n" + // NaN Vb: parses, then dropped
+		"1000000 -5 5000.0 800.0 2.0\n" + // negative F, loss > 1: clamped
+		"1000000 2000 5000.000 800.000 0.000000\n"
+	tr, rep, err := ReadLenient(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 3 {
+		t.Fatalf("kept %d tuples, want 3", len(tr))
+	}
+	if rep.Dropped != 2 || rep.Clamped != 1 {
+		t.Fatalf("report = %s, want 2 dropped 1 clamped", rep)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Strict Read must reject the same input.
+	if _, err := Read(strings.NewReader(input)); err == nil {
+		t.Fatal("strict Read accepted a dirty trace")
+	}
+}
+
+func TestReadLenientStillNeedsHeader(t *testing.T) {
+	if _, _, err := ReadLenient(strings.NewReader("1 2 3 4 5\n")); !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("err = %v, want ErrBadHeader", err)
+	}
+}
+
+func TestReadLenientNothingUsable(t *testing.T) {
+	input := FileHeader + "\ngarbage\nmore garbage\n"
+	_, rep, err := ReadLenient(strings.NewReader(input))
+	if !errors.Is(err, ErrNoTuples) {
+		t.Fatalf("err = %v, want ErrNoTuples", err)
+	}
+	if rep.Dropped != 2 {
+		t.Fatalf("report = %s", rep)
+	}
+}
+
+func TestSanitizeMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	EnableMetrics(reg)
+	defer EnableMetrics(nil)
+
+	bad := goodTuple()
+	bad.Vb = core.PerByte(math.NaN())
+	clamp := goodTuple()
+	clamp.L = -0.5
+	if _, _, err := Sanitize(core.Trace{goodTuple(), bad, clamp}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("tracemod_replay_tuples_dropped_total", "").Load(); got != 1 {
+		t.Fatalf("dropped counter = %d, want 1", got)
+	}
+	if got := reg.Counter("tracemod_replay_tuples_clamped_total", "").Load(); got != 1 {
+		t.Fatalf("clamped counter = %d, want 1", got)
+	}
+}

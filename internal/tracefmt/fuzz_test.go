@@ -1,0 +1,46 @@
+package tracefmt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReader feeds arbitrary bytes to both the strict and the salvaging
+// reader. Invariants: neither panics; the report's record count matches
+// what the salvaged trace actually holds; and whenever the strict parse
+// succeeds, salvage must agree with it exactly and report a clean
+// stream.
+func FuzzReader(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, sampleTrace()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("TMT1"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		strict, strictErr := ReadAll(bytes.NewReader(data))
+		tr, rep, err := SalvageAll(bytes.NewReader(data))
+		if err != nil {
+			// Header unreadable: strict must have failed too.
+			if strictErr == nil {
+				t.Fatalf("salvage rejected header the strict reader accepted: %v", err)
+			}
+			return
+		}
+		if got := len(tr.Packets) + len(tr.Devices) + len(tr.Lost); got != rep.Records {
+			t.Fatalf("report says %d records, trace holds %d", rep.Records, got)
+		}
+		if strictErr == nil {
+			if !rep.Clean() {
+				t.Fatalf("strict parse succeeded but salvage reported damage: %s", rep)
+			}
+			if len(tr.Packets) != len(strict.Packets) ||
+				len(tr.Devices) != len(strict.Devices) ||
+				len(tr.Lost) != len(strict.Lost) {
+				t.Fatalf("salvage diverged from a successful strict parse")
+			}
+		}
+	})
+}

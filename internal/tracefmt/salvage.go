@@ -1,0 +1,241 @@
+// Salvage mode: parsing a field-collected trace that took damage — a
+// corrupted sector, a truncated upload, a collection daemon killed
+// mid-write. The strict Reader aborts at the first framing error; the
+// salvaging reader instead resynchronizes by scanning forward for the
+// next plausible record boundary, keeps everything that still decodes,
+// and returns a ReadReport accounting exactly for what was lost. On a
+// clean stream it returns byte-for-byte what the strict reader would.
+package tracefmt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// ReadReport accounts for a salvaging parse.
+type ReadReport struct {
+	// Records counts the data records decoded and kept.
+	Records int
+	// Damaged counts records lost to corruption: resync regions, a
+	// truncated final record, and CRC-rejected records.
+	Damaged int
+	// Skipped is the total bytes discarded while hunting for a boundary
+	// (including a truncated tail).
+	Skipped int64
+	// Resyncs counts forward scans performed after a framing error.
+	Resyncs int
+	// CRCDropped counts records rejected because their integrity record
+	// disagreed with their payload.
+	CRCDropped int
+	// TruncatedTail reports that the stream ended mid-record.
+	TruncatedTail bool
+}
+
+// Clean reports whether the parse salvaged nothing — the stream was
+// perfectly well-formed.
+func (r ReadReport) Clean() bool {
+	return r.Damaged == 0 && r.Skipped == 0 && r.Resyncs == 0 &&
+		r.CRCDropped == 0 && !r.TruncatedTail
+}
+
+func (r ReadReport) String() string {
+	if r.Clean() {
+		return fmt.Sprintf("clean: %d records", r.Records)
+	}
+	s := fmt.Sprintf("salvaged %d records; %d damaged, %d bytes skipped across %d resyncs, %d crc-rejected",
+		r.Records, r.Damaged, r.Skipped, r.Resyncs, r.CRCDropped)
+	if r.TruncatedTail {
+		s += ", truncated tail"
+	}
+	return s
+}
+
+// SalvageAll parses a possibly damaged trace, recovering every record it
+// can. The error is non-nil only when the header itself is unreadable
+// (nothing after it can be trusted without the framing the header
+// anchors) or the underlying reader fails.
+func SalvageAll(r io.Reader) (*Trace, *ReadReport, error) {
+	rd, err := NewReader(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	body, err := io.ReadAll(rd.r)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &Trace{Header: rd.Header()}
+	rep := &ReadReport{}
+	salvageRecords(body, t, rep)
+	return t, rep, nil
+}
+
+// minRecLen returns the minimum payload length for a known record type,
+// or -1 for unknown types.
+func minRecLen(t RecordType) int {
+	switch t {
+	case RecPacket:
+		return packetRecLen
+	case RecDevice:
+		return deviceRecLen
+	case RecLost:
+		return lostRecLen
+	case RecCRC:
+		return crcRecLen
+	default:
+		return -1
+	}
+}
+
+// anchorSlack is how much longer than its minimum a record may claim to
+// be and still anchor a resync. The writer emits exact-length payloads;
+// the slack tolerates forward-compatible extensions without letting a
+// corrupted length field masquerade as a boundary.
+const anchorSlack = 64
+
+// plausibleAnchor reports whether offset j looks like the start of a real
+// record: a known type, a length within the type's plausible window, the
+// whole payload present, and — for packet records — a sane direction
+// byte. Used only to end a resync scan, so it is deliberately stricter
+// than what the sequential parser accepts.
+func plausibleAnchor(b []byte, j int) bool {
+	if len(b)-j < 3 {
+		return false
+	}
+	min := minRecLen(RecordType(b[j]))
+	if min < 0 {
+		return false
+	}
+	n := int(binary.BigEndian.Uint16(b[j+1 : j+3]))
+	if n < min || n > min+anchorSlack || j+3+n > len(b) {
+		return false
+	}
+	if RecordType(b[j]) == RecPacket && b[j+3+8] > 1 {
+		return false
+	}
+	return true
+}
+
+// plausibleBoundary reports whether offset j could be a record boundary
+// at all: end of stream, or a frame that fits the remaining bytes. Used
+// to sanity-check the framing of unknown record types before trusting it
+// — deliberately looser than plausibleAnchor, because rejecting a frame
+// the strict reader would accept must never happen.
+func plausibleBoundary(b []byte, j int) bool {
+	if j == len(b) {
+		return true
+	}
+	if len(b)-j < 3 {
+		return false
+	}
+	n := int(binary.BigEndian.Uint16(b[j+1 : j+3]))
+	if min := minRecLen(RecordType(b[j])); min >= 0 && n < min {
+		return false
+	}
+	return j+3+n <= len(b)
+}
+
+// resyncFrom scans forward from the byte after a framing error until a
+// plausible anchor (or the end of the stream), charging the gap to the
+// report as exactly one damaged region.
+func resyncFrom(b []byte, i int, rep *ReadReport) int {
+	j := i + 1
+	for j < len(b) && !plausibleAnchor(b, j) {
+		j++
+	}
+	rep.Skipped += int64(j - i)
+	rep.Resyncs++
+	rep.Damaged++
+	return j
+}
+
+// salvageRecords runs the salvaging record loop over the post-header
+// bytes, appending recovered records to t and accounting in rep.
+func salvageRecords(b []byte, t *Trace, rep *ReadReport) {
+	// lastKind/lastPayload mirror the strict reader's CRC bookkeeping.
+	var lastKind RecordType
+	var lastPayload []byte
+	i := 0
+	for i < len(b) {
+		if len(b)-i < 3 {
+			// Too short to even frame a record.
+			rep.Skipped += int64(len(b) - i)
+			rep.TruncatedTail = true
+			rep.Damaged++
+			return
+		}
+		typ := RecordType(b[i])
+		n := int(binary.BigEndian.Uint16(b[i+1 : i+3]))
+		min := minRecLen(typ)
+		if min >= 0 && n < min {
+			// A known record claiming less than its fixed payload: the
+			// length field (or the type byte) is corrupt.
+			i = resyncFrom(b, i, rep)
+			lastPayload = nil
+			continue
+		}
+		end := i + 3 + n
+		if end > len(b) {
+			if min >= 0 && n <= min+anchorSlack {
+				// A believable record cut off mid-payload: the classic
+				// torn tail of an interrupted collection.
+				rep.Skipped += int64(len(b) - i)
+				rep.TruncatedTail = true
+				rep.Damaged++
+				return
+			}
+			// The claimed length overruns the stream by more than any
+			// real record could: corruption, not truncation.
+			i = resyncFrom(b, i, rep)
+			lastPayload = nil
+			continue
+		}
+		payload := b[i+3 : end]
+		switch typ {
+		case RecPacket:
+			t.Packets = append(t.Packets, decodePacket(payload))
+			rep.Records++
+			lastKind, lastPayload = typ, payload
+		case RecDevice:
+			t.Devices = append(t.Devices, decodeDevice(payload))
+			rep.Records++
+			lastKind, lastPayload = typ, payload
+		case RecLost:
+			t.Lost = append(t.Lost, decodeLost(payload))
+			rep.Records++
+			lastKind, lastPayload = typ, payload
+		case RecCRC:
+			if lastPayload != nil && !crcMatches(payload, lastKind, lastPayload) {
+				dropLast(t, lastKind)
+				rep.Records--
+				rep.CRCDropped++
+				rep.Damaged++
+			}
+			lastPayload = nil
+		default:
+			// Unknown type: trust the self-descriptive framing only if it
+			// lands somewhere a record could start. A corrupted type byte
+			// drags a garbage length with it; following that length would
+			// desynchronize the whole remainder of the stream.
+			if !plausibleBoundary(b, end) {
+				i = resyncFrom(b, i, rep)
+				lastPayload = nil
+				continue
+			}
+		}
+		i = end
+	}
+}
+
+// dropLast removes the most recently appended record of the given kind —
+// its CRC just proved the payload lied.
+func dropLast(t *Trace, kind RecordType) {
+	switch kind {
+	case RecPacket:
+		t.Packets = t.Packets[:len(t.Packets)-1]
+	case RecDevice:
+		t.Devices = t.Devices[:len(t.Devices)-1]
+	case RecLost:
+		t.Lost = t.Lost[:len(t.Lost)-1]
+	}
+}

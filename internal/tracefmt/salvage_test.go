@@ -1,0 +1,253 @@
+package tracefmt
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func readFixture(t *testing.T, name string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("fixture %s missing (run go run ./internal/tracefmt/testdata/gen.go): %v", name, err)
+	}
+	return data
+}
+
+func TestSalvageCleanStreamMatchesStrict(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	strict, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, rep, err := SalvageAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("clean stream reported dirty: %s", rep)
+	}
+	if rep.Records != len(strict.Packets)+len(strict.Devices)+len(strict.Lost) {
+		t.Fatalf("records = %d", rep.Records)
+	}
+	if len(tr.Packets) != len(strict.Packets) || len(tr.Devices) != len(strict.Devices) || len(tr.Lost) != len(strict.Lost) {
+		t.Fatalf("salvage diverged from strict parse on a clean stream")
+	}
+	for i := range strict.Packets {
+		if tr.Packets[i] != strict.Packets[i] {
+			t.Fatalf("packet %d differs", i)
+		}
+	}
+}
+
+// The acceptance scenario: one record corrupted mid-stream, the report
+// counting exactly the damaged region.
+func TestSalvageCountsExactDamagedRegion(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{Device: "wavelan0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	headerLen := buf.Len()
+	const total = 12
+	for i := 0; i < total; i++ {
+		err := w.WriteDevice(DeviceRecord{At: int64(i) * int64(time.Second), Signal: 18, Quality: 9, Silence: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Smash record 5's length field to 0xFFFF: the frame now claims to
+	// overrun the stream, so the reader must hunt for the next boundary.
+	const unit = 3 + deviceRecLen
+	off := headerLen + 5*unit
+	data[off+1], data[off+2] = 0xff, 0xff
+
+	if _, err := ReadAll(bytes.NewReader(data)); err == nil {
+		t.Fatal("strict reader must reject the corrupt stream")
+	}
+	tr, rep, err := SalvageAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Devices) != total-1 || rep.Records != total-1 {
+		t.Fatalf("kept %d records, want %d (%s)", rep.Records, total-1, rep)
+	}
+	// The damaged region is exactly the smashed record: its 3-byte frame
+	// plus its payload, nothing more.
+	if rep.Skipped != unit {
+		t.Fatalf("skipped %d bytes, want exactly %d (%s)", rep.Skipped, unit, rep)
+	}
+	if rep.Resyncs != 1 || rep.Damaged != 1 {
+		t.Fatalf("resyncs=%d damaged=%d, want 1/1", rep.Resyncs, rep.Damaged)
+	}
+	// Every surviving record is intact.
+	for i, d := range tr.Devices {
+		want := int64(i) * int64(time.Second)
+		if i >= 5 {
+			want = int64(i+1) * int64(time.Second)
+		}
+		if d.At != want {
+			t.Fatalf("device %d At=%d, want %d", i, d.At, want)
+		}
+	}
+}
+
+func TestSalvageBitFlipFixture(t *testing.T) {
+	data := readFixture(t, "bitflip.trace")
+	if _, err := ReadAll(bytes.NewReader(data)); err == nil {
+		t.Fatal("strict reader must reject the CRC mismatch")
+	}
+	tr, rep, err := SalvageAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fixture holds 10 CRC-protected packets with one payload bit
+	// flipped: the framing survives, so nothing is skipped — the CRC
+	// alone catches the damage.
+	if rep.Records != 9 || len(tr.Packets) != 9 {
+		t.Fatalf("kept %d records, want 9 (%s)", rep.Records, rep)
+	}
+	if rep.CRCDropped != 1 || rep.Skipped != 0 || rep.Resyncs != 0 {
+		t.Fatalf("report = %s, want exactly one crc rejection", rep)
+	}
+	// Packet 4 (Size 104) is the one that must be gone.
+	for _, p := range tr.Packets {
+		if p.Size == 104 {
+			t.Fatal("the corrupted record survived salvage")
+		}
+	}
+}
+
+func TestSalvageTruncatedFixture(t *testing.T) {
+	data := readFixture(t, "truncated.trace")
+	if _, err := ReadAll(bytes.NewReader(data)); err == nil {
+		t.Fatal("strict reader must reject the torn tail")
+	}
+	tr, rep, err := SalvageAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Records != 7 || len(tr.Devices) != 7 {
+		t.Fatalf("kept %d records, want 7 (%s)", rep.Records, rep)
+	}
+	if !rep.TruncatedTail {
+		t.Fatalf("report = %s, want truncated tail", rep)
+	}
+	// 3-byte frame + 13 of the final record's 20 payload bytes remain.
+	if rep.Skipped != 16 {
+		t.Fatalf("skipped %d bytes, want 16 (%s)", rep.Skipped, rep)
+	}
+}
+
+func TestSalvageUnknownFloodFixture(t *testing.T) {
+	data := readFixture(t, "unknown_flood.trace")
+	strict, err := ReadAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("the flood is well-formed; strict parse failed: %v", err)
+	}
+	tr, rep, err := SalvageAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("well-formed extension records reported as damage: %s", rep)
+	}
+	if len(tr.Packets) != 5 || len(strict.Packets) != 5 {
+		t.Fatalf("packets = %d strict / %d salvage, want 5", len(strict.Packets), len(tr.Packets))
+	}
+}
+
+func TestSalvageGarbageBody(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{Device: "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePacket(PacketRecord{At: 1, RTT: -1, ICMPType: NoICMP}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Garbage after one good record: the record survives, the garbage is
+	// charged to the report.
+	buf.Write(bytes.Repeat([]byte{0xfe, 0x37, 0x91}, 40))
+	tr, rep, err := SalvageAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Packets) != 1 {
+		t.Fatalf("packets = %d, want the one good record", len(tr.Packets))
+	}
+	if rep.Clean() || rep.Skipped == 0 {
+		t.Fatalf("garbage must be reported: %s", rep)
+	}
+}
+
+func TestSalvageBadHeaderFails(t *testing.T) {
+	if _, _, err := SalvageAll(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8})); err == nil {
+		t.Fatal("an unreadable header cannot be salvaged")
+	}
+}
+
+func TestCRCRoundTripAndStrictVerify(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAllOptions(&buf, sampleTrace(), WriterOptions{CRC: true}); err != nil {
+		t.Fatal(err)
+	}
+	// A v1-style consumer that ignores CRC records still reads the trace.
+	tr, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Packets) != 4 || len(tr.Devices) != 2 || len(tr.Lost) != 1 {
+		t.Fatalf("CRC-protected trace misparsed: %d/%d/%d", len(tr.Packets), len(tr.Devices), len(tr.Lost))
+	}
+	if tr.Packets[0] != sampleTrace().Packets[0] {
+		t.Fatal("packet payload corrupted by CRC framing")
+	}
+}
+
+func TestWriterRejectsOversizedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{Device: "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, MaxRecordLen+1)
+	if err := w.WriteRaw(RecordType(200), big); err == nil {
+		t.Fatal("oversized record must be rejected, not truncated")
+	}
+	// The stream is not poisoned: a following valid record still writes.
+	if err := w.WriteDevice(DeviceRecord{At: 1}); err != nil {
+		t.Fatalf("writer poisoned after oversized record: %v", err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Devices) != 1 {
+		t.Fatalf("devices = %d, want 1", len(tr.Devices))
+	}
+	// Exactly at the limit is fine.
+	if err := w.WriteRaw(RecordType(200), make([]byte, MaxRecordLen)); err != nil {
+		t.Fatalf("max-size record rejected: %v", err)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"time"
@@ -44,10 +45,16 @@ const Version uint16 = 1
 type RecordType uint8
 
 // Record types. Unknown types are skipped by Reader.
+//
+// RecCRC is the format-v2 integrity record: it follows a data record and
+// carries the covered record's type plus an IEEE CRC32 of its payload.
+// v1 readers ignore it through the skip-unknown framing, so CRC-protected
+// traces stay readable by every older tool.
 const (
 	RecPacket RecordType = 1
 	RecDevice RecordType = 2
 	RecLost   RecordType = 3
+	RecCRC    RecordType = 4
 )
 
 // Direction of a traced packet relative to the traced host.
@@ -153,14 +160,29 @@ func (t *Trace) Duration() time.Duration {
 	return time.Duration(t.Packets[len(t.Packets)-1].At - t.Packets[0].At)
 }
 
+// WriterOptions parameterizes a Writer.
+type WriterOptions struct {
+	// CRC appends a RecCRC integrity record after every data record, so
+	// salvaging readers can detect payload corruption that leaves the
+	// framing intact. Adds 8 bytes per record.
+	CRC bool
+}
+
 // Writer emits a trace stream.
 type Writer struct {
-	w   *bufio.Writer
-	err error
+	w    *bufio.Writer
+	opts WriterOptions
+	err  error
 }
 
 // NewWriter writes the file header and returns a record writer.
 func NewWriter(w io.Writer, h Header) (*Writer, error) {
+	return NewWriterOptions(w, h, WriterOptions{})
+}
+
+// NewWriterOptions writes the file header and returns a record writer with
+// explicit options.
+func NewWriterOptions(w io.Writer, h Header, opts WriterOptions) (*Writer, error) {
 	bw := bufio.NewWriter(w)
 	if err := binary.Write(bw, binary.BigEndian, Magic); err != nil {
 		return nil, err
@@ -177,7 +199,7 @@ func NewWriter(w io.Writer, h Header) (*Writer, error) {
 	if err := writeString(bw, h.Comment); err != nil {
 		return nil, err
 	}
-	return &Writer{w: bw}, nil
+	return &Writer{w: bw, opts: opts}, nil
 }
 
 func writeString(w io.Writer, s string) error {
@@ -203,9 +225,21 @@ func readString(r io.Reader) (string, error) {
 	return string(b), nil
 }
 
+// MaxRecordLen is the largest payload one record can frame (the length
+// field is 16 bits).
+const MaxRecordLen = 0xffff
+
+// ErrRecordTooLarge is returned for a payload that does not fit the
+// 16-bit length field. Nothing is written and the writer stays usable:
+// the caller chose a bad record, the stream is not at fault.
+var ErrRecordTooLarge = errors.New("tracefmt: record payload exceeds frame limit")
+
 func (w *Writer) record(t RecordType, payload []byte) error {
 	if w.err != nil {
 		return w.err
+	}
+	if len(payload) > MaxRecordLen {
+		return fmt.Errorf("%w: %d bytes (max %d)", ErrRecordTooLarge, len(payload), MaxRecordLen)
 	}
 	if err := w.w.WriteByte(byte(t)); err != nil {
 		w.err = err
@@ -221,7 +255,28 @@ func (w *Writer) record(t RecordType, payload []byte) error {
 		w.err = err
 		return err
 	}
+	if w.opts.CRC && t != RecCRC {
+		return w.writeCRC(t, payload)
+	}
 	return nil
+}
+
+// WriteRaw appends a record of an arbitrary (possibly extension) type.
+// Like every record writer it rejects payloads that do not fit the
+// 16-bit length frame with ErrRecordTooLarge.
+func (w *Writer) WriteRaw(t RecordType, payload []byte) error {
+	return w.record(t, payload)
+}
+
+const crcRecLen = 1 + 4
+
+// writeCRC appends the integrity record covering the data record just
+// written: its type plus an IEEE CRC32 of its payload.
+func (w *Writer) writeCRC(covered RecordType, payload []byte) error {
+	var b [crcRecLen]byte
+	b[0] = byte(covered)
+	binary.BigEndian.PutUint32(b[1:5], crc32.ChecksumIEEE(payload))
+	return w.record(RecCRC, b[:])
 }
 
 const packetRecLen = 8 + 1 + 2 + 1 + 1 + 2 + 2 + 8 + 2 + 2 + 1
@@ -276,14 +331,20 @@ func (w *Writer) Flush() error {
 
 // Errors from Reader.
 var (
-	ErrBadMagic   = errors.New("tracefmt: bad magic")
-	ErrBadVersion = errors.New("tracefmt: unsupported version")
+	ErrBadMagic    = errors.New("tracefmt: bad magic")
+	ErrBadVersion  = errors.New("tracefmt: unsupported version")
+	ErrCRCMismatch = errors.New("tracefmt: record payload fails its CRC")
 )
 
 // Reader parses a trace stream.
 type Reader struct {
 	r      *bufio.Reader
 	header Header
+
+	// lastKind/lastPayload remember the most recent data record so a
+	// following RecCRC can be verified against it.
+	lastKind    RecordType
+	lastPayload []byte
 }
 
 // NewReader validates the header and returns a record reader.
@@ -321,7 +382,9 @@ func NewReader(r io.Reader) (*Reader, error) {
 func (r *Reader) Header() Header { return r.header }
 
 // Next returns the next record as one of PacketRecord, DeviceRecord, or
-// LostRecord. Unknown record types are skipped. io.EOF signals a clean end.
+// LostRecord. Unknown record types are skipped; RecCRC records are
+// verified against the preceding data record (a mismatch is an error) but
+// never returned. io.EOF signals a clean end.
 func (r *Reader) Next() (any, error) {
 	for {
 		t, err := r.r.ReadByte()
@@ -342,22 +405,48 @@ func (r *Reader) Next() (any, error) {
 			if n < packetRecLen {
 				return nil, fmt.Errorf("tracefmt: short packet record (%d bytes)", n)
 			}
+			r.remember(RecPacket, payload)
 			return decodePacket(payload), nil
 		case RecDevice:
 			if n < deviceRecLen {
 				return nil, fmt.Errorf("tracefmt: short device record (%d bytes)", n)
 			}
+			r.remember(RecDevice, payload)
 			return decodeDevice(payload), nil
 		case RecLost:
 			if n < lostRecLen {
 				return nil, fmt.Errorf("tracefmt: short lost record (%d bytes)", n)
 			}
+			r.remember(RecLost, payload)
 			return decodeLost(payload), nil
+		case RecCRC:
+			if n < crcRecLen {
+				return nil, fmt.Errorf("tracefmt: short crc record (%d bytes)", n)
+			}
+			// A CRC with no preceding data record (e.g. a stream resumed
+			// mid-file) has nothing to check and is skipped.
+			if r.lastPayload != nil && !crcMatches(payload, r.lastKind, r.lastPayload) {
+				return nil, fmt.Errorf("%w (covering %d-byte type-%d record)",
+					ErrCRCMismatch, len(r.lastPayload), r.lastKind)
+			}
+			r.lastPayload = nil
+			continue
 		default:
 			// Self-descriptive framing: skip what we do not understand.
 			continue
 		}
 	}
+}
+
+// remember retains a data record for verification by a following RecCRC.
+func (r *Reader) remember(t RecordType, payload []byte) {
+	r.lastKind, r.lastPayload = t, payload
+}
+
+// crcMatches checks a RecCRC payload against the record it covers.
+func crcMatches(crcPayload []byte, kind RecordType, covered []byte) bool {
+	return RecordType(crcPayload[0]) == kind &&
+		binary.BigEndian.Uint32(crcPayload[1:5]) == crc32.ChecksumIEEE(covered)
 }
 
 func unexpectedEOF(err error) error {
@@ -428,7 +517,13 @@ func ReadAll(r io.Reader) (*Trace, error) {
 
 // WriteAll serializes an entire trace.
 func WriteAll(w io.Writer, t *Trace) error {
-	wr, err := NewWriter(w, t.Header)
+	return WriteAllOptions(w, t, WriterOptions{})
+}
+
+// WriteAllOptions serializes an entire trace with explicit writer options
+// (notably per-record CRC protection).
+func WriteAllOptions(w io.Writer, t *Trace, opts WriterOptions) error {
+	wr, err := NewWriterOptions(w, t.Header, opts)
 	if err != nil {
 		return err
 	}
