@@ -26,6 +26,7 @@ import (
 	"tracemod/internal/expt"
 	"tracemod/internal/modulation"
 	"tracemod/internal/obs"
+	"tracemod/internal/obs/span"
 	"tracemod/internal/packet"
 	"tracemod/internal/pinger"
 	"tracemod/internal/replay"
@@ -307,6 +308,51 @@ func TestObsDisabledHotPathAddsNoAllocs(t *testing.T) {
 	res := testing.Benchmark(BenchmarkEngineSubmitObsDisabled)
 	if allocs := res.AllocsPerOp(); allocs != 0 {
 		t.Fatalf("obs-disabled hot path: %d allocs/op, want 0", allocs)
+	}
+}
+
+// spanHotPathBench drives the span-threading entry point (SubmitSpan, the
+// call every emud session and traced relay makes) on the immediate-delivery
+// hot path, in the three tracing configurations that must stay cheap:
+// tracing off entirely, a tracer attached but this packet unsampled, and
+// no parent with a sampling tracer configured on the engine.
+func spanHotPathBench(tr *span.Tracer) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		s := sim.New(1)
+		trace := replay.Constant(core.DelayParams{}, 0, time.Hour, time.Hour)
+		cfg := modulation.Config{RNG: rand.New(rand.NewSource(1)), Spans: tr}
+		eng := modulation.NewEngine(modulation.SimClock{S: s}, &modulation.SliceSource{Trace: trace}, cfg)
+		deliver := func() {}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.SubmitSpan(simnet.Outbound, 1500, nil, deliver, nil)
+		}
+	}
+}
+
+// BenchmarkEngineSubmitSpansDisabled measures SubmitSpan with no tracer at
+// all — emud's default. It must match the plain Submit hot path: zero
+// allocations, a nil check of overhead.
+func BenchmarkEngineSubmitSpansDisabled(b *testing.B) { spanHotPathBench(nil)(b) }
+
+// BenchmarkEngineSubmitSpansUnsampled measures SubmitSpan with a tracer
+// configured at a tiny sampling rate, on packets the sampler skips — the
+// steady-state cost of running a farm with -trace-sample 0.01. The only
+// overhead allowed is the sampling counter.
+func BenchmarkEngineSubmitSpansUnsampled(b *testing.B) {
+	spanHotPathBench(span.New(span.Config{Sample: 1e-9, Seed: 1}))(b)
+}
+
+// TestSpansDisabledHotPathAddsNoAllocs guards the span layer's core
+// promise: with tracing disabled — or enabled but the packet unsampled —
+// the hot path performs zero allocations per packet.
+func TestSpansDisabledHotPathAddsNoAllocs(t *testing.T) {
+	if res := testing.Benchmark(BenchmarkEngineSubmitSpansDisabled); res.AllocsPerOp() != 0 {
+		t.Fatalf("spans-disabled hot path: %d allocs/op, want 0", res.AllocsPerOp())
+	}
+	if res := testing.Benchmark(BenchmarkEngineSubmitSpansUnsampled); res.AllocsPerOp() != 0 {
+		t.Fatalf("spans-unsampled hot path: %d allocs/op, want 0", res.AllocsPerOp())
 	}
 }
 

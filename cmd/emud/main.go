@@ -13,6 +13,8 @@
 //	     [-max-session-inflight 0] [-max-inflight-bytes 0]
 //	     [-snapshot PATH] [-snapshot-interval 10s] [-recover]
 //	     [-faults] [-fault-seed 0]
+//	     [-trace-sample 0] [-flight 256]
+//	     [-log-level info] [-log-format text]
 //
 // The control plane:
 //
@@ -22,12 +24,23 @@
 //	POST   /v1/sessions/{id}/start
 //	POST   /v1/sessions/{id}/stop[?drain=2s]
 //	DELETE /v1/sessions/{id}      stop and remove
+//	GET    /v1/sessions/{id}/flight  per-session flight-recorder span dump
 //	GET    /v1/farm               farm-wide summary
+//	GET    /v1/slo                SLO evaluation (objectives + worst sessions)
+//	GET    /v1/health             readiness score (503 when a critical SLO fails)
 //	GET    /v1/faults             fault-injection points (with -faults)
 //	POST   /v1/faults             arm a point: {"name":..,"rate":..,"delay_ms":..}
 //	DELETE /v1/faults             disarm every point
 //	GET    /metrics               Prometheus-style export (per-session labels)
 //	GET    /debug/events          recent engine events
+//
+// With -trace-sample R (e.g. 0.01) the daemon samples end-to-end spans for
+// roughly one packet in 1/R across the whole journey — HTTP handler,
+// session manager, timer wheel, modulation engine, relay pump — and keeps
+// the last -flight spans per session in a lock-free flight recorder,
+// dumped via the control plane and on panic quarantine. The control plane
+// honors and emits W3C `traceparent` headers, so external callers can
+// stitch daemon spans into their own traces.
 //
 // With -snapshot the daemon periodically writes a crash-recovery file of
 // every live session's spec and replay cursor; after a crash, restarting
@@ -40,6 +53,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -48,7 +62,26 @@ import (
 	"tracemod/internal/emud"
 	"tracemod/internal/faults"
 	"tracemod/internal/obs"
+	"tracemod/internal/obs/span"
 )
+
+// newLogger builds the daemon's structured logger from the -log-level and
+// -log-format flags.
+func newLogger(level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("emud: bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("emud: bad -log-format %q (want text or json)", format)
+	}
+}
 
 func main() {
 	listen := flag.String("listen", ":8091", "control-plane listen address")
@@ -67,7 +100,17 @@ func main() {
 	doRecover := flag.Bool("recover", false, "restore sessions from the -snapshot file on startup")
 	enableFaults := flag.Bool("faults", false, "enable the fault-injection control plane (/v1/faults)")
 	faultSeed := flag.Int64("fault-seed", 0, "seed for the fault injector's deterministic streams")
+	traceSample := flag.Float64("trace-sample", 0, "span sampling rate in [0,1] (0 disables tracing; 1 traces everything)")
+	flightCap := flag.Int("flight", span.DefaultFlightCapacity, "per-session flight-recorder span capacity")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	flag.Parse()
+
+	log, err := newLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	reg := obs.NewRegistry()
 	var tracer *obs.RingTracer
@@ -77,6 +120,10 @@ func main() {
 	var inj *faults.Injector
 	if *enableFaults {
 		inj = faults.New(faults.Options{Seed: *faultSeed, Metrics: reg})
+	}
+	var spans *span.Tracer
+	if *traceSample > 0 {
+		spans = span.New(span.Config{Sample: *traceSample, Metrics: reg})
 	}
 
 	m := emud.NewManager(emud.Options{
@@ -92,35 +139,42 @@ func main() {
 		SnapshotPath:       *snapshotPath,
 		SnapshotInterval:   *snapshotEvery,
 		Metrics:            reg,
+		Spans:              spans,
+		FlightSpans:        *flightCap,
+		Logger:             log,
 	})
 
 	if *doRecover {
 		if *snapshotPath == "" {
-			fmt.Fprintln(os.Stderr, "emud: -recover requires -snapshot")
+			log.Error("-recover requires -snapshot")
 			os.Exit(1)
 		}
 		n, err := m.Recover(*snapshotPath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "emud: recovery: %v (restored %d sessions)\n", err, n)
+			log.Error("recovery failed", "err", err, "restored", n)
 		} else if n > 0 {
-			fmt.Printf("emud: recovered %d sessions from %s\n", n, *snapshotPath)
+			log.Info("recovered sessions from snapshot", "sessions", n, "path", *snapshotPath)
 		}
 	}
 
 	srv, err := emud.NewAPI(m, reg, tracer).Serve(*listen)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "emud: %v\n", err)
+		log.Error("control listener failed", "err", err)
 		os.Exit(1)
 	}
-	fmt.Printf("emud: control plane on %s (shards=%d granularity=%v max-sessions=%d)\n",
-		srv.Addr(), m.Wheel().Shards(), m.Wheel().Granularity(), *maxSessions)
+	log.Info("control plane up",
+		"addr", srv.Addr(),
+		"shards", m.Wheel().Shards(),
+		"granularity", m.Wheel().Granularity(),
+		"max_sessions", *maxSessions,
+		"trace_sample", *traceSample)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	s := <-sig
-	fmt.Printf("emud: %v — draining %d sessions (timeout %v)\n", s, m.Count(), *drainTimeout)
+	log.Info("draining on signal", "signal", s.String(), "sessions", m.Count(), "timeout", *drainTimeout)
 	start := time.Now()
 	_ = srv.Close()
 	m.Close()
-	fmt.Printf("emud: drained in %v\n", time.Since(start).Round(time.Millisecond))
+	log.Info("drained", "took", time.Since(start).Round(time.Millisecond))
 }

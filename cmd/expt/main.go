@@ -7,6 +7,13 @@
 //	expt [-run all|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|abl-tick|abl-comp|abl-window]
 //	     [-trials N] [-seed S] [-ftp-mb N] [-workers N]
 //	     [-cpuprofile FILE] [-memprofile FILE]
+//	     [-trace-out FILE]
+//
+// With -trace-out the harness additionally runs one fully-span-traced
+// modulated Web benchmark trial over a synthetic WaveLAN-like trace and
+// writes every sampled span as JSON lines (one span object per line,
+// virtual-time timestamps; see internal/obs/span/encode.go for the
+// format). Render the file with `tracedump -i FILE -render spans`.
 package main
 
 import (
@@ -19,6 +26,8 @@ import (
 	"time"
 
 	"tracemod/internal/expt"
+	"tracemod/internal/obs/span"
+	"tracemod/internal/replay"
 	"tracemod/internal/scenario"
 )
 
@@ -30,6 +39,7 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "experiment cells run concurrently (output is identical at any count)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	traceOut := flag.String("trace-out", "", "write span JSONL from a fully-traced modulated run to this file")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -68,6 +78,16 @@ func main() {
 	o.FTPSize = *ftpMB << 20
 	o.Workers = *workers
 
+	if *traceOut != "" {
+		if err := writeTracedRun(*traceOut, o); err != nil {
+			fmt.Fprintf(os.Stderr, "expt: -trace-out: %v\n", err)
+			os.Exit(1)
+		}
+		if *run == "" {
+			return
+		}
+	}
+
 	ids := []string{*run}
 	if *run == "all" {
 		ids = []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "abl-tick", "abl-comp", "abl-window", "abl-clock", "abl-buffer"}
@@ -81,6 +101,32 @@ func main() {
 		}
 		fmt.Printf("==== %s (generated in %v) ====\n%s\n", id, time.Since(start).Round(time.Millisecond), out)
 	}
+}
+
+// writeTracedRun runs one span-traced modulated Web trial over a
+// synthetic WaveLAN-like trace and writes the sampled spans as JSONL.
+func writeTracedRun(path string, o expt.Options) error {
+	start := time.Now()
+	comp, err := expt.MeasureCompensation(o)
+	if err != nil {
+		return err
+	}
+	_, spans, err := expt.RunModulatedTraced(
+		replay.WaveLANLike(time.Hour), expt.BenchWeb, 0, comp, o, 0)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := span.WriteJSONL(f, spans); err != nil {
+		return err
+	}
+	fmt.Printf("expt: wrote %d spans to %s (in %v)\n",
+		len(spans), path, time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 func dispatch(id string, o expt.Options) (string, error) {

@@ -8,6 +8,7 @@
 //	tracedump -i porter0.trace [-devices] [-n 50] [-stats]
 //	tracedump -i porter0.trace -render obs    # observability summary
 //	tracedump -i porter0.trace -render prom   # same, Prometheus text format
+//	tracedump -i run.spans -render spans      # span trees from a traced run
 //	tracedump -i porter0.trace -verify        # integrity check, exit 1 if dirty
 //	tracedump -i porter0.trace -salvage       # read a damaged trace anyway
 //
@@ -15,6 +16,14 @@
 // registry — packet counters by direction and protocol, an RTT histogram,
 // loss accounting — and prints the registry's human dump (or, with
 // -render prom, the exact text a live daemon's /metrics endpoint serves).
+//
+// The spans render mode reads sampled spans instead of a collected trace:
+// either span JSONL (one span object per line, as written by
+// `expt -trace-out`) or a flight-recorder dump fetched from a daemon's
+// GET /v1/sessions/{id}/flight endpoint. It prints each trace as an
+// indented tree — span IDs, names, start offsets, durations, attributes,
+// and events — the same rendering emud logs when it quarantines a
+// session. See internal/obs/span/encode.go for the wire format.
 //
 // Verify mode parses the trace with the salvaging reader and runs the
 // distillation sanitizer's validator over whatever was recovered: framing
@@ -24,6 +33,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +43,7 @@ import (
 	"tracemod/internal/analysis"
 	"tracemod/internal/distill"
 	"tracemod/internal/obs"
+	"tracemod/internal/obs/span"
 	"tracemod/internal/packet"
 	"tracemod/internal/tracefmt"
 )
@@ -41,7 +53,7 @@ func main() {
 	devices := flag.Bool("devices", false, "include device-characteristic records")
 	limit := flag.Int("n", 0, "print at most n records (0 = all)")
 	statsOnly := flag.Bool("stats", false, "print the trace analysis report instead of records")
-	render := flag.String("render", "records", "output mode: records, obs (telemetry dump), prom (Prometheus text)")
+	render := flag.String("render", "records", "output mode: records, obs (telemetry dump), prom (Prometheus text), spans (span trees from a span dump)")
 	verify := flag.Bool("verify", false, "validate the trace (salvage parse + sanitizer check) and exit 1 if anything is wrong")
 	salvage := flag.Bool("salvage", false, "parse a damaged trace in salvage mode instead of aborting")
 	flag.Parse()
@@ -52,6 +64,9 @@ func main() {
 	}
 	if *verify {
 		os.Exit(runVerify(*in))
+	}
+	if *render == "spans" {
+		os.Exit(renderSpans(*in))
 	}
 	f, err := os.Open(*in)
 	if err != nil {
@@ -136,6 +151,44 @@ func main() {
 	}
 }
 
+// renderSpans is the -render spans mode: read a span dump (JSONL from a
+// traced run, or a flight-recorder JSON dump from the control plane) and
+// print the span forest.
+func renderSpans(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracedump: %v\n", err)
+		return 1
+	}
+	spans, err := parseSpanDump(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracedump: %s: %v\n", path, err)
+		return 1
+	}
+	if len(spans) == 0 {
+		fmt.Println("no spans")
+		return 0
+	}
+	if err := span.RenderTree(os.Stdout, spans); err != nil {
+		fmt.Fprintf(os.Stderr, "tracedump: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// parseSpanDump accepts either shape a span dump comes in: the
+// flight-recorder endpoint's single JSON object ({"session":..,"spans":
+// [..]}) or span JSONL (one span object per line).
+func parseSpanDump(data []byte) ([]*span.SpanData, error) {
+	var dump struct {
+		Spans []*span.SpanData `json:"spans"`
+	}
+	if err := json.Unmarshal(data, &dump); err == nil && dump.Spans != nil {
+		return dump.Spans, nil
+	}
+	return span.ReadJSONL(bytes.NewReader(data))
+}
+
 // runVerify is the -verify mode: salvage-parse the file, validate what
 // was recovered, report everything, and return the process exit code.
 func runVerify(path string) int {
@@ -174,8 +227,7 @@ func traceRegistry(tr *tracefmt.Trace) *obs.Registry {
 	replies := reg.Counter("tracemod_trace_replies_total", "Inbound echo replies.")
 	samples := reg.Counter("tracemod_trace_device_samples_total", "Device-characteristic samples.")
 	lost := reg.Counter("tracemod_trace_lost_records_total", "Records lost to kernel ring overruns.")
-	span := reg.GaugeFunc
-	span("tracemod_trace_span_seconds", "Time covered by the trace.",
+	reg.GaugeFunc("tracemod_trace_span_seconds", "Time covered by the trace.",
 		func() float64 { return tr.Duration().Seconds() })
 
 	for _, p := range tr.Packets {

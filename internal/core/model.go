@@ -174,6 +174,22 @@ func (tr Trace) MeanVb() PerByte {
 	return PerByte(sum / dur)
 }
 
+// WeightedLoss returns the duration-weighted mean loss probability of the
+// trace: the drop rate a faithful replay should exhibit over many packets
+// uniformly spread in time — the reference for the drop-accuracy SLO.
+func (tr Trace) WeightedLoss() float64 {
+	var sum float64
+	var dur float64
+	for _, t := range tr {
+		sum += t.L * float64(t.D)
+		dur += float64(t.D)
+	}
+	if dur == 0 {
+		return 0
+	}
+	return sum / dur
+}
+
 // TripletObs is one observation of the known workload (Section 3.2.2): the
 // round-trip times of a small echo of size S1 followed by two back-to-back
 // large echoes of size S2.

@@ -19,6 +19,7 @@ import (
 	"tracemod/internal/core"
 	"tracemod/internal/faults"
 	"tracemod/internal/obs"
+	"tracemod/internal/obs/span"
 	"tracemod/internal/replay"
 )
 
@@ -62,7 +63,10 @@ func (a *API) Mux() *http.ServeMux {
 	mux.HandleFunc("DELETE /v1/sessions/{id}", a.deleteSession)
 	mux.HandleFunc("POST /v1/sessions/{id}/start", a.startSession)
 	mux.HandleFunc("POST /v1/sessions/{id}/stop", a.stopSession)
+	mux.HandleFunc("GET /v1/sessions/{id}/flight", a.flightDump)
 	mux.HandleFunc("GET /v1/farm", a.farmInfo)
+	mux.HandleFunc("GET /v1/slo", a.sloReport)
+	mux.HandleFunc("GET /v1/health", a.health)
 	mux.HandleFunc("GET /v1/faults", a.getFaults)
 	mux.HandleFunc("POST /v1/faults", a.setFault)
 	mux.HandleFunc("DELETE /v1/faults", a.resetFaults)
@@ -81,11 +85,11 @@ func (a *API) Mux() *http.ServeMux {
 }
 
 // Handler returns the hardened control plane: the Mux routes behind
-// body-size limits, control-plane fault points, and a JSON error
-// envelope (plain-text errors like the mux's own 404/405 become
-// {"error": ..., "status": ...}).
+// W3C trace-context ingest/emit, body-size limits, control-plane fault
+// points, and a JSON error envelope (plain-text errors like the mux's
+// own 404/405 become {"error": ..., "status": ...}).
 func (a *API) Handler() http.Handler {
-	return a.envelope(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	return a.trace(a.envelope(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		r.Body = http.MaxBytesReader(w, r.Body, DefaultMaxBodyBytes)
 		// The fault-control endpoint is exempt from control-plane fault
 		// injection: arming control.error at rate 1 must not brick the
@@ -98,7 +102,54 @@ func (a *API) Handler() http.Handler {
 			}
 		}
 		a.Mux().ServeHTTP(w, r)
-	}))
+	})))
+}
+
+// statusWriter records the response code for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// trace is the outermost control-plane middleware: it ingests an incoming
+// `traceparent` header (a sampled remote parent forces sampling, so
+// external callers can always stitch a full tree), starts the request's
+// server span, emits the span's own traceparent on the response, carries
+// the span in the request context for handlers to hang children on, and
+// writes one structured request log line (trace ID attached when
+// sampled).
+func (a *API) trace(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		log := a.m.log
+		if a.m.spans.Enabled() {
+			parent, _ := span.ParseTraceParent(r.Header.Get(span.TraceParentHeader))
+			if sp := a.m.spans.StartRemote(parent, "http.request"); sp != nil {
+				sp.AttrStr("method", r.Method)
+				sp.AttrStr("path", r.URL.Path)
+				w.Header().Set(span.TraceParentHeader, sp.Context().TraceParent())
+				r = r.WithContext(span.NewContext(r.Context(), sp))
+				log = log.With("trace", sp.TraceID().String(), "span", sp.Context().Span.String())
+				defer sp.End()
+			}
+		}
+		next.ServeHTTP(sw, r)
+		log.Debug("control request", "method", r.Method, "path", r.URL.Path, "status", sw.status)
+	})
 }
 
 // envelopeWriter buffers non-JSON error responses so envelope can
@@ -414,18 +465,27 @@ func (a *API) resolveTrace(req *SessionRequest) (core.Trace, string, error) {
 }
 
 func (a *API) createSession(w http.ResponseWriter, r *http.Request) {
+	sp := span.FromContext(r.Context())
 	var req SessionRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, decodeStatus(err), fmt.Errorf("bad request body: %w", err))
 		return
 	}
+	rsp := sp.Child("trace.resolve")
 	trace, ref, err := a.resolveTrace(&req)
+	if rsp != nil {
+		rsp.AttrStr("ref", ref)
+		rsp.Attr("tuples", int64(len(trace)))
+		rsp.End()
+	}
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	loop := req.Loop == nil || *req.Loop
 	tick := time.Duration(req.TickUS) * time.Microsecond
+	csp := sp.Child("session.create")
+	defer csp.End()
 	s, err := a.m.Create(SessionConfig{
 		Name:         req.Name,
 		Trace:        trace,
@@ -444,6 +504,7 @@ func (a *API) createSession(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, code, err)
 		return
 	}
+	csp.AttrStr("session", s.ID)
 	if req.Start == nil || *req.Start {
 		if err := s.Start(); err != nil {
 			a.m.Delete(s.ID)
@@ -538,6 +599,71 @@ func (a *API) farmInfo(w http.ResponseWriter, _ *http.Request) {
 		Quarantined:   a.m.Quarantined(),
 		InFlightBytes: a.m.InFlightBytes(),
 		WheelPanics:   a.m.wheel.Panics(),
+	})
+}
+
+// FlightDump is the GET /v1/sessions/{id}/flight payload: the session's
+// last-N sampled spans, oldest first.
+type FlightDump struct {
+	Session  string           `json:"session"`
+	Capacity int              `json:"capacity"`
+	Total    uint64           `json:"total"`
+	Spans    []*span.SpanData `json:"spans"`
+}
+
+// flightDump serves a session's flight recorder. Default is the JSON
+// span dump (the same wire shape as span JSONL records, in an array);
+// ?format=tree renders the human-readable span forest instead.
+func (a *API) flightDump(w http.ResponseWriter, r *http.Request) {
+	s, ok := a.m.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, errors.New("no such session"))
+		return
+	}
+	f := s.Flight()
+	if f == nil {
+		writeErr(w, http.StatusNotFound, errors.New("span tracing disabled; no flight recorder"))
+		return
+	}
+	spans := f.Snapshot()
+	if r.URL.Query().Get("format") == "tree" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = span.RenderTree(w, spans)
+		return
+	}
+	writeJSON(w, http.StatusOK, FlightDump{
+		Session:  s.ID,
+		Capacity: f.Capacity(),
+		Total:    f.Total(),
+		Spans:    spans,
+	})
+}
+
+func (a *API) sloReport(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, a.m.SLOReport())
+}
+
+// HealthInfo is the GET /v1/health payload: a readiness verdict (every
+// critical objective met) and the overall SLO score.
+type HealthInfo struct {
+	Ready    bool    `json:"ready"`
+	Score    float64 `json:"score"`
+	Sessions int     `json:"sessions"`
+}
+
+// health serves a readiness score derived from the SLO engine: 200 when
+// every critical objective is met, 503 otherwise. Load balancers and the
+// load-smoke CI job poll this.
+func (a *API) health(w http.ResponseWriter, _ *http.Request) {
+	rep := a.m.slos.Evaluate()
+	code := http.StatusOK
+	if !rep.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, HealthInfo{
+		Ready:    rep.Ready,
+		Score:    rep.Score,
+		Sessions: a.m.Count(),
 	})
 }
 

@@ -15,6 +15,9 @@ package emud
 import (
 	"context"
 	"fmt"
+	"io"
+	"log/slog"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -22,6 +25,7 @@ import (
 	"tracemod/internal/emud/wheel"
 	"tracemod/internal/faults"
 	"tracemod/internal/obs"
+	"tracemod/internal/obs/span"
 )
 
 // Defaults for Options zero values.
@@ -90,6 +94,19 @@ type Options struct {
 	// Metrics, if non-nil, registers the farm's instruments (names under
 	// tracemod_emud_*), including per-session labelled counters.
 	Metrics *obs.Registry
+	// Spans, if non-nil, enables sampled end-to-end packet tracing: each
+	// sampled packet gets a "session.packet" root span recorded into the
+	// session's flight recorder (and the tracer's default sink), with the
+	// modulation engine and timer wheel contributing children and events.
+	// The manager rebinds the tracer's clock to the wheel's, so span times
+	// share the wheel epoch.
+	Spans *span.Tracer
+	// FlightSpans is the per-session flight-recorder capacity
+	// (span.DefaultFlightCapacity if 0) — only meaningful with Spans set.
+	FlightSpans int
+	// Logger receives the farm's structured lifecycle log (session
+	// created/expired/quarantined, snapshots). Nil discards.
+	Logger *slog.Logger
 }
 
 // instruments is the farm's metric bundle; nil means observability off
@@ -218,6 +235,9 @@ type Manager struct {
 	wheel *wheel.Wheel
 	store *Store
 	ins   *instruments
+	spans *span.Tracer // nil = packet tracing off
+	log   *slog.Logger // never nil (discards by default)
+	slos  *obs.SLOSet
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -267,17 +287,28 @@ func NewManager(o Options) *Manager {
 	m := &Manager{
 		opts:         o,
 		store:        o.Store,
+		spans:        o.Spans,
+		log:          o.Logger,
 		sessions:     map[string]*Session{},
 		quarantineCh: make(chan *Session, 64),
 		quit:         make(chan struct{}),
+	}
+	if m.log == nil {
+		m.log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	m.wheel = wheel.New(wheel.Options{
 		Shards:      o.Shards,
 		Granularity: gran,
 		Metrics:     o.Metrics,
 		Faults:      o.Faults,
+		Spans:       o.Spans,
 		OnPanic:     func(owner *wheel.Timers, v any) { m.quarantine(m.sessionForTimers(owner), v) },
 	})
+	// Span timestamps and wheel deadlines must share an epoch, or flight
+	// dumps would interleave two clocks. Rebinding here is safe: no span
+	// of this farm has started yet.
+	m.spans.SetNow(m.wheel.Now)
+	m.slos = m.buildSLOs(gran)
 	if o.Faults != nil {
 		for _, name := range faultPointNames {
 			o.Faults.Point(name)
@@ -312,6 +343,7 @@ func (m *Manager) quarantine(s *Session, v any) {
 	if s == nil || !s.quarantined.CompareAndSwap(false, true) {
 		return
 	}
+	s.panicValue.Store(fmt.Sprint(v))
 	m.quarantinedTotal.Add(1)
 	m.ins.incQuarantined()
 	select {
@@ -319,7 +351,10 @@ func (m *Manager) quarantine(s *Session, v any) {
 	default:
 		// Channel full (a panic storm): fall back to a one-off goroutine
 		// rather than blocking a wheel shard.
-		go s.Stop()
+		go func() {
+			s.Stop()
+			m.logQuarantine(s)
+		}()
 	}
 }
 
@@ -329,9 +364,32 @@ func (m *Manager) quarantineLoop() {
 		select {
 		case s := <-m.quarantineCh:
 			s.Stop()
+			m.logQuarantine(s)
 		case <-m.quit:
 			return
 		}
+	}
+}
+
+// logQuarantine dumps a quarantined session's black box to the structured
+// log: the panic value, then — when tracing is on — the flight recorder's
+// final span tree, so the "why" is captured even if no operator ever
+// fetches /v1/sessions/{id}/flight. Runs after Stop, so the ring is
+// quiescent apart from unsampled stragglers.
+func (m *Manager) logQuarantine(s *Session) {
+	v, _ := s.panicValue.Load().(string)
+	log := m.log.With("session", s.ID)
+	if s.flight == nil {
+		log.Error("session quarantined", "panic", v)
+		return
+	}
+	spans := s.flight.Snapshot()
+	log.Error("session quarantined", "panic", v,
+		"flight_spans", len(spans), "flight_total", s.flight.Total())
+	if len(spans) > 0 {
+		var tree strings.Builder
+		_ = span.RenderTree(&tree, spans)
+		log.Info("flight recorder dump", "tree", tree.String())
 	}
 }
 
@@ -390,7 +448,11 @@ func (m *Manager) Create(cfg SessionConfig) (*Session, error) {
 		ID:      fmt.Sprintf("s-%06d", m.seq),
 		cfg:     cfg,
 		created: m.wheel.Now(),
+		expLoss: cfg.Trace.WeightedLoss(),
 		m:       m,
+	}
+	if m.spans.Enabled() {
+		s.flight = span.NewFlightRecorder(m.opts.FlightSpans)
 	}
 	s.state.Store(int32(StateCreated))
 	s.lastActive.Store(int64(s.created))
@@ -398,6 +460,8 @@ func (m *Manager) Create(cfg SessionConfig) (*Session, error) {
 	m.ins.incCreated()
 	m.ins.setActive(len(m.sessions))
 	m.ins.sessionState(s)
+	m.log.Debug("session created", "session", s.ID, "name", cfg.Name,
+		"trace", cfg.TraceRef, "tuples", len(cfg.Trace))
 	return s, nil
 }
 
@@ -450,6 +514,7 @@ func (m *Manager) Delete(id string) bool {
 	s.Stop()
 	m.ins.incDeleted()
 	m.ins.remove(s.ID)
+	m.log.Debug("session deleted", "session", s.ID)
 	return true
 }
 
@@ -490,6 +555,7 @@ func (m *Manager) expireIdle() {
 		s.Stop()
 		m.ins.incExpired()
 		m.ins.remove(s.ID)
+		m.log.Info("session expired idle", "session", s.ID)
 	}
 }
 

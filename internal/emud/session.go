@@ -20,6 +20,7 @@ import (
 	"tracemod/internal/emud/wheel"
 	"tracemod/internal/livewire"
 	"tracemod/internal/modulation"
+	"tracemod/internal/obs/span"
 	"tracemod/internal/simnet"
 )
 
@@ -115,6 +116,13 @@ type Session struct {
 	chargedBytes                                  atomic.Int64  // this session's share of the farm byte budget
 	drained                                       chan struct{} // closed when draining hits zero in flight
 	quarantined                                   atomic.Bool   // a callback panicked; session is being stopped
+	panicValue                                    atomic.Value  // string: the panic that quarantined the session
+
+	// flight is the session's span black box (nil when tracing is off):
+	// every sampled packet trace of this session records into it, and it
+	// stays readable after Stop — that is the point.
+	flight  *span.FlightRecorder
+	expLoss float64 // duration-weighted trace loss, cached for the SLO
 
 	m *Manager // back-pointer for the wheel and per-session metrics
 }
@@ -140,6 +148,22 @@ func (s *Session) Stats() SessionStats {
 // Quarantined reports whether the session was stopped because one of its
 // callbacks panicked.
 func (s *Session) Quarantined() bool { return s.quarantined.Load() }
+
+// PanicValue returns the rendered panic that quarantined the session
+// (empty when not quarantined).
+func (s *Session) PanicValue() string {
+	v, _ := s.panicValue.Load().(string)
+	return v
+}
+
+// Flight returns the session's flight recorder (nil when tracing is off).
+// The recorder outlives Stop, so a quarantined session's final moments
+// stay dumpable.
+func (s *Session) Flight() *span.FlightRecorder { return s.flight }
+
+// ExpectedLoss returns the duration-weighted loss probability of the
+// session's trace — what the drop rate should converge to.
+func (s *Session) ExpectedLoss() float64 { return s.expLoss }
 
 // Cursor reports the session's replay position as a count of tuples
 // consumed since the trace's beginning (including any SkipTuples applied
@@ -330,15 +354,33 @@ func (s *Session) submit(dir simnet.Direction, size int, deliver, drop func()) b
 	s.touch()
 	s.submitted.Add(1)
 	s.m.ins.submit(s)
-	eng.SubmitWithDrop(dir, size, s.protect(func() {
+
+	// Root the packet's trace once admission has passed: a sampled packet
+	// gets a "session.packet" span recorded into the session's flight
+	// recorder, with the engine contributing a "modulation" child (and its
+	// "wheel.wait" grandchild) via SubmitSpan. sp is nil for unsampled
+	// packets and whenever tracing is off — the wrappers below then cost
+	// two nil checks.
+	sp := s.m.spans.RootInto(s.flight, "session.packet")
+	if sp != nil {
+		sp.AttrStr("session", s.ID)
+		sp.Attr("dir", int64(dir))
+		sp.Attr("size", int64(size))
+	}
+	eng.SubmitSpan(dir, size, sp, s.protect(func() {
+		// Deferred so the root span reaches the flight recorder even when
+		// the callback panics — the quarantine dump needs the whole tree.
+		defer sp.End()
 		if s.m.faultSessionPanic.Fire() {
 			panic("faults: injected session.panic")
 		}
 		s.delivered.Add(1)
 		s.m.ins.deliver(s)
 		s.finishOne(charged)
+		sp.Event("pump-send", int64(size))
 		deliver()
 	}), s.protect(func() {
+		defer sp.End()
 		s.dropped.Add(1)
 		s.m.ins.drop(s)
 		s.finishOne(charged)

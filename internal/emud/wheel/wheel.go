@@ -26,6 +26,7 @@ import (
 
 	"tracemod/internal/faults"
 	"tracemod/internal/obs"
+	"tracemod/internal/obs/span"
 )
 
 // DefaultShards is the shard count used when Options.Shards is zero: a
@@ -66,6 +67,12 @@ type Options struct {
 	// call Timers.Stop (the owner is already poisoned; stop it from
 	// another goroutine).
 	OnPanic func(owner *Timers, v any)
+	// Spans, if non-nil, roots sampled "wheel.tick" spans around each
+	// non-empty dispatch pass (batch size and fire lateness as
+	// attributes). Tick spans are independent roots, not parented into
+	// packet traces: one tick serves many sessions, and each packet's own
+	// wheel wait is already covered by its "wheel.wait" span.
+	Spans *span.Tracer
 }
 
 // Wheel is a sharded timer wheel. It implements modulation.Clock directly
@@ -81,12 +88,14 @@ type Wheel struct {
 	wg      sync.WaitGroup
 	stall   *faults.Point // nil = no stall injection
 	onPanic func(owner *Timers, v any)
+	spans   *span.Tracer // nil = tick spans off
 
 	pending    atomic.Int64 // entries currently in heaps
 	scheduled  *obs.Counter
 	fired      *obs.Counter
 	suppressed *obs.Counter
 	panics     *obs.Counter
+	lateness   *obs.Histogram // dispatch time minus entry deadline
 	panicCount atomic.Int64
 }
 
@@ -98,7 +107,7 @@ func New(o Options) *Wheel {
 	if o.Granularity < 0 {
 		o.Granularity = 0
 	}
-	w := &Wheel{epoch: time.Now(), nowFn: o.Now, gran: o.Granularity, onPanic: o.OnPanic}
+	w := &Wheel{epoch: time.Now(), nowFn: o.Now, gran: o.Granularity, onPanic: o.OnPanic, spans: o.Spans}
 	if o.Faults != nil {
 		w.stall = o.Faults.Point("wheel.stall")
 	}
@@ -107,6 +116,9 @@ func New(o Options) *Wheel {
 		w.fired = o.Metrics.Counter("tracemod_wheel_timers_fired_total", "Wheel callbacks that ran.")
 		w.suppressed = o.Metrics.Counter("tracemod_wheel_timers_suppressed_total", "Wheel callbacks suppressed by a stopped owner.")
 		w.panics = o.Metrics.Counter("tracemod_wheel_callback_panics_total", "Wheel callbacks that panicked (recovered; owner poisoned).")
+		w.lateness = o.Metrics.Histogram("tracemod_wheel_fire_lateness_seconds",
+			"How late each callback fired relative to its deadline (coalescing admits up to one granularity; more means tick stall or overload). The tick-lateness SLO input.",
+			latenessBuckets(o.Granularity))
 		o.Metrics.GaugeFunc("tracemod_wheel_timers_pending", "Timers currently waiting in the wheel.",
 			func() float64 { return float64(w.pending.Load()) })
 		o.Metrics.Gauge("tracemod_wheel_shards", "Scheduling shards (goroutines) in the wheel.").Set(int64(o.Shards))
@@ -119,6 +131,23 @@ func New(o Options) *Wheel {
 	}
 	return w
 }
+
+// latenessBuckets scales the fire-lateness histogram to the coalescing
+// granularity: fine resolution below one tick (where all healthy fires
+// land) and a coarse tail for stalls.
+func latenessBuckets(gran time.Duration) []time.Duration {
+	if gran <= 0 {
+		gran = DefaultGranularity
+	}
+	return []time.Duration{
+		gran / 10, gran / 4, gran / 2, gran,
+		2 * gran, 5 * gran, 10 * gran, 100 * gran,
+	}
+}
+
+// FireLateness exposes the fire-lateness histogram (nil when metrics are
+// off) — the SLO engine evaluates tick-deadline objectives against it.
+func (w *Wheel) FireLateness() *obs.Histogram { return w.lateness }
 
 // Now returns elapsed wheel time (implements modulation.Clock).
 func (w *Wheel) Now() time.Duration {
@@ -279,10 +308,23 @@ func (w *Wheel) run(s *shard) {
 		s.mu.Unlock()
 		if n := len(s.due); n > 0 {
 			w.pending.Add(int64(-n))
+			if w.lateness != nil {
+				for i := range s.due {
+					w.lateness.Observe(now - s.due[i].at)
+				}
+			}
+			// Sampled tick span: one root per non-empty dispatch pass.
+			// s.due[0] is the earliest deadline in the pass (heap order).
+			tick := w.spans.Root("wheel.tick")
+			if tick != nil {
+				tick.Attr("batch", int64(n))
+				tick.Attr("lateness_ns", int64(now-s.due[0].at))
+			}
 			for i := range s.due {
 				s.due[i].run(w)
 				s.due[i] = entry{} // drop refs so pooled closures can be collected
 			}
+			tick.End()
 		}
 		if wait < 0 {
 			// Idle: nothing scheduled, park until woken.

@@ -17,6 +17,7 @@ import (
 	"tracemod/internal/core"
 	"tracemod/internal/distill"
 	"tracemod/internal/modulation"
+	"tracemod/internal/obs/span"
 	"tracemod/internal/packet"
 	"tracemod/internal/pinger"
 	"tracemod/internal/scenario"
@@ -250,18 +251,48 @@ func PhysicalInboundExtra() core.PerByte {
 // the modulation layer driven by trace (looped, as the daemon does for
 // benchmarks that outlast the traversal).
 func RunModulated(trace core.Trace, b Bench, trial int, comp core.PerByte, o Options) (Result, error) {
+	r, _, err := runModulated(trace, b, trial, comp, o, nil)
+	return r, err
+}
+
+// RunModulatedTraced is RunModulated with full span sampling: every packet
+// the engine shapes gets a self-rooted "modulation.packet" span with its
+// cursor, bottleneck, coalescing, and delivery events, timestamped in
+// virtual time off the trial's own scheduler. Spans are collected up to
+// maxSpans (0 = the collector's default cap) and returned alongside the
+// benchmark result — the `expt -trace-out` feed.
+func RunModulatedTraced(trace core.Trace, b Bench, trial int, comp core.PerByte, o Options, maxSpans int) (Result, []*span.SpanData, error) {
+	sink := span.NewCollectorSink(maxSpans)
+	r, _, err := runModulated(trace, b, trial, comp, o, sink)
+	return r, sink.Spans(), err
+}
+
+func runModulated(trace core.Trace, b Bench, trial int, comp core.PerByte, o Options, sink *span.CollectorSink) (Result, *modulation.Engine, error) {
 	s := sim.New(o.BaseSeed + int64(trial)*109 + 29)
 	tb := scenario.BuildEthernet(s)
 	dev := modulation.StartDaemon(s, trace, true)
+	var spans *span.Tracer
+	if sink != nil {
+		spans = span.New(span.Config{
+			Sample: 1,
+			Sink:   sink,
+			Now:    modulation.SimClock{S: s}.Now,
+			// Deterministic IDs: a traced run's span dump is reproducible
+			// for the same seed and trial, like every other expt output.
+			Seed: uint64(o.BaseSeed)*2654435761 + uint64(trial) + 1,
+		})
+	}
 	eng := modulation.NewEngine(modulation.SimClock{S: s}, dev, modulation.Config{
 		Tick:         o.Tick,
 		InboundExtra: PhysicalInboundExtra(),
 		Compensation: comp,
 		RNG:          s.RNG("modulation"),
+		Spans:        spans,
 	})
 	modulation.Install(tb.Laptop, eng)
-	return runBench(s,
+	r, err := runBench(s,
 		&scenarioNode{tb.Laptop, scenario.ModLaptop},
 		&scenarioNode{tb.Server, scenario.ModServer},
 		b, workloadSeed(o, trial), o)
+	return r, eng, err
 }

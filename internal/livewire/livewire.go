@@ -24,6 +24,7 @@ import (
 	"tracemod/internal/faults"
 	"tracemod/internal/modulation"
 	"tracemod/internal/obs"
+	"tracemod/internal/obs/span"
 	"tracemod/internal/packet"
 	"tracemod/internal/simnet"
 )
@@ -101,6 +102,11 @@ type Config struct {
 	Obs *obs.Registry
 	// Tracer, if non-nil, receives the engine's packet-lifecycle events.
 	Tracer obs.Tracer
+	// Spans, if non-nil, samples per-datagram "livewire.packet" root spans
+	// in the pumps, threaded through the engine (modulation child, wheel
+	// wait, delivery events) and ended after the socket write. The relay
+	// owns rooting, so the engine itself is not given a tracer.
+	Spans *span.Tracer
 	// Retry shapes how a pump backs off after a transient socket error
 	// (an ICMP port-unreachable bounced off a not-yet-started target, an
 	// interrupted syscall) before reading again. The zero value uses the
@@ -123,6 +129,7 @@ type Relay struct {
 	submit Submitter
 	engine *modulation.Engine // nil for NewRelayWithSubmitter relays
 	clock  *RealClock         // non-nil when the relay owns its clock
+	spans  *span.Tracer       // nil-safe; only set for relays that own an engine
 
 	clientSide *net.UDPConn // clients talk to this
 	targetSide *net.UDPConn // connected toward the target
@@ -186,6 +193,7 @@ func NewRelay(listenAddr, targetAddr string, cfg Config) (*Relay, error) {
 		submit:     eng,
 		engine:     eng,
 		clock:      clock,
+		spans:      cfg.Spans,
 		clientSide: clientSide,
 		targetSide: targetSide,
 		closed:     make(chan struct{}),
@@ -261,13 +269,28 @@ func (r *Relay) Stats() Stats {
 // process; instead the pump survives and only this datagram is lost. The
 // pooled buffer's ownership is ambiguous after a panic, so it is leaked
 // to the garbage collector rather than risking a double put.
-func (r *Relay) safeSubmit(dir simnet.Direction, size int, deliver, drop func()) {
+func (r *Relay) safeSubmit(dir simnet.Direction, size int, sp *span.Span, deliver, drop func()) {
 	defer func() {
 		if v := recover(); v != nil {
 			r.submitPanics.Add(1)
 		}
 	}()
+	if sp != nil && r.engine != nil {
+		r.engine.SubmitSpan(dir, size, sp, deliver, drop)
+		return
+	}
 	r.submit.SubmitWithDrop(dir, size, deliver, drop)
+}
+
+// rootSpan samples one datagram's root span (nil when unsampled or
+// tracing is off).
+func (r *Relay) rootSpan(dir simnet.Direction, size int) *span.Span {
+	sp := r.spans.Root("livewire.packet")
+	if sp != nil {
+		sp.Attr("dir", int64(dir))
+		sp.Attr("size", int64(size))
+	}
+	return sp
 }
 
 // Engine exposes the underlying modulation engine (for its statistics).
@@ -369,18 +392,24 @@ func (r *Relay) pumpClientToTarget() {
 		}
 		streak = 0
 		r.clientAddr.Store(addr)
-		r.safeSubmit(simnet.Outbound, wireSize(n), func() {
+		size := wireSize(n)
+		sp := r.rootSpan(simnet.Outbound, size)
+		r.safeSubmit(simnet.Outbound, size, sp, func() {
+			defer sp.End()
 			select {
 			case <-r.closed:
 			default:
 				if _, err := r.targetSide.Write((*bp)[:n]); err == nil {
 					r.c2t.Add(1)
+					sp.Event("pump-send", int64(n))
 				} else {
 					r.socketErrs.Add(1)
+					sp.Event("pump-send-error", 0)
 				}
 			}
 			putBuf(bp)
 		}, func() {
+			defer sp.End()
 			r.dropped.Add(1)
 			putBuf(bp)
 		})
@@ -405,18 +434,24 @@ func (r *Relay) pumpTargetToClient() {
 			putBuf(bp)
 			continue // no client yet
 		}
-		r.safeSubmit(simnet.Inbound, wireSize(n), func() {
+		size := wireSize(n)
+		sp := r.rootSpan(simnet.Inbound, size)
+		r.safeSubmit(simnet.Inbound, size, sp, func() {
+			defer sp.End()
 			select {
 			case <-r.closed:
 			default:
 				if _, err := r.clientSide.WriteToUDP((*bp)[:n], addr); err == nil {
 					r.t2c.Add(1)
+					sp.Event("pump-send", int64(n))
 				} else {
 					r.socketErrs.Add(1)
+					sp.Event("pump-send-error", 0)
 				}
 			}
 			putBuf(bp)
 		}, func() {
+			defer sp.End()
 			r.dropped.Add(1)
 			putBuf(bp)
 		})

@@ -29,6 +29,7 @@ import (
 
 	"tracemod/internal/core"
 	"tracemod/internal/obs"
+	"tracemod/internal/obs/span"
 	"tracemod/internal/sim"
 	"tracemod/internal/simnet"
 )
@@ -141,6 +142,14 @@ type Config struct {
 	// instant. When nil the packet path does no tracing work beyond one
 	// pointer test.
 	Tracer obs.Tracer
+	// Spans, if non-nil, lets the engine root sampled per-packet spans of
+	// its own ("modulation.packet") when the caller did not hand one in
+	// via SubmitSpan — the standalone relay and the experiment harness use
+	// this; emud passes session-rooted spans instead. The span tracer's
+	// clock should share the engine clock's epoch so span times line up
+	// with event times. When nil (and no parent is passed) the packet path
+	// does no span work beyond two pointer tests.
+	Spans *span.Tracer
 }
 
 // DefaultDropSeed seeds the drop lottery when Config.RNG is nil: a fixed,
@@ -179,6 +188,7 @@ type instruments struct {
 	serHist   *obs.Histogram // serialization time paid at the bottleneck
 	quantHist *obs.Histogram // tick-quantization rounding delta
 	delayHist *obs.Histogram // total scheduled delay
+	lagHist   *obs.Histogram // coalesced-batch fire time minus its target
 
 	tupleLabel string // cached ordinal label for dropsByTuple
 }
@@ -202,6 +212,8 @@ func newInstruments(reg *obs.Registry, tick time.Duration) *instruments {
 			"Signed rounding delta applied by tick quantization.", obs.TickBuckets(tick)),
 		delayHist: reg.Histogram("tracemod_modulation_delay_seconds",
 			"Total delay scheduled per delivered packet.", nil),
+		lagHist: reg.Histogram("tracemod_modulation_delivery_lag_seconds",
+			"How late a coalesced delivery batch fired relative to its quantized target (the delivery-deadline SLO input).", nil),
 	}
 }
 
@@ -221,6 +233,7 @@ type Engine struct {
 
 	ins      *instruments // nil = metrics off
 	tracer   obs.Tracer   // nil = event tracing off
+	spans    *span.Tracer // nil = self-rooted span tracing off
 	inflight int64        // packets currently inside the bottleneck queue
 
 	// pending coalesces tick-quantized deliveries: all packets rounding to
@@ -256,7 +269,7 @@ func NewEngine(clock Clock, src Source, cfg Config) *Engine {
 	if cfg.RNG == nil {
 		cfg.RNG = rand.New(rand.NewSource(DefaultDropSeed))
 	}
-	e := &Engine{clock: clock, src: src, cfg: cfg, tracer: cfg.Tracer}
+	e := &Engine{clock: clock, src: src, cfg: cfg, tracer: cfg.Tracer, spans: cfg.Spans}
 	if cfg.Tick > 0 {
 		e.pending = make(map[time.Duration]*tickBatch)
 	}
@@ -373,7 +386,7 @@ func (e *Engine) advance(now time.Duration) {
 // layer. deliver is invoked when the packet should continue (possibly
 // immediately, from within Submit); dropped packets never continue.
 func (e *Engine) Submit(dir simnet.Direction, size int, deliver func()) {
-	e.submit(dir, size, deliver, nil)
+	e.submit(dir, size, nil, deliver, nil)
 }
 
 // SubmitWithDrop is Submit with an explicit loss outcome: exactly one of
@@ -382,10 +395,35 @@ func (e *Engine) Submit(dir simnet.Direction, size int, deliver func()) {
 // relay path uses it to return pooled buffers and count losses without
 // racing other submitters over aggregate counters.
 func (e *Engine) SubmitWithDrop(dir simnet.Direction, size int, deliver, drop func()) {
-	e.submit(dir, size, deliver, drop)
+	e.submit(dir, size, nil, deliver, drop)
 }
 
-func (e *Engine) submit(dir simnet.Direction, size int, deliver, drop func()) {
+// SubmitSpan is SubmitWithDrop carrying the packet's span: the engine
+// records its stage decisions (cursor fast path, compensation, bottleneck
+// occupancy, quantization, coalescing) as events on a "modulation" child
+// and covers the scheduled wait with a "wheel.wait" grandchild ended when
+// the delivery timer fires. parent may be nil (unsampled packet) — the
+// path then behaves exactly like SubmitWithDrop.
+func (e *Engine) SubmitSpan(dir simnet.Direction, size int, parent *span.Span, deliver, drop func()) {
+	e.submit(dir, size, parent, deliver, drop)
+}
+
+func (e *Engine) submit(dir simnet.Direction, size int, parent *span.Span, deliver, drop func()) {
+	// Span setup before taking the engine lock: a caller-provided parent
+	// gets a "modulation" child; otherwise a configured tracer may root a
+	// sampled span of its own. sp == nil (the common case, and always when
+	// tracing is off) keeps the rest of the path span-free: nil-safe
+	// methods, no allocation.
+	var sp *span.Span
+	if parent != nil {
+		sp = parent.Child("modulation")
+	} else if e.spans != nil {
+		sp = e.spans.Root("modulation.packet")
+	}
+	if sp != nil {
+		sp.Attr("dir", int64(dir))
+		sp.Attr("size", int64(size))
+	}
 	e.mu.Lock()
 	now := e.clock.Now()
 	e.stats.Submitted++
@@ -393,8 +431,15 @@ func (e *Engine) submit(dir simnet.Direction, size int, deliver, drop func()) {
 	// Fast path: the cached cursor (cur/schedEnd) still covers now, so no
 	// replay-tuple lookup is needed — the common case, since tuples span
 	// many packet times.
-	if !e.curOK || now >= e.schedEnd {
+	if e.curOK && now < e.schedEnd {
+		if sp != nil {
+			sp.EventAt("cursor-fastpath", now, 0)
+		}
+	} else {
 		e.advance(now)
+		if sp != nil {
+			sp.EventAt("cursor-advance", now, e.stats.Tuples)
+		}
 	}
 	if e.tracer != nil {
 		e.tracer.Record(obs.Event{At: now, Kind: obs.EvSubmit, Dir: int8(dir), Size: int32(size), Tuple: e.stats.Tuples})
@@ -406,11 +451,18 @@ func (e *Engine) submit(dir simnet.Direction, size int, deliver, drop func()) {
 		if e.tracer != nil {
 			e.tracer.Record(obs.Event{At: now, Kind: obs.EvDeliver, Dir: int8(dir), Size: int32(size), Aux: 1})
 		}
+		if sp != nil {
+			sp.EventAt("deliver-unmodulated", now, 0)
+			sp.EndAt(now)
+		}
 		e.mu.Unlock()
 		deliver()
 		return
 	}
 	t := e.cur
+	if sp != nil {
+		sp.Attr("tuple", e.stats.Tuples)
+	}
 
 	// Per-direction bottleneck cost: inbound packets carry the kernel's
 	// receive-path over-delay (InboundExtra) and the measured correction
@@ -421,7 +473,7 @@ func (e *Engine) submit(dir simnet.Direction, size int, deliver, drop func()) {
 		if vb < 0 {
 			vb = 0
 		}
-		if e.ins != nil || e.tracer != nil {
+		if e.ins != nil || e.tracer != nil || sp != nil {
 			if adjust := vb.Cost(size) - t.Vb.Cost(size); adjust != 0 {
 				if e.ins != nil {
 					e.ins.compensated.Inc()
@@ -429,6 +481,7 @@ func (e *Engine) submit(dir simnet.Direction, size int, deliver, drop func()) {
 				if e.tracer != nil {
 					e.tracer.Record(obs.Event{At: now, Kind: obs.EvCompensate, Dir: int8(dir), Size: int32(size), Tuple: e.stats.Tuples, Value: adjust})
 				}
+				sp.EventAt("compensate", now, int64(adjust))
 			}
 		}
 	}
@@ -448,6 +501,10 @@ func (e *Engine) submit(dir simnet.Direction, size int, deliver, drop func()) {
 		e.tracer.Record(obs.Event{At: now, Kind: obs.EvBottleneckEnter, Dir: int8(dir), Size: int32(size), Tuple: e.stats.Tuples, Value: start - now})
 		e.tracer.Record(obs.Event{At: finishBottleneck, Kind: obs.EvBottleneckExit, Dir: int8(dir), Size: int32(size), Tuple: e.stats.Tuples, Value: finishBottleneck - start})
 	}
+	if sp != nil {
+		sp.EventAt("bneck-enter", now, int64(start-now))
+		sp.EventAt("bneck-exit", finishBottleneck, int64(finishBottleneck-start))
+	}
 
 	// The drop lottery runs after the bottleneck queue.
 	if e.cfg.RNG.Float64() < t.L {
@@ -458,6 +515,10 @@ func (e *Engine) submit(dir simnet.Direction, size int, deliver, drop func()) {
 		}
 		if e.tracer != nil {
 			e.tracer.Record(obs.Event{At: now, Kind: obs.EvDrop, Dir: int8(dir), Size: int32(size), Tuple: e.stats.Tuples, Aux: int64(obs.DropLottery)})
+		}
+		if sp != nil {
+			sp.EventAt("drop", now, int64(obs.DropLottery))
+			sp.EndAt(now)
 		}
 		e.mu.Unlock()
 		if drop != nil {
@@ -473,7 +534,7 @@ func (e *Engine) submit(dir simnet.Direction, size int, deliver, drop func()) {
 	if e.cfg.Tick > 0 {
 		if delay < e.cfg.Tick/2 {
 			// Under half a tick: send immediately.
-			e.finishImmediate(now, dir, size)
+			e.finishImmediate(now, dir, size, sp)
 			deliver()
 			return
 		}
@@ -486,14 +547,15 @@ func (e *Engine) submit(dir simnet.Direction, size int, deliver, drop func()) {
 		if e.tracer != nil {
 			e.tracer.Record(obs.Event{At: now, Kind: obs.EvQuantize, Dir: int8(dir), Size: int32(size), Tuple: e.stats.Tuples, Value: target - exact})
 		}
+		sp.EventAt("quantize", now, int64(target-exact))
 		delay = target - now
 		if delay <= 0 {
-			e.finishImmediate(now, dir, size)
+			e.finishImmediate(now, dir, size, sp)
 			deliver()
 			return
 		}
 	} else if delay <= 0 {
-		e.finishImmediate(now, dir, size)
+		e.finishImmediate(now, dir, size, sp)
 		deliver()
 		return
 	}
@@ -507,15 +569,36 @@ func (e *Engine) submit(dir simnet.Direction, size int, deliver, drop func()) {
 	if e.tracer != nil {
 		e.tracer.Record(obs.Event{At: target, Kind: obs.EvDeliver, Dir: int8(dir), Size: int32(size), Tuple: e.stats.Tuples, Value: delay})
 	}
+	if sp != nil {
+		// Cover the scheduled wait with a child ended when the timer
+		// fires; the modulation span itself ends at the same instant, so
+		// the tree shows decision time vs wheel time. Only the sampled
+		// path pays for the extra closure. The closure captures a copy of
+		// sp scoped to this block — capturing sp itself would move the
+		// variable to the heap and cost the unsampled path an allocation.
+		psp := sp
+		wsp := psp.Child("wheel.wait")
+		wsp.Attr("target_ns", int64(target))
+		wsp.Attr("delay_ns", int64(delay))
+		d := deliver
+		deliver = func() {
+			at := e.clock.Now()
+			wsp.EndAt(at)
+			psp.EndAt(at)
+			d()
+		}
+	}
 	if e.pending != nil {
 		// Tick-quantized deliveries land on a coarse grid, so bursts share
 		// delivery instants. Ride the timer already armed for this target
 		// instead of arming another one.
 		if b, ok := e.pending[target]; ok {
+			sp.EventAt("coalesce-join", now, int64(len(b.fns)))
 			b.fns = append(b.fns, deliver)
 			e.mu.Unlock()
 			return
 		}
+		sp.EventAt("coalesce-lead", now, 0)
 		b := e.takeBatch()
 		b.fns = append(b.fns, deliver)
 		e.pending[target] = b
@@ -545,6 +628,12 @@ func (e *Engine) fireBatch(target time.Duration) {
 	e.mu.Lock()
 	b := e.pending[target]
 	delete(e.pending, target)
+	if e.ins != nil && b != nil {
+		// Delivery-deadline indicator: how late the batch actually fired.
+		if lag := e.clock.Now() - target; lag >= 0 {
+			e.ins.lagHist.Observe(lag)
+		}
+	}
 	e.mu.Unlock()
 	if b == nil {
 		return
@@ -561,11 +650,15 @@ func (e *Engine) fireBatch(target time.Duration) {
 
 // finishImmediate books an under-half-tick delivery and releases the lock;
 // the caller invokes deliver afterwards.
-func (e *Engine) finishImmediate(now time.Duration, dir simnet.Direction, size int) {
+func (e *Engine) finishImmediate(now time.Duration, dir simnet.Direction, size int, sp *span.Span) {
 	e.stats.Immediate++
 	e.ins.deliverImmediate(0)
 	if e.tracer != nil {
 		e.tracer.Record(obs.Event{At: now, Kind: obs.EvDeliver, Dir: int8(dir), Size: int32(size), Tuple: e.stats.Tuples, Aux: 1})
+	}
+	if sp != nil {
+		sp.EventAt("deliver-immediate", now, 0)
+		sp.EndAt(now)
 	}
 	e.mu.Unlock()
 }

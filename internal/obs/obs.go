@@ -156,6 +156,92 @@ func (h *Histogram) Mean() time.Duration {
 	return h.Sum() / time.Duration(n)
 }
 
+// Quantile estimates the q-quantile (q in [0,1]) of the observed
+// distribution by linear interpolation inside the bucket holding the
+// target rank — the standard Prometheus histogram_quantile estimate, so
+// accuracy is bucket-resolution-bounded. Returns 0 when empty; q is
+// clamped to [0,1]. Observations in the +Inf bucket pin the estimate to
+// the highest finite bound.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.Count() // nil-safe: 0
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	bounds, counts := h.snapshot()
+	rank := q * float64(n)
+	var cum float64
+	for i, c := range counts {
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(bounds) {
+			// +Inf bucket: no finite upper bound to interpolate toward.
+			if len(bounds) == 0 {
+				return 0
+			}
+			return bounds[len(bounds)-1]
+		}
+		upper := bounds[i]
+		lower := bucketLower(bounds, i)
+		frac := (rank - (cum - float64(c))) / float64(c)
+		return lower + time.Duration(frac*float64(upper-lower))
+	}
+	if len(bounds) == 0 {
+		return 0
+	}
+	return bounds[len(bounds)-1]
+}
+
+// bucketLower picks the interpolation floor for bucket i: the previous
+// bound, or for the first bucket min(0, bound) so negative-bound scales
+// (TickBuckets) interpolate within their own range instead of up from 0.
+func bucketLower(bounds []time.Duration, i int) time.Duration {
+	if i > 0 {
+		return bounds[i-1]
+	}
+	if bounds[0] < 0 {
+		return bounds[0]
+	}
+	return 0
+}
+
+// Compliance estimates the fraction of observations ≤ threshold — the
+// service-level indicator "share of events inside the deadline". The
+// bucket straddling the threshold contributes proportionally (same
+// interpolation assumption as Quantile). Returns 1 when empty: an SLO
+// with no events has not been violated.
+func (h *Histogram) Compliance(threshold time.Duration) float64 {
+	n := h.Count()
+	if n == 0 {
+		return 1
+	}
+	bounds, counts := h.snapshot()
+	var good float64
+	for i, c := range counts {
+		if i >= len(bounds) {
+			break // +Inf bucket: all above any finite threshold
+		}
+		upper := bounds[i]
+		if upper <= threshold {
+			good += float64(c)
+			continue
+		}
+		lower := bucketLower(bounds, i)
+		if threshold > lower {
+			good += float64(c) * float64(threshold-lower) / float64(upper-lower)
+		}
+		break
+	}
+	return good / float64(n)
+}
+
 // snapshot returns bounds plus non-cumulative per-bucket counts (the last
 // entry is the +Inf bucket).
 func (h *Histogram) snapshot() ([]time.Duration, []int64) {
@@ -174,6 +260,11 @@ const VecMaxChildren = 1024
 // OverflowLabel is the label value used once a CounterVec is full.
 const OverflowLabel = "overflow"
 
+// DroppedLabelsName is the registry-wide counter of label values that hit
+// a Vec's cardinality cap and were collapsed into OverflowLabel. A nonzero
+// value is the "a farm is minting unbounded labels" alarm.
+const DroppedLabelsName = "tracemod_obs_dropped_labels_total"
+
 // CounterVec is a family of counters keyed by one label. With is nil-safe
 // (returns a nil *Counter, whose methods are no-ops).
 type CounterVec struct {
@@ -181,6 +272,7 @@ type CounterVec struct {
 	mu       sync.RWMutex
 	children map[string]*Counter
 	order    []string
+	dropped  *Counter // registry-wide DroppedLabelsName counter (nil-safe)
 }
 
 // With returns the child counter for the given label value, creating it if
@@ -201,6 +293,7 @@ func (v *CounterVec) With(value string) *Counter {
 		return c
 	}
 	if len(v.children) >= VecMaxChildren {
+		v.dropped.Inc()
 		value = OverflowLabel
 		if c, ok := v.children[value]; ok {
 			return c
@@ -254,6 +347,7 @@ type GaugeVec struct {
 	mu       sync.RWMutex
 	children map[string]*Gauge
 	order    []string
+	dropped  *Counter // registry-wide DroppedLabelsName counter (nil-safe)
 }
 
 // With returns the child gauge for the given label value, creating it if
@@ -274,6 +368,7 @@ func (v *GaugeVec) With(value string) *Gauge {
 		return g
 	}
 	if len(v.children) >= VecMaxChildren {
+		v.dropped.Inc()
 		value = OverflowLabel
 		if g, ok := v.children[value]; ok {
 			return g
@@ -436,7 +531,8 @@ func (r *Registry) CounterVec(name, help, label string) *CounterVec {
 		return m.vec
 	}
 	m := &metric{name: name, help: help, kind: kindCounterVec,
-		vec: &CounterVec{label: label, children: map[string]*Counter{}}}
+		vec: &CounterVec{label: label, children: map[string]*Counter{},
+			dropped: r.droppedLabelsLocked()}}
 	r.add(m)
 	return m.vec
 }
@@ -453,9 +549,23 @@ func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
 		return m.gvec
 	}
 	m := &metric{name: name, help: help, kind: kindGaugeVec,
-		gvec: &GaugeVec{label: label, children: map[string]*Gauge{}}}
+		gvec: &GaugeVec{label: label, children: map[string]*Gauge{},
+			dropped: r.droppedLabelsLocked()}}
 	r.add(m)
 	return m.gvec
+}
+
+// droppedLabelsLocked registers (or returns) the registry-wide
+// DroppedLabelsName counter. Caller holds r.mu.
+func (r *Registry) droppedLabelsLocked() *Counter {
+	if m, ok := r.lookup(DroppedLabelsName, kindCounter); ok {
+		return m.c
+	}
+	m := &metric{name: DroppedLabelsName,
+		help: "Label values collapsed into the overflow child by a Vec cardinality cap.",
+		kind: kindCounter, c: &Counter{}}
+	r.add(m)
+	return m.c
 }
 
 // GaugeFunc registers a gauge computed at export time by fn (for values a

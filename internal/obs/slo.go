@@ -1,0 +1,168 @@
+// The SLO engine: declarative service-level objectives evaluated on
+// demand against live metrics. An objective is either a quantile bound on
+// a histogram ("p99 wheel fire lateness ≤ 20ms"), a compliance-fraction
+// bound ("≥ 99.9% of deliveries within 2 ticks"), or an arbitrary ratio
+// computed by the caller ("≥ 95% of sessions within drop-accuracy
+// tolerance"). Evaluate folds the objectives into a report with a single
+// [0,1] health score, which emud exports at /v1/slo and turns into a
+// readiness verdict at /v1/health.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SLOKind discriminates how an objective is measured.
+type SLOKind string
+
+// The objective kinds.
+const (
+	// SLOQuantile: Hist's Quantile(Quantile) must be ≤ Threshold.
+	SLOQuantile SLOKind = "quantile"
+	// SLOCompliance: Hist's Compliance(Threshold) must be ≥ Target.
+	SLOCompliance SLOKind = "compliance"
+	// SLORatio: Ratio() must be ≥ Target (caller-computed indicator;
+	// return value is clamped to [0,1] at evaluation).
+	SLORatio SLOKind = "ratio"
+)
+
+// SLO is one declared objective.
+type SLO struct {
+	Name string
+	Help string
+	Kind SLOKind
+	// Critical objectives gate readiness: /v1/health reports not-ready if
+	// any critical objective is unmet.
+	Critical bool
+
+	// Quantile/Compliance source.
+	Hist      *Histogram
+	Quantile  float64       // for SLOQuantile: which quantile (e.g. 0.99)
+	Threshold time.Duration // deadline bound
+
+	// Ratio source (SLORatio). May return ok=false when the indicator has
+	// no data yet; the objective then reports Met with a zero sample.
+	Ratio func() (value float64, ok bool)
+
+	// Target is the minimum acceptable value for SLOCompliance and
+	// SLORatio (ignored for SLOQuantile, where Threshold is the bound).
+	Target float64
+}
+
+// SLOResult is one evaluated objective.
+type SLOResult struct {
+	Name     string  `json:"name"`
+	Help     string  `json:"help,omitempty"`
+	Kind     SLOKind `json:"kind"`
+	Critical bool    `json:"critical"`
+	// Value is the measured indicator: seconds for SLOQuantile, a [0,1]
+	// fraction otherwise.
+	Value float64 `json:"value"`
+	// Objective is the bound: seconds for SLOQuantile, else the Target
+	// fraction.
+	Objective float64 `json:"objective"`
+	Met       bool    `json:"met"`
+	// Samples is the observation count behind the measurement (0 for a
+	// ratio with no data; such objectives are vacuously met).
+	Samples int64 `json:"samples"`
+}
+
+// SLOReport is the full evaluation.
+type SLOReport struct {
+	// Score is the fraction of objectives met, in [0,1] (1 when none are
+	// declared).
+	Score float64 `json:"score"`
+	// Ready is true when every critical objective is met.
+	Ready      bool        `json:"ready"`
+	Objectives []SLOResult `json:"objectives"`
+}
+
+// SLOSet is a mutable collection of objectives. Nil-safe like the rest of
+// the package: a nil set accepts no objectives and evaluates to a
+// perfectly healthy report.
+type SLOSet struct {
+	mu   sync.Mutex
+	slos []*SLO
+}
+
+// NewSLOSet creates an empty set.
+func NewSLOSet() *SLOSet { return &SLOSet{} }
+
+// Add declares an objective.
+func (s *SLOSet) Add(o *SLO) {
+	if s == nil || o == nil {
+		return
+	}
+	s.mu.Lock()
+	s.slos = append(s.slos, o)
+	s.mu.Unlock()
+}
+
+// Evaluate measures every objective now.
+func (s *SLOSet) Evaluate() SLOReport {
+	rep := SLOReport{Score: 1, Ready: true}
+	if s == nil {
+		return rep
+	}
+	s.mu.Lock()
+	slos := append([]*SLO(nil), s.slos...)
+	s.mu.Unlock()
+	if len(slos) == 0 {
+		return rep
+	}
+	met := 0
+	for _, o := range slos {
+		res := o.eval()
+		if res.Met {
+			met++
+		} else if res.Critical {
+			rep.Ready = false
+		}
+		rep.Objectives = append(rep.Objectives, res)
+	}
+	rep.Score = float64(met) / float64(len(slos))
+	return rep
+}
+
+func (o *SLO) eval() SLOResult {
+	res := SLOResult{Name: o.Name, Help: o.Help, Kind: o.Kind, Critical: o.Critical}
+	switch o.Kind {
+	case SLOQuantile:
+		res.Samples = o.Hist.Count()
+		res.Value = o.Hist.Quantile(o.Quantile).Seconds()
+		res.Objective = o.Threshold.Seconds()
+		res.Met = res.Value <= res.Objective
+	case SLOCompliance:
+		res.Samples = o.Hist.Count()
+		res.Value = o.Hist.Compliance(o.Threshold)
+		res.Objective = o.Target
+		res.Met = res.Value >= res.Objective
+	case SLORatio:
+		res.Objective = o.Target
+		if o.Ratio == nil {
+			res.Met = true
+			break
+		}
+		v, ok := o.Ratio()
+		if !ok {
+			// No data yet: vacuously met, value mirrors the target so
+			// dashboards don't graph a scary zero.
+			res.Value = o.Target
+			res.Met = true
+			break
+		}
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		res.Value = v
+		res.Samples = 1
+		res.Met = v >= o.Target
+	default:
+		res.Met = true
+	}
+	return res
+}

@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestQuantileEmptyAndClamp(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q_empty", "", nil)
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("empty histogram q99 = %v", got)
+	}
+	h.Observe(time.Millisecond)
+	if h.Quantile(-1) > h.Quantile(0) || h.Quantile(2) < h.Quantile(1) {
+		t.Fatal("out-of-range quantiles not clamped")
+	}
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram quantile not zero")
+	}
+}
+
+// TestQuantileUniformAccuracy checks the estimator against a uniform
+// distribution, where every true quantile is known exactly. The estimate
+// interpolates within buckets, so it must land within one bucket width of
+// truth.
+func TestQuantileUniformAccuracy(t *testing.T) {
+	// Millisecond-spaced buckets over [0, 100ms].
+	var bounds []time.Duration
+	for ms := 1; ms <= 100; ms++ {
+		bounds = append(bounds, time.Duration(ms)*time.Millisecond)
+	}
+	reg := NewRegistry()
+	h := reg.Histogram("q_uniform", "", bounds)
+	rng := rand.New(rand.NewSource(1))
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		h.Observe(time.Duration(rng.Float64() * 100 * float64(time.Millisecond)))
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.95, 0.99} {
+		truth := time.Duration(q * 100 * float64(time.Millisecond))
+		got := h.Quantile(q)
+		if diff := math.Abs(float64(got - truth)); diff > float64(2*time.Millisecond) {
+			t.Errorf("uniform q%.2f = %v, truth %v (off by %v)", q, got, truth, time.Duration(diff))
+		}
+	}
+}
+
+// TestQuantileExponentialAccuracy repeats the check against an
+// exponential distribution (mean 10ms) on the default exponential bucket
+// scale — the shape real latency data takes. Bucket resolution is coarse,
+// so accept an estimate within the truth's own bucket.
+func TestQuantileExponentialAccuracy(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q_exp", "", nil) // DefBuckets
+	rng := rand.New(rand.NewSource(2))
+	const n, mean = 200_000, 10 * time.Millisecond
+	for i := 0; i < n; i++ {
+		h.Observe(time.Duration(rng.ExpFloat64() * float64(mean)))
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		truth := time.Duration(-math.Log(1-q) * float64(mean))
+		got := h.Quantile(q)
+		// The estimate must land inside the bucket [lo, hi] containing the
+		// truth (linear interpolation cannot do better on a log scale).
+		lo, hi := time.Duration(0), DefBuckets[len(DefBuckets)-1]
+		for i, b := range DefBuckets {
+			if truth <= b {
+				hi = b
+				if i > 0 {
+					lo = DefBuckets[i-1]
+				}
+				break
+			}
+		}
+		if got < lo || got > hi {
+			t.Errorf("exponential q%.2f = %v outside truth bucket [%v, %v] (truth %v)", q, got, lo, hi, truth)
+		}
+	}
+}
+
+// TestQuantileNegativeBounds exercises interpolation on a TickBuckets-style
+// scale whose first bound is negative: the first bucket's floor is its own
+// bound, not zero, so a symmetric distribution of rounding deltas yields a
+// near-zero median and negative low quantiles.
+func TestQuantileNegativeBounds(t *testing.T) {
+	tick := 10 * time.Millisecond
+	reg := NewRegistry()
+	h := reg.Histogram("q_tick", "", TickBuckets(tick))
+	rng := rand.New(rand.NewSource(3))
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		// Uniform rounding delta in [-tick/2, +tick/2).
+		h.Observe(time.Duration((rng.Float64() - 0.5) * float64(tick)))
+	}
+	p10 := h.Quantile(0.1)
+	if p10 >= 0 || p10 < -tick/2 {
+		t.Fatalf("p10 = %v, want within [-%v, 0)", p10, tick/2)
+	}
+	p50 := h.Quantile(0.5)
+	if d := math.Abs(float64(p50)); d > float64(tick)/8 {
+		t.Fatalf("p50 = %v, want near zero for symmetric deltas", p50)
+	}
+	p90 := h.Quantile(0.9)
+	if p90 <= 0 || p90 > tick/2 {
+		t.Fatalf("p90 = %v, want within (0, %v]", p90, tick/2)
+	}
+}
+
+func TestQuantileOverflowBucketPins(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q_over", "", []time.Duration{time.Millisecond, 2 * time.Millisecond})
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Second) // all in +Inf
+	}
+	if got := h.Quantile(0.99); got != 2*time.Millisecond {
+		t.Fatalf("overflow q99 = %v, want the highest finite bound 2ms", got)
+	}
+}
+
+func TestCompliance(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("c", "", []time.Duration{time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond})
+	if got := h.Compliance(time.Millisecond); got != 1 {
+		t.Fatalf("empty compliance = %v, want vacuous 1", got)
+	}
+	// 80 fast (≤1ms), 20 slow (≤100ms, >10ms).
+	for i := 0; i < 80; i++ {
+		h.Observe(500 * time.Microsecond)
+	}
+	for i := 0; i < 20; i++ {
+		h.Observe(50 * time.Millisecond)
+	}
+	if got := h.Compliance(time.Millisecond); math.Abs(got-0.8) > 1e-9 {
+		t.Fatalf("compliance(1ms) = %v, want 0.8", got)
+	}
+	if got := h.Compliance(10 * time.Millisecond); math.Abs(got-0.8) > 1e-9 {
+		t.Fatalf("compliance(10ms) = %v, want 0.8 (slow bucket above threshold)", got)
+	}
+	if got := h.Compliance(100 * time.Millisecond); got != 1 {
+		t.Fatalf("compliance(100ms) = %v, want 1", got)
+	}
+	// A threshold straddling the slow bucket is credited proportionally.
+	mid := h.Compliance(55 * time.Millisecond)
+	if mid <= 0.8 || mid >= 1 {
+		t.Fatalf("straddling compliance = %v, want strictly between 0.8 and 1", mid)
+	}
+}
+
+func TestSLOSetEvaluate(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("slo_lat", "", []time.Duration{time.Millisecond, 10 * time.Millisecond})
+	for i := 0; i < 100; i++ {
+		h.Observe(500 * time.Microsecond)
+	}
+	goodRatio := func() (float64, bool) { return 0.99, true }
+	badRatio := func() (float64, bool) { return 0.5, true }
+	noData := func() (float64, bool) { return 0, false }
+
+	set := NewSLOSet()
+	set.Add(&SLO{Name: "p99", Kind: SLOQuantile, Critical: true, Hist: h, Quantile: 0.99, Threshold: 10 * time.Millisecond})
+	set.Add(&SLO{Name: "compliance", Kind: SLOCompliance, Hist: h, Threshold: time.Millisecond, Target: 0.99})
+	set.Add(&SLO{Name: "good", Kind: SLORatio, Ratio: goodRatio, Target: 0.95})
+	set.Add(&SLO{Name: "bad", Kind: SLORatio, Ratio: badRatio, Target: 0.95})
+	set.Add(&SLO{Name: "vacuous", Kind: SLORatio, Ratio: noData, Target: 0.95})
+
+	rep := set.Evaluate()
+	if len(rep.Objectives) != 5 {
+		t.Fatalf("%d objectives", len(rep.Objectives))
+	}
+	byName := map[string]SLOResult{}
+	for _, r := range rep.Objectives {
+		byName[r.Name] = r
+	}
+	for _, name := range []string{"p99", "compliance", "good", "vacuous"} {
+		if !byName[name].Met {
+			t.Errorf("%s not met: %+v", name, byName[name])
+		}
+	}
+	if byName["bad"].Met {
+		t.Errorf("bad met: %+v", byName["bad"])
+	}
+	if want := 4.0 / 5.0; math.Abs(rep.Score-want) > 1e-9 {
+		t.Fatalf("score = %v, want %v", rep.Score, want)
+	}
+	if !rep.Ready {
+		t.Fatal("not ready though every critical objective is met")
+	}
+
+	// A failing critical objective flips readiness.
+	set.Add(&SLO{Name: "crit-bad", Kind: SLORatio, Critical: true, Ratio: badRatio, Target: 0.95})
+	if rep := set.Evaluate(); rep.Ready {
+		t.Fatal("ready despite failing critical objective")
+	}
+}
+
+func TestSLOSetNilSafe(t *testing.T) {
+	var set *SLOSet
+	set.Add(&SLO{Name: "x"})
+	rep := set.Evaluate()
+	if !rep.Ready || rep.Score != 1 || len(rep.Objectives) != 0 {
+		t.Fatalf("nil set report %+v", rep)
+	}
+}
+
+// TestVecOverflowCountsDroppedLabels asserts the registry-wide dropped-
+// labels counter ticks once per distinct label value that hits a Vec's
+// cardinality cap — across both counter and gauge families — and shows up
+// in the Prometheus scrape as the unbounded-label-growth alarm.
+func TestVecOverflowCountsDroppedLabels(t *testing.T) {
+	reg := NewRegistry()
+	cv := reg.CounterVec("dropped_c", "", "id")
+	for i := 0; i < VecMaxChildren+25; i++ {
+		cv.With(strconv.Itoa(i)).Inc()
+	}
+	gv := reg.GaugeVec("dropped_g", "", "id")
+	for i := 0; i < VecMaxChildren+17; i++ {
+		gv.With(strconv.Itoa(i)).Set(1)
+	}
+	got := findCounterValue(t, reg, DroppedLabelsName)
+	if got != 25+17 {
+		t.Fatalf("%s = %v, want 42", DroppedLabelsName, got)
+	}
+	// Repeat lookups of an already-collapsed value still count: each miss
+	// is one more label the operator is not seeing.
+	cv.With("yet-another").Inc()
+	if got := findCounterValue(t, reg, DroppedLabelsName); got != 43 {
+		t.Fatalf("%s = %v after one more overflow, want 43", DroppedLabelsName, got)
+	}
+}
+
+// findCounterValue scrapes the registry's Prometheus text for an unlabeled
+// counter's value.
+func findCounterValue(t *testing.T, reg *Registry, name string) float64 {
+	t.Helper()
+	out := reg.PrometheusString()
+	for _, line := range strings.Split(out, "\n") {
+		rest, ok := strings.CutPrefix(line, name+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			t.Fatalf("unparsable scrape line %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("no %s in scrape:\n%s", name, out)
+	return 0
+}

@@ -1,0 +1,22 @@
+// context.Context carriage for spans, so the control plane can hand the
+// request span down through handlers without widening every signature.
+package span
+
+import "context"
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying s. A nil span is carried as-is (and
+// FromContext returns nil), so callers never branch.
+func NewContext(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}

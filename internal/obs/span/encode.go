@@ -1,0 +1,320 @@
+// The span dump format. One finished span encodes as one JSON object on
+// one line ("span JSONL"); a dump is any stream of such lines. The same
+// format is produced by cmd/expt -trace-out, by the flight-recorder
+// endpoint, and consumed by tracedump -render spans.
+//
+// Wire shape (field order fixed by the struct below):
+//
+//	{"trace":"<32 hex>","span":"<16 hex>","parent":"<16 hex|omitted>",
+//	 "name":"...","start_ns":123,"end_ns":456,
+//	 "attrs":[{"k":"dir","v":1},{"k":"sid","s":"s-1"}],
+//	 "events":[{"name":"quantize","at_ns":130,"v":-40}],
+//	 "truncated":0}
+//
+// Times are integer nanoseconds on the tracer's clock (wall-less: the
+// emud wheel epoch, or virtual time for simulator runs). RenderTree
+// reconstructs parent/child structure from the records alone, so a dump
+// is self-contained.
+package span
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// wireSpan is the JSONL schema for one SpanData.
+type wireSpan struct {
+	Trace     string     `json:"trace"`
+	Span      string     `json:"span"`
+	Parent    string     `json:"parent,omitempty"`
+	Name      string     `json:"name"`
+	StartNS   int64      `json:"start_ns"`
+	EndNS     int64      `json:"end_ns"`
+	Attrs     []wireAttr `json:"attrs,omitempty"`
+	Events    []Event    `json:"events,omitempty"`
+	Truncated int32      `json:"truncated,omitempty"`
+}
+
+type wireAttr struct {
+	Key string  `json:"k"`
+	Str *string `json:"s,omitempty"`
+	Val *int64  `json:"v,omitempty"`
+}
+
+// MarshalJSON encodes the span in the documented wire shape.
+func (d *SpanData) MarshalJSON() ([]byte, error) {
+	w := wireSpan{
+		Trace:     d.Trace.String(),
+		Span:      d.ID.String(),
+		Name:      d.Name,
+		StartNS:   int64(d.Start),
+		EndNS:     int64(d.End),
+		Events:    d.Events,
+		Truncated: d.Truncated,
+	}
+	if d.Parent != 0 {
+		w.Parent = d.Parent.String()
+	}
+	for i := range d.Attrs {
+		a := &d.Attrs[i]
+		wa := wireAttr{Key: a.Key}
+		if a.IsStr {
+			wa.Str = &a.Str
+		} else {
+			v := a.Val
+			wa.Val = &v
+		}
+		w.Attrs = append(w.Attrs, wa)
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes the documented wire shape.
+func (d *SpanData) UnmarshalJSON(b []byte) error {
+	var w wireSpan
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	var err error
+	if d.Trace, err = parseTraceID(w.Trace); err != nil {
+		return err
+	}
+	id, err := parseSpanID(w.Span)
+	if err != nil {
+		return err
+	}
+	d.ID = id
+	d.Parent = 0
+	if w.Parent != "" {
+		if d.Parent, err = parseSpanID(w.Parent); err != nil {
+			return err
+		}
+	}
+	d.Name = w.Name
+	d.Start = time.Duration(w.StartNS)
+	d.End = time.Duration(w.EndNS)
+	d.Events = w.Events
+	d.Truncated = w.Truncated
+	d.Attrs = d.Attrs[:0]
+	for _, wa := range w.Attrs {
+		a := Attr{Key: wa.Key}
+		switch {
+		case wa.Str != nil:
+			a.Str, a.IsStr = *wa.Str, true
+		case wa.Val != nil:
+			a.Val = *wa.Val
+		}
+		d.Attrs = append(d.Attrs, a)
+	}
+	return nil
+}
+
+func parseTraceID(s string) (TraceID, error) {
+	if len(s) != 32 {
+		return TraceID{}, fmt.Errorf("span: bad trace id %q", s)
+	}
+	hi, ok1 := hexUint64(s[:16])
+	lo, ok2 := hexUint64(s[16:])
+	if !ok1 || !ok2 {
+		return TraceID{}, fmt.Errorf("span: bad trace id %q", s)
+	}
+	return TraceID{Hi: hi, Lo: lo}, nil
+}
+
+func parseSpanID(s string) (SpanID, error) {
+	if len(s) != 16 {
+		return 0, fmt.Errorf("span: bad span id %q", s)
+	}
+	v, ok := hexUint64(s)
+	if !ok {
+		return 0, fmt.Errorf("span: bad span id %q", s)
+	}
+	return SpanID(v), nil
+}
+
+// WriteJSONL writes the spans one JSON object per line.
+func WriteJSONL(w io.Writer, spans []*SpanData) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, d := range spans {
+		if err := enc.Encode(d); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL reads spans back from a JSONL stream, skipping blank lines.
+func ReadJSONL(r io.Reader) ([]*SpanData, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var out []*SpanData
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		d := &SpanData{}
+		if err := json.Unmarshal(b, d); err != nil {
+			return nil, fmt.Errorf("span: line %d: %w", line, err)
+		}
+		out = append(out, d)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RenderTree writes a human-readable forest of the given spans, grouped
+// by trace and indented by parentage. Spans whose parent is absent from
+// the dump (budget-dropped, or rotated out of a flight ring) render as
+// roots with a marker. Within a trace, siblings sort by start time.
+func RenderTree(w io.Writer, spans []*SpanData) error {
+	// Group by trace, preserving first-seen trace order.
+	byTrace := map[TraceID][]*SpanData{}
+	var order []TraceID
+	for _, d := range spans {
+		if _, seen := byTrace[d.Trace]; !seen {
+			order = append(order, d.Trace)
+		}
+		byTrace[d.Trace] = append(byTrace[d.Trace], d)
+	}
+	bw := bufio.NewWriter(w)
+	for _, tid := range order {
+		group := byTrace[tid]
+		fmt.Fprintf(bw, "trace %s  (%d span", tid, len(group))
+		if len(group) != 1 {
+			bw.WriteByte('s')
+		}
+		bw.WriteString(")\n")
+		ids := map[SpanID]bool{}
+		children := map[SpanID][]*SpanData{}
+		for _, d := range group {
+			ids[d.ID] = true
+		}
+		var roots []*SpanData
+		for _, d := range group {
+			if d.Parent != 0 && ids[d.Parent] {
+				children[d.Parent] = append(children[d.Parent], d)
+			} else {
+				roots = append(roots, d)
+			}
+		}
+		byStart := func(s []*SpanData) {
+			sort.SliceStable(s, func(i, j int) bool { return s[i].Start < s[j].Start })
+		}
+		byStart(roots)
+		for k := range children {
+			byStart(children[k])
+		}
+		var walk func(d *SpanData, depth int)
+		walk = func(d *SpanData, depth int) {
+			for i := 0; i < depth; i++ {
+				bw.WriteString("  ")
+			}
+			orphan := ""
+			if d.Parent != 0 && !ids[d.Parent] {
+				orphan = "  (parent " + d.Parent.String() + " not in dump)"
+			}
+			fmt.Fprintf(bw, "%s %s  [%.6fs +%v]%s%s\n",
+				d.ID, d.Name, d.Start.Seconds(), d.End-d.Start, renderAttrs(d.Attrs), orphan)
+			for _, e := range d.Events {
+				for i := 0; i <= depth; i++ {
+					bw.WriteString("  ")
+				}
+				fmt.Fprintf(bw, "· %-14s @%.6fs", e.Name, e.At.Seconds())
+				if e.Val != 0 {
+					fmt.Fprintf(bw, "  v=%d", e.Val)
+				}
+				bw.WriteByte('\n')
+			}
+			if d.Truncated > 0 {
+				for i := 0; i <= depth; i++ {
+					bw.WriteString("  ")
+				}
+				fmt.Fprintf(bw, "· … %d attrs/events truncated\n", d.Truncated)
+			}
+			for _, c := range children[d.ID] {
+				walk(c, depth+1)
+			}
+		}
+		for _, r := range roots {
+			walk(r, 1)
+		}
+	}
+	return bw.Flush()
+}
+
+func renderAttrs(attrs []Attr) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	s := "  {"
+	for i, a := range attrs {
+		if i > 0 {
+			s += " "
+		}
+		if a.IsStr {
+			s += a.Key + "=" + a.Str
+		} else {
+			s += a.Key + "=" + strconv.FormatInt(a.Val, 10)
+		}
+	}
+	return s + "}"
+}
+
+// CollectorSink is a simple bounded Sink that appends finished spans to a
+// slice under a mutex — the offline collector behind cmd/expt -trace-out.
+// Once max spans are held, further records are dropped and counted.
+type CollectorSink struct {
+	mu      sync.Mutex
+	max     int
+	spans   []*SpanData
+	dropped int64
+}
+
+// NewCollectorSink builds a collector retaining at most max spans
+// (max <= 0 selects the 1<<20 safety cap).
+func NewCollectorSink(max int) *CollectorSink {
+	if max <= 0 || max > 1<<20 {
+		max = 1 << 20
+	}
+	return &CollectorSink{max: max}
+}
+
+// Record implements Sink.
+func (c *CollectorSink) Record(d *SpanData) {
+	if c == nil || d == nil {
+		return
+	}
+	c.mu.Lock()
+	if len(c.spans) < c.max {
+		c.spans = append(c.spans, d)
+	} else {
+		c.dropped++
+	}
+	c.mu.Unlock()
+}
+
+// Spans returns the collected spans (shared slice; treat as read-only).
+func (c *CollectorSink) Spans() []*SpanData {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.spans
+}
+
+// Dropped returns how many spans were refused once full.
+func (c *CollectorSink) Dropped() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}

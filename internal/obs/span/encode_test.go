@@ -1,0 +1,144 @@
+package span
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleSpans() []*SpanData {
+	trace := TraceID{Hi: 0xaa, Lo: 0xbb}
+	return []*SpanData{
+		{
+			Trace: trace, ID: 1, Name: "session.packet",
+			Start: 10 * time.Millisecond, End: 30 * time.Millisecond,
+			Attrs: []Attr{
+				{Key: "session", Str: "s-1", IsStr: true},
+				{Key: "size", Val: 1500},
+			},
+			Events: []Event{{Name: "pump-send", At: 29 * time.Millisecond, Val: 1472}},
+		},
+		{
+			Trace: trace, ID: 2, Parent: 1, Name: "modulation",
+			Start: 11 * time.Millisecond, End: 28 * time.Millisecond,
+			Events: []Event{{Name: "cursor-fastpath", At: 11 * time.Millisecond}},
+		},
+		{
+			Trace: trace, ID: 3, Parent: 2, Name: "wheel.wait",
+			Start: 12 * time.Millisecond, End: 28 * time.Millisecond,
+			Truncated: 4,
+		},
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	in := sampleSpans()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != len(in) {
+		t.Fatalf("%d lines for %d spans", got, len(in))
+	}
+	out, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("read %d spans, want %d", len(out), len(in))
+	}
+	for i := range in {
+		a, b := in[i], out[i]
+		if a.Trace != b.Trace || a.ID != b.ID || a.Parent != b.Parent || a.Name != b.Name ||
+			a.Start != b.Start || a.End != b.End || a.Truncated != b.Truncated {
+			t.Fatalf("span %d: %+v != %+v", i, a, b)
+		}
+		if len(a.Attrs) != len(b.Attrs) || len(a.Events) != len(b.Events) {
+			t.Fatalf("span %d payload lengths differ", i)
+		}
+		for j := range a.Attrs {
+			if a.Attrs[j].Key != b.Attrs[j].Key || a.Attrs[j].Str != b.Attrs[j].Str ||
+				a.Attrs[j].Val != b.Attrs[j].Val || a.Attrs[j].IsStr != b.Attrs[j].IsStr {
+				t.Fatalf("span %d attr %d: %+v != %+v", i, j, a.Attrs[j], b.Attrs[j])
+			}
+		}
+	}
+}
+
+func TestReadJSONLSkipsBlanksAndRejectsGarbage(t *testing.T) {
+	var buf bytes.Buffer
+	_ = WriteJSONL(&buf, sampleSpans()[:1])
+	buf.WriteString("\n\n")
+	_ = WriteJSONL(&buf, sampleSpans()[1:2])
+	out, err := ReadJSONL(&buf)
+	if err != nil || len(out) != 2 {
+		t.Fatalf("blank-line dump: %d spans, err %v", len(out), err)
+	}
+	if _, err := ReadJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage line accepted")
+	}
+}
+
+func TestRenderTree(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderTree(&buf, sampleSpans()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"trace 00000000000000aa00000000000000bb  (3 spans)",
+		"session.packet",
+		"modulation",
+		"wheel.wait",
+		"{session=s-1 size=1500}",
+		"pump-send",
+		"truncated",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering lacks %q:\n%s", want, out)
+		}
+	}
+	// Indentation reflects parentage: wheel.wait sits two levels under the
+	// root's children.
+	lines := strings.Split(out, "\n")
+	depth := func(name string) int {
+		for _, l := range lines {
+			if strings.Contains(l, name) {
+				return len(l) - len(strings.TrimLeft(l, " "))
+			}
+		}
+		t.Fatalf("no line for %q:\n%s", name, out)
+		return -1
+	}
+	if !(depth("session.packet") < depth("modulation") && depth("modulation") < depth("wheel.wait")) {
+		t.Fatalf("tree depths wrong:\n%s", out)
+	}
+}
+
+func TestRenderTreeOrphan(t *testing.T) {
+	spans := []*SpanData{{
+		Trace: TraceID{Hi: 1, Lo: 1}, ID: 5, Parent: 99, Name: "lost.child",
+		Start: time.Millisecond, End: 2 * time.Millisecond,
+	}}
+	var buf bytes.Buffer
+	if err := RenderTree(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "lost.child") || !strings.Contains(buf.String(), "not in dump") {
+		t.Fatalf("orphan not surfaced:\n%s", buf.String())
+	}
+}
+
+func TestCollectorSinkCap(t *testing.T) {
+	sink := NewCollectorSink(2)
+	for i := 0; i < 5; i++ {
+		sink.Record(&SpanData{ID: SpanID(i + 1)})
+	}
+	if got := len(sink.Spans()); got != 2 {
+		t.Fatalf("kept %d spans, cap 2", got)
+	}
+	if got := sink.Dropped(); got != 3 {
+		t.Fatalf("dropped = %d, want 3", got)
+	}
+}

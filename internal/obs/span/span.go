@@ -1,0 +1,405 @@
+// Package span is the causal half of the telemetry subsystem: a sampled,
+// zero-alloc-when-disabled span tracer that follows one packet (or one
+// control-plane request) through every layer it crosses — HTTP handler,
+// session manager, modulation engine, timer wheel, livewire pump — and
+// records the journey as a tree of timed spans.
+//
+// The package follows the same contract as its sibling metric types in
+// internal/obs: a nil *Tracer (observability off) costs one predictable
+// branch per site and allocates nothing; an enabled tracer pays one atomic
+// add per *unsampled* root and only allocates on the sampled path. Spans
+// are values handed around as possibly-nil pointers, and every method is
+// nil-safe, so instrumented code reads as straight-line logic with no
+// "enabled" flags.
+//
+// Identifiers follow the W3C Trace Context model (16-byte trace ID, 8-byte
+// span ID) so a trace started by an external caller's `traceparent` header
+// stitches seamlessly into the spans recorded here (traceparent.go).
+// Per-trace span counts are bounded: every root carries a budget, and once
+// a trace exhausts it further children are dropped (and counted) rather
+// than letting a looping packet grow a trace without bound.
+package span
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tracemod/internal/obs"
+)
+
+// TraceID identifies one causal journey (16 bytes, W3C trace-id).
+type TraceID struct{ Hi, Lo uint64 }
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (t TraceID) IsZero() bool { return t.Hi == 0 && t.Lo == 0 }
+
+// String renders the 32-hex-digit W3C form.
+func (t TraceID) String() string { return fmt.Sprintf("%016x%016x", t.Hi, t.Lo) }
+
+// SpanID identifies one span within a trace (8 bytes, W3C parent-id).
+type SpanID uint64
+
+// String renders the 16-hex-digit W3C form.
+func (s SpanID) String() string { return fmt.Sprintf("%016x", uint64(s)) }
+
+// SpanContext is the propagation state of a sampled trace: what a span
+// hands to its children, and what `traceparent` carries across process
+// boundaries (minus the in-process-only budget and sink fields).
+type SpanContext struct {
+	Trace   TraceID
+	Span    SpanID
+	Sampled bool
+
+	// budget is the remaining span allowance for this trace (shared by
+	// every span of the trace; nil for contexts parsed off the wire until
+	// a local span adopts them).
+	budget *atomic.Int64
+	// sink receives this trace's finished spans in addition to the
+	// tracer's default sink (the per-session flight recorder rides here).
+	sink Sink
+}
+
+// Valid reports whether the context names a real trace.
+func (sc SpanContext) Valid() bool { return !sc.Trace.IsZero() && sc.Span != 0 }
+
+// Sink receives finished spans. Implementations must tolerate concurrent
+// Record calls and must treat the SpanData as immutable.
+type Sink interface {
+	Record(*SpanData)
+}
+
+// Attr is one typed span attribute.
+type Attr struct {
+	Key string `json:"k"`
+	// Exactly one of Str / Val is meaningful, per IsStr.
+	Str   string `json:"s,omitempty"`
+	Val   int64  `json:"v,omitempty"`
+	IsStr bool   `json:"-"`
+}
+
+// Event is one timestamped point annotation inside a span.
+type Event struct {
+	Name string        `json:"name"`
+	At   time.Duration `json:"at_ns"`
+	// Val is an optional event payload (a delay, a delta, a count).
+	Val int64 `json:"v,omitempty"`
+}
+
+// SpanData is one finished span: the immutable record a Sink receives and
+// the unit of the JSONL dump format (encode.go).
+type SpanData struct {
+	Trace  TraceID
+	ID     SpanID
+	Parent SpanID // zero for roots
+	Name   string
+	Start  time.Duration
+	End    time.Duration
+	Attrs  []Attr
+	Events []Event
+	// Truncated counts attributes/events dropped by the per-span bounds.
+	Truncated int32
+}
+
+// Bounds on per-span payload so a pathological caller cannot balloon one
+// span, and on per-trace span count via the root budget.
+const (
+	MaxAttrsPerSpan  = 16
+	MaxEventsPerSpan = 32
+	// DefaultMaxSpansPerTrace bounds one trace's span tree.
+	DefaultMaxSpansPerTrace = 128
+)
+
+// Config parameterizes a Tracer.
+type Config struct {
+	// Sample is the fraction of roots sampled, in [0, 1]. Zero disables
+	// sampling entirely (Root always returns nil); 1 samples everything.
+	// Intermediate rates sample deterministically 1-in-round(1/rate).
+	Sample float64
+	// MaxSpansPerTrace bounds one trace's span count
+	// (DefaultMaxSpansPerTrace if 0).
+	MaxSpansPerTrace int
+	// Sink receives every finished span (optional; per-trace sinks attach
+	// via RootInto regardless).
+	Sink Sink
+	// Now supplies span timestamps; defaults to time since New. A caller
+	// whose spans wrap another clock's instants (the emud timer wheel, the
+	// simulator) should pass that clock so span times and event times
+	// share an epoch.
+	Now func() time.Duration
+	// Metrics, if non-nil, registers the tracer's own counters
+	// (tracemod_span_*) so sampling and budget drops are observable.
+	Metrics *obs.Registry
+	// Seed perturbs span-ID generation; 0 derives one from the clock.
+	Seed uint64
+}
+
+// Tracer creates sampled spans. A nil Tracer is valid and permanently
+// disabled: every method no-ops and returns nil spans.
+type Tracer struct {
+	every  uint64 // sample 1 in every roots; 0 = never
+	maxPer int64
+	sink   Sink
+	now    func() time.Duration
+	seq    atomic.Uint64 // root-sampling counter
+	ids    atomic.Uint64 // id-generation state
+	seed   uint64
+
+	started, sampled, finished, droppedBudget *obs.Counter // nil-safe
+}
+
+// New builds a tracer. A Sample of 0 yields a tracer that never samples —
+// still usable (and cheaper to wire than special-casing nil), though nil
+// works identically.
+func New(cfg Config) *Tracer {
+	t := &Tracer{sink: cfg.Sink, now: cfg.Now, seed: cfg.Seed}
+	switch {
+	case cfg.Sample >= 1:
+		t.every = 1
+	case cfg.Sample > 0:
+		t.every = uint64(1/cfg.Sample + 0.5)
+	}
+	t.maxPer = int64(cfg.MaxSpansPerTrace)
+	if t.maxPer <= 0 {
+		t.maxPer = DefaultMaxSpansPerTrace
+	}
+	if t.now == nil {
+		epoch := time.Now()
+		t.now = func() time.Duration { return time.Since(epoch) }
+	}
+	if t.seed == 0 {
+		t.seed = uint64(time.Now().UnixNano()) | 1
+	}
+	if cfg.Metrics != nil {
+		t.started = cfg.Metrics.Counter("tracemod_span_roots_considered_total",
+			"Root-span opportunities seen by the sampler.")
+		t.sampled = cfg.Metrics.Counter("tracemod_span_roots_sampled_total",
+			"Root spans actually started.")
+		t.finished = cfg.Metrics.Counter("tracemod_span_finished_total",
+			"Spans ended and recorded to a sink.")
+		t.droppedBudget = cfg.Metrics.Counter("tracemod_span_dropped_budget_total",
+			"Child spans refused because their trace exhausted its span budget.")
+	}
+	return t
+}
+
+// SetNow rebinds the tracer's clock. Call before any span is started (the
+// emud manager does this once, to share the timer wheel's epoch).
+func (t *Tracer) SetNow(now func() time.Duration) {
+	if t != nil && now != nil {
+		t.now = now
+	}
+}
+
+// Now reads the tracer's clock (0 on a nil tracer).
+func (t *Tracer) Now() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.now()
+}
+
+// Enabled reports whether the tracer can ever sample.
+func (t *Tracer) Enabled() bool { return t != nil && t.every > 0 }
+
+// nextID derives a fresh non-zero id from the atomic counter via a
+// splitmix64 finalizer: unique per tracer, no locks, no allocation.
+func (t *Tracer) nextID() uint64 {
+	x := t.ids.Add(1) + t.seed
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		x = 1
+	}
+	return x
+}
+
+// Root starts a new sampled trace, or returns nil when this root falls
+// outside the sample. The returned span must be ended exactly once.
+func (t *Tracer) Root(name string) *Span { return t.RootInto(nil, name) }
+
+// RootInto is Root with an additional per-trace sink: every span of the
+// new trace (the root and all descendants) is recorded into extra as well
+// as the tracer's default sink. The emud session farm passes the session's
+// flight recorder here.
+func (t *Tracer) RootInto(extra Sink, name string) *Span {
+	if t == nil || t.every == 0 {
+		return nil
+	}
+	t.started.Inc()
+	if t.every > 1 && t.seq.Add(1)%t.every != 0 {
+		return nil
+	}
+	return t.newRoot(TraceID{Hi: t.nextID(), Lo: t.nextID()}, 0, extra, name)
+}
+
+// StartRemote continues a trace ingested from the wire (a parsed
+// `traceparent`): a sampled remote parent forces sampling of this request
+// regardless of the local rate, so external callers can always get a full
+// tree; an unsampled or invalid parent falls back to local root sampling.
+func (t *Tracer) StartRemote(parent SpanContext, name string) *Span {
+	if t == nil || t.every == 0 {
+		return nil
+	}
+	if !parent.Valid() || !parent.Sampled {
+		return t.Root(name)
+	}
+	t.started.Inc()
+	return t.newRoot(parent.Trace, parent.Span, parent.sink, name)
+}
+
+func (t *Tracer) newRoot(trace TraceID, parent SpanID, extra Sink, name string) *Span {
+	t.sampled.Inc()
+	budget := &atomic.Int64{}
+	budget.Store(t.maxPer - 1)
+	s := &Span{t: t}
+	s.d.Trace = trace
+	s.d.ID = SpanID(t.nextID())
+	s.d.Parent = parent
+	s.d.Name = name
+	s.d.Start = t.now()
+	s.sc = SpanContext{Trace: trace, Span: s.d.ID, Sampled: true, budget: budget, sink: extra}
+	return s
+}
+
+// Span is one in-progress span. A nil *Span is the disabled state: every
+// method no-ops, so call sites never branch. Attribute and event methods
+// are safe to call concurrently (a delivery timer annotating while the
+// submitter still holds the span).
+type Span struct {
+	t     *Tracer
+	mu    sync.Mutex
+	d     SpanData
+	sc    SpanContext
+	ended atomic.Bool
+}
+
+// Context returns the span's propagation context (zero for nil spans).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.sc
+}
+
+// TraceID returns the span's trace (zero for nil spans).
+func (s *Span) TraceID() TraceID {
+	if s == nil {
+		return TraceID{}
+	}
+	return s.d.Trace
+}
+
+// Child starts a sub-span. It returns nil — and counts the drop — once the
+// trace's span budget is exhausted.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	t := s.t
+	if s.sc.budget != nil && s.sc.budget.Add(-1) < 0 {
+		t.droppedBudget.Inc()
+		return nil
+	}
+	c := &Span{t: t}
+	c.d.Trace = s.d.Trace
+	c.d.ID = SpanID(t.nextID())
+	c.d.Parent = s.d.ID
+	c.d.Name = name
+	c.d.Start = t.now()
+	c.sc = SpanContext{Trace: s.d.Trace, Span: c.d.ID, Sampled: true, budget: s.sc.budget, sink: s.sc.sink}
+	return c
+}
+
+// ChildAt is Child with an explicit start instant (a span that logically
+// began at a scheduled time rather than now).
+func (s *Span) ChildAt(name string, at time.Duration) *Span {
+	c := s.Child(name)
+	if c != nil {
+		c.d.Start = at
+	}
+	return c
+}
+
+// Attr records an integer attribute (bounded; extras are counted, not
+// stored).
+func (s *Span) Attr(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if len(s.d.Attrs) < MaxAttrsPerSpan {
+		s.d.Attrs = append(s.d.Attrs, Attr{Key: key, Val: v})
+	} else {
+		s.d.Truncated++
+	}
+	s.mu.Unlock()
+}
+
+// AttrStr records a string attribute.
+func (s *Span) AttrStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if len(s.d.Attrs) < MaxAttrsPerSpan {
+		s.d.Attrs = append(s.d.Attrs, Attr{Key: key, Str: v, IsStr: true})
+	} else {
+		s.d.Truncated++
+	}
+	s.mu.Unlock()
+}
+
+// Event records a point annotation at the tracer's current time.
+func (s *Span) Event(name string, v int64) {
+	if s == nil {
+		return
+	}
+	s.EventAt(name, s.t.now(), v)
+}
+
+// EventAt records a point annotation at an explicit instant (the engine
+// stamps events with its own clock so simulator spans carry virtual time).
+func (s *Span) EventAt(name string, at time.Duration, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if len(s.d.Events) < MaxEventsPerSpan {
+		s.d.Events = append(s.d.Events, Event{Name: name, At: at, Val: v})
+	} else {
+		s.d.Truncated++
+	}
+	s.mu.Unlock()
+}
+
+// End finishes the span at the tracer's current time and records it to
+// the sinks. Ending twice is a no-op, so wrapped callbacks can end
+// defensively.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.EndAt(s.t.now())
+}
+
+// EndAt is End with an explicit end instant.
+func (s *Span) EndAt(at time.Duration) {
+	if s == nil || s.ended.Swap(true) {
+		return
+	}
+	s.mu.Lock()
+	s.d.End = at
+	s.mu.Unlock()
+	s.t.finished.Inc()
+	if s.sc.sink != nil {
+		s.sc.sink.Record(&s.d)
+	}
+	if s.t.sink != nil && s.t.sink != s.sc.sink {
+		s.t.sink.Record(&s.d)
+	}
+}

@@ -1,0 +1,357 @@
+package span
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fixedClock returns a deterministic monotonic clock for tests.
+func fixedClock() func() time.Duration {
+	var n atomic.Int64
+	return func() time.Duration { return time.Duration(n.Add(1)) * time.Microsecond }
+}
+
+func TestNilTracerIsDisabled(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if sp := tr.Root("x"); sp != nil {
+		t.Fatalf("nil tracer rooted a span: %v", sp)
+	}
+	// Every span method must be nil-safe.
+	var sp *Span
+	sp.Attr("k", 1)
+	sp.AttrStr("k", "v")
+	sp.Event("e", 0)
+	sp.EventAt("e", 0, 0)
+	sp.End()
+	sp.EndAt(0)
+	if c := sp.Child("child"); c != nil {
+		t.Fatalf("nil span produced a child: %v", c)
+	}
+	if sp.Context().Valid() {
+		t.Fatal("nil span has a valid context")
+	}
+}
+
+func TestZeroSampleNeverRoots(t *testing.T) {
+	tr := New(Config{Sample: 0, Now: fixedClock(), Seed: 1})
+	if tr.Enabled() {
+		t.Fatal("Sample 0 tracer reports enabled")
+	}
+	for i := 0; i < 100; i++ {
+		if tr.Root("x") != nil {
+			t.Fatal("Sample 0 rooted a span")
+		}
+	}
+}
+
+func TestFullSamplingRootsEverySpan(t *testing.T) {
+	sink := NewCollectorSink(0)
+	tr := New(Config{Sample: 1, Sink: sink, Now: fixedClock(), Seed: 1})
+	for i := 0; i < 10; i++ {
+		sp := tr.Root("root")
+		if sp == nil {
+			t.Fatal("Sample 1 skipped a root")
+		}
+		sp.End()
+	}
+	if got := len(sink.Spans()); got != 10 {
+		t.Fatalf("collected %d spans, want 10", got)
+	}
+}
+
+func TestPartialSamplingRate(t *testing.T) {
+	tr := New(Config{Sample: 0.25, Now: fixedClock(), Seed: 1})
+	sampled := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if sp := tr.Root("x"); sp != nil {
+			sampled++
+			sp.End()
+		}
+	}
+	// 1-in-4 deterministic sampling: exactly n/4.
+	if sampled != n/4 {
+		t.Fatalf("sampled %d of %d at rate 0.25", sampled, n)
+	}
+}
+
+func TestChildParenting(t *testing.T) {
+	sink := NewCollectorSink(0)
+	tr := New(Config{Sample: 1, Sink: sink, Now: fixedClock(), Seed: 1})
+	root := tr.Root("root")
+	child := root.Child("child")
+	grand := child.Child("grand")
+	grand.End()
+	child.End()
+	root.End()
+
+	spans := sink.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("collected %d spans, want 3", len(spans))
+	}
+	byName := map[string]*SpanData{}
+	for _, d := range spans {
+		byName[d.Name] = d
+	}
+	if byName["child"].Trace != byName["root"].Trace || byName["grand"].Trace != byName["root"].Trace {
+		t.Fatal("children escaped the root's trace")
+	}
+	if byName["child"].Parent != byName["root"].ID {
+		t.Fatalf("child parent = %v, want root %v", byName["child"].Parent, byName["root"].ID)
+	}
+	if byName["grand"].Parent != byName["child"].ID {
+		t.Fatalf("grand parent = %v, want child %v", byName["grand"].Parent, byName["child"].ID)
+	}
+	if byName["root"].Parent != 0 {
+		t.Fatalf("root has parent %v", byName["root"].Parent)
+	}
+}
+
+func TestSpanBudgetExhaustion(t *testing.T) {
+	sink := NewCollectorSink(0)
+	tr := New(Config{Sample: 1, MaxSpansPerTrace: 3, Sink: sink, Now: fixedClock(), Seed: 1})
+	root := tr.Root("root")
+	kept := 0
+	for i := 0; i < 10; i++ {
+		if c := root.Child("c"); c != nil {
+			kept++
+			c.End()
+		}
+	}
+	root.End()
+	// Budget 3 covers the root plus two children.
+	if kept != 2 {
+		t.Fatalf("budget 3 admitted %d children, want 2", kept)
+	}
+}
+
+func TestDoubleEndRecordsOnce(t *testing.T) {
+	sink := NewCollectorSink(0)
+	tr := New(Config{Sample: 1, Sink: sink, Now: fixedClock(), Seed: 1})
+	sp := tr.Root("x")
+	sp.End()
+	sp.End()
+	sp.EndAt(42)
+	if got := len(sink.Spans()); got != 1 {
+		t.Fatalf("double End recorded %d spans", got)
+	}
+}
+
+func TestAttrAndEventCaps(t *testing.T) {
+	sink := NewCollectorSink(0)
+	tr := New(Config{Sample: 1, Sink: sink, Now: fixedClock(), Seed: 1})
+	sp := tr.Root("x")
+	for i := 0; i < MaxAttrsPerSpan+10; i++ {
+		sp.Attr("k", int64(i))
+	}
+	for i := 0; i < MaxEventsPerSpan+10; i++ {
+		sp.Event("e", int64(i))
+	}
+	sp.End()
+	d := sink.Spans()[0]
+	if len(d.Attrs) != MaxAttrsPerSpan {
+		t.Fatalf("%d attrs, cap %d", len(d.Attrs), MaxAttrsPerSpan)
+	}
+	if len(d.Events) != MaxEventsPerSpan {
+		t.Fatalf("%d events, cap %d", len(d.Events), MaxEventsPerSpan)
+	}
+	if d.Truncated != 20 {
+		t.Fatalf("truncated = %d, want 20", d.Truncated)
+	}
+}
+
+// TestConcurrentSpanUse hammers one tracer from many goroutines — roots,
+// children, attrs, events, concurrent double-Ends — under -race.
+func TestConcurrentSpanUse(t *testing.T) {
+	sink := NewCollectorSink(1 << 18)
+	tr := New(Config{Sample: 1, Sink: sink, Now: fixedClock(), Seed: 7})
+	const workers = 8
+	const perWorker = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				root := tr.Root("root")
+				var inner sync.WaitGroup
+				for c := 0; c < 3; c++ {
+					inner.Add(1)
+					go func(c int) {
+						defer inner.Done()
+						child := root.Child("child")
+						child.Attr("c", int64(c))
+						child.Event("tick", int64(c))
+						child.End()
+						child.End() // concurrent double-End must be safe
+					}(c)
+				}
+				root.AttrStr("w", "worker")
+				inner.Wait()
+				root.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	spans := sink.Spans()
+	roots := 0
+	for _, d := range spans {
+		if d.Parent == 0 {
+			roots++
+		}
+	}
+	if want := workers * perWorker; roots != want {
+		t.Fatalf("%d roots recorded, want %d", roots, want)
+	}
+	// Every span ended exactly once: children = roots * 3.
+	if want := workers * perWorker * 4; len(spans) != want {
+		t.Fatalf("%d spans recorded, want %d", len(spans), want)
+	}
+}
+
+func TestFlightRecorderWraparound(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		f.Record(&SpanData{Name: "s", Start: time.Duration(i)})
+	}
+	if f.Total() != 10 {
+		t.Fatalf("total = %d", f.Total())
+	}
+	snap := f.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot kept %d spans, want 4", len(snap))
+	}
+	// Oldest-first: the last four records are 6, 7, 8, 9.
+	for i, d := range snap {
+		if want := time.Duration(6 + i); d.Start != want {
+			t.Fatalf("snap[%d].Start = %v, want %v", i, d.Start, want)
+		}
+	}
+}
+
+// TestFlightRecorderConcurrentWraparound races writers past the ring
+// boundary while a reader snapshots, under -race. The lock-free ring must
+// never yield a torn pointer — every snapshot entry is a whole SpanData.
+func TestFlightRecorderConcurrentWraparound(t *testing.T) {
+	f := NewFlightRecorder(8)
+	const writers, perWriter = 4, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				f.Record(&SpanData{Name: "w", Start: time.Duration(w*1_000_000 + i)})
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for snapping := true; snapping; {
+		select {
+		case <-done:
+			snapping = false
+		default:
+		}
+		for _, d := range f.Snapshot() {
+			if d.Name != "w" {
+				t.Fatalf("torn record: %+v", d)
+			}
+		}
+	}
+	if got := f.Total(); got != writers*perWriter {
+		t.Fatalf("recorded %d spans, want %d", got, writers*perWriter)
+	}
+	if len(f.Snapshot()) != 8 {
+		t.Fatalf("final snapshot has %d spans, want the full ring of 8", len(f.Snapshot()))
+	}
+}
+
+func TestNilFlightRecorderSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(&SpanData{})
+	if f.Total() != 0 || f.Capacity() != 0 || f.Snapshot() != nil {
+		t.Fatal("nil flight recorder not inert")
+	}
+}
+
+func TestRootIntoRecordsToBothSinks(t *testing.T) {
+	global := NewCollectorSink(0)
+	tr := New(Config{Sample: 1, Sink: global, Now: fixedClock(), Seed: 1})
+	extra := NewFlightRecorder(4)
+	sp := tr.RootInto(extra, "x")
+	child := sp.Child("c")
+	child.End()
+	sp.End()
+	if got := len(global.Spans()); got != 2 {
+		t.Fatalf("global sink got %d spans, want 2", got)
+	}
+	if got := extra.Total(); got != 2 {
+		t.Fatalf("flight sink got %d spans, want 2 (children must follow the root's sink)", got)
+	}
+}
+
+func TestTracerMetricsCounters(t *testing.T) {
+	// The counters live on the obs registry; exercised indirectly through
+	// the registry import in New — here we just assert sampled vs skipped
+	// accounting by behavior (metrics plumbing is covered in obs tests).
+	tr := New(Config{Sample: 0.5, Now: fixedClock(), Seed: 3})
+	sampled := 0
+	for i := 0; i < 10; i++ {
+		if sp := tr.Root("x"); sp != nil {
+			sampled++
+			sp.End()
+		}
+	}
+	if sampled != 5 {
+		t.Fatalf("sampled %d of 10 at 0.5", sampled)
+	}
+}
+
+func TestSetNowRebindsClock(t *testing.T) {
+	sink := NewCollectorSink(0)
+	tr := New(Config{Sample: 1, Sink: sink, Seed: 1})
+	tr.SetNow(func() time.Duration { return 123 * time.Millisecond })
+	sp := tr.Root("x")
+	sp.End()
+	if d := sink.Spans()[0]; d.Start != 123*time.Millisecond || d.End != 123*time.Millisecond {
+		t.Fatalf("span times %v..%v, want the rebound clock's 123ms", d.Start, d.End)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	tr := New(Config{Sample: 1, Now: fixedClock(), Seed: 1})
+	sp := tr.Root("x")
+	ctx := NewContext(context.Background(), sp)
+	if got := FromContext(ctx); got != sp {
+		t.Fatalf("FromContext = %p, want %p", got, sp)
+	}
+	if got := FromContext(context.Background()); got != nil {
+		t.Fatalf("empty context yielded %p", got)
+	}
+	if NewContext(context.Background(), nil) != context.Background() {
+		t.Fatal("nil span should leave the context untouched")
+	}
+	sp.End()
+}
+
+func TestIDStringsAreLowercaseHex(t *testing.T) {
+	tr := New(Config{Sample: 1, Now: fixedClock(), Seed: 9})
+	sp := tr.Root("x")
+	tid := sp.TraceID().String()
+	sid := sp.Context().Span.String()
+	if len(tid) != 32 || strings.ToLower(tid) != tid {
+		t.Fatalf("trace id %q", tid)
+	}
+	if len(sid) != 16 || strings.ToLower(sid) != sid {
+		t.Fatalf("span id %q", sid)
+	}
+	sp.End()
+}

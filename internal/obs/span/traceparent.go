@@ -1,0 +1,92 @@
+// W3C Trace Context interchange: rendering a SpanContext as a
+// `traceparent` header value and parsing one back. Only version 00 and
+// the sampled flag are honored; tracestate is deliberately out of scope.
+//
+//	traceparent: 00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>
+package span
+
+import "fmt"
+
+// TraceParentHeader is the canonical header name (lowercase per W3C).
+const TraceParentHeader = "traceparent"
+
+// FlagSampled is the only trace-flag bit we honor.
+const FlagSampled = 0x01
+
+// TraceParent renders the context as a version-00 traceparent value.
+// An invalid context renders as the all-zero (invalid) form.
+func (sc SpanContext) TraceParent() string {
+	flags := 0
+	if sc.Sampled {
+		flags = FlagSampled
+	}
+	return fmt.Sprintf("00-%016x%016x-%016x-%02x", sc.Trace.Hi, sc.Trace.Lo, uint64(sc.Span), flags)
+}
+
+// ParseTraceParent parses a traceparent header value. It returns ok=false
+// for malformed input, unknown high versions (0xff), or the invalid
+// all-zero trace/span IDs. Unknown-but-valid future versions (>0) are
+// accepted per spec as long as the 00-shaped prefix parses.
+func ParseTraceParent(s string) (SpanContext, bool) {
+	// Fixed layout: 2+1+32+1+16+1+2 = 55 bytes minimum.
+	if len(s) < 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return SpanContext{}, false
+	}
+	ver, ok := hexByte(s[0], s[1])
+	if !ok || ver == 0xff {
+		return SpanContext{}, false
+	}
+	if ver == 0 && len(s) != 55 {
+		return SpanContext{}, false
+	}
+	var sc SpanContext
+	if sc.Trace.Hi, ok = hexUint64(s[3:19]); !ok {
+		return SpanContext{}, false
+	}
+	if sc.Trace.Lo, ok = hexUint64(s[19:35]); !ok {
+		return SpanContext{}, false
+	}
+	var span uint64
+	if span, ok = hexUint64(s[36:52]); !ok {
+		return SpanContext{}, false
+	}
+	sc.Span = SpanID(span)
+	flags, ok := hexByte(s[53], s[54])
+	if !ok {
+		return SpanContext{}, false
+	}
+	sc.Sampled = flags&FlagSampled != 0
+	if !sc.Valid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+func hexNibble(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	// Uppercase hex is invalid in traceparent per W3C.
+	return 0, false
+}
+
+func hexByte(hi, lo byte) (byte, bool) {
+	h, ok1 := hexNibble(hi)
+	l, ok2 := hexNibble(lo)
+	return h<<4 | l, ok1 && ok2
+}
+
+func hexUint64(s string) (uint64, bool) {
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		n, ok := hexNibble(s[i])
+		if !ok {
+			return 0, false
+		}
+		v = v<<4 | uint64(n)
+	}
+	return v, true
+}

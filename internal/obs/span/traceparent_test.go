@@ -1,0 +1,131 @@
+package span
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceParentRoundTrip(t *testing.T) {
+	sc := SpanContext{
+		Trace:   TraceID{Hi: 0x0123456789abcdef, Lo: 0xfedcba9876543210},
+		Span:    SpanID(0xdeadbeefcafef00d),
+		Sampled: true,
+	}
+	h := sc.TraceParent()
+	if h != "00-0123456789abcdeffedcba9876543210-deadbeefcafef00d-01" {
+		t.Fatalf("rendered %q", h)
+	}
+	got, ok := ParseTraceParent(h)
+	if !ok {
+		t.Fatalf("round trip failed on %q", h)
+	}
+	if got.Trace != sc.Trace || got.Span != sc.Span || !got.Sampled {
+		t.Fatalf("parsed %+v, want %+v", got, sc)
+	}
+}
+
+func TestTraceParentUnsampledFlag(t *testing.T) {
+	sc := SpanContext{Trace: TraceID{Hi: 1, Lo: 2}, Span: 3}
+	got, ok := ParseTraceParent(sc.TraceParent())
+	if !ok || got.Sampled {
+		t.Fatalf("parsed %+v ok=%v, want unsampled", got, ok)
+	}
+}
+
+func TestParseTraceParentMalformed(t *testing.T) {
+	valid := "00-0123456789abcdeffedcba9876543210-deadbeefcafef00d-01"
+	bad := []string{
+		"",
+		"garbage",
+		valid[:54],                          // truncated
+		valid + "x",                         // version 00 must be exactly 55 chars
+		strings.ToUpper(valid),              // uppercase hex is invalid per W3C
+		"ff" + valid[2:],                    // version 0xff is reserved-invalid
+		strings.Replace(valid, "-", "_", 3), // wrong separators
+		"00-00000000000000000000000000000000-deadbeefcafef00d-01", // zero trace ID
+		"00-0123456789abcdeffedcba9876543210-0000000000000000-01", // zero span ID
+		"00-0123456789abcdeffedcba987654321g-deadbeefcafef00d-01", // non-hex digit
+		"00-0123456789abcdeffedcba9876543210-deadbeefcafef00d-0g", // non-hex flags
+	}
+	for _, s := range bad {
+		if sc, ok := ParseTraceParent(s); ok {
+			t.Errorf("ParseTraceParent(%q) accepted: %+v", s, sc)
+		}
+	}
+}
+
+func TestParseTraceParentFutureVersion(t *testing.T) {
+	// A future version with trailing fields must still parse the 00-shaped
+	// prefix (W3C forward compatibility).
+	s := "01-0123456789abcdeffedcba9876543210-deadbeefcafef00d-01-extrafield"
+	sc, ok := ParseTraceParent(s)
+	if !ok || !sc.Sampled || sc.Trace.Hi != 0x0123456789abcdef {
+		t.Fatalf("future version rejected: %+v ok=%v", sc, ok)
+	}
+}
+
+func TestStartRemoteSampledParentForcesSampling(t *testing.T) {
+	sink := NewCollectorSink(0)
+	// 1-in-a-million local sampling: any locally-rooted span is (all but
+	// surely) skipped, so a recorded span proves the remote parent forced it.
+	tr := New(Config{Sample: 1e-6, Sink: sink, Now: fixedClock(), Seed: 1})
+	parent := SpanContext{Trace: TraceID{Hi: 7, Lo: 8}, Span: 9, Sampled: true}
+	sp := tr.StartRemote(parent, "http")
+	if sp == nil {
+		t.Fatal("sampled remote parent did not force sampling")
+	}
+	if sp.TraceID() != parent.Trace {
+		t.Fatalf("continued trace %v, want %v", sp.TraceID(), parent.Trace)
+	}
+	child := sp.Child("inner")
+	child.End()
+	sp.End()
+	spans := sink.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("recorded %d spans, want 2", len(spans))
+	}
+	for _, d := range spans {
+		if d.Trace != parent.Trace {
+			t.Fatalf("span %q escaped the remote trace: %v", d.Name, d.Trace)
+		}
+	}
+	// The server span's parent is the remote caller's span ID.
+	for _, d := range spans {
+		if d.Name == "http" && d.Parent != parent.Span {
+			t.Fatalf("server span parent = %v, want remote %v", d.Parent, parent.Span)
+		}
+	}
+}
+
+func TestStartRemoteUnsampledParentFallsBack(t *testing.T) {
+	tr := New(Config{Sample: 1, Now: fixedClock(), Seed: 1})
+	parent := SpanContext{Trace: TraceID{Hi: 7, Lo: 8}, Span: 9, Sampled: false}
+	sp := tr.StartRemote(parent, "http")
+	if sp == nil {
+		t.Fatal("full local sampling should still root")
+	}
+	if sp.TraceID() == parent.Trace {
+		t.Fatal("unsampled remote parent must not be continued")
+	}
+	sp.End()
+}
+
+func TestStartRemoteDisabledTracer(t *testing.T) {
+	var tr *Tracer
+	parent := SpanContext{Trace: TraceID{Hi: 1, Lo: 1}, Span: 1, Sampled: true}
+	if sp := tr.StartRemote(parent, "x"); sp != nil {
+		t.Fatal("nil tracer started a remote span")
+	}
+}
+
+func TestTraceParentOfLiveSpan(t *testing.T) {
+	tr := New(Config{Sample: 1, Now: func() time.Duration { return 0 }, Seed: 5})
+	sp := tr.Root("x")
+	h := sp.Context().TraceParent()
+	sc, ok := ParseTraceParent(h)
+	if !ok || sc.Trace != sp.TraceID() || sc.Span != sp.Context().Span || !sc.Sampled {
+		t.Fatalf("live span header %q parsed to %+v ok=%v", h, sc, ok)
+	}
+	sp.End()
+}
