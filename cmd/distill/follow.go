@@ -1,0 +1,126 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tracemod/internal/core"
+	"tracemod/internal/distill/stream"
+	"tracemod/internal/replay"
+	"tracemod/internal/tracefmt"
+)
+
+// runFollow tails a growing collected trace: records are fed through the
+// streaming distiller as the collector appends them, and each tuple is
+// flushed to the output the moment its window freezes, so the replay
+// trace is usable (by `emud` or a second distill) while collection is
+// still running. The tail ends on SIGINT/SIGTERM or — with -idle-exit —
+// when the input stops growing for that long; either way the distiller
+// closes cleanly and the final windows are flushed.
+func runFollow(in, out string, cfg stream.Config, salvage bool, poll, idleExit time.Duration) error {
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	o, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer o.Close()
+	sw, err := replay.NewStreamWriter(o)
+	if err != nil {
+		return err
+	}
+
+	var werr error
+	cfg.OnTuple = func(t core.Tuple) {
+		if werr == nil {
+			werr = sw.Append(t)
+		}
+	}
+	d := stream.New(cfg)
+	r := tracefmt.NewStreamReader(tracefmt.StreamOptions{Salvage: salvage})
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(stop)
+
+	ingest := func(recs []any) error {
+		for _, rec := range recs {
+			if err := d.Ingest(rec); err != nil {
+				return err
+			}
+		}
+		if werr != nil {
+			return werr
+		}
+		return sw.Flush()
+	}
+
+	buf := make([]byte, 64<<10)
+	idleSince := time.Now()
+	interrupted := false
+tail:
+	for {
+		n, rerr := f.Read(buf)
+		if n > 0 {
+			idleSince = time.Now()
+			if err := r.Feed(buf[:n]); err != nil {
+				return err
+			}
+			recs, derr := r.ReadAvailable()
+			if err := ingest(recs); err != nil {
+				return err
+			}
+			if derr != nil {
+				return derr
+			}
+			continue
+		}
+		if rerr != nil && rerr != io.EOF {
+			return rerr
+		}
+		// At the live edge. Wait for growth, a signal, or idle expiry.
+		if idleExit > 0 && time.Since(idleSince) >= idleExit {
+			fmt.Fprintf(os.Stderr, "distill: input idle for %v, finishing\n", idleExit)
+			break
+		}
+		select {
+		case <-stop:
+			interrupted = true
+			break tail
+		case <-time.After(poll):
+		}
+	}
+
+	// Seal: drain the reader's tail, close the distiller, flush.
+	recs, rep, ferr := r.Finish()
+	if ierr := ingest(recs); ierr != nil {
+		return ierr
+	}
+	if ferr != nil {
+		return ferr
+	}
+	if rep != nil && !rep.Clean() {
+		fmt.Fprintf(os.Stderr, "distill: %s: %s\n", in, rep)
+	}
+	sum, err := d.Close()
+	if err != nil {
+		return err
+	}
+	if err := sw.Flush(); err != nil {
+		return err
+	}
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "distill: interrupted, output sealed")
+	}
+	fmt.Printf("followed %q: %d tuples over %v -> %s\n",
+		in, len(sum.Replay), sum.Replay.TotalDuration(), out)
+	return nil
+}

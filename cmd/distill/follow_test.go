@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"tracemod/internal/core"
+	"tracemod/internal/distill"
+	"tracemod/internal/distill/stream"
+	"tracemod/internal/packet"
+	"tracemod/internal/replay"
+	"tracemod/internal/tracefmt"
+)
+
+// Follow mode must converge on the batch answer: tailing a file that
+// grows in arbitrary chunks yields a byte-identical replay trace once
+// the writer goes idle.
+func TestFollowMatchesBatch(t *testing.T) {
+	const s1, s2 = 60, 1028
+	params := core.DelayParams{F: 2 * time.Millisecond, Vb: 5000, Vr: 800}
+	tr := &tracefmt.Trace{Header: tracefmt.Header{Device: "wavelan0"}}
+	seq := uint16(0)
+	for sec := 0; sec < 30; sec++ {
+		base := int64(sec) * int64(time.Second)
+		emit := func(size int, rtt time.Duration) {
+			seq++
+			tr.Packets = append(tr.Packets, tracefmt.PacketRecord{
+				At: base, Dir: tracefmt.DirOut, Size: uint16(size),
+				Protocol: packet.ProtoICMP, ICMPType: packet.ICMPEcho, ID: 1, Seq: seq, RTT: -1,
+			})
+			tr.Packets = append(tr.Packets, tracefmt.PacketRecord{
+				At: base + int64(rtt), Dir: tracefmt.DirIn, Size: uint16(size),
+				Protocol: packet.ProtoICMP, ICMPType: packet.ICMPEchoReply, ID: 1, Seq: seq, RTT: int64(rtt),
+			})
+		}
+		emit(s1, params.RoundTrip(s1))
+		emit(s2, params.RoundTrip(s2))
+		emit(s2, params.RoundTrip(s2)+params.Vb.Cost(s2))
+	}
+	sort.SliceStable(tr.Packets, func(i, j int) bool { return tr.Packets[i].At < tr.Packets[j].At })
+	var raw bytes.Buffer
+	if err := tracefmt.WriteAll(&raw, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	batch, err := distill.Distill(tr, distill.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := replay.Write(&want, batch.Replay); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	in := filepath.Join(dir, "live.trace")
+	out := filepath.Join(dir, "live.replay")
+	f, err := os.Create(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		defer f.Close()
+		data := raw.Bytes()
+		for off := 0; off < len(data); off += 777 {
+			end := off + 777
+			if end > len(data) {
+				end = len(data)
+			}
+			f.Write(data[off:end])
+			f.Sync()
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	cfg := stream.Config{Window: 5 * time.Second, Step: time.Second}
+	if err := runFollow(in, out, cfg, false, 5*time.Millisecond, 300*time.Millisecond); err != nil {
+		t.Fatalf("runFollow: %v", err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("followed replay diverges from batch:\ngot %d bytes, want %d", len(got), want.Len())
+	}
+}

@@ -11,6 +11,12 @@
 // benchmark-family application):
 //
 //	distill -family -o porter porter0.trace porter1.trace porter2.trace
+//
+// Follow mode tails a collected trace that is still being written and
+// streams tuples to the output as their windows freeze, so the replay
+// trace can be consumed while collection runs (live collect→emulate):
+//
+//	distill -follow -i porter0.trace -o porter0.replay [-poll 200ms] [-idle-exit 30s]
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 
 	"tracemod/internal/core"
 	"tracemod/internal/distill"
+	"tracemod/internal/distill/stream"
 	"tracemod/internal/replay"
 	"tracemod/internal/tracefmt"
 )
@@ -35,6 +42,9 @@ func main() {
 	family := flag.Bool("family", false, "treat trailing args as a trace family; write envelope traces to <o>.{optimistic,typical,pessimistic}.replay")
 	strict := flag.Bool("strict", false, "refuse imperfect input instead of sanitizing it (implies strict parsing)")
 	salvage := flag.Bool("salvage", false, "parse damaged traces in salvage mode instead of aborting")
+	follow := flag.Bool("follow", false, "tail a growing collected trace, streaming tuples as windows freeze")
+	poll := flag.Duration("poll", 200*time.Millisecond, "follow mode: how often to re-check the input at the live edge")
+	idleExit := flag.Duration("idle-exit", 0, "follow mode: finish when the input stops growing for this long (0 = only on signal)")
 	flag.Parse()
 
 	if *strict && *salvage {
@@ -42,6 +52,27 @@ func main() {
 		os.Exit(1)
 	}
 	cfg := distill.Config{Window: *window, Step: *step, Strict: *strict}
+
+	if *follow {
+		if *family {
+			fmt.Fprintln(os.Stderr, "distill: -follow and -family are mutually exclusive")
+			os.Exit(1)
+		}
+		if *in == "" {
+			fmt.Fprintln(os.Stderr, "distill: -follow requires -i")
+			os.Exit(1)
+		}
+		path := *out
+		if path == "" {
+			path = strings.TrimSuffix(*in, ".trace") + ".replay"
+		}
+		scfg := stream.Config{Window: *window, Step: *step, Strict: *strict}
+		if err := runFollow(*in, path, scfg, *salvage, *poll, *idleExit); err != nil {
+			fmt.Fprintf(os.Stderr, "distill: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *family {
 		if err := runFamily(*out, flag.Args(), cfg, *salvage); err != nil {

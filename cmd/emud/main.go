@@ -25,6 +25,13 @@
 //	POST   /v1/sessions/{id}/stop[?drain=2s]
 //	DELETE /v1/sessions/{id}      stop and remove
 //	GET    /v1/sessions/{id}/flight  per-session flight-recorder span dump
+//	POST   /v1/streams?name=N     live-ingest a collected trace (chunked body,
+//	                              tracefmt framing); distilled incrementally,
+//	                              sessions can attach mid-upload via {"stream":N}
+//	GET    /v1/streams            list live-ingest streams
+//	GET    /v1/streams/{name}     inspect one stream (state, lag, tuples)
+//	DELETE /v1/streams/{name}     abort/remove a stream (attached sessions keep
+//	                              their trace)
 //	GET    /v1/farm               farm-wide summary
 //	GET    /v1/slo                SLO evaluation (objectives + worst sessions)
 //	GET    /v1/health             readiness score (503 when a critical SLO fails)
@@ -41,6 +48,14 @@
 // dumped via the control plane and on panic quarantine. The control plane
 // honors and emits W3C `traceparent` headers, so external callers can
 // stitch daemon spans into their own traces.
+//
+// Live ingest closes the paper's collect→distill→emulate loop without an
+// intermediate file: POST a collected trace to /v1/streams as it is being
+// captured and the daemon distills it on the fly (window by window), so a
+// session created with {"stream": "name"} starts modulating against the
+// growing replay trace before the upload finishes. Distillation lag is
+// bounded by the freeze rule and observable as the stream-distill-lag-p99
+// objective on /v1/slo.
 //
 // With -snapshot the daemon periodically writes a crash-recovery file of
 // every live session's spec and replay cursor; after a crash, restarting

@@ -5,17 +5,23 @@
 // non-cascading correction when a solution goes negative, smoothing
 // estimates with a sliding window, and estimating loss from the sequence
 // numbers of ECHOREPLY packets around each window.
+//
+// The solver itself lives in distill/stream as an incremental,
+// record-at-a-time state machine; Distill is a thin wrapper that feeds
+// the whole trace through that streaming core and closes it. Batch and
+// streaming output are therefore identical by construction — there is
+// only one code path — which is the regression gate the streaming
+// pipeline is held to.
 package distill
 
 import (
-	"errors"
 	"fmt"
 	"strings"
 	"time"
 
 	"tracemod/internal/core"
+	"tracemod/internal/distill/stream"
 	"tracemod/internal/obs"
-	"tracemod/internal/packet"
 	"tracemod/internal/replay"
 	"tracemod/internal/tracefmt"
 )
@@ -47,15 +53,7 @@ func DefaultConfig() Config {
 }
 
 // Estimate is one instantaneous parameter estimate derived from a triplet.
-type Estimate struct {
-	// At is the triplet's position in the trace (stage-1 send time).
-	At time.Duration
-	// Params are the solved (or corrected) delay parameters.
-	Params core.DelayParams
-	// Corrected reports whether the paper's negative-value fallback was
-	// applied instead of a raw solution.
-	Corrected bool
-}
+type Estimate = stream.Estimate
 
 // Result carries the replay trace plus diagnostics used by the figure
 // harness and tests.
@@ -82,22 +80,16 @@ type Result struct {
 	Tuples    replay.SanitizeReport
 }
 
-// Errors returned by Distill.
+// Errors returned by Distill. They are the streaming core's errors, so
+// errors.Is works across both APIs.
 var (
-	ErrNoWorkload  = errors.New("distill: trace contains no ping-workload triplets")
-	ErrNoEstimates = errors.New("distill: no usable delay estimates in trace")
-	ErrDirtyTrace  = errors.New("distill: trace fails validation")
+	ErrNoWorkload  = stream.ErrNoWorkload
+	ErrNoEstimates = stream.ErrNoEstimates
+	ErrDirtyTrace  = stream.ErrDirtyTrace
 )
 
-// echoOut is one outbound ECHO observation.
-type echoOut struct {
-	at   time.Duration
-	seq  uint16
-	size int
-	rtt  time.Duration // filled when its reply is seen; 0 = lost
-}
-
-// Distill converts a collected trace into a replay trace.
+// Distill converts a collected trace into a replay trace by running it
+// through the streaming core in one sitting.
 func Distill(tr *tracefmt.Trace, cfg Config) (*Result, error) {
 	if cfg.Window <= 0 {
 		cfg.Window = 5 * time.Second
@@ -106,45 +98,44 @@ func Distill(tr *tracefmt.Trace, cfg Config) (*Result, error) {
 		cfg.Step = time.Second
 	}
 
-	clean, crep := SanitizeCollected(tr, cfg.Sanitize)
-	if cfg.Strict && !crep.Clean() {
-		problems := ValidateCollected(tr, cfg.Sanitize)
-		return nil, fmt.Errorf("%w: %s", ErrDirtyTrace, strings.Join(problems, "; "))
-	}
-	tr = clean
-
-	outs, bySeq := extractEchoes(tr)
-	if len(outs) == 0 {
-		return nil, ErrNoWorkload
-	}
-	matchReplies(tr, bySeq)
-
-	res := &Result{Collected: crep}
-	res.EchoesSent = len(outs)
-	for _, o := range outs {
-		if o.rtt > 0 {
-			res.RepliesSeen++
+	if cfg.Strict {
+		if problems := ValidateCollected(tr, cfg.Sanitize); len(problems) > 0 {
+			return nil, fmt.Errorf("%w: %s", ErrDirtyTrace, strings.Join(problems, "; "))
 		}
 	}
 
-	sSmall, sLarge := probeSizes(outs)
-	res.solveTriplets(outs, sSmall, sLarge)
-	if len(res.Estimates) == 0 {
-		return nil, ErrNoEstimates
+	d := stream.New(stream.Config{
+		Window:        cfg.Window,
+		Step:          cfg.Step,
+		Sanitize:      cfg.Sanitize,
+		KeepEstimates: true,
+	})
+	for _, p := range tr.Packets {
+		if err := d.Packet(p); err != nil {
+			return nil, err
+		}
 	}
-
-	res.window(outs, tr, cfg)
-
-	// Belt and braces on the way out: whatever the solver and the window
-	// produced, the replay trace handed to modulation must be physically
-	// meaningful.
-	sane, srep, err := replay.Sanitize(res.Replay)
+	for _, dev := range tr.Devices {
+		if err := d.Device(dev); err != nil {
+			return nil, err
+		}
+	}
+	sum, err := d.Close()
 	if err != nil {
-		return nil, ErrNoEstimates
+		return nil, err
 	}
-	res.Replay = sane
-	res.Tuples = srep
 
+	res := &Result{
+		Replay:           sum.Replay,
+		Estimates:        sum.Estimates,
+		TripletsTotal:    sum.TripletsTotal,
+		TripletsComplete: sum.TripletsComplete,
+		Corrections:      sum.Corrections,
+		EchoesSent:       sum.EchoesSent,
+		RepliesSeen:      sum.RepliesSeen,
+		Collected:        sum.Collected,
+		Tuples:           sum.Tuples,
+	}
 	res.report(cfg.Obs)
 	return res, nil
 }
@@ -168,149 +159,6 @@ func (res *Result) report(reg *obs.Registry) {
 	reg.Counter("tracemod_distill_input_dropped_total", "Collected records removed by input sanitization.").Add(int64(res.Collected.PacketsDropped + res.Collected.DevicesDropped))
 	reg.Counter("tracemod_distill_input_clamped_total", "Collected records repaired by input sanitization.").Add(int64(res.Collected.PacketsClamped + res.Collected.DevicesClamped))
 	reg.Counter("tracemod_distill_rtts_cleared_total", "Implausible round-trip times reset to the sentinel.").Add(int64(res.Collected.RTTsCleared))
-}
-
-// extractEchoes pulls outbound ECHO records, indexed by sequence number.
-func extractEchoes(tr *tracefmt.Trace) ([]*echoOut, map[uint16]*echoOut) {
-	var outs []*echoOut
-	bySeq := map[uint16]*echoOut{}
-	start := traceStart(tr)
-	for _, p := range tr.Packets {
-		if p.Dir == tracefmt.DirOut && p.Protocol == packet.ProtoICMP && p.ICMPType == packet.ICMPEcho {
-			o := &echoOut{at: time.Duration(p.At - start), seq: p.Seq, size: int(p.Size)}
-			outs = append(outs, o)
-			bySeq[p.Seq] = o
-		}
-	}
-	return outs, bySeq
-}
-
-// matchReplies attaches round-trip times from inbound ECHOREPLY records.
-func matchReplies(tr *tracefmt.Trace, bySeq map[uint16]*echoOut) {
-	for _, p := range tr.Packets {
-		if p.Dir == tracefmt.DirIn && p.Protocol == packet.ProtoICMP && p.ICMPType == packet.ICMPEchoReply && p.RTT > 0 {
-			if o, ok := bySeq[p.Seq]; ok {
-				o.rtt = time.Duration(p.RTT)
-			}
-		}
-	}
-}
-
-func traceStart(tr *tracefmt.Trace) int64 {
-	if len(tr.Packets) > 0 {
-		return tr.Packets[0].At
-	}
-	return tr.Header.Start
-}
-
-// probeSizes identifies the workload's two packet sizes: the smallest
-// distinct outbound echo size is s1, the largest s2.
-func probeSizes(outs []*echoOut) (int, int) {
-	small, large := outs[0].size, outs[0].size
-	for _, o := range outs {
-		if o.size < small {
-			small = o.size
-		}
-		if o.size > large {
-			large = o.size
-		}
-	}
-	return small, large
-}
-
-// solveTriplets walks outbound echoes, identifies small/large/large probe
-// groups with consecutive sequence numbers, and solves (or corrects) each
-// complete group into an Estimate. Corrections always base on the last
-// *raw* solution so a bad patch never cascades.
-func (res *Result) solveTriplets(outs []*echoOut, sSmall, sLarge int) {
-	var lastRaw *core.DelayParams
-	for i := 0; i+2 < len(outs); i++ {
-		a, b, c := outs[i], outs[i+1], outs[i+2]
-		if a.size != sSmall || b.size != sLarge || c.size != sLarge {
-			continue
-		}
-		if b.seq != a.seq+1 || c.seq != b.seq+1 {
-			continue
-		}
-		res.TripletsTotal++
-		if a.rtt <= 0 || b.rtt <= 0 || c.rtt <= 0 {
-			continue // a lost reply: contributes to loss, not to delay
-		}
-		res.TripletsComplete++
-		obs := core.TripletObs{T1: a.rtt, T2: b.rtt, T3: c.rtt, S1: sSmall, S2: sLarge}
-		params, err := core.SolveTriplet(obs)
-		switch {
-		case err == nil:
-			p := params
-			lastRaw = &p
-			res.Estimates = append(res.Estimates, Estimate{At: a.at, Params: params})
-		case errors.Is(err, core.ErrNegativeParams) && lastRaw != nil:
-			corrected := core.CorrectTriplet(*lastRaw, obs)
-			res.Corrections++
-			res.Estimates = append(res.Estimates, Estimate{At: a.at, Params: corrected, Corrected: true})
-		default:
-			// Unsolvable with no prior context: drop the group.
-		}
-	}
-}
-
-// window reduces estimates to one tuple per step using a centered window,
-// pairing each with a loss estimate from the sequence numbers of echoes
-// sent in (and replies received for) the same window.
-func (res *Result) window(outs []*echoOut, tr *tracefmt.Trace, cfg Config) {
-	span := time.Duration(0)
-	if len(outs) > 0 {
-		span = outs[len(outs)-1].at
-	}
-	if d := tr.Duration(); d > span {
-		span = d
-	}
-	half := cfg.Window / 2
-
-	var last core.DelayParams
-	haveLast := false
-	for t := time.Duration(0); t <= span; t += cfg.Step {
-		lo, hi := t-half, t+half
-		var fSum, vbSum, vrSum float64
-		n := 0
-		for _, e := range res.Estimates {
-			if e.At >= lo && e.At < hi {
-				fSum += float64(e.Params.F)
-				vbSum += float64(e.Params.Vb)
-				vrSum += float64(e.Params.Vr)
-				n++
-			}
-		}
-		var params core.DelayParams
-		switch {
-		case n > 0:
-			params = core.DelayParams{
-				F:  time.Duration(fSum / float64(n)),
-				Vb: core.PerByte(vbSum / float64(n)),
-				Vr: core.PerByte(vrSum / float64(n)),
-			}
-			last = params
-			haveLast = true
-		case haveLast:
-			params = last // quiet window: hold previous conditions
-		default:
-			params = res.Estimates[0].Params // leading gap: use first estimate
-		}
-
-		// Loss over this window: echoes sent within it vs. how many of
-		// those were answered (sequence-number bookkeeping, Eqs. 9-10).
-		sent, answered := 0, 0
-		for _, o := range outs {
-			if o.at >= lo && o.at < hi {
-				sent++
-				if o.rtt > 0 {
-					answered++
-				}
-			}
-		}
-		loss := core.EstimateLoss(sent, answered)
-		res.Replay = append(res.Replay, core.Tuple{D: cfg.Step, DelayParams: params, L: loss})
-	}
 }
 
 // Describe summarizes the result for logs and tools.

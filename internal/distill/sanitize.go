@@ -4,97 +4,26 @@
 // backwards or eons forwards, zero-size packets, NaN signal readings.
 // SanitizeCollected repairs what is repairable and drops the rest, so the
 // solver and the windowing loop only ever see physically plausible input.
+//
+// The per-record judgment lives in distill/stream as a pair of gates
+// (the same gates the streaming distiller runs online); this file keeps
+// the whole-trace conveniences built on them.
 package distill
 
 import (
 	"fmt"
-	"math"
 	"time"
 
+	"tracemod/internal/distill/stream"
 	"tracemod/internal/tracefmt"
 )
 
-// SanitizeOptions bound what the sanitizer tolerates.
-type SanitizeOptions struct {
-	// ClockSkew is how far a timestamp may run backwards and still be
-	// treated as clock skew (clamped to its predecessor) rather than
-	// corruption (dropped). Default 50ms.
-	ClockSkew time.Duration
-	// MaxGap is the largest forward jump between consecutive records
-	// before the later record is judged corrupt and dropped — without
-	// this bound, a single damaged timestamp near 2^62 would make the
-	// windowing loop walk half an eternity of empty steps. Default 1h.
-	MaxGap time.Duration
-	// MaxRTT bounds a believable round-trip time; larger values are
-	// cleared to the "no RTT" sentinel. Default 5m.
-	MaxRTT time.Duration
-}
-
-func (o SanitizeOptions) withDefaults() SanitizeOptions {
-	if o.ClockSkew <= 0 {
-		o.ClockSkew = 50 * time.Millisecond
-	}
-	if o.MaxGap <= 0 {
-		o.MaxGap = time.Hour
-	}
-	if o.MaxRTT <= 0 {
-		o.MaxRTT = 5 * time.Minute
-	}
-	return o
-}
+// SanitizeOptions bound what the sanitizer tolerates; see the streaming
+// package for the field documentation and defaults.
+type SanitizeOptions = stream.SanitizeOptions
 
 // CollectedReport accounts for a sanitizing pass over a collected trace.
-type CollectedReport struct {
-	PacketsKept    int
-	PacketsClamped int
-	PacketsDropped int
-	DevicesKept    int
-	DevicesClamped int
-	DevicesDropped int
-	// RTTsCleared counts packets whose reported round-trip time was
-	// implausible and was reset to the -1 sentinel (the packet itself
-	// survives; it simply no longer contributes a delay sample).
-	RTTsCleared int
-}
-
-// Clean reports whether sanitization changed nothing.
-func (r CollectedReport) Clean() bool {
-	return r.PacketsClamped == 0 && r.PacketsDropped == 0 &&
-		r.DevicesClamped == 0 && r.DevicesDropped == 0 && r.RTTsCleared == 0
-}
-
-func (r CollectedReport) String() string {
-	if r.Clean() {
-		return fmt.Sprintf("clean: %d packets, %d device records", r.PacketsKept, r.DevicesKept)
-	}
-	return fmt.Sprintf("sanitized: %d/%d packets kept (%d clamped, %d rtts cleared), %d/%d device records kept (%d clamped)",
-		r.PacketsKept, r.PacketsKept+r.PacketsDropped, r.PacketsClamped, r.RTTsCleared,
-		r.DevicesKept, r.DevicesKept+r.DevicesDropped, r.DevicesClamped)
-}
-
-func finite32(f float32) bool {
-	f64 := float64(f)
-	return !math.IsNaN(f64) && !math.IsInf(f64, 0)
-}
-
-// monotonic decides what to do with a record timestamped at, given the
-// previous kept record's timestamp. It returns the (possibly clamped)
-// timestamp, whether the record survives, and whether it was clamped.
-func monotonic(at, prev int64, first bool, opts SanitizeOptions) (int64, bool, bool) {
-	if first {
-		return at, true, false
-	}
-	if at < prev {
-		if prev-at <= int64(opts.ClockSkew) {
-			return prev, true, true // clock skew: pin to the predecessor
-		}
-		return at, false, false // a genuine jump into the past: corrupt
-	}
-	if at-prev > int64(opts.MaxGap) {
-		return at, false, false // a jump past any believable gap: corrupt
-	}
-	return at, true, false
-}
+type CollectedReport = stream.CollectedReport
 
 // SanitizeCollected returns a copy of tr with implausible records
 // repaired or removed: zero-size or bad-direction packets dropped,
@@ -103,56 +32,41 @@ func monotonic(at, prev int64, first bool, opts SanitizeOptions) (int64, bool, b
 // sentinel, and device readings with NaN/Inf fields dropped. The input
 // is never modified.
 func SanitizeCollected(tr *tracefmt.Trace, opts SanitizeOptions) (*tracefmt.Trace, CollectedReport) {
-	opts = opts.withDefaults()
 	out := &tracefmt.Trace{
 		Header: tr.Header,
 		Lost:   append([]tracefmt.LostRecord(nil), tr.Lost...),
 	}
 	var rep CollectedReport
 
-	var prev int64
-	first := true
+	pg := stream.NewPacketGate(opts)
 	for _, p := range tr.Packets {
-		if p.Size == 0 || p.Dir > 1 {
+		kept, v := pg.Admit(p)
+		if !v.Keep {
 			rep.PacketsDropped++
 			continue
 		}
-		at, keep, clamped := monotonic(p.At, prev, first, opts)
-		if !keep {
-			rep.PacketsDropped++
-			continue
-		}
-		p.At = at
-		if p.RTT < -1 || p.RTT > int64(opts.MaxRTT) {
-			p.RTT = -1
+		if v.RTTCleared {
 			rep.RTTsCleared++
 		}
-		if clamped {
+		if v.Clamped {
 			rep.PacketsClamped++
 		}
-		prev, first = p.At, false
 		rep.PacketsKept++
-		out.Packets = append(out.Packets, p)
+		out.Packets = append(out.Packets, kept)
 	}
 
-	prev, first = 0, true
+	dg := stream.NewDeviceGate(opts)
 	for _, d := range tr.Devices {
-		if !finite32(d.Signal) || !finite32(d.Quality) || !finite32(d.Silence) {
+		kept, v := dg.Admit(d)
+		if !v.Keep {
 			rep.DevicesDropped++
 			continue
 		}
-		at, keep, clamped := monotonic(d.At, prev, first, opts)
-		if !keep {
-			rep.DevicesDropped++
-			continue
-		}
-		d.At = at
-		if clamped {
+		if v.Clamped {
 			rep.DevicesClamped++
 		}
-		prev, first = d.At, false
 		rep.DevicesKept++
-		out.Devices = append(out.Devices, d)
+		out.Devices = append(out.Devices, kept)
 	}
 	return out, rep
 }
@@ -166,7 +80,7 @@ const maxProblems = 20
 // would act on, capped at maxProblems entries. An empty slice means the
 // trace is pristine.
 func ValidateCollected(tr *tracefmt.Trace, opts SanitizeOptions) []string {
-	opts = opts.withDefaults()
+	opts = opts.WithDefaults()
 	var problems []string
 	add := func(format string, args ...any) bool {
 		if len(problems) >= maxProblems {
@@ -191,7 +105,7 @@ func ValidateCollected(tr *tracefmt.Trace, opts SanitizeOptions) []string {
 			}
 			continue
 		}
-		at, keep, clamped := monotonic(p.At, prev, first, opts)
+		at, keep, clamped := stream.Monotonic(p.At, prev, first, opts)
 		if !keep {
 			if p.At < prev {
 				if !add("packet %d: timestamp runs backwards by %v (beyond clock-skew tolerance %v)", i, time.Duration(prev-p.At), opts.ClockSkew) {
@@ -217,13 +131,13 @@ func ValidateCollected(tr *tracefmt.Trace, opts SanitizeOptions) []string {
 
 	prev, first = 0, true
 	for i, d := range tr.Devices {
-		if !finite32(d.Signal) || !finite32(d.Quality) || !finite32(d.Silence) {
+		if !stream.Finite32(d.Signal) || !stream.Finite32(d.Quality) || !stream.Finite32(d.Silence) {
 			if !add("device record %d: non-finite reading", i) {
 				return problems
 			}
 			continue
 		}
-		at, keep, clamped := monotonic(d.At, prev, first, opts)
+		at, keep, clamped := stream.Monotonic(d.At, prev, first, opts)
 		if !keep {
 			if !add("device record %d: non-monotonic timestamp", i) {
 				return problems

@@ -1,0 +1,131 @@
+package stream_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"tracemod/internal/core"
+	"tracemod/internal/distill"
+	"tracemod/internal/distill/stream"
+	"tracemod/internal/replay"
+	"tracemod/internal/tracefmt"
+)
+
+// FuzzStreamDistill holds the streaming distiller to the PR's central
+// contract on arbitrary input: raw bytes pushed through the salvaging
+// StreamReader into a Distiller — in whatever chunking the seed picks —
+// must yield exactly the replay trace (byte-identical serialization)
+// and the same diagnostics as salvage-parsing the bytes whole and
+// running the batch distiller, or fail with the same error.
+func FuzzStreamDistill(f *testing.F) {
+	clean := synthTrace(12, constParams, func(uint16) bool { return false })
+	var buf bytes.Buffer
+	if err := tracefmt.WriteAll(&buf, clean); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes(), uint8(1))
+	f.Add(buf.Bytes()[:buf.Len()*2/3], uint8(9))
+	var crc bytes.Buffer
+	if err := tracefmt.WriteAllOptions(&crc, clean, tracefmt.WriterOptions{CRC: true}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(crc.Bytes(), uint8(4))
+	for _, name := range []string{"bitflip.trace", "truncated.trace", "unknown_flood.trace"} {
+		if data, err := os.ReadFile(filepath.Join("..", "..", "tracefmt", "testdata", name)); err == nil {
+			f.Add(data, uint8(3))
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte, chunkSeed uint8) {
+		if len(data) > 64<<10 {
+			t.Skip("bounding fuzz input size")
+		}
+		// Tight gap bound, as in FuzzDistill: 64KB of records can spell
+		// out thousands of near-MaxGap jumps, and the windowing loop
+		// walks the whole span in 1s steps.
+		san := stream.SanitizeOptions{MaxGap: 10 * time.Second}
+
+		tr, _, salvageErr := tracefmt.SalvageAll(bytes.NewReader(data))
+		var batch *distill.Result
+		var batchErr error
+		if salvageErr == nil {
+			cfg := distill.DefaultConfig()
+			cfg.Sanitize = san
+			batch, batchErr = distill.Distill(tr, cfg)
+		}
+
+		var live core.Trace
+		d := stream.New(stream.Config{
+			Sanitize: san,
+			OnTuple:  func(tu core.Tuple) { live = append(live, tu) },
+		})
+		r := tracefmt.NewStreamReader(tracefmt.StreamOptions{Salvage: true})
+		chunk := int(chunkSeed%32) + 1
+		feed := func(recs []any) {
+			for _, rec := range recs {
+				if err := d.Ingest(rec); err != nil {
+					t.Fatalf("Ingest: %v", err)
+				}
+			}
+		}
+		for off := 0; off < len(data); off += chunk {
+			end := off + chunk
+			if end > len(data) {
+				end = len(data)
+			}
+			if err := r.Feed(data[off:end]); err != nil {
+				t.Fatalf("Feed: %v", err)
+			}
+			recs, err := r.ReadAvailable()
+			if err != nil {
+				if salvageErr == nil {
+					t.Fatalf("stream read failed (%v) where batch salvage succeeded", err)
+				}
+				return
+			}
+			feed(recs)
+		}
+		recs, _, err := r.Finish()
+		if (err != nil) != (salvageErr != nil) {
+			t.Fatalf("stream finish err=%v, salvage err=%v", err, salvageErr)
+		}
+		if salvageErr != nil {
+			return
+		}
+		feed(recs)
+		sum, err := d.Close()
+		if (err != nil) != (batchErr != nil) {
+			t.Fatalf("stream close err=%v, batch err=%v", err, batchErr)
+		}
+		if batchErr != nil {
+			if !errors.Is(err, batchErr) {
+				t.Fatalf("stream err=%v, batch err=%v", err, batchErr)
+			}
+			return
+		}
+		var wantBuf, gotBuf, liveBuf bytes.Buffer
+		if err := replay.Write(&wantBuf, batch.Replay); err != nil {
+			t.Fatal(err)
+		}
+		if err := replay.Write(&gotBuf, sum.Replay); err != nil {
+			t.Fatal(err)
+		}
+		if err := replay.Write(&liveBuf, live); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotBuf.Bytes(), wantBuf.Bytes()) || !bytes.Equal(liveBuf.Bytes(), wantBuf.Bytes()) {
+			t.Fatalf("replay bytes diverge at chunk=%d", chunk)
+		}
+		if sum.Collected != batch.Collected || sum.Tuples != batch.Tuples ||
+			sum.TripletsTotal != batch.TripletsTotal || sum.Corrections != batch.Corrections {
+			t.Fatalf("diagnostics diverge:\nstream %+v\nbatch  %+v", sum, batch)
+		}
+		if err := sum.Replay.Validate(); err != nil {
+			t.Fatalf("streamed replay trace invalid: %v", err)
+		}
+	})
+}

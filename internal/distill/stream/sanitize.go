@@ -1,0 +1,186 @@
+// Online collected-trace sanitization: the record-at-a-time form of the
+// batch sanitizer in package distill. A gate holds the per-chain state
+// (the previous kept timestamp) and judges each record as it arrives, so
+// a live stream can be scrubbed with exactly the decisions the batch
+// pass would have made — the batch sanitizer is now a loop over these
+// gates, which is what makes batch and streaming output identical by
+// construction.
+package stream
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"tracemod/internal/tracefmt"
+)
+
+// SanitizeOptions bound what the sanitizer tolerates.
+type SanitizeOptions struct {
+	// ClockSkew is how far a timestamp may run backwards and still be
+	// treated as clock skew (clamped to its predecessor) rather than
+	// corruption (dropped). Default 50ms.
+	ClockSkew time.Duration
+	// MaxGap is the largest forward jump between consecutive records
+	// before the later record is judged corrupt and dropped — without
+	// this bound, a single damaged timestamp near 2^62 would make the
+	// windowing loop walk half an eternity of empty steps. Default 1h.
+	MaxGap time.Duration
+	// MaxRTT bounds a believable round-trip time; larger values are
+	// cleared to the "no RTT" sentinel. Default 5m.
+	MaxRTT time.Duration
+}
+
+// WithDefaults fills zero fields with the documented defaults.
+func (o SanitizeOptions) WithDefaults() SanitizeOptions {
+	if o.ClockSkew <= 0 {
+		o.ClockSkew = 50 * time.Millisecond
+	}
+	if o.MaxGap <= 0 {
+		o.MaxGap = time.Hour
+	}
+	if o.MaxRTT <= 0 {
+		o.MaxRTT = 5 * time.Minute
+	}
+	return o
+}
+
+// CollectedReport accounts for a sanitizing pass over a collected trace.
+type CollectedReport struct {
+	PacketsKept    int
+	PacketsClamped int
+	PacketsDropped int
+	DevicesKept    int
+	DevicesClamped int
+	DevicesDropped int
+	// RTTsCleared counts packets whose reported round-trip time was
+	// implausible and was reset to the -1 sentinel (the packet itself
+	// survives; it simply no longer contributes a delay sample).
+	RTTsCleared int
+}
+
+// Clean reports whether sanitization changed nothing.
+func (r CollectedReport) Clean() bool {
+	return r.PacketsClamped == 0 && r.PacketsDropped == 0 &&
+		r.DevicesClamped == 0 && r.DevicesDropped == 0 && r.RTTsCleared == 0
+}
+
+func (r CollectedReport) String() string {
+	if r.Clean() {
+		return fmt.Sprintf("clean: %d packets, %d device records", r.PacketsKept, r.DevicesKept)
+	}
+	return fmt.Sprintf("sanitized: %d/%d packets kept (%d clamped, %d rtts cleared), %d/%d device records kept (%d clamped)",
+		r.PacketsKept, r.PacketsKept+r.PacketsDropped, r.PacketsClamped, r.RTTsCleared,
+		r.DevicesKept, r.DevicesKept+r.DevicesDropped, r.DevicesClamped)
+}
+
+// Finite32 reports whether a device reading carries information (not
+// NaN/Inf).
+func Finite32(f float32) bool {
+	f64 := float64(f)
+	return !math.IsNaN(f64) && !math.IsInf(f64, 0)
+}
+
+// Monotonic decides what to do with a record timestamped at, given the
+// previous kept record's timestamp. It returns the (possibly clamped)
+// timestamp, whether the record survives, and whether it was clamped.
+// Callers pass defaulted options.
+func Monotonic(at, prev int64, first bool, opts SanitizeOptions) (int64, bool, bool) {
+	if first {
+		return at, true, false
+	}
+	if at < prev {
+		if prev-at <= int64(opts.ClockSkew) {
+			return prev, true, true // clock skew: pin to the predecessor
+		}
+		return at, false, false // a genuine jump into the past: corrupt
+	}
+	if at-prev > int64(opts.MaxGap) {
+		return at, false, false // a jump past any believable gap: corrupt
+	}
+	return at, true, false
+}
+
+// PacketVerdict is a PacketGate's judgment of one record.
+type PacketVerdict struct {
+	// Keep reports that the (possibly repaired) record survives.
+	Keep bool
+	// Clamped reports a backwards timestamp pinned to its predecessor.
+	Clamped bool
+	// RTTCleared reports an implausible round-trip time reset to -1.
+	RTTCleared bool
+}
+
+// Dirty reports whether the gate had to act at all.
+func (v PacketVerdict) Dirty() bool { return !v.Keep || v.Clamped || v.RTTCleared }
+
+// PacketGate sanitizes a stream of packet records one at a time,
+// maintaining the monotonic-timestamp chain across calls.
+type PacketGate struct {
+	opts  SanitizeOptions
+	prev  int64
+	first bool
+}
+
+// NewPacketGate creates a gate with defaulted options.
+func NewPacketGate(opts SanitizeOptions) *PacketGate {
+	return &PacketGate{opts: opts.WithDefaults(), first: true}
+}
+
+// Admit judges one packet record, returning the repaired record and the
+// verdict. The gate's chain advances only when the record is kept.
+func (g *PacketGate) Admit(p tracefmt.PacketRecord) (tracefmt.PacketRecord, PacketVerdict) {
+	var v PacketVerdict
+	if p.Size == 0 || p.Dir > 1 {
+		return p, v
+	}
+	at, keep, clamped := Monotonic(p.At, g.prev, g.first, g.opts)
+	if !keep {
+		return p, v
+	}
+	p.At = at
+	if p.RTT < -1 || p.RTT > int64(g.opts.MaxRTT) {
+		p.RTT = -1
+		v.RTTCleared = true
+	}
+	v.Keep, v.Clamped = true, clamped
+	g.prev, g.first = p.At, false
+	return p, v
+}
+
+// DeviceVerdict is a DeviceGate's judgment of one record.
+type DeviceVerdict struct {
+	Keep    bool
+	Clamped bool
+}
+
+// Dirty reports whether the gate had to act at all.
+func (v DeviceVerdict) Dirty() bool { return !v.Keep || v.Clamped }
+
+// DeviceGate sanitizes a stream of device-characteristic records.
+type DeviceGate struct {
+	opts  SanitizeOptions
+	prev  int64
+	first bool
+}
+
+// NewDeviceGate creates a gate with defaulted options.
+func NewDeviceGate(opts SanitizeOptions) *DeviceGate {
+	return &DeviceGate{opts: opts.WithDefaults(), first: true}
+}
+
+// Admit judges one device record.
+func (g *DeviceGate) Admit(d tracefmt.DeviceRecord) (tracefmt.DeviceRecord, DeviceVerdict) {
+	var v DeviceVerdict
+	if !Finite32(d.Signal) || !Finite32(d.Quality) || !Finite32(d.Silence) {
+		return d, v
+	}
+	at, keep, clamped := Monotonic(d.At, g.prev, g.first, g.opts)
+	if !keep {
+		return d, v
+	}
+	d.At = at
+	v.Keep, v.Clamped = true, clamped
+	g.prev, g.first = d.At, false
+	return d, v
+}

@@ -1,0 +1,605 @@
+// Package stream is the incremental heart of the distillation phase: a
+// windowed solver that consumes collected-trace records one at a time —
+// as a live collector produces them — and emits replay tuples with
+// bounded lag behind the newest record it has seen.
+//
+// The batch distiller (package distill) is a thin wrapper over this
+// core: it feeds the whole trace through the same per-record path and
+// closes. Every decision the Distiller makes — sanitizer gates, echo
+// extraction, reply matching, triplet solving, window averaging, tuple
+// sanitation — is a deterministic function of the record sequence
+// alone, never of how that sequence was chunked in transit. Feeding a
+// trace byte-at-a-time, file-at-once, or anywhere in between therefore
+// produces identical output, which is the regression gate the batch
+// wrapper enforces.
+//
+// A window centered at t freezes — its tuple is emitted and nothing can
+// change it — once the packet watermark (the timestamp of the newest
+// kept packet) reaches t + Window/2 + Settle. The settle margin is how
+// long the distiller waits for stragglers: replies whose round trips
+// land after the window's own edge. Emission lag behind the live edge
+// is therefore bounded by Window/2 + Settle + Step once estimates flow.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"tracemod/internal/core"
+	"tracemod/internal/obs"
+	"tracemod/internal/packet"
+	"tracemod/internal/replay"
+	"tracemod/internal/tracefmt"
+)
+
+// Errors from the streaming distiller. The distill package re-exports
+// the first three, so errors.Is works across both APIs.
+var (
+	ErrNoWorkload  = errors.New("distill: trace contains no ping-workload triplets")
+	ErrNoEstimates = errors.New("distill: no usable delay estimates in trace")
+	ErrDirtyTrace  = errors.New("distill: trace fails validation")
+	ErrClosed      = errors.New("distill/stream: distiller is closed")
+)
+
+// Config parameterizes a Distiller.
+type Config struct {
+	// Window is the averaging width; the paper chooses five seconds to
+	// balance discounting outliers against reactivity. Default 5s.
+	Window time.Duration
+	// Step is the tuple emission period (and each tuple's duration).
+	// Default 1s.
+	Step time.Duration
+	// Settle is how far the packet watermark must run past a window's
+	// trailing edge before the window freezes — the grace period for
+	// replies still in flight. Default: Window.
+	Settle time.Duration
+	// Sanitize bounds the input gates; the zero value uses the defaults
+	// documented on SanitizeOptions.
+	Sanitize SanitizeOptions
+	// Strict refuses imperfect input: the first record the sanitizer
+	// would repair or drop makes every subsequent call return
+	// ErrDirtyTrace.
+	Strict bool
+	// KeepEstimates retains every instantaneous estimate for the final
+	// Summary. Off, the estimate buffer is pruned to the active window
+	// and Summary.Estimates stays nil — the bounded-memory mode a
+	// long-lived live stream wants.
+	KeepEstimates bool
+	// OnTuple, if non-nil, is called synchronously with each tuple the
+	// moment its window freezes — the live path into a growing replay
+	// trace.
+	OnTuple func(core.Tuple)
+	// Metrics, if non-nil, accumulates streaming telemetry on the
+	// registry (names under tracemod_stream_*).
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 5 * time.Second
+	}
+	if c.Step <= 0 {
+		c.Step = time.Second
+	}
+	if c.Settle <= 0 {
+		c.Settle = c.Window
+	}
+	c.Sanitize = c.Sanitize.WithDefaults()
+	return c
+}
+
+// Estimate is one instantaneous parameter estimate derived from a
+// triplet.
+type Estimate struct {
+	// At is the triplet's position in the trace (stage-1 send time).
+	At time.Duration
+	// Params are the solved (or corrected) delay parameters.
+	Params core.DelayParams
+	// Corrected reports whether the paper's negative-value fallback was
+	// applied instead of a raw solution.
+	Corrected bool
+}
+
+// Summary is the result of a completed stream, mirroring the batch
+// distiller's diagnostics.
+type Summary struct {
+	// Replay is the accumulated replay trace (every tuple also handed
+	// to OnTuple, in order).
+	Replay core.Trace
+	// Estimates holds every instantaneous estimate when
+	// Config.KeepEstimates is set, nil otherwise.
+	Estimates []Estimate
+
+	TripletsTotal    int
+	TripletsComplete int
+	Corrections      int
+	EchoesSent       int
+	RepliesSeen      int
+
+	Collected CollectedReport
+	Tuples    replay.SanitizeReport
+}
+
+// echoOut is one outbound ECHO observation.
+type echoOut struct {
+	at   time.Duration
+	seq  uint16
+	size int
+	rtt  time.Duration // filled when its reply is seen; 0 = lost
+}
+
+// lagBounds spans sub-window lag (an aggressive small-window config)
+// through multi-minute stalls, with single-second resolution around the
+// default config's freeze bound (Window/2 + Settle + Step = 8.5s) so an
+// SLO quantile there resolves on the right side of its threshold.
+var lagBounds = []time.Duration{
+	100 * time.Millisecond, 250 * time.Millisecond, 500 * time.Millisecond,
+	time.Second, 2 * time.Second, 5 * time.Second, 6 * time.Second,
+	7 * time.Second, 8 * time.Second, 9 * time.Second, 10 * time.Second,
+	15 * time.Second, 30 * time.Second, time.Minute, 5 * time.Minute,
+}
+
+// instruments is the tracemod_stream_* metric set.
+type instruments struct {
+	records *obs.Counter
+	windows *obs.Counter
+	lag     *obs.Histogram
+}
+
+func newInstruments(reg *obs.Registry) *instruments {
+	return &instruments{
+		records: reg.Counter("tracemod_stream_records_total", "Collected-trace records ingested by streaming distillers."),
+		windows: reg.Counter("tracemod_stream_windows_emitted_total", "Replay tuples emitted by streaming distillers."),
+		lag:     reg.Histogram("tracemod_stream_distill_lag", "Distillation lag: packet watermark minus emitted window center, at emission.", lagBounds),
+	}
+}
+
+// LagBounds exposes the lag histogram's bucket bounds (for SLO wiring).
+func LagBounds() []time.Duration { return append([]time.Duration(nil), lagBounds...) }
+
+// Distiller is the incremental solver. It is not safe for concurrent
+// use; callers owning a live stream serialize Ingest and Close.
+type Distiller struct {
+	cfg    Config
+	half   time.Duration
+	pktG   *PacketGate
+	devG   *DeviceGate
+	rep    CollectedReport
+	strict error // sticky ErrDirtyTrace once Strict trips
+
+	// Timeline. start anchors trace time at the first kept packet; wm
+	// is the watermark — the offset of the newest kept packet.
+	start     int64
+	haveStart bool
+	wm        time.Duration
+
+	// Workload state. outs holds the not-yet-pruned suffix of the
+	// outbound-echo sequence; outsBase is the global index of outs[0].
+	outs      []*echoOut
+	outsBase  int
+	outsTotal int
+	lastOut   time.Duration
+	bySeq     map[uint16]*echoOut
+	sSmall    int
+	sLarge    int
+
+	// Triplet scan: the next global anchor index to examine, plus the
+	// non-cascading correction base.
+	scan    int
+	lastRaw *core.DelayParams
+
+	// Estimates: the pruned working set for window averaging, the
+	// first-ever params for the leading-gap rule, and (optionally) the
+	// full history.
+	ests     []Estimate
+	estCount int
+	first    core.DelayParams
+	all      []Estimate
+
+	// Windowing: center of the next window to freeze, plus the
+	// hold-last state.
+	nextT    time.Duration
+	last     core.DelayParams
+	haveLast bool
+
+	emitted core.Trace
+	srep    replay.SanitizeReport
+
+	tripletsTotal    int
+	tripletsComplete int
+	corrections      int
+	repliesSeen      int
+
+	ins    *instruments
+	closed bool
+}
+
+// New creates a streaming distiller.
+func New(cfg Config) *Distiller {
+	cfg = cfg.withDefaults()
+	d := &Distiller{
+		cfg:   cfg,
+		half:  cfg.Window / 2,
+		pktG:  NewPacketGate(cfg.Sanitize),
+		devG:  NewDeviceGate(cfg.Sanitize),
+		bySeq: map[uint16]*echoOut{},
+	}
+	if cfg.Metrics != nil {
+		d.ins = newInstruments(cfg.Metrics)
+	}
+	return d
+}
+
+// Ingest routes one decoded trace record (as returned by a tracefmt
+// reader) to the matching typed method. Unknown record values are
+// ignored, mirroring the format's skip-unknown stance.
+func (d *Distiller) Ingest(rec any) error {
+	switch v := rec.(type) {
+	case tracefmt.PacketRecord:
+		return d.Packet(v)
+	case tracefmt.DeviceRecord:
+		return d.Device(v)
+	case tracefmt.LostRecord:
+		return d.Lost(v)
+	default:
+		return nil
+	}
+}
+
+// dirty trips (or ignores, when not strict) a sanitizer action.
+func (d *Distiller) dirty(format string, args ...any) error {
+	if !d.cfg.Strict {
+		return nil
+	}
+	if d.strict == nil {
+		d.strict = fmt.Errorf("%w: %s", ErrDirtyTrace, fmt.Sprintf(format, args...))
+	}
+	return d.strict
+}
+
+// Packet ingests one packet record: it is gated, classified (outbound
+// echo / inbound reply), and advances the watermark — freezing and
+// emitting every window whose settle margin it satisfies.
+func (d *Distiller) Packet(p tracefmt.PacketRecord) error {
+	if d.closed {
+		return ErrClosed
+	}
+	if d.strict != nil {
+		return d.strict
+	}
+	if d.ins != nil {
+		d.ins.records.Inc()
+	}
+	p, v := d.pktG.Admit(p)
+	if !v.Keep {
+		d.rep.PacketsDropped++
+		return d.dirty("packet %d dropped by sanitizer", d.rep.PacketsKept+d.rep.PacketsDropped-1)
+	}
+	if v.Clamped {
+		d.rep.PacketsClamped++
+	}
+	if v.RTTCleared {
+		d.rep.RTTsCleared++
+	}
+	d.rep.PacketsKept++
+	if v.Dirty() {
+		if err := d.dirty("packet %d repaired by sanitizer", d.rep.PacketsKept-1); err != nil {
+			return err
+		}
+	}
+
+	if !d.haveStart {
+		d.start, d.haveStart = p.At, true
+	}
+	at := time.Duration(p.At - d.start)
+	if at > d.wm {
+		d.wm = at
+	}
+
+	switch {
+	case p.Dir == tracefmt.DirOut && p.Protocol == packet.ProtoICMP && p.ICMPType == packet.ICMPEcho:
+		o := &echoOut{at: at, seq: p.Seq, size: int(p.Size)}
+		if d.outsTotal == 0 {
+			d.sSmall, d.sLarge = o.size, o.size
+		} else {
+			if o.size < d.sSmall {
+				d.sSmall = o.size
+			}
+			if o.size > d.sLarge {
+				d.sLarge = o.size
+			}
+		}
+		d.outs = append(d.outs, o)
+		d.outsTotal++
+		d.lastOut = at
+		d.bySeq[p.Seq] = o
+	case p.Dir == tracefmt.DirIn && p.Protocol == packet.ProtoICMP && p.ICMPType == packet.ICMPEchoReply && p.RTT > 0:
+		if o, ok := d.bySeq[p.Seq]; ok {
+			if o.rtt <= 0 {
+				d.repliesSeen++
+			}
+			o.rtt = time.Duration(p.RTT)
+		}
+	}
+
+	d.pump(false)
+	return nil
+}
+
+// Device ingests one device-characteristics record. The solver does not
+// use device readings, but the sanitizer judges them (for the report
+// and for Strict) exactly as the batch pass does.
+func (d *Distiller) Device(rec tracefmt.DeviceRecord) error {
+	if d.closed {
+		return ErrClosed
+	}
+	if d.strict != nil {
+		return d.strict
+	}
+	if d.ins != nil {
+		d.ins.records.Inc()
+	}
+	_, v := d.devG.Admit(rec)
+	if !v.Keep {
+		d.rep.DevicesDropped++
+		return d.dirty("device record %d dropped by sanitizer", d.rep.DevicesKept+d.rep.DevicesDropped-1)
+	}
+	if v.Clamped {
+		d.rep.DevicesClamped++
+	}
+	d.rep.DevicesKept++
+	if v.Dirty() {
+		return d.dirty("device record %d repaired by sanitizer", d.rep.DevicesKept-1)
+	}
+	return nil
+}
+
+// Lost ingests a lost-records marker; it carries no solver information.
+func (d *Distiller) Lost(tracefmt.LostRecord) error {
+	if d.closed {
+		return ErrClosed
+	}
+	if d.strict != nil {
+		return d.strict
+	}
+	if d.ins != nil {
+		d.ins.records.Inc()
+	}
+	return nil
+}
+
+// out returns the echo at global index i.
+func (d *Distiller) out(i int) *echoOut { return d.outs[i-d.outsBase] }
+
+// span is the window loop's horizon: the last outbound echo or the last
+// packet of any kind, whichever is later (the batch distiller's span).
+func (d *Distiller) span() time.Duration {
+	if d.wm > d.lastOut {
+		return d.wm
+	}
+	return d.lastOut
+}
+
+// pump freezes and emits every window the watermark has settled past.
+// With final set (at Close) the settle margin is waived: whatever has
+// been seen is all there will ever be.
+func (d *Distiller) pump(final bool) {
+	if d.outsTotal == 0 {
+		return
+	}
+	for d.nextT <= d.span() {
+		t := d.nextT
+		if !final && d.wm < t+d.half+d.cfg.Settle {
+			return
+		}
+		d.advanceScan(t+d.half, final)
+		if d.estCount == 0 {
+			// No estimate exists yet, so the leading-gap rule has no
+			// parameters to hold. Stall: the windows emit in catch-up
+			// once the first triplet solves (or never — Close then
+			// reports ErrNoEstimates).
+			return
+		}
+		d.emitWindow(t)
+		d.nextT += d.cfg.Step
+		d.prune()
+	}
+}
+
+// advanceScan walks the triplet scan up to (not including) anchors at
+// or past limit, solving or correcting each complete small/large/large
+// consecutive-sequence group into an estimate. With final set the limit
+// is waived.
+func (d *Distiller) advanceScan(limit time.Duration, final bool) {
+	for d.scan+2 < d.outsTotal {
+		a := d.out(d.scan)
+		if !final && a.at >= limit {
+			return
+		}
+		b, c := d.out(d.scan+1), d.out(d.scan+2)
+		d.scan++
+		if a.size != d.sSmall || b.size != d.sLarge || c.size != d.sLarge {
+			continue
+		}
+		if b.seq != a.seq+1 || c.seq != b.seq+1 {
+			continue
+		}
+		d.tripletsTotal++
+		if a.rtt <= 0 || b.rtt <= 0 || c.rtt <= 0 {
+			continue // a lost reply: contributes to loss, not to delay
+		}
+		d.tripletsComplete++
+		tobs := core.TripletObs{T1: a.rtt, T2: b.rtt, T3: c.rtt, S1: d.sSmall, S2: d.sLarge}
+		params, err := core.SolveTriplet(tobs)
+		switch {
+		case err == nil:
+			p := params
+			d.lastRaw = &p
+			d.addEstimate(Estimate{At: a.at, Params: params})
+		case errors.Is(err, core.ErrNegativeParams) && d.lastRaw != nil:
+			corrected := core.CorrectTriplet(*d.lastRaw, tobs)
+			d.corrections++
+			d.addEstimate(Estimate{At: a.at, Params: corrected, Corrected: true})
+		default:
+			// Unsolvable with no prior context: drop the group.
+		}
+	}
+}
+
+func (d *Distiller) addEstimate(e Estimate) {
+	if d.estCount == 0 {
+		d.first = e.Params
+	}
+	d.estCount++
+	d.ests = append(d.ests, e)
+	if d.cfg.KeepEstimates {
+		d.all = append(d.all, e)
+	}
+}
+
+// emitWindow freezes the window centered at t: averages the estimates
+// inside it (holding the last average across quiet windows, and the
+// first-ever estimate across a leading gap), pairs the result with a
+// loss estimate from the echoes sent in the window, sanitizes, and
+// emits.
+func (d *Distiller) emitWindow(t time.Duration) {
+	lo, hi := t-d.half, t+d.half
+	var fSum, vbSum, vrSum float64
+	n := 0
+	for _, e := range d.ests {
+		if e.At >= lo && e.At < hi {
+			fSum += float64(e.Params.F)
+			vbSum += float64(e.Params.Vb)
+			vrSum += float64(e.Params.Vr)
+			n++
+		}
+	}
+	var params core.DelayParams
+	switch {
+	case n > 0:
+		params = core.DelayParams{
+			F:  time.Duration(fSum / float64(n)),
+			Vb: core.PerByte(vbSum / float64(n)),
+			Vr: core.PerByte(vrSum / float64(n)),
+		}
+		d.last = params
+		d.haveLast = true
+	case d.haveLast:
+		params = d.last // quiet window: hold previous conditions
+	default:
+		params = d.first // leading gap: use first estimate
+	}
+
+	// Loss over this window: echoes sent within it vs. how many of
+	// those were answered (sequence-number bookkeeping, Eqs. 9-10).
+	sent, answered := 0, 0
+	for _, o := range d.outs {
+		if o.at >= lo && o.at < hi {
+			sent++
+			if o.rtt > 0 {
+				answered++
+			}
+		}
+	}
+	loss := core.EstimateLoss(sent, answered)
+
+	tu := core.Tuple{D: d.cfg.Step, DelayParams: params, L: loss}
+	sane, rep, err := replay.Sanitize(core.Trace{tu})
+	d.srep.Kept += rep.Kept
+	d.srep.Clamped += rep.Clamped
+	d.srep.Dropped += rep.Dropped
+	if err != nil {
+		return // the tuple was unrepairable; the window emits nothing
+	}
+	tu = sane[0]
+	d.emitted = append(d.emitted, tu)
+	if d.ins != nil {
+		d.ins.windows.Inc()
+		lag := d.wm - t
+		if lag < 0 {
+			lag = 0
+		}
+		d.ins.lag.Observe(lag)
+	}
+	if d.cfg.OnTuple != nil {
+		d.cfg.OnTuple(tu)
+	}
+}
+
+// prune discards state no future window or scan step can touch: echoes
+// behind both the scan cursor and the next window's left edge, and
+// estimates behind that edge (unless KeepEstimates retains history in
+// d.all — the working set is pruned regardless, so pruning never
+// changes output).
+func (d *Distiller) prune() {
+	floor := d.nextT - d.half
+	drop := 0
+	for drop < len(d.outs) && d.outsBase+drop < d.scan && d.outs[drop].at < floor {
+		drop++
+	}
+	if drop > 0 {
+		d.outs = d.outs[drop:]
+		d.outsBase += drop
+	}
+	eDrop := 0
+	for eDrop < len(d.ests) && d.ests[eDrop].At < floor {
+		eDrop++
+	}
+	if eDrop > 0 {
+		d.ests = d.ests[eDrop:]
+	}
+}
+
+// Lag reports how far the packet watermark has run past the emitted
+// coverage (the end of the last frozen window). Zero before any packet
+// arrives; bounded by Window/2 + Settle + Step while estimates flow.
+func (d *Distiller) Lag() time.Duration {
+	lag := d.wm - d.nextT
+	if lag < 0 {
+		return 0
+	}
+	return lag
+}
+
+// Emitted reports how many tuples have frozen so far.
+func (d *Distiller) Emitted() int { return len(d.emitted) }
+
+// Watermark reports the offset of the newest kept packet.
+func (d *Distiller) Watermark() time.Duration { return d.wm }
+
+// Close flushes every remaining window (the settle margin is waived:
+// the stream has ended, nothing more is coming) and returns the
+// summary. The error mirrors the batch distiller: ErrDirtyTrace under
+// Strict, ErrNoWorkload with no echoes, ErrNoEstimates when no triplet
+// solved or no tuple survived sanitation.
+func (d *Distiller) Close() (*Summary, error) {
+	if d.closed {
+		return nil, ErrClosed
+	}
+	d.closed = true
+	if d.strict != nil {
+		return nil, d.strict
+	}
+	if d.outsTotal == 0 {
+		return nil, ErrNoWorkload
+	}
+	d.pump(true)
+	if d.estCount == 0 {
+		return nil, ErrNoEstimates
+	}
+	if len(d.emitted) == 0 {
+		return nil, ErrNoEstimates
+	}
+	return &Summary{
+		Replay:           d.emitted,
+		Estimates:        d.all,
+		TripletsTotal:    d.tripletsTotal,
+		TripletsComplete: d.tripletsComplete,
+		Corrections:      d.corrections,
+		EchoesSent:       d.outsTotal,
+		RepliesSeen:      d.repliesSeen,
+		Collected:        d.rep,
+		Tuples:           d.srep,
+	}, nil
+}

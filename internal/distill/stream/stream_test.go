@@ -1,0 +1,314 @@
+package stream_test
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"tracemod/internal/core"
+	"tracemod/internal/distill"
+	"tracemod/internal/distill/stream"
+	"tracemod/internal/obs"
+	"tracemod/internal/packet"
+	"tracemod/internal/replay"
+	"tracemod/internal/tracefmt"
+)
+
+const (
+	s1 = 60   // small probe wire size
+	s2 = 1028 // large probe wire size
+)
+
+// synthTrace builds a collected trace as the pinger+tracer would produce
+// over a channel with time-varying parameters (the distill package's
+// test fixture, reproduced here for the identity gate).
+func synthTrace(seconds int, paramsAt func(sec int) core.DelayParams, lost func(seq uint16) bool) *tracefmt.Trace {
+	tr := &tracefmt.Trace{Header: tracefmt.Header{Device: "wavelan0"}}
+	seq := uint16(0)
+	for sec := 0; sec < seconds; sec++ {
+		p := paramsAt(sec)
+		base := int64(sec) * int64(time.Second)
+		emit := func(size int, rtt time.Duration) {
+			seq++
+			tr.Packets = append(tr.Packets, tracefmt.PacketRecord{
+				At: base, Dir: tracefmt.DirOut, Size: uint16(size),
+				Protocol: packet.ProtoICMP, ICMPType: packet.ICMPEcho, ID: 1, Seq: seq, RTT: -1,
+			})
+			if !lost(seq) {
+				tr.Packets = append(tr.Packets, tracefmt.PacketRecord{
+					At: base + int64(rtt), Dir: tracefmt.DirIn, Size: uint16(size),
+					Protocol: packet.ProtoICMP, ICMPType: packet.ICMPEchoReply, ID: 1, Seq: seq, RTT: int64(rtt),
+				})
+			}
+		}
+		t1 := p.RoundTrip(s1)
+		t2 := p.RoundTrip(s2)
+		t3 := t2 + p.Vb.Cost(s2)
+		emit(s1, t1)
+		emit(s2, t2)
+		emit(s2, t3)
+	}
+	sort.SliceStable(tr.Packets, func(i, j int) bool { return tr.Packets[i].At < tr.Packets[j].At })
+	return tr
+}
+
+func constParams(int) core.DelayParams {
+	return core.DelayParams{F: 2 * time.Millisecond, Vb: 5000, Vr: 800}
+}
+
+func serialize(t testing.TB, tr *tracefmt.Trace, crc bool) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tracefmt.WriteAllOptions(&buf, tr, tracefmt.WriterOptions{CRC: crc}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func replayBytes(t testing.TB, tr core.Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := replay.Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// runPipeline pushes raw trace bytes through the full streaming path —
+// salvaging StreamReader into a Distiller — in fixed-size chunks, and
+// returns the accumulated replay trace.
+func runPipeline(t testing.TB, data []byte, chunk int, cfg stream.Config) (core.Trace, *stream.Summary, error) {
+	t.Helper()
+	var live core.Trace
+	cfg.OnTuple = func(tu core.Tuple) { live = append(live, tu) }
+	d := stream.New(cfg)
+	r := tracefmt.NewStreamReader(tracefmt.StreamOptions{Salvage: true})
+	for off := 0; off < len(data); off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		if err := r.Feed(data[off:end]); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := r.ReadAvailable()
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, rec := range recs {
+			if err := d.Ingest(rec); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	recs, _, err := r.Finish()
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, rec := range recs {
+		if err := d.Ingest(rec); err != nil {
+			return nil, nil, err
+		}
+	}
+	sum, err := d.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	return live, sum, nil
+}
+
+var identityChunks = []int{1, 2, 3, 5, 17, 64, 997, 1 << 20}
+
+// assertIdentity is the PR's regression gate: the batch distiller and
+// the streaming pipeline must produce byte-identical replay traces (or
+// the same failure) from the same raw bytes, at every chunk size.
+func assertIdentity(t *testing.T, name string, data []byte) {
+	t.Helper()
+	tr, _, err := tracefmt.SalvageAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("%s: unreadable fixture: %v", name, err)
+	}
+	batch, batchErr := distill.Distill(tr, distill.DefaultConfig())
+	var want []byte
+	if batchErr == nil {
+		want = replayBytes(t, batch.Replay)
+	}
+	for _, chunk := range identityChunks {
+		live, sum, err := runPipeline(t, data, chunk, stream.Config{})
+		if (err != nil) != (batchErr != nil) {
+			t.Fatalf("%s chunk=%d: stream err=%v, batch err=%v", name, chunk, err, batchErr)
+		}
+		if batchErr != nil {
+			if !errors.Is(err, batchErr) {
+				t.Fatalf("%s chunk=%d: stream err=%v, batch err=%v", name, chunk, err, batchErr)
+			}
+			continue
+		}
+		if got := replayBytes(t, sum.Replay); !bytes.Equal(got, want) {
+			t.Fatalf("%s chunk=%d: accumulated replay diverges from batch:\n got %d bytes\nwant %d bytes", name, chunk, len(got), len(want))
+		}
+		if got := replayBytes(t, live); !bytes.Equal(got, want) {
+			t.Fatalf("%s chunk=%d: OnTuple sequence diverges from batch", name, chunk)
+		}
+		if sum.TripletsTotal != batch.TripletsTotal || sum.TripletsComplete != batch.TripletsComplete ||
+			sum.Corrections != batch.Corrections || sum.EchoesSent != batch.EchoesSent ||
+			sum.RepliesSeen != batch.RepliesSeen || sum.Collected != batch.Collected || sum.Tuples != batch.Tuples {
+			t.Fatalf("%s chunk=%d: diagnostics diverge:\nstream %+v\nbatch  %+v", name, chunk, sum, batch)
+		}
+	}
+}
+
+func TestBatchStreamingIdentityOnFixtures(t *testing.T) {
+	for _, name := range []string{"bitflip.trace", "truncated.trace", "unknown_flood.trace"} {
+		data, err := os.ReadFile(filepath.Join("..", "..", "tracefmt", "testdata", name))
+		if err != nil {
+			t.Fatalf("fixture %s missing: %v", name, err)
+		}
+		assertIdentity(t, name, data)
+	}
+}
+
+func TestBatchStreamingIdentityOnSynthetic(t *testing.T) {
+	clean := synthTrace(45, constParams, func(uint16) bool { return false })
+	assertIdentity(t, "clean", serialize(t, clean, false))
+	assertIdentity(t, "clean+crc", serialize(t, clean, true))
+
+	lossy := synthTrace(45, func(sec int) core.DelayParams {
+		p := constParams(sec)
+		p.F += time.Duration(sec%7) * 100 * time.Microsecond
+		return p
+	}, func(seq uint16) bool { return seq%11 == 0 })
+	assertIdentity(t, "lossy", serialize(t, lossy, false))
+}
+
+// A trace with every class of sanitizer-visible damage: the gates must
+// judge the stream record-at-a-time exactly as the batch pass judges
+// the whole file.
+func TestBatchStreamingIdentityOnDirtyTrace(t *testing.T) {
+	tr := synthTrace(40, constParams, func(uint16) bool { return false })
+	// Clock skew within tolerance on one record.
+	tr.Packets[30].At -= int64(10 * time.Millisecond)
+	// A genuine jump into the past.
+	tr.Packets[50].At -= int64(20 * time.Second)
+	// A zero-size packet.
+	tr.Packets[60].Size = 0
+	// An implausible round-trip time.
+	tr.Packets[70].RTT = int64(20 * time.Minute)
+	// A forward jump past MaxGap would truncate the useful span; use a
+	// non-finite device reading instead.
+	tr.Devices = append(tr.Devices, tracefmt.DeviceRecord{At: 0, Signal: 1},
+		tracefmt.DeviceRecord{At: int64(time.Second), Signal: float32(math.NaN())})
+	assertIdentity(t, "dirty", serialize(t, tr, false))
+}
+
+// The live-path promise: tuples freeze while the stream is still
+// arriving, with lag bounded by Window/2 + Settle + Step.
+func TestIncrementalEmissionWithBoundedLag(t *testing.T) {
+	tr := synthTrace(60, constParams, func(uint16) bool { return false })
+	cfg := stream.Config{}
+	emitted := 0
+	firstAt := -1
+	cfg.OnTuple = func(core.Tuple) { emitted++ }
+	d := stream.New(cfg)
+	bound := 5*time.Second/2 + 5*time.Second + time.Second // half + settle + step
+	for i, p := range tr.Packets {
+		if err := d.Packet(p); err != nil {
+			t.Fatal(err)
+		}
+		if emitted > 0 {
+			if firstAt < 0 {
+				firstAt = i
+			}
+			if lag := d.Lag(); lag > bound {
+				t.Fatalf("record %d: lag %v exceeds bound %v", i, lag, bound)
+			}
+		}
+	}
+	if firstAt < 0 {
+		t.Fatal("no tuple froze during the feed")
+	}
+	if firstAt > len(tr.Packets)/4 {
+		t.Fatalf("first tuple froze only at record %d of %d; live emission is too lazy", firstAt, len(tr.Packets))
+	}
+	sum, err := d.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Replay) != emitted {
+		t.Fatalf("summary has %d tuples, OnTuple saw %d", len(sum.Replay), emitted)
+	}
+}
+
+func TestStrictStreamRefusesDirtyRecord(t *testing.T) {
+	tr := synthTrace(10, constParams, func(uint16) bool { return false })
+	// The three probe sends of one group share a timestamp; pulling the
+	// middle one back 10ms runs it behind its predecessor, within the
+	// clock-skew tolerance: clamped, hence dirty.
+	tr.Packets[13].At = tr.Packets[12].At - int64(10*time.Millisecond)
+	d := stream.New(stream.Config{Strict: true})
+	var firstErr error
+	for _, p := range tr.Packets {
+		if err := d.Packet(p); err != nil {
+			firstErr = err
+			break
+		}
+	}
+	if !errors.Is(firstErr, stream.ErrDirtyTrace) {
+		t.Fatalf("err=%v, want ErrDirtyTrace", firstErr)
+	}
+	// The error is sticky, including through Close.
+	if err := d.Packet(tr.Packets[0]); !errors.Is(err, stream.ErrDirtyTrace) {
+		t.Fatalf("post-trip Packet err=%v", err)
+	}
+	if _, err := d.Close(); !errors.Is(err, stream.ErrDirtyTrace) {
+		t.Fatalf("Close err=%v", err)
+	}
+}
+
+func TestStreamMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := synthTrace(30, constParams, func(uint16) bool { return false })
+	d := stream.New(stream.Config{Metrics: reg})
+	for _, p := range tr.Packets {
+		if err := d.Packet(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum, err := d.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("tracemod_stream_records_total", "").Load(); got != int64(len(tr.Packets)) {
+		t.Fatalf("records_total=%d, want %d", got, len(tr.Packets))
+	}
+	if got := reg.Counter("tracemod_stream_windows_emitted_total", "").Load(); got != int64(len(sum.Replay)) {
+		t.Fatalf("windows_emitted_total=%d, want %d", got, len(sum.Replay))
+	}
+	h := reg.Histogram("tracemod_stream_distill_lag", "", stream.LagBounds())
+	if h.Count() != int64(len(sum.Replay)) {
+		t.Fatalf("lag histogram has %d observations, want %d", h.Count(), len(sum.Replay))
+	}
+	// While live, every frozen window had settled: lag at emission is at
+	// least Window/2 + Settle, except for the Close-time flush.
+	if q := h.Quantile(0.5); q < 5*time.Second/2 {
+		t.Fatalf("median lag %v implausibly small", q)
+	}
+}
+
+func TestCloseErrors(t *testing.T) {
+	d := stream.New(stream.Config{})
+	if _, err := d.Close(); !errors.Is(err, stream.ErrNoWorkload) {
+		t.Fatalf("empty close err=%v, want ErrNoWorkload", err)
+	}
+	if _, err := d.Close(); !errors.Is(err, stream.ErrClosed) {
+		t.Fatalf("double close err=%v, want ErrClosed", err)
+	}
+	if err := d.Packet(tracefmt.PacketRecord{Size: 60}); !errors.Is(err, stream.ErrClosed) {
+		t.Fatalf("post-close Packet err=%v, want ErrClosed", err)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"net"
 	"net/http"
 	"strings"
@@ -64,6 +65,10 @@ func (a *API) Mux() *http.ServeMux {
 	mux.HandleFunc("POST /v1/sessions/{id}/start", a.startSession)
 	mux.HandleFunc("POST /v1/sessions/{id}/stop", a.stopSession)
 	mux.HandleFunc("GET /v1/sessions/{id}/flight", a.flightDump)
+	mux.HandleFunc("POST /v1/streams", a.createStream)
+	mux.HandleFunc("GET /v1/streams", a.listStreams)
+	mux.HandleFunc("GET /v1/streams/{name}", a.getStream)
+	mux.HandleFunc("DELETE /v1/streams/{name}", a.deleteStream)
 	mux.HandleFunc("GET /v1/farm", a.farmInfo)
 	mux.HandleFunc("GET /v1/slo", a.sloReport)
 	mux.HandleFunc("GET /v1/health", a.health)
@@ -90,7 +95,12 @@ func (a *API) Mux() *http.ServeMux {
 // own 404/405 become {"error": ..., "status": ...}).
 func (a *API) Handler() http.Handler {
 	return a.trace(a.envelope(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		r.Body = http.MaxBytesReader(w, r.Body, DefaultMaxBodyBytes)
+		// Live-ingest uploads are exempt from the body cap: a collected
+		// trace is unbounded by design, and the stream path consumes it
+		// chunk-by-chunk without ever holding the body in memory.
+		if !(r.Method == http.MethodPost && r.URL.Path == "/v1/streams") {
+			r.Body = http.MaxBytesReader(w, r.Body, DefaultMaxBodyBytes)
+		}
 		// The fault-control endpoint is exempt from control-plane fault
 		// injection: arming control.error at rate 1 must not brick the
 		// only switch that can disarm it.
@@ -277,10 +287,13 @@ type SessionRequest struct {
 	Name string `json:"name,omitempty"`
 	// Exactly one trace source: a file path (replay or collected format,
 	// resolved through the trace store), a synthetic trace name
-	// ("wavelan" or "slow" plus DurationSec), or inline tuples.
+	// ("wavelan" or "slow" plus DurationSec), inline tuples, or the name
+	// of a live-ingest stream (POST /v1/streams) — the session then
+	// modulates against the growing trace, waiting at the live edge.
 	TracePath string      `json:"trace_path,omitempty"`
 	Synthetic string      `json:"synthetic,omitempty"`
 	Inline    []TupleJSON `json:"inline,omitempty"`
+	Stream    string      `json:"stream,omitempty"`
 	// DurationSec sizes synthetic traces (default 3600).
 	DurationSec float64 `json:"duration_sec,omitempty"`
 	// Loop replays the trace forever (default true).
@@ -323,6 +336,7 @@ type SessionInfo struct {
 	Name      string  `json:"name,omitempty"`
 	State     string  `json:"state"`
 	TraceRef  string  `json:"trace_ref,omitempty"`
+	Live      bool    `json:"live,omitempty"`
 	Tuples    int     `json:"trace_tuples"`
 	TraceSec  float64 `json:"trace_duration_sec"`
 	Loop      bool    `json:"loop"`
@@ -349,6 +363,7 @@ type FarmInfo struct {
 	GranularityUS int64         `json:"wheel_granularity_us"`
 	TimersPending int64         `json:"timers_pending"`
 	CachedTraces  int           `json:"cached_traces"`
+	Streams       int           `json:"streams"`
 	IdleTimeout   time.Duration `json:"idle_timeout_ns"`
 	Shed          int64         `json:"shed"`
 	Quarantined   int64         `json:"quarantined"`
@@ -359,13 +374,18 @@ type FarmInfo struct {
 func sessionInfo(s *Session) SessionInfo {
 	cfg := s.Config()
 	st := s.Stats()
+	tuples, traceSec := len(cfg.Trace), cfg.Trace.TotalDuration().Seconds()
+	if cfg.Live != nil {
+		tuples, traceSec = cfg.Live.Len(), cfg.Live.Duration().Seconds()
+	}
 	return SessionInfo{
 		ID:          s.ID,
 		Name:        cfg.Name,
 		State:       s.State().String(),
 		TraceRef:    cfg.TraceRef,
-		Tuples:      len(cfg.Trace),
-		TraceSec:    cfg.Trace.TotalDuration().Seconds(),
+		Live:        cfg.Live != nil,
+		Tuples:      tuples,
+		TraceSec:    traceSec,
 		Loop:        cfg.Loop,
 		TickUS:      cfg.Tick.Microseconds(),
 		Seed:        cfg.Seed,
@@ -408,21 +428,28 @@ func decodeStatus(err error) int {
 	return http.StatusBadRequest
 }
 
-// resolveTrace turns a request's trace spec into a shared core.Trace.
-func (a *API) resolveTrace(req *SessionRequest) (core.Trace, string, error) {
+// resolveTrace turns a request's trace spec into a shared core.Trace, or
+// — for a stream source — the growing LiveTrace backing it.
+func (a *API) resolveTrace(req *SessionRequest) (core.Trace, *LiveTrace, string, error) {
 	sources := 0
-	for _, set := range []bool{req.TracePath != "", req.Synthetic != "", len(req.Inline) > 0} {
+	for _, set := range []bool{req.TracePath != "", req.Synthetic != "", len(req.Inline) > 0, req.Stream != ""} {
 		if set {
 			sources++
 		}
 	}
 	if sources != 1 {
-		return nil, "", errors.New("exactly one of trace_path, synthetic, inline is required")
+		return nil, nil, "", errors.New("exactly one of trace_path, synthetic, inline, stream is required")
 	}
 	switch {
+	case req.Stream != "":
+		lt, ok := a.m.Store().LookupLive(req.Stream)
+		if !ok {
+			return nil, nil, "", fmt.Errorf("no such stream %q", req.Stream)
+		}
+		return nil, lt, "stream:" + req.Stream, nil
 	case req.TracePath != "":
 		tr, err := a.m.Store().Load(req.TracePath)
-		return tr, req.TracePath, err
+		return tr, nil, req.TracePath, err
 	case req.Synthetic != "":
 		dur := time.Duration(req.DurationSec * float64(time.Second))
 		if dur <= 0 {
@@ -435,9 +462,9 @@ func (a *API) resolveTrace(req *SessionRequest) (core.Trace, string, error) {
 		case "slow":
 			tr = replay.SlowNetLike(dur)
 		default:
-			return nil, "", fmt.Errorf("unknown synthetic trace %q (want wavelan or slow)", req.Synthetic)
+			return nil, nil, "", fmt.Errorf("unknown synthetic trace %q (want wavelan or slow)", req.Synthetic)
 		}
-		return tr, "synthetic:" + req.Synthetic, nil
+		return tr, nil, "synthetic:" + req.Synthetic, nil
 	default:
 		tr := make(core.Trace, 0, len(req.Inline))
 		for _, t := range req.Inline {
@@ -452,7 +479,7 @@ func (a *API) resolveTrace(req *SessionRequest) (core.Trace, string, error) {
 			})
 		}
 		if err := tr.Validate(); err != nil {
-			return nil, "", err
+			return nil, nil, "", err
 		}
 		// The ref carries a content hash: two different inline traces must
 		// not alias in the snapshot's deduplicated trace table.
@@ -460,7 +487,7 @@ func (a *API) resolveTrace(req *SessionRequest) (core.Trace, string, error) {
 		for _, t := range req.Inline {
 			fmt.Fprintf(h, "%v|%v|%v|%v|%v;", t.DurationSec, t.LatencyMS, t.VbNSPerByte, t.VrNSPerByte, t.Loss)
 		}
-		return tr, fmt.Sprintf("inline:%d-%016x", len(tr), h.Sum64()), nil
+		return tr, nil, fmt.Sprintf("inline:%d-%016x", len(tr), h.Sum64()), nil
 	}
 }
 
@@ -472,7 +499,7 @@ func (a *API) createSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rsp := sp.Child("trace.resolve")
-	trace, ref, err := a.resolveTrace(&req)
+	trace, live, ref, err := a.resolveTrace(&req)
 	if rsp != nil {
 		rsp.AttrStr("ref", ref)
 		rsp.Attr("tuples", int64(len(trace)))
@@ -489,6 +516,7 @@ func (a *API) createSession(w http.ResponseWriter, r *http.Request) {
 	s, err := a.m.Create(SessionConfig{
 		Name:         req.Name,
 		Trace:        trace,
+		Live:         live,
 		TraceRef:     ref,
 		Loop:         loop,
 		Tick:         tick,
@@ -586,6 +614,101 @@ func (a *API) stopSession(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, sessionInfo(s))
 }
 
+// streamLiveEdgeTimeout is the longest an in-flight upload may sit idle
+// at the live edge before the daemon cuts it: the rolling per-chunk read
+// deadline POST /v1/streams re-arms between chunks. A paused collector
+// is tolerated up to this long; a dead one does not pin the stream
+// forever.
+const streamLiveEdgeTimeout = 30 * time.Second
+
+// createStream is POST /v1/streams?name=N: a chunked collected-trace
+// upload consumed through the streaming distiller. The stream (and its
+// growing replay trace) is registered before the first byte is read, so
+// sessions can attach while the upload is still in flight. Query params
+// window, step, settle (Go durations) tune the distiller; strict=true
+// refuses damaged input instead of salvaging around it.
+func (a *API) createStream(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	cfg := StreamConfig{Name: q.Get("name"), Strict: q.Get("strict") == "true"}
+	for _, p := range []struct {
+		key string
+		dst *time.Duration
+	}{{"window", &cfg.Window}, {"step", &cfg.Step}, {"settle", &cfg.Settle}} {
+		if v := q.Get(p.key); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("bad %s: %w", p.key, err))
+				return
+			}
+			*p.dst = d
+		}
+	}
+	st, err := a.m.Streams().Create(cfg)
+	if err != nil {
+		code := http.StatusBadRequest
+		if strings.Contains(err.Error(), "already exists") {
+			code = http.StatusConflict
+		}
+		writeErr(w, code, err)
+		return
+	}
+	// Consume the upload chunk by chunk, rolling the connection deadlines
+	// forward each time: the request lives as long as the collector keeps
+	// sending, however slowly, without ever disabling timeouts outright.
+	rc := http.NewResponseController(w)
+	buf := make([]byte, 64<<10)
+	for {
+		_ = rc.SetReadDeadline(time.Now().Add(streamLiveEdgeTimeout))
+		_ = rc.SetWriteDeadline(time.Now().Add(streamLiveEdgeTimeout + httpWriteTimeout))
+		n, rerr := r.Body.Read(buf)
+		if n > 0 {
+			if werr := st.Write(buf[:n]); werr != nil {
+				writeErr(w, http.StatusUnprocessableEntity, werr)
+				return
+			}
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			st.abort(fmt.Errorf("emud: stream %q upload interrupted: %w", st.Name, rerr))
+			writeErr(w, http.StatusBadRequest, rerr)
+			return
+		}
+	}
+	if _, err := st.Finish(); err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, st.Info())
+}
+
+func (a *API) listStreams(w http.ResponseWriter, _ *http.Request) {
+	streams := a.m.Streams().List()
+	out := make([]StreamInfo, 0, len(streams))
+	for _, st := range streams {
+		out = append(out, st.Info())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (a *API) getStream(w http.ResponseWriter, r *http.Request) {
+	st, ok := a.m.Streams().Get(r.PathValue("name"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, errors.New("no such stream"))
+		return
+	}
+	writeJSON(w, http.StatusOK, st.Info())
+}
+
+func (a *API) deleteStream(w http.ResponseWriter, r *http.Request) {
+	if !a.m.Streams().Delete(r.PathValue("name")) {
+		writeErr(w, http.StatusNotFound, errors.New("no such stream"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
 func (a *API) farmInfo(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, FarmInfo{
 		Sessions:      a.m.Count(),
@@ -594,6 +717,7 @@ func (a *API) farmInfo(w http.ResponseWriter, _ *http.Request) {
 		GranularityUS: a.m.wheel.Granularity().Microseconds(),
 		TimersPending: a.m.wheel.Pending(),
 		CachedTraces:  a.m.store.Len(),
+		Streams:       a.m.Streams().Count(),
 		IdleTimeout:   a.m.opts.IdleTimeout,
 		Shed:          a.m.Shed(),
 		Quarantined:   a.m.Quarantined(),

@@ -1,0 +1,163 @@
+// Live replay traces: the growing counterpart of the store's immutable
+// core.Trace. A LiveTrace accumulates tuples as a streaming distiller
+// emits them, while sessions already attached replay it through
+// LiveCursors. The cursor is a modulation.Source that simply runs dry at
+// the live edge — the engine holds its current parameters exactly as the
+// paper's kernel does when the daemon falls behind — and a Notifier
+// wakeup resumes the schedule the moment the next tuple lands, so a
+// session can start modulating against a collection that is still in
+// progress.
+package emud
+
+import (
+	"sync"
+	"time"
+
+	"tracemod/internal/core"
+)
+
+// LiveTrace is a replay trace that is still growing. Appends come from
+// one producer (the stream's ingest loop); any number of cursors read
+// concurrently.
+type LiveTrace struct {
+	mu     sync.Mutex
+	tuples core.Trace
+	total  time.Duration // sum of tuple durations
+	loss   float64       // sum of L*D, for duration-weighted loss
+	done   bool
+	err    error
+	notify []func()
+}
+
+// NewLiveTrace creates an empty growing trace.
+func NewLiveTrace() *LiveTrace { return &LiveTrace{} }
+
+// Append adds one tuple at the live edge and wakes every subscribed
+// cursor. Appending after Complete is ignored.
+func (lt *LiveTrace) Append(t core.Tuple) {
+	lt.mu.Lock()
+	if lt.done {
+		lt.mu.Unlock()
+		return
+	}
+	lt.tuples = append(lt.tuples, t)
+	lt.total += t.D
+	lt.loss += t.L * t.D.Seconds()
+	fns := lt.notify
+	lt.mu.Unlock()
+	// Callbacks run outside the lock: the engine's wakeup takes the
+	// engine mutex, and cursors take ours from inside the engine.
+	for _, fn := range fns {
+		fn()
+	}
+}
+
+// Complete seals the trace: no more tuples will arrive. A non-nil err
+// records why the stream ended early. Cursors are woken one last time so
+// a looping session can wrap.
+func (lt *LiveTrace) Complete(err error) {
+	lt.mu.Lock()
+	if lt.done {
+		lt.mu.Unlock()
+		return
+	}
+	lt.done = true
+	lt.err = err
+	fns := lt.notify
+	lt.mu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
+}
+
+// Done reports whether the trace is sealed, and the error it ended with.
+func (lt *LiveTrace) Done() (bool, error) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	return lt.done, lt.err
+}
+
+// Len returns the number of tuples so far.
+func (lt *LiveTrace) Len() int {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	return len(lt.tuples)
+}
+
+// Duration returns the total replay duration accumulated so far.
+func (lt *LiveTrace) Duration() time.Duration {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	return lt.total
+}
+
+// WeightedLoss returns the duration-weighted loss of the tuples so far
+// (0 while empty) — the live analogue of core.Trace.WeightedLoss, so the
+// drop-accuracy SLO can judge sessions replaying a growing trace.
+func (lt *LiveTrace) WeightedLoss() float64 {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if lt.total <= 0 {
+		return 0
+	}
+	return lt.loss / lt.total.Seconds()
+}
+
+// Snapshot copies the tuples accumulated so far.
+func (lt *LiveTrace) Snapshot() core.Trace {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	return append(core.Trace(nil), lt.tuples...)
+}
+
+// subscribe registers a wakeup callback fired after every Append and at
+// Complete.
+func (lt *LiveTrace) subscribe(fn func()) {
+	lt.mu.Lock()
+	lt.notify = append(lt.notify, fn)
+	lt.mu.Unlock()
+}
+
+// NewCursor returns an independent read cursor. With loop set, the
+// cursor wraps to the beginning — but only once the trace is complete;
+// at the live edge it reports dry instead of replaying stale history.
+func (lt *LiveTrace) NewCursor(loop bool) *LiveCursor {
+	return &LiveCursor{lt: lt, loop: loop}
+}
+
+// LiveCursor reads a LiveTrace as a modulation.Source. The position is
+// an absolute tuple index, so Skip past the live edge just means the
+// cursor waits there until the stream grows to reach it.
+type LiveCursor struct {
+	lt   *LiveTrace
+	loop bool
+	pos  int
+}
+
+// Next implements modulation.Source: non-blocking, dry at the live edge.
+func (c *LiveCursor) Next() (core.Tuple, bool) {
+	c.lt.mu.Lock()
+	defer c.lt.mu.Unlock()
+	if c.pos >= len(c.lt.tuples) {
+		if !c.loop || !c.lt.done || len(c.lt.tuples) == 0 {
+			return core.Tuple{}, false
+		}
+		c.pos = 0
+	}
+	t := c.lt.tuples[c.pos]
+	c.pos++
+	return t, true
+}
+
+// Skip advances the cursor as if n tuples had been consumed.
+func (c *LiveCursor) Skip(n int64) {
+	if n > 0 {
+		c.pos += int(n)
+	}
+}
+
+// SetOnAvailable implements modulation.Notifier: the engine resumes its
+// tuple schedule without polling when the stream grows.
+func (c *LiveCursor) SetOnAvailable(fn func()) {
+	c.lt.subscribe(fn)
+}

@@ -234,10 +234,11 @@ type Manager struct {
 	opts  Options
 	wheel *wheel.Wheel
 	store *Store
-	ins   *instruments
-	spans *span.Tracer // nil = packet tracing off
-	log   *slog.Logger // never nil (discards by default)
-	slos  *obs.SLOSet
+	ins     *instruments
+	spans   *span.Tracer // nil = packet tracing off
+	log     *slog.Logger // never nil (discards by default)
+	slos    *obs.SLOSet
+	streams *Streams
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -320,6 +321,7 @@ func NewManager(o Options) *Manager {
 	if m.store == nil {
 		m.store = NewStore(StoreOptions{Metrics: o.Metrics, Faults: o.Faults, Retry: o.Retry})
 	}
+	m.streams = newStreams(m)
 	if o.Metrics != nil {
 		m.ins = newInstruments(o.Metrics)
 	}
@@ -429,11 +431,18 @@ func (m *Manager) Wheel() *wheel.Wheel { return m.wheel }
 // Store exposes the farm's trace store.
 func (m *Manager) Store() *Store { return m.store }
 
+// Streams exposes the farm's live-ingest registry.
+func (m *Manager) Streams() *Streams { return m.streams }
+
 // Create registers a new session in StateCreated. The trace must already
-// be resolved (the control plane goes through the Store first).
+// be resolved (the control plane goes through the Store first). Live
+// sessions skip trace validation: the growing trace may be empty at
+// create time, and every tuple was already sanitized at emission.
 func (m *Manager) Create(cfg SessionConfig) (*Session, error) {
-	if err := cfg.Trace.Validate(); err != nil {
-		return nil, err
+	if cfg.Live == nil {
+		if err := cfg.Trace.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()

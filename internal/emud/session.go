@@ -63,6 +63,11 @@ type SessionConfig struct {
 	Name string
 	// Trace drives the session's modulation; it is shared and immutable.
 	Trace core.Trace
+	// Live, when non-nil, replaces Trace with a growing replay trace fed
+	// by an in-flight live-ingest stream: the session's cursor waits at
+	// the live edge (engine holds parameters) instead of treating it as
+	// EOF, and resumes the moment the distiller emits the next tuple.
+	Live *LiveTrace
 	// TraceRef records where the trace came from (path, synthetic name)
 	// for introspection only.
 	TraceRef string
@@ -162,8 +167,14 @@ func (s *Session) PanicValue() string {
 func (s *Session) Flight() *span.FlightRecorder { return s.flight }
 
 // ExpectedLoss returns the duration-weighted loss probability of the
-// session's trace — what the drop rate should converge to.
-func (s *Session) ExpectedLoss() float64 { return s.expLoss }
+// session's trace — what the drop rate should converge to. For a live
+// session it is recomputed from the tuples that have arrived so far.
+func (s *Session) ExpectedLoss() float64 {
+	if s.cfg.Live != nil {
+		return s.cfg.Live.WeightedLoss()
+	}
+	return s.expLoss
+}
 
 // Cursor reports the session's replay position as a count of tuples
 // consumed since the trace's beginning (including any SkipTuples applied
@@ -227,8 +238,16 @@ func (s *Session) Start() error {
 		return errors.New("emud: session already stopped")
 	}
 	s.timers = s.m.wheel.Timers()
-	src := &modulation.SliceSource{Trace: s.cfg.Trace, Loop: s.cfg.Loop}
-	src.Skip(s.cfg.SkipTuples)
+	var src modulation.Source
+	if s.cfg.Live != nil {
+		c := s.cfg.Live.NewCursor(s.cfg.Loop)
+		c.Skip(s.cfg.SkipTuples)
+		src = c
+	} else {
+		ss := &modulation.SliceSource{Trace: s.cfg.Trace, Loop: s.cfg.Loop}
+		ss.Skip(s.cfg.SkipTuples)
+		src = ss
+	}
 	s.engine = modulation.NewEngine(s.timers, src,
 		modulation.Config{
 			Tick:         s.cfg.Tick,

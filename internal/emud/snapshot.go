@@ -100,6 +100,11 @@ func snapshotOf(sessions []*Session, seq int64) *FarmSnapshot {
 			continue
 		}
 		cfg := s.Config()
+		// Live sessions are not durable: the stream feeding them dies with
+		// the daemon, and a half-received trace is not worth restoring.
+		if cfg.Live != nil {
+			continue
+		}
 		listen, target := s.RelaySpecArgs()
 		ss := SessionSnapshot{
 			ID:             s.ID,

@@ -113,6 +113,10 @@ type Store struct {
 	mu      sync.Mutex
 	entries map[string]*list.Element // key -> lru element holding *storeEntry
 	lru     *list.List               // front = most recently used
+	// live holds growing traces by stream name, outside the LRU: a trace
+	// still being distilled must not be evicted mid-stream, and it has no
+	// file to re-parse from.
+	live map[string]*LiveTrace
 
 	hits, misses, evictions, parseErrors, negativeHits *obs.Counter
 	salvaged, quarantined                              *obs.Counter
@@ -142,7 +146,8 @@ func NewStore(o StoreOptions) *Store {
 		o.Distill = distill.DefaultConfig()
 	}
 	s := &Store{opts: o, negTTL: o.NegativeTTL, quarantineTTL: o.QuarantineTTL,
-		retry: o.Retry, entries: map[string]*list.Element{}, lru: list.New()}
+		retry: o.Retry, entries: map[string]*list.Element{}, lru: list.New(),
+		live: map[string]*LiveTrace{}}
 	if s.negTTL == 0 {
 		s.negTTL = DefaultNegativeTTL
 	}
@@ -284,6 +289,35 @@ func (s *Store) Lookup(name string) (core.Trace, bool) {
 		return nil, false
 	}
 	return e.trace, true
+}
+
+// RegisterLive publishes a growing trace under a stream name. Unlike
+// Register, live entries are pinned (no LRU participation) until
+// DropLive — eviction would orphan sessions waiting at the live edge.
+func (s *Store) RegisterLive(name string, lt *LiveTrace) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.live[name]; dup {
+		return fmt.Errorf("emud: live trace %q already registered", name)
+	}
+	s.live[name] = lt
+	return nil
+}
+
+// LookupLive fetches a registered growing trace by stream name.
+func (s *Store) LookupLive(name string) (*LiveTrace, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lt, ok := s.live[name]
+	return lt, ok
+}
+
+// DropLive unpins a live trace. Sessions holding it keep replaying what
+// arrived; only the name is released.
+func (s *Store) DropLive(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.live, name)
 }
 
 // Len reports the number of cached entries.

@@ -1,0 +1,341 @@
+// Live ingest: the collect→emulate pipeline with the file removed. A
+// Stream glues the salvaging tracefmt.StreamReader to the streaming
+// distiller (internal/distill/stream) and pours the emitted tuples into
+// a LiveTrace registered with the farm's store — so a session can start
+// modulating against a collection the moment its first window freezes,
+// while the upload is still in flight. Distillation lag stays bounded
+// (Window/2 + Settle + Step behind the packet watermark) and observable:
+// the distiller's lag histogram backs the "stream-distill-lag-p99"
+// objective on /v1/slo.
+package emud
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"tracemod/internal/distill"
+	"tracemod/internal/distill/stream"
+	"tracemod/internal/obs"
+	"tracemod/internal/tracefmt"
+)
+
+// StreamState is a stream's lifecycle position.
+type StreamState string
+
+// Stream states.
+const (
+	StreamReceiving StreamState = "receiving" // upload in flight, tuples growing
+	StreamComplete  StreamState = "complete"  // upload finished, trace sealed
+	StreamFailed    StreamState = "failed"    // ingest error; trace sealed early
+)
+
+// StreamConfig parameterizes one live-ingest stream.
+type StreamConfig struct {
+	// Name identifies the stream; sessions attach via trace ref
+	// "stream:" + Name.
+	Name string
+	// Window, Step, Settle tune the streaming distiller (package
+	// defaults when zero: 5s window, 1s step, settle = window).
+	Window, Step, Settle time.Duration
+	// Strict refuses damaged input outright: no salvage resync in the
+	// reader, and any record the sanitizer would touch fails the stream.
+	Strict bool
+}
+
+// Stream is one live collect→emulate pipeline instance. Writes are
+// serialized by the mutex; the HTTP handler owning the upload is the
+// only producer.
+type Stream struct {
+	Name    string
+	cfg     StreamConfig
+	live    *LiveTrace
+	created time.Duration // wheel time at creation
+
+	mu      sync.Mutex
+	r       *tracefmt.StreamReader
+	d       *stream.Distiller
+	state   StreamState
+	err     error
+	bytes   int64
+	records int64
+	summary *stream.Summary
+	report  *tracefmt.ReadReport
+}
+
+// StreamInfo is the wire representation of a stream.
+type StreamInfo struct {
+	Name    string `json:"name"`
+	State   string `json:"state"`
+	Bytes   int64  `json:"bytes"`
+	Records int64  `json:"records"`
+	// Tuples and DurationSec describe the growing replay trace.
+	Tuples      int     `json:"tuples"`
+	DurationSec float64 `json:"duration_sec"`
+	// LagSec is the distillation lag: how far tuple emission trails the
+	// packet watermark.
+	LagSec float64 `json:"lag_sec"`
+	// Damaged counts corrupt regions the salvaging reader resynced past.
+	Damaged int64  `json:"damaged,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// Live returns the stream's growing replay trace.
+func (st *Stream) Live() *LiveTrace { return st.live }
+
+// State returns the stream's current lifecycle state.
+func (st *Stream) State() StreamState {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.state
+}
+
+// Err returns the ingest error of a failed stream.
+func (st *Stream) Err() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.err
+}
+
+// Summary returns the completed stream's distillation diagnostics (nil
+// until StreamComplete).
+func (st *Stream) Summary() *stream.Summary {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.summary
+}
+
+// Info snapshots the stream for the control plane.
+func (st *Stream) Info() StreamInfo {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	info := StreamInfo{
+		Name:        st.Name,
+		State:       string(st.state),
+		Bytes:       st.bytes,
+		Records:     st.records,
+		Tuples:      st.live.Len(),
+		DurationSec: st.live.Duration().Seconds(),
+		LagSec:      st.d.Lag().Seconds(),
+	}
+	if st.report != nil {
+		info.Damaged = int64(st.report.Damaged)
+	} else {
+		info.Damaged = int64(st.r.Report().Damaged)
+	}
+	if st.err != nil {
+		info.Error = st.err.Error()
+	}
+	return info
+}
+
+// Write feeds one chunk of the collected-trace upload through the
+// reader and distiller. Any error fails the stream permanently and
+// seals the live trace so attached sessions stop waiting.
+func (st *Stream) Write(p []byte) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.state != StreamReceiving {
+		return fmt.Errorf("emud: stream %q is %s", st.Name, st.state)
+	}
+	st.bytes += int64(len(p))
+	if err := st.r.Feed(p); err != nil {
+		return st.failLocked(err)
+	}
+	recs, rerr := st.r.ReadAvailable()
+	// Records decoded before a sticky strict error still count — same
+	// stance as the batch reader, which hands records out up to the
+	// point of damage.
+	for _, rec := range recs {
+		if err := st.d.Ingest(rec); err != nil {
+			return st.failLocked(err)
+		}
+	}
+	st.records += int64(len(recs))
+	if rerr != nil {
+		return st.failLocked(rerr)
+	}
+	return nil
+}
+
+// Finish marks the upload complete: the reader's held-back tail is
+// flushed, every remaining window freezes, and the live trace is
+// sealed. The summary mirrors what the batch distiller would have
+// produced from the same bytes.
+func (st *Stream) Finish() (*stream.Summary, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.state != StreamReceiving {
+		return nil, fmt.Errorf("emud: stream %q is %s", st.Name, st.state)
+	}
+	recs, rep, err := st.r.Finish()
+	st.report = rep
+	for _, rec := range recs {
+		if ierr := st.d.Ingest(rec); ierr != nil {
+			return nil, st.failLocked(ierr)
+		}
+	}
+	st.records += int64(len(recs))
+	if err != nil {
+		return nil, st.failLocked(err)
+	}
+	sum, cerr := st.d.Close()
+	if cerr != nil {
+		return nil, st.failLocked(cerr)
+	}
+	st.summary = sum
+	st.state = StreamComplete
+	st.live.Complete(nil)
+	return sum, nil
+}
+
+// failLocked seals a broken stream. Returns the error for convenience.
+func (st *Stream) failLocked(err error) error {
+	st.state = StreamFailed
+	st.err = err
+	st.live.Complete(err)
+	return err
+}
+
+// abort fails a receiving stream from outside the upload path (DELETE
+// while in flight). No-op on sealed streams.
+func (st *Stream) abort(err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.state == StreamReceiving {
+		_ = st.failLocked(err)
+	}
+}
+
+// Streams is the farm's live-ingest registry.
+type Streams struct {
+	m *Manager
+
+	mu      sync.Mutex
+	streams map[string]*Stream
+}
+
+// newStreams wires the registry, its gauge, and the distillation-lag
+// objective into the farm.
+func newStreams(m *Manager) *Streams {
+	ss := &Streams{m: m, streams: map[string]*Stream{}}
+	if reg := m.opts.Metrics; reg != nil {
+		reg.GaugeFunc("tracemod_stream_live_streams",
+			"Live-ingest streams currently receiving.",
+			func() float64 {
+				ss.mu.Lock()
+				defer ss.mu.Unlock()
+				n := 0
+				for _, st := range ss.streams {
+					if st.State() == StreamReceiving {
+						n++
+					}
+				}
+				return float64(n)
+			})
+		// The lag histogram is shared with every Distiller this farm
+		// creates (the registry dedups by name). The threshold is the
+		// analytical bound for the default geometry — Window/2 + Settle +
+		// Step = 8.5s — plus one step of slack for watermark jitter at
+		// the moment of observation.
+		dc := distill.DefaultConfig()
+		lag := reg.Histogram("tracemod_stream_distill_lag",
+			"Distillation lag: packet watermark minus emitted window center, at emission.",
+			stream.LagBounds())
+		m.slos.Add(&obs.SLO{
+			Name:      "stream-distill-lag-p99",
+			Help:      "99th-percentile distillation lag of live-ingest streams must stay within the freeze bound.",
+			Kind:      obs.SLOQuantile,
+			Hist:      lag,
+			Quantile:  0.99,
+			Threshold: dc.Window/2 + dc.Window + 2*dc.Step,
+		})
+	}
+	return ss
+}
+
+// Create registers a new receiving stream and exposes its growing trace
+// through the store, so sessions can attach before the upload finishes.
+func (ss *Streams) Create(cfg StreamConfig) (*Stream, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("emud: stream name is required")
+	}
+	st := &Stream{
+		Name:    cfg.Name,
+		cfg:     cfg,
+		live:    NewLiveTrace(),
+		created: ss.m.wheel.Now(),
+		state:   StreamReceiving,
+		r:       tracefmt.NewStreamReader(tracefmt.StreamOptions{Salvage: !cfg.Strict}),
+	}
+	st.d = stream.New(stream.Config{
+		Window:  cfg.Window,
+		Step:    cfg.Step,
+		Settle:  cfg.Settle,
+		Strict:  cfg.Strict,
+		OnTuple: st.live.Append,
+		Metrics: ss.m.opts.Metrics,
+	})
+	ss.mu.Lock()
+	if _, dup := ss.streams[cfg.Name]; dup {
+		ss.mu.Unlock()
+		return nil, fmt.Errorf("emud: stream %q already exists", cfg.Name)
+	}
+	ss.streams[cfg.Name] = st
+	ss.mu.Unlock()
+	if err := ss.m.store.RegisterLive(cfg.Name, st.live); err != nil {
+		ss.mu.Lock()
+		delete(ss.streams, cfg.Name)
+		ss.mu.Unlock()
+		return nil, err
+	}
+	ss.m.log.Debug("stream created", "stream", cfg.Name)
+	return st, nil
+}
+
+// Get returns a stream by name.
+func (ss *Streams) Get(name string) (*Stream, bool) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	st, ok := ss.streams[name]
+	return st, ok
+}
+
+// List returns every stream, ordered by name.
+func (ss *Streams) List() []*Stream {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	out := make([]*Stream, 0, len(ss.streams))
+	for _, st := range ss.streams {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Delete removes a stream from the registry and the store. A stream
+// still receiving is aborted: the in-flight upload fails on its next
+// chunk. Sessions already attached keep the tuples that arrived.
+func (ss *Streams) Delete(name string) bool {
+	ss.mu.Lock()
+	st, ok := ss.streams[name]
+	if ok {
+		delete(ss.streams, name)
+	}
+	ss.mu.Unlock()
+	if !ok {
+		return false
+	}
+	st.abort(fmt.Errorf("emud: stream %q deleted", name))
+	ss.m.store.DropLive(name)
+	ss.m.log.Debug("stream deleted", "stream", name)
+	return true
+}
+
+// Count returns the number of registered streams (any state).
+func (ss *Streams) Count() int {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return len(ss.streams)
+}

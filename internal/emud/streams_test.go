@@ -1,0 +1,328 @@
+package emud
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tracemod/internal/core"
+	"tracemod/internal/distill"
+	"tracemod/internal/obs"
+	"tracemod/internal/packet"
+	"tracemod/internal/replay"
+	"tracemod/internal/simnet"
+	"tracemod/internal/tracefmt"
+)
+
+// collectedTraceBytes serializes a synthetic ping-workload collected
+// trace of the given length: each second carries the small/large/large
+// probe triplet the distiller solves, over constant channel parameters.
+func collectedTraceBytes(t testing.TB, seconds int) []byte {
+	t.Helper()
+	const s1, s2 = 60, 1028
+	params := core.DelayParams{F: 2 * time.Millisecond, Vb: 5000, Vr: 800}
+	tr := &tracefmt.Trace{Header: tracefmt.Header{Device: "wavelan0"}}
+	seq := uint16(0)
+	for sec := 0; sec < seconds; sec++ {
+		base := int64(sec) * int64(time.Second)
+		emit := func(size int, rtt time.Duration) {
+			seq++
+			tr.Packets = append(tr.Packets, tracefmt.PacketRecord{
+				At: base, Dir: tracefmt.DirOut, Size: uint16(size),
+				Protocol: packet.ProtoICMP, ICMPType: packet.ICMPEcho, ID: 1, Seq: seq, RTT: -1,
+			})
+			tr.Packets = append(tr.Packets, tracefmt.PacketRecord{
+				At: base + int64(rtt), Dir: tracefmt.DirIn, Size: uint16(size),
+				Protocol: packet.ProtoICMP, ICMPType: packet.ICMPEchoReply, ID: 1, Seq: seq, RTT: int64(rtt),
+			})
+		}
+		emit(s1, params.RoundTrip(s1))
+		emit(s2, params.RoundTrip(s2))
+		emit(s2, params.RoundTrip(s2)+params.Vb.Cost(s2))
+	}
+	sort.SliceStable(tr.Packets, func(i, j int) bool { return tr.Packets[i].At < tr.Packets[j].At })
+	var buf bytes.Buffer
+	if err := tracefmt.WriteAll(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// The streams component must reproduce the batch distiller exactly: a
+// chunked live ingest of the same bytes yields a byte-identical replay
+// trace and a sealed LiveTrace.
+func TestStreamIngestMatchesBatchDistill(t *testing.T) {
+	data := collectedTraceBytes(t, 30)
+
+	collected, err := tracefmt.ReadAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := distill.Distill(collected, distill.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := NewManager(Options{Metrics: obs.NewRegistry(), Granularity: time.Millisecond})
+	defer m.Close()
+	st, err := m.Streams().Create(StreamConfig{Name: "ingest"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(data); off += 999 {
+		end := off + 999
+		if end > len(data) {
+			end = len(data)
+		}
+		if err := st.Write(data[off:end]); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	sum, err := st.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+
+	var want, got bytes.Buffer
+	if err := replay.Write(&want, batch.Replay); err != nil {
+		t.Fatal(err)
+	}
+	if err := replay.Write(&got, sum.Replay); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatal("streamed replay diverges from batch distill")
+	}
+	var liveBuf bytes.Buffer
+	if err := replay.Write(&liveBuf, st.Live().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(liveBuf.Bytes(), want.Bytes()) {
+		t.Fatal("live trace diverges from batch distill")
+	}
+	if done, derr := st.Live().Done(); !done || derr != nil {
+		t.Fatalf("live trace not sealed cleanly: done=%v err=%v", done, derr)
+	}
+	if st.State() != StreamComplete {
+		t.Fatalf("state = %s, want complete", st.State())
+	}
+}
+
+// The PR's acceptance scenario end to end over HTTP: a collected trace
+// is POSTed in chunks against a running daemon, a session attaches to
+// the stream and delivers modulated packets while the upload is still
+// in flight, and the distillation lag objective shows up on /v1/slo.
+func TestLiveIngestSessionModulatesBeforeUploadCompletes(t *testing.T) {
+	srv, m := newTestAPI(t, Options{})
+	data := collectedTraceBytes(t, 60)
+
+	pr, pw := io.Pipe()
+	type postResult struct {
+		code int
+		body []byte
+	}
+	posted := make(chan postResult, 1)
+	go func() {
+		resp, err := http.Post(srv.URL+"/v1/streams?name=demo", "application/octet-stream", pr)
+		if err != nil {
+			posted <- postResult{code: -1, body: []byte(err.Error())}
+			return
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		posted <- postResult{code: resp.StatusCode, body: raw}
+	}()
+
+	// Send the first half of the collection and hold the upload open.
+	// The watermark reaches ~30s of trace time, so windows freeze well
+	// past the first — tuples must be visible at the live edge.
+	half := len(data) / 2
+	if _, err := pw.Write(data[:half]); err != nil {
+		t.Fatal(err)
+	}
+	var info StreamInfo
+	waitFor(t, "tuples at the live edge", func() bool {
+		resp, err := http.Get(srv.URL + "/v1/streams/demo")
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return false
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+			return false
+		}
+		return info.Tuples > 0
+	})
+	if info.State != string(StreamReceiving) {
+		t.Fatalf("stream state = %q before upload completes, want receiving", info.State)
+	}
+
+	// Attach a session to the in-flight stream and push traffic through
+	// it: delivery proves modulation began before collection finished.
+	var sess SessionInfo
+	doJSON(t, "POST", srv.URL+"/v1/sessions", SessionRequest{Name: "live", Stream: "demo"},
+		http.StatusCreated, &sess)
+	if !sess.Live || sess.TraceRef != "stream:demo" || sess.Tuples == 0 {
+		t.Fatalf("session = %+v, want live with tuples", sess)
+	}
+	s, ok := m.Get(sess.ID)
+	if !ok {
+		t.Fatal("session not in farm")
+	}
+	var delivered atomic.Int64
+	waitFor(t, "modulated delivery mid-upload", func() bool {
+		s.Submit(simnet.Outbound, 100, func() { delivered.Add(1) })
+		return delivered.Load() > 0
+	})
+
+	// Only now finish the upload and collect the POST response.
+	if _, err := pw.Write(data[half:]); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+	res := <-posted
+	if res.code != http.StatusCreated {
+		t.Fatalf("POST /v1/streams = %d: %s", res.code, res.body)
+	}
+	var final StreamInfo
+	if err := json.Unmarshal(res.body, &final); err != nil {
+		t.Fatal(err)
+	}
+	if final.State != string(StreamComplete) || final.Tuples == 0 || final.Damaged != 0 {
+		t.Fatalf("final stream info = %+v", final)
+	}
+	// The completed stream carries the full distillation: 60s of trace
+	// at the default 1s step.
+	if final.DurationSec < 50 {
+		t.Fatalf("distilled only %.0fs of a 60s collection", final.DurationSec)
+	}
+
+	// The distillation-lag objective is live on /v1/slo and within its
+	// freeze bound (the synthetic feed never stalls).
+	var slo FarmSLOReport
+	doJSON(t, "GET", srv.URL+"/v1/slo", nil, http.StatusOK, &slo)
+	found := false
+	for _, r := range slo.Objectives {
+		if r.Name == "stream-distill-lag-p99" {
+			found = true
+			if !r.Met {
+				t.Fatalf("stream-distill-lag-p99 unmet: %+v", r)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("stream-distill-lag-p99 missing from /v1/slo")
+	}
+
+	// Lifecycle tail: list, duplicate rejection, delete, dangling ref.
+	resp, err := http.Get(srv.URL + "/v1/streams")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []StreamInfo
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list) != 1 || list[0].Name != "demo" {
+		t.Fatalf("list = %+v", list)
+	}
+	dupResp, err := http.Post(srv.URL+"/v1/streams?name=demo", "application/octet-stream", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, dupResp.Body)
+	dupResp.Body.Close()
+	if dupResp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate stream = %d, want 409", dupResp.StatusCode)
+	}
+	doJSON(t, "DELETE", srv.URL+"/v1/streams/demo", nil, http.StatusNoContent, nil)
+	doJSON(t, "POST", srv.URL+"/v1/sessions", SessionRequest{Stream: "demo"}, http.StatusBadRequest, nil)
+
+	// The attached session survives the stream's deletion with its
+	// tuples intact.
+	var after SessionInfo
+	doJSON(t, "GET", srv.URL+"/v1/sessions/"+sess.ID, nil, http.StatusOK, &after)
+	if !after.Live || after.Tuples == 0 {
+		t.Fatalf("session after stream delete = %+v", after)
+	}
+}
+
+// A live cursor waits at the live edge instead of treating it as EOF,
+// resumes on append, and only wraps (when looping) once the trace is
+// sealed.
+func TestLiveCursorEdgeSemantics(t *testing.T) {
+	lt := NewLiveTrace()
+	c := lt.NewCursor(true)
+	if _, ok := c.Next(); ok {
+		t.Fatal("empty live trace should read dry")
+	}
+	woken := 0
+	c.SetOnAvailable(func() { woken++ })
+	tu := core.Tuple{D: time.Second, DelayParams: core.DelayParams{F: time.Millisecond}, L: 0.5}
+	lt.Append(tu)
+	if woken != 1 {
+		t.Fatalf("woken = %d after append, want 1", woken)
+	}
+	if got, ok := c.Next(); !ok || got != tu {
+		t.Fatalf("Next = %+v ok=%v", got, ok)
+	}
+	// At the live edge a looping cursor still waits: the stream may grow.
+	if _, ok := c.Next(); ok {
+		t.Fatal("cursor wrapped before the trace was sealed")
+	}
+	lt.Complete(nil)
+	if woken != 2 {
+		t.Fatalf("woken = %d after complete, want 2", woken)
+	}
+	if got, ok := c.Next(); !ok || got != tu {
+		t.Fatalf("sealed loop Next = %+v ok=%v", got, ok)
+	}
+	if lt.WeightedLoss() != 0.5 {
+		t.Fatalf("WeightedLoss = %v", lt.WeightedLoss())
+	}
+	if lt.Append(core.Tuple{D: time.Second}); lt.Len() != 1 {
+		t.Fatal("append after Complete must be ignored")
+	}
+}
+
+// A strict stream refuses damage instead of salvaging around it, and
+// failure seals the live trace with the error.
+func TestStreamStrictFailsOnDamage(t *testing.T) {
+	data := collectedTraceBytes(t, 10)
+	data[len(data)/2] ^= 0xff // smash a record mid-file
+
+	m := NewManager(Options{Granularity: time.Millisecond})
+	defer m.Close()
+	st, err := m.Streams().Create(StreamConfig{Name: "strict", Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var werr error
+	for off := 0; off < len(data) && werr == nil; off += 512 {
+		end := off + 512
+		if end > len(data) {
+			end = len(data)
+		}
+		werr = st.Write(data[off:end])
+	}
+	if werr == nil {
+		_, werr = st.Finish()
+	}
+	if werr == nil {
+		t.Fatal("strict stream accepted damaged input")
+	}
+	if st.State() != StreamFailed {
+		t.Fatalf("state = %s, want failed", st.State())
+	}
+	if done, derr := st.Live().Done(); !done || derr == nil {
+		t.Fatalf("live trace after failure: done=%v err=%v", done, derr)
+	}
+}

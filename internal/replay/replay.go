@@ -56,21 +56,59 @@ const FileHeader = "#tracemod-replay v1"
 // Write serializes a replay trace: a header line, then one tuple per line
 // as "duration_us F_us Vb_ns_per_byte Vr_ns_per_byte loss".
 func Write(w io.Writer, tr core.Trace) error {
-	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintln(bw, FileHeader); err != nil {
+	sw, err := NewStreamWriter(w)
+	if err != nil {
 		return err
 	}
 	for _, t := range tr {
-		_, err := fmt.Fprintf(bw, "%d %d %.3f %.3f %.6f\n",
-			t.D.Microseconds(), t.F.Microseconds(), float64(t.Vb), float64(t.Vr), t.L)
-		if err != nil {
+		if err := sw.Append(t); err != nil {
 			return err
 		}
 	}
-	if err := bw.Flush(); err != nil {
+	return sw.Flush()
+}
+
+// StreamWriter serializes a replay trace incrementally, tuple by tuple,
+// so a live distillation can be tailed from the file while it grows.
+// Because the format is line-oriented with no trailer, a trace written
+// through a StreamWriter is byte-identical to one written by Write, and
+// every Flush leaves a well-formed (if shorter) trace on disk.
+type StreamWriter struct {
+	bw      *bufio.Writer
+	written int64
+}
+
+// NewStreamWriter writes the file header immediately and returns a
+// writer ready to Append tuples.
+func NewStreamWriter(w io.Writer) (*StreamWriter, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, FileHeader); err != nil {
+		return nil, err
+	}
+	return &StreamWriter{bw: bw}, nil
+}
+
+// Append serializes one tuple.
+func (sw *StreamWriter) Append(t core.Tuple) error {
+	_, err := fmt.Fprintf(sw.bw, "%d %d %.3f %.3f %.6f\n",
+		t.D.Microseconds(), t.F.Microseconds(), float64(t.Vb), float64(t.Vr), t.L)
+	if err != nil {
 		return err
 	}
-	tuplesWritten.Add(int64(len(tr)))
+	sw.written++
+	return nil
+}
+
+// Flush pushes buffered lines to the underlying writer and accounts the
+// tuples written since the previous Flush. Call after each batch of
+// appends a tailing reader should see, and once before discarding the
+// writer.
+func (sw *StreamWriter) Flush() error {
+	if err := sw.bw.Flush(); err != nil {
+		return err
+	}
+	tuplesWritten.Add(sw.written)
+	sw.written = 0
 	return nil
 }
 

@@ -1,0 +1,493 @@
+// Streaming decode: parsing a collected trace while it is still being
+// written — a growing file tailed by a follower, or a chunked upload
+// arriving over HTTP. The core difficulty is telling a truncated tail
+// (more bytes may come; wait) from real corruption (they will not;
+// resync or fail). StreamReader makes exactly the decisions the batch
+// readers make, deferring any judgment that could change with more
+// data: feeding a stream byte-at-a-time and finishing yields the same
+// records and the same ReadReport as handing the final bytes to
+// ReadAll (strict) or SalvageAll (salvage mode) in one piece.
+package tracefmt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrStreamFinished is returned by Feed and ReadAvailable after Finish.
+var ErrStreamFinished = errors.New("tracefmt: stream already finished")
+
+// StreamOptions parameterizes a StreamReader.
+type StreamOptions struct {
+	// Salvage resynchronizes past damage the way SalvageAll does,
+	// instead of failing at the first framing error the way ReadAll
+	// does.
+	Salvage bool
+}
+
+// StreamReader decodes trace records incrementally from fed byte
+// chunks. Not safe for concurrent use.
+type StreamReader struct {
+	opts StreamOptions
+
+	buf []byte
+	i   int // parse cursor into buf
+
+	hdrDone bool
+	hdr     Header
+
+	rep  ReadReport
+	err  error // sticky fatal (bad header; strict framing errors)
+	done bool  // Finish was called
+
+	out []any // decoded records awaiting ReadAvailable
+
+	// Strict-mode CRC bookkeeping (mirrors Reader.remember).
+	lastKind    RecordType
+	lastPayload []byte
+
+	// Salvage-mode hold-back: the most recent data record stays pending
+	// while a following RecCRC could still reject it (mirrors
+	// salvageRecords' append-then-dropLast).
+	pendRec     any
+	pendKind    RecordType
+	pendPayload []byte
+
+	// Salvage-mode resync scan state.
+	resyncing bool
+	resyncAt  int // the framing-error position the gap is charged from
+	resyncJ   int // scan cursor
+}
+
+// NewStreamReader creates an incremental reader; the header is parsed
+// from the first fed bytes.
+func NewStreamReader(opts StreamOptions) *StreamReader {
+	return &StreamReader{opts: opts}
+}
+
+// Feed appends a chunk of the stream. It never parses; call
+// ReadAvailable to drain whatever the new bytes complete.
+func (r *StreamReader) Feed(p []byte) error {
+	if r.done {
+		return ErrStreamFinished
+	}
+	r.buf = append(r.buf, p...)
+	return nil
+}
+
+// Header returns the file header once enough bytes have been fed to
+// parse it.
+func (r *StreamReader) Header() (Header, bool) { return r.hdr, r.hdrDone }
+
+// Buffered reports how many fed bytes are not yet consumed by a
+// decision — the undecodable tail (at most one record frame plus the
+// resync lookahead, outside pathological headers).
+func (r *StreamReader) Buffered() int { return len(r.buf) - r.i }
+
+// Report returns the salvage accounting so far. Only complete after
+// Finish; in strict mode only Records is maintained.
+func (r *StreamReader) Report() ReadReport { return r.rep }
+
+// ReadAvailable decodes and returns every record the bytes fed so far
+// fully determine, without blocking for more. A truncated record at the
+// tail is not an error — it may complete with the next Feed; Finish
+// renders the final judgment. In strict mode a framing error is sticky
+// and returned alongside any records decoded before it; in salvage mode
+// damage is accounted in the report instead.
+func (r *StreamReader) ReadAvailable() ([]any, error) {
+	if r.done {
+		return nil, ErrStreamFinished
+	}
+	r.run(false)
+	return r.drain(), r.err
+}
+
+// Finish declares the stream complete — the writer closed, the upload
+// ended — and renders every judgment that was waiting on more data:
+// a partial record at the tail becomes a truncated tail (salvage) or a
+// truncation error (strict). It returns the final records, the complete
+// report, and the terminal error, exactly matching the batch readers on
+// the same bytes.
+func (r *StreamReader) Finish() ([]any, *ReadReport, error) {
+	if r.done {
+		return nil, nil, ErrStreamFinished
+	}
+	r.run(true)
+	r.done = true
+	if r.err == nil && !r.hdrDone {
+		r.err = r.headerError()
+	}
+	rep := r.rep
+	return r.drain(), &rep, r.err
+}
+
+func (r *StreamReader) drain() []any {
+	out := r.out
+	r.out = nil
+	// Compact: everything before the cursor is decided. Resync scan
+	// positions move with the cursor.
+	if r.i > 0 {
+		n := copy(r.buf, r.buf[r.i:])
+		r.buf = r.buf[:n]
+		if r.resyncing {
+			r.resyncAt -= r.i
+			r.resyncJ -= r.i
+		}
+		r.i = 0
+	}
+	return out
+}
+
+// headerError reproduces NewReader's error for an incomplete header at
+// end of stream.
+func (r *StreamReader) headerError() error {
+	if len(r.buf) == 0 {
+		return io.EOF
+	}
+	if len(r.buf) >= 4 && binary.BigEndian.Uint32(r.buf[:4]) != Magic {
+		return ErrBadMagic
+	}
+	return io.ErrUnexpectedEOF
+}
+
+// run advances the parse as far as the fed bytes allow. With final set,
+// end-of-buffer is end-of-stream and every deferred judgment lands.
+func (r *StreamReader) run(final bool) {
+	if r.err != nil {
+		return
+	}
+	if !r.hdrDone && !r.parseHeader() {
+		return
+	}
+	if r.err != nil {
+		return
+	}
+	if r.opts.Salvage {
+		r.runSalvage(final)
+	} else {
+		r.runStrict(final)
+	}
+}
+
+// parseHeader consumes the file header once it is fully present,
+// mirroring NewReader: magic, version, device string, start, comment
+// string. Returns false while more bytes are needed.
+func (r *StreamReader) parseHeader() bool {
+	b := r.buf
+	if len(b) < 4 {
+		return false
+	}
+	if binary.BigEndian.Uint32(b[:4]) != Magic {
+		r.err = ErrBadMagic
+		return false
+	}
+	if len(b) < 6 {
+		return false
+	}
+	if ver := binary.BigEndian.Uint16(b[4:6]); ver != Version {
+		r.err = fmt.Errorf("%w: %d", ErrBadVersion, ver)
+		return false
+	}
+	p := 6
+	// Device string.
+	if len(b) < p+2 {
+		return false
+	}
+	dn := int(binary.BigEndian.Uint16(b[p : p+2]))
+	if len(b) < p+2+dn+8+2 {
+		return false
+	}
+	device := string(b[p+2 : p+2+dn])
+	p += 2 + dn
+	start := int64(binary.BigEndian.Uint64(b[p : p+8]))
+	p += 8
+	cn := int(binary.BigEndian.Uint16(b[p : p+2]))
+	if len(b) < p+2+cn {
+		return false
+	}
+	comment := string(b[p+2 : p+2+cn])
+	p += 2 + cn
+
+	r.hdr = Header{Device: device, Start: start, Comment: comment}
+	r.hdrDone = true
+	r.i = p
+	return true
+}
+
+// runStrict mirrors Reader.Next: any framing violation is a sticky
+// error; a partial frame at the tail waits (or, with final, becomes the
+// truncation error ReadAll would report).
+func (r *StreamReader) runStrict(final bool) {
+	b := r.buf
+	for {
+		i := r.i
+		if i == len(b) {
+			return // clean boundary: io.EOF territory, not an error
+		}
+		if len(b)-i < 3 {
+			if !final {
+				return
+			}
+			r.err = unexpectedEOF(io.ErrUnexpectedEOF)
+			return
+		}
+		n := int(binary.BigEndian.Uint16(b[i+1 : i+3]))
+		end := i + 3 + n
+		if end > len(b) {
+			if !final {
+				return
+			}
+			r.err = unexpectedEOF(io.ErrUnexpectedEOF)
+			return
+		}
+		payload := b[i+3 : end]
+		switch t := RecordType(b[i]); t {
+		case RecPacket:
+			if n < packetRecLen {
+				r.err = fmt.Errorf("tracefmt: short packet record (%d bytes)", n)
+				return
+			}
+			r.emit(decodePacket(payload), t, payload)
+		case RecDevice:
+			if n < deviceRecLen {
+				r.err = fmt.Errorf("tracefmt: short device record (%d bytes)", n)
+				return
+			}
+			r.emit(decodeDevice(payload), t, payload)
+		case RecLost:
+			if n < lostRecLen {
+				r.err = fmt.Errorf("tracefmt: short lost record (%d bytes)", n)
+				return
+			}
+			r.emit(decodeLost(payload), t, payload)
+		case RecCRC:
+			if n < crcRecLen {
+				r.err = fmt.Errorf("tracefmt: short crc record (%d bytes)", n)
+				return
+			}
+			if r.lastPayload != nil && !crcMatches(payload, r.lastKind, r.lastPayload) {
+				r.err = fmt.Errorf("%w (covering %d-byte type-%d record)",
+					ErrCRCMismatch, len(r.lastPayload), r.lastKind)
+				return
+			}
+			r.lastPayload = nil
+		default:
+			// Self-descriptive framing: skip what we do not understand.
+		}
+		r.i = end
+	}
+}
+
+// emit appends a decoded record in strict mode, remembering its payload
+// for a following RecCRC. The payload is copied: drain compacts buf.
+func (r *StreamReader) emit(rec any, t RecordType, payload []byte) {
+	r.out = append(r.out, rec)
+	r.rep.Records++
+	r.lastKind = t
+	r.lastPayload = append([]byte(nil), payload...)
+}
+
+// runSalvage mirrors salvageRecords, deferring every judgment that more
+// bytes could change: a frame overrunning the buffer waits (it may
+// complete), an unknown record whose following boundary cannot be
+// verified yet waits, a resync scan pauses where the anchor test needs
+// bytes not yet fed. With final set, each pending judgment lands on the
+// batch reader's exact branch.
+func (r *StreamReader) runSalvage(final bool) {
+	b := r.buf
+	for {
+		if r.resyncing {
+			if !r.scanAnchor(final) {
+				return
+			}
+			continue
+		}
+		i := r.i
+		if i == len(b) {
+			if final {
+				r.releasePending()
+			}
+			return
+		}
+		if len(b)-i < 3 {
+			if !final {
+				return
+			}
+			// Too short to even frame a record.
+			r.releasePending()
+			r.rep.Skipped += int64(len(b) - i)
+			r.rep.TruncatedTail = true
+			r.rep.Damaged++
+			r.i = len(b)
+			return
+		}
+		typ := RecordType(b[i])
+		n := int(binary.BigEndian.Uint16(b[i+1 : i+3]))
+		min := minRecLen(typ)
+		if min >= 0 && n < min {
+			// A known record claiming less than its fixed payload: the
+			// length field (or the type byte) is corrupt. No future byte
+			// can fix that — resync now.
+			r.startResync(i)
+			continue
+		}
+		end := i + 3 + n
+		if end > len(b) {
+			if !final {
+				return // the frame may complete with the next Feed
+			}
+			if min >= 0 && n <= min+anchorSlack {
+				// A believable record cut off mid-payload: the classic
+				// torn tail of an interrupted collection.
+				r.releasePending()
+				r.rep.Skipped += int64(len(b) - i)
+				r.rep.TruncatedTail = true
+				r.rep.Damaged++
+				r.i = len(b)
+				return
+			}
+			// The claimed length overruns the stream by more than any
+			// real record could: corruption, not truncation.
+			r.startResync(i)
+			continue
+		}
+		payload := b[i+3 : end]
+		switch typ {
+		case RecPacket, RecDevice, RecLost:
+			r.releasePending()
+			switch typ {
+			case RecPacket:
+				r.pendRec = decodePacket(payload)
+			case RecDevice:
+				r.pendRec = decodeDevice(payload)
+			case RecLost:
+				r.pendRec = decodeLost(payload)
+			}
+			r.pendKind = typ
+			r.pendPayload = append([]byte(nil), payload...)
+		case RecCRC:
+			if r.pendPayload != nil && !crcMatches(payload, r.pendKind, r.pendPayload) {
+				// The integrity record disagrees: the held data record
+				// never reaches the caller.
+				r.pendRec, r.pendPayload = nil, nil
+				r.rep.CRCDropped++
+				r.rep.Damaged++
+			} else {
+				r.releasePending()
+			}
+		default:
+			// Unknown type: trust the self-descriptive framing only if
+			// it lands somewhere a record could start. The boundary test
+			// peeks at the next frame, so it must wait until that frame
+			// is decidable.
+			ok, decided := r.boundaryAt(end, final)
+			if !decided {
+				return
+			}
+			if !ok {
+				r.startResync(i)
+				continue
+			}
+		}
+		r.i = end
+	}
+}
+
+// releasePending hands the held data record to the caller: nothing can
+// reject it anymore.
+func (r *StreamReader) releasePending() {
+	if r.pendRec != nil {
+		r.out = append(r.out, r.pendRec)
+		r.rep.Records++
+		r.pendRec, r.pendPayload = nil, nil
+	}
+}
+
+// boundaryAt evaluates plausibleBoundary(buf, j) if its outcome can no
+// longer change with more data, returning (verdict, decided).
+func (r *StreamReader) boundaryAt(j int, final bool) (bool, bool) {
+	b := r.buf
+	if final {
+		return plausibleBoundary(b, j), true
+	}
+	if len(b)-j < 3 {
+		// End-of-stream would be a boundary, a partial frame might
+		// become one: wait.
+		return false, false
+	}
+	n := int(binary.BigEndian.Uint16(b[j+1 : j+3]))
+	if min := minRecLen(RecordType(b[j])); min >= 0 && n < min {
+		return false, true // stable: no future byte raises n
+	}
+	if j+3+n <= len(b) {
+		return true, true // stable: the frame fits already
+	}
+	return false, false // the frame may yet fit: wait
+}
+
+// startResync begins a forward scan for a plausible anchor at the byte
+// after a framing error, exactly as resyncFrom does. A resync clears
+// the CRC chain, so the held record is safe to release.
+func (r *StreamReader) startResync(i int) {
+	r.releasePending()
+	r.resyncing = true
+	r.resyncAt = i
+	r.resyncJ = i + 1
+}
+
+// scanAnchor advances the resync scan. It returns true when the scan
+// concluded (anchor found, or final end-of-stream) and parsing can
+// resume; false when the anchor test needs bytes not yet fed.
+func (r *StreamReader) scanAnchor(final bool) bool {
+	b := r.buf
+	j := r.resyncJ
+	for j < len(b) {
+		if len(b)-j < 3 {
+			if !final {
+				break // a frame could start here once more bytes arrive
+			}
+			j = len(b)
+			break
+		}
+		min := minRecLen(RecordType(b[j]))
+		if min < 0 {
+			j++
+			continue
+		}
+		n := int(binary.BigEndian.Uint16(b[j+1 : j+3]))
+		if n < min || n > min+anchorSlack {
+			j++
+			continue
+		}
+		if j+3+n > len(b) {
+			if !final {
+				break // the candidate payload may yet arrive in full
+			}
+			j++
+			continue
+		}
+		if RecordType(b[j]) == RecPacket && b[j+3+8] > 1 {
+			j++
+			continue
+		}
+		// Anchor: charge the whole gap as one damaged region.
+		r.rep.Skipped += int64(j - r.resyncAt)
+		r.rep.Resyncs++
+		r.rep.Damaged++
+		r.resyncing = false
+		r.i = j
+		return true
+	}
+	if final && j == len(b) {
+		r.rep.Skipped += int64(j - r.resyncAt)
+		r.rep.Resyncs++
+		r.rep.Damaged++
+		r.resyncing = false
+		r.i = j
+		return true
+	}
+	r.resyncJ = j
+	return false
+}

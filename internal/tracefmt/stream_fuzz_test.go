@@ -1,0 +1,72 @@
+package tracefmt
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzStreamReader holds the streaming salvage parser to its contract:
+// on ANY byte sequence, fed in ANY chunking, it must produce exactly
+// the records and report SalvageAll produces from the same bytes in one
+// piece. The chunk seed varies the feeding pattern so the fuzzer
+// explores decision points near chunk boundaries.
+func FuzzStreamReader(f *testing.F) {
+	var clean bytes.Buffer
+	if err := WriteAllOptions(&clean, sampleTrace(), WriterOptions{CRC: true}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(clean.Bytes(), uint8(1))
+	f.Add(clean.Bytes()[:clean.Len()-5], uint8(7))
+	for _, name := range []string{"bitflip.trace", "truncated.trace", "unknown_flood.trace"} {
+		if data, err := os.ReadFile(filepath.Join("testdata", name)); err == nil {
+			f.Add(data, uint8(3))
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte, chunkSeed uint8) {
+		if len(data) > 64<<10 {
+			t.Skip("bounding fuzz input size")
+		}
+		want, wantRep, wantErr := SalvageAll(bytes.NewReader(data))
+
+		r := NewStreamReader(StreamOptions{Salvage: true})
+		var recs []any
+		chunk := int(chunkSeed%32) + 1
+		for off := 0; off < len(data); off += chunk {
+			end := off + chunk
+			if end > len(data) {
+				end = len(data)
+			}
+			if err := r.Feed(data[off:end]); err != nil {
+				t.Fatalf("Feed: %v", err)
+			}
+			got, err := r.ReadAvailable()
+			recs = append(recs, got...)
+			if err != nil {
+				if wantErr == nil {
+					t.Fatalf("stream failed (%v) where salvage succeeded", err)
+				}
+				return
+			}
+		}
+		rest, rep, err := r.Finish()
+		recs = append(recs, rest...)
+		if (err != nil) != (wantErr != nil) {
+			t.Fatalf("err=%v, SalvageAll err=%v", err, wantErr)
+		}
+		if wantErr != nil {
+			return
+		}
+		got := splitRecords(recs)
+		if !sameRecords(got, want) {
+			t.Fatalf("records diverge: got %d/%d/%d, want %d/%d/%d",
+				len(got.Packets), len(got.Devices), len(got.Lost),
+				len(want.Packets), len(want.Devices), len(want.Lost))
+		}
+		if *rep != *wantRep {
+			t.Fatalf("report %+v, want %+v", *rep, *wantRep)
+		}
+	})
+}

@@ -1,0 +1,313 @@
+package tracefmt
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// streamChunkSizes is the sweep every identity test runs: pathological
+// byte-at-a-time, primes that misalign with record framing, and
+// whole-buffer.
+var streamChunkSizes = []int{1, 2, 3, 7, 17, 64, 1024, 1 << 20}
+
+// feedAll pushes data through a StreamReader in fixed-size chunks,
+// calling ReadAvailable after every chunk, and finishes.
+func feedAll(t *testing.T, r *StreamReader, data []byte, chunk int) ([]any, *ReadReport, error) {
+	t.Helper()
+	var recs []any
+	for off := 0; off < len(data); off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		if err := r.Feed(data[off:end]); err != nil {
+			t.Fatalf("Feed: %v", err)
+		}
+		got, err := r.ReadAvailable()
+		recs = append(recs, got...)
+		if err != nil {
+			// Sticky strict error: drain nothing more, but Finish still
+			// renders the final report.
+			rest, rep, ferr := r.Finish()
+			return append(recs, rest...), rep, ferr
+		}
+	}
+	rest, rep, err := r.Finish()
+	return append(recs, rest...), rep, err
+}
+
+// splitRecords sorts a record sequence into the Trace shape.
+func splitRecords(recs []any) *Trace {
+	t := &Trace{}
+	for _, rec := range recs {
+		switch v := rec.(type) {
+		case PacketRecord:
+			t.Packets = append(t.Packets, v)
+		case DeviceRecord:
+			t.Devices = append(t.Devices, v)
+		case LostRecord:
+			t.Lost = append(t.Lost, v)
+		}
+	}
+	return t
+}
+
+func sameRecords(a, b *Trace) bool {
+	return len(a.Packets) == len(b.Packets) && len(a.Devices) == len(b.Devices) && len(a.Lost) == len(b.Lost) &&
+		(len(a.Packets) == 0 || reflect.DeepEqual(a.Packets, b.Packets)) &&
+		(len(a.Devices) == 0 || reflect.DeepEqual(a.Devices, b.Devices)) &&
+		(len(a.Lost) == 0 || reflect.DeepEqual(a.Lost, b.Lost))
+}
+
+// assertMatchesSalvage drives the salvaging StreamReader over data at
+// every chunk size and demands the records and report SalvageAll
+// produces from the same bytes.
+func assertMatchesSalvage(t *testing.T, name string, data []byte) {
+	t.Helper()
+	want, wantRep, wantErr := SalvageAll(bytes.NewReader(data))
+	for _, chunk := range streamChunkSizes {
+		r := NewStreamReader(StreamOptions{Salvage: true})
+		recs, rep, err := feedAll(t, r, data, chunk)
+		if (err != nil) != (wantErr != nil) {
+			t.Fatalf("%s chunk=%d: err=%v, SalvageAll err=%v", name, chunk, err, wantErr)
+		}
+		if wantErr != nil {
+			continue // header unreadable both ways; nothing else to compare
+		}
+		if hdr, ok := r.Header(); !ok || hdr != want.Header {
+			t.Fatalf("%s chunk=%d: header=%+v ok=%v, want %+v", name, chunk, hdr, ok, want.Header)
+		}
+		got := splitRecords(recs)
+		if !sameRecords(got, want) {
+			t.Fatalf("%s chunk=%d: records diverge: got %d/%d/%d, want %d/%d/%d",
+				name, chunk, len(got.Packets), len(got.Devices), len(got.Lost),
+				len(want.Packets), len(want.Devices), len(want.Lost))
+		}
+		if *rep != *wantRep {
+			t.Fatalf("%s chunk=%d: report %+v, want %+v", name, chunk, *rep, *wantRep)
+		}
+	}
+}
+
+func TestStreamReaderMatchesSalvageOnFixtures(t *testing.T) {
+	for _, name := range []string{"bitflip.trace", "truncated.trace", "unknown_flood.trace"} {
+		assertMatchesSalvage(t, name, readFixture(t, name))
+	}
+}
+
+func TestStreamReaderMatchesSalvageOnCleanStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesSalvage(t, "clean", buf.Bytes())
+
+	var crc bytes.Buffer
+	if err := WriteAllOptions(&crc, sampleTrace(), WriterOptions{CRC: true}); err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesSalvage(t, "clean+crc", crc.Bytes())
+}
+
+func TestStreamReaderMatchesSalvageOnDamage(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAllOptions(&buf, sampleTrace(), WriterOptions{CRC: true}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	cases := map[string]func([]byte) []byte{
+		"payload-flip": func(b []byte) []byte {
+			b[len(b)/2] ^= 0x40
+			return b
+		},
+		"length-smash": func(b []byte) []byte {
+			b[len(b)/3] = 0xff
+			b[len(b)/3+1] = 0xff
+			return b
+		},
+		"torn-tail": func(b []byte) []byte { return b[:len(b)-7] },
+		"mid-cut":   func(b []byte) []byte { return b[:2*len(b)/3] },
+	}
+	for name, mutate := range cases {
+		assertMatchesSalvage(t, name, mutate(append([]byte(nil), data...)))
+	}
+}
+
+// The satellite's core promise: a truncated tail mid-stream is "wait",
+// not "corrupt". The reader must hand over everything before the tear,
+// report no damage, and resume seamlessly when the rest arrives.
+func TestStreamReaderTruncatedTailWaitsForMore(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	cut := len(data) - 9 // mid-record
+
+	r := NewStreamReader(StreamOptions{Salvage: true})
+	if err := r.Feed(data[:cut]); err != nil {
+		t.Fatal(err)
+	}
+	first, err := r.ReadAvailable()
+	if err != nil {
+		t.Fatalf("ReadAvailable on truncated tail: %v", err)
+	}
+	if r.Report().TruncatedTail || r.Report().Damaged != 0 {
+		t.Fatalf("mid-stream tail misjudged as damage: %+v", r.Report())
+	}
+	if r.Buffered() == 0 {
+		t.Fatal("the partial record should still be buffered")
+	}
+	if err := r.Feed(data[cut:]); err != nil {
+		t.Fatal(err)
+	}
+	rest, rep, err := r.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("reassembled stream reported dirty: %+v", *rep)
+	}
+	want, _ := ReadAll(bytes.NewReader(data))
+	if got := splitRecords(append(first, rest...)); !sameRecords(got, want) {
+		t.Fatal("reassembled records diverge from a clean parse")
+	}
+}
+
+// Strict mode mirrors Reader.Next: records stream out until the framing
+// error, which then sticks.
+func TestStreamReaderStrictMatchesReader(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAllOptions(&buf, sampleTrace(), WriterOptions{CRC: true}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)/2] ^= 0x40 // flip a payload bit: the CRC must catch it
+
+	rd, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantRecs []any
+	var wantErr error
+	for {
+		rec, err := rd.Next()
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				wantErr = err
+			}
+			break
+		}
+		wantRecs = append(wantRecs, rec)
+	}
+	if wantErr == nil {
+		t.Fatal("fixture should trip the CRC check")
+	}
+
+	for _, chunk := range streamChunkSizes {
+		r := NewStreamReader(StreamOptions{})
+		recs, _, err := feedAll(t, r, data, chunk)
+		if err == nil || err.Error() != wantErr.Error() {
+			t.Fatalf("chunk=%d: err=%v, want %v", chunk, err, wantErr)
+		}
+		if len(recs) != len(wantRecs) {
+			t.Fatalf("chunk=%d: %d records before the error, want %d", chunk, len(recs), len(wantRecs))
+		}
+	}
+}
+
+func TestStreamReaderStrictCleanStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range streamChunkSizes {
+		r := NewStreamReader(StreamOptions{})
+		recs, _, err := feedAll(t, r, buf.Bytes(), chunk)
+		if err != nil {
+			t.Fatalf("chunk=%d: %v", chunk, err)
+		}
+		if got := splitRecords(recs); !sameRecords(got, want) {
+			t.Fatalf("chunk=%d: records diverge from ReadAll", chunk)
+		}
+	}
+}
+
+func TestStreamReaderBadHeader(t *testing.T) {
+	r := NewStreamReader(StreamOptions{Salvage: true})
+	if err := r.Feed([]byte("not a trace, definitely")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadAvailable(); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err=%v, want ErrBadMagic", err)
+	}
+	if _, _, err := r.Finish(); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("Finish err=%v, want ErrBadMagic", err)
+	}
+}
+
+func TestStreamReaderAfterFinish(t *testing.T) {
+	r := NewStreamReader(StreamOptions{Salvage: true})
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Feed(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Feed([]byte{1}); !errors.Is(err, ErrStreamFinished) {
+		t.Fatalf("Feed after Finish: %v", err)
+	}
+	if _, err := r.ReadAvailable(); !errors.Is(err, ErrStreamFinished) {
+		t.Fatalf("ReadAvailable after Finish: %v", err)
+	}
+}
+
+// A growing stream must never have unbounded memory pinned in the
+// reader: after draining, only the undecidable tail stays buffered.
+func TestStreamReaderBuffersOnlyTail(t *testing.T) {
+	r := NewStreamReader(StreamOptions{Salvage: true})
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{Device: "wavelan0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Feed(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadAvailable(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		var rec bytes.Buffer
+		wr, _ := NewWriter(&rec, Header{})
+		_ = wr.WritePacket(PacketRecord{At: int64(i) * int64(time.Millisecond), Size: 60, RTT: -1})
+		_ = wr.Flush()
+		// Strip the empty file header (magic+version+strings+start = 18
+		// bytes) the throwaway writer added.
+		if err := r.Feed(rec.Bytes()[18:]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.ReadAvailable(); err != nil {
+			t.Fatal(err)
+		}
+		if got := r.Buffered(); got > 3+packetRecLen {
+			t.Fatalf("record %d: %d bytes pinned; the drained prefix must be released", i, got)
+		}
+	}
+}
