@@ -14,6 +14,7 @@ import (
 	"bytes"
 	"math/rand"
 	"runtime"
+	"sort"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -23,6 +24,7 @@ import (
 	"tracemod/internal/core"
 	"tracemod/internal/distill"
 	"tracemod/internal/emud"
+	"tracemod/internal/emud/wal"
 	"tracemod/internal/expt"
 	"tracemod/internal/modulation"
 	"tracemod/internal/obs"
@@ -456,6 +458,83 @@ func BenchmarkEmudSessionFarm(b *testing.B) {
 		b.ReportMetric(float64(peak-base)/sessions, "goroutines/session")
 		b.ReportMetric(float64(delivered.Load())/sessions, "delivered/session")
 		b.ReportMetric(float64(dropped.Load())/float64(sessions*perSession), "drop-rate")
+	}
+}
+
+// streamIngestBytes synthesizes a collected trace of the given duration
+// in wire format, the input one live-ingest upload carries. ~205 bytes
+// per traced second: four echo pairs, sorted by timestamp.
+func streamIngestBytes(seconds int) []byte {
+	const s1, s2 = 60, 1028
+	params := core.DelayParams{F: 2 * time.Millisecond, Vb: 5000, Vr: 800}
+	tr := &tracefmt.Trace{Header: tracefmt.Header{Device: "wavelan0"}}
+	seq := uint16(0)
+	for sec := 0; sec < seconds; sec++ {
+		base := int64(sec) * int64(time.Second)
+		emit := func(size int, rtt time.Duration) {
+			seq++
+			tr.Packets = append(tr.Packets, tracefmt.PacketRecord{
+				At: base, Dir: tracefmt.DirOut, Size: uint16(size),
+				Protocol: packet.ProtoICMP, ICMPType: packet.ICMPEcho, ID: 1, Seq: seq, RTT: -1,
+			})
+			tr.Packets = append(tr.Packets, tracefmt.PacketRecord{
+				At: base + int64(rtt), Dir: tracefmt.DirIn, Size: uint16(size),
+				Protocol: packet.ProtoICMP, ICMPType: packet.ICMPEchoReply, ID: 1, Seq: seq, RTT: int64(rtt),
+			})
+		}
+		emit(s1, params.RoundTrip(s1))
+		emit(s2, params.RoundTrip(s2))
+		emit(s2, params.RoundTrip(s2))
+		emit(s2, params.RoundTrip(s2)+params.Vb.Cost(s2))
+	}
+	sort.SliceStable(tr.Packets, func(i, j int) bool { return tr.Packets[i].At < tr.Packets[j].At })
+	var buf bytes.Buffer
+	if err := tracefmt.WriteAll(&buf, tr); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// BenchmarkStreamIngest measures the durable live-ingest path end to end:
+// a five-minute collected trace uploaded in 4 KB chunks through a
+// WAL-backed stream (fsync batched on the interval policy, as a tuned
+// deployment runs it), distilled incrementally, and sealed. Per-op bytes
+// track the upload size so throughput is comparable across runs.
+func BenchmarkStreamIngest(b *testing.B) {
+	b.ReportAllocs()
+	data := streamIngestBytes(300)
+	m := emud.NewManager(emud.Options{
+		Granularity:   time.Millisecond,
+		StreamWALDir:  b.TempDir(),
+		StreamWALSync: wal.SyncInterval,
+	})
+	defer m.Close()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := m.Streams().Create(emud.StreamConfig{Name: "bench"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for off := 0; off < len(data); off += 4096 {
+			end := off + 4096
+			if end > len(data) {
+				end = len(data)
+			}
+			if err := st.Write(data[off:end]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sum, err := st.Finish()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(sum.Replay) == 0 {
+			b.Fatal("empty distilled replay")
+		}
+		b.StopTimer()
+		m.Streams().Delete("bench")
+		b.StartTimer()
 	}
 }
 

@@ -12,6 +12,9 @@
 //	     [-trace-cache 64] [-events 4096]
 //	     [-max-session-inflight 0] [-max-inflight-bytes 0]
 //	     [-snapshot PATH] [-snapshot-interval 10s] [-recover]
+//	     [-wal-dir PATH] [-wal-sync always|interval|none] [-wal-segment 8388608]
+//	     [-stream-idle-timeout 0] [-stream-quota 0]
+//	     [-spill-dir PATH] [-mem-high 0] [-pinned-budget 0]
 //	     [-faults] [-fault-seed 0]
 //	     [-trace-sample 0] [-flight 256]
 //	     [-log-level info] [-log-format text]
@@ -27,9 +30,13 @@
 //	GET    /v1/sessions/{id}/flight  per-session flight-recorder span dump
 //	POST   /v1/streams?name=N     live-ingest a collected trace (chunked body,
 //	                              tracefmt framing); distilled incrementally,
-//	                              sessions can attach mid-upload via {"stream":N}
+//	                              sessions can attach mid-upload via {"stream":N};
+//	                              resumable=true keeps it open across drops
 //	GET    /v1/streams            list live-ingest streams
 //	GET    /v1/streams/{name}     inspect one stream (state, lag, tuples)
+//	PATCH  /v1/streams/{name}     resume an interrupted upload at Upload-Offset
+//	                              (Stream-Token auth; ?complete=true seals)
+//	GET    /v1/streams/{name}/offset  committed and durable resume offsets
 //	DELETE /v1/streams/{name}     abort/remove a stream (attached sessions keep
 //	                              their trace)
 //	GET    /v1/farm               farm-wide summary
@@ -62,6 +69,22 @@
 // with -recover restores those sessions (same IDs, cursors
 // fast-forwarded) before the control plane accepts traffic.
 //
+// With -wal-dir every stream chunk is appended to a per-stream
+// write-ahead log before it is interpreted, so -recover also replays the
+// WALs: live traces come back at their last durable offset, resumable
+// uploads pick up where the fsynced prefix ends, and snapshot-restored
+// sessions rebind to their recovered streams (streams are recovered
+// first for exactly that reason). -wal-sync trades durability for
+// throughput: "always" fsyncs every chunk, "interval" batches fsyncs,
+// "none" leaves flushing to the OS.
+//
+// Under memory pressure (-mem-high heap bytes, -pinned-budget ingest
+// bytes) the daemon browns out in stages instead of dying: span sampling
+// stops, new streams get 429 + Retry-After, sealed live traces spill to
+// -spill-dir, and finally live-edge reads pause. The current rung is on
+// /v1/health as "pressure", and past reject-streams the critical
+// ingest-brownout SLO flips readiness to 503.
+//
 // SIGINT/SIGTERM drain every session gracefully before exit.
 package main
 
@@ -75,6 +98,7 @@ import (
 	"time"
 
 	"tracemod/internal/emud"
+	"tracemod/internal/emud/wal"
 	"tracemod/internal/faults"
 	"tracemod/internal/obs"
 	"tracemod/internal/obs/span"
@@ -112,7 +136,15 @@ func main() {
 	maxBytes := flag.Int64("max-inflight-bytes", 0, "farm-wide in-flight byte budget (0 = unlimited)")
 	snapshotPath := flag.String("snapshot", "", "crash-recovery snapshot file (empty disables)")
 	snapshotEvery := flag.Duration("snapshot-interval", emud.DefaultSnapshotInterval, "periodic snapshot cadence")
-	doRecover := flag.Bool("recover", false, "restore sessions from the -snapshot file on startup")
+	doRecover := flag.Bool("recover", false, "restore streams from -wal-dir and sessions from the -snapshot file on startup")
+	walDir := flag.String("wal-dir", "", "per-stream write-ahead log directory (empty disables stream durability)")
+	walSyncFlag := flag.String("wal-sync", "always", "WAL fsync policy: always, interval, or none")
+	walSegment := flag.Int64("wal-segment", 0, "WAL segment rotation size in bytes (0 = default)")
+	streamIdle := flag.Duration("stream-idle-timeout", 0, "seal receiving streams idle this long (0 = never)")
+	streamQuota := flag.Int64("stream-quota", 0, "per-stream upload byte cap (0 = unlimited)")
+	spillDir := flag.String("spill-dir", "", "directory for spilled sealed live traces under memory pressure")
+	memHigh := flag.Int64("mem-high", 0, "heap bytes where brownout shedding starts (0 disables)")
+	pinnedBudget := flag.Int64("pinned-budget", 0, "live-ingest pinned byte budget before brownout (0 disables)")
 	enableFaults := flag.Bool("faults", false, "enable the fault-injection control plane (/v1/faults)")
 	faultSeed := flag.Int64("fault-seed", 0, "seed for the fault injector's deterministic streams")
 	traceSample := flag.Float64("trace-sample", 0, "span sampling rate in [0,1] (0 disables tracing; 1 traces everything)")
@@ -122,6 +154,11 @@ func main() {
 	flag.Parse()
 
 	log, err := newLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	walSync, err := wal.ParseSyncPolicy(*walSyncFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -142,33 +179,53 @@ func main() {
 	}
 
 	m := emud.NewManager(emud.Options{
-		Shards:             *shards,
-		Granularity:        *granularity,
-		MaxSessions:        *maxSessions,
-		IdleTimeout:        *idleTimeout,
-		DrainTimeout:       *drainTimeout,
-		MaxSessionInFlight: *maxInflight,
-		MaxInFlightBytes:   *maxBytes,
-		Store:              emud.NewStore(emud.StoreOptions{Capacity: *traceCache, Metrics: reg, Faults: inj, StrictTraces: *strictTraces}),
-		Faults:             inj,
-		SnapshotPath:       *snapshotPath,
-		SnapshotInterval:   *snapshotEvery,
-		Metrics:            reg,
-		Spans:              spans,
-		FlightSpans:        *flightCap,
-		Logger:             log,
+		Shards:                *shards,
+		Granularity:           *granularity,
+		MaxSessions:           *maxSessions,
+		IdleTimeout:           *idleTimeout,
+		DrainTimeout:          *drainTimeout,
+		MaxSessionInFlight:    *maxInflight,
+		MaxInFlightBytes:      *maxBytes,
+		Store:                 emud.NewStore(emud.StoreOptions{Capacity: *traceCache, Metrics: reg, Faults: inj, StrictTraces: *strictTraces}),
+		Faults:                inj,
+		SnapshotPath:          *snapshotPath,
+		SnapshotInterval:      *snapshotEvery,
+		StreamWALDir:          *walDir,
+		StreamWALSync:         walSync,
+		StreamWALSegmentBytes: *walSegment,
+		StreamIdleTimeout:     *streamIdle,
+		StreamQuotaBytes:      *streamQuota,
+		SpillDir:              *spillDir,
+		HeapHighWater:         *memHigh,
+		PinnedBudget:          *pinnedBudget,
+		Metrics:               reg,
+		Spans:                 spans,
+		FlightSpans:           *flightCap,
+		Logger:                log,
 	})
 
 	if *doRecover {
-		if *snapshotPath == "" {
-			log.Error("-recover requires -snapshot")
+		if *snapshotPath == "" && *walDir == "" {
+			log.Error("-recover requires -snapshot and/or -wal-dir")
 			os.Exit(1)
 		}
-		n, err := m.Recover(*snapshotPath)
-		if err != nil {
-			log.Error("recovery failed", "err", err, "restored", n)
-		} else if n > 0 {
-			log.Info("recovered sessions from snapshot", "sessions", n, "path", *snapshotPath)
+		// Streams first: snapshot-restored sessions rebind to live traces
+		// by stream name, so the store must know them before m.Recover.
+		if *walDir != "" {
+			n, err := m.Streams().Recover()
+			if err != nil {
+				log.Error("stream recovery incomplete", "err", err, "recovered", n)
+			} else if n > 0 {
+				log.Info("recovered streams from WAL", "streams", n, "dir", *walDir)
+			}
+		}
+		if *snapshotPath != "" {
+			n, err := m.Recover(*snapshotPath)
+			if err != nil {
+				log.Error("recovery failed", "err", err, "restored", n)
+			} else if n > 0 {
+				log.Info("recovered sessions from snapshot", "sessions", n, "path", *snapshotPath)
+			}
 		}
 	}
 

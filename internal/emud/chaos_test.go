@@ -23,9 +23,12 @@ import (
 	"testing"
 	"time"
 
+	"tracemod/internal/distill"
 	"tracemod/internal/faults"
 	"tracemod/internal/obs"
+	"tracemod/internal/replay"
 	"tracemod/internal/simnet"
+	"tracemod/internal/tracefmt"
 )
 
 const (
@@ -303,4 +306,85 @@ func tryJSON(t *testing.T, method, url string, body any, out any) (string, int) 
 		}
 	}
 	return string(raw), resp.StatusCode
+}
+
+// A kill -9 between upload chunks, repeated at random cut points: each
+// crash leaves a WAL whose replay must reproduce the pre-crash replay
+// tuples byte-for-byte up to the durable offset, and resuming from the
+// committed offset must converge on the batch-distilled output exactly.
+func TestChaosKillMidUploadRecoversDurablePrefix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite is not short")
+	}
+	data := collectedTraceBytes(t, 60)
+	collected, err := tracefmt.ReadAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := distill.Distill(collected, distill.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := replay.Write(&want, batch.Replay); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 5; round++ {
+		walDir := filepath.Join(t.TempDir(), fmt.Sprintf("wal-%d", round))
+		quiet := func(o *Options) { o.PressurePeriod = -1 }
+		m1 := newDurableManager(t, walDir, quiet)
+		st1, err := m1.Streams().Create(StreamConfig{Name: "victim", Resumable: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Feed randomly sized chunks and crash at a random point past the
+		// header but before the end.
+		cut := len(data)/4 + rng.Intn(len(data)/2)
+		off := 0
+		for off < cut {
+			n := 256 + rng.Intn(2048)
+			if off+n > cut {
+				n = cut - off
+			}
+			if err := st1.Write(data[off : off+n]); err != nil {
+				t.Fatalf("round %d write: %v", round, err)
+			}
+			off += n
+		}
+		preCrash := replayBytes(t, st1.Live())
+		durable := st1.Durable()
+		if durable != int64(cut) {
+			t.Fatalf("round %d: durable=%d, fsynced %d", round, durable, cut)
+		}
+		m1.wheel.Close() // the kill -9: nothing else is shut down
+
+		m2 := newDurableManager(t, walDir, quiet)
+		if n, err := m2.Streams().Recover(); n != 1 || err != nil {
+			t.Fatalf("round %d Recover = (%d, %v)", round, n, err)
+		}
+		st2, _ := m2.Streams().Get("victim")
+		if st2.Offset() != durable {
+			t.Fatalf("round %d: recovered offset %d, want %d", round, st2.Offset(), durable)
+		}
+		if got := replayBytes(t, st2.Live()); !bytes.Equal(got, preCrash) {
+			t.Fatalf("round %d: replayed tuples diverge from pre-crash ingest", round)
+		}
+		if err := st2.WriteAt(durable, data[durable:]); err != nil {
+			t.Fatalf("round %d resume: %v", round, err)
+		}
+		sum, err := st2.Finish()
+		if err != nil {
+			t.Fatalf("round %d finish: %v", round, err)
+		}
+		var got bytes.Buffer
+		if err := replay.Write(&got, sum.Replay); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatalf("round %d: crash+resume diverges from batch distill", round)
+		}
+		m2.Close()
+	}
 }

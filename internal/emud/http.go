@@ -14,10 +14,12 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"tracemod/internal/core"
+	"tracemod/internal/emud/pressure"
 	"tracemod/internal/faults"
 	"tracemod/internal/obs"
 	"tracemod/internal/obs/span"
@@ -68,6 +70,8 @@ func (a *API) Mux() *http.ServeMux {
 	mux.HandleFunc("POST /v1/streams", a.createStream)
 	mux.HandleFunc("GET /v1/streams", a.listStreams)
 	mux.HandleFunc("GET /v1/streams/{name}", a.getStream)
+	mux.HandleFunc("PATCH /v1/streams/{name}", a.resumeStream)
+	mux.HandleFunc("GET /v1/streams/{name}/offset", a.streamOffset)
 	mux.HandleFunc("DELETE /v1/streams/{name}", a.deleteStream)
 	mux.HandleFunc("GET /v1/farm", a.farmInfo)
 	mux.HandleFunc("GET /v1/slo", a.sloReport)
@@ -95,10 +99,13 @@ func (a *API) Mux() *http.ServeMux {
 // own 404/405 become {"error": ..., "status": ...}).
 func (a *API) Handler() http.Handler {
 	return a.trace(a.envelope(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		// Live-ingest uploads are exempt from the body cap: a collected
-		// trace is unbounded by design, and the stream path consumes it
-		// chunk-by-chunk without ever holding the body in memory.
-		if !(r.Method == http.MethodPost && r.URL.Path == "/v1/streams") {
+		// Live-ingest uploads (initial POST and resumed PATCH) are exempt
+		// from the body cap: a collected trace is unbounded by design, and
+		// the stream path consumes it chunk-by-chunk without ever holding
+		// the body in memory.
+		upload := (r.Method == http.MethodPost && r.URL.Path == "/v1/streams") ||
+			(r.Method == http.MethodPatch && strings.HasPrefix(r.URL.Path, "/v1/streams/"))
+		if !upload {
 			r.Body = http.MaxBytesReader(w, r.Body, DefaultMaxBodyBytes)
 		}
 		// The fault-control endpoint is exempt from control-plane fault
@@ -353,6 +360,10 @@ type SessionInfo struct {
 	InFlight    int64 `json:"in_flight"`
 	Cursor      int64 `json:"cursor"`
 	Quarantined bool  `json:"quarantined,omitempty"`
+
+	// Error carries a restore-time fault (e.g. a stream the session was
+	// attached to that no longer exists after -recover).
+	Error string `json:"error,omitempty"`
 }
 
 // FarmInfo summarizes the daemon.
@@ -378,6 +389,10 @@ func sessionInfo(s *Session) SessionInfo {
 	if cfg.Live != nil {
 		tuples, traceSec = cfg.Live.Len(), cfg.Live.Duration().Seconds()
 	}
+	var errStr string
+	if err := s.RestoreError(); err != nil {
+		errStr = err.Error()
+	}
 	return SessionInfo{
 		ID:          s.ID,
 		Name:        cfg.Name,
@@ -399,6 +414,7 @@ func sessionInfo(s *Session) SessionInfo {
 		InFlight:    st.InFlight,
 		Cursor:      s.Cursor(),
 		Quarantined: s.Quarantined(),
+		Error:       errStr,
 	}
 }
 
@@ -621,15 +637,63 @@ func (a *API) stopSession(w http.ResponseWriter, r *http.Request) {
 // forever.
 const streamLiveEdgeTimeout = 30 * time.Second
 
+// writeStreamErr maps the ingest path's typed errors onto the wire:
+// brownout rejections become 429 with a Retry-After hint, offset
+// mismatches 409 with the committed offset in Upload-Offset, quota
+// overruns 413. Anything untyped falls back to the caller's code.
+func writeStreamErr(w http.ResponseWriter, fallback int, err error) {
+	var be *BrownoutError
+	if errors.As(err, &be) {
+		secs := int(be.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeErr(w, http.StatusTooManyRequests, err)
+		return
+	}
+	var oe *OffsetError
+	if errors.As(err, &oe) {
+		w.Header().Set("Upload-Offset", strconv.FormatInt(oe.Committed, 10))
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	var qe *QuotaError
+	if errors.As(err, &qe) {
+		writeErr(w, http.StatusRequestEntityTooLarge, err)
+		return
+	}
+	writeErr(w, fallback, err)
+}
+
+// pauseIngest reports whether the brownout ladder has reached the rung
+// where live-edge reads stop. When it has, the typed error to send the
+// uploader is returned: the connection is released, the stream stays
+// receiving, and the collector comes back after Retry-After.
+func (a *API) pauseIngest() *BrownoutError {
+	p := a.m.Pressure()
+	if lvl := p.Level(); lvl >= pressure.PauseIngest {
+		return &BrownoutError{Level: lvl, RetryAfter: p.RetryAfter()}
+	}
+	return nil
+}
+
 // createStream is POST /v1/streams?name=N: a chunked collected-trace
 // upload consumed through the streaming distiller. The stream (and its
 // growing replay trace) is registered before the first byte is read, so
 // sessions can attach while the upload is still in flight. Query params
 // window, step, settle (Go durations) tune the distiller; strict=true
-// refuses damaged input instead of salvaging around it.
+// refuses damaged input instead of salvaging around it; resumable=true
+// keeps the stream open across connection loss — EOF parks it instead
+// of sealing, and PATCH /v1/streams/{name} picks up at the committed
+// offset (finalize with ?complete=true there).
 func (a *API) createStream(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	cfg := StreamConfig{Name: q.Get("name"), Strict: q.Get("strict") == "true"}
+	cfg := StreamConfig{
+		Name:      q.Get("name"),
+		Strict:    q.Get("strict") == "true",
+		Resumable: q.Get("resumable") == "true",
+	}
 	for _, p := range []struct {
 		key string
 		dst *time.Duration
@@ -649,21 +713,33 @@ func (a *API) createStream(w http.ResponseWriter, r *http.Request) {
 		if strings.Contains(err.Error(), "already exists") {
 			code = http.StatusConflict
 		}
-		writeErr(w, code, err)
+		writeStreamErr(w, code, err)
 		return
 	}
+	if err := st.acquireUpload(); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	defer st.releaseUpload()
 	// Consume the upload chunk by chunk, rolling the connection deadlines
 	// forward each time: the request lives as long as the collector keeps
 	// sending, however slowly, without ever disabling timeouts outright.
 	rc := http.NewResponseController(w)
 	buf := make([]byte, 64<<10)
 	for {
+		if be := a.pauseIngest(); be != nil {
+			if !cfg.Resumable {
+				st.abort(fmt.Errorf("emud: stream %q upload shed: %w", st.Name, be))
+			}
+			writeStreamErr(w, http.StatusTooManyRequests, be)
+			return
+		}
 		_ = rc.SetReadDeadline(time.Now().Add(streamLiveEdgeTimeout))
 		_ = rc.SetWriteDeadline(time.Now().Add(streamLiveEdgeTimeout + httpWriteTimeout))
 		n, rerr := r.Body.Read(buf)
 		if n > 0 {
 			if werr := st.Write(buf[:n]); werr != nil {
-				writeErr(w, http.StatusUnprocessableEntity, werr)
+				writeStreamErr(w, http.StatusUnprocessableEntity, werr)
 				return
 			}
 		}
@@ -671,16 +747,143 @@ func (a *API) createStream(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 		if rerr != nil {
+			if cfg.Resumable {
+				// The stream survives the dead connection: everything up to
+				// the committed offset is in the WAL, and the collector
+				// resumes from GET .../offset + PATCH.
+				writeErr(w, http.StatusBadRequest,
+					fmt.Errorf("upload interrupted at offset %d; resume with PATCH: %w", st.Offset(), rerr))
+				return
+			}
 			st.abort(fmt.Errorf("emud: stream %q upload interrupted: %w", st.Name, rerr))
 			writeErr(w, http.StatusBadRequest, rerr)
 			return
 		}
 	}
+	if cfg.Resumable && q.Get("complete") != "true" {
+		// Parked, not sealed: the collector ends this request whenever it
+		// likes and finalizes later via PATCH ?complete=true.
+		writeJSON(w, http.StatusCreated, st.Info())
+		return
+	}
 	if _, err := st.Finish(); err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeStreamErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, st.Info())
+}
+
+// parseUploadOffset extracts the resume position from an Upload-Offset
+// header (preferred) or a Content-Range "bytes N-..." fallback.
+func parseUploadOffset(r *http.Request) (int64, error) {
+	if v := r.Header.Get("Upload-Offset"); v != "" {
+		off, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || off < 0 {
+			return 0, fmt.Errorf("bad Upload-Offset %q", v)
+		}
+		return off, nil
+	}
+	if v := r.Header.Get("Content-Range"); v != "" {
+		s := strings.TrimPrefix(v, "bytes ")
+		if i := strings.IndexByte(s, '-'); i > 0 {
+			if off, err := strconv.ParseInt(s[:i], 10, 64); err == nil && off >= 0 {
+				return off, nil
+			}
+		}
+		return 0, fmt.Errorf("bad Content-Range %q", v)
+	}
+	return 0, errors.New("Upload-Offset (or Content-Range) header required")
+}
+
+// resumeStream is PATCH /v1/streams/{name}: append more collected bytes
+// to a receiving stream at a declared offset. The request must carry the
+// stream's token (Stream-Token header) and its resume position
+// (Upload-Offset). A stale offset gets 409 plus the committed offset to
+// retry from; overlapping bytes below the committed offset are discarded
+// idempotently, so blind retransmission of the last chunk is safe.
+// ?complete=true seals the stream after the body is consumed.
+func (a *API) resumeStream(w http.ResponseWriter, r *http.Request) {
+	st, ok := a.m.Streams().Get(r.PathValue("name"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, errors.New("no such stream"))
+		return
+	}
+	if tok := r.Header.Get("Stream-Token"); tok != st.Token() {
+		writeErr(w, http.StatusForbidden, errors.New("missing or mismatched Stream-Token"))
+		return
+	}
+	off, err := parseUploadOffset(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := st.acquireUpload(); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	defer st.releaseUpload()
+	rc := http.NewResponseController(w)
+	buf := make([]byte, 64<<10)
+	for {
+		if be := a.pauseIngest(); be != nil {
+			writeStreamErr(w, http.StatusTooManyRequests, be)
+			return
+		}
+		_ = rc.SetReadDeadline(time.Now().Add(streamLiveEdgeTimeout))
+		_ = rc.SetWriteDeadline(time.Now().Add(streamLiveEdgeTimeout + httpWriteTimeout))
+		n, rerr := r.Body.Read(buf)
+		if n > 0 {
+			if werr := st.WriteAt(off, buf[:n]); werr != nil {
+				writeStreamErr(w, http.StatusUnprocessableEntity, werr)
+				return
+			}
+			off += int64(n)
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			// Connection lost again; the stream stays parked for the next
+			// resume from the committed offset.
+			writeErr(w, http.StatusBadRequest,
+				fmt.Errorf("resume interrupted at offset %d: %w", st.Offset(), rerr))
+			return
+		}
+	}
+	if r.URL.Query().Get("complete") == "true" {
+		if _, err := st.Finish(); err != nil {
+			writeStreamErr(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, st.Info())
+}
+
+// StreamOffsetInfo is the GET /v1/streams/{name}/offset payload: where a
+// resumed upload should pick up. Offset is the committed (ingested)
+// position; Durable is the fsynced WAL prefix — after a crash the stream
+// restarts from Durable, so a cautious collector resumes there.
+type StreamOffsetInfo struct {
+	Name      string `json:"name"`
+	State     string `json:"state"`
+	Offset    int64  `json:"offset"`
+	Durable   int64  `json:"durable"`
+	Resumable bool   `json:"resumable"`
+}
+
+func (a *API) streamOffset(w http.ResponseWriter, r *http.Request) {
+	st, ok := a.m.Streams().Get(r.PathValue("name"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, errors.New("no such stream"))
+		return
+	}
+	writeJSON(w, http.StatusOK, StreamOffsetInfo{
+		Name:      st.Name,
+		State:     string(st.State()),
+		Offset:    st.Offset(),
+		Durable:   st.Durable(),
+		Resumable: st.Resumable(),
+	})
 }
 
 func (a *API) listStreams(w http.ResponseWriter, _ *http.Request) {
@@ -773,6 +976,10 @@ type HealthInfo struct {
 	Ready    bool    `json:"ready"`
 	Score    float64 `json:"score"`
 	Sessions int     `json:"sessions"`
+	// Pressure is the brownout ladder's current rung ("normal" when the
+	// farm is healthy); anything past reject-streams also fails the
+	// critical ingest-brownout objective and flips Ready.
+	Pressure string `json:"pressure"`
 }
 
 // health serves a readiness score derived from the SLO engine: 200 when
@@ -788,6 +995,7 @@ func (a *API) health(w http.ResponseWriter, _ *http.Request) {
 		Ready:    rep.Ready,
 		Score:    rep.Score,
 		Sessions: a.m.Count(),
+		Pressure: a.m.Pressure().Level().String(),
 	})
 }
 

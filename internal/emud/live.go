@@ -10,23 +10,35 @@
 package emud
 
 import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
 	"sync"
 	"time"
 
 	"tracemod/internal/core"
 )
 
+// tupleBytes approximates one in-memory tuple (5 × 8-byte fields) for
+// the pinned-bytes accounting the brownout controller watches.
+const tupleBytes = 40
+
 // LiveTrace is a replay trace that is still growing. Appends come from
 // one producer (the stream's ingest loop); any number of cursors read
-// concurrently.
+// concurrently. Once sealed, the tuple slice can be spilled to disk
+// under memory pressure and reloads transparently on the next read.
 type LiveTrace struct {
 	mu     sync.Mutex
 	tuples core.Trace
+	count  int           // authoritative length, valid even while spilled
 	total  time.Duration // sum of tuple durations
 	loss   float64       // sum of L*D, for duration-weighted loss
 	done   bool
 	err    error
 	notify []func()
+
+	spillPath string // non-empty while the tuples live on disk
 }
 
 // NewLiveTrace creates an empty growing trace.
@@ -41,6 +53,7 @@ func (lt *LiveTrace) Append(t core.Tuple) {
 		return
 	}
 	lt.tuples = append(lt.tuples, t)
+	lt.count++
 	lt.total += t.D
 	lt.loss += t.L * t.D.Seconds()
 	fns := lt.notify
@@ -77,11 +90,19 @@ func (lt *LiveTrace) Done() (bool, error) {
 	return lt.done, lt.err
 }
 
-// Len returns the number of tuples so far.
+// Len returns the number of tuples so far (spilled or resident).
 func (lt *LiveTrace) Len() int {
 	lt.mu.Lock()
 	defer lt.mu.Unlock()
-	return len(lt.tuples)
+	return lt.count
+}
+
+// MemBytes approximates the resident tuple memory this trace pins.
+// Spilled tuples cost nothing until a read faults them back in.
+func (lt *LiveTrace) MemBytes() int64 {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	return int64(len(lt.tuples)) * tupleBytes
 }
 
 // Duration returns the total replay duration accumulated so far.
@@ -103,11 +124,103 @@ func (lt *LiveTrace) WeightedLoss() float64 {
 	return lt.loss / lt.total.Seconds()
 }
 
-// Snapshot copies the tuples accumulated so far.
+// Snapshot copies the tuples accumulated so far (faulting them back
+// from disk if spilled).
 func (lt *LiveTrace) Snapshot() core.Trace {
 	lt.mu.Lock()
 	defer lt.mu.Unlock()
+	if lt.unspillLocked() != nil {
+		return nil
+	}
 	return append(core.Trace(nil), lt.tuples...)
+}
+
+// Spilled reports whether the tuples currently live on disk.
+func (lt *LiveTrace) Spilled() bool {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	return lt.spillPath != ""
+}
+
+// spillMagic stamps a spill file: "TSP1".
+const spillMagic = 0x54535031
+
+// Spill writes the tuple slice to path and drops the in-memory copy —
+// the brownout controller's memory-for-latency trade. Only sealed
+// traces spill: a growing trace's producer still holds the slice hot.
+// Reads (Snapshot, cursor Next past the resident range) transparently
+// fault the tuples back in. Idempotent: an already-spilled or empty
+// trace is a no-op.
+func (lt *LiveTrace) Spill(path string) error {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if !lt.done {
+		return fmt.Errorf("emud: cannot spill a growing trace")
+	}
+	if lt.spillPath != "" || len(lt.tuples) == 0 {
+		return nil
+	}
+	buf := make([]byte, 16+len(lt.tuples)*tupleBytes)
+	binary.BigEndian.PutUint32(buf[0:4], spillMagic)
+	binary.BigEndian.PutUint64(buf[8:16], uint64(len(lt.tuples)))
+	p := 16
+	for _, t := range lt.tuples {
+		binary.BigEndian.PutUint64(buf[p:], uint64(t.D))
+		binary.BigEndian.PutUint64(buf[p+8:], uint64(t.F))
+		binary.BigEndian.PutUint64(buf[p+16:], math.Float64bits(float64(t.Vb)))
+		binary.BigEndian.PutUint64(buf[p+24:], math.Float64bits(float64(t.Vr)))
+		binary.BigEndian.PutUint64(buf[p+32:], math.Float64bits(t.L))
+		p += tupleBytes
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("emud: spilling trace: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("emud: publishing spill: %w", err)
+	}
+	lt.spillPath = path
+	lt.tuples = nil
+	return nil
+}
+
+// unspillLocked faults a spilled tuple slice back into memory and
+// removes the spill file (the controller may spill again later). No-op
+// when resident.
+func (lt *LiveTrace) unspillLocked() error {
+	if lt.spillPath == "" {
+		return nil
+	}
+	data, err := os.ReadFile(lt.spillPath)
+	if err != nil {
+		return fmt.Errorf("emud: reloading spilled trace: %w", err)
+	}
+	if len(data) < 16 || binary.BigEndian.Uint32(data[0:4]) != spillMagic {
+		return fmt.Errorf("emud: spill file %s is corrupt", lt.spillPath)
+	}
+	n := int(binary.BigEndian.Uint64(data[8:16]))
+	if n != lt.count || len(data) < 16+n*tupleBytes {
+		return fmt.Errorf("emud: spill file %s holds %d tuples, want %d", lt.spillPath, n, lt.count)
+	}
+	tuples := make(core.Trace, n)
+	p := 16
+	for i := range tuples {
+		tuples[i] = core.Tuple{
+			D: time.Duration(binary.BigEndian.Uint64(data[p:])),
+			DelayParams: core.DelayParams{
+				F:  time.Duration(binary.BigEndian.Uint64(data[p+8:])),
+				Vb: core.PerByte(math.Float64frombits(binary.BigEndian.Uint64(data[p+16:]))),
+				Vr: core.PerByte(math.Float64frombits(binary.BigEndian.Uint64(data[p+24:]))),
+			},
+			L: math.Float64frombits(binary.BigEndian.Uint64(data[p+32:])),
+		}
+		p += tupleBytes
+	}
+	path := lt.spillPath
+	lt.tuples = tuples
+	lt.spillPath = ""
+	_ = os.Remove(path)
+	return nil
 }
 
 // subscribe registers a wakeup callback fired after every Append and at
@@ -135,16 +248,21 @@ type LiveCursor struct {
 }
 
 // Next implements modulation.Source: non-blocking, dry at the live edge.
+// A read into a spilled trace faults the tuples back in first.
 func (c *LiveCursor) Next() (core.Tuple, bool) {
-	c.lt.mu.Lock()
-	defer c.lt.mu.Unlock()
-	if c.pos >= len(c.lt.tuples) {
-		if !c.loop || !c.lt.done || len(c.lt.tuples) == 0 {
+	lt := c.lt
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if c.pos >= lt.count {
+		if !c.loop || !lt.done || lt.count == 0 {
 			return core.Tuple{}, false
 		}
 		c.pos = 0
 	}
-	t := c.lt.tuples[c.pos]
+	if lt.unspillLocked() != nil {
+		return core.Tuple{}, false
+	}
+	t := lt.tuples[c.pos]
 	c.pos++
 	return t, true
 }

@@ -22,6 +22,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tracemod/internal/emud/pressure"
+	"tracemod/internal/emud/wal"
 	"tracemod/internal/emud/wheel"
 	"tracemod/internal/faults"
 	"tracemod/internal/obs"
@@ -39,13 +41,16 @@ const (
 // Fault-point names the farm registers up front, so a chaos controller
 // (or /v1/faults) sees the full menu before any point has fired.
 var faultPointNames = []string{
-	"store.parse",   // trace loads fail as if the file were corrupt
-	"store.evict",   // eviction storm: the LRU sheds every cached trace
-	"wheel.stall",   // wheel shards sleep before each dispatch round
-	"relay.attach",  // relay socket setup fails (retried with backoff)
-	"control.slow",  // control-plane handlers stall before responding
-	"control.error", // control-plane handlers fail with HTTP 500
-	"session.panic", // a session delivery callback panics (quarantine path)
+	"store.parse",       // trace loads fail as if the file were corrupt
+	"store.evict",       // eviction storm: the LRU sheds every cached trace
+	"wheel.stall",       // wheel shards sleep before each dispatch round
+	"relay.attach",      // relay socket setup fails (retried with backoff)
+	"control.slow",      // control-plane handlers stall before responding
+	"control.error",     // control-plane handlers fail with HTTP 500
+	"session.panic",     // a session delivery callback panics (quarantine path)
+	"stream.reap",       // marked when the idle reaper seals a stalled stream
+	"pressure.brownout", // marked on every brownout ladder transition
+	"pressure.force",    // armed: forces a brownout floor (delay_ms 1..4 = rung)
 }
 
 // Options parameterizes a Manager.
@@ -91,6 +96,37 @@ type Options struct {
 	// (DefaultSnapshotInterval if 0; negative disables the periodic
 	// writer, leaving only the on-close snapshot).
 	SnapshotInterval time.Duration
+	// StreamWALDir, when set, makes live-ingest streams durable: every
+	// accepted upload chunk is appended to a per-stream write-ahead log
+	// under this directory before it is interpreted, and RecoverStreams
+	// replays the durable prefix after a crash.
+	StreamWALDir string
+	// StreamWALSync is the WAL fsync policy (wal.SyncAlways — the zero
+	// value — syncs every append).
+	StreamWALSync wal.SyncPolicy
+	// StreamWALSegmentBytes is the WAL segment rotation size
+	// (wal.DefaultSegmentBytes if 0).
+	StreamWALSegmentBytes int64
+	// StreamIdleTimeout seals receiving streams that have accepted no
+	// chunk for this long, freeing their pinned bytes (0 disables the
+	// reaper).
+	StreamIdleTimeout time.Duration
+	// StreamQuotaBytes caps one stream's total upload size; a chunk past
+	// the quota fails the stream with a typed QuotaError (0 = unlimited).
+	StreamQuotaBytes int64
+	// SpillDir is where sealed live traces spill their tuples when the
+	// brownout ladder reaches spill-traces ("" disables spilling).
+	SpillDir string
+	// HeapHighWater is the heap-in-use byte level where the brownout
+	// ladder starts shedding (0 disables the heap watermark).
+	HeapHighWater int64
+	// PinnedBudget bounds the bytes pinned by live ingest before the
+	// ladder sheds (0 disables the pinned watermark).
+	PinnedBudget int64
+	// PressurePeriod is the brownout evaluation cadence
+	// (pressure.DefaultPeriod if 0; negative disables the loop — tests
+	// drive Evaluate directly).
+	PressurePeriod time.Duration
 	// Metrics, if non-nil, registers the farm's instruments (names under
 	// tracemod_emud_*), including per-session labelled counters.
 	Metrics *obs.Registry
@@ -231,14 +267,15 @@ func (ins *instruments) remove(id string) {
 
 // Manager is the session farm.
 type Manager struct {
-	opts  Options
-	wheel *wheel.Wheel
-	store *Store
-	ins     *instruments
-	spans   *span.Tracer // nil = packet tracing off
-	log     *slog.Logger // never nil (discards by default)
-	slos    *obs.SLOSet
-	streams *Streams
+	opts     Options
+	wheel    *wheel.Wheel
+	store    *Store
+	ins      *instruments
+	spans    *span.Tracer // nil = packet tracing off
+	log      *slog.Logger // never nil (discards by default)
+	slos     *obs.SLOSet
+	streams  *Streams
+	pressure *pressure.Controller // nil-safe: Level() is Normal when unwired
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -322,6 +359,16 @@ func NewManager(o Options) *Manager {
 		m.store = NewStore(StoreOptions{Metrics: o.Metrics, Faults: o.Faults, Retry: o.Retry})
 	}
 	m.streams = newStreams(m)
+	m.pressure = pressure.New(pressure.Config{
+		HeapHighWater: o.HeapHighWater,
+		PinnedBudget:  o.PinnedBudget,
+		Period:        o.PressurePeriod,
+		Pinned:        m.streams.PinnedBytes,
+		OnChange:      m.onPressureChange,
+		Metrics:       o.Metrics,
+		Faults:        o.Faults,
+		Logger:        m.log,
+	})
 	if o.Metrics != nil {
 		m.ins = newInstruments(o.Metrics)
 	}
@@ -433,6 +480,21 @@ func (m *Manager) Store() *Store { return m.store }
 
 // Streams exposes the farm's live-ingest registry.
 func (m *Manager) Streams() *Streams { return m.streams }
+
+// Pressure exposes the farm's brownout controller.
+func (m *Manager) Pressure() *pressure.Controller { return m.pressure }
+
+// onPressureChange applies the shed actions as the brownout ladder
+// moves: span sampling is suspended at shed-sampling and deeper, and
+// sealed live traces spill at spill-traces and deeper. Rejecting new
+// streams and pausing live-edge reads are enforced at their call sites
+// by consulting the controller's level directly.
+func (m *Manager) onPressureChange(_, to pressure.Level) {
+	m.spans.Suspend(to >= pressure.ShedSampling)
+	if to >= pressure.SpillTraces {
+		m.streams.SpillSealed()
+	}
+}
 
 // Create registers a new session in StateCreated. The trace must already
 // be resolved (the control plane goes through the Store first). Live
@@ -607,5 +669,7 @@ func (m *Manager) Close() {
 	wg.Wait()
 	close(m.quit)
 	m.wg.Wait()
+	m.pressure.Close()
+	m.streams.Close()
 	m.wheel.Close()
 }

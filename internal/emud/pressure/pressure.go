@@ -1,0 +1,312 @@
+// Package pressure is the daemon's brownout controller: a watermark
+// monitor over heap-in-use and pinned live-ingest bytes that degrades
+// service in a fixed priority order instead of letting the kernel OOM
+// killer choose for it. The ladder sheds the cheapest, most recoverable
+// work first:
+//
+//  1. shed-sampling   — span sampling off (observability gets cheaper)
+//  2. reject-streams  — new live-ingest streams refused, typed 429 +
+//     Retry-After (existing work is protected)
+//  3. spill-traces    — sealed LiveTraces spill their tuples to disk
+//     (memory traded for reload latency)
+//  4. pause-ingest    — live-edge reads pause: backpressure reaches the
+//     uploader's TCP window (data is delayed, never lost)
+//
+// Upgrades are immediate (a memory spike cannot wait); downgrades step
+// one level per evaluation and only once the pressure falls a hysteresis
+// margin below the boundary, so the ladder cannot flap. Every transition
+// increments an obs counter, marks a faults point (so chaos runs see the
+// defense activate in the same ledger they arm), and is visible on
+// /v1/health through the manager's brownout SLO.
+package pressure
+
+import (
+	"log/slog"
+	"runtime/metrics"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tracemod/internal/faults"
+	"tracemod/internal/obs"
+)
+
+// Level is a rung on the shed ladder. Higher is more degraded.
+type Level int32
+
+// The shed ladder, least to most degraded.
+const (
+	Normal        Level = iota // full service
+	ShedSampling               // span sampling suspended
+	RejectStreams              // new streams refused with 429 + Retry-After
+	SpillTraces                // sealed live traces spilled to disk
+	PauseIngest                // live-edge reads paused (backpressure)
+
+	maxLevel = PauseIngest
+)
+
+func (l Level) String() string {
+	switch l {
+	case Normal:
+		return "normal"
+	case ShedSampling:
+		return "shed-sampling"
+	case RejectStreams:
+		return "reject-streams"
+	case SpillTraces:
+		return "spill-traces"
+	case PauseIngest:
+		return "pause-ingest"
+	}
+	return "unknown"
+}
+
+// DefaultPeriod is the evaluation cadence when Config.Period is zero.
+const DefaultPeriod = 250 * time.Millisecond
+
+// hysteresis is the fraction a metric must fall below a boundary before
+// the controller steps back down through it.
+const hysteresis = 0.9
+
+// Config parameterizes a Controller.
+type Config struct {
+	// HeapHighWater is the heap-in-use byte level where shedding starts;
+	// deeper rungs engage at fixed multiples above it (1.1×, 1.2×, 1.3×).
+	// Zero disables the heap watermark.
+	HeapHighWater int64
+	// PinnedBudget bounds the bytes pinned by live ingest (growing traces
+	// plus reader buffers). Shedding starts at 75% of the budget and
+	// reaches pause-ingest at 110%. Zero disables the pinned watermark.
+	PinnedBudget int64
+	// Period is the evaluation cadence (DefaultPeriod if 0). Negative
+	// disables the background loop: the owner calls Evaluate itself
+	// (tests, or an external scheduler).
+	Period time.Duration
+	// Heap probes heap-in-use bytes; defaults to the runtime's live heap
+	// metric. Override in tests to synthesize pressure.
+	Heap func() int64
+	// Pinned probes the live-ingest pinned byte total (nil = always 0).
+	Pinned func() int64
+	// OnChange runs after each transition, outside the controller's lock,
+	// on the evaluation goroutine. The receiver applies the shed actions
+	// (suspend sampling, spill, ...).
+	OnChange func(from, to Level)
+	// Metrics, if non-nil, registers the controller's instruments
+	// (tracemod_pressure_*).
+	Metrics *obs.Registry
+	// Faults, if non-nil, wires two points: "pressure.brownout" is marked
+	// on every transition, and "pressure.force" — when armed — forces a
+	// floor level for chaos runs (delay_ms 1..4 selects the rung; 0 means
+	// reject-streams).
+	Faults *faults.Injector
+	// Logger receives one line per transition. Nil discards.
+	Logger *slog.Logger
+}
+
+// Controller runs the watermark evaluation. All methods are safe on a
+// nil receiver (a farm without watermarks configured): Level() is then
+// permanently Normal.
+type Controller struct {
+	cfg   Config
+	level atomic.Int32
+
+	transitions *obs.CounterVec
+	markPoint   *faults.Point // "pressure.brownout": marked per transition
+	forcePoint  *faults.Point // "pressure.force": chaos floor
+
+	mu   sync.Mutex // serializes Evaluate (ticker vs. tests)
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New builds a controller and, unless cfg.Period is negative, starts its
+// evaluation loop.
+func New(cfg Config) *Controller {
+	if cfg.Period == 0 {
+		cfg.Period = DefaultPeriod
+	}
+	c := &Controller{cfg: cfg, quit: make(chan struct{})}
+	if cfg.Heap == nil {
+		c.cfg.Heap = runtimeHeap
+	}
+	if cfg.Pinned == nil {
+		c.cfg.Pinned = func() int64 { return 0 }
+	}
+	if reg := cfg.Metrics; reg != nil {
+		reg.GaugeFunc("tracemod_pressure_level",
+			"Brownout ladder position (0=normal 1=shed-sampling 2=reject-streams 3=spill-traces 4=pause-ingest).",
+			func() float64 { return float64(c.Level()) })
+		reg.GaugeFunc("tracemod_pressure_heap_bytes",
+			"Heap-in-use bytes as last sampled by the brownout controller.",
+			func() float64 { return float64(c.cfg.Heap()) })
+		reg.GaugeFunc("tracemod_pressure_pinned_bytes",
+			"Bytes pinned by live ingest (growing traces + reader buffers).",
+			func() float64 { return float64(c.cfg.Pinned()) })
+		c.transitions = reg.CounterVec("tracemod_pressure_transitions_total",
+			"Brownout ladder transitions, labelled by the level entered.", "level")
+	}
+	if inj := cfg.Faults; inj != nil {
+		c.markPoint = inj.Point("pressure.brownout")
+		c.forcePoint = inj.Point("pressure.force")
+	}
+	if cfg.Period > 0 {
+		c.wg.Add(1)
+		go c.loop()
+	}
+	return c
+}
+
+// runtimeHeap probes the bytes occupied by live and not-yet-swept heap
+// objects — the number a watermark against OOM actually cares about. The
+// fresh sample per call keeps the probe callable from both the
+// evaluation loop and a concurrent /metrics scrape.
+func runtimeHeap() int64 {
+	sample := []metrics.Sample{{Name: "/memory/classes/heap/objects:bytes"}}
+	metrics.Read(sample)
+	if v := sample[0].Value; v.Kind() == metrics.KindUint64 {
+		return int64(v.Uint64())
+	}
+	return 0
+}
+
+// Level returns the current ladder position. Nil-safe: Normal forever.
+func (c *Controller) Level() Level {
+	if c == nil {
+		return Normal
+	}
+	return Level(c.level.Load())
+}
+
+// RetryAfter suggests the Retry-After value for a request refused at the
+// current level: deeper degradation asks callers to stay away longer.
+func (c *Controller) RetryAfter() time.Duration {
+	switch c.Level() {
+	case SpillTraces:
+		return 5 * time.Second
+	case PauseIngest:
+		return 10 * time.Second
+	default:
+		return 2 * time.Second
+	}
+}
+
+func (c *Controller) loop() {
+	defer c.wg.Done()
+	tick := time.NewTicker(c.cfg.Period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			c.Evaluate()
+		case <-c.quit:
+			return
+		}
+	}
+}
+
+// Close stops the evaluation loop. The level freezes where it was.
+func (c *Controller) Close() {
+	if c == nil {
+		return
+	}
+	select {
+	case <-c.quit:
+	default:
+		close(c.quit)
+	}
+	c.wg.Wait()
+}
+
+// severity maps one metric against its high water to a ladder rung:
+// the boundaries are highWater × {1, 1.1, 1.2, 1.3}.
+func severity(v, highWater int64) Level {
+	if highWater <= 0 || v < highWater {
+		return Normal
+	}
+	switch f := float64(v) / float64(highWater); {
+	case f >= 1.3:
+		return PauseIngest
+	case f >= 1.2:
+		return SpillTraces
+	case f >= 1.1:
+		return RejectStreams
+	default:
+		return ShedSampling
+	}
+}
+
+// pinnedSeverity maps the pinned-byte total against its budget: the
+// boundaries are budget × {0.75, 0.9, 1.0, 1.1} — live ingest is what
+// pins the memory, so its own watermark reaches the spill/pause rungs
+// (the rungs that actually free or stop pinning) sooner.
+func pinnedSeverity(v, budget int64) Level {
+	if budget <= 0 {
+		return Normal
+	}
+	switch f := float64(v) / float64(budget); {
+	case f >= 1.1:
+		return PauseIngest
+	case f >= 1.0:
+		return SpillTraces
+	case f >= 0.9:
+		return RejectStreams
+	case f >= 0.75:
+		return ShedSampling
+	default:
+		return Normal
+	}
+}
+
+// target computes the ladder rung the probes call for right now. scale
+// inflates the probes (scale > 1 makes the verdict stickier), which is
+// how the downgrade path applies its hysteresis margin.
+func (c *Controller) target(heap, pinned int64, scale float64) Level {
+	h := severity(int64(float64(heap)*scale), c.cfg.HeapHighWater)
+	p := pinnedSeverity(int64(float64(pinned)*scale), c.cfg.PinnedBudget)
+	t := max(h, p)
+	if c.forcePoint.Fire() {
+		forced := Level(c.forcePoint.Delay() / time.Millisecond)
+		if forced <= Normal || forced > maxLevel {
+			forced = RejectStreams
+		}
+		t = max(t, forced)
+	}
+	return t
+}
+
+// Evaluate runs one watermark pass and returns the level in force after
+// it. Upgrades jump straight to the target; downgrades take one step per
+// call and only once the metrics sit below the boundary by the
+// hysteresis margin.
+func (c *Controller) Evaluate() Level {
+	if c == nil {
+		return Normal
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	heap, pinned := c.cfg.Heap(), c.cfg.Pinned()
+	cur := Level(c.level.Load())
+	next := cur
+	if t := c.target(heap, pinned, 1); t > cur {
+		next = t
+	} else if sticky := c.target(heap, pinned, 1/hysteresis); sticky < cur {
+		next = cur - 1
+	}
+	if next == cur {
+		return cur
+	}
+	c.level.Store(int32(next))
+	if c.transitions != nil {
+		c.transitions.With(next.String()).Inc()
+	}
+	c.markPoint.Mark()
+	if c.cfg.Logger != nil {
+		c.cfg.Logger.Warn("brownout transition",
+			"from", cur.String(), "to", next.String(),
+			"heap_bytes", heap, "pinned_bytes", pinned)
+	}
+	if c.cfg.OnChange != nil {
+		c.cfg.OnChange(cur, next)
+	}
+	return next
+}

@@ -1,0 +1,194 @@
+package pressure
+
+import (
+	"testing"
+	"time"
+
+	"tracemod/internal/faults"
+	"tracemod/internal/obs"
+)
+
+// manual builds a controller with injectable probes and no background
+// loop, so tests drive Evaluate deterministically.
+func manual(t *testing.T, cfg Config, heap, pinned *int64) *Controller {
+	t.Helper()
+	cfg.Period = -1
+	cfg.Heap = func() int64 { return *heap }
+	cfg.Pinned = func() int64 { return *pinned }
+	c := New(cfg)
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestLadderEngagesInOrder(t *testing.T) {
+	heap, pinned := int64(0), int64(0)
+	c := manual(t, Config{HeapHighWater: 1000}, &heap, &pinned)
+
+	steps := []struct {
+		heap int64
+		want Level
+	}{
+		{500, Normal},
+		{1000, ShedSampling},
+		{1100, RejectStreams},
+		{1200, SpillTraces},
+		{1300, PauseIngest},
+	}
+	for _, s := range steps {
+		heap = s.heap
+		if got := c.Evaluate(); got != s.want {
+			t.Fatalf("heap=%d: level = %v, want %v", s.heap, got, s.want)
+		}
+	}
+}
+
+func TestUpgradeJumpsDowngradeSteps(t *testing.T) {
+	heap, pinned := int64(0), int64(0)
+	var transitions []Level
+	c := manual(t, Config{
+		HeapHighWater: 1000,
+		OnChange:      func(_, to Level) { transitions = append(transitions, to) },
+	}, &heap, &pinned)
+
+	// A spike jumps straight to the top rung in one evaluation.
+	heap = 5000
+	if got := c.Evaluate(); got != PauseIngest {
+		t.Fatalf("spike: level = %v, want pause-ingest", got)
+	}
+	// Recovery steps down one rung per evaluation, never skipping.
+	heap = 100
+	want := []Level{SpillTraces, RejectStreams, ShedSampling, Normal}
+	for _, w := range want {
+		if got := c.Evaluate(); got != w {
+			t.Fatalf("downgrade: level = %v, want %v", got, w)
+		}
+	}
+	if got := c.Evaluate(); got != Normal {
+		t.Fatalf("settled: level = %v", got)
+	}
+	wantSeq := append([]Level{PauseIngest}, want...)
+	if len(transitions) != len(wantSeq) {
+		t.Fatalf("transitions = %v, want %v", transitions, wantSeq)
+	}
+	for i, w := range wantSeq {
+		if transitions[i] != w {
+			t.Fatalf("transition %d = %v, want %v", i, transitions[i], w)
+		}
+	}
+}
+
+func TestDowngradeHysteresis(t *testing.T) {
+	heap, pinned := int64(0), int64(0)
+	c := manual(t, Config{HeapHighWater: 1000}, &heap, &pinned)
+
+	heap = 1000
+	if got := c.Evaluate(); got != ShedSampling {
+		t.Fatalf("at boundary: %v", got)
+	}
+	// Just below the boundary is inside the hysteresis band: no flap.
+	heap = 950
+	if got := c.Evaluate(); got != ShedSampling {
+		t.Fatalf("inside hysteresis band: %v, want shed-sampling held", got)
+	}
+	// A real drop clears the band and steps down.
+	heap = 800
+	if got := c.Evaluate(); got != Normal {
+		t.Fatalf("below band: %v, want normal", got)
+	}
+}
+
+func TestPinnedBudgetLadder(t *testing.T) {
+	heap, pinned := int64(0), int64(0)
+	c := manual(t, Config{PinnedBudget: 1000}, &heap, &pinned)
+
+	steps := []struct {
+		pinned int64
+		want   Level
+	}{
+		{500, Normal},
+		{750, ShedSampling},
+		{900, RejectStreams},
+		{1000, SpillTraces},
+		{1100, PauseIngest},
+	}
+	for _, s := range steps {
+		pinned = s.pinned
+		if got := c.Evaluate(); got != s.want {
+			t.Fatalf("pinned=%d: level = %v, want %v", s.pinned, got, s.want)
+		}
+	}
+}
+
+func TestWorstProbeWins(t *testing.T) {
+	heap, pinned := int64(0), int64(0)
+	c := manual(t, Config{HeapHighWater: 1000, PinnedBudget: 1000}, &heap, &pinned)
+	heap, pinned = 500, 1000 // heap fine, pinned at its spill boundary
+	if got := c.Evaluate(); got != SpillTraces {
+		t.Fatalf("level = %v, want spill-traces from the pinned probe", got)
+	}
+}
+
+func TestFaultForcedFloor(t *testing.T) {
+	heap, pinned := int64(0), int64(0)
+	inj := faults.New(faults.Options{})
+	c := manual(t, Config{HeapHighWater: 1 << 40, Faults: inj}, &heap, &pinned)
+
+	if got := c.Evaluate(); got != Normal {
+		t.Fatalf("pre-force: %v", got)
+	}
+	// delay_ms encodes the forced rung: 4 = pause-ingest.
+	inj.Set("pressure.force", faults.Config{Rate: 1, Delay: 4 * time.Millisecond})
+	if got := c.Evaluate(); got != PauseIngest {
+		t.Fatalf("forced: %v, want pause-ingest", got)
+	}
+	inj.Reset()
+	// Forced pressure released: steps back down like organic recovery.
+	for i := 0; i < 4; i++ {
+		c.Evaluate()
+	}
+	if got := c.Level(); got != Normal {
+		t.Fatalf("after reset: %v, want normal", got)
+	}
+	// Transitions were marked on the brownout ledger point.
+	for _, st := range inj.Snapshot() {
+		if st.Name == "pressure.brownout" && st.Fired < 2 {
+			t.Fatalf("pressure.brownout marked %d times, want ≥2", st.Fired)
+		}
+	}
+}
+
+func TestMetricsAndNilSafety(t *testing.T) {
+	var c *Controller
+	if c.Level() != Normal {
+		t.Fatal("nil controller must report Normal")
+	}
+	c.Close() // must not panic
+
+	heap, pinned := int64(2000), int64(0)
+	reg := obs.NewRegistry()
+	cc := manual(t, Config{HeapHighWater: 1000, Metrics: reg}, &heap, &pinned)
+	if got := cc.Evaluate(); got != PauseIngest {
+		t.Fatalf("level = %v", got)
+	}
+	if cc.RetryAfter() <= 0 {
+		t.Fatal("RetryAfter must be positive while degraded")
+	}
+}
+
+func TestBackgroundLoop(t *testing.T) {
+	heap, pinned := int64(2000), int64(0)
+	c := New(Config{
+		HeapHighWater: 1000,
+		Period:        time.Millisecond,
+		Heap:          func() int64 { return heap },
+		Pinned:        func() int64 { return pinned },
+	})
+	defer c.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Level() != PauseIngest {
+		if time.Now().After(deadline) {
+			t.Fatalf("loop never reached pause-ingest (level %v)", c.Level())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

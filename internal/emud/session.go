@@ -129,6 +129,11 @@ type Session struct {
 	flight  *span.FlightRecorder
 	expLoss float64 // duration-weighted trace loss, cached for the SLO
 
+	// restoreErr records what a crash recovery could not bring back for
+	// this session (e.g. ErrStreamGone). Set once at creation, before the
+	// session is published.
+	restoreErr error
+
 	m *Manager // back-pointer for the wheel and per-session metrics
 }
 
@@ -160,6 +165,11 @@ func (s *Session) PanicValue() string {
 	v, _ := s.panicValue.Load().(string)
 	return v
 }
+
+// RestoreError returns what crash recovery could not bring back for
+// this session (nil for sessions that never lost anything). A session
+// whose live stream vanished reports an error wrapping ErrStreamGone.
+func (s *Session) RestoreError() error { return s.restoreErr }
 
 // Flight returns the session's flight recorder (nil when tracing is off).
 // The recorder outlives Stop, so a quarantined session's final moments

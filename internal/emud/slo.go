@@ -22,6 +22,7 @@ import (
 	"sort"
 	"time"
 
+	"tracemod/internal/emud/pressure"
 	"tracemod/internal/obs"
 )
 
@@ -107,7 +108,26 @@ func (m *Manager) buildSLOs(gran time.Duration) *obs.SLOSet {
 		Ratio:  m.shedRatio,
 		Target: 0.95,
 	})
+	set.Add(&obs.SLO{
+		Name:     "ingest-brownout",
+		Help:     "Live ingest accepting new streams: the brownout ladder must stay below reject-streams.",
+		Kind:     obs.SLORatio,
+		Critical: true,
+		Ratio:    m.brownoutRatio,
+		Target:   1,
+	})
 	return set
+}
+
+// brownoutRatio is the ingest-brownout indicator: 1 while the farm
+// accepts new streams, 0 from reject-streams upward. The closure reads
+// the controller lazily — buildSLOs runs before the controller exists,
+// and a nil controller reports Normal.
+func (m *Manager) brownoutRatio() (float64, bool) {
+	if m.pressure.Level() >= pressure.RejectStreams {
+		return 0, true
+	}
+	return 1, true
 }
 
 // SLOs exposes the farm's objective set (for callers adding their own).

@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"tracemod/internal/core"
@@ -25,7 +26,12 @@ type SessionSnapshot struct {
 	ID       string `json:"id"`
 	Name     string `json:"name,omitempty"`
 	TraceRef string `json:"trace_ref"`
-	Loop     bool   `json:"loop"`
+	// Stream names the live-ingest stream a live session was attached
+	// to. The trace is not embedded — the stream's WAL is the durable
+	// source; restore rebinds through the store's live registry (the
+	// stream recovery must run first).
+	Stream string `json:"stream,omitempty"`
+	Loop   bool   `json:"loop"`
 	// TickUS mirrors SessionConfig.Tick in microseconds (negative = exact).
 	TickUS         int64   `json:"tick_us"`
 	Seed           int64   `json:"seed"`
@@ -100,11 +106,6 @@ func snapshotOf(sessions []*Session, seq int64) *FarmSnapshot {
 			continue
 		}
 		cfg := s.Config()
-		// Live sessions are not durable: the stream feeding them dies with
-		// the daemon, and a half-received trace is not worth restoring.
-		if cfg.Live != nil {
-			continue
-		}
 		listen, target := s.RelaySpecArgs()
 		ss := SessionSnapshot{
 			ID:             s.ID,
@@ -120,7 +121,12 @@ func snapshotOf(sessions []*Session, seq int64) *FarmSnapshot {
 			RelayListen:    listen,
 			RelayTarget:    target,
 		}
-		if _, ok := snap.Traces[cfg.TraceRef]; !ok {
+		if cfg.Live != nil {
+			// A live session's trace is not embedded: the stream's WAL is
+			// the durable copy, and restore rebinds through the recovered
+			// stream. The ref is "stream:<name>" by construction.
+			ss.Stream = strings.TrimPrefix(cfg.TraceRef, "stream:")
+		} else if _, ok := snap.Traces[cfg.TraceRef]; !ok {
 			tuples := make([]TupleJSON, len(cfg.Trace))
 			for i, t := range cfg.Trace {
 				tuples[i] = tupleToJSON(t)
@@ -219,35 +225,57 @@ func (m *Manager) Restore(snap *FarmSnapshot) (int, error) {
 	restored := 0
 	var firstErr error
 	for _, ss := range snap.Sessions {
-		trace, ok := traces[ss.TraceRef]
-		if !ok {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("emud: snapshot session %s references missing trace %q", ss.ID, ss.TraceRef)
-			}
-			continue
-		}
-		cursor := ss.Cursor
-		if !ss.Loop && cursor > int64(len(trace)) {
-			cursor = int64(len(trace))
-		}
-		s, err := m.createRestored(ss.ID, SessionConfig{
+		cfg := SessionConfig{
 			Name:         ss.Name,
-			Trace:        trace,
 			TraceRef:     ss.TraceRef,
 			Loop:         ss.Loop,
 			Tick:         time.Duration(ss.TickUS) * time.Microsecond,
 			Seed:         ss.Seed,
 			InboundExtra: core.PerByte(ss.InboundExtraNS),
 			Compensation: core.PerByte(ss.CompensationNS),
-			SkipTuples:   cursor,
-		})
+			SkipTuples:   ss.Cursor,
+		}
+		var restoreErr error
+		start := ss.Running
+		if ss.Stream != "" {
+			// A live session rebinds to its recovered stream. When the
+			// stream did not survive (WAL off, deleted, unreadable), the
+			// session is still restored — stopped, bound to an empty sealed
+			// trace, with the typed loss in its status — so the operator
+			// sees exactly which tenants lost their feed.
+			if lt, ok := m.store.LookupLive(ss.Stream); ok {
+				cfg.Live = lt
+			} else {
+				gone := NewLiveTrace()
+				gone.Complete(ErrStreamGone)
+				cfg.Live = gone
+				restoreErr = fmt.Errorf("%w: %q", ErrStreamGone, ss.Stream)
+				start = false
+				if firstErr == nil {
+					firstErr = fmt.Errorf("emud: session %s: %w", ss.ID, restoreErr)
+				}
+			}
+		} else {
+			trace, ok := traces[ss.TraceRef]
+			if !ok {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("emud: snapshot session %s references missing trace %q", ss.ID, ss.TraceRef)
+				}
+				continue
+			}
+			if !ss.Loop && cfg.SkipTuples > int64(len(trace)) {
+				cfg.SkipTuples = int64(len(trace))
+			}
+			cfg.Trace = trace
+		}
+		s, err := m.createRestored(ss.ID, cfg, restoreErr)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
 			continue
 		}
-		if ss.Running {
+		if start {
 			if err := s.Start(); err != nil {
 				if firstErr == nil {
 					firstErr = err
@@ -272,9 +300,13 @@ func (m *Manager) Restore(snap *FarmSnapshot) (int, error) {
 
 // createRestored is Create with a caller-supplied ID (recovery preserves
 // the crashed daemon's session IDs so clients' handles stay valid).
-func (m *Manager) createRestored(id string, cfg SessionConfig) (*Session, error) {
-	if err := cfg.Trace.Validate(); err != nil {
-		return nil, err
+// restoreErr, when non-nil, is surfaced in the session's status — the
+// session exists but something it depended on did not survive the crash.
+func (m *Manager) createRestored(id string, cfg SessionConfig, restoreErr error) (*Session, error) {
+	if cfg.Live == nil {
+		if err := cfg.Trace.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -288,10 +320,12 @@ func (m *Manager) createRestored(id string, cfg SessionConfig) (*Session, error)
 		return nil, fmt.Errorf("emud: session limit reached (%d)", m.opts.MaxSessions)
 	}
 	s := &Session{
-		ID:      id,
-		cfg:     cfg,
-		created: m.wheel.Now(),
-		m:       m,
+		ID:         id,
+		cfg:        cfg,
+		created:    m.wheel.Now(),
+		expLoss:    cfg.Trace.WeightedLoss(),
+		restoreErr: restoreErr,
+		m:          m,
 	}
 	s.state.Store(int32(StateCreated))
 	s.lastActive.Store(int64(s.created))

@@ -1,0 +1,595 @@
+// Durability and brownout tests for live ingest: WAL-backed recovery at
+// the last fsynced offset, idempotent resumed uploads, the idle reaper,
+// the brownout ladder engaging in order, and the typed surfaces the
+// control plane maps them onto.
+package emud
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tracemod/internal/distill"
+	"tracemod/internal/faults"
+	"tracemod/internal/obs"
+	"tracemod/internal/obs/span"
+	"tracemod/internal/replay"
+	"tracemod/internal/tracefmt"
+)
+
+// newDurableManager builds a manager with stream durability on, using
+// the default fsync-every-chunk policy so durable == committed.
+func newDurableManager(t testing.TB, walDir string, extra func(*Options)) *Manager {
+	t.Helper()
+	o := Options{
+		Granularity:  time.Millisecond,
+		Metrics:      obs.NewRegistry(),
+		StreamWALDir: walDir,
+	}
+	if extra != nil {
+		extra(&o)
+	}
+	return NewManager(o)
+}
+
+// replayBytes serializes a live trace's tuples for byte-level comparison.
+func replayBytes(t testing.TB, lt *LiveTrace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := replay.Write(&buf, lt.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// The tentpole's crash-recovery contract: a daemon killed mid-upload
+// (simulated by abandoning the manager without Close) replays the WAL on
+// recovery and rebuilds the exact replay tuples the pre-crash ingest had
+// produced — then the uploader resumes at the committed offset and the
+// completed stream is byte-identical to an uninterrupted batch distill.
+func TestStreamWALRecoveryResumesByteIdentical(t *testing.T) {
+	walDir := filepath.Join(t.TempDir(), "wal")
+	data := collectedTraceBytes(t, 30)
+	cut := (len(data) * 2) / 3
+
+	m1 := newDurableManager(t, walDir, nil)
+	st1, err := m1.Streams().Create(StreamConfig{Name: "crashy", Resumable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < cut; off += 999 {
+		end := off + 999
+		if end > cut {
+			end = cut
+		}
+		if err := st1.Write(data[off:end]); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if st1.Durable() != int64(cut) {
+		t.Fatalf("durable = %d after %d fsynced bytes", st1.Durable(), cut)
+	}
+	preCrash := replayBytes(t, st1.Live())
+	// Crash: the manager is abandoned, never Closed. The WAL files hold
+	// everything Append returned for.
+
+	m2 := newDurableManager(t, walDir, nil)
+	defer m2.Close()
+	n, err := m2.Streams().Recover()
+	if n != 1 || err != nil {
+		t.Fatalf("Recover = (%d, %v), want (1, nil)", n, err)
+	}
+	st2, ok := m2.Streams().Get("crashy")
+	if !ok {
+		t.Fatal("recovered stream not registered")
+	}
+	if st2.State() != StreamReceiving {
+		t.Fatalf("recovered state = %s, want receiving", st2.State())
+	}
+	if st2.Offset() != int64(cut) || st2.Durable() != int64(cut) {
+		t.Fatalf("recovered offsets = (%d, %d), want %d", st2.Offset(), st2.Durable(), cut)
+	}
+	if st2.Token() != st1.Token() {
+		t.Fatal("recovery must preserve the upload fencing token")
+	}
+	if got := replayBytes(t, st2.Live()); !bytes.Equal(got, preCrash) {
+		t.Fatal("replayed tuples diverge from the pre-crash ingest")
+	}
+	if _, ok := m2.Store().LookupLive("crashy"); !ok {
+		t.Fatal("recovered stream not in the store: sessions cannot rebind")
+	}
+
+	// Resume the upload exactly where the durable prefix ends — with a
+	// deliberate overlap to prove retransmits are discarded idempotently.
+	overlap := 500
+	if err := st2.WriteAt(int64(cut-overlap), data[cut-overlap:]); err != nil {
+		t.Fatalf("resumed WriteAt: %v", err)
+	}
+	sum, err := st2.Finish()
+	if err != nil {
+		t.Fatalf("Finish after resume: %v", err)
+	}
+
+	collected, err := tracefmt.ReadAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := distill.Distill(collected, distill.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want, got bytes.Buffer
+	if err := replay.Write(&want, batch.Replay); err != nil {
+		t.Fatal(err)
+	}
+	if err := replay.Write(&got, sum.Replay); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatal("crash+resume replay diverges from uninterrupted batch distill")
+	}
+}
+
+// A stream sealed before the crash recovers sealed: the marker re-renders
+// the terminal state and the tuples come back complete.
+func TestStreamWALRecoverySealedStream(t *testing.T) {
+	walDir := filepath.Join(t.TempDir(), "wal")
+	data := collectedTraceBytes(t, 10)
+
+	m1 := newDurableManager(t, walDir, nil)
+	st1, err := m1.Streams().Create(StreamConfig{Name: "sealed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st1.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st1.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	want := replayBytes(t, st1.Live())
+
+	m2 := newDurableManager(t, walDir, nil)
+	defer m2.Close()
+	if n, err := m2.Streams().Recover(); n != 1 || err != nil {
+		t.Fatalf("Recover = (%d, %v)", n, err)
+	}
+	st2, _ := m2.Streams().Get("sealed")
+	if st2.State() != StreamComplete {
+		t.Fatalf("state = %s, want complete", st2.State())
+	}
+	if done, derr := st2.Live().Done(); !done || derr != nil {
+		t.Fatalf("live trace: done=%v err=%v", done, derr)
+	}
+	if got := replayBytes(t, st2.Live()); !bytes.Equal(got, want) {
+		t.Fatal("sealed stream's tuples diverge after recovery")
+	}
+}
+
+// WriteAt's offset contract: gaps are refused with the committed offset,
+// overlaps are discarded, whole duplicates are no-ops.
+func TestStreamWriteAtOffsetSemantics(t *testing.T) {
+	m := newDurableManager(t, filepath.Join(t.TempDir(), "wal"), nil)
+	defer m.Close()
+	data := collectedTraceBytes(t, 30)
+	st, err := m.Streams().Create(StreamConfig{Name: "offsets", Resumable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteAt(0, data[:1000]); err != nil {
+		t.Fatal(err)
+	}
+	// A gap the server never saw: typed refusal carrying the committed
+	// offset so the client rewinds.
+	err = st.WriteAt(2000, data[2000:3000])
+	var oe *OffsetError
+	if !errors.As(err, &oe) || oe.Committed != 1000 || oe.Attempted != 2000 {
+		t.Fatalf("gap write: %v", err)
+	}
+	// Overlap: only the novel suffix lands.
+	if err := st.WriteAt(500, data[500:1500]); err != nil {
+		t.Fatal(err)
+	}
+	if st.Offset() != 1500 {
+		t.Fatalf("offset = %d after overlap write, want 1500", st.Offset())
+	}
+	// Whole duplicate: idempotent no-op.
+	if err := st.WriteAt(0, data[:1000]); err != nil {
+		t.Fatal(err)
+	}
+	if st.Offset() != 1500 {
+		t.Fatalf("offset = %d after duplicate, want 1500", st.Offset())
+	}
+	if st.State() != StreamReceiving {
+		t.Fatalf("state = %s", st.State())
+	}
+}
+
+// The per-stream byte quota fails the stream with a typed QuotaError —
+// it can never complete within budget, so the trace seals immediately.
+func TestStreamQuotaFailsTyped(t *testing.T) {
+	m := newDurableManager(t, "", func(o *Options) { o.StreamQuotaBytes = 1024 })
+	defer m.Close()
+	data := collectedTraceBytes(t, 10)
+	st, err := m.Streams().Create(StreamConfig{Name: "capped"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	werr := st.Write(data)
+	var qe *QuotaError
+	if !errors.As(werr, &qe) || qe.Quota != 1024 {
+		t.Fatalf("quota write: %v", werr)
+	}
+	if st.State() != StreamFailed {
+		t.Fatalf("state = %s, want failed", st.State())
+	}
+}
+
+// The idle reaper seals a receiving stream whose uploader went silent:
+// the windows freeze on what arrived and attached sessions see a
+// complete trace instead of waiting forever.
+func TestStreamIdleReaperSealsAbandonedUpload(t *testing.T) {
+	m := newDurableManager(t, "", func(o *Options) { o.StreamIdleTimeout = 100 * time.Millisecond })
+	defer m.Close()
+	data := collectedTraceBytes(t, 20)
+	st, err := m.Streams().Create(StreamConfig{Name: "abandoned"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Write(data[:len(data)/2]); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "reaper to seal the idle stream", func() bool {
+		return st.State() != StreamReceiving
+	})
+	if st.State() != StreamComplete {
+		t.Fatalf("state = %s, want complete (salvaged seal)", st.State())
+	}
+	if done, _ := st.Live().Done(); !done {
+		t.Fatal("live trace not sealed by the reaper")
+	}
+}
+
+// The satellite race test: DELETE /v1/streams/{name} while an upload is
+// mid-chunk and a live cursor is reading the growing trace. Must be
+// clean under the race detector and leave attached readers their tuples.
+func TestDeleteStreamRacesUploadAndCursor(t *testing.T) {
+	m := newDurableManager(t, filepath.Join(t.TempDir(), "wal"), nil)
+	defer m.Close()
+	data := collectedTraceBytes(t, 30)
+	st, err := m.Streams().Create(StreamConfig{Name: "race"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := st.Live().NewCursor(false)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for off := 0; off < len(data); off += 512 {
+			end := off + 512
+			if end > len(data) {
+				end = len(data)
+			}
+			if st.Write(data[off:end]) != nil {
+				return // aborted by the delete: expected
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		read := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, ok := cur.Next(); ok {
+				read++
+			}
+		}
+	}()
+	time.Sleep(2 * time.Millisecond)
+	if !m.Streams().Delete("race") {
+		t.Fatal("Delete returned false")
+	}
+	close(stop)
+	wg.Wait()
+	if _, ok := m.Streams().Get("race"); ok {
+		t.Fatal("stream still registered after delete")
+	}
+	if _, err := os.Stat(filepath.Join(m.Streams().walDir, "race")); !os.IsNotExist(err) {
+		t.Fatalf("WAL directory survives delete: %v", err)
+	}
+}
+
+// The brownout ladder engages in its fixed order, each rung observable:
+// sampling suspends, stream creation gets a typed 429 with Retry-After,
+// sealed live traces spill (and reload transparently), and /v1/health
+// reports the rung with readiness flipped by the critical SLO.
+func TestBrownoutLadderEngagesInOrder(t *testing.T) {
+	reg := obs.NewRegistry()
+	inj := faults.New(faults.Options{Metrics: reg})
+	tracer := span.New(span.Config{Sample: 1, Metrics: reg})
+	spillDir := t.TempDir()
+	srv, m := newTestAPI(t, Options{
+		Metrics:        reg,
+		Faults:         inj,
+		Spans:          tracer,
+		PressurePeriod: -1, // no background loop: the test drives Evaluate
+		SpillDir:       spillDir,
+	})
+
+	// A sealed stream with resident tuples, ready to spill at rung 3.
+	data := collectedTraceBytes(t, 10)
+	st, err := m.Streams().Create(StreamConfig{Name: "spillee"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	wantTuples := replayBytes(t, st.Live())
+
+	force := func(lvl int) {
+		inj.Set("pressure.force", faults.Config{Rate: 1, Delay: time.Duration(lvl) * time.Millisecond})
+		m.Pressure().Evaluate()
+	}
+
+	// Rung 1: sampling off. Tracing stays enabled — only paused.
+	force(1)
+	if !tracer.Suspended() || !tracer.Enabled() {
+		t.Fatalf("shed-sampling: suspended=%v enabled=%v", tracer.Suspended(), tracer.Enabled())
+	}
+	if _, err := m.Streams().Create(StreamConfig{Name: "still-ok"}); err != nil {
+		t.Fatalf("shed-sampling must not refuse streams: %v", err)
+	}
+
+	// Rung 2: new streams refused, typed, with a Retry-After over HTTP.
+	force(2)
+	_, err = m.Streams().Create(StreamConfig{Name: "refused"})
+	var be *BrownoutError
+	if !errors.As(err, &be) {
+		t.Fatalf("reject-streams Create: %v", err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/streams?name=refused", "application/octet-stream", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("POST under brownout = %d, Retry-After=%q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	hresp, err := http.Get(srv.URL + "/v1/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body bytes.Buffer
+	io.Copy(&body, hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("health under brownout = %d: %s", hresp.StatusCode, body.String())
+	}
+	if !strings.Contains(body.String(), `"pressure":"reject-streams"`) {
+		t.Fatalf("health body lacks the pressure rung: %s", body.String())
+	}
+
+	// Rung 3: sealed traces spill to disk and the resident tuples drop.
+	force(3)
+	spillPath := filepath.Join(spillDir, "spillee.tuples")
+	if _, err := os.Stat(spillPath); err != nil {
+		t.Fatalf("spill file: %v", err)
+	}
+	if !st.Live().Spilled() || st.Live().MemBytes() != 0 {
+		t.Fatalf("spilled=%v memBytes=%d", st.Live().Spilled(), st.Live().MemBytes())
+	}
+	// A read faults the tuples back in transparently, byte-identical.
+	if got := replayBytes(t, st.Live()); !bytes.Equal(got, wantTuples) {
+		t.Fatal("tuples diverge after spill round trip")
+	}
+	if st.Live().Spilled() {
+		t.Fatal("unspill must clear the spill marker")
+	}
+
+	// Rung 4: live-edge reads pause — an upload chunk gets 429, data
+	// delayed, never lost (the receiving stream is not aborted).
+	force(4)
+	still, ok := m.Streams().Get("still-ok")
+	if !ok {
+		t.Fatal("still-ok stream missing")
+	}
+	req, _ := http.NewRequest("PATCH", srv.URL+"/v1/streams/still-ok", bytes.NewReader(data[:100]))
+	req.Header.Set("Stream-Token", still.Token())
+	req.Header.Set("Upload-Offset", "0")
+	presp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, presp.Body)
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusTooManyRequests || presp.Header.Get("Retry-After") == "" {
+		t.Fatalf("PATCH under pause-ingest = %d", presp.StatusCode)
+	}
+	if still.State() != StreamReceiving {
+		t.Fatalf("paused upload must not abort the stream: %s", still.State())
+	}
+
+	// Release the floor: the ladder steps down one rung per evaluation,
+	// never jumps, and sampling resumes on the way out.
+	inj.Set("pressure.force", faults.Config{})
+	levels := []string{}
+	for i := 0; i < 6; i++ {
+		levels = append(levels, m.Pressure().Evaluate().String())
+	}
+	if levels[3] != "normal" || levels[0] == "normal" {
+		t.Fatalf("downgrade path = %v, want one step per evaluation", levels)
+	}
+	if tracer.Suspended() {
+		t.Fatal("sampling still suspended after recovery")
+	}
+}
+
+// A session restored from a snapshot whose stream did not survive the
+// crash comes back stopped, with a typed ErrStreamGone surfaced through
+// its status JSON — the operator sees exactly what was lost.
+func TestRestoreSurfacesErrStreamGone(t *testing.T) {
+	snapPath := filepath.Join(t.TempDir(), "snap.json")
+	m1 := NewManager(Options{
+		Granularity: time.Millisecond, Metrics: obs.NewRegistry(),
+		SnapshotPath: snapPath, SnapshotInterval: -1,
+	})
+	st, err := m1.Streams().Create(StreamConfig{Name: "doomed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Write(collectedTraceBytes(t, 10)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := m1.Create(SessionConfig{Name: "rider", Live: st.Live(), TraceRef: "stream:doomed", Loop: true, Tick: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.WriteSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash; the new daemon has no WAL dir, so the stream is gone.
+
+	srv, m2 := newTestAPI(t, Options{})
+	n, rerr := m2.Recover(snapPath)
+	if n != 1 {
+		t.Fatalf("Recover restored %d sessions", n)
+	}
+	if !errors.Is(rerr, ErrStreamGone) {
+		t.Fatalf("Recover err = %v, want ErrStreamGone", rerr)
+	}
+	s2, ok := m2.Get(s.ID)
+	if !ok {
+		t.Fatal("session not restored")
+	}
+	if !errors.Is(s2.RestoreError(), ErrStreamGone) {
+		t.Fatalf("RestoreError = %v", s2.RestoreError())
+	}
+	if s2.State() == StateRunning {
+		t.Fatal("a session without its stream must not auto-start")
+	}
+	var info SessionInfo
+	doJSON(t, "GET", srv.URL+"/v1/sessions/"+s.ID, nil, http.StatusOK, &info)
+	if !strings.Contains(info.Error, "stream gone") || !strings.Contains(info.Error, "doomed") {
+		t.Fatalf("status error = %q", info.Error)
+	}
+}
+
+// The resumable upload protocol end to end over HTTP: POST half and
+// disconnect (parked, not sealed), query the offset, resume via PATCH
+// with the token — wrong token 403, gap offset 409 + Upload-Offset —
+// finish with ?complete=true, and match the uninterrupted batch distill.
+func TestResumableUploadOverHTTP(t *testing.T) {
+	walDir := filepath.Join(t.TempDir(), "wal")
+	srv, m := newTestAPI(t, Options{StreamWALDir: walDir})
+	data := collectedTraceBytes(t, 30)
+	half := len(data) / 2
+
+	resp, err := http.Post(srv.URL+"/v1/streams?name=res&resumable=true",
+		"application/octet-stream", bytes.NewReader(data[:half]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info StreamInfo
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST = %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if info.State != string(StreamReceiving) || info.Token == "" || info.Bytes != int64(half) {
+		t.Fatalf("parked info = %+v", info)
+	}
+
+	var off StreamOffsetInfo
+	doJSON(t, "GET", srv.URL+"/v1/streams/res/offset", nil, http.StatusOK, &off)
+	if off.Offset != int64(half) || off.Durable != int64(half) || !off.Resumable {
+		t.Fatalf("offset info = %+v", off)
+	}
+
+	patch := func(tok string, offset int64, body []byte, complete bool) *http.Response {
+		url := srv.URL + "/v1/streams/res"
+		if complete {
+			url += "?complete=true"
+		}
+		req, _ := http.NewRequest("PATCH", url, bytes.NewReader(body))
+		req.Header.Set("Stream-Token", tok)
+		req.Header.Set("Upload-Offset", fmt.Sprint(offset))
+		r, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	// Wrong token: fenced out.
+	r := patch("not-the-token", off.Offset, data[half:half+100], false)
+	io.Copy(io.Discard, r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusForbidden {
+		t.Fatalf("wrong token = %d", r.StatusCode)
+	}
+	// A gap: refused with the committed offset to rewind to.
+	r = patch(info.Token, off.Offset+4096, data[half:], false)
+	io.Copy(io.Discard, r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusConflict || r.Header.Get("Upload-Offset") != fmt.Sprint(half) {
+		t.Fatalf("gap PATCH = %d, Upload-Offset=%q", r.StatusCode, r.Header.Get("Upload-Offset"))
+	}
+	// The real resume, overlapping one chunk (idempotent), completing.
+	r = patch(info.Token, int64(half-512), data[half-512:], true)
+	var final StreamInfo
+	if r.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		t.Fatalf("resume PATCH = %d: %s", r.StatusCode, raw)
+	}
+	if err := json.NewDecoder(r.Body).Decode(&final); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if final.State != string(StreamComplete) || final.Bytes != int64(len(data)) {
+		t.Fatalf("final = %+v", final)
+	}
+
+	// Byte identity with the uninterrupted batch pipeline.
+	collected, err := tracefmt.ReadAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := distill.Distill(collected, distill.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := replay.Write(&want, batch.Replay); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := m.Streams().Get("res")
+	if got := replayBytes(t, st.Live()); !bytes.Equal(got, want.Bytes()) {
+		t.Fatal("resumed upload diverges from batch distill")
+	}
+}

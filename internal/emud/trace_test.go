@@ -174,7 +174,7 @@ func TestAPISLOAndHealth(t *testing.T) {
 
 	var rep FarmSLOReport
 	doJSON(t, "GET", srv.URL+"/v1/slo", nil, http.StatusOK, &rep)
-	if len(rep.Objectives) != 6 {
+	if len(rep.Objectives) != 7 {
 		t.Fatalf("%d objectives in report: %+v", len(rep.Objectives), rep)
 	}
 	names := map[string]bool{}
@@ -184,7 +184,7 @@ func TestAPISLOAndHealth(t *testing.T) {
 	for _, want := range []string{
 		"wheel-tick-lateness-p99", "delivery-deadline-compliance",
 		"drop-accuracy", "quarantine-rate", "admission-shed-rate",
-		"stream-distill-lag-p99",
+		"stream-distill-lag-p99", "ingest-brownout",
 	} {
 		if !names[want] {
 			t.Fatalf("objective %q missing from %v", want, names)

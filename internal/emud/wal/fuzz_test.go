@@ -1,0 +1,133 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildSegment assembles a syntactically valid segment from chunks, for
+// seeding the fuzzer with realistic inputs to mutate.
+func buildSegment(base uint64, chunks ...[]byte) []byte {
+	var b bytes.Buffer
+	var hdr [headerLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], Magic)
+	binary.BigEndian.PutUint16(hdr[4:6], Version)
+	binary.BigEndian.PutUint64(hdr[8:16], base)
+	b.Write(hdr[:])
+	var fh [frameOverhead]byte
+	for _, c := range chunks {
+		binary.BigEndian.PutUint32(fh[0:4], uint32(len(c)))
+		binary.BigEndian.PutUint32(fh[4:8], crc32.ChecksumIEEE(c))
+		b.Write(fh[:])
+		b.Write(c)
+	}
+	return b.Bytes()
+}
+
+// FuzzWALReplay throws arbitrary bytes at the segment replayer as the
+// first segment of a log, plus a truncation point, and checks the
+// recovery invariants: Open never panics, never errors on damage (only
+// on OS failures), replays exactly Offset() payload bytes, keeps every
+// replayed frame's CRC-verified content, and leaves a log that accepts
+// appends and replays them on the next open.
+func FuzzWALReplay(f *testing.F) {
+	f.Add(buildSegment(0, []byte("hello"), []byte("world")), uint16(0))
+	f.Add(buildSegment(0, bytes.Repeat([]byte{0xaa}, 300)), uint16(5))
+	f.Add(buildSegment(7, []byte("wrong base")), uint16(0))
+	// Pre-corrupted seeds: flipped CRC, zero length, giant length.
+	bad := buildSegment(0, []byte("abcdef"))
+	bad[headerLen+5] ^= 0x40
+	f.Add(bad, uint16(0))
+	zl := buildSegment(0, []byte("x"), []byte("y"))
+	copy(zl[headerLen+frameOverhead+1:], []byte{0, 0, 0, 0})
+	f.Add(zl, uint16(0))
+	f.Add([]byte("TWL1 but not really"), uint16(3))
+	f.Add([]byte{}, uint16(0))
+
+	f.Fuzz(func(t *testing.T, data []byte, cut uint16) {
+		if len(data) > 1<<16 {
+			return
+		}
+		if int(cut) < len(data) {
+			data = data[:len(data)-int(cut)] // simulate a torn tail
+		}
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName(0)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var replayed []byte
+		l, err := Open(Options{Dir: dir}, func(p []byte) error {
+			replayed = append(replayed, p...)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("Open on damaged input errored: %v", err)
+		}
+		if int64(len(replayed)) != l.Offset() {
+			t.Fatalf("replayed %d bytes but Offset() = %d", len(replayed), l.Offset())
+		}
+		// Whatever replayed must be a prefix of the original frame stream:
+		// re-walk data with the same framing and compare.
+		if want := validPrefix(data); !bytes.Equal(replayed, want) {
+			t.Fatalf("replayed %d bytes, independent walk found %d", len(replayed), len(want))
+		}
+		// The repaired log must be appendable, and the append must survive
+		// a second open.
+		extra := []byte("appended after repair")
+		if err := l.Append(extra); err != nil {
+			t.Fatalf("append after repair: %v", err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		var again []byte
+		l2, err := Open(Options{Dir: dir}, func(p []byte) error {
+			again = append(again, p...)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("re-open: %v", err)
+		}
+		defer l2.Close()
+		want := append(append([]byte(nil), replayed...), extra...)
+		if !bytes.Equal(again, want) {
+			t.Fatalf("second replay lost data: %d bytes vs %d", len(again), len(want))
+		}
+	})
+}
+
+// validPrefix independently decodes the valid frame prefix of a raw
+// first-segment image — the reference model the replayer must match.
+func validPrefix(data []byte) []byte {
+	if len(data) < headerLen ||
+		binary.BigEndian.Uint32(data[0:4]) != Magic ||
+		binary.BigEndian.Uint16(data[4:6]) != Version ||
+		binary.BigEndian.Uint64(data[8:16]) != 0 {
+		return nil
+	}
+	var out []byte
+	i := headerLen
+	for {
+		if len(data)-i < frameOverhead {
+			return out
+		}
+		n := binary.BigEndian.Uint32(data[i : i+4])
+		if n == 0 || n > maxFrame {
+			return out
+		}
+		end := i + frameOverhead + int(n)
+		if end > len(data) {
+			return out
+		}
+		payload := data[i+frameOverhead : end]
+		if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(data[i+4:i+8]) {
+			return out
+		}
+		out = append(out, payload...)
+		i = end
+	}
+}

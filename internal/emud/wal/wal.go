@@ -1,0 +1,441 @@
+// Package wal is the write-ahead log under the daemon's live-ingest
+// streams. Every salvaged upload chunk is framed, checksummed, and
+// appended to a per-stream segment log before it reaches the distiller,
+// so a crash — kill -9, OOM, power loss — costs at most the bytes past
+// the last fsync: on restart the log replays its durable prefix through
+// the same distiller and the stream resumes at exactly that offset.
+//
+// The format is deliberately dumb. A log is a directory of segment
+// files named by the payload offset their first frame starts at
+// (0000000000000000.wal, ...). Each segment opens with a fixed header
+// (magic, version, base offset) and then holds frames of the shape
+//
+//	[len uint32][crc32 uint32][payload]
+//
+// with the CRC (IEEE) covering the payload only. Replay walks segments
+// in offset order and stops at the first frame that fails to frame or
+// checksum — a torn tail from the crash, or real corruption; either
+// way, nothing after it is trusted. The damaged suffix is truncated so
+// the log is immediately appendable again.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Segment format constants.
+const (
+	// Magic opens every segment file ("TWL1").
+	Magic = 0x54574c31
+	// Version is the current segment format version.
+	Version = 1
+	// headerLen is the fixed segment header: magic u32, version u16,
+	// reserved u16, base payload offset u64.
+	headerLen = 16
+	// frameOverhead is the per-frame framing cost: length + CRC.
+	frameOverhead = 8
+	// maxFrame bounds a single frame's payload; a replayed length field
+	// past it is corruption, not a huge chunk (the ingest path feeds
+	// 64 KiB chunks).
+	maxFrame = 16 << 20
+
+	segSuffix = ".wal"
+)
+
+// DefaultSegmentBytes is the rotation threshold when Options.SegmentBytes
+// is zero.
+const DefaultSegmentBytes = 8 << 20
+
+// DefaultSyncEvery is the SyncInterval cadence when Options.SyncEvery is
+// zero.
+const DefaultSyncEvery = 100 * time.Millisecond
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// SyncPolicy selects how eagerly appends reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: the durable offset equals the
+	// appended offset at all times. Safest, slowest; the zero value.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs at most once per Options.SyncEvery, amortizing
+	// the fsync over many chunks. A crash loses at most one interval.
+	SyncInterval
+	// SyncNone never fsyncs explicitly; durability is whatever the OS
+	// flushed on its own. Durable() only advances on explicit Sync.
+	SyncNone
+)
+
+// ParseSyncPolicy maps the flag spellings ("always", "interval", "none")
+// to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always", "":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "none":
+		return SyncNone, nil
+	}
+	return 0, fmt.Errorf("wal: bad sync policy %q (want always, interval, or none)", s)
+}
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNone:
+		return "none"
+	}
+	return "unknown"
+}
+
+// Options parameterizes a log.
+type Options struct {
+	// Dir is the log's directory (created if absent). Required.
+	Dir string
+	// SegmentBytes rotates to a fresh segment once the current one's
+	// payload exceeds it (DefaultSegmentBytes if 0).
+	SegmentBytes int64
+	// Sync is the fsync policy (SyncAlways if zero).
+	Sync SyncPolicy
+	// SyncEvery is the SyncInterval cadence (DefaultSyncEvery if 0).
+	SyncEvery time.Duration
+}
+
+// Log is an append-only chunk log. Not safe for concurrent use; the
+// stream's mutex serializes it.
+type Log struct {
+	opts Options
+
+	f        *os.File
+	segBase  int64 // payload offset of the current segment's first frame
+	segBytes int64 // payload bytes written to the current segment
+	off      int64 // total payload bytes appended (durable + pending)
+	durable  int64 // payload bytes known to have reached stable storage
+	lastSync time.Time
+	closed   bool
+	err      error // sticky I/O error; the log refuses further appends
+
+	hdr [frameOverhead]byte
+}
+
+// Open opens (creating if needed) the log at opts.Dir, replays every
+// durable frame in offset order through fn (which may be nil), truncates
+// whatever torn or corrupt suffix the last crash left, and returns the
+// log positioned to append at the durable offset. A non-nil error from
+// fn aborts the open: the caller could not apply the replayed state.
+func Open(opts Options, fn func(chunk []byte) error) (*Log, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("wal: Options.Dir is required")
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = DefaultSyncEvery
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: creating %s: %w", opts.Dir, err)
+	}
+	l := &Log{opts: opts, lastSync: time.Now()}
+	if err := l.recover(fn); err != nil {
+		if l.f != nil {
+			_ = l.f.Close()
+		}
+		return nil, err
+	}
+	return l, nil
+}
+
+// segments lists the log's segment files sorted by base offset, dropping
+// files whose name does not parse (they were never ours).
+func segments(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: listing %s: %w", dir, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), segSuffix) {
+			if _, err := segBaseOf(e.Name()); err == nil {
+				names = append(names, e.Name())
+			}
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func segName(base int64) string { return fmt.Sprintf("%016x%s", base, segSuffix) }
+
+func segBaseOf(name string) (int64, error) {
+	base, err := strconv.ParseUint(strings.TrimSuffix(name, segSuffix), 16, 63)
+	if err != nil {
+		return 0, fmt.Errorf("wal: bad segment name %q: %w", name, err)
+	}
+	return int64(base), nil
+}
+
+// recover replays the durable prefix and repairs the tail: the first
+// frame that fails to parse or checksum ends the replay, the segment is
+// truncated there, and every later segment is deleted.
+func (l *Log) recover(fn func([]byte) error) error {
+	names, err := segments(l.opts.Dir)
+	if err != nil {
+		return err
+	}
+	goodIdx, goodEnd := -1, int64(headerLen)
+	i := 0
+	for ; i < len(names); i++ {
+		base, _ := segBaseOf(names[i])
+		if base != l.off {
+			break // offset gap: this and every later segment is an orphan
+		}
+		path := filepath.Join(l.opts.Dir, names[i])
+		end, replayed, rerr := l.replaySegment(path, base, fn)
+		if rerr != nil {
+			return rerr // fn failed, or the file is unreadable at the OS level
+		}
+		if end < 0 {
+			break // the segment's own header is damaged: no frame survives
+		}
+		l.off += replayed
+		l.durable = l.off
+		goodIdx, goodEnd = i, end
+		if fi, serr := os.Stat(path); serr == nil && fi.Size() > end {
+			// Replay stopped inside the file — a torn or corrupt frame.
+			// Keep this segment (truncated below); nothing after it counts.
+			i++
+			break
+		}
+	}
+	// Everything from i on failed validation or sits past damage.
+	for _, name := range names[i:] {
+		_ = os.Remove(filepath.Join(l.opts.Dir, name))
+	}
+	if goodIdx < 0 {
+		return l.openSegment(l.off) // empty or fully damaged log: start over
+	}
+	// Reopen the final good segment for append, truncating its torn tail.
+	name := filepath.Join(l.opts.Dir, names[goodIdx])
+	base, _ := segBaseOf(names[goodIdx])
+	f, err := os.OpenFile(name, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: reopening %s: %w", name, err)
+	}
+	if err := f.Truncate(goodEnd); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("wal: truncating %s: %w", name, err)
+	}
+	if _, err := f.Seek(goodEnd, io.SeekStart); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("wal: seeking %s: %w", name, err)
+	}
+	l.f = f
+	l.segBase = base
+	l.segBytes = l.off - base
+	return nil
+}
+
+// replaySegment validates one segment and streams its frame payloads to
+// fn. It returns the file offset just past the last valid frame (-1 when
+// the header itself is bad), the payload bytes replayed, and a hard
+// error only for OS-level read failures or a failing fn — framing and
+// CRC damage are a normal end of replay, not an error.
+func (l *Log) replaySegment(path string, base int64, fn func([]byte) error) (end, replayed int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return -1, 0, fmt.Errorf("wal: opening %s: %w", path, err)
+	}
+	defer f.Close()
+
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return -1, 0, nil // short header: torn at creation
+	}
+	if binary.BigEndian.Uint32(hdr[0:4]) != Magic ||
+		binary.BigEndian.Uint16(hdr[4:6]) != Version ||
+		int64(binary.BigEndian.Uint64(hdr[8:16])) != base {
+		return -1, 0, nil
+	}
+	end = headerLen
+	var fh [frameOverhead]byte
+	var buf []byte
+	for {
+		if _, rerr := io.ReadFull(f, fh[:]); rerr != nil {
+			return end, replayed, nil // clean end or torn frame header
+		}
+		n := binary.BigEndian.Uint32(fh[0:4])
+		if n == 0 || n > maxFrame {
+			return end, replayed, nil // corrupt length field
+		}
+		if int(n) > cap(buf) {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, rerr := io.ReadFull(f, buf); rerr != nil {
+			return end, replayed, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(buf) != binary.BigEndian.Uint32(fh[4:8]) {
+			return end, replayed, nil // corrupt payload
+		}
+		if fn != nil {
+			if ferr := fn(buf); ferr != nil {
+				return end, replayed, ferr
+			}
+		}
+		end += frameOverhead + int64(n)
+		replayed += int64(n)
+	}
+}
+
+// openSegment creates a fresh segment whose first frame starts at base.
+func (l *Log) openSegment(base int64) error {
+	path := filepath.Join(l.opts.Dir, segName(base))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating segment %s: %w", path, err)
+	}
+	var hdr [headerLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], Magic)
+	binary.BigEndian.PutUint16(hdr[4:6], Version)
+	binary.BigEndian.PutUint64(hdr[8:16], uint64(base))
+	if _, err := f.Write(hdr[:]); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("wal: writing segment header: %w", err)
+	}
+	l.f = f
+	l.segBase = base
+	l.segBytes = 0
+	return nil
+}
+
+// Append frames and writes one chunk, honoring the rotation threshold
+// and the sync policy. Empty chunks are a no-op. Any I/O error is sticky:
+// a log that failed to persist refuses to pretend otherwise.
+func (l *Log) Append(p []byte) error {
+	if l == nil {
+		return nil
+	}
+	if l.closed {
+		return ErrClosed
+	}
+	if l.err != nil {
+		return l.err
+	}
+	if len(p) == 0 {
+		return nil
+	}
+	if l.segBytes >= l.opts.SegmentBytes {
+		// The old segment's bytes must be stable before a successor claims
+		// the offsets after them: rotation is a durability barrier.
+		if err := l.syncNow(); err != nil {
+			return err
+		}
+		if err := l.f.Close(); err != nil {
+			return l.fail(fmt.Errorf("wal: closing segment: %w", err))
+		}
+		if err := l.openSegment(l.off); err != nil {
+			return l.fail(err)
+		}
+	}
+	binary.BigEndian.PutUint32(l.hdr[0:4], uint32(len(p)))
+	binary.BigEndian.PutUint32(l.hdr[4:8], crc32.ChecksumIEEE(p))
+	if _, err := l.f.Write(l.hdr[:]); err != nil {
+		return l.fail(fmt.Errorf("wal: writing frame header: %w", err))
+	}
+	if _, err := l.f.Write(p); err != nil {
+		return l.fail(fmt.Errorf("wal: writing frame payload: %w", err))
+	}
+	l.off += int64(len(p))
+	l.segBytes += int64(len(p))
+	switch l.opts.Sync {
+	case SyncAlways:
+		return l.syncNow()
+	case SyncInterval:
+		if time.Since(l.lastSync) >= l.opts.SyncEvery {
+			return l.syncNow()
+		}
+	}
+	return nil
+}
+
+// Sync forces the appended prefix to stable storage.
+func (l *Log) Sync() error {
+	if l == nil {
+		return nil
+	}
+	if l.closed {
+		return ErrClosed
+	}
+	if l.err != nil {
+		return l.err
+	}
+	return l.syncNow()
+}
+
+func (l *Log) syncNow() error {
+	if err := l.f.Sync(); err != nil {
+		return l.fail(fmt.Errorf("wal: fsync: %w", err))
+	}
+	l.durable = l.off
+	l.lastSync = time.Now()
+	return nil
+}
+
+func (l *Log) fail(err error) error {
+	l.err = err
+	return err
+}
+
+// Offset returns the total payload bytes appended (durable or not).
+func (l *Log) Offset() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.off
+}
+
+// Durable returns the payload bytes guaranteed to survive a crash: the
+// offset at the last successful fsync.
+func (l *Log) Durable() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.durable
+}
+
+// Close syncs and closes the log. Further appends return ErrClosed.
+func (l *Log) Close() error {
+	if l == nil || l.closed {
+		return nil
+	}
+	l.closed = true
+	var err error
+	if l.err == nil {
+		if serr := l.f.Sync(); serr == nil {
+			l.durable = l.off
+		} else {
+			err = serr
+		}
+	}
+	if cerr := l.f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,380 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// replayAll opens the log at dir collecting every replayed chunk.
+func replayAll(t *testing.T, dir string, opts Options) (*Log, [][]byte) {
+	t.Helper()
+	opts.Dir = dir
+	var chunks [][]byte
+	l, err := Open(opts, func(p []byte) error {
+		chunks = append(chunks, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, chunks
+}
+
+func flatten(chunks [][]byte) []byte {
+	var out []byte
+	for _, c := range chunks {
+		out = append(out, c...)
+	}
+	return out
+}
+
+func TestWALAppendReplayRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	l, chunks := replayAll(t, dir, Options{})
+	if len(chunks) != 0 {
+		t.Fatalf("fresh log replayed %d chunks", len(chunks))
+	}
+	var want []byte
+	for i := 0; i < 50; i++ {
+		p := bytes.Repeat([]byte{byte(i)}, 100+i)
+		want = append(want, p...)
+		if err := l.Append(p); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if l.Offset() != int64(len(want)) {
+		t.Fatalf("Offset = %d, want %d", l.Offset(), len(want))
+	}
+	if l.Durable() != l.Offset() {
+		t.Fatalf("SyncAlways: Durable = %d, Offset = %d", l.Durable(), l.Offset())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, replayed := replayAll(t, dir, Options{})
+	defer l2.Close()
+	if got := flatten(replayed); !bytes.Equal(got, want) {
+		t.Fatalf("replay mismatch: got %d bytes, want %d", len(got), len(want))
+	}
+	if l2.Offset() != int64(len(want)) {
+		t.Fatalf("reopened Offset = %d, want %d", l2.Offset(), len(want))
+	}
+}
+
+func TestWALAppendAfterRecoveryContinues(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := replayAll(t, dir, Options{})
+	first := []byte("the first epoch of the stream")
+	if err := l.Append(first); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, _ := replayAll(t, dir, Options{})
+	second := []byte("and the bytes after the crash")
+	if err := l2.Append(second); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l3, chunks := replayAll(t, dir, Options{})
+	defer l3.Close()
+	want := append(append([]byte(nil), first...), second...)
+	if got := flatten(chunks); !bytes.Equal(got, want) {
+		t.Fatalf("after append-after-recovery, replay = %q, want %q", got, want)
+	}
+}
+
+func TestWALRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := replayAll(t, dir, Options{SegmentBytes: 256})
+	var want []byte
+	for i := 0; i < 20; i++ {
+		p := bytes.Repeat([]byte{byte('a' + i%26)}, 100)
+		want = append(want, p...)
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) < 3 {
+		t.Fatalf("expected rotation to produce several segments, got %v", names)
+	}
+	l2, chunks := replayAll(t, dir, Options{SegmentBytes: 256})
+	defer l2.Close()
+	if got := flatten(chunks); !bytes.Equal(got, want) {
+		t.Fatalf("multi-segment replay mismatch: %d bytes vs %d", len(got), len(want))
+	}
+}
+
+func TestWALSyncPolicies(t *testing.T) {
+	for _, pol := range []SyncPolicy{SyncAlways, SyncInterval, SyncNone} {
+		t.Run(pol.String(), func(t *testing.T) {
+			l, _ := replayAll(t, t.TempDir(), Options{Sync: pol})
+			defer l.Close()
+			if err := l.Append([]byte("chunk")); err != nil {
+				t.Fatal(err)
+			}
+			if pol == SyncAlways && l.Durable() != l.Offset() {
+				t.Fatalf("always: durable %d != offset %d", l.Durable(), l.Offset())
+			}
+			if pol == SyncNone && l.Durable() != 0 {
+				t.Fatalf("none: durable advanced to %d without Sync", l.Durable())
+			}
+			if err := l.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			if l.Durable() != l.Offset() {
+				t.Fatalf("after Sync: durable %d != offset %d", l.Durable(), l.Offset())
+			}
+		})
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for in, want := range map[string]SyncPolicy{
+		"always": SyncAlways, "": SyncAlways, "interval": SyncInterval, "none": SyncNone,
+	} {
+		got, err := ParseSyncPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("ParseSyncPolicy accepted garbage")
+	}
+}
+
+// seedLog writes n chunks of deterministic content and returns their
+// concatenation plus the single segment file path.
+func seedLog(t *testing.T, dir string, n int) ([]byte, string) {
+	t.Helper()
+	l, _ := replayAll(t, dir, Options{})
+	var want []byte
+	for i := 0; i < n; i++ {
+		p := bytes.Repeat([]byte{byte(i + 1)}, 64)
+		want = append(want, p...)
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := segments(dir)
+	if err != nil || len(names) != 1 {
+		t.Fatalf("want one segment, got %v (%v)", names, err)
+	}
+	return want, filepath.Join(dir, names[0])
+}
+
+// TestWALReplayCorruptFixtures drives replay over a table of hand-made
+// damage — the crash and bit-rot shapes the salvage must survive — and
+// asserts the durable-prefix contract: every chunk before the damage
+// replays intact, nothing after it does, and the repaired log accepts
+// appends again.
+func TestWALReplayCorruptFixtures(t *testing.T) {
+	const chunk = 64 + frameOverhead
+	fixtures := []struct {
+		name string
+		mut  func(t *testing.T, path string, size int64)
+		// wantChunks is how many 64-byte chunks must survive replay.
+		wantChunks int
+	}{
+		{"truncate-mid-payload", func(t *testing.T, path string, size int64) {
+			mustTruncate(t, path, size-10)
+		}, 4},
+		{"truncate-mid-frame-header", func(t *testing.T, path string, size int64) {
+			mustTruncate(t, path, size-int64(64)-4)
+		}, 4},
+		{"truncate-mid-segment-header", func(t *testing.T, path string, size int64) {
+			mustTruncate(t, path, headerLen-3)
+		}, 0},
+		{"bitflip-payload", func(t *testing.T, path string, _ int64) {
+			flipByte(t, path, headerLen+2*chunk+frameOverhead+7) // inside chunk 2's payload
+		}, 2},
+		{"bitflip-crc", func(t *testing.T, path string, _ int64) {
+			flipByte(t, path, headerLen+chunk+5) // inside chunk 1's CRC field
+		}, 1},
+		{"zero-length-field", func(t *testing.T, path string, _ int64) {
+			patch(t, path, headerLen+3*chunk, []byte{0, 0, 0, 0})
+		}, 3},
+		{"giant-length-field", func(t *testing.T, path string, _ int64) {
+			patch(t, path, headerLen+chunk, []byte{0xff, 0xff, 0xff, 0xff})
+		}, 1},
+		{"bad-magic", func(t *testing.T, path string, _ int64) {
+			patch(t, path, 0, []byte{'X', 'X', 'X', 'X'})
+		}, 0},
+		{"bad-base-offset", func(t *testing.T, path string, _ int64) {
+			patch(t, path, 8, []byte{0, 0, 0, 0, 0, 0, 0, 9})
+		}, 0},
+	}
+	for _, fx := range fixtures {
+		t.Run(fx.name, func(t *testing.T) {
+			dir := t.TempDir()
+			want, path := seedLog(t, dir, 5)
+			fi, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fx.mut(t, path, fi.Size())
+
+			l, chunks := replayAll(t, dir, Options{})
+			got := flatten(chunks)
+			wantPrefix := want[:fx.wantChunks*64]
+			if !bytes.Equal(got, wantPrefix) {
+				t.Fatalf("replayed %d bytes, want the %d-byte durable prefix", len(got), len(wantPrefix))
+			}
+			if l.Offset() != int64(len(wantPrefix)) {
+				t.Fatalf("Offset = %d, want %d", l.Offset(), len(wantPrefix))
+			}
+			// The repaired log must accept appends and replay them next time.
+			extra := []byte("post-repair bytes")
+			if err := l.Append(extra); err != nil {
+				t.Fatalf("append after repair: %v", err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			l2, chunks2 := replayAll(t, dir, Options{})
+			defer l2.Close()
+			want2 := append(append([]byte(nil), wantPrefix...), extra...)
+			if got2 := flatten(chunks2); !bytes.Equal(got2, want2) {
+				t.Fatalf("post-repair replay mismatch: %d bytes vs %d", len(got2), len(want2))
+			}
+		})
+	}
+}
+
+func TestWALDamagedMiddleSegmentDropsTail(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := replayAll(t, dir, Options{SegmentBytes: 200})
+	var want []byte
+	for i := 0; i < 10; i++ {
+		p := bytes.Repeat([]byte{byte(i + 1)}, 100)
+		want = append(want, p...)
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := segments(dir)
+	if err != nil || len(names) < 3 {
+		t.Fatalf("want ≥3 segments, got %v", names)
+	}
+	// Corrupt the second segment's first frame: its own first chunk and
+	// every later segment must vanish from the replay.
+	flipByte(t, filepath.Join(dir, names[1]), headerLen+frameOverhead+3)
+
+	l2, chunks := replayAll(t, dir, Options{SegmentBytes: 200})
+	defer l2.Close()
+	got := flatten(chunks)
+	base, _ := segBaseOf(names[1])
+	if !bytes.Equal(got, want[:base]) {
+		t.Fatalf("replay after mid-log damage = %d bytes, want %d", len(got), base)
+	}
+	if left, _ := segments(dir); len(left) != 2 {
+		t.Fatalf("orphan segments not removed: %v", left)
+	}
+}
+
+func TestWALReplayCallbackErrorAborts(t *testing.T) {
+	dir := t.TempDir()
+	seedLog(t, dir, 3)
+	boom := fmt.Errorf("apply failed")
+	_, err := Open(Options{Dir: dir}, func([]byte) error { return boom })
+	if err == nil || !bytes.Contains([]byte(err.Error()), []byte("apply failed")) {
+		t.Fatalf("Open with failing callback = %v, want apply failure", err)
+	}
+}
+
+func TestWALFrameEncoding(t *testing.T) {
+	// Pin the on-disk shape: header magic/version/base, then
+	// [len][crc][payload].
+	dir := t.TempDir()
+	l, _ := replayAll(t, dir, Options{})
+	payload := []byte("pinned frame")
+	if err := l.Append(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, segName(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.BigEndian.Uint32(data[0:4]); got != Magic {
+		t.Fatalf("magic = %#x", got)
+	}
+	if got := binary.BigEndian.Uint16(data[4:6]); got != Version {
+		t.Fatalf("version = %d", got)
+	}
+	if got := binary.BigEndian.Uint64(data[8:16]); got != 0 {
+		t.Fatalf("base = %d", got)
+	}
+	if got := binary.BigEndian.Uint32(data[16:20]); got != uint32(len(payload)) {
+		t.Fatalf("frame len = %d", got)
+	}
+	if got := binary.BigEndian.Uint32(data[20:24]); got != crc32.ChecksumIEEE(payload) {
+		t.Fatalf("frame crc = %#x", got)
+	}
+	if !bytes.Equal(data[24:], payload) {
+		t.Fatalf("frame payload = %q", data[24:])
+	}
+}
+
+func mustTruncate(t *testing.T, path string, size int64) {
+	t.Helper()
+	if size < 0 {
+		size = 0
+	}
+	if err := os.Truncate(path, size); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func flipByte(t *testing.T, path string, off int64) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off >= int64(len(data)) {
+		t.Fatalf("flip offset %d past file size %d", off, len(data))
+	}
+	data[off] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func patch(t *testing.T, path string, off int64, b []byte) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteAt(b, off); err != nil {
+		t.Fatal(err)
+	}
+}

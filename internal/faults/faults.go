@@ -249,6 +249,21 @@ func (p *Point) Stall() {
 	}
 }
 
+// Mark records one activation at the point unconditionally — no RNG, no
+// probability, works disarmed. Defense-side transitions (a brownout
+// level change, an idle-stream seal) use it so their activations land in
+// the same ledger chaos scenarios read: the point's Snapshot counts and
+// the tracemod_faults_*_total{point} series.
+func (p *Point) Mark() {
+	if p == nil {
+		return
+	}
+	p.nEvals.Add(1)
+	p.evals.Inc()
+	p.nFired.Add(1)
+	p.fires.Inc()
+}
+
 // Delay reports the configured stall duration.
 func (p *Point) Delay() time.Duration {
 	if p == nil {

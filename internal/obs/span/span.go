@@ -146,6 +146,11 @@ type Tracer struct {
 	ids    atomic.Uint64 // id-generation state
 	seed   uint64
 
+	// suspended pauses root sampling without reconfiguring the tracer —
+	// the brownout controller's cheapest shed. In-flight spans finish
+	// normally; only new roots are refused.
+	suspended atomic.Bool
+
 	started, sampled, finished, droppedBudget *obs.Counter // nil-safe
 }
 
@@ -200,8 +205,23 @@ func (t *Tracer) Now() time.Duration {
 	return t.now()
 }
 
-// Enabled reports whether the tracer can ever sample.
+// Enabled reports whether the tracer can ever sample. A suspended tracer
+// is still enabled — the structural wiring (flight recorders, header
+// propagation) stays in place; only new roots are refused.
 func (t *Tracer) Enabled() bool { return t != nil && t.every > 0 }
+
+// Suspend pauses (true) or resumes (false) root sampling at runtime.
+// Safe to call concurrently with sampling and on a nil tracer. Used by
+// the daemon's brownout controller: sampling is the first thing shed
+// under memory pressure and the first restored on recovery.
+func (t *Tracer) Suspend(on bool) {
+	if t != nil {
+		t.suspended.Store(on)
+	}
+}
+
+// Suspended reports whether root sampling is currently paused.
+func (t *Tracer) Suspended() bool { return t != nil && t.suspended.Load() }
 
 // nextID derives a fresh non-zero id from the atomic counter via a
 // splitmix64 finalizer: unique per tracer, no locks, no allocation.
@@ -227,7 +247,7 @@ func (t *Tracer) Root(name string) *Span { return t.RootInto(nil, name) }
 // as the tracer's default sink. The emud session farm passes the session's
 // flight recorder here.
 func (t *Tracer) RootInto(extra Sink, name string) *Span {
-	if t == nil || t.every == 0 {
+	if t == nil || t.every == 0 || t.suspended.Load() {
 		return nil
 	}
 	t.started.Inc()
@@ -242,7 +262,7 @@ func (t *Tracer) RootInto(extra Sink, name string) *Span {
 // regardless of the local rate, so external callers can always get a full
 // tree; an unsampled or invalid parent falls back to local root sampling.
 func (t *Tracer) StartRemote(parent SpanContext, name string) *Span {
-	if t == nil || t.every == 0 {
+	if t == nil || t.every == 0 || t.suspended.Load() {
 		return nil
 	}
 	if !parent.Valid() || !parent.Sampled {

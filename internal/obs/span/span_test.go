@@ -51,6 +51,44 @@ func TestZeroSampleNeverRoots(t *testing.T) {
 	}
 }
 
+func TestSuspendPausesRootSampling(t *testing.T) {
+	sink := NewCollectorSink(0)
+	tr := New(Config{Sample: 1, Sink: sink, Now: fixedClock(), Seed: 1})
+	if tr.Suspended() {
+		t.Fatal("fresh tracer reports suspended")
+	}
+	tr.Suspend(true)
+	if !tr.Suspended() {
+		t.Fatal("Suspend(true) not visible")
+	}
+	if !tr.Enabled() {
+		t.Fatal("suspension must not report the tracer as disabled")
+	}
+	if sp := tr.Root("x"); sp != nil {
+		t.Fatalf("suspended tracer rooted a span: %v", sp)
+	}
+	sampled := SpanContext{Trace: TraceID{Lo: 1}, Span: SpanID(2), Sampled: true}
+	if sp := tr.StartRemote(sampled, "x"); sp != nil {
+		t.Fatalf("suspended tracer continued a remote trace: %v", sp)
+	}
+	tr.Suspend(false)
+	sp := tr.Root("x")
+	if sp == nil {
+		t.Fatal("resume did not restore sampling")
+	}
+	sp.End()
+	if got := len(sink.Spans()); got != 1 {
+		t.Fatalf("collected %d spans, want 1", got)
+	}
+
+	// Nil-safety.
+	var nilTr *Tracer
+	nilTr.Suspend(true)
+	if nilTr.Suspended() {
+		t.Fatal("nil tracer reports suspended")
+	}
+}
+
 func TestFullSamplingRootsEverySpan(t *testing.T) {
 	sink := NewCollectorSink(0)
 	tr := New(Config{Sample: 1, Sink: sink, Now: fixedClock(), Seed: 1})

@@ -126,16 +126,28 @@ func (r *StreamReader) Finish() ([]any, *ReadReport, error) {
 func (r *StreamReader) drain() []any {
 	out := r.out
 	r.out = nil
-	// Compact: everything before the cursor is decided. Resync scan
-	// positions move with the cursor.
-	if r.i > 0 {
-		n := copy(r.buf, r.buf[r.i:])
+	// Compact: everything before the cursor is decided. During a resync
+	// the parse cursor is parked at the framing error while the scan
+	// cursor walks ahead, so cut at the scan cursor instead — every byte
+	// before it has been rejected as an anchor and matters only as a
+	// count. Without this, a garbage flood pins memory for as long as the
+	// scan fails to land.
+	cut := r.i
+	if r.resyncing && r.resyncJ > cut {
+		cut = r.resyncJ
+	}
+	if cut > 0 {
+		n := copy(r.buf, r.buf[cut:])
 		r.buf = r.buf[:n]
 		if r.resyncing {
-			r.resyncAt -= r.i
-			r.resyncJ -= r.i
+			// resyncAt may go negative: it survives only as the subtraction
+			// origin for the gap accounting when the anchor finally lands.
+			r.resyncAt -= cut
+			r.resyncJ -= cut
 		}
-		r.i = 0
+		if r.i -= cut; r.i < 0 {
+			r.i = 0
+		}
 	}
 	return out
 }
