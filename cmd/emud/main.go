@@ -8,6 +8,7 @@
 // Usage:
 //
 //	emud [-listen :8091] [-shards 4] [-granularity 10ms] [-tick 10ms]
+//	     [-pump-shards 0]
 //	     [-max-sessions 4096] [-idle-timeout 0] [-drain-timeout 5s]
 //	     [-trace-cache 64] [-events 4096]
 //	     [-max-session-inflight 0] [-max-inflight-bytes 0]
@@ -132,6 +133,7 @@ func main() {
 	traceCache := flag.Int("trace-cache", emud.DefaultStoreCapacity, "trace-store LRU capacity")
 	strictTraces := flag.Bool("strict-traces", false, "refuse damaged or dirty trace files instead of salvaging them")
 	events := flag.Int("events", 4096, "event-trace ring capacity (0 disables)")
+	pumpShards := flag.Int("pump-shards", 0, "relay data-plane event loops (0 = GOMAXPROCS; negative disables sharding)")
 	maxInflight := flag.Int("max-session-inflight", 0, "per-session in-flight packet cap (0 = unlimited)")
 	maxBytes := flag.Int64("max-inflight-bytes", 0, "farm-wide in-flight byte budget (0 = unlimited)")
 	snapshotPath := flag.String("snapshot", "", "crash-recovery snapshot file (empty disables)")
@@ -184,6 +186,7 @@ func main() {
 		MaxSessions:           *maxSessions,
 		IdleTimeout:           *idleTimeout,
 		DrainTimeout:          *drainTimeout,
+		PumpShards:            *pumpShards,
 		MaxSessionInFlight:    *maxInflight,
 		MaxInFlightBytes:      *maxBytes,
 		Store:                 emud.NewStore(emud.StoreOptions{Capacity: *traceCache, Metrics: reg, Faults: inj, StrictTraces: *strictTraces}),

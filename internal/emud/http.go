@@ -21,6 +21,7 @@ import (
 	"tracemod/internal/core"
 	"tracemod/internal/emud/pressure"
 	"tracemod/internal/faults"
+	"tracemod/internal/livewire"
 	"tracemod/internal/obs"
 	"tracemod/internal/obs/span"
 	"tracemod/internal/replay"
@@ -361,9 +362,56 @@ type SessionInfo struct {
 	Cursor      int64 `json:"cursor"`
 	Quarantined bool  `json:"quarantined,omitempty"`
 
+	// Relay holds the live data-plane counters when a relay is attached.
+	Relay *RelayStats `json:"relay,omitempty"`
+
 	// Error carries a restore-time fault (e.g. a stream the session was
 	// attached to that no longer exists after -recover).
 	Error string `json:"error,omitempty"`
+}
+
+// RelayStats is the wire representation of a relay's data-plane counters
+// plus throughput rates derived from the relay's uptime.
+type RelayStats struct {
+	Sharded      bool    `json:"sharded"`
+	ReadPackets  int64   `json:"read_packets"`
+	ReadBytes    int64   `json:"read_bytes"`
+	SentBytes    int64   `json:"sent_bytes"`
+	SendErrors   int64   `json:"send_errors"`
+	SocketErrors int64   `json:"socket_errors"`
+	ReadBatches  int64   `json:"read_batches"`
+	AvgBatch     float64 `json:"avg_batch"`
+	FlushFull    int64   `json:"flush_full"`
+	FlushBurst   int64   `json:"flush_burst"`
+	DirectSends  int64   `json:"direct_sends"`
+	PPS          float64 `json:"pps"`
+	BytesPerSec  float64 `json:"bytes_per_sec"`
+}
+
+func relayStats(r *livewire.Relay) *RelayStats {
+	if r == nil {
+		return nil
+	}
+	st := r.Stats()
+	up := r.Uptime().Seconds()
+	rs := &RelayStats{
+		Sharded:      r.Sharded(),
+		ReadPackets:  st.ReadPackets,
+		ReadBytes:    st.ReadBytes,
+		SentBytes:    st.SentBytes,
+		SendErrors:   st.SendErrors,
+		SocketErrors: st.SocketErrors,
+		ReadBatches:  st.Batches,
+		AvgBatch:     st.AvgBatch(),
+		FlushFull:    st.FlushFull,
+		FlushBurst:   st.FlushBurst,
+		DirectSends:  st.DirectSends,
+	}
+	if up > 0 {
+		rs.PPS = float64(st.ReadPackets) / up
+		rs.BytesPerSec = float64(st.ReadBytes) / up
+	}
+	return rs
 }
 
 // FarmInfo summarizes the daemon.
@@ -380,6 +428,13 @@ type FarmInfo struct {
 	Quarantined   int64         `json:"quarantined"`
 	InFlightBytes int64         `json:"in_flight_bytes"`
 	WheelPanics   int64         `json:"wheel_panics"`
+
+	// Data-plane shape and farm-wide relay aggregates.
+	PumpShards      int   `json:"pump_shards"`
+	RelayPackets    int64 `json:"relay_read_packets"`
+	RelayReadBytes  int64 `json:"relay_read_bytes"`
+	RelaySentBytes  int64 `json:"relay_sent_bytes"`
+	RelaySendErrors int64 `json:"relay_send_errors"`
 }
 
 func sessionInfo(s *Session) SessionInfo {
@@ -414,6 +469,7 @@ func sessionInfo(s *Session) SessionInfo {
 		InFlight:    st.InFlight,
 		Cursor:      s.Cursor(),
 		Quarantined: s.Quarantined(),
+		Relay:       relayStats(s.Relay()),
 		Error:       errStr,
 	}
 }
@@ -913,6 +969,16 @@ func (a *API) deleteStream(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *API) farmInfo(w http.ResponseWriter, _ *http.Request) {
+	var relayPkts, relayRead, relaySent, relaySendErrs int64
+	for _, s := range a.m.List() {
+		if r := s.Relay(); r != nil {
+			st := r.Stats()
+			relayPkts += st.ReadPackets
+			relayRead += st.ReadBytes
+			relaySent += st.SentBytes
+			relaySendErrs += st.SendErrors
+		}
+	}
 	writeJSON(w, http.StatusOK, FarmInfo{
 		Sessions:      a.m.Count(),
 		MaxSessions:   a.m.opts.MaxSessions,
@@ -926,6 +992,12 @@ func (a *API) farmInfo(w http.ResponseWriter, _ *http.Request) {
 		Quarantined:   a.m.Quarantined(),
 		InFlightBytes: a.m.InFlightBytes(),
 		WheelPanics:   a.m.wheel.Panics(),
+
+		PumpShards:      a.m.Pumps().ShardCount(),
+		RelayPackets:    relayPkts,
+		RelayReadBytes:  relayRead,
+		RelaySentBytes:  relaySent,
+		RelaySendErrors: relaySendErrs,
 	})
 }
 

@@ -26,6 +26,7 @@ import (
 	"tracemod/internal/emud/wal"
 	"tracemod/internal/emud/wheel"
 	"tracemod/internal/faults"
+	"tracemod/internal/livewire"
 	"tracemod/internal/obs"
 	"tracemod/internal/obs/span"
 )
@@ -127,6 +128,12 @@ type Options struct {
 	// (pressure.DefaultPeriod if 0; negative disables the loop — tests
 	// drive Evaluate directly).
 	PressurePeriod time.Duration
+	// PumpShards sizes the shared livewire pump group servicing every
+	// attached relay's sockets: 0 means GOMAXPROCS event loops (when the
+	// platform's batched socket I/O is available — elsewhere relays keep
+	// per-relay pump goroutines), a negative value disables the group
+	// outright.
+	PumpShards int
 	// Metrics, if non-nil, registers the farm's instruments (names under
 	// tracemod_emud_*), including per-session labelled counters.
 	Metrics *obs.Registry
@@ -276,6 +283,7 @@ type Manager struct {
 	slos     *obs.SLOSet
 	streams  *Streams
 	pressure *pressure.Controller // nil-safe: Level() is Normal when unwired
+	pumps    *livewire.PumpGroup  // nil-safe: shared relay data plane
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -359,6 +367,10 @@ func NewManager(o Options) *Manager {
 		m.store = NewStore(StoreOptions{Metrics: o.Metrics, Faults: o.Faults, Retry: o.Retry})
 	}
 	m.streams = newStreams(m)
+	m.pumps = livewire.NewPumpGroup(livewire.PumpGroupConfig{
+		Shards:  o.PumpShards,
+		Metrics: o.Metrics,
+	})
 	m.pressure = pressure.New(pressure.Config{
 		HeapHighWater: o.HeapHighWater,
 		PinnedBudget:  o.PinnedBudget,
@@ -672,4 +684,9 @@ func (m *Manager) Close() {
 	m.pressure.Close()
 	m.streams.Close()
 	m.wheel.Close()
+	m.pumps.Close()
 }
+
+// Pumps exposes the shared relay data-plane group (nil-safe; may be
+// disabled on platforms without batched socket I/O).
+func (m *Manager) Pumps() *livewire.PumpGroup { return m.pumps }

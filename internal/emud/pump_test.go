@@ -1,0 +1,106 @@
+package emud
+
+import (
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"tracemod/internal/livewire"
+)
+
+// udpSink binds a local UDP socket that never reads: a relay target that
+// costs the tests nothing.
+func udpSink(t *testing.T) string {
+	t.Helper()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn.LocalAddr().String()
+}
+
+// TestRelayGoroutinesFlatWithPumpShards is the data-plane acceptance
+// criterion: with the farm's PumpGroup enabled, attaching many relays
+// must not grow the goroutine count — sessions share the fixed shard
+// loops instead of spawning two pump goroutines each.
+func TestRelayGoroutinesFlatWithPumpShards(t *testing.T) {
+	if !livewire.BatchIOSupported() {
+		t.Skip("batched socket I/O not supported on this platform")
+	}
+	m := newTestManager(t, Options{PumpShards: 2})
+	if !m.Pumps().Enabled() {
+		t.Fatal("pump group failed to start with PumpShards=2")
+	}
+	target := udpSink(t)
+
+	attach := func(n int) []*Session {
+		ss := make([]*Session, 0, n)
+		for i := 0; i < n; i++ {
+			s := startSession(t, m, testTrace())
+			if _, err := s.AttachRelay("127.0.0.1:0", target); err != nil {
+				t.Fatal(err)
+			}
+			if !s.Relay().Sharded() {
+				t.Fatal("relay not on the shared pump shards")
+			}
+			ss = append(ss, s)
+		}
+		return ss
+	}
+
+	attach(4)
+	runtime.GC()
+	before := runtime.NumGoroutine()
+	attach(24)
+	runtime.GC()
+	after := runtime.NumGoroutine()
+	// 24 extra sessions on per-relay pumps would cost 48 goroutines; on
+	// shards the data plane adds none (slack covers timer/runtime noise).
+	if grew := after - before; grew > 10 {
+		t.Fatalf("goroutines grew by %d across 24 sharded relays", grew)
+	}
+}
+
+// TestSessionStopMidBurstSharded races Session.Stop and Delete against a
+// client blasting datagrams into the session's sharded relay: packets
+// racing the teardown must be either shaped or cleanly rejected — no
+// panic, no deadlock, no writes after close. Run with -race.
+func TestSessionStopMidBurstSharded(t *testing.T) {
+	m := newTestManager(t, Options{PumpShards: 1})
+	target := udpSink(t)
+	for round := 0; round < 5; round++ {
+		s := startSession(t, m, testTrace())
+		addr, err := s.AttachRelay("127.0.0.1:0", target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := net.Dial("udp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			payload := make([]byte, 256)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Write(payload)
+			}
+		}()
+		time.Sleep(time.Duration(round+1) * time.Millisecond)
+		s.Stop()
+		m.Delete(s.ID)
+		close(stop)
+		wg.Wait()
+		c.Close()
+	}
+}

@@ -294,7 +294,9 @@ func (s *Session) AttachRelay(listenAddr, targetAddr string) (addr string, err e
 			return ferr
 		}
 		var derr error
-		r, derr = livewire.NewRelayWithSubmitter(listenAddr, targetAddr, s)
+		r, derr = livewire.NewRelayWithSubmitterOpts(listenAddr, targetAddr, s, livewire.RelayOpts{
+			Group: s.m.pumps,
+		})
 		return derr
 	})
 	if err != nil {
@@ -314,6 +316,14 @@ func (s *Session) AttachRelay(listenAddr, targetAddr string) (addr string, err e
 	s.relay = r
 	s.relayListen, s.relayTarget = listenAddr, targetAddr
 	return r.Addr().String(), nil
+}
+
+// Relay returns the attached livewire relay (nil when none), for its
+// data-plane statistics.
+func (s *Session) Relay() *livewire.Relay {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.relay
 }
 
 // RelaySpecArgs returns the listen/target arguments the relay was
@@ -343,18 +353,93 @@ func (s *Session) SubmitWithDrop(dir simnet.Direction, size int, deliver, drop f
 }
 
 func (s *Session) submit(dir simnet.Direction, size int, deliver, drop func()) bool {
-	if s.State() != StateRunning {
+	eng, ok := s.runningEngine()
+	if !ok {
 		s.reject(drop)
 		return false
+	}
+	charged, sp, ok := s.admitOne(dir, size, drop)
+	if !ok {
+		return false
+	}
+	s.touch()
+	// The callback literals stay in this frame (rather than being built
+	// behind admitOne) so escape analysis can keep the drop closure on the
+	// stack: the engine only ever invokes drop synchronously, never stores
+	// it, so only the deliver closure costs a heap allocation per packet.
+	eng.SubmitSpan(dir, size, sp,
+		func() { s.deliverOne(sp, charged, size, deliver) },
+		func() { s.dropOne(sp, charged, drop) })
+	return true
+}
+
+// SubmitBatch implements livewire.BatchSubmitter: an attached relay's
+// read burst enters the session's engine under a single engine-lock
+// acquisition. Per-packet admission control, accounting, and span rooting
+// are unchanged from the sequential path — a shed or rejected packet
+// drops out of the burst (its Drop callback runs exactly as it would
+// sequentially) and only the admitted remainder reaches the engine.
+func (s *Session) SubmitBatch(subs []modulation.Submission) {
+	if len(subs) == 0 {
+		return
+	}
+	eng, ok := s.runningEngine()
+	if !ok {
+		for i := range subs {
+			s.reject(subs[i].Drop)
+		}
+		return
+	}
+	live := 0
+	for i := range subs {
+		sub, ok := s.admit(subs[i].Dir, subs[i].Size, subs[i].Deliver, subs[i].Drop)
+		if ok {
+			subs[live] = sub
+			live++
+		}
+	}
+	if live == 0 {
+		return
+	}
+	s.touch()
+	eng.SubmitBatch(subs[:live])
+}
+
+// runningEngine returns the engine iff the session accepts traffic.
+func (s *Session) runningEngine() (*modulation.Engine, bool) {
+	if s.State() != StateRunning {
+		return nil, false
 	}
 	s.mu.Lock()
 	eng := s.engine
 	s.mu.Unlock()
-	if eng == nil {
-		s.reject(drop)
-		return false
-	}
+	return eng, eng != nil
+}
 
+// admit runs one packet's admission control and accounting and wraps its
+// callbacks with the session's bookkeeping for a batch submission;
+// ok=false means the packet was shed (its drop callback has already run).
+// Only the batch path pays for heap-allocated closures in the returned
+// Submission; the sequential path in submit builds its callbacks inline.
+func (s *Session) admit(dir simnet.Direction, size int, deliver, drop func()) (sub modulation.Submission, ok bool) {
+	charged, sp, ok := s.admitOne(dir, size, drop)
+	if !ok {
+		return sub, false
+	}
+	return modulation.Submission{
+		Dir:     dir,
+		Size:    size,
+		Span:    sp,
+		Deliver: func() { s.deliverOne(sp, charged, size, deliver) },
+		Drop:    func() { s.dropOne(sp, charged, drop) },
+	}, true
+}
+
+// admitOne runs one packet's admission control, accounting, and span
+// rooting; ok=false means the packet was shed (its drop callback has
+// already run). The returned charge and span feed the session's delivery
+// bookkeeping in deliverOne/dropOne.
+func (s *Session) admitOne(dir simnet.Direction, size int, drop func()) (charged int64, sp *span.Span, ok bool) {
 	// Admission control: a per-session in-flight cap bounds one tenant's
 	// queue, a farm-wide in-flight byte budget bounds aggregate memory.
 	// Both checks add first and undo on overflow, so concurrent submits
@@ -363,24 +448,22 @@ func (s *Session) submit(dir simnet.Direction, size int, deliver, drop func()) b
 		if s.inflight.Add(1) > int64(lim) {
 			s.inflight.Add(-1)
 			s.shedOne(drop)
-			return false
+			return 0, nil, false
 		}
 	} else {
 		s.inflight.Add(1)
 	}
-	charged := int64(0)
 	if budget := s.m.opts.MaxInFlightBytes; budget > 0 {
 		charged = int64(size)
 		if s.m.inflightBytes.Add(charged) > budget {
 			s.m.inflightBytes.Add(-charged)
 			s.inflight.Add(-1)
 			s.shedOne(drop)
-			return false
+			return 0, nil, false
 		}
 		s.chargedBytes.Add(charged)
 	}
 
-	s.touch()
 	s.submitted.Add(1)
 	s.m.ins.submit(s)
 
@@ -388,51 +471,56 @@ func (s *Session) submit(dir simnet.Direction, size int, deliver, drop func()) b
 	// gets a "session.packet" span recorded into the session's flight
 	// recorder, with the engine contributing a "modulation" child (and its
 	// "wheel.wait" grandchild) via SubmitSpan. sp is nil for unsampled
-	// packets and whenever tracing is off — the wrappers below then cost
+	// packets and whenever tracing is off — deliverOne/dropOne then cost
 	// two nil checks.
-	sp := s.m.spans.RootInto(s.flight, "session.packet")
+	sp = s.m.spans.RootInto(s.flight, "session.packet")
 	if sp != nil {
 		sp.AttrStr("session", s.ID)
 		sp.Attr("dir", int64(dir))
 		sp.Attr("size", int64(size))
 	}
-	eng.SubmitSpan(dir, size, sp, s.protect(func() {
-		// Deferred so the root span reaches the flight recorder even when
-		// the callback panics — the quarantine dump needs the whole tree.
-		defer sp.End()
-		if s.m.faultSessionPanic.Fire() {
-			panic("faults: injected session.panic")
-		}
-		s.delivered.Add(1)
-		s.m.ins.deliver(s)
-		s.finishOne(charged)
-		sp.Event("pump-send", int64(size))
-		deliver()
-	}), s.protect(func() {
-		defer sp.End()
-		s.dropped.Add(1)
-		s.m.ins.drop(s)
-		s.finishOne(charged)
-		if drop != nil {
-			drop()
-		}
-	}))
-	return true
+	return charged, sp, true
 }
 
-// protect wraps a delivery/drop callback so a panic inside it (tenant
-// callback bug, injected fault) quarantines this session instead of
-// unwinding the wheel shard. The wheel's own recovery would also catch
-// it, but catching here attributes the panic to the session and keeps
-// the in-flight accounting consistent.
-func (s *Session) protect(fn func()) func() {
-	return func() {
-		defer func() {
-			if v := recover(); v != nil {
-				s.m.quarantine(s, v)
-			}
-		}()
-		fn()
+// deliverOne is the session's delivery bookkeeping, run inside the
+// packet's deliver callback. The deferred recover quarantines this
+// session on a panic inside the tenant callback (or an injected fault)
+// instead of unwinding the wheel shard; the wheel's own recovery would
+// also catch it, but catching here attributes the panic to the session
+// and keeps the in-flight accounting consistent. sp.End is deferred so
+// the root span reaches the flight recorder even when the callback
+// panics — the quarantine dump needs the whole tree.
+func (s *Session) deliverOne(sp *span.Span, charged int64, size int, deliver func()) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.m.quarantine(s, v)
+		}
+	}()
+	defer sp.End()
+	if s.m.faultSessionPanic.Fire() {
+		panic("faults: injected session.panic")
+	}
+	s.delivered.Add(1)
+	s.m.ins.deliver(s)
+	s.finishOne(charged)
+	sp.Event("pump-send", int64(size))
+	deliver()
+}
+
+// dropOne is deliverOne's counterpart for packets the engine's drop
+// lottery discards, with the same panic-quarantine contract.
+func (s *Session) dropOne(sp *span.Span, charged int64, drop func()) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.m.quarantine(s, v)
+		}
+	}()
+	defer sp.End()
+	s.dropped.Add(1)
+	s.m.ins.drop(s)
+	s.finishOne(charged)
+	if drop != nil {
+		drop()
 	}
 }
 

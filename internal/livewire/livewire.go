@@ -112,6 +112,16 @@ type Config struct {
 	// interrupted syscall) before reading again. The zero value uses the
 	// faults package defaults.
 	Retry faults.Backoff
+	// Batch is the data plane's per-syscall datagram budget
+	// (DefaultBatch if 0).
+	Batch int
+	// ForceGenericIO selects the portable single-message pktio even
+	// where the batched recvmmsg/sendmmsg path is available — the
+	// fallback test suite runs the relay this way on Linux.
+	ForceGenericIO bool
+	// Group, if enabled, places the relay's sockets on the shared
+	// sharded pumps instead of spawning two goroutines.
+	Group *PumpGroup
 }
 
 // Stats counts relay activity.
@@ -122,17 +132,48 @@ type Stats struct {
 	SubmitPanics   int64 // panics recovered while submitting into the shaper
 	SocketErrors   int64 // socket errors observed by the pumps (reads and writes)
 	Reconnects     int64 // pump retries that resumed reading after a socket error
+	SendErrors     int64 // post-modulation writes that failed (neither delivered nor lottery-dropped)
+
+	ReadPackets    int64 // datagrams read by the data plane, both directions
+	ReadBytes      int64 // payload bytes read
+	SentBytes      int64 // payload bytes written
+	Batches        int64 // read batches drained
+	BatchedPackets int64 // datagrams carried by those read batches
+	FlushFull      int64 // write flushes forced by a full batch mid-burst
+	FlushBurst     int64 // write flushes at the end of a read burst
+	DirectSends    int64 // deliveries sent outside any burst window
+}
+
+// AvgBatch returns the mean datagrams-per-read-batch.
+func (s Stats) AvgBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.BatchedPackets) / float64(s.Batches)
 }
 
 // Relay is a live packet-shaping daemon.
 type Relay struct {
 	submit Submitter
+	bsub   BatchSubmitter     // non-nil when submit is batch-aware
 	engine *modulation.Engine // nil for NewRelayWithSubmitter relays
 	clock  *RealClock         // non-nil when the relay owns its clock
 	spans  *span.Tracer       // nil-safe; only set for relays that own an engine
 
 	clientSide *net.UDPConn // clients talk to this
 	targetSide *net.UDPConn // connected toward the target
+
+	clientIO batchConn // pktio over clientSide
+	targetIO batchConn // pktio over targetSide
+
+	qClient sendQ // coalesced writes toward the client
+	qTarget sendQ // coalesced writes toward the target
+
+	batch   int              // per-syscall datagram budget
+	group   *PumpGroup       // nil when running per-relay pumps
+	gins    *pumpInstruments // group-level series; nil-safe
+	detach  func()           // shard deregistration; nil when not attached
+	started time.Time
 
 	clientAddr atomic.Pointer[net.UDPAddr]
 
@@ -143,7 +184,40 @@ type Relay struct {
 
 	c2t, t2c, dropped, submitPanics atomic.Int64
 	socketErrs, reconnects          atomic.Int64
+	sendErrs                        atomic.Int64
+	rxPkts, rxBytes, txBytes        atomic.Int64
+	batches, batchedPkts            atomic.Int64
+	cFlushFull, cFlushBurst         atomic.Int64
+	cDirect                         atomic.Int64
 }
+
+// start wires the data plane: pktio over both sockets, then either a
+// PumpGroup shard (batched Linux path) or two per-relay pump goroutines
+// (everywhere else). Called exactly once, before the relay is returned
+// to the caller.
+func (r *Relay) start(group *PumpGroup, forceGeneric bool) {
+	if r.batch <= 0 {
+		r.batch = DefaultBatch
+	}
+	r.started = time.Now()
+	r.bsub, _ = r.submit.(BatchSubmitter)
+	r.clientIO = newBatchConn(r.clientSide, false, forceGeneric)
+	r.targetIO = newBatchConn(r.targetSide, true, forceGeneric)
+	r.gins = group.instruments()
+	if group.attach(r) {
+		r.group = group
+		return
+	}
+	go r.pump(simnet.Outbound)
+	go r.pump(simnet.Inbound)
+}
+
+// Sharded reports whether the relay runs on a PumpGroup shard rather
+// than its own pump goroutines.
+func (r *Relay) Sharded() bool { return r.group != nil }
+
+// Uptime returns how long the relay has been running.
+func (r *Relay) Uptime() time.Duration { return time.Since(r.started) }
 
 // bindSockets resolves and binds the relay's two sockets.
 func bindSockets(listenAddr, targetAddr string) (*net.UDPConn, *net.UDPConn, error) {
@@ -198,6 +272,7 @@ func NewRelay(listenAddr, targetAddr string, cfg Config) (*Relay, error) {
 		targetSide: targetSide,
 		closed:     make(chan struct{}),
 		retry:      cfg.Retry,
+		batch:      cfg.Batch,
 	}
 	if cfg.Obs != nil {
 		cfg.Obs.CounterFunc("tracemod_livewire_client_to_target_total",
@@ -215,12 +290,41 @@ func NewRelay(listenAddr, targetAddr string, cfg Config) (*Relay, error) {
 		cfg.Obs.CounterFunc("tracemod_livewire_reconnects_total",
 			"Pump retries that resumed reading after a socket error.",
 			func() float64 { return float64(r.reconnects.Load()) })
+		cfg.Obs.CounterFunc("tracemod_livewire_send_errors_total",
+			"Post-modulation datagram writes that failed at the socket.",
+			func() float64 { return float64(r.sendErrs.Load()) })
+		cfg.Obs.CounterFunc("tracemod_livewire_read_packets_total",
+			"Datagrams read by the relay's data plane (both directions).",
+			func() float64 { return float64(r.rxPkts.Load()) })
+		cfg.Obs.CounterFunc("tracemod_livewire_read_bytes_total",
+			"Payload bytes read by the relay's data plane.",
+			func() float64 { return float64(r.rxBytes.Load()) })
+		cfg.Obs.CounterFunc("tracemod_livewire_sent_bytes_total",
+			"Payload bytes written by the relay's data plane.",
+			func() float64 { return float64(r.txBytes.Load()) })
+		cfg.Obs.CounterFunc("tracemod_livewire_read_batches_total",
+			"Read batches drained by the relay's data plane.",
+			func() float64 { return float64(r.batches.Load()) })
+		cfg.Obs.CounterFunc("tracemod_livewire_batched_packets_total",
+			"Datagrams carried by the relay's read batches.",
+			func() float64 { return float64(r.batchedPkts.Load()) })
 		cfg.Obs.Gauge("tracemod_livewire_trace_tuples",
 			"Tuples in the replay trace driving the relay.").Set(int64(len(cfg.Trace)))
 	}
-	go r.pumpClientToTarget()
-	go r.pumpTargetToClient()
+	r.start(cfg.Group, cfg.ForceGenericIO)
 	return r, nil
+}
+
+// RelayOpts tunes the data plane of a submitter-backed relay.
+type RelayOpts struct {
+	// Group, if enabled, places the relay on the shared sharded pumps.
+	Group *PumpGroup
+	// Batch is the per-syscall datagram budget (DefaultBatch if 0).
+	Batch int
+	// ForceGenericIO selects the portable single-message pktio.
+	ForceGenericIO bool
+	// Retry shapes pump backoff after transient socket errors.
+	Retry faults.Backoff
 }
 
 // NewRelayWithSubmitter binds sockets and shapes traffic through a
@@ -230,6 +334,13 @@ func NewRelay(listenAddr, targetAddr string, cfg Config) (*Relay, error) {
 // submitter's clock; revoking pending timers is the caller's teardown
 // responsibility.
 func NewRelayWithSubmitter(listenAddr, targetAddr string, sub Submitter) (*Relay, error) {
+	return NewRelayWithSubmitterOpts(listenAddr, targetAddr, sub, RelayOpts{})
+}
+
+// NewRelayWithSubmitterOpts is NewRelayWithSubmitter with data-plane
+// options. If the Submitter also implements BatchSubmitter, read bursts
+// enter it whole through SubmitBatch.
+func NewRelayWithSubmitterOpts(listenAddr, targetAddr string, sub Submitter, opts RelayOpts) (*Relay, error) {
 	if sub == nil {
 		return nil, errors.New("livewire: nil submitter")
 	}
@@ -242,9 +353,10 @@ func NewRelayWithSubmitter(listenAddr, targetAddr string, sub Submitter) (*Relay
 		clientSide: clientSide,
 		targetSide: targetSide,
 		closed:     make(chan struct{}),
+		retry:      opts.Retry,
+		batch:      opts.Batch,
 	}
-	go r.pumpClientToTarget()
-	go r.pumpTargetToClient()
+	r.start(opts.Group, opts.ForceGenericIO)
 	return r, nil
 }
 
@@ -260,26 +372,16 @@ func (r *Relay) Stats() Stats {
 		SubmitPanics:   r.submitPanics.Load(),
 		SocketErrors:   r.socketErrs.Load(),
 		Reconnects:     r.reconnects.Load(),
+		SendErrors:     r.sendErrs.Load(),
+		ReadPackets:    r.rxPkts.Load(),
+		ReadBytes:      r.rxBytes.Load(),
+		SentBytes:      r.txBytes.Load(),
+		Batches:        r.batches.Load(),
+		BatchedPackets: r.batchedPkts.Load(),
+		FlushFull:      r.cFlushFull.Load(),
+		FlushBurst:     r.cFlushBurst.Load(),
+		DirectSends:    r.cDirect.Load(),
 	}
-}
-
-// safeSubmit pushes one datagram into the shaper, recovering a panic
-// thrown synchronously by the submitter (or a drop callback it runs
-// inline). An unrecovered panic on a pump goroutine would kill the whole
-// process; instead the pump survives and only this datagram is lost. The
-// pooled buffer's ownership is ambiguous after a panic, so it is leaked
-// to the garbage collector rather than risking a double put.
-func (r *Relay) safeSubmit(dir simnet.Direction, size int, sp *span.Span, deliver, drop func()) {
-	defer func() {
-		if v := recover(); v != nil {
-			r.submitPanics.Add(1)
-		}
-	}()
-	if sp != nil && r.engine != nil {
-		r.engine.SubmitSpan(dir, size, sp, deliver, drop)
-		return
-	}
-	r.submit.SubmitWithDrop(dir, size, deliver, drop)
 }
 
 // rootSpan samples one datagram's root span (nil when unsampled or
@@ -298,11 +400,19 @@ func (r *Relay) rootSpan(dir simnet.Direction, size int) *span.Span {
 func (r *Relay) Engine() *modulation.Engine { return r.engine }
 
 // Close shuts the relay down (and its clock, when the relay owns one).
+// A shard-attached relay deregisters from its shard before the sockets
+// close, so the event loop never touches a dying fd; whatever the write
+// queues still hold is released back to the buffer pool.
 func (r *Relay) Close() {
 	r.closeOnce.Do(func() {
 		close(r.closed)
+		if r.detach != nil {
+			r.detach()
+		}
 		r.clientSide.Close()
 		r.targetSide.Close()
+		r.drainQ(&r.qClient)
+		r.drainQ(&r.qTarget)
 		if r.clock != nil {
 			r.clock.Close()
 		}
@@ -367,93 +477,11 @@ func (r *Relay) recoverPump(streak *int, err error) bool {
 	return true
 }
 
-// Each pump reads every datagram straight into a pooled max-size buffer
-// and hands that buffer through the engine: no per-datagram copy or
-// allocation. The buffer is returned to the pool on exactly one of the
-// SubmitWithDrop outcomes. (A buffer whose delivery timer is revoked by
-// an emud session Stop is simply left to the garbage collector — sync.Pool
-// does not require returns.)
-//
-// A read error no longer kills the pump: transient conditions (refused
-// targets, interrupted syscalls, timeouts) retry under the relay's
-// backoff policy until the relay closes, so traffic resumes by itself
-// when the far side comes back.
-func (r *Relay) pumpClientToTarget() {
-	streak := 0
-	for {
-		bp := getBuf()
-		n, addr, err := r.clientSide.ReadFromUDP(*bp)
-		if err != nil {
-			putBuf(bp)
-			if r.recoverPump(&streak, err) {
-				continue
-			}
-			return
-		}
-		streak = 0
-		r.clientAddr.Store(addr)
-		size := wireSize(n)
-		sp := r.rootSpan(simnet.Outbound, size)
-		r.safeSubmit(simnet.Outbound, size, sp, func() {
-			defer sp.End()
-			select {
-			case <-r.closed:
-			default:
-				if _, err := r.targetSide.Write((*bp)[:n]); err == nil {
-					r.c2t.Add(1)
-					sp.Event("pump-send", int64(n))
-				} else {
-					r.socketErrs.Add(1)
-					sp.Event("pump-send-error", 0)
-				}
-			}
-			putBuf(bp)
-		}, func() {
-			defer sp.End()
-			r.dropped.Add(1)
-			putBuf(bp)
-		})
-	}
-}
-
-func (r *Relay) pumpTargetToClient() {
-	streak := 0
-	for {
-		bp := getBuf()
-		n, err := r.targetSide.Read(*bp)
-		if err != nil {
-			putBuf(bp)
-			if r.recoverPump(&streak, err) {
-				continue
-			}
-			return
-		}
-		streak = 0
-		addr := r.clientAddr.Load()
-		if addr == nil {
-			putBuf(bp)
-			continue // no client yet
-		}
-		size := wireSize(n)
-		sp := r.rootSpan(simnet.Inbound, size)
-		r.safeSubmit(simnet.Inbound, size, sp, func() {
-			defer sp.End()
-			select {
-			case <-r.closed:
-			default:
-				if _, err := r.clientSide.WriteToUDP((*bp)[:n], addr); err == nil {
-					r.t2c.Add(1)
-					sp.Event("pump-send", int64(n))
-				} else {
-					r.socketErrs.Add(1)
-					sp.Event("pump-send-error", 0)
-				}
-			}
-			putBuf(bp)
-		}, func() {
-			defer sp.End()
-			r.dropped.Add(1)
-			putBuf(bp)
-		})
-	}
-}
+// The data plane itself — batch reading, shaping, and coalesced writing —
+// lives in pump.go (processBatch and friends); the platform pktio
+// implementations live in pktio*.go, and the shared sharded event loops
+// in pump_linux.go. Every datagram still moves through one pooled
+// max-size buffer from read to delivery or drop, with no per-datagram
+// copy. (A buffer whose delivery timer is revoked by an emud session Stop
+// is simply left to the garbage collector — sync.Pool does not require
+// returns.)

@@ -1,0 +1,13 @@
+//go:build !linux || !(amd64 || arm64)
+
+package livewire
+
+import "net"
+
+const batchIOSupported = false
+
+// newFastConn has no fast path to offer on this platform; newBatchConn
+// falls back to the portable single-message pktio.
+func newFastConn(c *net.UDPConn, connected bool) (batchConn, bool) {
+	return nil, false
+}

@@ -1,0 +1,10 @@
+//go:build linux && amd64
+
+package livewire
+
+// The stdlib syscall package predates sendmmsg on amd64, so both numbers
+// are pinned here from the stable kernel ABI.
+const (
+	sysRecvmmsg = 299
+	sysSendmmsg = 307
+)

@@ -1,0 +1,9 @@
+//go:build linux && arm64
+
+package livewire
+
+// Stable kernel ABI syscall numbers for the generic (asm-generic) table.
+const (
+	sysRecvmmsg = 243
+	sysSendmmsg = 269
+)

@@ -1,0 +1,15 @@
+//go:build !linux || !(amd64 || arm64)
+
+package livewire
+
+// pumpShard exists on every platform so PumpGroup compiles unchanged; a
+// fallback build never constructs one (newShards returns nil and the
+// group reports disabled), so relays keep their per-relay pump
+// goroutines.
+type pumpShard struct{}
+
+func (sh *pumpShard) close() {}
+
+func newShards(g *PumpGroup, n int) []*pumpShard { return nil }
+
+func (g *PumpGroup) attachShards(r *Relay) bool { return false }

@@ -1,0 +1,250 @@
+//go:build linux && (amd64 || arm64)
+
+// PumpGroup shards: each shard is one goroutine around its own epoll set
+// (separate from the runtime netpoller — a socket may sit in both). The
+// shard loop is strictly run-to-completion: ready socket → nonblocking
+// recvmmsg → SubmitBatch → coalesced write flush, then the next ready
+// socket. Both of a relay's sockets register with the same shard, so a
+// session's packets never migrate between loops and need no cross-shard
+// synchronization.
+
+package livewire
+
+import (
+	"errors"
+	"net"
+	"runtime"
+	"sync"
+	"syscall"
+
+	"tracemod/internal/simnet"
+)
+
+// shardDrainRounds bounds how many read batches one readiness event may
+// drain before the loop moves on: a firehose socket cannot starve its
+// shard-mates. Level-triggered epoll re-reports the socket if data
+// remains.
+const shardDrainRounds = 4
+
+// wakeID is the epoll token reserved for a shard's wake pipe.
+const wakeID = 0
+
+type pumpShard struct {
+	g     *PumpGroup
+	epfd  int
+	wakeR int
+	wakeW int
+
+	mu   sync.Mutex
+	ends map[uint64]*pumpEnd
+
+	done chan struct{}
+}
+
+// pumpEnd is one registered socket: the relay it belongs to and the
+// traffic direction read from it.
+type pumpEnd struct {
+	id  uint64
+	r   *Relay
+	dir simnet.Direction
+	io  *mmsgConn
+}
+
+func newShards(g *PumpGroup, n int) []*pumpShard {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	shards := make([]*pumpShard, 0, n)
+	for i := 0; i < n; i++ {
+		sh, err := newShard(g)
+		if err != nil {
+			for _, s := range shards {
+				s.close()
+			}
+			return nil // no shards at all: the group reports disabled
+		}
+		shards = append(shards, sh)
+	}
+	return shards
+}
+
+func newShard(g *PumpGroup) (*pumpShard, error) {
+	epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
+	if err != nil {
+		return nil, err
+	}
+	var p [2]int
+	if err := syscall.Pipe2(p[:], syscall.O_NONBLOCK|syscall.O_CLOEXEC); err != nil {
+		syscall.Close(epfd)
+		return nil, err
+	}
+	sh := &pumpShard{
+		g: g, epfd: epfd, wakeR: p[0], wakeW: p[1],
+		ends: make(map[uint64]*pumpEnd),
+		done: make(chan struct{}),
+	}
+	ev := syscall.EpollEvent{Events: uint32(syscall.EPOLLIN)}
+	setEventID(&ev, wakeID)
+	if err := syscall.EpollCtl(epfd, syscall.EPOLL_CTL_ADD, sh.wakeR, &ev); err != nil {
+		sh.closeFDs()
+		return nil, err
+	}
+	go sh.loop()
+	return sh, nil
+}
+
+// setEventID/eventID pack a 64-bit registration token into the epoll
+// event's data union (the Fd/Pad field pair on both supported ABIs).
+func setEventID(ev *syscall.EpollEvent, id uint64) {
+	ev.Fd = int32(uint32(id))
+	ev.Pad = int32(uint32(id >> 32))
+}
+
+func eventID(ev *syscall.EpollEvent) uint64 {
+	return uint64(uint32(ev.Fd)) | uint64(uint32(ev.Pad))<<32
+}
+
+// attachShards registers both relay sockets with one shard (round-robin).
+func (g *PumpGroup) attachShards(r *Relay) bool {
+	cio, ok1 := r.clientIO.(*mmsgConn)
+	tio, ok2 := r.targetIO.(*mmsgConn)
+	if !ok1 || !ok2 {
+		return false // ForceGenericIO relay: shards cannot drive it
+	}
+	sh := g.shards[int(g.next.Add(1))%len(g.shards)]
+	ce := &pumpEnd{id: g.nextID.Add(1), r: r, dir: simnet.Outbound, io: cio}
+	te := &pumpEnd{id: g.nextID.Add(1), r: r, dir: simnet.Inbound, io: tio}
+	if err := sh.register(ce); err != nil {
+		return false
+	}
+	if err := sh.register(te); err != nil {
+		sh.unregister(ce)
+		return false
+	}
+	r.detach = func() {
+		sh.unregister(ce)
+		sh.unregister(te)
+	}
+	return true
+}
+
+func (sh *pumpShard) register(pe *pumpEnd) error {
+	sh.mu.Lock()
+	sh.ends[pe.id] = pe
+	sh.mu.Unlock()
+	var ctlErr error
+	err := pe.io.raw.Control(func(fd uintptr) {
+		ev := syscall.EpollEvent{Events: uint32(syscall.EPOLLIN)}
+		setEventID(&ev, pe.id)
+		ctlErr = syscall.EpollCtl(sh.epfd, syscall.EPOLL_CTL_ADD, int(fd), &ev)
+	})
+	if err == nil {
+		err = ctlErr
+	}
+	if err != nil {
+		sh.mu.Lock()
+		delete(sh.ends, pe.id)
+		sh.mu.Unlock()
+	}
+	return err
+}
+
+// unregister detaches one socket. Relay.Close calls this before closing
+// the socket, so the shard can never service a dying fd; the map removal
+// alone already makes any in-flight event for the id a no-op.
+func (sh *pumpShard) unregister(pe *pumpEnd) {
+	sh.mu.Lock()
+	delete(sh.ends, pe.id)
+	sh.mu.Unlock()
+	pe.io.raw.Control(func(fd uintptr) {
+		syscall.EpollCtl(sh.epfd, syscall.EPOLL_CTL_DEL, int(fd), nil)
+	})
+}
+
+func (sh *pumpShard) loop() {
+	defer close(sh.done)
+	events := make([]syscall.EpollEvent, 128)
+	ms := make([]ioMessage, sh.g.batch)
+	defer releaseSlots(ms)
+	for {
+		n, err := syscall.EpollWait(sh.epfd, events, -1)
+		if err != nil {
+			if err == syscall.EINTR {
+				continue
+			}
+			return
+		}
+		for i := 0; i < n; i++ {
+			id := eventID(&events[i])
+			if id == wakeID {
+				if sh.drainWake() {
+					return
+				}
+				continue
+			}
+			sh.mu.Lock()
+			pe := sh.ends[id]
+			sh.mu.Unlock()
+			if pe != nil {
+				sh.service(pe, ms)
+			}
+		}
+	}
+}
+
+// drainWake empties the wake pipe and reports whether the group is
+// closing.
+func (sh *pumpShard) drainWake() bool {
+	var buf [64]byte
+	for {
+		n, err := syscall.Read(sh.wakeR, buf[:])
+		if n <= 0 || err != nil {
+			break
+		}
+	}
+	return sh.g.closing.Load()
+}
+
+// service drains one ready socket run-to-completion, up to the round
+// budget.
+func (sh *pumpShard) service(pe *pumpEnd, ms []ioMessage) {
+	for round := 0; round < shardDrainRounds; round++ {
+		for i := range ms {
+			if ms[i].buf == nil {
+				ms[i].buf = getBuf()
+			}
+		}
+		n, err := pe.io.readBatch(ms, false)
+		if err != nil {
+			// Reading consumed the pending socket error (e.g. an ICMP
+			// bounce on the connected target side); the shard moves on
+			// and the socket re-arms via level-triggered epoll.
+			if !errors.Is(err, net.ErrClosed) {
+				pe.r.socketErrs.Add(1)
+			}
+			return
+		}
+		if n == 0 {
+			return // EAGAIN: drained
+		}
+		pe.r.processBatch(pe.dir, ms[:n])
+		for i := 0; i < n; i++ {
+			ms[i].buf, ms[i].addr = nil, nil
+		}
+		if n < len(ms) {
+			return
+		}
+	}
+}
+
+func (sh *pumpShard) close() {
+	syscall.Write(sh.wakeW, []byte{1})
+	<-sh.done
+	sh.closeFDs()
+}
+
+func (sh *pumpShard) closeFDs() {
+	syscall.Close(sh.epfd)
+	syscall.Close(sh.wakeR)
+	syscall.Close(sh.wakeW)
+}

@@ -408,12 +408,88 @@ func (e *Engine) SubmitSpan(dir simnet.Direction, size int, parent *span.Span, d
 	e.submit(dir, size, parent, deliver, drop)
 }
 
-func (e *Engine) submit(dir simnet.Direction, size int, parent *span.Span, deliver, drop func()) {
-	// Span setup before taking the engine lock: a caller-provided parent
-	// gets a "modulation" child; otherwise a configured tracer may root a
-	// sampled span of its own. sp == nil (the common case, and always when
-	// tracing is off) keeps the rest of the path span-free: nil-safe
-	// methods, no allocation.
+// Submission is one packet of a SubmitBatch burst. Span may be nil
+// (unsampled); Drop may be nil (losses are then silent, as with Submit).
+type Submission struct {
+	Dir     simnet.Direction
+	Size    int
+	Span    *span.Span
+	Deliver func()
+	Drop    func()
+}
+
+// batchOutcome carries one burst packet's post-lock actions out of the
+// locked decision phase.
+type batchOutcome struct {
+	sp    *span.Span
+	sync  func()
+	delay time.Duration
+	arm   func()
+}
+
+// outcomePool recycles SubmitBatch's scratch slice so steady-state batch
+// submission allocates nothing beyond what the per-packet path already
+// does.
+var outcomePool = sync.Pool{New: func() any {
+	s := make([]batchOutcome, 0, 64)
+	return &s
+}}
+
+// SubmitBatch runs a burst of packets through the layer under a single
+// lock acquisition and a single clock reading, amortizing the cached-
+// cursor lookup and the same-tick delivery coalescing across the burst.
+// Packets are decided strictly in slice order with the same state
+// transitions (bottleneck busy horizon, drop-lottery RNG draws, pending
+// tick batches) as N sequential SubmitWithDrop calls, so per-packet
+// outcomes — deliver vs drop, and the scheduled delivery instant — are
+// identical to the sequential equivalent (the differential test in
+// batch_test.go holds the two paths together). The only difference is
+// that the whole burst shares one Now() reading, which under a real
+// clock is the reading the first packet would have seen.
+//
+// Synchronous outcomes (immediate deliveries, drops) and timer arming
+// happen after the lock is released, in slice order.
+func (e *Engine) SubmitBatch(subs []Submission) {
+	if len(subs) == 0 {
+		return
+	}
+	op := outcomePool.Get().(*[]batchOutcome)
+	outs := *op
+	if cap(outs) < len(subs) {
+		outs = make([]batchOutcome, len(subs))
+	} else {
+		outs = outs[:len(subs)]
+	}
+	// Span setup happens outside the lock, as in submit().
+	for i := range subs {
+		outs[i] = batchOutcome{sp: e.packetSpan(subs[i].Dir, subs[i].Size, subs[i].Span)}
+	}
+	e.mu.Lock()
+	now := e.clock.Now()
+	for i := range subs {
+		s := &subs[i]
+		outs[i].sync, outs[i].delay, outs[i].arm = e.submitLocked(now, s.Dir, s.Size, outs[i].sp, s.Deliver, s.Drop)
+	}
+	e.mu.Unlock()
+	for i := range outs {
+		if outs[i].sync != nil {
+			outs[i].sync()
+		}
+		if outs[i].arm != nil {
+			e.clock.AfterFunc(outs[i].delay, outs[i].arm)
+		}
+		outs[i] = batchOutcome{} // release closure references before pooling
+	}
+	*op = outs[:0]
+	outcomePool.Put(op)
+}
+
+// packetSpan performs the span setup for one packet before the engine
+// lock is taken: a caller-provided parent gets a "modulation" child;
+// otherwise a configured tracer may root a sampled span of its own. A nil
+// result (the common case, and always when tracing is off) keeps the rest
+// of the path span-free: nil-safe methods, no allocation.
+func (e *Engine) packetSpan(dir simnet.Direction, size int, parent *span.Span) *span.Span {
 	var sp *span.Span
 	if parent != nil {
 		sp = parent.Child("modulation")
@@ -424,8 +500,31 @@ func (e *Engine) submit(dir simnet.Direction, size int, parent *span.Span, deliv
 		sp.Attr("dir", int64(dir))
 		sp.Attr("size", int64(size))
 	}
+	return sp
+}
+
+func (e *Engine) submit(dir simnet.Direction, size int, parent *span.Span, deliver, drop func()) {
+	sp := e.packetSpan(dir, size, parent)
 	e.mu.Lock()
-	now := e.clock.Now()
+	sync, delay, arm := e.submitLocked(e.clock.Now(), dir, size, sp, deliver, drop)
+	e.mu.Unlock()
+	if sync != nil {
+		sync()
+	}
+	if arm != nil {
+		e.clock.AfterFunc(delay, arm)
+	}
+}
+
+// submitLocked runs one packet's modulation decision under e.mu (held by
+// the caller) and returns the actions to perform once the lock is
+// released: sync is the synchronous outcome to invoke (an immediate
+// delivery, or the drop callback — nil when the packet was parked on a
+// timer), and arm (with its delay) is a timer to schedule. Splitting
+// decision from action lets SubmitBatch amortize one lock acquisition and
+// one clock read across a whole burst while reusing this exact per-packet
+// path, so batch and sequential submission cannot drift apart.
+func (e *Engine) submitLocked(now time.Duration, dir simnet.Direction, size int, sp *span.Span, deliver, drop func()) (sync func(), delay time.Duration, arm func()) {
 	e.stats.Submitted++
 	e.ins.submitPacket() // nil-safe: one branch when obs is off
 	// Fast path: the cached cursor (cur/schedEnd) still covers now, so no
@@ -455,9 +554,7 @@ func (e *Engine) submit(dir simnet.Direction, size int, parent *span.Span, deliv
 			sp.EventAt("deliver-unmodulated", now, 0)
 			sp.EndAt(now)
 		}
-		e.mu.Unlock()
-		deliver()
-		return
+		return deliver, 0, nil
 	}
 	t := e.cur
 	if sp != nil {
@@ -520,23 +617,18 @@ func (e *Engine) submit(dir simnet.Direction, size int, parent *span.Span, deliv
 			sp.EventAt("drop", now, int64(obs.DropLottery))
 			sp.EndAt(now)
 		}
-		e.mu.Unlock()
-		if drop != nil {
-			drop()
-		}
-		return
+		return drop, 0, nil // drop may be nil; the caller skips a nil sync
 	}
 
 	// Remaining path: latency plus residual per-byte cost, overlapped.
 	target := finishBottleneck + t.F + t.Vr.Cost(size)
-	delay := target - now
+	delay = target - now
 
 	if e.cfg.Tick > 0 {
 		if delay < e.cfg.Tick/2 {
 			// Under half a tick: send immediately.
-			e.finishImmediate(now, dir, size, sp)
-			deliver()
-			return
+			e.bookImmediate(now, dir, size, sp)
+			return deliver, 0, nil
 		}
 		// Round the delivery time to the closest clock tick.
 		exact := target
@@ -550,14 +642,12 @@ func (e *Engine) submit(dir simnet.Direction, size int, parent *span.Span, deliv
 		sp.EventAt("quantize", now, int64(target-exact))
 		delay = target - now
 		if delay <= 0 {
-			e.finishImmediate(now, dir, size, sp)
-			deliver()
-			return
+			e.bookImmediate(now, dir, size, sp)
+			return deliver, 0, nil
 		}
 	} else if delay <= 0 {
-		e.finishImmediate(now, dir, size, sp)
-		deliver()
-		return
+		e.bookImmediate(now, dir, size, sp)
+		return deliver, 0, nil
 	}
 
 	e.stats.Delayed++
@@ -595,19 +685,15 @@ func (e *Engine) submit(dir simnet.Direction, size int, parent *span.Span, deliv
 		if b, ok := e.pending[target]; ok {
 			sp.EventAt("coalesce-join", now, int64(len(b.fns)))
 			b.fns = append(b.fns, deliver)
-			e.mu.Unlock()
-			return
+			return nil, 0, nil
 		}
 		sp.EventAt("coalesce-lead", now, 0)
 		b := e.takeBatch()
 		b.fns = append(b.fns, deliver)
 		e.pending[target] = b
-		e.mu.Unlock()
-		e.clock.AfterFunc(delay, func() { e.fireBatch(target) })
-		return
+		return nil, delay, func() { e.fireBatch(target) }
 	}
-	e.mu.Unlock()
-	e.clock.AfterFunc(delay, deliver)
+	return nil, delay, deliver
 }
 
 // takeBatch returns an empty batch from the free list, or a fresh one.
@@ -648,9 +734,9 @@ func (e *Engine) fireBatch(target time.Duration) {
 	e.mu.Unlock()
 }
 
-// finishImmediate books an under-half-tick delivery and releases the lock;
-// the caller invokes deliver afterwards.
-func (e *Engine) finishImmediate(now time.Duration, dir simnet.Direction, size int, sp *span.Span) {
+// bookImmediate books an under-half-tick delivery; the caller invokes
+// deliver once e.mu is released. Called with e.mu held.
+func (e *Engine) bookImmediate(now time.Duration, dir simnet.Direction, size int, sp *span.Span) {
 	e.stats.Immediate++
 	e.ins.deliverImmediate(0)
 	if e.tracer != nil {
@@ -660,7 +746,6 @@ func (e *Engine) finishImmediate(now time.Duration, dir simnet.Direction, size i
 		sp.EventAt("deliver-immediate", now, 0)
 		sp.EndAt(now)
 	}
-	e.mu.Unlock()
 }
 
 // submitPacket and deliverImmediate are nil-safe instrument helpers so
