@@ -19,6 +19,34 @@
 //	     [-faults] [-fault-seed 0]
 //	     [-trace-sample 0] [-flight 256]
 //	     [-log-level info] [-log-format text]
+//	     [-role worker -name w1 -coordinator http://coord:8090 [-advertise URL]]
+//
+//	emud -role coordinator [-listen :8090]
+//	     [-workers w1=http://h1:8091,w2=http://h2:8091]
+//	     [-heartbeat 1s] [-suspect-after 3s] [-evict-after 10s]
+//	     [-revival-probes 2] [-failover-p99 5s] [-vnodes 64]
+//	     [-faults] [-fault-seed 0] [-log-level info] [-log-format text]
+//
+// With -role coordinator the process runs no sessions of its own.
+// Instead it consistent-hashes session and stream creation across the
+// registered workers, proxies the /v1/sessions and /v1/streams control
+// plane (idempotency keys make client retries safe), heartbeats every
+// worker's /v1/health, and pulls /v1/snapshot on each healthy probe.
+// A worker silent past -suspect-after stops receiving new placements; one
+// silent past -evict-after is declared dead and its sessions are replayed
+// from the last pulled snapshot onto the survivors, cursor-exact. A
+// worker whose health reports draining (SIGTERM, or POST
+// /v1/cluster/workers/{name}/drain) is live-migrated instead: each
+// session is handed off with its replay cursor and drop-lottery position,
+// so its modulation output is byte-identical to never having moved.
+// GET /v1/farm aggregates the farm; GET /v1/cluster shows leases.
+//
+// With -role worker the daemon is a normal single-node emud whose
+// session IDs are prefixed by -name, and which registers itself with
+// -coordinator on startup. On SIGTERM it begins draining (health turns
+// 503 "draining") and keeps serving until the coordinator has migrated
+// its sessions away or -drain-timeout passes — a rolling restart loses
+// nothing.
 //
 // The control plane:
 //
@@ -90,15 +118,20 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"tracemod/internal/emud"
+	"tracemod/internal/emud/cluster"
 	"tracemod/internal/emud/wal"
 	"tracemod/internal/faults"
 	"tracemod/internal/obs"
@@ -153,11 +186,47 @@ func main() {
 	flightCap := flag.Int("flight", span.DefaultFlightCapacity, "per-session flight-recorder span capacity")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	role := flag.String("role", "", `cluster role: "" (standalone), "worker", or "coordinator"`)
+	workerName := flag.String("name", "", "worker: cluster name (prefixes session IDs; required with -role worker)")
+	coordURL := flag.String("coordinator", "", "worker: coordinator base URL to register with (e.g. http://coord:8090)")
+	advertise := flag.String("advertise", "", "worker: URL the coordinator reaches this worker at (default http://<listen>)")
+	workersFlag := flag.String("workers", "", "coordinator: static worker set, name=url[,name=url...]")
+	heartbeat := flag.Duration("heartbeat", cluster.DefaultHeartbeatInterval, "coordinator: heartbeat probe interval")
+	suspectAfter := flag.Duration("suspect-after", 0, "coordinator: silence before a worker is suspected (0 = 3x heartbeat)")
+	evictAfter := flag.Duration("evict-after", 0, "coordinator: silence before a worker is evicted and failed over (0 = 10x heartbeat)")
+	revivalProbes := flag.Int("revival-probes", cluster.DefaultRevivalProbes, "coordinator: consecutive good probes a suspect needs to revive")
+	failoverP99 := flag.Duration("failover-p99", cluster.DefaultFailoverP99, "coordinator: failover-time-p99 SLO threshold")
+	vnodes := flag.Int("vnodes", 0, "coordinator: virtual nodes per worker on the placement ring (0 = default)")
 	flag.Parse()
 
 	log, err := newLogger(*logLevel, *logFormat)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	switch *role {
+	case "", "worker":
+		if *role == "worker" && *workerName == "" {
+			log.Error("-role worker requires -name")
+			os.Exit(2)
+		}
+	case "coordinator":
+		runCoordinator(log, coordinatorConfig{
+			listen:        *listen,
+			workers:       *workersFlag,
+			heartbeat:     *heartbeat,
+			suspectAfter:  *suspectAfter,
+			evictAfter:    *evictAfter,
+			revivalProbes: *revivalProbes,
+			drainTimeout:  *drainTimeout,
+			failoverP99:   *failoverP99,
+			vnodes:        *vnodes,
+			enableFaults:  *enableFaults,
+			faultSeed:     *faultSeed,
+		})
+		return
+	default:
+		log.Error("bad -role (want \"\", worker, or coordinator)", "role", *role)
 		os.Exit(2)
 	}
 	walSync, err := wal.ParseSyncPolicy(*walSyncFlag)
@@ -180,7 +249,12 @@ func main() {
 		spans = span.New(span.Config{Sample: *traceSample, Metrics: reg})
 	}
 
+	prefix := ""
+	if *workerName != "" {
+		prefix = *workerName + "-"
+	}
 	m := emud.NewManager(emud.Options{
+		SessionIDPrefix:       prefix,
 		Shards:                *shards,
 		Granularity:           *granularity,
 		MaxSessions:           *maxSessions,
@@ -242,14 +316,159 @@ func main() {
 		"shards", m.Wheel().Shards(),
 		"granularity", m.Wheel().Granularity(),
 		"max_sessions", *maxSessions,
-		"trace_sample", *traceSample)
+		"trace_sample", *traceSample,
+		"role", *role)
+
+	clustered := *role == "worker" && *coordURL != ""
+	if clustered {
+		self := *advertise
+		if self == "" {
+			self = "http://" + srv.Addr()
+		}
+		if err := registerWithCoordinator(*coordURL, *workerName, self); err != nil {
+			log.Error("registration with coordinator failed", "coordinator", *coordURL, "err", err)
+			_ = srv.Close()
+			m.Close()
+			os.Exit(1)
+		}
+		log.Info("registered with coordinator", "coordinator", *coordURL, "name", *workerName, "advertise", self)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	s := <-sig
 	log.Info("draining on signal", "signal", s.String(), "sessions", m.Count(), "timeout", *drainTimeout)
 	start := time.Now()
+	if clustered {
+		// Flip health to "draining" but keep serving: the coordinator's
+		// next probe sees it and live-migrates our sessions away. Tear the
+		// listener down only once the farm is empty or the bound expires.
+		m.BeginDrain()
+		deadline := time.Now().Add(*drainTimeout)
+		for m.Count() > 0 && time.Now().Before(deadline) {
+			time.Sleep(50 * time.Millisecond)
+		}
+		if n := m.Count(); n > 0 {
+			log.Warn("drain bound expired with sessions still local", "sessions", n)
+		} else {
+			log.Info("all sessions migrated off")
+		}
+	}
 	_ = srv.Close()
 	m.Close()
 	log.Info("drained", "took", time.Since(start).Round(time.Millisecond))
+}
+
+// registerWithCoordinator announces this worker to the coordinator's
+// control plane, retrying while the coordinator is still coming up.
+func registerWithCoordinator(coord, name, addr string) error {
+	body, err := json.Marshal(cluster.WorkerSpec{Name: name, Addr: addr})
+	if err != nil {
+		return err
+	}
+	bo := faults.Backoff{Attempts: 10, Base: 200 * time.Millisecond, Max: 2 * time.Second}
+	return bo.Do(func() error {
+		res, err := http.Post(strings.TrimSuffix(coord, "/")+"/v1/cluster/register",
+			"application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer res.Body.Close()
+		if res.StatusCode >= 300 {
+			return fmt.Errorf("register: coordinator said %d", res.StatusCode)
+		}
+		return nil
+	})
+}
+
+// coordinatorConfig is the flag subset the coordinator role consumes.
+type coordinatorConfig struct {
+	listen        string
+	workers       string
+	heartbeat     time.Duration
+	suspectAfter  time.Duration
+	evictAfter    time.Duration
+	revivalProbes int
+	drainTimeout  time.Duration
+	failoverP99   time.Duration
+	vnodes        int
+	enableFaults  bool
+	faultSeed     int64
+}
+
+// runCoordinator runs the cluster control plane: no sessions of its own,
+// just placement, health leases, failover, and the aggregated proxy.
+func runCoordinator(log *slog.Logger, cfg coordinatorConfig) {
+	specs, err := parseWorkers(cfg.workers)
+	if err != nil {
+		log.Error("bad -workers", "err", err)
+		os.Exit(2)
+	}
+
+	reg := obs.NewRegistry()
+	var inj *faults.Injector
+	if cfg.enableFaults {
+		inj = faults.New(faults.Options{Seed: cfg.faultSeed, Metrics: reg})
+	} else {
+		inj = faults.New(faults.Options{Seed: cfg.faultSeed})
+	}
+	c := cluster.New(cluster.Options{
+		Workers:           specs,
+		HeartbeatInterval: cfg.heartbeat,
+		SuspectAfter:      cfg.suspectAfter,
+		EvictAfter:        cfg.evictAfter,
+		RevivalProbes:     cfg.revivalProbes,
+		DrainTimeout:      cfg.drainTimeout,
+		FailoverP99:       cfg.failoverP99,
+		VirtualNodes:      cfg.vnodes,
+		Retry:             faults.Backoff{Attempts: 4, Base: 50 * time.Millisecond, Max: time.Second},
+		Faults:            inj,
+		Metrics:           reg,
+		Logger:            log,
+	})
+
+	// The cluster routes plus the obs surface (/metrics, /debug/pprof)
+	// on one listener; the coordinator's own /healthz wins the overlap.
+	mux := http.NewServeMux()
+	mux.Handle("/", c.Handler())
+	mux.Handle("/metrics", obs.Mux(reg, nil))
+	mux.Handle("/debug/", obs.Mux(reg, nil))
+	hsrv := &http.Server{Addr: cfg.listen, Handler: mux}
+	go func() {
+		if err := hsrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Error("coordinator listener failed", "err", err)
+			os.Exit(1)
+		}
+	}()
+	log.Info("coordinator up",
+		"addr", cfg.listen,
+		"workers", len(specs),
+		"heartbeat", cfg.heartbeat)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	log.Info("coordinator shutting down", "signal", s.String())
+	_ = hsrv.Close()
+	c.Close()
+}
+
+// parseWorkers parses "name=url[,name=url...]" into worker specs.
+func parseWorkers(s string) ([]cluster.WorkerSpec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var specs []cluster.WorkerSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, addr, ok := strings.Cut(part, "=")
+		if !ok || name == "" || addr == "" {
+			return nil, fmt.Errorf("want name=url, got %q", part)
+		}
+		specs = append(specs, cluster.WorkerSpec{Name: name, Addr: addr})
+	}
+	return specs, nil
 }

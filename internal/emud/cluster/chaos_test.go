@@ -1,0 +1,269 @@
+//go:build chaos
+
+// The cluster chaos scenario: a three-worker farm under live relay
+// traffic loses one worker to a kill -9. The coordinator must suspect,
+// evict, and fail the dead worker's sessions over to the survivors — and
+// every failed-over session must resume from exactly the cursor and
+// drop-lottery position in the coordinator's last pulled snapshot, with
+// its relay rebound so the (oblivious) traffic sources keep flowing.
+//
+// Run with: go test -race -tags=chaos ./internal/emud/cluster/...
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tracemod/internal/emud"
+	"tracemod/internal/faults"
+	"tracemod/internal/obs"
+)
+
+const (
+	chaosWorkers  = 3
+	chaosSessions = 9
+)
+
+func TestChaosWorkerKillUnderRelayTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite is not short")
+	}
+
+	workers := make([]*testWorker, 0, chaosWorkers)
+	specs := make([]WorkerSpec, 0, chaosWorkers)
+	for i := 0; i < chaosWorkers; i++ {
+		w := newTestWorker(t, fmt.Sprintf("w%d", i+1))
+		workers = append(workers, w)
+		specs = append(specs, WorkerSpec{Name: w.name, Addr: w.srv.URL})
+	}
+	c := New(Options{
+		Workers:           specs,
+		HeartbeatInterval: 20 * time.Millisecond,
+		SuspectAfter:      60 * time.Millisecond,
+		EvictAfter:        150 * time.Millisecond,
+		ProbeTimeout:      500 * time.Millisecond,
+		RevivalProbes:     2,
+		DrainTimeout:      2 * time.Second,
+		Retry:             faults.Backoff{Attempts: 4, Base: time.Millisecond, Max: 10 * time.Millisecond},
+		Faults:            faults.New(faults.Options{Seed: 42}),
+		Metrics:           obs.NewRegistry(),
+	})
+	defer c.Close()
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	// A UDP sink for all relays to forward toward.
+	sink, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	go func() {
+		buf := make([]byte, 2048)
+		for {
+			if _, _, err := sink.ReadFromUDP(buf); err != nil {
+				return
+			}
+		}
+	}()
+
+	// Sessions replay a 600-tuple trace (100 ms per tuple, looped) so the
+	// cursor genuinely advances during the test, each with a live relay.
+	tuples := make([]emud.TupleJSON, 600)
+	for i := range tuples {
+		tuples[i] = emud.TupleJSON{DurationSec: 0.1, LatencyMS: 1, Loss: 0.2}
+	}
+	type sess struct {
+		id    string
+		relay string
+	}
+	sessions := make([]sess, 0, chaosSessions)
+	for i := 0; i < chaosSessions; i++ {
+		req := emud.SessionRequest{
+			Name:   fmt.Sprintf("chaos-%d", i),
+			Inline: tuples,
+			Seed:   int64(1000 + i),
+			Relay: &emud.RelaySpec{
+				Listen: "127.0.0.1:0",
+				Target: sink.LocalAddr().String(),
+			},
+		}
+		res, raw := postJSON(t, srv.URL+"/v1/sessions", req, nil)
+		if res.StatusCode != http.StatusCreated {
+			t.Fatalf("create %d = %d: %s", i, res.StatusCode, raw)
+		}
+		var si emud.SessionInfo
+		if err := json.Unmarshal(raw, &si); err != nil {
+			t.Fatal(err)
+		}
+		if si.RelayAddr == "" {
+			t.Fatalf("session %s has no relay address", si.ID)
+		}
+		sessions = append(sessions, sess{id: si.ID, relay: si.RelayAddr})
+	}
+
+	// Pump UDP traffic at every relay for the whole scenario, including
+	// across the kill: the sources are oblivious to the failover. Send
+	// errors are expected while a relay is dead and are ignored.
+	stop := make(chan struct{})
+	defer close(stop)
+	var sent atomic.Int64
+	for _, s := range sessions {
+		go func(addr string) {
+			conn, err := net.Dial("udp", addr)
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			pkt := make([]byte, 256)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := conn.Write(pkt); err == nil {
+					sent.Add(1)
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}(s.relay)
+	}
+
+	// Let traffic flow and heartbeats pull a few snapshot generations.
+	time.Sleep(300 * time.Millisecond)
+	if sent.Load() == 0 {
+		t.Fatal("no relay traffic flowed before the kill")
+	}
+
+	// Pick the worker owning the most sessions and kill it: HTTP gone,
+	// farm torn down, relay sockets released — the process is dead.
+	counts := make(map[int]int)
+	for _, s := range sessions {
+		for i, w := range workers {
+			if strings.HasPrefix(s.id, w.name+"-") {
+				counts[i]++
+			}
+		}
+	}
+	victim, best := 0, -1
+	for i, n := range counts {
+		if n > best {
+			victim, best = i, n
+		}
+	}
+	dead := workers[victim]
+	if best < 1 {
+		t.Fatalf("victim %s owns no sessions; placement: %v", dead.name, counts)
+	}
+	t.Logf("killing %s with %d of %d sessions", dead.name, best, len(sessions))
+
+	dead.srv.Close()
+	dead.m.Close()
+
+	// The lease machinery must notice, evict, and land every cached
+	// session on a survivor.
+	waitFor(t, 10*time.Second, "victim eviction", func() bool {
+		return c.workerState(dead.name) == WorkerDead
+	})
+	// The coordinator's failover contract replays the last pulled
+	// snapshot. Read the cache only now: once the worker is unreachable
+	// no probe can refresh it, so this is exactly what failover replays
+	// (reading it before the kill would race one final in-flight pull).
+	c.mu.Lock()
+	cached := c.workers[dead.name].snap
+	c.mu.Unlock()
+	if cached == nil || len(cached.Sessions) != best {
+		t.Fatalf("snapshot cache for %s holds %v sessions, want %d",
+			dead.name, cached, best)
+	}
+	survivors := make([]*testWorker, 0, len(workers)-1)
+	for i, w := range workers {
+		if i != victim {
+			survivors = append(survivors, w)
+		}
+	}
+	find := func(id string) (*emud.Session, bool) {
+		for _, w := range survivors {
+			if s, ok := w.m.Get(id); ok {
+				return s, true
+			}
+		}
+		return nil, false
+	}
+	waitFor(t, 10*time.Second, "failover to land every session", func() bool {
+		for _, ss := range cached.Sessions {
+			if _, ok := find(ss.ID); !ok {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Cursor-exact resume: each restored session's replay position and
+	// drop-lottery position must equal the snapshot's, to the tuple and
+	// to the draw.
+	for _, ss := range cached.Sessions {
+		s, _ := find(ss.ID)
+		cfg := s.Config()
+		if cfg.SkipTuples != ss.Cursor {
+			t.Errorf("session %s resumed at cursor %d, snapshot says %d",
+				ss.ID, cfg.SkipTuples, ss.Cursor)
+		}
+		if cfg.SkipDraws != ss.Draws {
+			t.Errorf("session %s resumed at draw %d, snapshot says %d",
+				ss.ID, cfg.SkipDraws, ss.Draws)
+		}
+		if ss.Running && s.State() != emud.StateRunning {
+			t.Errorf("session %s is %v after failover, want running", ss.ID, s.State())
+		}
+		if s.Cursor() < ss.Cursor {
+			t.Errorf("session %s cursor regressed: %d < snapshot %d",
+				ss.ID, s.Cursor(), ss.Cursor)
+		}
+	}
+
+	// The relays rebound on the survivors at their original addresses, so
+	// the oblivious traffic sources reconverge: failed-over sessions must
+	// see new packets.
+	waitFor(t, 10*time.Second, "relay traffic to resume on survivors", func() bool {
+		for _, ss := range cached.Sessions {
+			if !ss.Running {
+				continue
+			}
+			s, ok := find(ss.ID)
+			if !ok || s.Stats().Submitted == 0 {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Every session the cluster ever admitted is accounted for in the
+	// aggregate view, and the control plane still admits new work.
+	res, err := http.Get(srv.URL + "/v1/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []emud.SessionInfo
+	if err := json.NewDecoder(res.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if len(list) != len(sessions) {
+		t.Fatalf("aggregate lists %d sessions after failover, want %d", len(list), len(sessions))
+	}
+	cres, craw := postJSON(t, srv.URL+"/v1/sessions", inlineSession("post-chaos", 99), nil)
+	if cres.StatusCode != http.StatusCreated {
+		t.Fatalf("create after failover = %d: %s", cres.StatusCode, craw)
+	}
+	t.Logf("chaos: %d sessions failed over, %d packets sent, farm still admitting",
+		best, sent.Load())
+}

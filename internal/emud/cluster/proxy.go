@@ -1,0 +1,516 @@
+// The coordinator's HTTP surface: the same /v1 control plane the workers
+// speak, proxied. Session and stream creates are placed on the ring and
+// forwarded with an Idempotency-Key — supplied by the client or minted
+// here — and single-flighted per key, so a client retry (or the
+// coordinator's own backoff retry after a transport error) lands on the
+// same worker and replays the same response instead of double-creating.
+// Reads fan out and merge; per-resource routes follow the placement map.
+// /v1/farm, /v1/health and /v1/slo aggregate across workers.
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"tracemod/internal/emud"
+)
+
+const (
+	// proxyMaxBody bounds buffered request bodies. Stream append chunks
+	// are the largest legitimate payload; they are bounded client-side,
+	// and 8 MiB leaves generous headroom.
+	proxyMaxBody = 8 << 20
+	// idemTTL is how long a successful create's response replays for.
+	idemTTL = 10 * time.Minute
+)
+
+// idemEntry is one in-flight or completed idempotent create. The owner
+// (first arrival for the key) executes; followers block on done and then
+// replay status+body. Failures are forgotten so a retry re-executes.
+type idemEntry struct {
+	done   chan struct{}
+	status int
+	body   []byte
+	ctype  string
+	exp    time.Time
+}
+
+// Handler returns the coordinator's control-plane handler.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+func (c *Coordinator) buildMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /v1/health", c.handleHealth)
+	mux.HandleFunc("GET /v1/slo", c.handleSLO)
+	mux.HandleFunc("GET /v1/farm", c.handleFarm)
+	mux.HandleFunc("GET /v1/cluster", c.handleCluster)
+	mux.HandleFunc("POST /v1/cluster/register", c.handleRegister)
+	mux.HandleFunc("POST /v1/cluster/workers/{name}/drain", c.handleDrain)
+
+	mux.HandleFunc("POST /v1/sessions", c.handleCreateSession)
+	mux.HandleFunc("GET /v1/sessions", c.handleListSessions)
+	mux.HandleFunc("/v1/sessions/{id}", c.handleSessionRoute)
+	mux.HandleFunc("/v1/sessions/{id}/{rest...}", c.handleSessionRoute)
+
+	mux.HandleFunc("POST /v1/streams", c.handleCreateStream)
+	mux.HandleFunc("GET /v1/streams", c.handleListStreams)
+	mux.HandleFunc("/v1/streams/{name}", c.handleStreamRoute)
+	mux.HandleFunc("/v1/streams/{name}/{rest...}", c.handleStreamRoute)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// --- placement-aware forwarding ---------------------------------------
+
+// workerAddr resolves a placeable worker's address. Dead workers are
+// unroutable; suspect and draining ones still serve their existing
+// resources.
+func (c *Coordinator) workerAddr(name string) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workers[name]
+	if w == nil || w.state == WorkerDead {
+		return "", false
+	}
+	return w.addr, true
+}
+
+// forwarded is one proxied response, buffered so retries and idempotent
+// replays can reuse it.
+type forwarded struct {
+	status int
+	body   []byte
+	header http.Header
+}
+
+// forward proxies r to the named worker, buffering the request body so a
+// transport error can be retried under the coordinator's backoff policy.
+// Responses — including worker-side errors like 429 or 409 — pass
+// through verbatim; only transport failures (no HTTP response at all)
+// are retried, and the cluster.proxy fault point can inject those.
+func (c *Coordinator) forward(r *http.Request, workerName string) (*forwarded, error) {
+	addr, ok := c.workerAddr(workerName)
+	if !ok {
+		return nil, fmt.Errorf("worker %q unroutable", workerName)
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, proxyMaxBody))
+	if err != nil {
+		return nil, err
+	}
+	url := addr + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	var out *forwarded
+	attempt := 0
+	err = c.opts.Retry.Do(func() error {
+		if attempt++; attempt > 1 {
+			c.proxyRetries.Inc()
+		}
+		if pt := c.inj.Point("cluster.proxy"); pt != nil && pt.Fire() {
+			pt.Stall()
+			if ferr := pt.Err(); ferr != nil {
+				return ferr
+			}
+			return fmt.Errorf("cluster.proxy: injected transport error")
+		}
+		req, rerr := http.NewRequestWithContext(r.Context(), r.Method, url, bytes.NewReader(body))
+		if rerr != nil {
+			return rerr
+		}
+		for _, h := range []string{"Content-Type", "Idempotency-Key", "Upload-Offset"} {
+			if v := r.Header.Get(h); v != "" {
+				req.Header.Set(h, v)
+			}
+		}
+		res, derr := c.client.Do(req)
+		if derr != nil {
+			return derr
+		}
+		defer res.Body.Close()
+		rb, berr := io.ReadAll(res.Body)
+		if berr != nil {
+			return berr
+		}
+		out = &forwarded{status: res.StatusCode, body: rb, header: res.Header}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.proxied.Inc()
+	return out, nil
+}
+
+func (f *forwarded) write(w http.ResponseWriter) {
+	for _, h := range []string{"Content-Type", "Retry-After", "Upload-Offset"} {
+		if v := f.header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(f.status)
+	_, _ = w.Write(f.body)
+}
+
+// --- idempotent placement-keyed creates -------------------------------
+
+// idemKey returns the request's idempotency key, minting one when the
+// client did not send one so the coordinator's own retries are still
+// safe against double-creation on the worker.
+func (c *Coordinator) idemKey(r *http.Request) string {
+	if k := r.Header.Get("Idempotency-Key"); k != "" {
+		return k
+	}
+	return fmt.Sprintf("coord-%d-%d", time.Now().UnixNano(), c.idemSeq.Add(1))
+}
+
+// idemClaim single-flights a key: the first caller becomes the owner and
+// must idemResolve; later callers get the entry to wait on.
+func (c *Coordinator) idemClaim(key string) (*idemEntry, bool) {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, e := range c.idem {
+		if !e.exp.IsZero() && now.After(e.exp) {
+			delete(c.idem, k)
+		}
+	}
+	if e, ok := c.idem[key]; ok {
+		return e, false
+	}
+	e := &idemEntry{done: make(chan struct{})}
+	c.idem[key] = e
+	return e, true
+}
+
+// idemResolve publishes the owner's outcome. 2xx responses replay until
+// idemTTL; everything else is forgotten so a retry re-executes.
+func (c *Coordinator) idemResolve(key string, e *idemEntry, f *forwarded) {
+	c.mu.Lock()
+	if f != nil && f.status >= 200 && f.status < 300 {
+		e.status = f.status
+		e.body = f.body
+		e.ctype = f.header.Get("Content-Type")
+		e.exp = time.Now().Add(idemTTL)
+	} else {
+		delete(c.idem, key)
+	}
+	c.mu.Unlock()
+	close(e.done)
+}
+
+// createPlaced handles a placement-keyed, idempotent create: place the
+// key on the ring, single-flight it, forward with the key attached, and
+// record the placement via record() on success.
+func (c *Coordinator) createPlaced(w http.ResponseWriter, r *http.Request, record func(body []byte, workerName string)) {
+	key := c.idemKey(r)
+	r.Header.Set("Idempotency-Key", key)
+	for {
+		e, owner := c.idemClaim(key)
+		if owner {
+			target, ok := c.ring.Get(key)
+			if !ok {
+				c.idemResolve(key, e, nil)
+				writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("no alive workers"))
+				return
+			}
+			f, err := c.forward(r, target)
+			if err != nil {
+				c.idemResolve(key, e, nil)
+				writeErr(w, http.StatusBadGateway, fmt.Errorf("worker %s: %w", target, err))
+				return
+			}
+			if f.status >= 200 && f.status < 300 {
+				record(f.body, target)
+			}
+			c.idemResolve(key, e, f)
+			f.write(w)
+			return
+		}
+		select {
+		case <-e.done:
+		case <-r.Context().Done():
+			writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("canceled waiting on idempotent create"))
+			return
+		}
+		c.mu.Lock()
+		status, body, ctype := e.status, e.body, e.ctype
+		c.mu.Unlock()
+		if status == 0 {
+			// The owner failed and forgot the entry; take ownership on
+			// the next lap and re-execute.
+			continue
+		}
+		if ctype != "" {
+			w.Header().Set("Content-Type", ctype)
+		}
+		w.WriteHeader(status)
+		_, _ = w.Write(body)
+		return
+	}
+}
+
+func (c *Coordinator) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	c.createPlaced(w, r, func(body []byte, workerName string) {
+		var si emud.SessionInfo
+		if json.Unmarshal(body, &si) == nil && si.ID != "" {
+			c.mu.Lock()
+			c.place[si.ID] = workerName
+			c.mu.Unlock()
+		}
+	})
+}
+
+func (c *Coordinator) handleCreateStream(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	c.createPlaced(w, r, func(_ []byte, workerName string) {
+		if name != "" {
+			c.mu.Lock()
+			c.streamPlace[name] = workerName
+			c.mu.Unlock()
+		}
+	})
+}
+
+// --- per-resource routes ----------------------------------------------
+
+func (c *Coordinator) handleSessionRoute(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	c.mu.Lock()
+	owner, ok := c.place[id]
+	c.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("session %s not found on any worker", id))
+		return
+	}
+	f, err := c.forward(r, owner)
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, fmt.Errorf("worker %s: %w", owner, err))
+		return
+	}
+	if f.status < 300 && (r.Method == http.MethodDelete ||
+		(r.Method == http.MethodPost && r.PathValue("rest") == "handoff")) {
+		// The session no longer exists on its worker (deleted, or handed
+		// off to the caller as a snapshot); drop the placement.
+		c.mu.Lock()
+		delete(c.place, id)
+		c.mu.Unlock()
+	}
+	f.write(w)
+}
+
+func (c *Coordinator) handleStreamRoute(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	c.mu.Lock()
+	owner, ok := c.streamPlace[name]
+	c.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("stream %s not found on any worker", name))
+		return
+	}
+	f, err := c.forward(r, owner)
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, fmt.Errorf("worker %s: %w", owner, err))
+		return
+	}
+	if r.Method == http.MethodDelete && f.status < 300 {
+		c.mu.Lock()
+		delete(c.streamPlace, name)
+		c.mu.Unlock()
+	}
+	f.write(w)
+}
+
+// --- fan-out reads and aggregates -------------------------------------
+
+// routable lists workers whose resources are still reachable.
+func (c *Coordinator) routable() []WorkerSpec {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]WorkerSpec, 0, len(c.workers))
+	for _, w := range c.workers {
+		if w.state != WorkerDead {
+			out = append(out, WorkerSpec{Name: w.name, Addr: w.addr})
+		}
+	}
+	return out
+}
+
+// fanGET issues GET path on every routable worker concurrently and
+// returns the decoded bodies that answered 200.
+func fanGET[T any](c *Coordinator, path string) map[string]T {
+	workers := c.routable()
+	var mu sync.Mutex
+	out := make(map[string]T, len(workers))
+	var wg sync.WaitGroup
+	for _, ws := range workers {
+		wg.Add(1)
+		go func(ws WorkerSpec) {
+			defer wg.Done()
+			res, err := c.client.Get(ws.Addr + path)
+			if err != nil {
+				return
+			}
+			defer res.Body.Close()
+			if res.StatusCode != http.StatusOK {
+				return
+			}
+			var v T
+			if json.NewDecoder(res.Body).Decode(&v) != nil {
+				return
+			}
+			mu.Lock()
+			out[ws.Name] = v
+			mu.Unlock()
+		}(ws)
+	}
+	wg.Wait()
+	return out
+}
+
+func (c *Coordinator) handleListSessions(w http.ResponseWriter, _ *http.Request) {
+	lists := fanGET[[]emud.SessionInfo](c, "/v1/sessions")
+	merged := make([]emud.SessionInfo, 0)
+	for _, l := range lists {
+		merged = append(merged, l...)
+	}
+	writeJSON(w, http.StatusOK, merged)
+}
+
+func (c *Coordinator) handleListStreams(w http.ResponseWriter, _ *http.Request) {
+	lists := fanGET[[]json.RawMessage](c, "/v1/streams")
+	merged := make([]json.RawMessage, 0)
+	for _, l := range lists {
+		merged = append(merged, l...)
+	}
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// WorkerFarm is one worker's farm view inside the aggregate.
+type WorkerFarm struct {
+	Name  string         `json:"name"`
+	State string         `json:"state"`
+	Farm  *emud.FarmInfo `json:"farm,omitempty"`
+}
+
+// ClusterFarmInfo is the /v1/farm aggregate across the cluster.
+type ClusterFarmInfo struct {
+	Workers  []WorkerFarm `json:"workers"`
+	Alive    int          `json:"alive_workers"`
+	Sessions int          `json:"sessions"`
+	Streams  int          `json:"streams"`
+	Placed   int          `json:"placed_sessions"`
+	// RelayPackets aggregates the data-plane read counters farm-wide.
+	RelayPackets int64 `json:"relay_read_packets"`
+}
+
+func (c *Coordinator) handleFarm(w http.ResponseWriter, _ *http.Request) {
+	farms := fanGET[emud.FarmInfo](c, "/v1/farm")
+	info := ClusterFarmInfo{Workers: make([]WorkerFarm, 0, len(c.workers))}
+	for _, wi := range c.Workers() {
+		wf := WorkerFarm{Name: wi.Name, State: wi.State}
+		if f, ok := farms[wi.Name]; ok {
+			fc := f
+			wf.Farm = &fc
+			info.Sessions += f.Sessions
+			info.Streams += f.Streams
+			info.RelayPackets += f.RelayPackets
+		}
+		if wi.State == WorkerAlive.String() {
+			info.Alive++
+		}
+		info.Workers = append(info.Workers, wf)
+	}
+	c.mu.Lock()
+	info.Placed = len(c.place)
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, info)
+}
+
+// ClusterHealth is the /v1/health aggregate: the cluster is ready while
+// at least one worker holds an alive lease and every critical
+// coordinator SLO (worker availability) is met.
+type ClusterHealth struct {
+	Ready   bool              `json:"ready"`
+	Status  string            `json:"status"`
+	Score   float64           `json:"score"`
+	Workers map[string]string `json:"workers"`
+}
+
+func (c *Coordinator) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	rep := c.slos.Evaluate()
+	ch := ClusterHealth{Score: rep.Score, Workers: make(map[string]string)}
+	alive := 0
+	c.mu.Lock()
+	for n, wk := range c.workers {
+		ch.Workers[n] = wk.state.String()
+		if wk.state == WorkerAlive {
+			alive++
+		}
+	}
+	c.mu.Unlock()
+	ch.Ready = alive > 0 && rep.Ready
+	switch {
+	case ch.Ready:
+		ch.Status = "ok"
+	case alive == 0:
+		ch.Status = "no-alive-workers"
+	default:
+		ch.Status = "degraded"
+	}
+	code := http.StatusOK
+	if !ch.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, ch)
+}
+
+func (c *Coordinator) handleSLO(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, c.slos.Evaluate())
+}
+
+func (c *Coordinator) handleCluster(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"workers": c.Workers()})
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var spec WorkerSpec
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad register body: %w", err))
+		return
+	}
+	if err := c.Register(spec.Name, spec.Addr); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"workers": c.Workers()})
+}
+
+func (c *Coordinator) handleDrain(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	moved, skipped, err := c.DrainWorker(name)
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"worker": name, "migrated": moved, "skipped": skipped,
+	})
+}

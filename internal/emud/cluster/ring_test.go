@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingPlacementIsStable(t *testing.T) {
+	r := NewRing(64)
+	for _, m := range []string{"w1", "w2", "w3"} {
+		r.Add(m)
+	}
+	first := make(map[string]string)
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("s-%06d", i)
+		m, ok := r.Get(k)
+		if !ok {
+			t.Fatalf("Get(%s) found nothing on a 3-member ring", k)
+		}
+		first[k] = m
+	}
+	// The defining consistent-hashing property: removing one member moves
+	// only that member's keys.
+	r.Remove("w2")
+	moved := 0
+	for k, was := range first {
+		now, ok := r.Get(k)
+		if !ok {
+			t.Fatalf("Get(%s) found nothing after removal", k)
+		}
+		if was == "w2" {
+			if now == "w2" {
+				t.Fatalf("%s still placed on removed member", k)
+			}
+			moved++
+			continue
+		}
+		if now != was {
+			t.Fatalf("%s moved %s -> %s though its owner survived", k, was, now)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("w2 owned no keys out of 200; ring spread is broken")
+	}
+}
+
+func TestRingSpread(t *testing.T) {
+	r := NewRing(64)
+	members := []string{"a", "b", "c", "d"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	counts := make(map[string]int)
+	const n = 4000
+	for i := 0; i < n; i++ {
+		m, _ := r.Get(fmt.Sprintf("key-%d", i))
+		counts[m]++
+	}
+	for _, m := range members {
+		frac := float64(counts[m]) / n
+		if frac < 0.10 || frac > 0.45 {
+			t.Fatalf("member %s owns %.0f%% of keys; spread too skewed: %v",
+				m, frac*100, counts)
+		}
+	}
+}
+
+func TestRingExcludingAndEmpty(t *testing.T) {
+	r := NewRing(8)
+	if _, ok := r.Get("x"); ok {
+		t.Fatal("empty ring placed a key")
+	}
+	r.Add("w1")
+	r.Add("w2")
+	owner, _ := r.Get("some-session")
+	other, ok := r.GetExcluding("some-session", map[string]struct{}{owner: {}})
+	if !ok || other == owner {
+		t.Fatalf("GetExcluding returned %q (ok=%v), want the other member", other, ok)
+	}
+	all := map[string]struct{}{"w1": {}, "w2": {}}
+	if _, ok := r.GetExcluding("some-session", all); ok {
+		t.Fatal("fully excluded ring still placed a key")
+	}
+	r.Remove("w1")
+	r.Remove("w2")
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d after removing all", r.Len())
+	}
+	if _, ok := r.Get("x"); ok {
+		t.Fatal("drained ring placed a key")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"tracemod/internal/core"
@@ -45,7 +46,26 @@ type API struct {
 	tr  *obs.RingTracer // may be nil
 
 	faultSlow, faultErr *faults.Point // control-plane chaos (nil when no injector)
+
+	// idem deduplicates session creates by Idempotency-Key: a retried
+	// create (a client resending after a lost response, or a cluster
+	// coordinator's backoff retry) returns the original session instead of
+	// minting a second one.
+	idemMu sync.Mutex
+	idem   map[string]*idemEntry
 }
+
+// idemEntry is one Idempotency-Key's state: pending (done open) while the
+// first request executes, then the created session's ID. Failed creates
+// are forgotten so a retry re-executes.
+type idemEntry struct {
+	done chan struct{}
+	id   string
+	exp  time.Time
+}
+
+// idemTTL bounds how long a completed create is replayable by key.
+const idemTTL = 10 * time.Minute
 
 // NewAPI builds the control plane. reg and tracer may be nil; when reg is
 // non-nil the obs debug surface is mounted alongside the session routes.
@@ -68,6 +88,10 @@ func (a *API) Mux() *http.ServeMux {
 	mux.HandleFunc("POST /v1/sessions/{id}/start", a.startSession)
 	mux.HandleFunc("POST /v1/sessions/{id}/stop", a.stopSession)
 	mux.HandleFunc("GET /v1/sessions/{id}/flight", a.flightDump)
+	mux.HandleFunc("POST /v1/sessions/{id}/handoff", a.handoffSession)
+	mux.HandleFunc("GET /v1/snapshot", a.snapshotDump)
+	mux.HandleFunc("POST /v1/restore", a.restoreSnapshot)
+	mux.HandleFunc("POST /v1/drain", a.beginDrain)
 	mux.HandleFunc("POST /v1/streams", a.createStream)
 	mux.HandleFunc("GET /v1/streams", a.listStreams)
 	mux.HandleFunc("GET /v1/streams/{name}", a.getStream)
@@ -104,8 +128,11 @@ func (a *API) Handler() http.Handler {
 		// from the body cap: a collected trace is unbounded by design, and
 		// the stream path consumes it chunk-by-chunk without ever holding
 		// the body in memory.
+		// /v1/restore is exempt too: a failover snapshot embeds whole
+		// traces and may legitimately exceed the inline-trace cap.
 		upload := (r.Method == http.MethodPost && r.URL.Path == "/v1/streams") ||
-			(r.Method == http.MethodPatch && strings.HasPrefix(r.URL.Path, "/v1/streams/"))
+			(r.Method == http.MethodPatch && strings.HasPrefix(r.URL.Path, "/v1/streams/")) ||
+			(r.Method == http.MethodPost && r.URL.Path == "/v1/restore")
 		if !upload {
 			r.Body = http.MaxBytesReader(w, r.Body, DefaultMaxBodyBytes)
 		}
@@ -418,6 +445,7 @@ func relayStats(r *livewire.Relay) *RelayStats {
 type FarmInfo struct {
 	Sessions      int           `json:"sessions"`
 	MaxSessions   int           `json:"max_sessions"`
+	Draining      bool          `json:"draining,omitempty"`
 	WheelShards   int           `json:"wheel_shards"`
 	GranularityUS int64         `json:"wheel_granularity_us"`
 	TimersPending int64         `json:"timers_pending"`
@@ -563,12 +591,94 @@ func (a *API) resolveTrace(req *SessionRequest) (core.Trace, *LiveTrace, string,
 	}
 }
 
+// idemClaim resolves one Idempotency-Key attempt: owner=true means this
+// request executes the create (and must settle the entry with
+// idemResolve); otherwise the returned entry is an earlier attempt to
+// wait on.
+func (a *API) idemClaim(key string) (*idemEntry, bool) {
+	a.idemMu.Lock()
+	defer a.idemMu.Unlock()
+	if a.idem == nil {
+		a.idem = map[string]*idemEntry{}
+	}
+	now := time.Now()
+	for k, e := range a.idem {
+		if !e.exp.IsZero() && now.After(e.exp) {
+			delete(a.idem, k)
+		}
+	}
+	if e, ok := a.idem[key]; ok {
+		return e, false
+	}
+	e := &idemEntry{done: make(chan struct{})}
+	a.idem[key] = e
+	return e, true
+}
+
+// idemResolve settles a claimed key: successful creates are remembered
+// for idemTTL; failures are forgotten so a retry re-executes.
+func (a *API) idemResolve(key, id string, ok bool) {
+	a.idemMu.Lock()
+	e := a.idem[key]
+	if e != nil {
+		if ok {
+			e.id = id
+			e.exp = time.Now().Add(idemTTL)
+		} else {
+			delete(a.idem, key)
+		}
+	}
+	a.idemMu.Unlock()
+	if e != nil {
+		close(e.done)
+	}
+}
+
+// createSession is POST /v1/sessions. With an Idempotency-Key header the
+// create is exactly-once per key: a concurrent or later retry of the same
+// key waits for (or replays) the first attempt's session instead of
+// creating a second one — the guarantee a retrying client or proxying
+// cluster coordinator relies on.
 func (a *API) createSession(w http.ResponseWriter, r *http.Request) {
+	key := r.Header.Get("Idempotency-Key")
+	if key == "" {
+		a.doCreateSession(w, r)
+		return
+	}
+	for {
+		e, owner := a.idemClaim(key)
+		if owner {
+			id, ok := a.doCreateSession(w, r)
+			a.idemResolve(key, id, ok)
+			return
+		}
+		select {
+		case <-e.done:
+		case <-r.Context().Done():
+			writeErr(w, http.StatusServiceUnavailable, r.Context().Err())
+			return
+		}
+		if e.id != "" {
+			if s, ok := a.m.Get(e.id); ok {
+				writeJSON(w, http.StatusCreated, sessionInfo(s))
+				return
+			}
+			writeErr(w, http.StatusConflict,
+				fmt.Errorf("idempotency key replay: session %s no longer exists", e.id))
+			return
+		}
+		// The first attempt failed and was forgotten; this retry executes.
+	}
+}
+
+// doCreateSession performs the create and reports the new session's ID on
+// success (for idempotency bookkeeping).
+func (a *API) doCreateSession(w http.ResponseWriter, r *http.Request) (string, bool) {
 	sp := span.FromContext(r.Context())
 	var req SessionRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, decodeStatus(err), fmt.Errorf("bad request body: %w", err))
-		return
+		return "", false
 	}
 	rsp := sp.Child("trace.resolve")
 	trace, live, ref, err := a.resolveTrace(&req)
@@ -579,7 +689,7 @@ func (a *API) createSession(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
-		return
+		return "", false
 	}
 	loop := req.Loop == nil || *req.Loop
 	tick := time.Duration(req.TickUS) * time.Microsecond
@@ -601,29 +711,36 @@ func (a *API) createSession(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, ErrOverload) {
 			code = http.StatusTooManyRequests
 		}
-		writeErr(w, code, err)
-		return
+		if errors.Is(err, ErrDraining) {
+			code = http.StatusServiceUnavailable
+		}
+		// writeStreamErr upgrades a typed BrownoutError to 429 with a
+		// Retry-After hint — session admission rides the same ladder as
+		// stream admission.
+		writeStreamErr(w, code, err)
+		return "", false
 	}
 	csp.AttrStr("session", s.ID)
 	if req.Start == nil || *req.Start {
 		if err := s.Start(); err != nil {
 			a.m.Delete(s.ID)
 			writeErr(w, http.StatusInternalServerError, err)
-			return
+			return "", false
 		}
 		if req.Relay != nil {
 			if _, err := s.AttachRelay(req.Relay.Listen, req.Relay.Target); err != nil {
 				a.m.Delete(s.ID)
 				writeErr(w, http.StatusBadRequest, err)
-				return
+				return "", false
 			}
 		}
 	} else if req.Relay != nil {
 		a.m.Delete(s.ID)
 		writeErr(w, http.StatusBadRequest, errors.New("relay requires start"))
-		return
+		return "", false
 	}
 	writeJSON(w, http.StatusCreated, sessionInfo(s))
+	return s.ID, true
 }
 
 func (a *API) listSessions(w http.ResponseWriter, _ *http.Request) {
@@ -684,6 +801,80 @@ func (a *API) stopSession(w http.ResponseWriter, r *http.Request) {
 		s.Stop()
 	}
 	writeJSON(w, http.StatusOK, sessionInfo(s))
+}
+
+// snapshotDump is GET /v1/snapshot: the farm's current durable state as
+// one self-contained FarmSnapshot — the same shape WriteSnapshot persists.
+// A cluster coordinator polls it so a worker's latest state is already in
+// hand when the worker dies.
+func (a *API) snapshotDump(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, a.m.Snapshot())
+}
+
+// RestoreResult is the POST /v1/restore payload: how many sessions were
+// rebuilt, and the first per-session failure when any session could not
+// be fully brought back (parked sessions still count as restored).
+type RestoreResult struct {
+	Restored int    `json:"restored"`
+	Error    string `json:"error,omitempty"`
+}
+
+// restoreSnapshot is POST /v1/restore: rebuild the sessions of a posted
+// FarmSnapshot in this farm under their original IDs — the receiving half
+// of failover and live migration. Per-session failures park or skip that
+// session; the call only errors wholesale on an unreadable body.
+func (a *API) restoreSnapshot(w http.ResponseWriter, r *http.Request) {
+	var snap FarmSnapshot
+	if err := json.NewDecoder(r.Body).Decode(&snap); err != nil {
+		writeErr(w, decodeStatus(err), fmt.Errorf("bad snapshot body: %w", err))
+		return
+	}
+	n, err := a.m.Restore(&snap)
+	res := RestoreResult{Restored: n}
+	code := http.StatusOK
+	if err != nil {
+		res.Error = err.Error()
+		if n == 0 {
+			code = http.StatusConflict
+		}
+	}
+	writeJSON(w, code, res)
+}
+
+// handoffSession is POST /v1/sessions/{id}/handoff?drain=2s: quiesce one
+// session and return it as a single-session snapshot for live migration.
+// The session is deleted from this farm once extracted; the caller
+// restores the snapshot on the destination.
+func (a *API) handoffSession(w http.ResponseWriter, r *http.Request) {
+	drain := a.m.opts.DrainTimeout
+	if d := r.URL.Query().Get("drain"); d != "" {
+		timeout, err := time.ParseDuration(d)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad drain duration: %w", err))
+			return
+		}
+		drain = timeout
+	}
+	snap, err := a.m.Handoff(r.PathValue("id"), drain)
+	if err != nil {
+		code := http.StatusConflict
+		if strings.Contains(err.Error(), "not found") {
+			code = http.StatusNotFound
+		}
+		writeErr(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// beginDrain is POST /v1/drain: flip the farm into planned-shutdown mode.
+// New session creates are refused with 503, /v1/health fails readiness
+// with status "draining" (liveness at /healthz stays up), and a cluster
+// coordinator responds by live-migrating this worker's sessions away
+// instead of declaring it dead.
+func (a *API) beginDrain(w http.ResponseWriter, r *http.Request) {
+	a.m.BeginDrain()
+	a.health(w, r)
 }
 
 // streamLiveEdgeTimeout is the longest an in-flight upload may sit idle
@@ -982,6 +1173,7 @@ func (a *API) farmInfo(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, FarmInfo{
 		Sessions:      a.m.Count(),
 		MaxSessions:   a.m.opts.MaxSessions,
+		Draining:      a.m.Draining(),
 		WheelShards:   a.m.wheel.Shards(),
 		GranularityUS: a.m.wheel.Granularity().Microseconds(),
 		TimersPending: a.m.wheel.Pending(),
@@ -1045,7 +1237,16 @@ func (a *API) sloReport(w http.ResponseWriter, _ *http.Request) {
 // HealthInfo is the GET /v1/health payload: a readiness verdict (every
 // critical objective met) and the overall SLO score.
 type HealthInfo struct {
-	Ready    bool    `json:"ready"`
+	Ready bool `json:"ready"`
+	// Status classifies an unready farm so a poller can react correctly:
+	// "ok" (ready), "draining" (planned shutdown in progress — stop
+	// routing new work here and migrate, the process is alive), or
+	// "overloaded" (brownout ladder at reject-streams or deeper — back
+	// off and retry, the 429 path) / "degraded" (a critical SLO unmet for
+	// another reason). Only a worker that stops answering entirely should
+	// be treated as dead.
+	Status   string  `json:"status"`
+	Draining bool    `json:"draining,omitempty"`
 	Score    float64 `json:"score"`
 	Sessions int     `json:"sessions"`
 	// Pressure is the brownout ladder's current rung ("normal" when the
@@ -1055,19 +1256,37 @@ type HealthInfo struct {
 }
 
 // health serves a readiness score derived from the SLO engine: 200 when
-// every critical objective is met, 503 otherwise. Load balancers and the
-// load-smoke CI job poll this.
+// every critical objective is met and the farm is not draining, 503
+// otherwise — with Status distinguishing a draining worker (migrate its
+// sessions) from an overloaded one (retry later). Load balancers, the
+// cluster coordinator's heartbeat probe, and the load-smoke CI job poll
+// this; liveness stays on /healthz, which a draining worker still passes.
 func (a *API) health(w http.ResponseWriter, _ *http.Request) {
 	rep := a.m.slos.Evaluate()
+	lvl := a.m.Pressure().Level()
+	status := "ok"
+	ready := rep.Ready
+	if !ready {
+		status = "degraded"
+		if lvl >= pressure.RejectStreams {
+			status = "overloaded"
+		}
+	}
+	if a.m.Draining() {
+		status = "draining"
+		ready = false
+	}
 	code := http.StatusOK
-	if !rep.Ready {
+	if !ready {
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, HealthInfo{
-		Ready:    rep.Ready,
+		Ready:    ready,
+		Status:   status,
+		Draining: a.m.Draining(),
 		Score:    rep.Score,
 		Sessions: a.m.Count(),
-		Pressure: a.m.Pressure().Level().String(),
+		Pressure: lvl.String(),
 	})
 }
 

@@ -66,6 +66,11 @@ type Options struct {
 	// MaxSessions bounds concurrently existing sessions
 	// (DefaultMaxSessions if 0).
 	MaxSessions int
+	// SessionIDPrefix prefixes every minted session ID ("" for the
+	// single-node default "s-000001" shape). A cluster worker sets it to
+	// its member name ("w1-s-000001") so IDs stay unique across the farm
+	// and a failed-over or migrated session keeps its ID on the survivor.
+	SessionIDPrefix string
 	// IdleTimeout expires sessions that have seen no traffic for this
 	// long (0 disables idle expiry).
 	IdleTimeout time.Duration
@@ -295,6 +300,12 @@ type Manager struct {
 	shedTotal        atomic.Int64
 	quarantinedTotal atomic.Int64
 
+	// draining marks a planned shutdown in progress: new sessions are
+	// refused, /v1/health fails readiness with status "draining" (while
+	// liveness stays up), and a cluster coordinator reads it as "migrate
+	// my sessions away" rather than "this worker is dead".
+	draining atomic.Bool
+
 	faultRelayAttach  *faults.Point
 	faultSessionPanic *faults.Point
 	relayRetry        faults.Backoff
@@ -473,6 +484,19 @@ func (m *Manager) sessionForTimers(t *wheel.Timers) *Session {
 	return nil
 }
 
+// BeginDrain marks the farm as draining: new session creates are refused
+// with ErrDraining and /v1/health fails readiness with status "draining"
+// while the process stays alive to hand its sessions off. It does not by
+// itself stop anything — Close (or per-session Handoff) does the work.
+func (m *Manager) BeginDrain() {
+	if m.draining.CompareAndSwap(false, true) {
+		m.log.Info("farm draining: refusing new sessions")
+	}
+}
+
+// Draining reports whether a planned shutdown is in progress.
+func (m *Manager) Draining() bool { return m.draining.Load() }
+
 // Quarantined reports how many sessions have been quarantined for
 // panicking callbacks over the farm's lifetime.
 func (m *Manager) Quarantined() int64 { return m.quarantinedTotal.Load() }
@@ -512,11 +536,24 @@ func (m *Manager) onPressureChange(_, to pressure.Level) {
 // be resolved (the control plane goes through the Store first). Live
 // sessions skip trace validation: the growing trace may be empty at
 // create time, and every tuple was already sanitized at emission.
+//
+// Admission rides the brownout ladder: from shed-sampling upward new
+// sessions are refused with a typed BrownoutError (HTTP 429 +
+// Retry-After) — a new tenant is the most expensive unit the farm can
+// admit, so it is shed one rung before new streams. A draining farm
+// refuses with ErrDraining. Recovery's createRestored bypasses both
+// gates: failover must be able to land sessions on a loaded survivor.
 func (m *Manager) Create(cfg SessionConfig) (*Session, error) {
 	if cfg.Live == nil {
 		if err := cfg.Trace.Validate(); err != nil {
 			return nil, err
 		}
+	}
+	if m.draining.Load() {
+		return nil, ErrDraining
+	}
+	if lvl := m.pressure.Level(); lvl >= pressure.ShedSampling {
+		return nil, &BrownoutError{Level: lvl, RetryAfter: m.pressure.RetryAfter()}
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -528,7 +565,7 @@ func (m *Manager) Create(cfg SessionConfig) (*Session, error) {
 	}
 	m.seq++
 	s := &Session{
-		ID:      fmt.Sprintf("s-%06d", m.seq),
+		ID:      fmt.Sprintf("%ss-%06d", m.opts.SessionIDPrefix, m.seq),
 		cfg:     cfg,
 		created: m.wheel.Now(),
 		expLoss: cfg.Trace.WeightedLoss(),
@@ -647,6 +684,7 @@ func (m *Manager) expireIdle() {
 // SnapshotPath is set, a final snapshot is written before the drain so a
 // crash-during-shutdown still has a recovery point.
 func (m *Manager) Close() {
+	m.draining.Store(true)
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()

@@ -30,6 +30,10 @@ import (
 var (
 	ErrOverload   = errors.New("emud: overloaded")
 	ErrNotRunning = errors.New("emud: session not running")
+	// ErrDraining marks creates refused because the farm is in a planned
+	// shutdown (BeginDrain): the process is alive but handing its work
+	// away. Mapped to HTTP 503 — distinct from the 429 overload path.
+	ErrDraining = errors.New("emud: farm draining")
 )
 
 // State is a session's lifecycle position.
@@ -86,6 +90,12 @@ type SessionConfig struct {
 	// Start — crash recovery resumes a restored session where the lost
 	// daemon's snapshot left it.
 	SkipTuples int64
+	// SkipDraws fast-forwards the drop-lottery RNG past this many draws at
+	// Start by burning them from the freshly-seeded stream. A live
+	// migration records the source's draw count so the destination engine
+	// continues the exact lottery sequence — byte-identical drops — instead
+	// of restarting the stream from the seed.
+	SkipDraws int64
 }
 
 // SessionStats is a point-in-time snapshot of a session's activity.
@@ -207,6 +217,20 @@ func (s *Session) Cursor() int64 {
 	return s.cfg.SkipTuples + n
 }
 
+// LotteryDraws reports the session's absolute position in its drop-lottery
+// RNG stream: draws burned at Start (SkipDraws) plus draws the engine has
+// made since. A migration snapshot records it so the destination resumes
+// the stream exactly where the source left it.
+func (s *Session) LotteryDraws() int64 {
+	s.mu.Lock()
+	eng := s.engine
+	s.mu.Unlock()
+	if eng == nil {
+		return s.cfg.SkipDraws
+	}
+	return s.cfg.SkipDraws + eng.Stats().Draws
+}
+
 // Engine exposes the underlying engine (nil before Start). Intended for
 // inspection; submitting directly bypasses session accounting.
 func (s *Session) Engine() *modulation.Engine {
@@ -258,12 +282,16 @@ func (s *Session) Start() error {
 		ss.Skip(s.cfg.SkipTuples)
 		src = ss
 	}
+	rng := rand.New(rand.NewSource(s.cfg.Seed))
+	for i := int64(0); i < s.cfg.SkipDraws; i++ {
+		rng.Float64()
+	}
 	s.engine = modulation.NewEngine(s.timers, src,
 		modulation.Config{
 			Tick:         s.cfg.Tick,
 			InboundExtra: s.cfg.InboundExtra,
 			Compensation: s.cfg.Compensation,
-			RNG:          rand.New(rand.NewSource(s.cfg.Seed)),
+			RNG:          rng,
 		})
 	s.state.Store(int32(StateRunning))
 	s.touch()
@@ -314,8 +342,12 @@ func (s *Session) AttachRelay(listenAddr, targetAddr string) (addr string, err e
 		return "", errors.New("emud: relay requires a running session")
 	}
 	s.relay = r
-	s.relayListen, s.relayTarget = listenAddr, targetAddr
-	return r.Addr().String(), nil
+	// Remember the resolved listen address, not a ":0" wildcard spec: a
+	// crash snapshot must rebind the same concrete port, or oblivious
+	// relay clients would keep sending to a dead address after the
+	// session fails over to another worker.
+	s.relayListen, s.relayTarget = r.Addr().String(), targetAddr
+	return s.relayListen, nil
 }
 
 // Relay returns the attached livewire relay (nil when none), for its

@@ -13,13 +13,24 @@ package emud
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"tracemod/internal/core"
 )
+
+// ErrTraceUnrecoverable marks a restored session whose embedded trace
+// could not be brought back — missing from the snapshot's trace table, or
+// present but failing validation (a corrupt snapshot, or a snapshot
+// damaged between write and recover). The session is parked (created
+// stopped, error surfaced in its status) rather than silently skipped, so
+// -recover never fails wholesale and the operator sees exactly which
+// tenants lost their trace.
+var ErrTraceUnrecoverable = errors.New("emud: trace unrecoverable")
 
 // SessionSnapshot is one session's durable state.
 type SessionSnapshot struct {
@@ -42,6 +53,10 @@ type SessionSnapshot struct {
 	// Cursor is the replay position in tuples consumed since the trace's
 	// beginning; restore passes it as SkipTuples.
 	Cursor int64 `json:"cursor"`
+	// Draws is the session's position in its drop-lottery RNG stream;
+	// restore passes it as SkipDraws so a migrated session's drop sequence
+	// continues exactly where the source stopped drawing.
+	Draws int64 `json:"rng_draws,omitempty"`
 	// RelayListen/RelayTarget re-attach the livewire relay on restore
 	// (best-effort: the port may be taken by another process).
 	RelayListen string `json:"relay_listen,omitempty"`
@@ -118,6 +133,7 @@ func snapshotOf(sessions []*Session, seq int64) *FarmSnapshot {
 			CompensationNS: float64(cfg.Compensation),
 			Running:        st == StateRunning,
 			Cursor:         s.Cursor(),
+			Draws:          s.LotteryDraws(),
 			RelayListen:    listen,
 			RelayTarget:    target,
 		}
@@ -166,14 +182,57 @@ func (m *Manager) writeSnapshotOf(sessions []*Session) error {
 		return fmt.Errorf("emud: marshaling snapshot: %w", err)
 	}
 	tmp := m.opts.SnapshotPath + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := writeFileSync(tmp, data); err != nil {
 		return fmt.Errorf("emud: writing snapshot: %w", err)
 	}
 	if err := os.Rename(tmp, m.opts.SnapshotPath); err != nil {
 		return fmt.Errorf("emud: publishing snapshot: %w", err)
 	}
+	// The rename published the snapshot in memory, but the directory entry
+	// itself is not durable until the directory is synced — a crash right
+	// here could resurrect the previous snapshot (or the tmp name) on some
+	// filesystems.
+	if err := fsyncDir(filepath.Dir(m.opts.SnapshotPath)); err != nil {
+		return fmt.Errorf("emud: syncing snapshot directory: %w", err)
+	}
 	m.ins.incSnapshots()
 	return nil
+}
+
+// writeFileSync writes data and fsyncs the file before closing, so the
+// rename that follows never publishes a name whose bytes are still only
+// in the page cache.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// fsyncDir flushes a directory's entry table, making a just-renamed or
+// just-created name durable.
+func fsyncDir(dir string) error {
+	if dir == "" {
+		dir = "."
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // snapshotLoop writes a snapshot every SnapshotInterval until Close.
@@ -234,6 +293,7 @@ func (m *Manager) Restore(snap *FarmSnapshot) (int, error) {
 			InboundExtra: core.PerByte(ss.InboundExtraNS),
 			Compensation: core.PerByte(ss.CompensationNS),
 			SkipTuples:   ss.Cursor,
+			SkipDraws:    ss.Draws,
 		}
 		var restoreErr error
 		start := ss.Running
@@ -256,17 +316,32 @@ func (m *Manager) Restore(snap *FarmSnapshot) (int, error) {
 				}
 			}
 		} else {
+			// A trace session parks — stopped, with the typed loss in its
+			// status — when its embedded trace is missing or invalid, the
+			// same shape as a live session whose stream vanished. Recovery
+			// never fails wholesale over one damaged tenant.
+			var badTrace error
 			trace, ok := traces[ss.TraceRef]
 			if !ok {
+				badTrace = fmt.Errorf("%w: trace %q missing from snapshot", ErrTraceUnrecoverable, ss.TraceRef)
+			} else if err := trace.Validate(); err != nil {
+				badTrace = fmt.Errorf("%w: trace %q: %v", ErrTraceUnrecoverable, ss.TraceRef, err)
+			}
+			if badTrace != nil {
+				gone := NewLiveTrace()
+				gone.Complete(badTrace)
+				cfg.Live = gone
+				restoreErr = badTrace
+				start = false
 				if firstErr == nil {
-					firstErr = fmt.Errorf("emud: snapshot session %s references missing trace %q", ss.ID, ss.TraceRef)
+					firstErr = fmt.Errorf("emud: session %s: %w", ss.ID, badTrace)
 				}
-				continue
+			} else {
+				if !ss.Loop && cfg.SkipTuples > int64(len(trace)) {
+					cfg.SkipTuples = int64(len(trace))
+				}
+				cfg.Trace = trace
 			}
-			if !ss.Loop && cfg.SkipTuples > int64(len(trace)) {
-				cfg.SkipTuples = int64(len(trace))
-			}
-			cfg.Trace = trace
 		}
 		s, err := m.createRestored(ss.ID, cfg, restoreErr)
 		if err != nil {
@@ -334,6 +409,65 @@ func (m *Manager) createRestored(id string, cfg SessionConfig, restoreErr error)
 	m.ins.setActive(len(m.sessions))
 	m.ins.sessionState(s)
 	return s, nil
+}
+
+// Handoff quiesces one session and extracts it as a single-session
+// snapshot for live migration: the session drains (new packets refused,
+// in-flight deliveries complete, engine stopped), its replay cursor and
+// drop-lottery draw count are captured frozen, and it is deleted from
+// this farm. Restoring the returned snapshot elsewhere resumes the
+// session under the same ID with byte-identical modulation decisions:
+// the cursor pins the tuple in force and the draw count pins the lottery
+// stream's position, so the packets the destination delivers and drops
+// are exactly the packets an unmigrated run would have.
+//
+// Live (stream-fed) sessions refuse to hand off — their trace source is
+// an in-flight upload that cannot move with them; the caller leaves them
+// or lets failover park them with ErrStreamGone.
+func (m *Manager) Handoff(id string, drainTimeout time.Duration) (*FarmSnapshot, error) {
+	s, ok := m.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("emud: session %s not found", id)
+	}
+	cfg := s.Config()
+	if cfg.Live != nil {
+		return nil, fmt.Errorf("emud: session %s: %w: live sessions cannot hand off", id, ErrStreamGone)
+	}
+	if drainTimeout <= 0 {
+		drainTimeout = m.opts.DrainTimeout
+	}
+	// Capture the relay spec before the drain: Stop detaches the relay.
+	listen, target := s.RelaySpecArgs()
+	wasRunning := s.State() == StateRunning
+	s.Drain(drainTimeout)
+
+	tuples := make([]TupleJSON, len(cfg.Trace))
+	for i, t := range cfg.Trace {
+		tuples[i] = tupleToJSON(t)
+	}
+	snap := &FarmSnapshot{
+		TakenUnixNano: time.Now().UnixNano(),
+		Traces:        map[string][]TupleJSON{cfg.TraceRef: tuples},
+		Sessions: []SessionSnapshot{{
+			ID:             s.ID,
+			Name:           cfg.Name,
+			TraceRef:       cfg.TraceRef,
+			Loop:           cfg.Loop,
+			TickUS:         cfg.Tick.Microseconds(),
+			Seed:           cfg.Seed,
+			InboundExtraNS: float64(cfg.InboundExtra),
+			CompensationNS: float64(cfg.Compensation),
+			Running:        wasRunning,
+			Cursor:         s.Cursor(),
+			Draws:          s.LotteryDraws(),
+			RelayListen:    listen,
+			RelayTarget:    target,
+		}},
+	}
+	m.Delete(id)
+	m.log.Info("session handed off", "session", id,
+		"cursor", snap.Sessions[0].Cursor, "draws", snap.Sessions[0].Draws)
+	return snap, nil
 }
 
 // Recover loads the snapshot at path and restores it into this farm.

@@ -319,10 +319,31 @@ func (l *Log) openSegment(base int64) error {
 		_ = f.Close()
 		return fmt.Errorf("wal: writing segment header: %w", err)
 	}
+	// The new segment's directory entry must itself be durable: without a
+	// directory fsync, a crash after rotation can lose the whole new file
+	// on some filesystems even though its appends were synced.
+	if err := syncDir(l.opts.Dir); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("wal: syncing segment directory: %w", err)
+	}
 	l.f = f
 	l.segBase = base
 	l.segBytes = 0
 	return nil
+}
+
+// syncDir flushes a directory's entry table so newly created or renamed
+// names inside it survive a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Append frames and writes one chunk, honoring the rotation threshold

@@ -165,6 +165,12 @@ type Stats struct {
 	Immediate int64 // deliveries under half a tick, sent at once
 	Delayed   int64 // deliveries scheduled onto a tick
 	Tuples    int64 // tuples consumed from the source
+	// Draws counts drop-lottery RNG draws: exactly one per packet once a
+	// tuple is in force (unmodulated packets before the first tuple never
+	// reach the lottery). Together with the RNG seed it pins the lottery
+	// stream's position, which is what lets a migrated session reproduce
+	// the exact drop sequence a never-migrated run would have produced.
+	Draws int64
 }
 
 // instruments bundles the engine's registered metrics. A nil *instruments
@@ -604,6 +610,7 @@ func (e *Engine) submitLocked(now time.Duration, dir simnet.Direction, size int,
 	}
 
 	// The drop lottery runs after the bottleneck queue.
+	e.stats.Draws++
 	if e.cfg.RNG.Float64() < t.L {
 		e.stats.Dropped++
 		if e.ins != nil {
